@@ -1,0 +1,159 @@
+// E10 — §2.3.2 / §3.4 ablation: in-enclave synchronisation strategies.
+//
+// A contended counter protected by (a) the SDK default mutex (sleep/wake
+// ocalls on contention) and (b) the hybrid spin-then-sleep mutex sgx-perf
+// recommends for short critical sections.  Reports sync-ocall counts and
+// virtual-time cost per operation for several spin budgets.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdio>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "sgxsim/runtime.hpp"
+
+namespace {
+
+using namespace sgxsim;
+
+constexpr const char* kEdl = R"(
+enclave {
+  trusted { public int ecall_hammer(void); };
+  untrusted {};
+};
+)";
+
+struct SyncStats {
+  std::atomic<std::uint64_t> sleeps{0};
+  std::atomic<std::uint64_t> wakes{0};
+};
+SyncStats* g_stats = nullptr;
+OcallFn g_real_sleep = nullptr;
+OcallFn g_real_wake = nullptr;
+
+SgxStatus counting_sleep(void* ms) {
+  g_stats->sleeps.fetch_add(1, std::memory_order_relaxed);
+  return g_real_sleep(ms);
+}
+SgxStatus counting_wake(void* ms) {
+  g_stats->wakes.fetch_add(1, std::memory_order_relaxed);
+  return g_real_wake(ms);
+}
+
+struct Run {
+  std::uint64_t sleeps = 0;
+  std::uint64_t wakes = 0;
+  double virtual_us_per_op = 0;
+};
+
+Run run_contended(MutexKind kind, std::uint32_t spin_limit, int threads, int ops_per_thread,
+                  support::Nanoseconds critical_ns) {
+  Urts urts;
+  EnclaveConfig config;
+  config.tcs_count = static_cast<std::size_t>(threads) + 2;
+  const EnclaveId eid = urts.create_enclave(std::move(config), edl::parse(kEdl));
+  OcallTable table = make_ocall_table({});
+  SyncStats stats;
+  g_stats = &stats;
+  g_real_sleep = table.entries[table.sync_base + 0];
+  g_real_wake = table.entries[table.sync_base + 1];
+  table.entries[table.sync_base + 0] = &counting_sleep;
+  table.entries[table.sync_base + 1] = &counting_wake;
+
+  Enclave& enclave = urts.enclave(eid);
+  const MutexId mutex = enclave.create_mutex(kind, spin_limit);
+  std::atomic<std::uint64_t> counter{0};
+  enclave.register_ecall("ecall_hammer",
+                         [mutex, &counter, ops_per_thread, critical_ns](TrustedContext& ctx, void*) {
+    for (int i = 0; i < ops_per_thread; ++i) {
+      if (auto st = ctx.mutex_lock(mutex); st != SgxStatus::kSuccess) return st;
+      counter.fetch_add(1, std::memory_order_relaxed);
+      ctx.work(critical_ns);
+      // The critical section also takes real time (and yields the CPU), so
+      // OS threads genuinely overlap and contend even on a single core.
+      if (i % 8 == 0) std::this_thread::sleep_for(std::chrono::microseconds(30));
+      if (auto st = ctx.mutex_unlock(mutex); st != SgxStatus::kSuccess) return st;
+    }
+    return SgxStatus::kSuccess;
+  });
+
+  // Rendezvous so the workers genuinely overlap.
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+  const auto t0 = urts.clock().now();
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&] {
+      ++ready;
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      urts.sgx_ecall(eid, 0, &table, nullptr);
+    });
+  }
+  while (ready.load() < threads) std::this_thread::yield();
+  go.store(true, std::memory_order_release);
+  for (auto& w : workers) w.join();
+  const auto elapsed = urts.clock().now() - t0;
+
+  Run run;
+  run.sleeps = stats.sleeps.load();
+  run.wakes = stats.wakes.load();
+  run.virtual_us_per_op = static_cast<double>(elapsed) / 1e3 /
+                          static_cast<double>(threads * ops_per_thread);
+  g_stats = nullptr;
+  return run;
+}
+
+void BM_SdkMutexUncontended(benchmark::State& state) {
+  Urts urts;
+  const EnclaveId eid = urts.create_enclave({}, edl::parse(kEdl));
+  OcallTable table = make_ocall_table({});
+  Enclave& enclave = urts.enclave(eid);
+  const MutexId mutex = enclave.create_mutex();
+  enclave.register_ecall("ecall_hammer", [mutex](TrustedContext& ctx, void*) {
+    for (int i = 0; i < 100; ++i) {
+      ctx.mutex_lock(mutex);
+      ctx.mutex_unlock(mutex);
+    }
+    return SgxStatus::kSuccess;
+  });
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(urts.sgx_ecall(eid, 0, &table, nullptr));
+  }
+}
+BENCHMARK(BM_SdkMutexUncontended);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("=== E10: in-enclave synchronisation ablation (paper §2.3.2 / §3.4) ===\n\n");
+  constexpr int kThreads = 4;
+  constexpr int kOps = 400;
+
+  std::printf("contended counter: %d threads x %d ops, 2 us critical section\n\n", kThreads,
+              kOps);
+  std::printf("%-28s %10s %10s %16s\n", "mutex", "sleeps", "wakes", "sync ocalls/op");
+  {
+    const Run sdk = run_contended(MutexKind::kSdkDefault, 0, kThreads, kOps, 2'000);
+    std::printf("%-28s %10llu %10llu %16.4f\n", "SDK default (sleep ocalls)",
+                static_cast<unsigned long long>(sdk.sleeps),
+                static_cast<unsigned long long>(sdk.wakes),
+                static_cast<double>(sdk.sleeps + sdk.wakes) / (kThreads * kOps));
+  }
+  for (const std::uint32_t spin : {64u, 512u, 100'000u}) {
+    const Run hybrid = run_contended(MutexKind::kHybridSpin, spin, kThreads, kOps, 2'000);
+    char label[64];
+    std::snprintf(label, sizeof(label), "hybrid spin (limit %u)", spin);
+    std::printf("%-28s %10llu %10llu %16.4f\n", label,
+                static_cast<unsigned long long>(hybrid.sleeps),
+                static_cast<unsigned long long>(hybrid.wakes),
+                static_cast<double>(hybrid.sleeps + hybrid.wakes) / (kThreads * kOps));
+  }
+  std::printf("\nthe hybrid lock eliminates the short wake-up ocalls (<10 us) the analyser "
+              "flags as SSC\n\n");
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

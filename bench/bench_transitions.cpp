@@ -1,0 +1,102 @@
+// E1 — §2.3.1 transition costs across microcode patch levels.
+//
+// Reproduces the in-text table: one EENTER..EEXIT round trip costs
+// ~5,850 / ~10,170 / ~13,100 cycles (~2,130 / ~3,850 / ~4,890 ns) on an
+// unpatched / Spectre-patched / Spectre+L1TF-patched machine, plus the full
+// SDK ecall and ecall+ocall costs the rest of the evaluation builds on.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "sgxsim/runtime.hpp"
+#include "support/clock.hpp"
+
+namespace {
+
+using namespace sgxsim;
+
+constexpr const char* kEdl = R"(
+enclave {
+  trusted {
+    public int ecall_empty(void);
+    public int ecall_with_ocall(void);
+  };
+  untrusted { void ocall_empty(void); };
+};
+)";
+
+SgxStatus empty_ocall(void*) { return SgxStatus::kSuccess; }
+
+struct Machine {
+  explicit Machine(PatchLevel lvl) : urts(CostModel::preset(lvl)) {
+    eid = urts.create_enclave({}, edl::parse(kEdl));
+    table = make_ocall_table({&empty_ocall});
+    Enclave& e = urts.enclave(eid);
+    e.register_ecall("ecall_empty", [](TrustedContext&, void*) { return SgxStatus::kSuccess; });
+    e.register_ecall("ecall_with_ocall",
+                     [](TrustedContext& ctx, void*) { return ctx.ocall(0, nullptr); });
+  }
+  Urts urts;
+  EnclaveId eid = 0;
+  OcallTable table;
+};
+
+void BM_EcallRoundTrip(benchmark::State& state) {
+  Machine m(static_cast<PatchLevel>(state.range(0)));
+  std::uint64_t virtual_ns = 0;
+  for (auto _ : state) {
+    const auto t0 = m.urts.clock().now();
+    benchmark::DoNotOptimize(m.urts.sgx_ecall(m.eid, 0, &m.table, nullptr));
+    virtual_ns += m.urts.clock().now() - t0;
+  }
+  state.counters["virtual_ns_per_call"] =
+      static_cast<double>(virtual_ns) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_EcallRoundTrip)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_EcallPlusOcall(benchmark::State& state) {
+  Machine m(static_cast<PatchLevel>(state.range(0)));
+  std::uint64_t virtual_ns = 0;
+  for (auto _ : state) {
+    const auto t0 = m.urts.clock().now();
+    benchmark::DoNotOptimize(m.urts.sgx_ecall(m.eid, 1, &m.table, nullptr));
+    virtual_ns += m.urts.clock().now() - t0;
+  }
+  state.counters["virtual_ns_per_call"] =
+      static_cast<double>(virtual_ns) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_EcallPlusOcall)->Arg(0)->Arg(1)->Arg(2);
+
+void print_paper_table() {
+  const support::CycleConverter cycles(2.75);
+  std::printf("\n=== E1: enclave transition costs vs patch level (paper §2.3.1) ===\n");
+  std::printf("paper: ~5,850 cy (~2,130 ns) / ~10,170 cy (~3,850 ns) / ~13,100 cy (~4,890 ns)\n\n");
+  std::printf("%-18s %18s %14s %16s %20s\n", "patch level", "EENTER..EEXIT[ns]", "cycles@2.75G",
+              "full ecall[ns]", "ecall+ocall[ns]");
+  for (const PatchLevel lvl :
+       {PatchLevel::kUnpatched, PatchLevel::kSpectre, PatchLevel::kSpectreL1tf}) {
+    Machine m(lvl);
+    const auto t0 = m.urts.clock().now();
+    m.urts.sgx_ecall(m.eid, 0, &m.table, nullptr);
+    const auto ecall_ns = m.urts.clock().now() - t0;
+    const auto t1 = m.urts.clock().now();
+    m.urts.sgx_ecall(m.eid, 1, &m.table, nullptr);
+    const auto both_ns = m.urts.clock().now() - t1;
+    const auto round_trip = m.urts.cost().transition_round_trip_ns();
+    std::printf("%-18s %18llu %14llu %16llu %20llu\n", to_string(lvl),
+                static_cast<unsigned long long>(round_trip),
+                static_cast<unsigned long long>(cycles.ns_to_cycles(round_trip)),
+                static_cast<unsigned long long>(ecall_ns),
+                static_cast<unsigned long long>(both_ns));
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_paper_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

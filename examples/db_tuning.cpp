@@ -1,0 +1,77 @@
+// Example: use sgx-perf to find and fix the lseek+write anti-pattern in an
+// enclavised database (§5.2.2 in miniature).
+//
+//   $ ./examples/db_tuning
+//
+// Steps: (1) run the enclavised minidb with syscalls-as-ocalls and profile
+// it, (2) read the analyser's SDSC finding, (3) apply the recommended merge
+// (pwrite) and measure the speed-up in virtual time.
+#include <cstdio>
+
+#include "minidb/enclave_db.hpp"
+#include "minidb/workload.hpp"
+#include "perf/analyzer.hpp"
+#include "perf/compare.hpp"
+#include "perf/logger.hpp"
+
+namespace {
+
+double replay_commits(sgxsim::Urts& urts, minidb::WriteMode mode, int commits) {
+  minidb::HostVfs vfs(urts.clock());
+  minidb::DbEnclave db(urts, vfs, mode);
+  db.open("/tuning.db");
+  minidb::CommitGenerator gen;
+  std::size_t records = 0;
+  const auto t0 = urts.clock().now();
+  for (int i = 0; i < commits; ++i) {
+    db.begin();
+    for (const auto& [k, v] : gen.make(static_cast<std::uint64_t>(i)).to_records()) {
+      db.put_in_txn(k, v);
+      ++records;
+    }
+    db.commit();
+  }
+  const auto elapsed = urts.clock().now() - t0;
+  db.close_db();
+  return static_cast<double>(records) / (static_cast<double>(elapsed) / 1e9);
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kCommits = 100;
+  sgxsim::Urts urts;
+
+  // --- 1. profile the naive build ---------------------------------------------
+  tracedb::TraceDatabase trace;
+  perf::Logger logger(trace);
+  logger.attach(urts);
+  const double naive_rps = replay_commits(urts, minidb::WriteMode::kSeekThenWrite, kCommits);
+  logger.detach();
+  std::printf("naive enclavised build: %.0f records/s (syscalls as individual ocalls)\n\n",
+              naive_rps);
+
+  // --- 2. what does sgx-perf say? ------------------------------------------------
+  perf::Analyzer analyzer(trace);
+  analyzer.set_interface(1, sgxsim::edl::parse(minidb::kDbEdl));
+  const auto report = analyzer.analyze();
+  std::printf("analyser findings mentioning the write path:\n");
+  for (const auto& f : report.findings) {
+    if (f.subject_name.find("vfs") == std::string::npos) continue;
+    std::printf("  %s: %s%s%s\n", perf::to_string(f.kind), f.subject_name.c_str(),
+                f.partner ? " (with " : "", f.partner ? (f.partner_name + ")").c_str() : "");
+    for (const auto& r : f.recommendations) std::printf("    -> %s\n", perf::to_string(r));
+  }
+
+  // --- 3. apply the merge, re-profile and diff the traces ----------------------
+  tracedb::TraceDatabase after;
+  perf::Logger after_logger(after);
+  after_logger.attach(urts);
+  const double merged_rps = replay_commits(urts, minidb::WriteMode::kMergedPwrite, kCommits);
+  after_logger.detach();
+  std::printf("\nafter merging lseek+write into pwrite: %.0f records/s (%.2fx)\n", merged_rps,
+              merged_rps / naive_rps);
+  std::printf("(the paper measured 13,160 -> 17,483 requests/s, a 1.33x improvement)\n\n");
+  std::fputs(perf::render_comparison(perf::compare_traces(trace, after), 10).c_str(), stdout);
+  return 0;
+}

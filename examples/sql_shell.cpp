@@ -1,0 +1,68 @@
+// A tiny SQL shell over minidb — the SQLite-style front door.
+//
+//   $ ./examples/sql_shell "CREATE TABLE kv; INSERT INTO kv VALUES ('a','1'); SELECT * FROM kv"
+//   $ echo "SELECT COUNT(*) FROM kv" | ./examples/sql_shell
+//
+// With an argument the statements run as a script; otherwise statements are
+// read from stdin (one per line, `;` separated also fine).  The database
+// lives in an in-memory VFS for the process lifetime.
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "minidb/sql.hpp"
+#include "support/strutil.hpp"
+
+namespace {
+
+void print_result(const minidb::SqlResult& result) {
+  if (!result.ok) {
+    std::printf("error: %s\n", result.error.c_str());
+    return;
+  }
+  for (const auto& row : result.rows) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      std::printf("%s%s", i == 0 ? "" : " | ", row[i].c_str());
+    }
+    std::printf("\n");
+  }
+  if (result.rows.empty() && result.affected > 0) {
+    std::printf("ok (%zu row%s affected)\n", result.affected,
+                result.affected == 1 ? "" : "s");
+  } else if (result.rows.empty()) {
+    std::printf("ok\n");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  support::VirtualClock clock;
+  minidb::HostVfs vfs(clock);
+  minidb::Database db(vfs, "/shell.db");
+  minidb::SqlEngine sql(db);
+
+  if (argc > 1) {
+    for (int i = 1; i < argc; ++i) {
+      for (const auto& statement : support::split(argv[i], ';')) {
+        const auto trimmed = support::trim(statement);
+        if (trimmed.empty()) continue;
+        std::printf("sql> %s\n", std::string(trimmed).c_str());
+        print_result(sql.exec(std::string(trimmed)));
+      }
+    }
+    return 0;
+  }
+
+  std::printf("minidb sql shell — statements end at newline or ';' (Ctrl-D to exit)\n");
+  std::string line;
+  while (std::printf("sql> "), std::fflush(stdout), std::getline(std::cin, line)) {
+    for (const auto& statement : support::split(line, ';')) {
+      const auto trimmed = support::trim(statement);
+      if (trimmed.empty()) continue;
+      print_result(sql.exec(std::string(trimmed)));
+    }
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Example: right-size an enclave with the working-set estimator (§4.2).
+//
+//   $ ./examples/workingset_demo
+//
+// An enclave is configured with a much larger heap than it uses.  The
+// estimator strips MMU page permissions, catches the access faults, and
+// reports exactly which pages the workload touches — start-up vs steady
+// state — so the heap (and with it, EPC pressure) can be trimmed.
+#include <cstdio>
+
+#include "perf/workingset.hpp"
+#include "sgxsim/runtime.hpp"
+#include "support/strutil.hpp"
+
+namespace {
+
+constexpr const char* kEdl = R"(
+enclave {
+  trusted {
+    public int ecall_init(void);
+    public int ecall_request(uint64_t id);
+  };
+  untrusted {};
+};
+)";
+
+}  // namespace
+
+int main() {
+  using namespace sgxsim;
+
+  Urts urts;
+  EnclaveConfig config;
+  config.name = "oversized";
+  config.heap_pages = 2048;  // 8 MiB heap "just to be safe" — the §2.3.3 trap
+  const EnclaveId eid = urts.create_enclave(config, edl::parse(kEdl));
+  Enclave& enclave = urts.enclave(eid);
+
+  EnclaveAddr table_arena = 0;
+  enclave.register_ecall("ecall_init", [&table_arena](TrustedContext& ctx, void*) {
+    // Start-up allocates lookup tables: 48 pages, touched once.
+    table_arena = ctx.malloc(48 * kPageSize);
+    return table_arena != 0 ? SgxStatus::kSuccess : SgxStatus::kOutOfMemory;
+  });
+  enclave.register_ecall("ecall_request", [&table_arena](TrustedContext& ctx, void* ms) {
+    // Steady state touches a handful of hot pages.
+    const auto id = *static_cast<std::uint64_t*>(ms);
+    ctx.touch(table_arena + (id % 6) * kPageSize, 256, MemAccess::kRead);
+    ctx.work(3'000);
+    return SgxStatus::kSuccess;
+  });
+  OcallTable table = make_ocall_table({});
+
+  std::printf("enclave size: %zu pages (%s) — padded to a power of two, measurement %.16s...\n",
+              enclave.total_pages(),
+              support::format_bytes(enclave.size_bytes()).c_str(),
+              enclave.measurement().c_str());
+
+  perf::WorkingSetEstimator ws(enclave);
+  ws.start();
+  urts.sgx_ecall(eid, 0, &table, nullptr);
+  const auto startup = ws.checkpoint();
+
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    urts.sgx_ecall(eid, 1, &table, &i);
+  }
+  const auto steady = ws.accessed_pages();
+  std::printf("\nworking set after start-up:      %4zu pages (%s)\n", startup.size(),
+              support::format_bytes(startup.size() * kPageSize).c_str());
+  std::printf("working set during execution:    %4zu pages (%s)\n", steady.size(),
+              support::format_bytes(steady.size() * kPageSize).c_str());
+  std::printf("per-type breakdown (current interval): %s\n", ws.summary().c_str());
+  ws.stop();
+
+  const double utilisation =
+      100.0 * static_cast<double>(startup.size()) / static_cast<double>(enclave.total_pages());
+  std::printf("\nonly %.1f%% of the enclave is ever used — shrink heap_pages and you can pack"
+              "\n%zu of these enclaves into the EPC instead of %zu.\n",
+              utilisation,
+              urts.driver().epc_pages() / (startup.size() + 16),
+              urts.driver().epc_pages() / enclave.total_pages());
+  return 0;
+}

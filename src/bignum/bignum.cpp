@@ -1,0 +1,490 @@
+#include "bignum/bignum.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <stdexcept>
+
+namespace bignum {
+
+// --- kernels ------------------------------------------------------------------
+
+Limb bn_add_words(Limb* r, const Limb* a, const Limb* b, int n) noexcept {
+  DoubleLimb carry = 0;
+  for (int i = 0; i < n; ++i) {
+    const DoubleLimb s = DoubleLimb{a[i]} + b[i] + carry;
+    r[i] = static_cast<Limb>(s);
+    carry = s >> kLimbBits;
+  }
+  return static_cast<Limb>(carry);
+}
+
+Limb bn_sub_words(Limb* r, const Limb* a, const Limb* b, int n) noexcept {
+  DoubleLimb borrow = 0;
+  for (int i = 0; i < n; ++i) {
+    const DoubleLimb d = DoubleLimb{a[i]} - b[i] - borrow;
+    r[i] = static_cast<Limb>(d);
+    borrow = (d >> kLimbBits) & 1;
+  }
+  return static_cast<Limb>(borrow);
+}
+
+Limb bn_sub_part_words(Limb* r, const Limb* a, const Limb* b, int cl, int dl) noexcept {
+  // Common prefix of cl limbs.
+  Limb borrow = bn_sub_words(r, a, b, cl);
+  if (dl == 0) return borrow;
+  if (dl > 0) {
+    // a is dl limbs longer: propagate the borrow through a's tail.
+    for (int i = 0; i < dl; ++i) {
+      const DoubleLimb d = DoubleLimb{a[cl + i]} - borrow;
+      r[cl + i] = static_cast<Limb>(d);
+      borrow = static_cast<Limb>((d >> kLimbBits) & 1);
+    }
+    return borrow;
+  }
+  // b is -dl limbs longer: subtract b's tail from zero.
+  for (int i = 0; i < -dl; ++i) {
+    const DoubleLimb d = DoubleLimb{0} - b[cl + i] - borrow;
+    r[cl + i] = static_cast<Limb>(d);
+    borrow = static_cast<Limb>((d >> kLimbBits) & 1);
+  }
+  return borrow;
+}
+
+int bn_cmp_words(const Limb* a, const Limb* b, int n) noexcept {
+  for (int i = n - 1; i >= 0; --i) {
+    if (a[i] != b[i]) return a[i] > b[i] ? 1 : -1;
+  }
+  return 0;
+}
+
+void bn_mul_normal(Limb* r, const Limb* a, int na, const Limb* b, int nb) noexcept {
+  std::memset(r, 0, static_cast<std::size_t>(na + nb) * sizeof(Limb));
+  for (int i = 0; i < na; ++i) {
+    DoubleLimb carry = 0;
+    const DoubleLimb ai = a[i];
+    for (int j = 0; j < nb; ++j) {
+      const DoubleLimb s = DoubleLimb{r[i + j]} + ai * b[j] + carry;
+      r[i + j] = static_cast<Limb>(s);
+      carry = s >> kLimbBits;
+    }
+    r[i + nb] = static_cast<Limb>(carry);
+  }
+}
+
+namespace {
+
+/// Adds `v` (n limbs) into r (propagating carry into r's remaining limbs up
+/// to limit).  Returns carry out of the limit.
+Limb add_into(Limb* r, const Limb* v, int n, int limit) noexcept {
+  DoubleLimb carry = 0;
+  int i = 0;
+  for (; i < n; ++i) {
+    const DoubleLimb s = DoubleLimb{r[i]} + v[i] + carry;
+    r[i] = static_cast<Limb>(s);
+    carry = s >> kLimbBits;
+  }
+  for (; carry != 0 && i < limit; ++i) {
+    const DoubleLimb s = DoubleLimb{r[i]} + carry;
+    r[i] = static_cast<Limb>(s);
+    carry = s >> kLimbBits;
+  }
+  return static_cast<Limb>(carry);
+}
+
+/// Subtracts `v` (n limbs) from r (propagating borrow up to limit).
+Limb sub_into(Limb* r, const Limb* v, int n, int limit) noexcept {
+  DoubleLimb borrow = 0;
+  int i = 0;
+  for (; i < n; ++i) {
+    const DoubleLimb d = DoubleLimb{r[i]} - v[i] - borrow;
+    r[i] = static_cast<Limb>(d);
+    borrow = (d >> kLimbBits) & 1;
+  }
+  for (; borrow != 0 && i < limit; ++i) {
+    const DoubleLimb d = DoubleLimb{r[i]} - borrow;
+    r[i] = static_cast<Limb>(d);
+    borrow = (d >> kLimbBits) & 1;
+  }
+  return static_cast<Limb>(borrow);
+}
+
+Limb call_sub_part_words(const KernelHooks* hooks, Limb* r, const Limb* a, const Limb* b,
+                         int cl, int dl) {
+  if (hooks != nullptr && hooks->sub_part_words) return hooks->sub_part_words(r, a, b, cl, dl);
+  return bn_sub_part_words(r, a, b, cl, dl);
+}
+
+}  // namespace
+
+void bn_mul_recursive(Limb* r, const Limb* a, const Limb* b, int n2, Limb* t,
+                      const KernelHooks* hooks) {
+  if (n2 <= kKaratsubaBase || (n2 & 1) != 0) {
+    bn_mul_normal(r, a, n2, b, n2);
+    return;
+  }
+  const int n = n2 / 2;
+
+  // Signs of (a0 - a1) and (b1 - b0); 0 when the halves are equal.
+  const int c1 = bn_cmp_words(a, a + n, n);
+  const int c2 = bn_cmp_words(b + n, b, n);
+
+  // Two successive bn_sub_part_words calls computing |a0 - a1| into t[0..n)
+  // and |b1 - b0| into t[n..2n) — the pair structure of LibreSSL's
+  // bn_mul_recursive that §5.2.3 of the paper identifies as SISC.  `neg`
+  // tracks the sign of the product (a0 - a1)(b1 - b0).
+  bool zero = false;
+  bool neg = false;
+  switch (c1 * 3 + c2) {
+    case -4:  // a0 < a1, b1 < b0
+      call_sub_part_words(hooks, t, a + n, a, n, 0);      // a1 - a0
+      call_sub_part_words(hooks, t + n, b, b + n, n, 0);  // b0 - b1
+      break;
+    case -3:  // a0 < a1, b1 == b0
+    case -2:  // a0 < a1, b1 > b0
+      call_sub_part_words(hooks, t, a + n, a, n, 0);      // a1 - a0
+      call_sub_part_words(hooks, t + n, b + n, b, n, 0);  // b1 - b0
+      neg = true;
+      break;
+    case -1:  // a0 == a1
+    case 0:
+    case 1:
+      zero = true;
+      // LibreSSL still issues the subtractions for constant-time-ish shape.
+      call_sub_part_words(hooks, t, a, a + n, n, 0);
+      call_sub_part_words(hooks, t + n, b + n, b, n, 0);
+      break;
+    case 2:  // a0 > a1, b1 < b0
+      call_sub_part_words(hooks, t, a, a + n, n, 0);      // a0 - a1
+      call_sub_part_words(hooks, t + n, b, b + n, n, 0);  // b0 - b1
+      neg = true;
+      break;
+    case 3:  // a0 > a1, b1 == b0
+    case 4:  // a0 > a1, b1 > b0
+      call_sub_part_words(hooks, t, a, a + n, n, 0);      // a0 - a1
+      call_sub_part_words(hooks, t + n, b + n, b, n, 0);  // b1 - b0
+      break;
+    default: break;
+  }
+  if (c1 == 0 || c2 == 0) zero = true;
+
+  // Recursive products:
+  //   r[0..n2)   = a0 * b0
+  //   r[n2..2n2) = a1 * b1
+  //   t[n2..2n2) = |a0 - a1| * |b1 - b0|
+  bn_mul_recursive(r, a, b, n, t + 2 * n2, hooks);
+  bn_mul_recursive(r + n2, a + n, b + n, n, t + 2 * n2, hooks);
+  if (!zero) {
+    bn_mul_recursive(t + n2, t, t + n, n, t + 2 * n2, hooks);
+  } else {
+    std::memset(t + n2, 0, static_cast<std::size_t>(n2) * sizeof(Limb));
+  }
+
+  // Combine: mid = a0b0 + a1b1 + sign * |a0-a1||b1-b0|, added at offset n.
+  // (a0b1 + a1b0 = a0b0 + a1b1 + (a0-a1)(b1-b0).)
+  std::vector<Limb> mid(static_cast<std::size_t>(n2) + 1, 0);
+  std::memcpy(mid.data(), r, static_cast<std::size_t>(n2) * sizeof(Limb));
+  mid[static_cast<std::size_t>(n2)] =
+      add_into(mid.data(), r + n2, n2, n2);  // a0b0 + a1b1
+  if (!zero) {
+    if (neg) {
+      sub_into(mid.data(), t + n2, n2, n2 + 1);
+    } else {
+      mid[static_cast<std::size_t>(n2)] += add_into(mid.data(), t + n2, n2, n2);
+    }
+  }
+  add_into(r + n, mid.data(), n2 + 1, 2 * n2 - n);
+}
+
+// --- BigNum --------------------------------------------------------------------
+
+BigNum::BigNum(std::uint64_t v) {
+  if (v != 0) {
+    limbs_.push_back(static_cast<Limb>(v));
+    if ((v >> kLimbBits) != 0) limbs_.push_back(static_cast<Limb>(v >> kLimbBits));
+  }
+}
+
+void BigNum::trim() noexcept {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+BigNum BigNum::from_limbs(std::vector<Limb> limbs) {
+  BigNum n;
+  n.limbs_ = std::move(limbs);
+  n.trim();
+  return n;
+}
+
+BigNum BigNum::from_hex(const std::string& hex) {
+  BigNum n;
+  if (hex.empty()) throw std::invalid_argument("BigNum::from_hex: empty string");
+  int shift = 0;
+  Limb current = 0;
+  for (auto it = hex.rbegin(); it != hex.rend(); ++it) {
+    const char c = *it;
+    Limb digit;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<Limb>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<Limb>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      digit = static_cast<Limb>(c - 'A' + 10);
+    } else {
+      throw std::invalid_argument("BigNum::from_hex: bad character");
+    }
+    current |= digit << shift;
+    shift += 4;
+    if (shift == kLimbBits) {
+      n.limbs_.push_back(current);
+      current = 0;
+      shift = 0;
+    }
+  }
+  if (current != 0) n.limbs_.push_back(current);
+  n.trim();
+  return n;
+}
+
+BigNum BigNum::from_bytes_be(const std::uint8_t* data, std::size_t len) {
+  BigNum n;
+  for (std::size_t i = 0; i < len; ++i) {
+    n = n.shift_left(8);
+    if (data[i] != 0 || !n.limbs_.empty()) {
+      if (n.limbs_.empty()) n.limbs_.push_back(0);
+      n.limbs_[0] |= data[i];
+    }
+  }
+  n.trim();
+  return n;
+}
+
+BigNum BigNum::random(std::function<std::uint64_t()> next_u64, int bits) {
+  if (bits <= 0) return BigNum();
+  const int limbs = (bits + kLimbBits - 1) / kLimbBits;
+  std::vector<Limb> v(static_cast<std::size_t>(limbs));
+  for (auto& l : v) l = static_cast<Limb>(next_u64());
+  // Mask to the requested width and force the top bit so bit_length == bits.
+  const int top_bits = bits - (limbs - 1) * kLimbBits;
+  Limb mask = top_bits == kLimbBits ? ~Limb{0} : ((Limb{1} << top_bits) - 1);
+  v.back() &= mask;
+  v.back() |= Limb{1} << (top_bits - 1);
+  return from_limbs(std::move(v));
+}
+
+std::string BigNum::to_hex() const {
+  if (limbs_.empty()) return "0";
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  for (auto it = limbs_.rbegin(); it != limbs_.rend(); ++it) {
+    for (int shift = kLimbBits - 4; shift >= 0; shift -= 4) {
+      out.push_back(kHex[(*it >> shift) & 0xF]);
+    }
+  }
+  const std::size_t nz = out.find_first_not_of('0');
+  return nz == std::string::npos ? "0" : out.substr(nz);
+}
+
+int BigNum::bit_length() const noexcept {
+  if (limbs_.empty()) return 0;
+  return static_cast<int>(limbs_.size() - 1) * kLimbBits +
+         (kLimbBits - std::countl_zero(limbs_.back()));
+}
+
+bool BigNum::bit(int i) const noexcept {
+  const auto limb = static_cast<std::size_t>(i / kLimbBits);
+  if (limb >= limbs_.size()) return false;
+  return (limbs_[limb] >> (i % kLimbBits)) & 1;
+}
+
+std::uint64_t BigNum::to_u64() const noexcept {
+  std::uint64_t v = 0;
+  if (!limbs_.empty()) v = limbs_[0];
+  if (limbs_.size() > 1) v |= std::uint64_t{limbs_[1]} << kLimbBits;
+  return v;
+}
+
+int BigNum::compare(const BigNum& other) const noexcept {
+  if (limbs_.size() != other.limbs_.size()) {
+    return limbs_.size() > other.limbs_.size() ? 1 : -1;
+  }
+  if (limbs_.empty()) return 0;
+  return bn_cmp_words(limbs_.data(), other.limbs_.data(), static_cast<int>(limbs_.size()));
+}
+
+BigNum BigNum::add(const BigNum& other) const {
+  const auto n = std::max(limbs_.size(), other.limbs_.size());
+  std::vector<Limb> r(n + 1, 0);
+  DoubleLimb carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const DoubleLimb s = carry + (i < limbs_.size() ? limbs_[i] : 0) +
+                         (i < other.limbs_.size() ? other.limbs_[i] : 0);
+    r[i] = static_cast<Limb>(s);
+    carry = s >> kLimbBits;
+  }
+  r[n] = static_cast<Limb>(carry);
+  return from_limbs(std::move(r));
+}
+
+BigNum BigNum::sub(const BigNum& other) const {
+  if (compare(other) < 0) throw std::underflow_error("BigNum::sub: negative result");
+  std::vector<Limb> r(limbs_.size(), 0);
+  DoubleLimb borrow = 0;
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    const DoubleLimb d =
+        DoubleLimb{limbs_[i]} - (i < other.limbs_.size() ? other.limbs_[i] : 0) - borrow;
+    r[i] = static_cast<Limb>(d);
+    borrow = (d >> kLimbBits) & 1;
+  }
+  return from_limbs(std::move(r));
+}
+
+BigNum BigNum::shift_left(int bits) const {
+  if (limbs_.empty() || bits == 0) return *this;
+  const int limb_shift = bits / kLimbBits;
+  const int bit_shift = bits % kLimbBits;
+  std::vector<Limb> r(limbs_.size() + static_cast<std::size_t>(limb_shift) + 1, 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    const std::size_t j = i + static_cast<std::size_t>(limb_shift);
+    r[j] |= bit_shift == 0 ? limbs_[i] : (limbs_[i] << bit_shift);
+    if (bit_shift != 0) r[j + 1] |= limbs_[i] >> (kLimbBits - bit_shift);
+  }
+  return from_limbs(std::move(r));
+}
+
+BigNum BigNum::shift_right(int bits) const {
+  const int limb_shift = bits / kLimbBits;
+  const int bit_shift = bits % kLimbBits;
+  if (static_cast<std::size_t>(limb_shift) >= limbs_.size()) return BigNum();
+  std::vector<Limb> r(limbs_.size() - static_cast<std::size_t>(limb_shift), 0);
+  for (std::size_t i = 0; i < r.size(); ++i) {
+    const std::size_t j = i + static_cast<std::size_t>(limb_shift);
+    r[i] = bit_shift == 0 ? limbs_[j] : (limbs_[j] >> bit_shift);
+    if (bit_shift != 0 && j + 1 < limbs_.size()) {
+      r[i] |= limbs_[j + 1] << (kLimbBits - bit_shift);
+    }
+  }
+  return from_limbs(std::move(r));
+}
+
+BigNum BigNum::mul(const BigNum& other, const KernelHooks* hooks) const {
+  if (is_zero() || other.is_zero()) return BigNum();
+
+  const std::size_t max_len = std::max(limbs_.size(), other.limbs_.size());
+  if (max_len > kKaratsubaBase) {
+    // Pad both operands to the next power of two and run Karatsuba with the
+    // LibreSSL recursion (and its hookable bn_sub_part_words pairs).
+    const auto n2 = static_cast<std::size_t>(std::bit_ceil(max_len));
+    std::vector<Limb> a(n2, 0);
+    std::vector<Limb> b(n2, 0);
+    std::copy(limbs_.begin(), limbs_.end(), a.begin());
+    std::copy(other.limbs_.begin(), other.limbs_.end(), b.begin());
+    std::vector<Limb> r(2 * n2, 0);
+    std::vector<Limb> t(4 * n2, 0);
+    bn_mul_recursive(r.data(), a.data(), b.data(), static_cast<int>(n2), t.data(), hooks);
+    return from_limbs(std::move(r));
+  }
+
+  std::vector<Limb> r(limbs_.size() + other.limbs_.size(), 0);
+  bn_mul_normal(r.data(), limbs_.data(), static_cast<int>(limbs_.size()), other.limbs_.data(),
+                static_cast<int>(other.limbs_.size()));
+  return from_limbs(std::move(r));
+}
+
+DivMod BigNum::divmod(const BigNum& divisor) const {
+  if (divisor.is_zero()) throw std::domain_error("BigNum: division by zero");
+  if (compare(divisor) < 0) return {BigNum(), *this};
+  if (divisor.limbs_.size() == 1) {
+    // Single-limb fast path.
+    const Limb d = divisor.limbs_[0];
+    std::vector<Limb> q(limbs_.size(), 0);
+    DoubleLimb rem = 0;
+    for (std::size_t i = limbs_.size(); i-- > 0;) {
+      const DoubleLimb cur = (rem << kLimbBits) | limbs_[i];
+      q[i] = static_cast<Limb>(cur / d);
+      rem = cur % d;
+    }
+    return {from_limbs(std::move(q)), BigNum(static_cast<std::uint64_t>(rem))};
+  }
+
+  // Knuth Algorithm D.  Normalise so the divisor's top limb has its high bit
+  // set, then estimate quotient digits limb by limb.
+  const int shift = std::countl_zero(divisor.limbs_.back());
+  const BigNum u = shift_left(shift);
+  const BigNum v = divisor.shift_left(shift);
+  const auto n = static_cast<int>(v.limbs_.size());
+  const auto m = static_cast<int>(u.limbs_.size()) - n;
+
+  std::vector<Limb> un(u.limbs_);
+  un.push_back(0);  // room for the virtual high limb
+  const std::vector<Limb>& vn = v.limbs_;
+  std::vector<Limb> q(static_cast<std::size_t>(m) + 1, 0);
+
+  for (int j = m; j >= 0; --j) {
+    const DoubleLimb top =
+        (DoubleLimb{un[static_cast<std::size_t>(j + n)]} << kLimbBits) |
+        un[static_cast<std::size_t>(j + n - 1)];
+    DoubleLimb qhat = top / vn[static_cast<std::size_t>(n - 1)];
+    DoubleLimb rhat = top % vn[static_cast<std::size_t>(n - 1)];
+    while (qhat >= (DoubleLimb{1} << kLimbBits) ||
+           qhat * vn[static_cast<std::size_t>(n - 2)] >
+               ((rhat << kLimbBits) | un[static_cast<std::size_t>(j + n - 2)])) {
+      --qhat;
+      rhat += vn[static_cast<std::size_t>(n - 1)];
+      if (rhat >= (DoubleLimb{1} << kLimbBits)) break;
+    }
+
+    // Multiply-subtract qhat * v from u[j .. j+n].
+    DoubleLimb borrow = 0;
+    DoubleLimb carry = 0;
+    for (int i = 0; i < n; ++i) {
+      const DoubleLimb p = qhat * vn[static_cast<std::size_t>(i)] + carry;
+      carry = p >> kLimbBits;
+      const DoubleLimb d =
+          DoubleLimb{un[static_cast<std::size_t>(j + i)]} - static_cast<Limb>(p) - borrow;
+      un[static_cast<std::size_t>(j + i)] = static_cast<Limb>(d);
+      borrow = (d >> kLimbBits) & 1;
+    }
+    const DoubleLimb d = DoubleLimb{un[static_cast<std::size_t>(j + n)]} - carry - borrow;
+    un[static_cast<std::size_t>(j + n)] = static_cast<Limb>(d);
+
+    if ((d >> kLimbBits) & 1) {
+      // qhat was one too large: add v back.
+      --qhat;
+      DoubleLimb c = 0;
+      for (int i = 0; i < n; ++i) {
+        const DoubleLimb s =
+            DoubleLimb{un[static_cast<std::size_t>(j + i)]} + vn[static_cast<std::size_t>(i)] + c;
+        un[static_cast<std::size_t>(j + i)] = static_cast<Limb>(s);
+        c = s >> kLimbBits;
+      }
+      un[static_cast<std::size_t>(j + n)] = static_cast<Limb>(un[static_cast<std::size_t>(j + n)] + c);
+    }
+    q[static_cast<std::size_t>(j)] = static_cast<Limb>(qhat);
+  }
+
+  BigNum quotient = from_limbs(std::move(q));
+  un.resize(static_cast<std::size_t>(n));
+  BigNum remainder = from_limbs(std::move(un)).shift_right(shift);
+  return {std::move(quotient), std::move(remainder)};
+}
+
+BigNum BigNum::mod(const BigNum& modulus) const { return divmod(modulus).remainder; }
+
+BigNum BigNum::modexp(const BigNum& exponent, const BigNum& modulus,
+                      const KernelHooks* hooks) const {
+  if (modulus.is_zero()) throw std::domain_error("BigNum::modexp: zero modulus");
+  BigNum result(1);
+  result = result.mod(modulus);
+  BigNum base = mod(modulus);
+  const int bits = exponent.bit_length();
+  for (int i = bits - 1; i >= 0; --i) {
+    result = result.mul(result, hooks).mod(modulus);
+    if (exponent.bit(i)) {
+      result = result.mul(base, hooks).mod(modulus);
+    }
+  }
+  return result;
+}
+
+}  // namespace bignum

@@ -1,0 +1,133 @@
+// Arbitrary-precision arithmetic with LibreSSL-shaped internals.
+//
+// The Glamdring experiment of the paper (§5.2.3) partitions LibreSSL and
+// ends up with `bn_sub_part_words` behind an ecall, called in pairs by the
+// Karatsuba routine `bn_mul_recursive` — the SISC anti-pattern sgx-perf
+// detects.  To reproduce that emergently, this module implements real
+// multi-precision arithmetic with the same kernel structure: a portable
+// `bn_sub_part_words`, a recursive Karatsuba `bn_mul_recursive` that issues
+// exactly two successive `bn_sub_part_words` calls per recursion step (via a
+// hookable indirection so the workload can route them through an enclave),
+// schoolbook multiplication, Knuth-D division and modular exponentiation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace bignum {
+
+using Limb = std::uint32_t;
+using DoubleLimb = std::uint64_t;
+
+inline constexpr int kLimbBits = 32;
+
+// --- low-level kernels (LibreSSL bn_asm-style, little-endian limb arrays) ---
+
+/// r = a + b over n limbs; returns the carry out (0/1).
+Limb bn_add_words(Limb* r, const Limb* a, const Limb* b, int n) noexcept;
+
+/// r = a - b over n limbs; returns the borrow out (0/1).
+Limb bn_sub_words(Limb* r, const Limb* a, const Limb* b, int n) noexcept;
+
+/// LibreSSL's ragged-tail subtraction: r = a - b where a has cl+dl limbs and
+/// b has cl limbs when dl > 0 (or a has cl and b has cl-dl... the SDK keeps
+/// the general form; here dl >= 0 means a is longer by dl limbs, dl < 0
+/// means b is longer by -dl limbs).  Returns the borrow out.
+Limb bn_sub_part_words(Limb* r, const Limb* a, const Limb* b, int cl, int dl) noexcept;
+
+/// Compares two n-limb numbers: -1, 0 or 1.
+int bn_cmp_words(const Limb* a, const Limb* b, int n) noexcept;
+
+/// Schoolbook product: r[0..na+nb) = a[0..na) * b[0..nb).  r must not alias.
+void bn_mul_normal(Limb* r, const Limb* a, int na, const Limb* b, int nb) noexcept;
+
+/// Hook for routing `bn_sub_part_words` call sites (e.g. through an enclave).
+/// Also counts invocations in instrumentation scenarios.
+struct KernelHooks {
+  std::function<Limb(Limb* r, const Limb* a, const Limb* b, int cl, int dl)> sub_part_words;
+};
+
+/// Karatsuba product of two n2-limb numbers (n2 a power of two >= 2):
+/// r[0..2*n2) = a * b, using t[0..2*n2) as scratch.  Each recursion step
+/// issues two successive bn_sub_part_words calls (through `hooks` when its
+/// sub_part_words member is set), mirroring LibreSSL's structure:
+///
+///   switch (c1 * 3 + c2) {
+///     case -4: bn_sub_part_words(t, &a[n], a, ...);      // a1 - a0
+///              bn_sub_part_words(&t[n], b, &b[n], ...);  // b0 - b1
+///     ...
+///   }
+void bn_mul_recursive(Limb* r, const Limb* a, const Limb* b, int n2, Limb* t,
+                      const KernelHooks* hooks = nullptr);
+
+/// Limbs below which bn_mul_recursive falls back to bn_mul_normal.
+inline constexpr int kKaratsubaBase = 8;
+
+// --- the BigNum value type ----------------------------------------------------
+
+struct DivMod;
+
+/// Unsigned arbitrary-precision integer (the workloads need no negatives at
+/// the value level; sign handling lives inside the Karatsuba kernels).
+class BigNum {
+ public:
+  BigNum() = default;
+  explicit BigNum(std::uint64_t v);
+
+  /// Parses lowercase/uppercase hex (no 0x prefix).  Throws on bad input.
+  static BigNum from_hex(const std::string& hex);
+  /// Builds from big-endian bytes (e.g. a SHA-256 digest).
+  static BigNum from_bytes_be(const std::uint8_t* data, std::size_t len);
+  /// `bits` pseudo-random bits from the caller's generator (top bit set).
+  static BigNum random(std::function<std::uint64_t()> next_u64, int bits);
+
+  [[nodiscard]] std::string to_hex() const;
+  [[nodiscard]] bool is_zero() const noexcept { return limbs_.empty(); }
+  [[nodiscard]] bool is_odd() const noexcept { return !limbs_.empty() && (limbs_[0] & 1); }
+  [[nodiscard]] int bit_length() const noexcept;
+  [[nodiscard]] bool bit(int i) const noexcept;
+  [[nodiscard]] std::size_t limb_count() const noexcept { return limbs_.size(); }
+  [[nodiscard]] std::uint64_t to_u64() const noexcept;  // low 64 bits
+
+  [[nodiscard]] int compare(const BigNum& other) const noexcept;
+  bool operator==(const BigNum& other) const noexcept { return compare(other) == 0; }
+  bool operator<(const BigNum& other) const noexcept { return compare(other) < 0; }
+  bool operator<=(const BigNum& other) const noexcept { return compare(other) <= 0; }
+  bool operator>(const BigNum& other) const noexcept { return compare(other) > 0; }
+
+  [[nodiscard]] BigNum add(const BigNum& other) const;
+  /// this - other; requires this >= other (throws std::underflow_error).
+  [[nodiscard]] BigNum sub(const BigNum& other) const;
+  [[nodiscard]] BigNum shift_left(int bits) const;
+  [[nodiscard]] BigNum shift_right(int bits) const;
+
+  /// Product; routed through bn_mul_recursive for large operands (optionally
+  /// via `hooks`), bn_mul_normal otherwise.
+  [[nodiscard]] BigNum mul(const BigNum& other, const KernelHooks* hooks = nullptr) const;
+
+  /// Quotient and remainder (Knuth Algorithm D).  Throws on division by zero.
+  [[nodiscard]] DivMod divmod(const BigNum& divisor) const;
+  [[nodiscard]] BigNum mod(const BigNum& modulus) const;
+
+  /// this^exponent mod modulus, square-and-multiply; multiplications are
+  /// routed through `hooks` so workloads can enclave them.
+  [[nodiscard]] BigNum modexp(const BigNum& exponent, const BigNum& modulus,
+                              const KernelHooks* hooks = nullptr) const;
+
+  [[nodiscard]] const std::vector<Limb>& limbs() const noexcept { return limbs_; }
+
+ private:
+  void trim() noexcept;
+  static BigNum from_limbs(std::vector<Limb> limbs);
+
+  std::vector<Limb> limbs_;  // little-endian, trimmed (no leading zeros)
+};
+
+struct DivMod {
+  BigNum quotient;
+  BigNum remainder;
+};
+
+}  // namespace bignum

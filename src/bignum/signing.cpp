@@ -1,0 +1,49 @@
+#include "bignum/signing.hpp"
+
+#include "crypto/sha256.hpp"
+#include "support/rng.hpp"
+#include "support/strutil.hpp"
+
+namespace bignum {
+
+std::string Certificate::serialize() const {
+  return support::format("subject=%s;issuer=%s;serial=%llu;nb=%llu;na=%llu;pk=%s",
+                         subject.c_str(), issuer.c_str(),
+                         static_cast<unsigned long long>(serial),
+                         static_cast<unsigned long long>(not_before),
+                         static_cast<unsigned long long>(not_after), public_key_hex.c_str());
+}
+
+Signer::Signer(std::uint64_t seed, int modulus_bits, int exponent_bits) {
+  support::Rng rng(seed);
+  auto next = [&rng] { return rng.next_u64(); };
+  n_ = BigNum::random(next, modulus_bits);
+  if (!n_.is_odd()) n_ = n_.add(BigNum(1));
+  d_ = BigNum::random(next, exponent_bits);
+}
+
+BigNum Signer::sign(const Certificate& cert, const KernelHooks* hooks) const {
+  const std::string body = cert.serialize();
+  const crypto::Sha256Digest digest = crypto::sha256(body);
+  const BigNum h = BigNum::from_bytes_be(digest.data(), digest.size());
+  return h.modexp(d_, n_, hooks);
+}
+
+bool Signer::check(const Certificate& cert, const BigNum& signature,
+                   const KernelHooks* hooks) const {
+  return sign(cert, hooks) == signature;
+}
+
+Certificate make_test_certificate(std::uint64_t seed, std::uint64_t index) {
+  support::Rng rng(seed ^ (index * 0x9E3779B97F4A7C15ull));
+  Certificate cert;
+  cert.subject = "CN=host-" + rng.next_string(12) + ".example.com";
+  cert.issuer = "CN=Repro Test CA";
+  cert.serial = index;
+  cert.not_before = 1'600'000'000 + index;
+  cert.not_after = cert.not_before + 86'400 * 365;
+  cert.public_key_hex = rng.next_string(64);
+  return cert;
+}
+
+}  // namespace bignum

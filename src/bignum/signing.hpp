@@ -1,0 +1,59 @@
+// Certificate signing on top of the bignum library — the workload of the
+// paper's Glamdring experiment (§5.2.3: "the signing benchmark of the paper
+// (signing certificates) ... tries to sign as many certificates as
+// possible").
+//
+// The signature primitive is an RSA-style modular exponentiation of the
+// certificate's SHA-256 digest with a private exponent d modulo n.  Key
+// material is generated deterministically from a seed (no primality needed
+// for a performance workload; the arithmetic shape — modexp via Karatsuba —
+// is what matters).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "bignum/bignum.hpp"
+
+namespace bignum {
+
+/// A toy X.509-ish certificate body.
+struct Certificate {
+  std::string subject;
+  std::string issuer;
+  std::uint64_t serial = 0;
+  std::uint64_t not_before = 0;
+  std::uint64_t not_after = 0;
+  std::string public_key_hex;
+
+  /// Canonical byte serialisation (what gets hashed and signed).
+  [[nodiscard]] std::string serialize() const;
+};
+
+class Signer {
+ public:
+  /// Deterministic "key": `modulus_bits` odd modulus and an exponent of
+  /// `exponent_bits` bits derived from `seed`.
+  Signer(std::uint64_t seed, int modulus_bits = 1024, int exponent_bits = 64);
+
+  /// Signs the certificate: modexp(SHA-256(cert), d, n).  Multiplications
+  /// inside the modexp are routed through `hooks` when provided — this is
+  /// the seam the Glamdring workload uses to place bn kernels in an enclave.
+  [[nodiscard]] BigNum sign(const Certificate& cert, const KernelHooks* hooks = nullptr) const;
+
+  /// Recomputes the signature and compares (stand-in for verification).
+  [[nodiscard]] bool check(const Certificate& cert, const BigNum& signature,
+                           const KernelHooks* hooks = nullptr) const;
+
+  [[nodiscard]] const BigNum& modulus() const noexcept { return n_; }
+  [[nodiscard]] const BigNum& exponent() const noexcept { return d_; }
+
+ private:
+  BigNum n_;
+  BigNum d_;
+};
+
+/// Deterministically generates the i-th test certificate.
+[[nodiscard]] Certificate make_test_certificate(std::uint64_t seed, std::uint64_t index);
+
+}  // namespace bignum

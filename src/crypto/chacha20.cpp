@@ -1,0 +1,85 @@
+#include "crypto/chacha20.hpp"
+
+#include <cstring>
+
+namespace crypto {
+namespace {
+
+constexpr std::uint32_t rotl(std::uint32_t x, int n) noexcept {
+  return (x << n) | (x >> (32 - n));
+}
+
+void quarter_round(std::array<std::uint32_t, 16>& s, int a, int b, int c, int d) noexcept {
+  auto& A = s[static_cast<std::size_t>(a)];
+  auto& B = s[static_cast<std::size_t>(b)];
+  auto& C = s[static_cast<std::size_t>(c)];
+  auto& D = s[static_cast<std::size_t>(d)];
+  A += B; D ^= A; D = rotl(D, 16);
+  C += D; B ^= C; B = rotl(B, 12);
+  A += B; D ^= A; D = rotl(D, 8);
+  C += D; B ^= C; B = rotl(B, 7);
+}
+
+std::uint32_t load_le32(const std::uint8_t* p) noexcept {
+  return std::uint32_t{p[0]} | (std::uint32_t{p[1]} << 8) | (std::uint32_t{p[2]} << 16) |
+         (std::uint32_t{p[3]} << 24);
+}
+
+}  // namespace
+
+ChaCha20::ChaCha20(const ChaChaKey& key, const ChaChaNonce& nonce,
+                   std::uint32_t counter) noexcept {
+  state_[0] = 0x61707865;
+  state_[1] = 0x3320646e;
+  state_[2] = 0x79622d32;
+  state_[3] = 0x6b206574;
+  for (int i = 0; i < 8; ++i) state_[static_cast<std::size_t>(4 + i)] = load_le32(key.data() + i * 4);
+  state_[12] = counter;
+  for (int i = 0; i < 3; ++i) state_[static_cast<std::size_t>(13 + i)] = load_le32(nonce.data() + i * 4);
+}
+
+void ChaCha20::refill() noexcept {
+  std::array<std::uint32_t, 16> w = state_;
+  for (int round = 0; round < 10; ++round) {
+    quarter_round(w, 0, 4, 8, 12);
+    quarter_round(w, 1, 5, 9, 13);
+    quarter_round(w, 2, 6, 10, 14);
+    quarter_round(w, 3, 7, 11, 15);
+    quarter_round(w, 0, 5, 10, 15);
+    quarter_round(w, 1, 6, 11, 12);
+    quarter_round(w, 2, 7, 8, 13);
+    quarter_round(w, 3, 4, 9, 14);
+  }
+  for (int i = 0; i < 16; ++i) {
+    const std::uint32_t v = w[static_cast<std::size_t>(i)] + state_[static_cast<std::size_t>(i)];
+    keystream_[static_cast<std::size_t>(i * 4)] = static_cast<std::uint8_t>(v);
+    keystream_[static_cast<std::size_t>(i * 4 + 1)] = static_cast<std::uint8_t>(v >> 8);
+    keystream_[static_cast<std::size_t>(i * 4 + 2)] = static_cast<std::uint8_t>(v >> 16);
+    keystream_[static_cast<std::size_t>(i * 4 + 3)] = static_cast<std::uint8_t>(v >> 24);
+  }
+  ++state_[12];
+  keystream_pos_ = 0;
+}
+
+void ChaCha20::crypt(std::uint8_t* data, std::size_t len) noexcept {
+  for (std::size_t i = 0; i < len; ++i) {
+    if (keystream_pos_ == keystream_.size()) refill();
+    data[i] ^= keystream_[keystream_pos_++];
+  }
+}
+
+void chacha20_crypt(const ChaChaKey& key, const ChaChaNonce& nonce, std::uint32_t counter,
+                    std::uint8_t* data, std::size_t len) noexcept {
+  ChaCha20 c(key, nonce, counter);
+  c.crypt(data, len);
+}
+
+std::vector<std::uint8_t> chacha20_crypt(const ChaChaKey& key, const ChaChaNonce& nonce,
+                                         std::uint32_t counter,
+                                         const std::vector<std::uint8_t>& data) {
+  std::vector<std::uint8_t> out = data;
+  chacha20_crypt(key, nonce, counter, out.data(), out.size());
+  return out;
+}
+
+}  // namespace crypto

@@ -1,0 +1,43 @@
+// ChaCha20 stream cipher (RFC 8439).
+//
+// Used as the payload cipher in the SecureKeeper-like proxy and the
+// record-layer cipher in the minissl TLS stand-in.  (EPC page encryption is
+// modelled as a cost in sgxsim::CostModel rather than performed.)
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace crypto {
+
+using ChaChaKey = std::array<std::uint8_t, 32>;
+using ChaChaNonce = std::array<std::uint8_t, 12>;
+
+class ChaCha20 {
+ public:
+  ChaCha20(const ChaChaKey& key, const ChaChaNonce& nonce, std::uint32_t counter = 0) noexcept;
+
+  /// XORs the keystream into `data` in place (encrypt == decrypt).
+  void crypt(std::uint8_t* data, std::size_t len) noexcept;
+
+ private:
+  void refill() noexcept;
+
+  std::array<std::uint32_t, 16> state_{};
+  std::array<std::uint8_t, 64> keystream_{};
+  std::size_t keystream_pos_ = 64;  // empty
+};
+
+/// One-shot in-place encryption/decryption.
+void chacha20_crypt(const ChaChaKey& key, const ChaChaNonce& nonce, std::uint32_t counter,
+                    std::uint8_t* data, std::size_t len) noexcept;
+
+/// One-shot over a vector, returning the transformed copy.
+[[nodiscard]] std::vector<std::uint8_t> chacha20_crypt(const ChaChaKey& key,
+                                                       const ChaChaNonce& nonce,
+                                                       std::uint32_t counter,
+                                                       const std::vector<std::uint8_t>& data);
+
+}  // namespace crypto

@@ -1,0 +1,46 @@
+#include "crypto/hmac.hpp"
+
+#include <array>
+#include <cstring>
+
+namespace crypto {
+
+Sha256Digest hmac_sha256(const void* key, std::size_t key_len, const void* msg,
+                         std::size_t msg_len) noexcept {
+  std::array<std::uint8_t, 64> block{};
+  if (key_len > block.size()) {
+    const Sha256Digest kd = sha256(key, key_len);
+    std::memcpy(block.data(), kd.data(), kd.size());
+  } else {
+    std::memcpy(block.data(), key, key_len);
+  }
+
+  std::array<std::uint8_t, 64> ipad{};
+  std::array<std::uint8_t, 64> opad{};
+  for (std::size_t i = 0; i < block.size(); ++i) {
+    ipad[i] = static_cast<std::uint8_t>(block[i] ^ 0x36);
+    opad[i] = static_cast<std::uint8_t>(block[i] ^ 0x5c);
+  }
+
+  Sha256 inner;
+  inner.update(ipad.data(), ipad.size());
+  inner.update(msg, msg_len);
+  const Sha256Digest inner_digest = inner.finish();
+
+  Sha256 outer;
+  outer.update(opad.data(), opad.size());
+  outer.update(inner_digest.data(), inner_digest.size());
+  return outer.finish();
+}
+
+Sha256Digest hmac_sha256(std::string_view key, std::string_view msg) noexcept {
+  return hmac_sha256(key.data(), key.size(), msg.data(), msg.size());
+}
+
+bool digest_equal(const Sha256Digest& a, const Sha256Digest& b) noexcept {
+  std::uint8_t acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc = static_cast<std::uint8_t>(acc | (a[i] ^ b[i]));
+  return acc == 0;
+}
+
+}  // namespace crypto

@@ -1,0 +1,23 @@
+// HMAC-SHA-256 (RFC 2104) and constant-time comparison.
+//
+// Used for record integrity in minissl and payload integrity in minikv —
+// mirroring SecureKeeper's authenticated encryption of ZooKeeper payloads.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "crypto/sha256.hpp"
+
+namespace crypto {
+
+[[nodiscard]] Sha256Digest hmac_sha256(const void* key, std::size_t key_len, const void* msg,
+                                       std::size_t msg_len) noexcept;
+
+[[nodiscard]] Sha256Digest hmac_sha256(std::string_view key, std::string_view msg) noexcept;
+
+/// Constant-time equality of two digests.
+[[nodiscard]] bool digest_equal(const Sha256Digest& a, const Sha256Digest& b) noexcept;
+
+}  // namespace crypto

@@ -1,0 +1,48 @@
+// SHA-256 (FIPS 180-4).
+//
+// Used for the simulated enclave measurement (MRENCLAVE-like hash over the
+// enclave layout), for HMAC, and for the bignum "certificate signing"
+// workload (sign = modexp(SHA-256(cert), d, n)).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace crypto {
+
+using Sha256Digest = std::array<std::uint8_t, 32>;
+
+/// Incremental SHA-256.
+class Sha256 {
+ public:
+  Sha256() noexcept { reset(); }
+
+  void reset() noexcept;
+  void update(const void* data, std::size_t len) noexcept;
+  void update(std::string_view s) noexcept { update(s.data(), s.size()); }
+  /// Finalises and returns the digest.  The object must be reset() before
+  /// further use.
+  [[nodiscard]] Sha256Digest finish() noexcept;
+
+ private:
+  void process_block(const std::uint8_t* block) noexcept;
+
+  std::array<std::uint32_t, 8> state_{};
+  std::array<std::uint8_t, 64> buffer_{};
+  std::uint64_t total_len_ = 0;
+  std::size_t buffer_len_ = 0;
+};
+
+/// One-shot convenience.
+[[nodiscard]] Sha256Digest sha256(const void* data, std::size_t len) noexcept;
+[[nodiscard]] Sha256Digest sha256(std::string_view s) noexcept;
+[[nodiscard]] Sha256Digest sha256(const std::vector<std::uint8_t>& v) noexcept;
+
+/// Lowercase hex encoding of a digest.
+[[nodiscard]] std::string to_hex(const Sha256Digest& d);
+
+}  // namespace crypto

@@ -1,0 +1,88 @@
+// Glamdring-partitioned LibreSSL signing (§5.2.3).
+//
+// Glamdring statically slices an application at the functions that touch
+// sensitive data.  For LibreSSL's signer this produced a partitioning where
+// the low-level kernel `bn_sub_part_words` landed *inside* the enclave while
+// its caller `bn_mul_recursive` stayed outside — so every Karatsuba step
+// issues a pair of ecalls whose work is shorter than the transition: the
+// SISC anti-pattern sgx-perf flags.  The fix the paper applies (moving
+// `bn_mul_recursive` inside, one ecall per multiplication) is the kOptimized
+// variant; 2.16x on the unpatched machine, more with Spectre/L1TF microcode.
+//
+// Three builds of the same signer:
+//   kNative      — no enclave at all
+//   kPartitioned — Glamdring's output: bn_sub_part_words behind an ecall
+//   kOptimized   — bn_mul_recursive moved inside (sgx-perf's recommendation)
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "bignum/signing.hpp"
+#include "sgxsim/runtime.hpp"
+
+namespace glamdring {
+
+enum class Variant { kNative, kPartitioned, kOptimized };
+
+[[nodiscard]] const char* to_string(Variant v) noexcept;
+
+extern const char* const kGlamdringEdl;
+
+/// Virtual-time costs of the signing computation itself (identical hardware
+/// inside and outside the enclave; only the transitions differ between
+/// variants).  Calibrated so the native signer lands near the paper's
+/// 145 signs/s on this machine class.
+struct SignCosts {
+  support::Nanoseconds per_sub_part_words_ns = 400;  // one kernel invocation
+  support::Nanoseconds per_mul_ns = 20'000;          // Karatsuba bookkeeping + base muls
+  support::Nanoseconds per_divmod_ns = 25'000;       // Knuth-D reduction
+  support::Nanoseconds per_sign_setup_ns = 25'000;   // hashing, certificate encode
+};
+
+/// The certificate-signing benchmark of §5.2.3 in a chosen variant.
+class SigningBenchmark {
+ public:
+  SigningBenchmark(sgxsim::Urts& urts, Variant variant, std::uint64_t key_seed = 1234,
+                   SignCosts costs = {});
+  ~SigningBenchmark();
+
+  SigningBenchmark(const SigningBenchmark&) = delete;
+  SigningBenchmark& operator=(const SigningBenchmark&) = delete;
+
+  /// Signs test certificate `index`; the result is identical across
+  /// variants (the partitioning must not change the math).
+  [[nodiscard]] bignum::BigNum sign(std::uint64_t index);
+
+  struct Result {
+    std::uint64_t signs = 0;
+    support::Nanoseconds elapsed_ns = 0;
+    double signs_per_s = 0.0;
+  };
+  /// Signs certificates until `virtual_duration` has elapsed (the paper's
+  /// 30-second benchmark loop).
+  [[nodiscard]] Result run_for(support::Nanoseconds virtual_duration);
+
+  [[nodiscard]] Variant variant() const noexcept { return variant_; }
+  /// 0 for the native variant.
+  [[nodiscard]] sgxsim::EnclaveId enclave_id() const noexcept { return eid_; }
+  [[nodiscard]] const bignum::Signer& signer() const noexcept { return signer_; }
+
+ private:
+  struct TrustedState;
+
+  /// One modular multiplication routed according to the variant.
+  [[nodiscard]] bignum::BigNum mod_mul(const bignum::BigNum& a, const bignum::BigNum& b,
+                                       const bignum::BigNum& n);
+
+  sgxsim::Urts& urts_;
+  Variant variant_;
+  SignCosts costs_;
+  bignum::Signer signer_;
+  sgxsim::EnclaveId eid_ = 0;
+  sgxsim::OcallTable table_;
+  std::unique_ptr<TrustedState> trusted_;
+  std::uint64_t signs_done_ = 0;
+};
+
+}  // namespace glamdring

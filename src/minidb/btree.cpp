@@ -1,0 +1,278 @@
+#include "minidb/btree.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+namespace minidb {
+
+namespace {
+
+constexpr std::uint8_t kLeafType = 1;
+constexpr std::uint8_t kInteriorType = 2;
+
+void put_u16(std::vector<std::uint8_t>& buf, std::size_t& off, std::uint16_t v) {
+  buf[off++] = static_cast<std::uint8_t>(v);
+  buf[off++] = static_cast<std::uint8_t>(v >> 8);
+}
+
+void put_u32(std::vector<std::uint8_t>& buf, std::size_t& off, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf[off++] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint16_t get_u16(const std::vector<std::uint8_t>& buf, std::size_t& off) {
+  const std::uint16_t v =
+      static_cast<std::uint16_t>(buf[off] | (std::uint16_t{buf[off + 1]} << 8));
+  off += 2;
+  return v;
+}
+
+std::uint32_t get_u32(const std::vector<std::uint8_t>& buf, std::size_t& off) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= std::uint32_t{buf[off + static_cast<std::size_t>(i)]} << (8 * i);
+  off += 4;
+  return v;
+}
+
+void put_bytes(std::vector<std::uint8_t>& buf, std::size_t& off, const std::string& s) {
+  std::memcpy(buf.data() + off, s.data(), s.size());
+  off += s.size();
+}
+
+std::string get_bytes(const std::vector<std::uint8_t>& buf, std::size_t& off, std::size_t n) {
+  std::string s(reinterpret_cast<const char*>(buf.data() + off), n);
+  off += n;
+  return s;
+}
+
+}  // namespace
+
+BTree::BTree(Pager& pager, PageNo root) : pager_(pager), root_(root) {
+  if (root_ == 0) {
+    root_ = pager_.allocate_page();
+    store(root_, Node{});  // empty leaf
+  }
+}
+
+BTree::Node BTree::load(PageNo pgno) {
+  const auto& page = pager_.read_page(pgno);
+  Node node;
+  std::size_t off = 0;
+  const std::uint8_t type = page[off++];
+  std::size_t off2 = off;
+  const std::uint16_t n = get_u16(page, off2);
+  off = off2;
+  if (type == kInteriorType) {
+    node.leaf = false;
+    node.keys.reserve(n);
+    node.children.reserve(static_cast<std::size_t>(n) + 1);
+    for (std::uint16_t i = 0; i < n; ++i) {
+      const std::uint16_t klen = get_u16(page, off);
+      node.keys.push_back(get_bytes(page, off, klen));
+      node.children.push_back(get_u32(page, off));
+    }
+    node.children.push_back(get_u32(page, off));  // rightmost
+  } else {
+    node.leaf = true;
+    node.keys.reserve(n);
+    node.values.reserve(n);
+    for (std::uint16_t i = 0; i < n; ++i) {
+      const std::uint16_t klen = get_u16(page, off);
+      const std::uint16_t vlen = get_u16(page, off);
+      node.keys.push_back(get_bytes(page, off, klen));
+      node.values.push_back(get_bytes(page, off, vlen));
+    }
+  }
+  return node;
+}
+
+std::size_t BTree::serialized_size(const Node& node) {
+  std::size_t size = 3;  // type + cell count
+  if (node.leaf) {
+    for (std::size_t i = 0; i < node.keys.size(); ++i) {
+      size += 4 + node.keys[i].size() + node.values[i].size();
+    }
+  } else {
+    for (const auto& key : node.keys) size += 2 + key.size() + 4;
+    size += 4;  // rightmost child
+  }
+  return size;
+}
+
+void BTree::store(PageNo pgno, const Node& node) {
+  std::vector<std::uint8_t> page(kDbPageSize, 0);
+  std::size_t off = 0;
+  page[off++] = node.leaf ? kLeafType : kInteriorType;
+  put_u16(page, off, static_cast<std::uint16_t>(node.keys.size()));
+  if (node.leaf) {
+    for (std::size_t i = 0; i < node.keys.size(); ++i) {
+      put_u16(page, off, static_cast<std::uint16_t>(node.keys[i].size()));
+      put_u16(page, off, static_cast<std::uint16_t>(node.values[i].size()));
+      put_bytes(page, off, node.keys[i]);
+      put_bytes(page, off, node.values[i]);
+    }
+  } else {
+    for (std::size_t i = 0; i < node.keys.size(); ++i) {
+      put_u16(page, off, static_cast<std::uint16_t>(node.keys[i].size()));
+      put_bytes(page, off, node.keys[i]);
+      put_u32(page, off, node.children[i]);
+    }
+    put_u32(page, off, node.children.back());
+  }
+  pager_.write_page(pgno, std::move(page));
+}
+
+std::optional<BTree::SplitResult> BTree::insert_into(PageNo pgno, const std::string& key,
+                                                     const std::string& value) {
+  Node node = load(pgno);
+
+  if (node.leaf) {
+    const auto it = std::lower_bound(node.keys.begin(), node.keys.end(), key);
+    const auto idx = static_cast<std::size_t>(it - node.keys.begin());
+    if (it != node.keys.end() && *it == key) {
+      node.values[idx] = value;  // replace
+    } else {
+      node.keys.insert(it, key);
+      node.values.insert(node.values.begin() + static_cast<std::ptrdiff_t>(idx), value);
+    }
+    if (serialized_size(node) <= max_payload()) {
+      store(pgno, node);
+      return std::nullopt;
+    }
+    // Split the leaf in half.
+    const std::size_t mid = node.keys.size() / 2;
+    Node right;
+    right.leaf = true;
+    right.keys.assign(node.keys.begin() + static_cast<std::ptrdiff_t>(mid), node.keys.end());
+    right.values.assign(node.values.begin() + static_cast<std::ptrdiff_t>(mid),
+                        node.values.end());
+    node.keys.resize(mid);
+    node.values.resize(mid);
+    const PageNo right_page = pager_.allocate_page();
+    store(pgno, node);
+    store(right_page, right);
+    return SplitResult{node.keys.back(), right_page};
+  }
+
+  // Interior: descend into the child whose range covers the key.
+  const auto it = std::lower_bound(node.keys.begin(), node.keys.end(), key);
+  const auto idx = static_cast<std::size_t>(it - node.keys.begin());
+  const auto split = insert_into(node.children[idx], key, value);
+  if (!split) return std::nullopt;
+
+  node.keys.insert(node.keys.begin() + static_cast<std::ptrdiff_t>(idx), split->separator);
+  node.children.insert(node.children.begin() + static_cast<std::ptrdiff_t>(idx) + 1,
+                       split->right_page);
+  if (serialized_size(node) <= max_payload()) {
+    store(pgno, node);
+    return std::nullopt;
+  }
+  // Split the interior node: the middle separator moves up.
+  const std::size_t mid = node.keys.size() / 2;
+  const std::string up = node.keys[mid];
+  Node right;
+  right.leaf = false;
+  right.keys.assign(node.keys.begin() + static_cast<std::ptrdiff_t>(mid) + 1, node.keys.end());
+  right.children.assign(node.children.begin() + static_cast<std::ptrdiff_t>(mid) + 1,
+                        node.children.end());
+  node.keys.resize(mid);
+  node.children.resize(mid + 1);
+  const PageNo right_page = pager_.allocate_page();
+  store(pgno, node);
+  store(right_page, right);
+  return SplitResult{up, right_page};
+}
+
+void BTree::put(const std::string& key, const std::string& value) {
+  if (key.empty() || key.size() > kMaxKeySize) {
+    throw std::invalid_argument("BTree: bad key size");
+  }
+  if (value.size() > kMaxValueSize) throw std::invalid_argument("BTree: value too large");
+
+  const auto split = insert_into(root_, key, value);
+  if (!split) return;
+
+  // Root split: grow the tree by one level.
+  Node old_root = load(root_);
+  const PageNo left_page = pager_.allocate_page();
+  store(left_page, old_root);
+  Node new_root;
+  new_root.leaf = false;
+  new_root.keys.push_back(split->separator);
+  new_root.children.push_back(left_page);
+  new_root.children.push_back(split->right_page);
+  store(root_, new_root);  // the root page number stays stable
+}
+
+std::optional<std::string> BTree::get(const std::string& key) {
+  PageNo pgno = root_;
+  for (;;) {
+    Node node = load(pgno);
+    const auto it = std::lower_bound(node.keys.begin(), node.keys.end(), key);
+    const auto idx = static_cast<std::size_t>(it - node.keys.begin());
+    if (node.leaf) {
+      if (it != node.keys.end() && *it == key) return node.values[idx];
+      return std::nullopt;
+    }
+    pgno = node.children[idx];
+  }
+}
+
+bool BTree::erase_from(PageNo pgno, const std::string& key) {
+  Node node = load(pgno);
+  const auto it = std::lower_bound(node.keys.begin(), node.keys.end(), key);
+  const auto idx = static_cast<std::size_t>(it - node.keys.begin());
+  if (node.leaf) {
+    if (it == node.keys.end() || *it != key) return false;
+    node.keys.erase(it);
+    node.values.erase(node.values.begin() + static_cast<std::ptrdiff_t>(idx));
+    store(pgno, node);
+    return true;
+  }
+  return erase_from(node.children[idx], key);
+}
+
+bool BTree::erase(const std::string& key) { return erase_from(root_, key); }
+
+void BTree::scan_node(PageNo pgno,
+                      const std::function<bool(const std::string&, const std::string&)>& cb,
+                      bool& keep_going) {
+  if (!keep_going) return;
+  Node node = load(pgno);
+  if (node.leaf) {
+    for (std::size_t i = 0; i < node.keys.size() && keep_going; ++i) {
+      keep_going = cb(node.keys[i], node.values[i]);
+    }
+    return;
+  }
+  for (std::size_t i = 0; i < node.children.size() && keep_going; ++i) {
+    scan_node(node.children[i], cb, keep_going);
+  }
+}
+
+void BTree::scan(const std::function<bool(const std::string&, const std::string&)>& cb) {
+  bool keep_going = true;
+  scan_node(root_, cb, keep_going);
+}
+
+std::size_t BTree::size() {
+  std::size_t n = 0;
+  scan([&n](const std::string&, const std::string&) {
+    ++n;
+    return true;
+  });
+  return n;
+}
+
+std::size_t BTree::height() {
+  std::size_t h = 1;
+  PageNo pgno = root_;
+  for (;;) {
+    Node node = load(pgno);
+    if (node.leaf) return h;
+    pgno = node.children.front();
+    ++h;
+  }
+}
+
+}  // namespace minidb

@@ -1,0 +1,88 @@
+// A B-tree keyed by byte strings, stored in pager pages.
+//
+// Node format (one page each):
+//   u8  type            (1 = leaf, 2 = interior)
+//   u16 cell count
+//   leaf cells:     u16 klen, u16 vlen, key bytes, value bytes
+//   interior cells: u16 klen, key bytes, u32 child   (child holds keys <= key)
+//   interior tail:  u32 rightmost child              (keys > last separator)
+//
+// Nodes are deserialised into an in-memory form, mutated, and written back —
+// simple, obviously correct, and fast enough for the paper's workloads.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "minidb/pager.hpp"
+
+namespace minidb {
+
+/// Keys and values are byte strings; the per-cell limit keeps several cells
+/// per page (no overflow-page machinery).
+inline constexpr std::size_t kMaxKeySize = 512;
+inline constexpr std::size_t kMaxValueSize = 1536;
+
+class BTree {
+ public:
+  /// Attaches to an existing tree rooted at `root`, or pass 0 to create a
+  /// fresh root (requires an open transaction); root() reports the page.
+  BTree(Pager& pager, PageNo root);
+
+  [[nodiscard]] PageNo root() const noexcept { return root_; }
+
+  /// Inserts or replaces.  Requires an open transaction.  Throws
+  /// std::invalid_argument on over-long keys/values.
+  void put(const std::string& key, const std::string& value);
+
+  /// Point lookup.
+  [[nodiscard]] std::optional<std::string> get(const std::string& key);
+
+  /// Removes a key; returns false if absent.  (Underflow is tolerated:
+  /// pages merge lazily, like SQLite's incremental vacuum model.)
+  bool erase(const std::string& key);
+
+  /// In-order traversal; return false from the callback to stop early.
+  void scan(const std::function<bool(const std::string&, const std::string&)>& cb);
+
+  /// Number of keys (full scan).
+  [[nodiscard]] std::size_t size();
+
+  /// Tree height (for tests; 1 = root is a leaf).
+  [[nodiscard]] std::size_t height();
+
+ private:
+  struct Node {
+    bool leaf = true;
+    std::vector<std::string> keys;
+    std::vector<std::string> values;    // leaf only, parallel to keys
+    std::vector<PageNo> children;       // interior only, keys.size() + 1
+  };
+
+  [[nodiscard]] Node load(PageNo pgno);
+  void store(PageNo pgno, const Node& node);
+  [[nodiscard]] static std::size_t serialized_size(const Node& node);
+  [[nodiscard]] static std::size_t max_payload() { return kDbPageSize - 3; }
+
+  struct SplitResult {
+    std::string separator;  // keys <= separator stay in the left node
+    PageNo right_page = 0;
+  };
+  /// Inserts into the subtree at `pgno`; returns a split description when the
+  /// node had to divide.
+  std::optional<SplitResult> insert_into(PageNo pgno, const std::string& key,
+                                         const std::string& value);
+
+  bool erase_from(PageNo pgno, const std::string& key);
+  void scan_node(PageNo pgno,
+                 const std::function<bool(const std::string&, const std::string&)>& cb,
+                 bool& keep_going);
+
+  Pager& pager_;
+  PageNo root_;
+};
+
+}  // namespace minidb

@@ -1,0 +1,75 @@
+#include "minidb/db.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace minidb {
+
+namespace {
+constexpr char kMagic[8] = {'M', 'I', 'N', 'I', 'D', 'B', '0', '1'};
+constexpr PageNo kHeaderPage = 1;
+}  // namespace
+
+Database::Database(Vfs& vfs, const std::string& path, WriteMode mode)
+    : pager_(std::make_unique<Pager>(vfs, path, mode)) {
+  load_or_create();
+}
+
+Database::~Database() = default;
+
+void Database::load_or_create() {
+  if (pager_->page_count() == 0) {
+    pager_->begin();
+    const PageNo header = pager_->allocate_page();
+    if (header != kHeaderPage) throw std::logic_error("minidb: header must be page 1");
+    tree_ = std::make_unique<BTree>(*pager_, 0);  // allocates the root page
+    std::vector<std::uint8_t> page(kDbPageSize, 0);
+    std::memcpy(page.data(), kMagic, sizeof(kMagic));
+    const PageNo root = tree_->root();
+    std::memcpy(page.data() + 8, &root, 4);
+    pager_->write_page(kHeaderPage, std::move(page));
+    pager_->commit();
+    return;
+  }
+  const auto& page = pager_->read_page(kHeaderPage);
+  if (std::memcmp(page.data(), kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("minidb: not a minidb file");
+  }
+  PageNo root = 0;
+  std::memcpy(&root, page.data() + 8, 4);
+  tree_ = std::make_unique<BTree>(*pager_, root);
+}
+
+void Database::put(const std::string& key, const std::string& value) {
+  pager_->begin();
+  tree_->put(key, value);
+  pager_->commit();
+}
+
+void Database::begin() { pager_->begin(); }
+
+void Database::put_in_txn(const std::string& key, const std::string& value) {
+  if (!pager_->in_transaction()) throw std::logic_error("minidb: no open transaction");
+  tree_->put(key, value);
+}
+
+void Database::commit() { pager_->commit(); }
+
+void Database::rollback() { pager_->rollback(); }
+
+std::optional<std::string> Database::get(const std::string& key) { return tree_->get(key); }
+
+bool Database::erase(const std::string& key) {
+  pager_->begin();
+  const bool erased = tree_->erase(key);
+  pager_->commit();
+  return erased;
+}
+
+std::size_t Database::size() { return tree_->size(); }
+
+void Database::scan(const std::function<bool(const std::string&, const std::string&)>& cb) {
+  tree_->scan(cb);
+}
+
+}  // namespace minidb

@@ -1,0 +1,49 @@
+// The minidb database: a single key-value table (B-tree) with a header page,
+// autocommit and multi-statement transactions — the SQLite stand-in of the
+// §5.2.2 experiment.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "minidb/btree.hpp"
+#include "minidb/pager.hpp"
+
+namespace minidb {
+
+class Database {
+ public:
+  /// Opens (or creates) the database file at `path` through `vfs`.
+  Database(Vfs& vfs, const std::string& path, WriteMode mode = WriteMode::kSeekThenWrite);
+  ~Database();
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Autocommit insert (one transaction per call), like a bare SQLite INSERT.
+  void put(const std::string& key, const std::string& value);
+
+  /// Explicit transaction control, for replaying one git commit as one
+  /// transaction.
+  void begin();
+  void put_in_txn(const std::string& key, const std::string& value);
+  void commit();
+  void rollback();
+
+  [[nodiscard]] std::optional<std::string> get(const std::string& key);
+  bool erase(const std::string& key);
+  [[nodiscard]] std::size_t size();
+  void scan(const std::function<bool(const std::string&, const std::string&)>& cb);
+
+  [[nodiscard]] Pager& pager() noexcept { return *pager_; }
+
+ private:
+  void load_or_create();
+
+  std::unique_ptr<Pager> pager_;
+  std::unique_ptr<BTree> tree_;
+};
+
+}  // namespace minidb

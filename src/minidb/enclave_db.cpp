@@ -1,0 +1,390 @@
+#include "minidb/enclave_db.hpp"
+
+#include <cstring>
+
+namespace minidb {
+
+using sgxsim::CallId;
+using sgxsim::SgxStatus;
+using sgxsim::TrustedContext;
+
+const char* const kDbEdl = R"(
+enclave {
+  trusted {
+    public int ecall_db_open([in, size=path_len] const char* path, size_t path_len, int mode);
+    public int ecall_db_put([in, size=key_len] const char* key, size_t key_len,
+                            [in, size=value_len] const char* value, size_t value_len);
+    public int ecall_db_begin(void);
+    public int ecall_db_put_in_txn([in, size=key_len] const char* key, size_t key_len,
+                                   [in, size=value_len] const char* value, size_t value_len);
+    public int ecall_db_commit(void);
+    public int ecall_db_get([in, size=key_len] const char* key, size_t key_len,
+                            [out, size=out_cap] char* out, size_t out_cap);
+    public int ecall_db_close(void);
+  };
+  untrusted {
+    int ocall_vfs_open([user_check] void* vfs, [in, size=path_len] const char* path, size_t path_len);
+    void ocall_vfs_close([user_check] void* vfs, int fd);
+    long ocall_vfs_lseek([user_check] void* vfs, int fd, uint64_t offset);
+    long ocall_vfs_read([user_check] void* vfs, int fd, [out, size=len] void* buf, size_t len);
+    long ocall_vfs_write([user_check] void* vfs, int fd, [in, size=len] const void* buf, size_t len);
+    long ocall_vfs_pwrite([user_check] void* vfs, int fd, [in, size=len] const void* buf, size_t len, uint64_t offset);
+    void ocall_vfs_fsync([user_check] void* vfs, int fd);
+    void ocall_vfs_unlink([user_check] void* vfs, [in, size=path_len] const char* path, size_t path_len);
+    int ocall_vfs_exists([user_check] void* vfs, [in, size=path_len] const char* path, size_t path_len);
+    long ocall_vfs_file_size([user_check] void* vfs, int fd);
+    void ocall_db_log([in, size=len] const char* msg, size_t len)
+        allow (ecall_db_put, ecall_db_get, ecall_db_close);
+  };
+};
+)";
+
+// --- untrusted ocall implementations -------------------------------------------
+
+namespace {
+
+SgxStatus ocall_vfs_open(void* ms) {
+  auto* m = static_cast<VfsOcallMs*>(ms);
+  m->ret = m->vfs->open(std::string(m->path, m->path_len));
+  return SgxStatus::kSuccess;
+}
+
+SgxStatus ocall_vfs_close(void* ms) {
+  auto* m = static_cast<VfsOcallMs*>(ms);
+  m->vfs->close(m->fd);
+  return SgxStatus::kSuccess;
+}
+
+SgxStatus ocall_vfs_lseek(void* ms) {
+  auto* m = static_cast<VfsOcallMs*>(ms);
+  m->ret = m->vfs->lseek(m->fd, m->offset);
+  return SgxStatus::kSuccess;
+}
+
+SgxStatus ocall_vfs_read(void* ms) {
+  auto* m = static_cast<VfsOcallMs*>(ms);
+  m->ret = m->vfs->read(m->fd, m->buf, m->len);
+  return SgxStatus::kSuccess;
+}
+
+SgxStatus ocall_vfs_write(void* ms) {
+  auto* m = static_cast<VfsOcallMs*>(ms);
+  m->ret = m->vfs->write(m->fd, m->buf, m->len);
+  return SgxStatus::kSuccess;
+}
+
+SgxStatus ocall_vfs_pwrite(void* ms) {
+  auto* m = static_cast<VfsOcallMs*>(ms);
+  m->ret = m->vfs->pwrite(m->fd, m->buf, m->len, m->offset);
+  return SgxStatus::kSuccess;
+}
+
+SgxStatus ocall_vfs_fsync(void* ms) {
+  auto* m = static_cast<VfsOcallMs*>(ms);
+  m->vfs->fsync(m->fd);
+  return SgxStatus::kSuccess;
+}
+
+SgxStatus ocall_vfs_unlink(void* ms) {
+  auto* m = static_cast<VfsOcallMs*>(ms);
+  m->vfs->unlink(std::string(m->path, m->path_len));
+  return SgxStatus::kSuccess;
+}
+
+SgxStatus ocall_vfs_exists(void* ms) {
+  auto* m = static_cast<VfsOcallMs*>(ms);
+  m->bret = m->vfs->exists(std::string(m->path, m->path_len));
+  return SgxStatus::kSuccess;
+}
+
+SgxStatus ocall_vfs_file_size(void* ms) {
+  auto* m = static_cast<VfsOcallMs*>(ms);
+  m->size_ret = m->vfs->file_size(m->fd);
+  return SgxStatus::kSuccess;
+}
+
+SgxStatus ocall_db_log(void* /*ms*/) { return SgxStatus::kSuccess; }
+
+}  // namespace
+
+// --- trusted side ---------------------------------------------------------------
+
+/// Trusted VFS bridging every operation to an ocall.  Charges the [in]/[out]
+/// marshalling copies like the generated bridge would.
+class OcallVfs final : public Vfs {
+ public:
+  OcallVfs(Vfs* untrusted_vfs, TrustedContext** ctx_slot)
+      : vfs_(untrusted_vfs), ctx_(ctx_slot) {}
+
+  Fd open(const std::string& path) override {
+    VfsOcallMs ms = base();
+    ms.path = path.data();
+    ms.path_len = path.size();
+    (*ctx_)->copy_out(path.size());
+    call(DbOcall::kOpen, ms);
+    return static_cast<Fd>(ms.ret);
+  }
+  void close(Fd fd) override {
+    VfsOcallMs ms = base();
+    ms.fd = fd;
+    call(DbOcall::kClose, ms);
+  }
+  std::int64_t lseek(Fd fd, std::uint64_t offset) override {
+    VfsOcallMs ms = base();
+    ms.fd = fd;
+    ms.offset = offset;
+    call(DbOcall::kLseek, ms);
+    return ms.ret;
+  }
+  std::int64_t read(Fd fd, void* buf, std::uint64_t len) override {
+    VfsOcallMs ms = base();
+    ms.fd = fd;
+    ms.buf = buf;
+    ms.len = len;
+    call(DbOcall::kRead, ms);
+    (*ctx_)->copy_in(len);  // [out] buffer copied into the enclave
+    return ms.ret;
+  }
+  std::int64_t write(Fd fd, const void* buf, std::uint64_t len) override {
+    VfsOcallMs ms = base();
+    ms.fd = fd;
+    ms.buf = const_cast<void*>(buf);
+    ms.len = len;
+    (*ctx_)->copy_out(len);  // [in] buffer copied out of the enclave
+    call(DbOcall::kWrite, ms);
+    return ms.ret;
+  }
+  std::int64_t pwrite(Fd fd, const void* buf, std::uint64_t len,
+                      std::uint64_t offset) override {
+    VfsOcallMs ms = base();
+    ms.fd = fd;
+    ms.buf = const_cast<void*>(buf);
+    ms.len = len;
+    ms.offset = offset;
+    (*ctx_)->copy_out(len);
+    call(DbOcall::kPwrite, ms);
+    return ms.ret;
+  }
+  void fsync(Fd fd) override {
+    VfsOcallMs ms = base();
+    ms.fd = fd;
+    call(DbOcall::kFsync, ms);
+  }
+  void unlink(const std::string& path) override {
+    VfsOcallMs ms = base();
+    ms.path = path.data();
+    ms.path_len = path.size();
+    call(DbOcall::kUnlink, ms);
+  }
+  bool exists(const std::string& path) override {
+    VfsOcallMs ms = base();
+    ms.path = path.data();
+    ms.path_len = path.size();
+    call(DbOcall::kExists, ms);
+    return ms.bret;
+  }
+  std::uint64_t file_size(Fd fd) override {
+    VfsOcallMs ms = base();
+    ms.fd = fd;
+    call(DbOcall::kFileSize, ms);
+    return ms.size_ret;
+  }
+
+ private:
+  [[nodiscard]] VfsOcallMs base() const {
+    VfsOcallMs ms;
+    ms.vfs = vfs_;
+    return ms;
+  }
+  void call(DbOcall id, VfsOcallMs& ms) {
+    (*ctx_)->ocall(static_cast<CallId>(id), &ms);
+  }
+
+  Vfs* vfs_;
+  TrustedContext** ctx_;
+};
+
+struct DbEnclave::TrustedState {
+  TrustedContext* ctx = nullptr;  // valid only during an ecall
+  std::unique_ptr<OcallVfs> vfs;
+  std::unique_ptr<Database> db;
+  sgxsim::EnclaveAddr cache_arena = 0;  // modelled page-cache memory
+  std::uint64_t cache_pages = 0;
+};
+
+sgxsim::EnclaveConfig DbEnclave::default_config() {
+  sgxsim::EnclaveConfig config;
+  config.name = "minidb-enclave";
+  config.code_pages = 96;    // the whole database engine is trusted code
+  config.heap_pages = 512;   // page cache + working memory (2 MiB)
+  config.stack_pages = 8;
+  config.tcs_count = 2;
+  return config;
+}
+
+DbEnclave::DbEnclave(sgxsim::Urts& urts, Vfs& host_vfs, WriteMode mode,
+                     sgxsim::EnclaveConfig config)
+    : urts_(urts), host_vfs_(host_vfs), trusted_(std::make_unique<TrustedState>()) {
+  eid_ = urts_.create_enclave(std::move(config), sgxsim::edl::parse(kDbEdl));
+  table_ = sgxsim::make_ocall_table({
+      &ocall_vfs_open, &ocall_vfs_close, &ocall_vfs_lseek, &ocall_vfs_read, &ocall_vfs_write,
+      &ocall_vfs_pwrite, &ocall_vfs_fsync, &ocall_vfs_unlink, &ocall_vfs_exists,
+      &ocall_vfs_file_size, &ocall_db_log,
+  });
+
+  sgxsim::Enclave& enclave = urts_.enclave(eid_);
+  TrustedState* ts = trusted_.get();
+  Vfs* host = &host_vfs_;
+
+  // A scope guard setting/clearing the per-ecall context pointer.
+  struct CtxScope {
+    TrustedState* ts;
+    CtxScope(TrustedState* s, TrustedContext& ctx) : ts(s) { ts->ctx = &ctx; }
+    ~CtxScope() { ts->ctx = nullptr; }
+  };
+
+  enclave.register_ecall("ecall_db_open", [ts, host, mode](TrustedContext& ctx, void* msp) {
+    CtxScope scope(ts, ctx);
+    auto* ms = static_cast<DbEcallMs*>(msp);
+    ctx.copy_in(ms->path_len);
+    ts->vfs = std::make_unique<OcallVfs>(host, &ts->ctx);
+    ts->db = std::make_unique<Database>(*ts->vfs, std::string(ms->path, ms->path_len), mode);
+    // Model the page cache's enclave memory.
+    ts->cache_pages = 256;
+    ts->cache_arena = ctx.malloc(ts->cache_pages * sgxsim::kPageSize);
+    if (ts->cache_arena == 0) return SgxStatus::kOutOfMemory;
+    return SgxStatus::kSuccess;
+  });
+
+  auto do_put = [ts](TrustedContext& ctx, void* msp, bool autocommit) {
+    CtxScope scope(ts, ctx);
+    auto* ms = static_cast<DbEcallMs*>(msp);
+    if (!ts->db) return SgxStatus::kInvalidParameter;
+    ctx.copy_in(ms->key_len + ms->value_len);
+    // Record encoding plus B-tree bookkeeping inside the enclave.
+    ctx.work(2'000 + (ms->key_len + ms->value_len) * 2);
+    // Touch a cache page (hash-distributed) to exercise the working set.
+    if (ts->cache_arena != 0) {
+      const std::uint64_t page = std::hash<std::string_view>{}(
+                                     std::string_view(ms->key, ms->key_len)) %
+                                 ts->cache_pages;
+      ctx.touch(ts->cache_arena + page * sgxsim::kPageSize, 64, sgxsim::MemAccess::kWrite);
+    }
+    const std::string key(ms->key, ms->key_len);
+    const std::string value(ms->value, ms->value_len);
+    if (autocommit) {
+      ts->db->put(key, value);
+    } else {
+      ts->db->put_in_txn(key, value);
+    }
+    return SgxStatus::kSuccess;
+  };
+  enclave.register_ecall("ecall_db_put", [do_put](TrustedContext& ctx, void* msp) {
+    return do_put(ctx, msp, true);
+  });
+  enclave.register_ecall("ecall_db_put_in_txn", [do_put](TrustedContext& ctx, void* msp) {
+    return do_put(ctx, msp, false);
+  });
+  enclave.register_ecall("ecall_db_begin", [ts](TrustedContext& ctx, void*) {
+    CtxScope scope(ts, ctx);
+    if (!ts->db) return SgxStatus::kInvalidParameter;
+    ts->db->begin();
+    return SgxStatus::kSuccess;
+  });
+  enclave.register_ecall("ecall_db_commit", [ts](TrustedContext& ctx, void*) {
+    CtxScope scope(ts, ctx);
+    if (!ts->db) return SgxStatus::kInvalidParameter;
+    ts->db->commit();
+    return SgxStatus::kSuccess;
+  });
+  enclave.register_ecall("ecall_db_get", [ts](TrustedContext& ctx, void* msp) {
+    CtxScope scope(ts, ctx);
+    auto* ms = static_cast<DbEcallMs*>(msp);
+    if (!ts->db) return SgxStatus::kInvalidParameter;
+    ctx.copy_in(ms->key_len);
+    ctx.work(1'500 + ms->key_len * 2);
+    const auto value = ts->db->get(std::string(ms->key, ms->key_len));
+    ms->found = value.has_value();
+    if (value) {
+      ms->out_len = std::min<std::uint64_t>(value->size(), ms->out_cap);
+      std::memcpy(ms->out, value->data(), ms->out_len);
+      ctx.copy_out(ms->out_len);
+    } else {
+      ms->out_len = 0;
+    }
+    return SgxStatus::kSuccess;
+  });
+  enclave.register_ecall("ecall_db_close", [ts](TrustedContext& ctx, void*) {
+    CtxScope scope(ts, ctx);
+    if (ts->cache_arena != 0) {
+      ctx.free(ts->cache_arena);
+      ts->cache_arena = 0;
+    }
+    ts->db.reset();
+    ts->vfs.reset();
+    return SgxStatus::kSuccess;
+  });
+}
+
+DbEnclave::~DbEnclave() {
+  // Tear the trusted state down while the enclave still exists.
+  if (trusted_ && trusted_->db) close_db();
+  urts_.destroy_enclave(eid_);
+}
+
+// --- client-side wrappers -----------------------------------------------------------
+
+SgxStatus DbEnclave::open(const std::string& path) {
+  DbEcallMs ms;
+  ms.path = path.data();
+  ms.path_len = path.size();
+  return urts_.sgx_ecall(eid_, 0, &table_, &ms);
+}
+
+SgxStatus DbEnclave::put(const std::string& key, const std::string& value) {
+  DbEcallMs ms;
+  ms.key = key.data();
+  ms.key_len = key.size();
+  ms.value = value.data();
+  ms.value_len = value.size();
+  return urts_.sgx_ecall(eid_, 1, &table_, &ms);
+}
+
+SgxStatus DbEnclave::begin() {
+  DbEcallMs ms;
+  return urts_.sgx_ecall(eid_, 2, &table_, &ms);
+}
+
+SgxStatus DbEnclave::put_in_txn(const std::string& key, const std::string& value) {
+  DbEcallMs ms;
+  ms.key = key.data();
+  ms.key_len = key.size();
+  ms.value = value.data();
+  ms.value_len = value.size();
+  return urts_.sgx_ecall(eid_, 3, &table_, &ms);
+}
+
+SgxStatus DbEnclave::commit() {
+  DbEcallMs ms;
+  return urts_.sgx_ecall(eid_, 4, &table_, &ms);
+}
+
+std::optional<std::string> DbEnclave::get(const std::string& key) {
+  std::string out(kMaxValueSize, '\0');
+  DbEcallMs ms;
+  ms.key = key.data();
+  ms.key_len = key.size();
+  ms.out = out.data();
+  ms.out_cap = out.size();
+  if (urts_.sgx_ecall(eid_, 5, &table_, &ms) != SgxStatus::kSuccess) return std::nullopt;
+  if (!ms.found) return std::nullopt;
+  out.resize(ms.out_len);
+  return out;
+}
+
+SgxStatus DbEnclave::close_db() {
+  DbEcallMs ms;
+  return urts_.sgx_ecall(eid_, 6, &table_, &ms);
+}
+
+}  // namespace minidb

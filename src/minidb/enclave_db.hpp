@@ -1,0 +1,108 @@
+// The enclavised minidb — "running an SQL database inside an enclave" with
+// system calls implemented naively as ocalls (§5.2.2).
+//
+// The whole database engine (pager, journal, B-tree) runs as trusted code;
+// its VFS is an ocall bridge, so every lseek/read/write/fsync the engine
+// issues leaves the enclave.  In WriteMode::kSeekThenWrite this produces the
+// paper's lseek+write SDSC pattern; in kMergedPwrite the two calls are
+// merged into one pwrite ocall — the optimisation sgx-perf recommends.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "minidb/db.hpp"
+#include "sgxsim/runtime.hpp"
+
+namespace minidb {
+
+/// The enclave's EDL (parsed at enclave creation; also feed it to the
+/// analyser for the security checks — note the deliberate user_check
+/// pointers and over-broad allow() list it will flag).
+extern const char* const kDbEdl;
+
+/// Ocall ids, matching kDbEdl declaration order.
+enum class DbOcall : sgxsim::CallId {
+  kOpen = 0,
+  kClose,
+  kLseek,
+  kRead,
+  kWrite,
+  kPwrite,
+  kFsync,
+  kUnlink,
+  kExists,
+  kFileSize,
+  kLog,  // defined but never called (the analyser should stay quiet on it)
+};
+
+/// Marshalling struct shared by all VFS ocalls (edger8r-style `ms` layout).
+struct VfsOcallMs {
+  Vfs* vfs = nullptr;  // untrusted VFS object ([user_check] in the EDL)
+  Fd fd = kBadFd;
+  std::uint64_t offset = 0;
+  void* buf = nullptr;
+  std::uint64_t len = 0;
+  const char* path = nullptr;
+  std::uint64_t path_len = 0;
+  std::int64_t ret = 0;
+  std::uint64_t size_ret = 0;
+  bool bret = false;
+};
+
+/// Marshalling struct of the database ecalls.
+struct DbEcallMs {
+  const char* path = nullptr;
+  std::uint64_t path_len = 0;
+  int write_mode = 0;
+  const char* key = nullptr;
+  std::uint64_t key_len = 0;
+  const char* value = nullptr;
+  std::uint64_t value_len = 0;
+  char* out = nullptr;
+  std::uint64_t out_cap = 0;
+  std::uint64_t out_len = 0;
+  bool found = false;
+};
+
+/// The untrusted half: hosts the VFS ocalls and the client-side wrappers
+/// (the enclave_u.c analogue) around one enclave running the database.
+class DbEnclave {
+ public:
+  /// Creates the enclave on `urts`; `host_vfs` is the untrusted disk.
+  DbEnclave(sgxsim::Urts& urts, Vfs& host_vfs,
+            WriteMode mode = WriteMode::kSeekThenWrite,
+            sgxsim::EnclaveConfig config = default_config());
+
+  ~DbEnclave();
+
+  DbEnclave(const DbEnclave&) = delete;
+  DbEnclave& operator=(const DbEnclave&) = delete;
+
+  [[nodiscard]] static sgxsim::EnclaveConfig default_config();
+
+  // --- client-side wrappers (each is one ecall) -------------------------------
+  sgxsim::SgxStatus open(const std::string& path);
+  sgxsim::SgxStatus put(const std::string& key, const std::string& value);  // autocommit
+  sgxsim::SgxStatus begin();
+  sgxsim::SgxStatus put_in_txn(const std::string& key, const std::string& value);
+  sgxsim::SgxStatus commit();
+  /// Returns nullopt when the key is absent (or on error).
+  std::optional<std::string> get(const std::string& key);
+  sgxsim::SgxStatus close_db();
+
+  [[nodiscard]] sgxsim::EnclaveId enclave_id() const noexcept { return eid_; }
+  [[nodiscard]] const sgxsim::OcallTable& ocall_table() const noexcept { return table_; }
+
+ private:
+  struct TrustedState;
+
+  sgxsim::Urts& urts_;
+  Vfs& host_vfs_;
+  sgxsim::EnclaveId eid_ = 0;
+  sgxsim::OcallTable table_;
+  std::unique_ptr<TrustedState> trusted_;
+};
+
+}  // namespace minidb

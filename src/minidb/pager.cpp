@@ -1,0 +1,176 @@
+#include "minidb/pager.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace minidb {
+
+namespace {
+// Journal record: u32 page number, then kDbPageSize bytes of original data.
+constexpr std::uint64_t kJournalRecordSize = 4 + kDbPageSize;
+}  // namespace
+
+Pager::Pager(Vfs& vfs, std::string path, WriteMode mode, std::size_t cache_capacity)
+    : vfs_(vfs),
+      path_(std::move(path)),
+      journal_path_(path_ + "-journal"),
+      mode_(mode),
+      cache_capacity_(cache_capacity) {
+  const bool hot_journal = vfs_.exists(journal_path_) && vfs_.exists(path_);
+  db_fd_ = vfs_.open(path_);
+  if (hot_journal) recover_from_hot_journal();
+  load_page_count();
+}
+
+Pager::~Pager() { close(); }
+
+void Pager::close() {
+  if (in_txn_) rollback();
+  if (db_fd_ != kBadFd) {
+    vfs_.close(db_fd_);
+    db_fd_ = kBadFd;
+  }
+}
+
+void Pager::load_page_count() {
+  page_count_ = static_cast<PageNo>(vfs_.file_size(db_fd_) / kDbPageSize);
+}
+
+void Pager::persist_page(Fd fd, std::uint64_t offset, const std::uint8_t* data,
+                         std::uint64_t len) {
+  if (mode_ == WriteMode::kMergedPwrite) {
+    vfs_.pwrite(fd, data, len, offset);
+  } else {
+    // The SQLite-on-Linux shape: two separate system calls.
+    vfs_.lseek(fd, offset);
+    vfs_.write(fd, data, len);
+  }
+}
+
+void Pager::recover_from_hot_journal() {
+  // Roll the database back to the pre-crash state recorded in the journal.
+  const Fd jfd = vfs_.open(journal_path_);
+  const std::uint64_t size = vfs_.file_size(jfd);
+  std::uint64_t off = 0;
+  std::vector<std::uint8_t> record(kJournalRecordSize);
+  while (off + kJournalRecordSize <= size) {
+    vfs_.lseek(jfd, off);
+    if (vfs_.read(jfd, record.data(), record.size()) !=
+        static_cast<std::int64_t>(record.size())) {
+      break;  // torn tail: ignore the incomplete record
+    }
+    PageNo pgno;
+    std::memcpy(&pgno, record.data(), 4);
+    persist_page(db_fd_, page_offset(pgno), record.data() + 4, kDbPageSize);
+    off += kJournalRecordSize;
+  }
+  vfs_.fsync(db_fd_);
+  vfs_.close(jfd);
+  vfs_.unlink(journal_path_);
+}
+
+void Pager::begin() {
+  if (in_txn_) throw std::logic_error("Pager: nested transaction");
+  journal_fd_ = vfs_.open(journal_path_);
+  in_txn_ = true;
+  journaled_.clear();
+}
+
+void Pager::journal_original(PageNo pgno) {
+  if (journaled_.contains(pgno)) return;
+  // Newly allocated pages have no pre-image to protect.
+  std::vector<std::uint8_t> original;
+  if (pgno <= page_count_) {
+    original = read_page(pgno);
+  } else {
+    return;
+  }
+  std::vector<std::uint8_t> record(kJournalRecordSize, 0);
+  std::memcpy(record.data(), &pgno, 4);
+  std::memcpy(record.data() + 4, original.data(),
+              std::min<std::uint64_t>(original.size(), kDbPageSize));
+  // Journal appends use the same seek+write (or pwrite) shape.
+  persist_page(journal_fd_, vfs_.file_size(journal_fd_), record.data(), record.size());
+  journaled_[pgno] = std::move(original);
+}
+
+const std::vector<std::uint8_t>& Pager::read_page(PageNo pgno) {
+  const auto it = cache_.find(pgno);
+  if (it != cache_.end()) return it->second;
+
+  std::vector<std::uint8_t> content(kDbPageSize, 0);
+  if (pgno <= page_count_) {
+    vfs_.lseek(db_fd_, page_offset(pgno));
+    vfs_.read(db_fd_, content.data(), kDbPageSize);
+  }
+  evict_if_needed();
+  return cache_.emplace(pgno, std::move(content)).first->second;
+}
+
+void Pager::evict_if_needed() {
+  if (cache_.size() < cache_capacity_) return;
+  for (auto it = cache_.begin(); it != cache_.end();) {
+    if (!dirty_.contains(it->first)) {
+      it = cache_.erase(it);
+      if (cache_.size() < cache_capacity_) return;
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Pager::write_page(PageNo pgno, std::vector<std::uint8_t> content) {
+  if (!in_txn_) throw std::logic_error("Pager: write outside transaction");
+  if (content.size() != kDbPageSize) content.resize(kDbPageSize, 0);
+  journal_original(pgno);
+  cache_[pgno] = std::move(content);
+  dirty_[pgno] = true;
+}
+
+PageNo Pager::allocate_page() {
+  if (!in_txn_) throw std::logic_error("Pager: allocate outside transaction");
+  const PageNo pgno = ++page_count_;
+  cache_[pgno] = std::vector<std::uint8_t>(kDbPageSize, 0);
+  dirty_[pgno] = true;
+  return pgno;
+}
+
+void Pager::commit() {
+  if (!in_txn_) throw std::logic_error("Pager: commit outside transaction");
+  // 1. Make the journal durable so a crash mid-commit can roll back.
+  vfs_.fsync(journal_fd_);
+  // 2. Write every dirty page to the database file.
+  for (const auto& [pgno, _] : dirty_) {
+    const auto& content = cache_.at(pgno);
+    persist_page(db_fd_, page_offset(pgno), content.data(), content.size());
+  }
+  // 3. Make the database durable, then drop the journal.
+  vfs_.fsync(db_fd_);
+  vfs_.close(journal_fd_);
+  journal_fd_ = kBadFd;
+  vfs_.unlink(journal_path_);
+  dirty_.clear();
+  journaled_.clear();
+  in_txn_ = false;
+}
+
+void Pager::rollback() {
+  if (!in_txn_) return;
+  // Restore the in-memory view from the journaled originals and forget the
+  // rest (newly allocated pages simply disappear).
+  for (auto& [pgno, original] : journaled_) cache_[pgno] = std::move(original);
+  for (const auto& [pgno, _] : dirty_) {
+    if (!journaled_.contains(pgno)) cache_.erase(pgno);
+  }
+  load_page_count();
+  dirty_.clear();
+  journaled_.clear();
+  if (journal_fd_ != kBadFd) {
+    vfs_.close(journal_fd_);
+    journal_fd_ = kBadFd;
+  }
+  vfs_.unlink(journal_path_);
+  in_txn_ = false;
+}
+
+}  // namespace minidb

@@ -1,0 +1,67 @@
+// A small SQL front end for minidb — enough to phrase the paper's workload
+// ("a series of insert operations into a database persistently stored on
+// disk") the way SQLite users do.
+//
+// Grammar (case-insensitive keywords, single-quoted strings):
+//   CREATE TABLE name;
+//   DROP TABLE name;
+//   INSERT INTO name VALUES ('key', 'value');
+//   SELECT value FROM name WHERE key = 'k';
+//   SELECT key, value FROM name [WHERE key = 'k'];
+//   SELECT COUNT(*) FROM name;
+//   DELETE FROM name WHERE key = 'k';
+//   BEGIN; COMMIT; ROLLBACK;
+//
+// Each table maps to a key prefix in the underlying B-tree ("<table>\x1f<key>"),
+// with a catalog record per table, so many tables share one tree exactly the
+// way SQLite packs tables into one file.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "minidb/db.hpp"
+
+namespace minidb {
+
+struct SqlResult {
+  bool ok = false;
+  std::string error;                           // set when !ok
+  std::vector<std::vector<std::string>> rows;  // SELECT results
+  std::size_t affected = 0;                    // INSERT/DELETE counts
+
+  static SqlResult success() {
+    SqlResult r;
+    r.ok = true;
+    return r;
+  }
+  static SqlResult failure(std::string message) {
+    SqlResult r;
+    r.error = std::move(message);
+    return r;
+  }
+};
+
+/// Executes SQL statements against a Database.  Statements are independent
+/// unless wrapped in BEGIN/COMMIT (which map to the pager transaction).
+class SqlEngine {
+ public:
+  explicit SqlEngine(Database& db) : db_(db) {}
+
+  /// Executes one statement (a trailing ';' is optional).
+  SqlResult exec(const std::string& sql);
+
+  /// Convenience: executes a script of ';'-separated statements, stopping at
+  /// the first error.  Returns the last result.
+  SqlResult exec_script(const std::string& script);
+
+ private:
+  [[nodiscard]] bool table_exists(const std::string& name);
+  [[nodiscard]] static std::string catalog_key(const std::string& table);
+  [[nodiscard]] static std::string row_key(const std::string& table, const std::string& key);
+
+  Database& db_;
+  bool in_txn_ = false;
+};
+
+}  // namespace minidb

@@ -1,0 +1,92 @@
+#include "minidb/vfs.hpp"
+
+#include <cstring>
+
+namespace minidb {
+
+HostVfs::HostVfs(support::VirtualClock& clock, VfsCosts costs)
+    : clock_(clock), costs_(costs) {}
+
+Fd HostVfs::open(const std::string& path) {
+  clock_.advance(costs_.open_ns);
+  ++counters_.opens;
+  auto& file = files_[path];
+  if (!file) file = std::make_shared<File>();
+  const Fd fd = next_fd_++;
+  open_files_[fd] = OpenFile{file, 0};
+  return fd;
+}
+
+void HostVfs::close(Fd fd) {
+  clock_.advance(costs_.close_ns);
+  open_files_.erase(fd);
+}
+
+std::int64_t HostVfs::lseek(Fd fd, std::uint64_t offset) {
+  clock_.advance(costs_.lseek_ns);
+  ++counters_.lseeks;
+  const auto it = open_files_.find(fd);
+  if (it == open_files_.end()) return -1;
+  it->second.offset = offset;
+  return static_cast<std::int64_t>(offset);
+}
+
+std::int64_t HostVfs::read(Fd fd, void* buf, std::uint64_t len) {
+  clock_.advance(costs_.read_ns);
+  ++counters_.reads;
+  const auto it = open_files_.find(fd);
+  if (it == open_files_.end()) return -1;
+  auto& of = it->second;
+  const auto& data = of.file->data;
+  if (of.offset >= data.size()) return 0;
+  const std::uint64_t take = std::min<std::uint64_t>(len, data.size() - of.offset);
+  std::memcpy(buf, data.data() + of.offset, take);
+  of.offset += take;
+  return static_cast<std::int64_t>(take);
+}
+
+std::int64_t HostVfs::write(Fd fd, const void* buf, std::uint64_t len) {
+  clock_.advance(costs_.write_ns);
+  ++counters_.writes;
+  const auto it = open_files_.find(fd);
+  if (it == open_files_.end()) return -1;
+  auto& of = it->second;
+  auto& data = of.file->data;
+  if (of.offset + len > data.size()) data.resize(of.offset + len);
+  std::memcpy(data.data() + of.offset, buf, len);
+  of.offset += len;
+  return static_cast<std::int64_t>(len);
+}
+
+std::int64_t HostVfs::pwrite(Fd fd, const void* buf, std::uint64_t len, std::uint64_t offset) {
+  clock_.advance(costs_.pwrite_ns);
+  ++counters_.pwrites;
+  const auto it = open_files_.find(fd);
+  if (it == open_files_.end()) return -1;
+  auto& of = it->second;
+  auto& data = of.file->data;
+  if (offset + len > data.size()) data.resize(offset + len);
+  std::memcpy(data.data() + offset, buf, len);
+  of.offset = offset + len;
+  return static_cast<std::int64_t>(len);
+}
+
+void HostVfs::fsync(Fd fd) {
+  clock_.advance(costs_.fsync_ns);
+  ++counters_.fsyncs;
+  (void)fd;  // the in-memory disk is always durable
+}
+
+void HostVfs::unlink(const std::string& path) {
+  clock_.advance(costs_.unlink_ns);
+  files_.erase(path);
+}
+
+bool HostVfs::exists(const std::string& path) { return files_.contains(path); }
+
+std::uint64_t HostVfs::file_size(Fd fd) {
+  const auto it = open_files_.find(fd);
+  return it == open_files_.end() ? 0 : it->second.file->data.size();
+}
+
+}  // namespace minidb

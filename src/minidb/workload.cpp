@@ -1,0 +1,74 @@
+#include "minidb/workload.hpp"
+
+#include "crypto/sha256.hpp"
+#include "support/rng.hpp"
+#include "support/strutil.hpp"
+
+namespace minidb {
+
+namespace {
+
+const char* const kAuthors[] = {
+    "alice <alice@example.com>", "bob <bob@example.com>",   "carol <carol@example.com>",
+    "dave <dave@example.com>",   "erin <erin@example.com>", "frank <frank@example.com>",
+};
+
+const char* const kDirs[] = {"src", "lib", "tests", "docs", "tools", "include"};
+const char* const kWords[] = {"fix",     "refactor", "add",    "remove", "update",
+                              "cleanup", "optimise", "handle", "rework", "document"};
+const char* const kTopics[] = {"parser", "cache",  "logging", "scheduler", "protocol",
+                               "index",  "config", "tests",   "allocator", "encoder"};
+
+}  // namespace
+
+CommitGenerator::CommitGenerator(std::uint64_t seed) : seed_(seed) {}
+
+Commit CommitGenerator::make(std::uint64_t index) const {
+  support::Rng rng(seed_ ^ (index * 0x2545F4914F6CDD1Dull + 1));
+  Commit c;
+  const auto id = crypto::sha256(support::format("commit-%llu-%llu",
+                                                 static_cast<unsigned long long>(seed_),
+                                                 static_cast<unsigned long long>(index)));
+  c.hash = crypto::to_hex(id).substr(0, 40);
+  c.author = kAuthors[rng.next_below(std::size(kAuthors))];
+  c.timestamp = 1'520'000'000 + index * 97 + rng.next_below(60);
+  c.message = support::format("%s %s %s", kWords[rng.next_below(std::size(kWords))],
+                              kTopics[rng.next_below(std::size(kTopics))],
+                              rng.next_string(8).c_str());
+  const std::uint64_t nfiles = rng.next_in(2, 7);
+  for (std::uint64_t f = 0; f < nfiles; ++f) {
+    CommitFile file;
+    file.path = support::format("%s/%s.%s", kDirs[rng.next_below(std::size(kDirs))],
+                                rng.next_string(10).c_str(), rng.chance(0.7) ? "cpp" : "hpp");
+    file.additions = static_cast<std::uint32_t>(rng.next_in(1, 200));
+    file.deletions = static_cast<std::uint32_t>(rng.next_in(0, 120));
+    file.blob_id = rng.next_string(40);
+    c.files.push_back(std::move(file));
+  }
+  return c;
+}
+
+std::vector<std::pair<std::string, std::string>> Commit::to_records() const {
+  std::vector<std::pair<std::string, std::string>> records;
+  records.reserve(files.size() + 1);
+  std::string body = support::format(
+      "author=%s;ts=%llu;msg=%s;files=%zu", author.c_str(),
+      static_cast<unsigned long long>(timestamp), message.c_str(), files.size());
+  records.emplace_back("commit/" + hash, std::move(body));
+  for (const auto& f : files) {
+    records.emplace_back(
+        support::format("file/%s/%s", hash.c_str(), f.path.c_str()),
+        support::format("+%u,-%u,blob=%s", f.additions, f.deletions, f.blob_id.c_str()));
+  }
+  return records;
+}
+
+std::size_t replay_commit(Database& db, const Commit& commit) {
+  const auto records = commit.to_records();
+  db.begin();
+  for (const auto& [key, value] : records) db.put_in_txn(key, value);
+  db.commit();
+  return records.size();
+}
+
+}  // namespace minidb

@@ -1,0 +1,80 @@
+#include "minikv/driver.hpp"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "support/rng.hpp"
+#include "support/strutil.hpp"
+
+namespace minikv {
+
+DriverReport run_workload(KvProxy& proxy, const DriverConfig& config) {
+  std::atomic<std::uint64_t> operations{0};
+  std::atomic<std::uint64_t> failures{0};
+  std::atomic<std::size_t> at_barrier{0};
+  std::atomic<bool> go{false};
+
+  const auto t0 = proxy.urts().clock().now();
+  std::vector<std::thread> threads;
+  threads.reserve(config.clients);
+  for (std::size_t c = 0; c < config.clients; ++c) {
+    threads.emplace_back([&, c] {
+      // Rendezvous so every client connects at the same instant — the
+      // connection storm that contends on the in-enclave session map.
+      ++at_barrier;
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      if (proxy.connect_client(c) != sgxsim::SgxStatus::kSuccess) {
+        ++failures;
+        return;
+      }
+
+      support::Rng rng(config.seed ^ (c * 0x9E3779B97F4A7C15ull));
+      std::uint64_t xid = 1;
+      for (std::size_t i = 0; i < config.ops_per_client; ++i) {
+        Request req;
+        req.client_id = c;
+        req.xid = xid++;
+        const std::string path = support::format(
+            "/app/client-%zu/node-%llu", c,
+            static_cast<unsigned long long>(rng.next_below(64)));
+        req.path.assign(path.begin(), path.end());
+        const std::uint64_t dice = rng.next_below(10);
+        if (dice < 3) {
+          req.op = OpCode::kCreate;
+        } else if (dice < 6) {
+          req.op = OpCode::kSetData;
+        } else {
+          req.op = OpCode::kGetData;
+        }
+        if (req.op != OpCode::kGetData) {
+          const std::size_t len = rng.next_in(config.min_payload, config.max_payload);
+          req.payload.resize(len);
+          for (auto& b : req.payload) b = static_cast<std::uint8_t>(rng.next_u64());
+        }
+        const auto resp = proxy.process(req);
+        if (!resp) {
+          ++failures;
+        } else {
+          ++operations;
+        }
+      }
+    });
+  }
+
+  while (at_barrier.load() < config.clients) std::this_thread::yield();
+  go.store(true, std::memory_order_release);
+  for (auto& t : threads) t.join();
+
+  DriverReport report;
+  report.operations = operations.load();
+  report.failures = failures.load();
+  report.virtual_duration_ns = proxy.urts().clock().now() - t0;
+  if (report.virtual_duration_ns > 0) {
+    report.throughput_ops_per_s = static_cast<double>(report.operations) /
+                                  (static_cast<double>(report.virtual_duration_ns) / 1e9);
+  }
+  return report;
+}
+
+}  // namespace minikv

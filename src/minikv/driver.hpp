@@ -1,0 +1,32 @@
+// Multi-client load driver for the SecureKeeper-like proxy: a simultaneous
+// connection storm followed by a steady-state operation mix, as in the
+// §5.2.4 benchmark ("all clients simultaneously connect, therefore creating
+// high contention on the map").
+#pragma once
+
+#include <cstdint>
+
+#include "minikv/proxy.hpp"
+
+namespace minikv {
+
+struct DriverConfig {
+  std::size_t clients = 8;
+  std::size_t ops_per_client = 1000;
+  std::size_t min_payload = 600;
+  std::size_t max_payload = 1400;
+  std::uint64_t seed = 7;
+};
+
+struct DriverReport {
+  std::uint64_t operations = 0;
+  std::uint64_t failures = 0;
+  support::Nanoseconds virtual_duration_ns = 0;
+  double throughput_ops_per_s = 0.0;
+};
+
+/// Runs the workload with one OS thread per client.  Each client connects
+/// (storm), then performs a create/set/get mix against its own subtree.
+DriverReport run_workload(KvProxy& proxy, const DriverConfig& config);
+
+}  // namespace minikv

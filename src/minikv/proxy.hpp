@@ -1,0 +1,88 @@
+// The SecureKeeper-like proxy enclave (§5.2.4).
+//
+// Architecture: clients talk to a proxy that sits in front of the backend
+// store; the proxy's enclave transparently encrypts the path and payload of
+// every packet (the backend only ever sees ciphertext).  The enclave
+// interface is deliberately narrow — two ecalls, six ocalls of which three
+// are ever called — exactly the shape the paper reports.  Session lookups
+// are lock-free after connection; the session *map* is mutex-protected and
+// only written during connects, so sleep/wake ocalls appear only during the
+// connection storm.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "crypto/chacha20.hpp"
+#include "minikv/store.hpp"
+#include "sgxsim/runtime.hpp"
+
+namespace minikv {
+
+/// Marshalling struct of both ecalls and the send ocalls.
+struct KvMs {
+  void* host = nullptr;  // untrusted proxy object ([user_check])
+  std::uint64_t client_id = 0;
+  const std::uint8_t* buf = nullptr;
+  std::uint64_t len = 0;
+};
+
+extern const char* const kKvEdl;
+
+class KvProxy {
+ public:
+  static constexpr std::size_t kMaxClients = 64;
+
+  struct Config {
+    sgxsim::EnclaveConfig enclave;
+    /// Per-byte in-enclave crypto cost (ChaCha20 + HMAC, ~8 ns/B).
+    support::Nanoseconds crypto_ns_per_byte = 8;
+    /// Real (wall-clock) busy-work iterations inside the connect critical
+    /// section.  Session initialisation takes real time in SecureKeeper;
+    /// modelling it makes simultaneous connects genuinely contend on the
+    /// map mutex, producing the sleep/wake ocall storm of §5.2.4.
+    std::uint32_t connect_spin_iterations = 200'000;
+    Config();
+  };
+
+  KvProxy(sgxsim::Urts& urts, Store& store, Config config = {});
+  ~KvProxy();
+
+  KvProxy(const KvProxy&) = delete;
+  KvProxy& operator=(const KvProxy&) = delete;
+
+  /// Registers a client session (the connection storm path: takes the
+  /// in-enclave map mutex, may issue sleep/wake ocalls under contention,
+  /// emits a debug-print ocall).  One ecall.
+  sgxsim::SgxStatus connect_client(std::uint64_t client_id);
+
+  /// Processes one client operation end to end: the client->proxy packet
+  /// enters via ecall_handle_input_from_client (encrypt + send_to_server
+  /// ocall), the server's reply re-enters via ecall_handle_input_from_server
+  /// (decrypt + send_to_client ocall).  Returns the plaintext response.
+  [[nodiscard]] std::optional<Response> process(const Request& request);
+
+  [[nodiscard]] sgxsim::EnclaveId enclave_id() const noexcept { return eid_; }
+  [[nodiscard]] const sgxsim::OcallTable& ocall_table() const noexcept { return table_; }
+  [[nodiscard]] sgxsim::Urts& urts() noexcept { return urts_; }
+
+  // --- untrusted delivery slots (written by the send ocalls) ------------------
+  /// Per-client mailboxes; index by client id.
+  std::array<std::vector<std::uint8_t>, kMaxClients> to_server_slot;
+  std::array<std::vector<std::uint8_t>, kMaxClients> to_client_slot;
+  Store& store;
+  std::atomic<std::uint64_t> debug_prints{0};
+
+ private:
+  struct TrustedState;
+
+  sgxsim::Urts& urts_;
+  sgxsim::EnclaveId eid_ = 0;
+  sgxsim::OcallTable table_;
+  std::unique_ptr<TrustedState> trusted_;
+};
+
+}  // namespace minikv

@@ -1,0 +1,142 @@
+#include "minikv/store.hpp"
+
+#include <cstring>
+
+namespace minikv {
+
+namespace {
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_blob(std::vector<std::uint8_t>& out, const std::vector<std::uint8_t>& blob) {
+  put_u64(out, blob.size());
+  out.insert(out.end(), blob.begin(), blob.end());
+}
+
+bool get_u64(const std::vector<std::uint8_t>& in, std::size_t& off, std::uint64_t& v) {
+  if (off + 8 > in.size()) return false;
+  v = 0;
+  for (int i = 0; i < 8; ++i) v |= std::uint64_t{in[off + static_cast<std::size_t>(i)]} << (8 * i);
+  off += 8;
+  return true;
+}
+
+bool get_blob(const std::vector<std::uint8_t>& in, std::size_t& off,
+              std::vector<std::uint8_t>& blob) {
+  std::uint64_t len = 0;
+  if (!get_u64(in, off, len)) return false;
+  if (off + len > in.size()) return false;
+  blob.assign(in.begin() + static_cast<std::ptrdiff_t>(off),
+              in.begin() + static_cast<std::ptrdiff_t>(off + len));
+  off += len;
+  return true;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> Request::serialize() const {
+  std::vector<std::uint8_t> out;
+  put_u64(out, xid);
+  put_u64(out, client_id);
+  out.push_back(static_cast<std::uint8_t>(op));
+  put_blob(out, path);
+  put_blob(out, payload);
+  return out;
+}
+
+std::optional<Request> Request::deserialize(const std::vector<std::uint8_t>& bytes) {
+  Request r;
+  std::size_t off = 0;
+  if (!get_u64(bytes, off, r.xid)) return std::nullopt;
+  if (!get_u64(bytes, off, r.client_id)) return std::nullopt;
+  if (off >= bytes.size()) return std::nullopt;
+  r.op = static_cast<OpCode>(bytes[off++]);
+  if (!get_blob(bytes, off, r.path)) return std::nullopt;
+  if (!get_blob(bytes, off, r.payload)) return std::nullopt;
+  return r;
+}
+
+std::vector<std::uint8_t> Response::serialize() const {
+  std::vector<std::uint8_t> out;
+  put_u64(out, xid);
+  put_u64(out, client_id);
+  out.push_back(static_cast<std::uint8_t>(op));
+  out.push_back(static_cast<std::uint8_t>(result));
+  put_blob(out, payload);
+  return out;
+}
+
+std::optional<Response> Response::deserialize(const std::vector<std::uint8_t>& bytes) {
+  Response r;
+  std::size_t off = 0;
+  if (!get_u64(bytes, off, r.xid)) return std::nullopt;
+  if (!get_u64(bytes, off, r.client_id)) return std::nullopt;
+  if (off + 2 > bytes.size()) return std::nullopt;
+  r.op = static_cast<OpCode>(bytes[off++]);
+  r.result = static_cast<OpResult>(bytes[off++]);
+  if (!get_blob(bytes, off, r.payload)) return std::nullopt;
+  return r;
+}
+
+Store::Store(support::VirtualClock& clock, support::Nanoseconds op_cost_ns)
+    : clock_(clock), op_cost_ns_(op_cost_ns) {}
+
+Response Store::handle(const Request& request) {
+  clock_.advance(op_cost_ns_);
+  Response resp;
+  resp.xid = request.xid;
+  resp.client_id = request.client_id;
+  resp.op = request.op;
+
+  std::lock_guard lock(mu_);
+  ++handled_;
+  switch (request.op) {
+    case OpCode::kConnect:
+      resp.result = OpResult::kOk;
+      break;
+    case OpCode::kCreate:
+      if (nodes_.contains(request.path)) {
+        resp.result = OpResult::kNodeExists;
+      } else {
+        nodes_[request.path] = request.payload;
+        resp.result = OpResult::kOk;
+      }
+      break;
+    case OpCode::kSetData:
+      if (!nodes_.contains(request.path)) {
+        resp.result = OpResult::kNoNode;
+      } else {
+        nodes_[request.path] = request.payload;
+        resp.result = OpResult::kOk;
+      }
+      break;
+    case OpCode::kGetData: {
+      const auto it = nodes_.find(request.path);
+      if (it == nodes_.end()) {
+        resp.result = OpResult::kNoNode;
+      } else {
+        resp.result = OpResult::kOk;
+        resp.payload = it->second;
+      }
+      break;
+    }
+    case OpCode::kDelete:
+      resp.result = nodes_.erase(request.path) > 0 ? OpResult::kOk : OpResult::kNoNode;
+      break;
+    case OpCode::kExists:
+      resp.result = nodes_.contains(request.path) ? OpResult::kOk : OpResult::kNoNode;
+      break;
+    default:
+      resp.result = OpResult::kBadRequest;
+  }
+  return resp;
+}
+
+std::size_t Store::node_count() const {
+  std::lock_guard lock(mu_);
+  return nodes_.size();
+}
+
+}  // namespace minikv

@@ -1,0 +1,79 @@
+// The backend coordination service — a ZooKeeper stand-in.
+//
+// SecureKeeper (§5.2.4) proxies clients to an unmodified ZooKeeper; the
+// proxy's enclave en/decrypts the path and payload of every packet.  This
+// store plays ZooKeeper's role: a hierarchical key space with create/set/
+// get/delete/exists operations, a request/response wire format and modelled
+// request-handling costs.  It stores whatever (encrypted) bytes it is given.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "support/clock.hpp"
+
+namespace minikv {
+
+enum class OpCode : std::uint8_t {
+  kConnect = 0,
+  kCreate = 1,
+  kSetData = 2,
+  kGetData = 3,
+  kDelete = 4,
+  kExists = 5,
+};
+
+enum class OpResult : std::uint8_t {
+  kOk = 0,
+  kNoNode = 1,
+  kNodeExists = 2,
+  kBadRequest = 3,
+};
+
+/// One request as it travels proxy -> server (path/payload possibly
+/// ciphertext: the server never sees plaintext).
+struct Request {
+  std::uint64_t xid = 0;        // client transaction id
+  std::uint64_t client_id = 0;
+  OpCode op = OpCode::kGetData;
+  std::vector<std::uint8_t> path;
+  std::vector<std::uint8_t> payload;
+
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  static std::optional<Request> deserialize(const std::vector<std::uint8_t>& bytes);
+};
+
+struct Response {
+  std::uint64_t xid = 0;
+  std::uint64_t client_id = 0;
+  OpCode op = OpCode::kGetData;
+  OpResult result = OpResult::kOk;
+  std::vector<std::uint8_t> payload;
+
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  static std::optional<Response> deserialize(const std::vector<std::uint8_t>& bytes);
+};
+
+/// Thread-safe in-memory hierarchical store with virtual-time op costs.
+class Store {
+ public:
+  explicit Store(support::VirtualClock& clock, support::Nanoseconds op_cost_ns = 6'000);
+
+  [[nodiscard]] Response handle(const Request& request);
+
+  [[nodiscard]] std::size_t node_count() const;
+  [[nodiscard]] std::uint64_t requests_handled() const noexcept { return handled_; }
+
+ private:
+  support::VirtualClock& clock_;
+  support::Nanoseconds op_cost_ns_;
+  mutable std::mutex mu_;
+  std::map<std::vector<std::uint8_t>, std::vector<std::uint8_t>> nodes_;
+  std::uint64_t handled_ = 0;
+};
+
+}  // namespace minikv

@@ -1,0 +1,64 @@
+#include "minissl/bio.hpp"
+
+#include <algorithm>
+
+namespace minissl {
+
+std::size_t PipeEnd::read(std::uint8_t* buf, std::size_t len) {
+  const std::size_t take = std::min(len, rx_->size());
+  for (std::size_t i = 0; i < take; ++i) {
+    buf[i] = rx_->front();
+    rx_->pop_front();
+  }
+  return take;
+}
+
+void PipeEnd::write(const std::uint8_t* buf, std::size_t len) {
+  tx_->insert(tx_->end(), buf, buf + len);
+}
+
+void Bio::fill() {
+  std::uint8_t chunk[512];
+  for (;;) {
+    const std::size_t n = transport_->read(chunk, sizeof(chunk));
+    if (n == 0) break;
+    buffer_.insert(buffer_.end(), chunk, chunk + n);
+  }
+}
+
+std::size_t Bio::read(std::uint8_t* buf, std::size_t len) {
+  const std::size_t n = peek(buf, len);
+  consume(n);
+  return n;
+}
+
+std::size_t Bio::peek(std::uint8_t* buf, std::size_t len) {
+  fill();
+  const std::size_t take = std::min(len, buffer_.size());
+  std::copy_n(buffer_.begin(), take, buf);
+  return take;
+}
+
+void Bio::consume(std::size_t len) {
+  buffer_.erase(buffer_.begin(),
+                buffer_.begin() + static_cast<std::ptrdiff_t>(std::min(len, buffer_.size())));
+}
+
+void Bio::write(const std::uint8_t* buf, std::size_t len) { transport_->write(buf, len); }
+
+std::size_t Bio::pending() {
+  fill();
+  return buffer_.size();
+}
+
+long Bio::int_ctrl(BioCtrl cmd, long arg) {
+  (void)arg;
+  switch (cmd) {
+    case BioCtrl::kPending: return static_cast<long>(pending());
+    case BioCtrl::kWPending: return 0;
+    case BioCtrl::kFlush: return 1;
+  }
+  return -1;
+}
+
+}  // namespace minissl

@@ -1,0 +1,93 @@
+// Transport plumbing: simulated sockets and the BIO abstraction.
+//
+// A SimConnection is a bidirectional in-memory byte pipe (the 10 Gbit/s link
+// between curl and nginx in §5.2.1).  A BIO wraps one endpoint — or, in the
+// TaLoS build, an ocall-bridged transport — and is what the SSL record layer
+// reads from and writes to.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+namespace minissl {
+
+/// Byte source/sink the record layer talks to (non-blocking).
+class Transport {
+ public:
+  virtual ~Transport() = default;
+  /// Reads up to `len` bytes; returns the count (0 when nothing available).
+  virtual std::size_t read(std::uint8_t* buf, std::size_t len) = 0;
+  /// Writes `len` bytes; the simulated pipes never refuse data.
+  virtual void write(const std::uint8_t* buf, std::size_t len) = 0;
+  /// Bytes currently readable.
+  [[nodiscard]] virtual std::size_t pending() const = 0;
+};
+
+/// One side of a byte pipe.
+class PipeEnd final : public Transport {
+ public:
+  PipeEnd(std::shared_ptr<std::deque<std::uint8_t>> rx,
+          std::shared_ptr<std::deque<std::uint8_t>> tx)
+      : rx_(std::move(rx)), tx_(std::move(tx)) {}
+
+  std::size_t read(std::uint8_t* buf, std::size_t len) override;
+  void write(const std::uint8_t* buf, std::size_t len) override;
+  [[nodiscard]] std::size_t pending() const override { return rx_->size(); }
+
+ private:
+  std::shared_ptr<std::deque<std::uint8_t>> rx_;
+  std::shared_ptr<std::deque<std::uint8_t>> tx_;
+};
+
+/// A bidirectional connection between a client and a server.
+class SimConnection {
+ public:
+  SimConnection()
+      : c2s_(std::make_shared<std::deque<std::uint8_t>>()),
+        s2c_(std::make_shared<std::deque<std::uint8_t>>()) {}
+
+  [[nodiscard]] PipeEnd client_end() { return PipeEnd(s2c_, c2s_); }
+  [[nodiscard]] PipeEnd server_end() { return PipeEnd(c2s_, s2c_); }
+
+ private:
+  std::shared_ptr<std::deque<std::uint8_t>> c2s_;
+  std::shared_ptr<std::deque<std::uint8_t>> s2c_;
+};
+
+/// BIO control commands (the subset nginx uses through BIO_int_ctrl).
+enum class BioCtrl : int {
+  kPending = 10,   // bytes buffered for reading
+  kWPending = 13,  // bytes buffered for writing (always 0 here)
+  kFlush = 11,
+};
+
+/// The OpenSSL BIO: buffers bytes between the SSL object and its transport.
+class Bio {
+ public:
+  explicit Bio(std::unique_ptr<Transport> transport) : transport_(std::move(transport)) {}
+
+  /// Pulls whatever the transport has into the internal buffer, then copies
+  /// up to `len` bytes out.  Returns the number of bytes delivered.
+  std::size_t read(std::uint8_t* buf, std::size_t len);
+  /// Non-consuming look at buffered bytes (fills the buffer first).
+  std::size_t peek(std::uint8_t* buf, std::size_t len);
+  /// Drops `len` buffered bytes (after a successful peek-decode).
+  void consume(std::size_t len);
+  void write(const std::uint8_t* buf, std::size_t len);
+
+  /// Buffered + transport-pending bytes.
+  [[nodiscard]] std::size_t pending();
+
+  /// BIO_int_ctrl: integer control channel (Figure 5 shows nginx calling it).
+  long int_ctrl(BioCtrl cmd, long arg);
+
+ private:
+  void fill();
+
+  std::unique_ptr<Transport> transport_;
+  std::deque<std::uint8_t> buffer_;
+};
+
+}  // namespace minissl

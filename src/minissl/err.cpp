@@ -1,0 +1,29 @@
+#include "minissl/err.hpp"
+
+#include <deque>
+
+namespace minissl {
+
+namespace {
+// OpenSSL's queue is per-thread; so is ours.
+thread_local std::deque<std::uint64_t> t_errors;
+}  // namespace
+
+void ERR_put_error(SslErrorCode code) {
+  t_errors.push_back(static_cast<std::uint64_t>(code));
+}
+
+std::uint64_t ERR_get_error() {
+  if (t_errors.empty()) return 0;
+  const std::uint64_t e = t_errors.front();
+  t_errors.pop_front();
+  return e;
+}
+
+std::uint64_t ERR_peek_error() { return t_errors.empty() ? 0 : t_errors.front(); }
+
+void ERR_clear_error() { t_errors.clear(); }
+
+std::size_t ERR_queue_depth() { return t_errors.size(); }
+
+}  // namespace minissl

@@ -1,0 +1,41 @@
+// OpenSSL-style error queue.
+//
+// OpenSSL does not return meaningful error codes from its functions; it
+// pushes errors onto a queue that callers drain through the ERR_* family.
+// §5.2.1 shows why this matters for enclaves: when the interface is exposed
+// 1:1 as ecalls (TaLoS), every ERR_peek_error/ERR_clear_error becomes an
+// extra enclave transition.
+#pragma once
+
+#include <cstdint>
+
+namespace minissl {
+
+/// Error codes (packed reason codes, OpenSSL-style non-zero values).
+enum class SslErrorCode : std::uint64_t {
+  kNone = 0,
+  kWantRead = 0x02'0001,
+  kWantWrite = 0x02'0002,
+  kBadRecordMac = 0x04'0001,
+  kUnexpectedMessage = 0x04'0002,
+  kNotInitialised = 0x04'0003,
+  kProtocolViolation = 0x04'0004,
+  kConnectionClosed = 0x04'0005,
+};
+
+/// Pushes an error onto the calling thread's queue.
+void ERR_put_error(SslErrorCode code);
+
+/// Returns the oldest error and removes it (0 when empty).
+std::uint64_t ERR_get_error();
+
+/// Returns the oldest error without removing it (0 when empty).
+std::uint64_t ERR_peek_error();
+
+/// Empties the queue.
+void ERR_clear_error();
+
+/// Number of queued errors (not part of OpenSSL; used by tests).
+std::size_t ERR_queue_depth();
+
+}  // namespace minissl

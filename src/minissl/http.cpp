@@ -1,0 +1,156 @@
+#include "minissl/http.hpp"
+
+#include "support/strutil.hpp"
+
+namespace minissl {
+
+MiniNginx::MiniNginx(std::string body) : body_(std::move(body)) {}
+
+std::string MiniNginx::default_body() {
+  std::string body = "<html><head><title>minissl</title></head><body>";
+  for (int i = 0; i < 8; ++i) body += "<p>Welcome to the sgx-perf reproduction.</p>";
+  body += "</body></html>";
+  return body;
+}
+
+void MiniNginx::reset() {
+  state_ = State::kHandshake;
+  request_.clear();
+}
+
+bool MiniNginx::step(TlsSession& session) {
+  switch (state_) {
+    case State::kHandshake: {
+      // nginx clears the error queue before driving the handshake.
+      session.err_clear();
+      const int ret = session.do_handshake();
+      if (ret == 1) {
+        state_ = State::kReadRequest;
+      } else if (session.get_error(ret) != SSL_ERROR_WANT_READ) {
+        session.err_get();  // consume and give up on this connection
+        state_ = State::kDone;
+      }
+      return false;
+    }
+    case State::kReadRequest: {
+      // nginx checks buffered bytes (SSL_get_rbio + BIO_int_ctrl), then reads.
+      session.bio_pending();
+      char buf[2048];
+      const int n = session.read(buf, sizeof(buf));
+      if (n > 0) {
+        request_.append(buf, static_cast<std::size_t>(n));
+        if (request_.find("\r\n\r\n") != std::string::npos) {
+          state_ = State::kWriteResponse;
+        }
+      } else if (n == 0) {
+        state_ = State::kDone;  // peer closed before sending a request
+      } else if (session.get_error(n) != SSL_ERROR_WANT_READ) {
+        session.err_peek();
+        session.err_clear();
+        state_ = State::kDone;
+      }
+      return false;
+    }
+    case State::kWriteResponse: {
+      const std::string response = support::format(
+          "HTTP/1.1 200 OK\r\nServer: mini-nginx\r\nContent-Length: %zu\r\n"
+          "Connection: close\r\n\r\n%s",
+          body_.size(), body_.c_str());
+      const int ret = session.write(response.data(), static_cast<int>(response.size()));
+      if (ret < 0) session.err_peek();
+      session.set_quiet_shutdown(false);
+      state_ = State::kShutdown;
+      return false;
+    }
+    case State::kShutdown: {
+      session.shutdown();  // 0 until the peer's close_notify arrives; nginx
+      state_ = State::kDone;  // closes the socket regardless
+      return true;
+    }
+    case State::kDone:
+      return true;
+  }
+  return false;
+}
+
+MiniCurl::MiniCurl(std::string path) : path_(std::move(path)) {}
+
+void MiniCurl::reset() {
+  state_ = State::kHandshake;
+  response_.clear();
+  expected_length_ = 0;
+  headers_parsed_ = false;
+}
+
+bool MiniCurl::response_complete() const {
+  if (!headers_parsed_) return false;
+  const auto header_end = response_.find("\r\n\r\n");
+  if (header_end == std::string::npos) return false;
+  return response_.size() - (header_end + 4) >= expected_length_;
+}
+
+bool MiniCurl::step(TlsSession& session) {
+  switch (state_) {
+    case State::kHandshake: {
+      const int ret = session.do_handshake();
+      if (ret == 1) {
+        state_ = State::kSendRequest;
+      } else if (session.get_error(ret) != SSL_ERROR_WANT_READ) {
+        session.err_get();
+        state_ = State::kDone;
+      }
+      return false;
+    }
+    case State::kSendRequest: {
+      const std::string request = support::format(
+          "GET %s HTTP/1.1\r\nHost: reproduction.local\r\nUser-Agent: mini-curl\r\n\r\n",
+          path_.c_str());
+      session.write(request.data(), static_cast<int>(request.size()));
+      state_ = State::kReadResponse;
+      return false;
+    }
+    case State::kReadResponse: {
+      char buf[2048];
+      const int n = session.read(buf, sizeof(buf));
+      if (n > 0) {
+        response_.append(buf, static_cast<std::size_t>(n));
+        if (!headers_parsed_) {
+          const auto pos = response_.find("Content-Length: ");
+          const auto end = response_.find("\r\n\r\n");
+          if (pos != std::string::npos && end != std::string::npos) {
+            expected_length_ =
+                static_cast<std::size_t>(std::strtoul(response_.c_str() + pos + 16, nullptr, 10));
+            headers_parsed_ = true;
+          }
+        }
+        if (response_complete()) state_ = State::kShutdown;
+      } else if (n == 0) {
+        state_ = State::kShutdown;  // server closed
+      } else if (session.get_error(n) != SSL_ERROR_WANT_READ) {
+        session.err_get();
+        state_ = State::kDone;
+      }
+      return false;
+    }
+    case State::kShutdown: {
+      session.shutdown();
+      state_ = State::kDone;
+      return true;
+    }
+    case State::kDone:
+      return true;
+  }
+  return false;
+}
+
+bool run_exchange(MiniNginx& server, TlsSession& server_session, MiniCurl& client,
+                  TlsSession& client_session, int max_steps) {
+  for (int i = 0; i < max_steps; ++i) {
+    if (!client.done()) client.step(client_session);
+    if (!server.done()) server.step(server_session);
+    if (client.done() && server.done()) return client.response_complete();
+  }
+  return false;
+}
+
+}  // namespace minissl

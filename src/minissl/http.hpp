@@ -1,0 +1,69 @@
+// mini-nginx and mini-curl: the host application and load generator of the
+// §5.2.1 experiment ("we used nginx as a host application that calls into
+// TaLoS ... performing 1000 HTTP GET requests with curl").
+//
+// Both are non-blocking state machines over a TlsSession, so a single thread
+// can pump a client and a server against each other (the way the benchmark
+// harness drives 1000 sequential requests).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "minissl/session.hpp"
+
+namespace minissl {
+
+/// Serves exactly one connection: handshake, read one GET, write the
+/// response, shut down.  Mirrors nginx's call pattern, including the
+/// ERR_clear_error / ERR_peek_error bracketing and BIO pending checks that
+/// make the OpenSSL interface so transition-heavy as an enclave interface.
+class MiniNginx {
+ public:
+  explicit MiniNginx(std::string body = default_body());
+
+  [[nodiscard]] static std::string default_body();
+
+  /// Advances the connection; returns true when it is fully served.
+  bool step(TlsSession& session);
+
+  [[nodiscard]] bool done() const noexcept { return state_ == State::kDone; }
+  [[nodiscard]] const std::string& last_request() const noexcept { return request_; }
+  void reset();
+
+ private:
+  enum class State { kHandshake, kReadRequest, kWriteResponse, kShutdown, kDone };
+
+  State state_ = State::kHandshake;
+  std::string body_;
+  std::string request_;
+};
+
+/// Issues exactly one GET and reads the full response.
+class MiniCurl {
+ public:
+  explicit MiniCurl(std::string path = "/index.html");
+
+  bool step(TlsSession& session);
+
+  [[nodiscard]] bool done() const noexcept { return state_ == State::kDone; }
+  [[nodiscard]] const std::string& response() const noexcept { return response_; }
+  [[nodiscard]] bool response_complete() const;
+  void reset();
+
+ private:
+  enum class State { kHandshake, kSendRequest, kReadResponse, kShutdown, kDone };
+
+  State state_ = State::kHandshake;
+  std::string path_;
+  std::string response_;
+  std::size_t expected_length_ = 0;
+  bool headers_parsed_ = false;
+};
+
+/// Pumps one full request/response exchange between a server and a client
+/// session.  Returns true on success (both sides reached kDone).
+bool run_exchange(MiniNginx& server, TlsSession& server_session, MiniCurl& client,
+                  TlsSession& client_session, int max_steps = 1000);
+
+}  // namespace minissl

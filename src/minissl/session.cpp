@@ -1,0 +1,16 @@
+#include "minissl/session.hpp"
+
+namespace minissl {
+
+NativeTlsSession::NativeTlsSession(SslCtx& ctx, std::unique_ptr<Transport> transport,
+                                   bool server, std::uint64_t seed)
+    : ssl_(ctx, seed) {
+  ssl_.set_transport(std::move(transport));
+  if (server) {
+    ssl_.set_accept_state();
+  } else {
+    ssl_.set_connect_state();
+  }
+}
+
+}  // namespace minissl

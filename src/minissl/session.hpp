@@ -1,0 +1,58 @@
+// The TLS session surface that applications (mini-nginx, mini-curl) program
+// against.  Two implementations exist: NativeTlsSession calls the minissl
+// library directly; TalosTlsSession routes every call through an enclave
+// ecall, exactly like linking nginx against TaLoS instead of OpenSSL.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "minissl/ssl.hpp"
+
+namespace minissl {
+
+class TlsSession {
+ public:
+  virtual ~TlsSession() = default;
+
+  virtual int do_handshake() = 0;
+  virtual int read(void* buf, int len) = 0;
+  virtual int write(const void* buf, int len) = 0;
+  virtual int shutdown() = 0;
+  virtual int get_error(int ret) = 0;
+  /// SSL_get_rbio + BIO_int_ctrl(kPending): bytes buffered for reading.
+  virtual long bio_pending() = 0;
+  virtual void set_quiet_shutdown(bool quiet) = 0;
+  virtual std::uint64_t err_peek() = 0;
+  virtual std::uint64_t err_get() = 0;
+  virtual void err_clear() = 0;
+};
+
+/// Direct (no enclave) implementation.
+class NativeTlsSession final : public TlsSession {
+ public:
+  /// Builds a session over `transport`; `server` selects the accept state.
+  NativeTlsSession(SslCtx& ctx, std::unique_ptr<Transport> transport, bool server,
+                   std::uint64_t seed);
+
+  int do_handshake() override { return ssl_.do_handshake(); }
+  int read(void* buf, int len) override { return ssl_.read(buf, len); }
+  int write(const void* buf, int len) override { return ssl_.write(buf, len); }
+  int shutdown() override { return ssl_.shutdown(); }
+  int get_error(int ret) override { return ssl_.get_error(ret); }
+  long bio_pending() override {
+    Bio* bio = ssl_.get_rbio();
+    return bio != nullptr ? bio->int_ctrl(BioCtrl::kPending, 0) : 0;
+  }
+  void set_quiet_shutdown(bool quiet) override { ssl_.set_quiet_shutdown(quiet); }
+  std::uint64_t err_peek() override { return ERR_peek_error(); }
+  std::uint64_t err_get() override { return ERR_get_error(); }
+  void err_clear() override { ERR_clear_error(); }
+
+  [[nodiscard]] Ssl& ssl() noexcept { return ssl_; }
+
+ private:
+  Ssl ssl_;
+};
+
+}  // namespace minissl

@@ -1,0 +1,318 @@
+#include "minissl/ssl.hpp"
+
+#include <cstring>
+
+#include "crypto/hmac.hpp"
+#include "crypto/sha256.hpp"
+#include "support/rng.hpp"
+
+namespace minissl {
+
+namespace {
+
+// A fixed 512-bit DH modulus (any odd modulus preserves the commutativity
+// (g^a)^b = (g^b)^a mod P that the key exchange relies on; primality is not
+// needed for a performance reproduction) and generator 5.
+const char* const kDhPrimeHex =
+    "f2b4a9d3c1e58b7f0a6d4c2e9b13857d"
+    "64c0a8f1e3b5d7092c4e6a8b0d2f4861"
+    "a3c5e7f90b1d3f567890abcdef123457"
+    "8b9d0f1a2c3e4d5f6a7b8c9d0e1f2a3b";
+
+std::vector<std::uint8_t> bignum_to_bytes(const bignum::BigNum& n) {
+  const std::string hex = n.to_hex();
+  return std::vector<std::uint8_t>(hex.begin(), hex.end());
+}
+
+bignum::BigNum bytes_to_bignum(const std::vector<std::uint8_t>& bytes) {
+  return bignum::BigNum::from_hex(std::string(bytes.begin(), bytes.end()));
+}
+
+void put_blob(std::vector<std::uint8_t>& out, const std::vector<std::uint8_t>& blob) {
+  const auto len = static_cast<std::uint32_t>(blob.size());
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(len >> (8 * i)));
+  out.insert(out.end(), blob.begin(), blob.end());
+}
+
+bool get_blob(const std::vector<std::uint8_t>& in, std::size_t& off,
+              std::vector<std::uint8_t>& blob) {
+  if (off + 4 > in.size()) return false;
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) len |= std::uint32_t{in[off + static_cast<std::size_t>(i)]} << (8 * i);
+  off += 4;
+  if (off + len > in.size()) return false;
+  blob.assign(in.begin() + static_cast<std::ptrdiff_t>(off),
+              in.begin() + static_cast<std::ptrdiff_t>(off + len));
+  off += len;
+  return true;
+}
+
+}  // namespace
+
+SslCtx::SslCtx(std::uint64_t key_seed)
+    : prime_(bignum::BigNum::from_hex(kDhPrimeHex)), generator_(5) {
+  support::Rng rng(key_seed);
+  certificate_ = "CN=minissl-server;serial=" + rng.next_string(16);
+}
+
+Ssl::Ssl(SslCtx& ctx, std::uint64_t seed) : ctx_(ctx) {
+  support::Rng rng(seed ^ 0xA5A5A5A5A5A5A5A5ull);
+  auto next = [&rng] { return rng.next_u64(); };
+  dh_priv_ = bignum::BigNum::random(next, 128);
+  dh_pub_ = ctx_.generator_.modexp(dh_priv_, ctx_.prime_);
+  my_random_.resize(32);
+  for (auto& b : my_random_) b = static_cast<std::uint8_t>(rng.next_u64());
+}
+
+void Ssl::set_transport(std::unique_ptr<Transport> transport) {
+  bio_ = std::make_unique<Bio>(std::move(transport));
+}
+
+void Ssl::send_record(RecordType type, const std::vector<std::uint8_t>& payload) {
+  std::vector<std::uint8_t> body = payload;
+  std::uint8_t mac[8] = {0};
+  if (keys_ready_ && type != RecordType::kHandshake) {
+    crypto::ChaChaNonce nonce{};
+    std::memcpy(nonce.data(), &send_seq_, sizeof(send_seq_));
+    crypto::chacha20_crypt(session_key_, nonce, 1, body.data(), body.size());
+    const auto tag =
+        crypto::hmac_sha256(session_key_.data(), session_key_.size(), body.data(), body.size());
+    std::memcpy(mac, tag.data(), sizeof(mac));
+    ++send_seq_;
+  }
+  std::vector<std::uint8_t> frame;
+  frame.reserve(body.size() + 11);
+  frame.push_back(static_cast<std::uint8_t>(type));
+  const auto len = static_cast<std::uint16_t>(body.size());
+  frame.push_back(static_cast<std::uint8_t>(len));
+  frame.push_back(static_cast<std::uint8_t>(len >> 8));
+  frame.insert(frame.end(), body.begin(), body.end());
+  frame.insert(frame.end(), mac, mac + 8);
+  bio_->write(frame.data(), frame.size());
+}
+
+std::optional<std::pair<Ssl::RecordType, std::vector<std::uint8_t>>> Ssl::recv_record() {
+  std::uint8_t header[3];
+  if (bio_->peek(header, 3) < 3) return std::nullopt;
+  const auto type = static_cast<RecordType>(header[0]);
+  const std::uint16_t len =
+      static_cast<std::uint16_t>(header[1] | (std::uint16_t{header[2]} << 8));
+  const std::size_t total = 3u + len + 8u;
+  std::vector<std::uint8_t> frame(total);
+  if (bio_->peek(frame.data(), total) < total) return std::nullopt;
+  bio_->consume(total);
+
+  std::vector<std::uint8_t> body(frame.begin() + 3, frame.begin() + 3 + len);
+  if (keys_ready_ && type != RecordType::kHandshake) {
+    const auto tag =
+        crypto::hmac_sha256(session_key_.data(), session_key_.size(), body.data(), body.size());
+    if (std::memcmp(tag.data(), frame.data() + 3 + len, 8) != 0) {
+      ERR_put_error(SslErrorCode::kBadRecordMac);
+      return std::nullopt;
+    }
+    crypto::ChaChaNonce nonce{};
+    std::memcpy(nonce.data(), &recv_seq_, sizeof(recv_seq_));
+    crypto::chacha20_crypt(session_key_, nonce, 1, body.data(), body.size());
+    ++recv_seq_;
+  }
+  return std::make_pair(type, std::move(body));
+}
+
+void Ssl::derive_keys(const bignum::BigNum& peer_pub, const std::vector<std::uint8_t>& cr,
+                      const std::vector<std::uint8_t>& sr) {
+  const bignum::BigNum shared = peer_pub.modexp(dh_priv_, ctx_.prime_);
+  crypto::Sha256 h;
+  const std::string hex = shared.to_hex();
+  h.update(hex);
+  h.update(cr.data(), cr.size());
+  h.update(sr.data(), sr.size());
+  const auto digest = h.finish();
+  std::memcpy(session_key_.data(), digest.data(), session_key_.size());
+  keys_ready_ = true;
+}
+
+void Ssl::send_hello() {
+  std::vector<std::uint8_t> payload;
+  put_blob(payload, my_random_);
+  put_blob(payload, bignum_to_bytes(dh_pub_));
+  if (server_) {
+    // ServerHello carries the ALPN choice and the certificate.
+    put_blob(payload, std::vector<std::uint8_t>(alpn_selected_.begin(), alpn_selected_.end()));
+    put_blob(payload,
+             std::vector<std::uint8_t>(ctx_.certificate_.begin(), ctx_.certificate_.end()));
+  } else {
+    // ClientHello offers ALPN protocols, comma-separated.
+    std::string offer;
+    for (const auto& p : alpn_offer_) {
+      if (!offer.empty()) offer += ',';
+      offer += p;
+    }
+    put_blob(payload, std::vector<std::uint8_t>(offer.begin(), offer.end()));
+  }
+  send_record(RecordType::kHandshake, payload);
+}
+
+bool Ssl::process_hello(const std::vector<std::uint8_t>& payload) {
+  std::size_t off = 0;
+  std::vector<std::uint8_t> random;
+  std::vector<std::uint8_t> pub;
+  std::vector<std::uint8_t> alpn;
+  if (!get_blob(payload, off, random) || !get_blob(payload, off, pub) ||
+      !get_blob(payload, off, alpn)) {
+    ERR_put_error(SslErrorCode::kProtocolViolation);
+    return false;
+  }
+  peer_random_ = random;
+  const bignum::BigNum peer_pub = bytes_to_bignum(pub);
+
+  if (server_) {
+    // ALPN negotiation, through the application's callback when set (in
+    // TaLoS this is the enclave_ocall_alpn_select_cb of Figure 5).
+    std::vector<std::string> offered;
+    std::string current;
+    for (const auto b : alpn) {
+      if (b == ',') {
+        offered.push_back(current);
+        current.clear();
+      } else {
+        current.push_back(static_cast<char>(b));
+      }
+    }
+    if (!current.empty()) offered.push_back(current);
+    if (ctx_.alpn_cb_ != nullptr) {
+      ctx_.alpn_cb_(this, alpn_selected_, offered, ctx_.alpn_arg_);
+    } else if (!offered.empty()) {
+      alpn_selected_ = offered.front();
+    }
+    derive_keys(peer_pub, peer_random_, my_random_);
+  } else {
+    alpn_selected_.assign(alpn.begin(), alpn.end());
+    std::vector<std::uint8_t> cert;
+    if (!get_blob(payload, off, cert)) {
+      ERR_put_error(SslErrorCode::kProtocolViolation);
+      return false;
+    }
+    peer_cert_.assign(cert.begin(), cert.end());
+    derive_keys(peer_pub, my_random_, peer_random_);
+  }
+  return true;
+}
+
+int Ssl::do_handshake() {
+  if (!bio_) {
+    ERR_put_error(SslErrorCode::kNotInitialised);
+    last_error_ = SSL_ERROR_SSL;
+    return -1;
+  }
+  if (state_ == State::kEstablished) return 1;
+
+  if (server_) {
+    // Server: wait for ClientHello, then answer.
+    const auto record = recv_record();
+    if (!record) {
+      last_error_ = SSL_ERROR_WANT_READ;
+      return -1;
+    }
+    if (record->first != RecordType::kHandshake) {
+      ERR_put_error(SslErrorCode::kUnexpectedMessage);
+      last_error_ = SSL_ERROR_SSL;
+      return -1;
+    }
+    if (ctx_.info_cb_ != nullptr) ctx_.info_cb_(this, SSL_CB_HANDSHAKE_START, 1, ctx_.info_arg_);
+    if (!process_hello(record->second)) {
+      last_error_ = SSL_ERROR_SSL;
+      return -1;
+    }
+    send_hello();
+    state_ = State::kEstablished;
+    if (ctx_.info_cb_ != nullptr) ctx_.info_cb_(this, SSL_CB_HANDSHAKE_DONE, 1, ctx_.info_arg_);
+    last_error_ = SSL_ERROR_NONE;
+    return 1;
+  }
+
+  // Client: send ClientHello once, then wait for the ServerHello.
+  if (state_ == State::kInit) {
+    send_hello();
+    state_ = State::kHelloSent;
+  }
+  const auto record = recv_record();
+  if (!record) {
+    last_error_ = SSL_ERROR_WANT_READ;
+    return -1;
+  }
+  if (record->first != RecordType::kHandshake || !process_hello(record->second)) {
+    ERR_put_error(SslErrorCode::kUnexpectedMessage);
+    last_error_ = SSL_ERROR_SSL;
+    return -1;
+  }
+  state_ = State::kEstablished;
+  last_error_ = SSL_ERROR_NONE;
+  return 1;
+}
+
+int Ssl::read(void* buf, int len) {
+  if (state_ != State::kEstablished && state_ != State::kShutdown) {
+    ERR_put_error(SslErrorCode::kNotInitialised);
+    last_error_ = SSL_ERROR_SSL;
+    return -1;
+  }
+  const auto record = recv_record();
+  if (!record) {
+    if (ERR_peek_error() == static_cast<std::uint64_t>(SslErrorCode::kBadRecordMac)) {
+      last_error_ = SSL_ERROR_SSL;
+      return -1;
+    }
+    last_error_ = SSL_ERROR_WANT_READ;
+    return -1;
+  }
+  if (record->first == RecordType::kCloseNotify) {
+    received_close_ = true;
+    last_error_ = SSL_ERROR_ZERO_RETURN;
+    return 0;
+  }
+  const auto take = std::min<std::size_t>(static_cast<std::size_t>(len), record->second.size());
+  std::memcpy(buf, record->second.data(), take);
+  last_error_ = SSL_ERROR_NONE;
+  return static_cast<int>(take);
+}
+
+int Ssl::write(const void* buf, int len) {
+  if (state_ != State::kEstablished) {
+    ERR_put_error(SslErrorCode::kNotInitialised);
+    last_error_ = SSL_ERROR_SSL;
+    return -1;
+  }
+  // Fragment into records of at most 16 KB minus overhead (fits u16 length).
+  const auto* p = static_cast<const std::uint8_t*>(buf);
+  int remaining = len;
+  while (remaining > 0) {
+    const int chunk = std::min(remaining, 16'000);
+    send_record(RecordType::kApplicationData,
+                std::vector<std::uint8_t>(p, p + chunk));
+    p += chunk;
+    remaining -= chunk;
+  }
+  last_error_ = SSL_ERROR_NONE;
+  return len;
+}
+
+int Ssl::shutdown() {
+  if (!sent_close_ && !quiet_shutdown_ && state_ == State::kEstablished) {
+    send_record(RecordType::kCloseNotify, {});
+  }
+  sent_close_ = true;
+  state_ = State::kShutdown;
+  if (!received_close_) {
+    // Check whether the peer's close_notify already arrived.
+    const auto record = recv_record();
+    if (record && record->first == RecordType::kCloseNotify) received_close_ = true;
+  }
+  return received_close_ ? 1 : 0;
+}
+
+int Ssl::get_error(int ret) const {
+  if (ret > 0) return SSL_ERROR_NONE;
+  return last_error_;
+}
+
+}  // namespace minissl

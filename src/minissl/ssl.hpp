@@ -1,0 +1,154 @@
+// The minissl record and handshake layer, with an OpenSSL-shaped API.
+//
+// Protocol (deliberately TLS-shaped but minimal):
+//   ClientHello  { client_random, client_dh_public, alpn list }
+//   ServerHello  { server_random, server_dh_public, alpn choice, cert }
+// Both sides derive  shared = peer_pub ^ priv mod P  (bignum DH) and a
+// session key  k = SHA-256(shared || client_random || server_random).
+// Application data travels in records  [type u8][len u16][body][mac 8]
+// where body is ChaCha20-encrypted and mac is truncated HMAC-SHA-256.
+//
+// All I/O is non-blocking: functions return kWantRead and queue an error
+// when the transport has not yet delivered enough bytes, exactly the
+// semantics nginx relies on.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bignum/bignum.hpp"
+#include "crypto/chacha20.hpp"
+#include "minissl/bio.hpp"
+#include "minissl/err.hpp"
+
+namespace minissl {
+
+/// SSL_get_error results (OpenSSL names).
+enum SslError : int {
+  SSL_ERROR_NONE = 0,
+  SSL_ERROR_SSL = 1,
+  SSL_ERROR_WANT_READ = 2,
+  SSL_ERROR_WANT_WRITE = 3,
+  SSL_ERROR_ZERO_RETURN = 6,
+  SSL_ERROR_SYSCALL = 5,
+};
+
+/// Info-callback "where" values (subset of OpenSSL's).
+enum InfoWhere : int {
+  SSL_CB_HANDSHAKE_START = 0x10,
+  SSL_CB_HANDSHAKE_DONE = 0x20,
+};
+
+class Ssl;
+
+/// Shared configuration, like SSL_CTX.
+class SslCtx {
+ public:
+  using InfoCallback = void (*)(const Ssl* ssl, int where, int ret, void* arg);
+  using AlpnSelectCallback = int (*)(const Ssl* ssl, std::string& selected,
+                                     const std::vector<std::string>& offered, void* arg);
+
+  explicit SslCtx(std::uint64_t key_seed = 0x5531);
+
+  void set_info_callback(InfoCallback cb, void* arg) {
+    info_cb_ = cb;
+    info_arg_ = arg;
+  }
+  void set_alpn_select_cb(AlpnSelectCallback cb, void* arg) {
+    alpn_cb_ = cb;
+    alpn_arg_ = arg;
+  }
+
+  [[nodiscard]] const bignum::BigNum& dh_prime() const noexcept { return prime_; }
+  [[nodiscard]] const bignum::BigNum& dh_generator() const noexcept { return generator_; }
+  [[nodiscard]] const std::string& certificate() const noexcept { return certificate_; }
+
+ private:
+  friend class Ssl;
+  bignum::BigNum prime_;
+  bignum::BigNum generator_;
+  std::string certificate_;
+  InfoCallback info_cb_ = nullptr;
+  void* info_arg_ = nullptr;
+  AlpnSelectCallback alpn_cb_ = nullptr;
+  void* alpn_arg_ = nullptr;
+};
+
+/// One TLS-ish session (the SSL object).
+class Ssl {
+ public:
+  explicit Ssl(SslCtx& ctx, std::uint64_t seed = 1);
+
+  Ssl(const Ssl&) = delete;
+  Ssl& operator=(const Ssl&) = delete;
+
+  // --- the OpenSSL-shaped surface -------------------------------------------
+  /// SSL_set_fd analogue: attaches the transport.
+  void set_transport(std::unique_ptr<Transport> transport);
+  void set_accept_state() noexcept { server_ = true; }
+  void set_connect_state() noexcept { server_ = false; }
+  void set_quiet_shutdown(bool quiet) noexcept { quiet_shutdown_ = quiet; }
+  void set_alpn_offer(std::vector<std::string> protos) { alpn_offer_ = std::move(protos); }
+
+  /// Returns 1 on completion, -1 with SSL_ERROR_WANT_READ while waiting.
+  int do_handshake();
+  /// Returns bytes read, 0 on clean peer close, -1 on WANT_READ/error.
+  int read(void* buf, int len);
+  /// Returns bytes written (always all of them), -1 before the handshake.
+  int write(const void* buf, int len);
+  /// Returns 1 once both sides sent close_notify, 0 after ours only.
+  int shutdown();
+  /// Maps the last return value to an SSL_ERROR_* code.
+  [[nodiscard]] int get_error(int ret) const;
+
+  [[nodiscard]] Bio* get_rbio() noexcept { return bio_.get(); }
+  [[nodiscard]] bool handshake_done() const noexcept { return state_ == State::kEstablished || state_ == State::kShutdown; }
+  [[nodiscard]] bool is_server() const noexcept { return server_; }
+  [[nodiscard]] const std::string& alpn_selected() const noexcept { return alpn_selected_; }
+  [[nodiscard]] const std::string& peer_certificate() const noexcept { return peer_cert_; }
+
+ private:
+  enum class State { kInit, kHelloSent, kEstablished, kShutdown };
+
+  enum class RecordType : std::uint8_t {
+    kHandshake = 22,
+    kApplicationData = 23,
+    kCloseNotify = 21,
+  };
+
+  void send_record(RecordType type, const std::vector<std::uint8_t>& payload);
+  /// Decodes one full record from the BIO, or nullopt when incomplete.
+  std::optional<std::pair<RecordType, std::vector<std::uint8_t>>> recv_record();
+
+  void send_hello();
+  bool process_hello(const std::vector<std::uint8_t>& payload);
+  void derive_keys(const bignum::BigNum& peer_pub, const std::vector<std::uint8_t>& cr,
+                   const std::vector<std::uint8_t>& sr);
+
+  SslCtx& ctx_;
+  bool server_ = false;
+  bool quiet_shutdown_ = false;
+  State state_ = State::kInit;
+  std::unique_ptr<Bio> bio_;
+
+  bignum::BigNum dh_priv_;
+  bignum::BigNum dh_pub_;
+  std::vector<std::uint8_t> my_random_;
+  std::vector<std::uint8_t> peer_random_;  // valid after hello exchange
+  bool keys_ready_ = false;
+  crypto::ChaChaKey session_key_{};
+  std::uint64_t send_seq_ = 0;
+  std::uint64_t recv_seq_ = 0;
+
+  std::vector<std::string> alpn_offer_{"http/1.1"};
+  std::string alpn_selected_;
+  std::string peer_cert_;
+  bool sent_close_ = false;
+  bool received_close_ = false;
+  mutable int last_error_ = SSL_ERROR_NONE;
+};
+
+}  // namespace minissl

@@ -1,0 +1,109 @@
+// TaLoS: the enclavised minissl (§5.2.1).
+//
+// TaLoS is "an enclavised LibreSSL designed to be a drop-in replacement":
+// the *entire OpenSSL API* is exposed 1:1 as the enclave interface.  Every
+// SSL_*/ERR_*/BIO_* call the application makes is an ecall; socket reads and
+// writes and the SSL_CTX callbacks leave the enclave as ocalls
+// (enclave_ocall_read / _write / _execute_ssl_ctx_info_callback /
+// _alpn_select_cb in Figure 5).  This is exactly the interface design the
+// paper concludes is "not suitable as an enclave interface due to its high
+// number of transitions for simple operations."
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "minissl/session.hpp"
+#include "sgxsim/runtime.hpp"
+
+namespace minissl {
+
+extern const char* const kTalosEdl;
+
+/// Marshalling struct shared by the TaLoS ecalls/ocalls.
+struct TalosMs {
+  void* host = nullptr;           // untrusted TalosEnclave ([user_check])
+  std::uint64_t ssl_handle = 0;   // in-enclave SSL object id
+  std::uint64_t conn_id = 0;      // untrusted connection id (for transport ocalls)
+  void* buf = nullptr;
+  std::int64_t len = 0;
+  std::int64_t ret = 0;
+  std::uint64_t u64_ret = 0;
+  long larg = 0;
+  int iarg = 0;
+  int where = 0;                  // info callback
+};
+
+/// Hosts the TaLoS enclave plus the untrusted connection registry and
+/// callback targets.
+class TalosEnclave {
+ public:
+  explicit TalosEnclave(sgxsim::Urts& urts, sgxsim::EnclaveConfig config = default_config());
+  ~TalosEnclave();
+
+  TalosEnclave(const TalosEnclave&) = delete;
+  TalosEnclave& operator=(const TalosEnclave&) = delete;
+
+  [[nodiscard]] static sgxsim::EnclaveConfig default_config();
+
+  /// Registers an untrusted transport and returns its connection id.
+  std::uint64_t register_connection(std::unique_ptr<Transport> transport);
+  void drop_connection(std::uint64_t conn_id);
+
+  /// Creates an in-enclave SSL session bound to `conn_id`
+  /// (SSL_new + SSL_set_fd + SSL_set_accept/connect_state as ecalls).
+  [[nodiscard]] std::unique_ptr<TlsSession> new_session(std::uint64_t conn_id, bool server);
+
+  [[nodiscard]] sgxsim::EnclaveId enclave_id() const noexcept { return eid_; }
+  [[nodiscard]] sgxsim::Urts& urts() noexcept { return urts_; }
+  [[nodiscard]] const sgxsim::OcallTable& ocall_table() const noexcept { return table_; }
+
+  /// Untrusted callback counters (the ocall targets).
+  std::uint64_t info_callback_invocations = 0;
+  std::uint64_t alpn_callback_invocations = 0;
+
+  // Used by the transport ocalls.
+  [[nodiscard]] Transport* connection(std::uint64_t conn_id);
+
+  /// Trusted-side state; public so the in-enclave transport/callback glue in
+  /// talos.cpp can name it.
+  struct TrustedState;
+
+ private:
+  friend class TalosTlsSession;
+
+  sgxsim::SgxStatus ecall(const char* name, TalosMs& ms);
+
+  sgxsim::Urts& urts_;
+  sgxsim::EnclaveId eid_ = 0;
+  sgxsim::OcallTable table_;
+  std::map<std::string, sgxsim::CallId> ecall_ids_;
+  std::map<std::uint64_t, std::unique_ptr<Transport>> connections_;
+  std::uint64_t next_conn_id_ = 1;
+  std::unique_ptr<TrustedState> trusted_;
+};
+
+/// TlsSession implementation where every member function is an ecall.
+class TalosTlsSession final : public TlsSession {
+ public:
+  TalosTlsSession(TalosEnclave& enclave, std::uint64_t ssl_handle, std::uint64_t conn_id);
+  ~TalosTlsSession() override;
+
+  int do_handshake() override;
+  int read(void* buf, int len) override;
+  int write(const void* buf, int len) override;
+  int shutdown() override;
+  int get_error(int ret) override;
+  long bio_pending() override;  // sgx_ecall_SSL_get_rbio + sgx_ecall_BIO_int_ctrl
+  void set_quiet_shutdown(bool quiet) override;
+  std::uint64_t err_peek() override;
+  std::uint64_t err_get() override;
+  void err_clear() override;
+
+ private:
+  TalosEnclave& enclave_;
+  std::uint64_t handle_;
+  std::uint64_t conn_id_;
+};
+
+}  // namespace minissl

@@ -1,0 +1,532 @@
+#include "perf/analyzer.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "perf/parents.hpp"
+#include "support/strutil.hpp"
+
+namespace perf {
+
+using support::Nanoseconds;
+using tracedb::CallIndex;
+using tracedb::CallKey;
+using tracedb::CallRecord;
+using tracedb::CallType;
+using tracedb::kNoParent;
+using tracedb::OcallKind;
+
+const char* to_string(FindingKind k) noexcept {
+  switch (k) {
+    case FindingKind::kShortCalls: return "short calls (SISC/SDSC)";
+    case FindingKind::kReorderStart: return "short nested call at parent start (SNC)";
+    case FindingKind::kReorderEnd: return "short nested call at parent end (SNC)";
+    case FindingKind::kBatchable: return "short identical successive calls (SISC)";
+    case FindingKind::kMergeable: return "short different successive calls (SDSC)";
+    case FindingKind::kSyncContention: return "short synchronisation calls (SSC)";
+    case FindingKind::kPaging: return "EPC paging";
+    case FindingKind::kPrivateEcallCandidate: return "ecall can be made private";
+    case FindingKind::kExcessAllowedEcalls: return "allow() list larger than necessary";
+    case FindingKind::kMinimalAllowSet: return "smallest observed allow() set";
+    case FindingKind::kUserCheckPointer: return "user_check pointer argument";
+  }
+  return "?";
+}
+
+const char* to_string(Recommendation r) noexcept {
+  switch (r) {
+    case Recommendation::kReorder: return "reorder the call before/after its parent";
+    case Recommendation::kBatch: return "batch successive calls into one";
+    case Recommendation::kMerge: return "merge the successive calls into a single call";
+    case Recommendation::kMoveCallerIn: return "move the caller inside the enclave";
+    case Recommendation::kMoveCallerOut:
+      return "move the caller outside the enclave (needs security evaluation)";
+    case Recommendation::kDuplicateInEnclave:
+      return "duplicate the ocall's functionality inside the enclave (grows the TCB)";
+    case Recommendation::kHybridLock: return "use a hybrid spin-then-sleep lock";
+    case Recommendation::kLockFreeStructure: return "use lock-free data structures";
+    case Recommendation::kReduceMemoryUsage: return "reduce in-enclave memory usage";
+    case Recommendation::kPreloadPages: return "pre-load pages before issuing the ecall";
+    case Recommendation::kAlternativeMemoryManagement:
+      return "manage memory inside the enclave instead of relying on SGX paging";
+    case Recommendation::kMakePrivate: return "declare the ecall private in the EDL";
+    case Recommendation::kRestrictAllowedEcalls: return "shrink the ocall's allow() list";
+    case Recommendation::kCheckPointerHandling:
+      return "verify all checks on the user_check pointer";
+  }
+  return "?";
+}
+
+Analyzer::Analyzer(const tracedb::TraceDatabase& db, AnalyzerConfig config)
+    : db_(db), config_(config) {}
+
+void Analyzer::set_interface(tracedb::EnclaveId enclave, sgxsim::edl::InterfaceSpec spec) {
+  interfaces_[enclave] = std::move(spec);
+}
+
+Nanoseconds Analyzer::adjusted_duration(const CallRecord& c) const {
+  const Nanoseconds raw = c.duration();
+  if (c.type == CallType::kEcall) {
+    return raw > config_.ecall_transition_ns ? raw - config_.ecall_transition_ns : 0;
+  }
+  return raw;
+}
+
+AnalysisReport Analyzer::analyze() const {
+  AnalysisReport report;
+  compute_overviews(report);
+  compute_stats(report);
+  detect_short_calls(report);
+  detect_reordering(report);
+  const auto indirect = compute_indirect_parents(db_);
+  detect_merge_batch(report, indirect);
+  detect_sync(report);
+  detect_paging(report);
+  analyze_security(report);
+
+  std::stable_sort(report.findings.begin(), report.findings.end(),
+                   [](const Finding& a, const Finding& b) { return a.severity > b.severity; });
+  return report;
+}
+
+void Analyzer::compute_overviews(AnalysisReport& report) const {
+  std::set<tracedb::EnclaveId> ids;
+  for (const auto& e : db_.enclaves()) ids.insert(e.enclave_id);
+  for (const auto& c : db_.calls()) ids.insert(c.enclave_id);
+
+  for (const auto id : ids) {
+    EnclaveOverview ov;
+    ov.enclave_id = id;
+    for (const auto& e : db_.enclaves()) {
+      if (e.enclave_id == id) ov.name = e.name;
+    }
+    const auto spec = interfaces_.find(id);
+    if (spec != interfaces_.end()) {
+      ov.ecalls_defined = spec->second.ecalls.size();
+      ov.ocalls_defined = spec->second.ocalls.size();
+    }
+    ov.ecalls_called = tracedb::distinct_calls(db_, id, CallType::kEcall);
+    ov.ocalls_called = tracedb::distinct_calls(db_, id, CallType::kOcall);
+    ov.ecall_instances = tracedb::total_calls(db_, id, CallType::kEcall);
+    ov.ocall_instances = tracedb::total_calls(db_, id, CallType::kOcall);
+    ov.ecalls_below_10us = tracedb::fraction_shorter_than(
+        db_, id, CallType::kEcall, config_.short_call_ns, config_.ecall_transition_ns);
+    ov.ocalls_below_10us =
+        tracedb::fraction_shorter_than(db_, id, CallType::kOcall, config_.short_call_ns);
+    const auto [ins, outs] = tracedb::paging_counts(db_, id);
+    ov.page_ins = ins;
+    ov.page_outs = outs;
+    report.overviews.push_back(std::move(ov));
+  }
+}
+
+void Analyzer::compute_stats(AnalysisReport& report) const {
+  const auto groups = tracedb::group_calls(db_);
+  const auto& calls = db_.calls();
+  for (const auto& [key, instances] : groups) {
+    CallStats cs;
+    cs.key = key;
+    cs.name = db_.name_of(key.enclave_id, key.type, key.call_id);
+    std::vector<std::uint64_t> durations;
+    durations.reserve(instances.size());
+    std::size_t below = 0;
+    for (const auto idx : instances) {
+      const auto& c = calls[static_cast<std::size_t>(idx)];
+      durations.push_back(c.duration());
+      cs.aex_total += c.aex_count;
+      if (adjusted_duration(c) < config_.short_call_ns) ++below;
+    }
+    cs.duration_ns = support::summarize(durations);
+    cs.fraction_below_10us =
+        instances.empty() ? 0.0 : static_cast<double>(below) / static_cast<double>(instances.size());
+    report.stats.push_back(std::move(cs));
+  }
+  std::stable_sort(report.stats.begin(), report.stats.end(),
+                   [](const CallStats& a, const CallStats& b) {
+                     return a.duration_ns.count > b.duration_ns.count;
+                   });
+}
+
+// --- Equation 1: moving / duplication ---------------------------------------
+void Analyzer::detect_short_calls(AnalysisReport& report) const {
+  const auto groups = tracedb::group_calls(db_);
+  const auto& calls = db_.calls();
+  for (const auto& [key, instances] : groups) {
+    if (instances.size() < config_.min_calls) continue;
+    std::size_t c1 = 0;
+    std::size_t c5 = 0;
+    std::size_t c10 = 0;
+    bool any_nested_ocall = false;
+    for (const auto idx : instances) {
+      const auto& c = calls[static_cast<std::size_t>(idx)];
+      const Nanoseconds d = adjusted_duration(c);
+      if (d < 1'000) ++c1;
+      if (d < 5'000) ++c5;
+      if (d < 10'000) ++c10;
+      if (c.type == CallType::kOcall && c.parent != kNoParent) any_nested_ocall = true;
+    }
+    const auto total = static_cast<double>(instances.size());
+    const bool fires = (static_cast<double>(c1) / total >= config_.eq1_alpha) ||
+                       (static_cast<double>(c5) / total >= config_.eq1_beta) ||
+                       (static_cast<double>(c10) / total >= config_.eq1_gamma);
+    if (!fires) continue;
+
+    Finding f;
+    f.kind = FindingKind::kShortCalls;
+    f.subject = key;
+    f.subject_name = db_.name_of(key.enclave_id, key.type, key.call_id);
+    if (key.type == CallType::kEcall) {
+      // Moving the caller *in* keeps secrets inside; moving it *out* needs a
+      // security evaluation (§3.1).
+      f.recommendations = {Recommendation::kMoveCallerIn, Recommendation::kMoveCallerOut};
+    } else {
+      f.recommendations = {Recommendation::kMoveCallerOut};
+      if (any_nested_ocall) f.recommendations.push_back(Recommendation::kDuplicateInEnclave);
+    }
+    f.detail = support::format(
+        "%zu calls; %.1f%% < 1us, %.1f%% < 5us, %.1f%% < 10us "
+        "(ecall durations transition-adjusted by %llu ns)",
+        instances.size(), 100.0 * static_cast<double>(c1) / total,
+        100.0 * static_cast<double>(c5) / total, 100.0 * static_cast<double>(c10) / total,
+        static_cast<unsigned long long>(
+            key.type == CallType::kEcall ? config_.ecall_transition_ns : 0));
+    f.severity = static_cast<double>(c10);
+    report.findings.push_back(std::move(f));
+  }
+}
+
+// --- Equation 2: reordering ----------------------------------------------------
+void Analyzer::detect_reordering(AnalysisReport& report) const {
+  const auto groups = tracedb::group_calls(db_);
+  const auto& calls = db_.calls();
+  for (const auto& [key, instances] : groups) {
+    if (instances.size() < config_.min_calls) continue;
+    std::size_t start10 = 0;
+    std::size_t start20 = 0;
+    std::size_t end10 = 0;
+    std::size_t end20 = 0;
+    std::size_t nested = 0;
+    // Aggregate partner (parent) for reporting: the most frequent parent key.
+    std::map<CallKey, std::size_t> parent_freq;
+    for (const auto idx : instances) {
+      const auto& c = calls[static_cast<std::size_t>(idx)];
+      if (c.parent == kNoParent) continue;
+      ++nested;
+      const auto& p = calls[static_cast<std::size_t>(c.parent)];
+      ++parent_freq[CallKey{p.enclave_id, p.type, p.call_id}];
+      const Nanoseconds from_start = c.start_ns - p.start_ns;
+      if (from_start <= 10'000) ++start10;
+      if (from_start <= 20'000) ++start20;
+      // The parent's end is known post-mortem.
+      if (p.end_ns >= c.end_ns) {
+        const Nanoseconds to_end = p.end_ns - c.end_ns;
+        if (to_end <= 10'000) ++end10;
+        if (to_end <= 20'000) ++end20;
+      }
+    }
+    if (nested == 0) continue;
+    const auto total = static_cast<double>(instances.size());
+
+    const auto score = [&](std::size_t c10, std::size_t c20) {
+      return static_cast<double>(c10) / total * config_.eq2_alpha +
+             static_cast<double>(c20) / total * config_.eq2_beta;
+    };
+
+    CallKey partner_key{};
+    std::size_t best = 0;
+    for (const auto& [pk, n] : parent_freq) {
+      if (n > best) {
+        best = n;
+        partner_key = pk;
+      }
+    }
+
+    const double s_start = score(start10, start20);
+    const double s_end = score(end10, end20);
+    for (int at_end = 0; at_end < 2; ++at_end) {
+      const double s = at_end ? s_end : s_start;
+      if (s < config_.eq2_gamma) continue;
+      Finding f;
+      f.kind = at_end ? FindingKind::kReorderEnd : FindingKind::kReorderStart;
+      f.subject = key;
+      f.subject_name = db_.name_of(key.enclave_id, key.type, key.call_id);
+      f.partner = partner_key;
+      f.partner_name = db_.name_of(partner_key.enclave_id, partner_key.type, partner_key.call_id);
+      f.recommendations = {Recommendation::kReorder};
+      if (key.type == CallType::kOcall) {
+        f.recommendations.push_back(Recommendation::kDuplicateInEnclave);
+      }
+      f.detail = support::format(
+          "%zu/%zu instances nested in %s; weighted share near parent %s = %.2f (>= %.2f)",
+          nested, instances.size(), f.partner_name.c_str(), at_end ? "end" : "start", s,
+          config_.eq2_gamma);
+      f.severity = static_cast<double>(at_end ? end20 : start20);
+      report.findings.push_back(std::move(f));
+    }
+  }
+}
+
+// --- Equation 3: merging / batching ----------------------------------------------
+void Analyzer::detect_merge_batch(AnalysisReport& report,
+                                  const std::vector<CallIndex>& indirect) const {
+  const auto groups = tracedb::group_calls(db_);
+  const auto& calls = db_.calls();
+
+  // Instance counts per key, for the PΣ / CΣ ratio.
+  std::map<CallKey, std::size_t> totals;
+  for (const auto& [key, instances] : groups) totals[key] = instances.size();
+
+  for (const auto& [key, instances] : groups) {
+    if (instances.size() < config_.min_calls) continue;
+
+    // Group this key's instances by the key of their indirect parent.
+    struct PairStats {
+      std::size_t count = 0;  // C instances whose ip belongs to the partner key
+      std::size_t p1 = 0, p5 = 0, p10 = 0, p20 = 0;
+    };
+    std::map<CallKey, PairStats> by_parent;
+    for (const auto idx : instances) {
+      const CallIndex ip = indirect[static_cast<std::size_t>(idx)];
+      if (ip == kNoParent) continue;
+      const auto& c = calls[static_cast<std::size_t>(idx)];
+      const auto& p = calls[static_cast<std::size_t>(ip)];
+      auto& ps = by_parent[CallKey{p.enclave_id, p.type, p.call_id}];
+      ++ps.count;
+      if (c.start_ns < p.end_ns) continue;  // overlapping records: skip gap stats
+      const Nanoseconds gap = c.start_ns - p.end_ns;
+      if (gap <= 1'000) ++ps.p1;
+      if (gap <= 5'000) ++ps.p5;
+      if (gap <= 10'000) ++ps.p10;
+      if (gap <= 20'000) ++ps.p20;
+    }
+
+    for (const auto& [parent_key, ps] : by_parent) {
+      // "the analyser only considers calls for merging that are indirect
+      // parents at least 35% of the time (λ)": the fraction of this call's
+      // instances whose indirect parent is an instance of parent_key.
+      const double ip_fraction =
+          static_cast<double>(ps.count) / static_cast<double>(instances.size());
+      if (ip_fraction < config_.eq3_lambda) continue;
+      const auto p_total = static_cast<double>(ps.count);
+      const double score = static_cast<double>(ps.p1) / p_total * config_.eq3_alpha +
+                           static_cast<double>(ps.p5) / p_total * config_.eq3_beta +
+                           static_cast<double>(ps.p10) / p_total * config_.eq3_gamma +
+                           static_cast<double>(ps.p20) / p_total * config_.eq3_delta;
+      if (score < config_.eq3_epsilon) continue;
+
+      Finding f;
+      const bool batching = parent_key == key;  // its own indirect parent
+      f.kind = batching ? FindingKind::kBatchable : FindingKind::kMergeable;
+      f.subject = key;
+      f.subject_name = db_.name_of(key.enclave_id, key.type, key.call_id);
+      f.partner = parent_key;
+      f.partner_name =
+          db_.name_of(parent_key.enclave_id, parent_key.type, parent_key.call_id);
+      f.recommendations = {batching ? Recommendation::kBatch : Recommendation::kMerge};
+      f.recommendations.push_back(key.type == CallType::kEcall ? Recommendation::kMoveCallerIn
+                                                               : Recommendation::kMoveCallerOut);
+      f.detail = support::format(
+          "%zu instances follow %s (%.0f%% of %zu); gaps: %.0f%% <= 1us, %.0f%% <= 5us, "
+          "%.0f%% <= 10us, %.0f%% <= 20us; weighted score %.2f >= %.2f",
+          ps.count, f.partner_name.c_str(), 100.0 * ip_fraction, instances.size(),
+          100.0 * static_cast<double>(ps.p1) / p_total,
+          100.0 * static_cast<double>(ps.p5) / p_total,
+          100.0 * static_cast<double>(ps.p10) / p_total,
+          100.0 * static_cast<double>(ps.p20) / p_total, score, config_.eq3_epsilon);
+      f.severity = static_cast<double>(ps.count) * 2.0;  // merging saves round trips
+      report.findings.push_back(std::move(f));
+    }
+  }
+}
+
+// --- SSC: short synchronisation calls ------------------------------------------
+void Analyzer::detect_sync(AnalysisReport& report) const {
+  const auto groups = tracedb::group_calls(db_);
+  const auto& calls = db_.calls();
+  for (const auto& [key, instances] : groups) {
+    if (key.type != CallType::kOcall || instances.empty()) continue;
+    const auto kind = calls[static_cast<std::size_t>(instances.front())].kind;
+    if (kind == OcallKind::kGeneric) continue;
+
+    // Wake-ups are "typically very short (<10us)" — every one is a wasted
+    // transition.  Short sleeps signal a briefly-held lock (§3.4).
+    std::size_t short_calls = 0;
+    for (const auto idx : instances) {
+      if (calls[static_cast<std::size_t>(idx)].duration() < config_.short_call_ns) {
+        ++short_calls;
+      }
+    }
+    const bool is_sleep = kind == OcallKind::kSleep || kind == OcallKind::kWakeOneAndSleep;
+    if (short_calls == 0) continue;
+    if (instances.size() < 2) continue;
+
+    Finding f;
+    f.kind = FindingKind::kSyncContention;
+    f.subject = key;
+    f.subject_name = db_.name_of(key.enclave_id, key.type, key.call_id);
+    f.recommendations = {Recommendation::kHybridLock, Recommendation::kLockFreeStructure};
+    f.detail = support::format(
+        "%zu %s ocalls, %zu shorter than 10us — the transition dominates; consider keeping "
+        "the contention inside the enclave",
+        instances.size(), is_sleep ? "sleep" : "wake-up", short_calls);
+    f.severity = static_cast<double>(short_calls);
+    report.findings.push_back(std::move(f));
+  }
+}
+
+// --- paging -----------------------------------------------------------------------
+void Analyzer::detect_paging(AnalysisReport& report) const {
+  std::map<tracedb::EnclaveId, std::size_t> events;
+  for (const auto& p : db_.paging()) ++events[p.enclave_id];
+  for (const auto& [eid, count] : events) {
+    if (count < config_.paging_threshold) continue;
+    Finding f;
+    f.kind = FindingKind::kPaging;
+    f.subject = CallKey{eid, CallType::kEcall, 0};
+    f.subject_name = support::format("enclave %llu", static_cast<unsigned long long>(eid));
+    for (const auto& e : db_.enclaves()) {
+      if (e.enclave_id == eid && !e.name.empty()) f.subject_name = e.name;
+    }
+    f.recommendations = {Recommendation::kReduceMemoryUsage, Recommendation::kPreloadPages,
+                         Recommendation::kAlternativeMemoryManagement};
+    f.detail = support::format(
+        "%zu EPC paging events — each one costs a transition plus page re-encryption", count);
+    f.severity = static_cast<double>(count) * 4.0;  // paging is the costliest pattern
+    report.findings.push_back(std::move(f));
+  }
+}
+
+// --- interface security (§3.6, §4.3.2) ----------------------------------------------
+void Analyzer::analyze_security(AnalysisReport& report) const {
+  const auto groups = tracedb::group_calls(db_);
+  const auto& calls = db_.calls();
+
+  // 1. Private-ecall candidates: every instance was issued during an ocall.
+  for (const auto& [key, instances] : groups) {
+    if (key.type != CallType::kEcall || instances.empty()) continue;
+    bool all_nested = true;
+    std::set<std::string> parent_ocalls;
+    for (const auto idx : instances) {
+      const auto& c = calls[static_cast<std::size_t>(idx)];
+      if (c.parent == kNoParent) {
+        all_nested = false;
+        break;
+      }
+      const auto& p = calls[static_cast<std::size_t>(c.parent)];
+      parent_ocalls.insert(db_.name_of(p.enclave_id, p.type, p.call_id));
+    }
+    if (!all_nested) continue;
+
+    // Skip if the EDL already declares it private.
+    const auto spec = interfaces_.find(key.enclave_id);
+    if (spec != interfaces_.end() && key.call_id < spec->second.ecalls.size() &&
+        !spec->second.ecalls[key.call_id].is_public) {
+      continue;
+    }
+
+    Finding f;
+    f.kind = FindingKind::kPrivateEcallCandidate;
+    f.subject = key;
+    f.subject_name = db_.name_of(key.enclave_id, key.type, key.call_id);
+    f.recommendations = {Recommendation::kMakePrivate};
+    std::string parents;
+    for (const auto& name : parent_ocalls) {
+      if (!parents.empty()) parents += ", ";
+      parents += name;
+    }
+    f.detail = support::format(
+        "all %zu instances were issued during ocalls; allow it from: %s "
+        "(note: this recommendation is workload-dependent)",
+        instances.size(), parents.c_str());
+    f.severity = 1.0;
+    report.findings.push_back(std::move(f));
+  }
+
+  // 2a. Without an EDL, "the analyser will state the smallest set of allowed
+  //     ecalls" (§4.3.2): report, per ocall that hosted nested ecalls, the
+  //     exact set observed — the minimal allow() list the developer needs.
+  {
+    std::map<CallKey, std::set<std::string>> observed_per_ocall;
+    for (const auto& c : calls) {
+      if (c.type != CallType::kEcall || c.parent == kNoParent) continue;
+      if (interfaces_.contains(c.enclave_id)) continue;  // EDL supplied: 2b handles it
+      const auto& p = calls[static_cast<std::size_t>(c.parent)];
+      observed_per_ocall[CallKey{p.enclave_id, p.type, p.call_id}].insert(
+          db_.name_of(c.enclave_id, CallType::kEcall, c.call_id));
+    }
+    for (const auto& [okey, ecall_names] : observed_per_ocall) {
+      Finding f;
+      f.kind = FindingKind::kMinimalAllowSet;
+      f.subject = okey;
+      f.subject_name = db_.name_of(okey.enclave_id, okey.type, okey.call_id);
+      f.recommendations = {Recommendation::kRestrictAllowedEcalls};
+      std::vector<std::string> names(ecall_names.begin(), ecall_names.end());
+      f.detail = support::format("allow (%s) suffices for this workload",
+                                 support::join(names, ", ").c_str());
+      f.severity = 0.5;
+      report.findings.push_back(std::move(f));
+    }
+  }
+
+  // 2b. allow() lists vs observed nesting, and user_check pointers (EDL only).
+  for (const auto& [eid, spec] : interfaces_) {
+    // Observed: which ecalls actually ran during each ocall.
+    std::map<tracedb::CallId, std::set<std::string>> observed;  // ocall id -> ecall names
+    for (const auto& c : calls) {
+      if (c.type != CallType::kEcall || c.parent == kNoParent || c.enclave_id != eid) continue;
+      const auto& p = calls[static_cast<std::size_t>(c.parent)];
+      observed[p.call_id].insert(db_.name_of(c.enclave_id, CallType::kEcall, c.call_id));
+    }
+    for (std::size_t oid = 0; oid < spec.ocalls.size(); ++oid) {
+      const auto& o = spec.ocalls[oid];
+      if (o.allowed_ecalls.empty()) continue;
+      const auto& used = observed[static_cast<tracedb::CallId>(oid)];
+      std::vector<std::string> excess;
+      for (const auto& allowed : o.allowed_ecalls) {
+        if (!used.contains(allowed)) excess.push_back(allowed);
+      }
+      if (excess.empty()) continue;
+      Finding f;
+      f.kind = FindingKind::kExcessAllowedEcalls;
+      f.subject = CallKey{eid, CallType::kOcall, static_cast<tracedb::CallId>(oid)};
+      f.subject_name = o.name;
+      f.recommendations = {Recommendation::kRestrictAllowedEcalls};
+      f.detail = support::format("allowed but never called during this ocall: %s "
+                                 "(note: this recommendation is workload-dependent)",
+                                 support::join(excess, ", ").c_str());
+      f.severity = static_cast<double>(excess.size());
+      report.findings.push_back(std::move(f));
+    }
+
+    // user_check pointers.
+    auto flag_user_check = [&](const CallKey& key, const std::string& name,
+                               const std::vector<sgxsim::edl::Parameter>& params) {
+      std::vector<std::string> bad;
+      for (const auto& p : params) {
+        if (p.direction == sgxsim::edl::PointerDirection::kUserCheck) bad.push_back(p.name);
+      }
+      if (bad.empty()) return;
+      Finding f;
+      f.kind = FindingKind::kUserCheckPointer;
+      f.subject = key;
+      f.subject_name = name;
+      f.recommendations = {Recommendation::kCheckPointerHandling};
+      f.detail = support::format("user_check pointer parameter(s): %s — vulnerable to "
+                                 "buffer overflows, TOCTTOU and in-enclave addresses if "
+                                 "left unchecked",
+                                 support::join(bad, ", ").c_str());
+      f.severity = static_cast<double>(bad.size());
+      report.findings.push_back(std::move(f));
+    };
+    for (std::size_t i = 0; i < spec.ecalls.size(); ++i) {
+      flag_user_check(CallKey{eid, CallType::kEcall, static_cast<tracedb::CallId>(i)},
+                      spec.ecalls[i].name, spec.ecalls[i].params);
+    }
+    for (std::size_t i = 0; i < spec.ocalls.size(); ++i) {
+      flag_user_check(CallKey{eid, CallType::kOcall, static_cast<tracedb::CallId>(i)},
+                      spec.ocalls[i].name, spec.ocalls[i].params);
+    }
+  }
+}
+
+}  // namespace perf

@@ -1,0 +1,171 @@
+// The sgx-perf analyser (§4.3): general statistics, anti-pattern detection
+// (SISC, SDSC, SNC, SSC, paging) via the paper's Equations 1-3, and enclave
+// interface security analysis (§3.6).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sgxsim/edl.hpp"
+#include "support/stats.hpp"
+#include "tracedb/database.hpp"
+#include "tracedb/query.hpp"
+
+namespace perf {
+
+/// All weights default to the paper's values (§4.3.2); thresholds are virtual
+/// nanoseconds.
+struct AnalyzerConfig {
+  // Equation 1 — moving / duplication opportunities.
+  // "(i) 35% of calls are shorter than 1us, (ii) 50% shorter than 5us or
+  //  (iii) 65% shorter than 10us."
+  double eq1_alpha = 0.35;
+  double eq1_beta = 0.50;
+  double eq1_gamma = 0.65;
+
+  // Equation 2 — reordering opportunities (calls near the start/end of their
+  // direct parent).
+  double eq2_alpha = 1.00;
+  double eq2_beta = 0.75;
+  double eq2_gamma = 0.50;
+
+  // Equation 3 — merging / batching opportunities (gap to indirect parent).
+  double eq3_alpha = 1.00;
+  double eq3_beta = 0.75;
+  double eq3_gamma = 0.50;
+  double eq3_delta = 0.35;
+  double eq3_epsilon = 0.35;
+  double eq3_lambda = 0.35;
+
+  /// Transition time subtracted from *ecall* durations before comparing with
+  /// the short-call thresholds (§4.1.2: ecall timestamps include transition
+  /// time, ocall timestamps do not).
+  support::Nanoseconds ecall_transition_ns = 4205;
+
+  /// Short-call threshold for SSC/overview statistics (§4.3.2: "we chose to
+  /// look at calls with execution times below 10us").
+  support::Nanoseconds short_call_ns = 10'000;
+
+  /// Minimum instances before a call site is considered by the detectors.
+  std::size_t min_calls = 8;
+
+  /// Paging events above this count raise a paging finding.
+  std::size_t paging_threshold = 64;
+};
+
+/// What kind of problem a finding describes (Table 1).
+enum class FindingKind {
+  kShortCalls,          // Eq.1 fired: SISC/SDSC via moving (or duplication)
+  kReorderStart,        // Eq.2 fired at parent start: SNC
+  kReorderEnd,          // Eq.2 fired at parent end: SNC
+  kBatchable,           // Eq.3, call is its own indirect parent: SISC
+  kMergeable,           // Eq.3, different indirect parent: SDSC
+  kSyncContention,      // SSC: short sync ocalls
+  kPaging,              // paging events observed
+  kPrivateEcallCandidate,
+  kExcessAllowedEcalls,
+  kMinimalAllowSet,  // no EDL given: the smallest allow() set observed
+  kUserCheckPointer,
+};
+
+[[nodiscard]] const char* to_string(FindingKind k) noexcept;
+
+/// Mitigation strategies of Table 1, ordered by the priority rules of
+/// §4.3.2: reordering does not grow the TCB and is evaluated first; moving
+/// *out* of the enclave needs a security evaluation.
+enum class Recommendation {
+  kReorder,
+  kBatch,
+  kMerge,
+  kMoveCallerIn,
+  kMoveCallerOut,
+  kDuplicateInEnclave,
+  kHybridLock,
+  kLockFreeStructure,
+  kReduceMemoryUsage,
+  kPreloadPages,
+  kAlternativeMemoryManagement,
+  kMakePrivate,
+  kRestrictAllowedEcalls,
+  kCheckPointerHandling,
+};
+
+[[nodiscard]] const char* to_string(Recommendation r) noexcept;
+
+struct Finding {
+  FindingKind kind = FindingKind::kShortCalls;
+  tracedb::CallKey subject;
+  std::string subject_name;
+  /// Merge partner / parent call, when the finding relates two calls.
+  std::optional<tracedb::CallKey> partner;
+  std::string partner_name;
+  std::vector<Recommendation> recommendations;
+  std::string detail;
+  /// Sort key: roughly the number of transitions that could be saved.
+  double severity = 0.0;
+};
+
+/// §4.3.1 general statistics for one call site.
+struct CallStats {
+  tracedb::CallKey key;
+  std::string name;
+  support::Summary duration_ns;
+  std::uint64_t aex_total = 0;
+  double fraction_below_10us = 0.0;
+};
+
+struct EnclaveOverview {
+  tracedb::EnclaveId enclave_id = 0;
+  std::string name;
+  std::size_t ecalls_defined = 0;   // from EDL, when supplied
+  std::size_t ocalls_defined = 0;
+  std::size_t ecalls_called = 0;    // distinct ids observed
+  std::size_t ocalls_called = 0;
+  std::size_t ecall_instances = 0;
+  std::size_t ocall_instances = 0;
+  double ecalls_below_10us = 0.0;   // fraction (transition-adjusted)
+  double ocalls_below_10us = 0.0;
+  std::size_t page_ins = 0;
+  std::size_t page_outs = 0;
+};
+
+struct AnalysisReport {
+  std::vector<EnclaveOverview> overviews;
+  std::vector<CallStats> stats;          // sorted by call count, descending
+  std::vector<Finding> findings;         // sorted by severity, descending
+};
+
+class Analyzer {
+ public:
+  explicit Analyzer(const tracedb::TraceDatabase& db, AnalyzerConfig config = {});
+
+  /// Supplies the EDL of an enclave, enabling the allow()-list comparison and
+  /// user_check highlighting (§4.3.2 "Optionally, the analyser can be
+  /// supplied the EDL file of the enclave").
+  void set_interface(tracedb::EnclaveId enclave, sgxsim::edl::InterfaceSpec spec);
+
+  [[nodiscard]] AnalysisReport analyze() const;
+
+ private:
+  void compute_overviews(AnalysisReport& report) const;
+  void compute_stats(AnalysisReport& report) const;
+  void detect_short_calls(AnalysisReport& report) const;           // Eq. 1
+  void detect_reordering(AnalysisReport& report) const;            // Eq. 2
+  void detect_merge_batch(AnalysisReport& report,
+                          const std::vector<tracedb::CallIndex>& indirect) const;  // Eq. 3
+  void detect_sync(AnalysisReport& report) const;                  // SSC
+  void detect_paging(AnalysisReport& report) const;
+  void analyze_security(AnalysisReport& report) const;
+
+  /// Duration with the ecall transition time subtracted (§4.1.2).
+  [[nodiscard]] support::Nanoseconds adjusted_duration(const tracedb::CallRecord& c) const;
+
+  const tracedb::TraceDatabase& db_;
+  AnalyzerConfig config_;
+  std::map<tracedb::EnclaveId, sgxsim::edl::InterfaceSpec> interfaces_;
+};
+
+}  // namespace perf

@@ -1,0 +1,106 @@
+#include "perf/compare.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "support/strutil.hpp"
+#include "tracedb/query.hpp"
+
+namespace perf {
+
+namespace {
+
+struct Accum {
+  std::size_t count = 0;
+  double total_ns = 0.0;
+  tracedb::CallType type = tracedb::CallType::kEcall;
+};
+
+std::map<std::string, Accum> accumulate(const tracedb::TraceDatabase& db) {
+  std::map<std::string, Accum> out;
+  for (const auto& c : db.calls()) {
+    auto& a = out[db.name_of(c.enclave_id, c.type, c.call_id)];
+    ++a.count;
+    a.total_ns += static_cast<double>(c.duration());
+    a.type = c.type;
+  }
+  return out;
+}
+
+support::Nanoseconds span_of(const tracedb::TraceDatabase& db) {
+  if (db.calls().empty()) return 0;
+  support::Nanoseconds first = db.calls().front().start_ns;
+  support::Nanoseconds last = 0;
+  for (const auto& c : db.calls()) {
+    first = std::min(first, c.start_ns);
+    last = std::max(last, c.end_ns);
+  }
+  return last - first;
+}
+
+}  // namespace
+
+TraceComparison compare_traces(const tracedb::TraceDatabase& before,
+                               const tracedb::TraceDatabase& after) {
+  TraceComparison cmp;
+  const auto b = accumulate(before);
+  const auto a = accumulate(after);
+
+  std::map<std::string, CallDelta> merged;
+  for (const auto& [name, acc] : b) {
+    auto& d = merged[name];
+    d.name = name;
+    d.type = acc.type;
+    d.count_before = acc.count;
+    d.mean_ns_before = acc.count > 0 ? acc.total_ns / static_cast<double>(acc.count) : 0.0;
+  }
+  for (const auto& [name, acc] : a) {
+    auto& d = merged[name];
+    d.name = name;
+    d.type = acc.type;
+    d.count_after = acc.count;
+    d.mean_ns_after = acc.count > 0 ? acc.total_ns / static_cast<double>(acc.count) : 0.0;
+  }
+  for (auto& [name, d] : merged) cmp.deltas.push_back(std::move(d));
+  std::stable_sort(cmp.deltas.begin(), cmp.deltas.end(), [](const auto& x, const auto& y) {
+    return std::abs(x.count_delta()) > std::abs(y.count_delta());
+  });
+
+  for (const auto& c : before.calls()) {
+    (c.type == tracedb::CallType::kEcall ? cmp.ecalls_before : cmp.ocalls_before)++;
+  }
+  for (const auto& c : after.calls()) {
+    (c.type == tracedb::CallType::kEcall ? cmp.ecalls_after : cmp.ocalls_after)++;
+  }
+  cmp.span_before = span_of(before);
+  cmp.span_after = span_of(after);
+  return cmp;
+}
+
+std::string render_comparison(const TraceComparison& cmp, std::size_t max_rows) {
+  std::string out = "==== trace comparison (before -> after) ====\n";
+  out += support::format("ecalls: %zu -> %zu, ocalls: %zu -> %zu (transitions saved: %lld)\n",
+                         cmp.ecalls_before, cmp.ecalls_after, cmp.ocalls_before,
+                         cmp.ocalls_after, static_cast<long long>(cmp.transitions_saved()));
+  if (const auto speedup = cmp.speedup()) {
+    out += support::format("span: %s -> %s (%.2fx)\n",
+                           support::format_duration_ns(cmp.span_before).c_str(),
+                           support::format_duration_ns(cmp.span_after).c_str(), *speedup);
+  }
+  out += support::format("%-44s %10s %10s %12s %12s\n", "call", "cnt before", "cnt after",
+                         "mean before", "mean after");
+  std::size_t rows = 0;
+  for (const auto& d : cmp.deltas) {
+    if (++rows > max_rows) {
+      out += support::format("  ... and %zu more calls\n", cmp.deltas.size() - max_rows);
+      break;
+    }
+    out += support::format("%s %-42s %10zu %10zu %10.1fus %10.1fus\n",
+                           d.type == tracedb::CallType::kEcall ? "E" : "O", d.name.c_str(),
+                           d.count_before, d.count_after, d.mean_ns_before / 1e3,
+                           d.mean_ns_after / 1e3);
+  }
+  return out;
+}
+
+}  // namespace perf

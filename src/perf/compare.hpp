@@ -1,0 +1,62 @@
+// Before/after trace comparison.
+//
+// The sgx-perf workflow is iterative: profile, apply a recommendation,
+// profile again (§5: "implement recommendations when applicable ... and
+// present our findings").  This module diffs two traces of the same workload
+// — typically the naive and the optimised build — matching calls by *name*
+// (ids may differ between builds) and reporting count and duration deltas
+// plus the estimated transitions saved.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tracedb/database.hpp"
+
+namespace perf {
+
+struct CallDelta {
+  std::string name;
+  tracedb::CallType type = tracedb::CallType::kEcall;
+  std::size_t count_before = 0;
+  std::size_t count_after = 0;
+  double mean_ns_before = 0.0;
+  double mean_ns_after = 0.0;
+
+  [[nodiscard]] std::int64_t count_delta() const noexcept {
+    return static_cast<std::int64_t>(count_after) - static_cast<std::int64_t>(count_before);
+  }
+};
+
+struct TraceComparison {
+  std::vector<CallDelta> deltas;  // sorted by |count delta|, descending
+  std::size_t ecalls_before = 0;
+  std::size_t ecalls_after = 0;
+  std::size_t ocalls_before = 0;
+  std::size_t ocalls_after = 0;
+  /// Wall (virtual) span of each trace: last call end minus first call start.
+  support::Nanoseconds span_before = 0;
+  support::Nanoseconds span_after = 0;
+
+  /// Transitions saved per run (ecall+ocall count delta, negated).
+  [[nodiscard]] std::int64_t transitions_saved() const noexcept {
+    return static_cast<std::int64_t>(ecalls_before + ocalls_before) -
+           static_cast<std::int64_t>(ecalls_after + ocalls_after);
+  }
+  /// Speed-up of the after-trace over the before-trace (by span), when both
+  /// spans are non-zero.
+  [[nodiscard]] std::optional<double> speedup() const noexcept {
+    if (span_before == 0 || span_after == 0) return std::nullopt;
+    return static_cast<double>(span_before) / static_cast<double>(span_after);
+  }
+};
+
+[[nodiscard]] TraceComparison compare_traces(const tracedb::TraceDatabase& before,
+                                             const tracedb::TraceDatabase& after);
+
+/// Human-readable rendering of the comparison.
+[[nodiscard]] std::string render_comparison(const TraceComparison& comparison,
+                                            std::size_t max_rows = 20);
+
+}  // namespace perf

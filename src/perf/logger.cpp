@@ -1,0 +1,300 @@
+#include "perf/logger.hpp"
+
+#include <stdexcept>
+
+namespace perf {
+
+using sgxsim::CallId;
+using sgxsim::EnclaveId;
+using sgxsim::SgxStatus;
+using sgxsim::SyncOcall;
+using sgxsim::ThreadId;
+using support::Nanoseconds;
+using tracedb::CallIndex;
+using tracedb::CallRecord;
+using tracedb::CallType;
+using tracedb::OcallKind;
+
+namespace {
+
+/// Names the SDK gives its synchronisation ocalls; registered so analyser
+/// reports read like the real tool's output.
+const char* sync_ocall_name(std::size_t offset) {
+  switch (offset) {
+    case 0: return "sgx_thread_wait_untrusted_event_ocall";
+    case 1: return "sgx_thread_set_untrusted_event_ocall";
+    case 2: return "sgx_thread_set_multiple_untrusted_events_ocall";
+    case 3: return "sgx_thread_setwait_untrusted_events_ocall";
+    default: return "sgx_thread_unknown_sync_ocall";
+  }
+}
+
+OcallKind sync_kind(std::size_t offset) {
+  switch (static_cast<SyncOcall>(offset)) {
+    case SyncOcall::kWaitEvent: return OcallKind::kSleep;
+    case SyncOcall::kSetEvent: return OcallKind::kWakeOne;
+    case SyncOcall::kSetMultipleEvents: return OcallKind::kWakeMultiple;
+    case SyncOcall::kSetWaitEvent: return OcallKind::kWakeOneAndSleep;
+  }
+  return OcallKind::kGeneric;
+}
+
+}  // namespace
+
+Logger::Logger(tracedb::TraceDatabase& db, LoggerConfig config) : db_(db), config_(config) {}
+
+Logger::~Logger() {
+  if (attached()) detach();
+}
+
+void Logger::attach(sgxsim::Urts& urts) {
+  if (attached()) throw std::logic_error("Logger: already attached");
+  urts_ = &urts;
+
+  auto& hooks = urts.hooks();
+  hooks.sgx_ecall = [this](EnclaveId eid, CallId id, const sgxsim::OcallTable* table, void* ms) {
+    return shadow_sgx_ecall(eid, id, table, ms);
+  };
+  if (config_.count_aex || config_.trace_aex) {
+    hooks.aep = [this](EnclaveId eid, ThreadId tid, Nanoseconds now, sgxsim::AexCause cause) {
+      on_aex(eid, tid, now, cause);
+    };
+  }
+  hooks.enclave_created = [this](const sgxsim::Enclave& e) { on_enclave_created(e); };
+  hooks.enclave_destroyed = [this](EnclaveId eid, Nanoseconds now) {
+    on_enclave_destroyed(eid, now);
+  };
+  if (config_.trace_paging) {
+    urts.driver().set_trace_hooks(
+        [this](EnclaveId eid, std::uint64_t page, sgxsim::PageDirection dir, Nanoseconds now) {
+          on_paging(eid, page, dir, now);
+        });
+  }
+}
+
+void Logger::detach() {
+  if (!attached()) return;
+  auto& hooks = urts_->hooks();
+  hooks.sgx_ecall = nullptr;
+  hooks.aep = nullptr;
+  hooks.enclave_created = nullptr;
+  hooks.enclave_destroyed = nullptr;
+  if (config_.trace_paging) urts_->driver().clear_trace_hooks();
+  OcallStubRegistry::instance().reset();
+  urts_ = nullptr;
+  std::lock_guard lock(mu_);
+  threads_.clear();
+  names_registered_.clear();
+}
+
+Logger::ThreadTrace& Logger::thread_trace(ThreadId tid) {
+  std::lock_guard lock(mu_);
+  return threads_[tid];  // unordered_map references are rehash-stable
+}
+
+void Logger::register_names(const sgxsim::Enclave& enclave) {
+  {
+    std::lock_guard lock(mu_);
+    auto& done = names_registered_[enclave.id()];
+    if (done) return;
+    done = true;
+  }
+  const auto& spec = enclave.interface();
+  for (std::size_t i = 0; i < spec.ecalls.size(); ++i) {
+    db_.add_call_name({enclave.id(), CallType::kEcall, static_cast<CallId>(i),
+                       spec.ecalls[i].name});
+  }
+  for (std::size_t i = 0; i < spec.ocalls.size(); ++i) {
+    db_.add_call_name({enclave.id(), CallType::kOcall, static_cast<CallId>(i),
+                       spec.ocalls[i].name});
+  }
+  for (std::size_t off = 0; off < sgxsim::kNumSyncOcalls; ++off) {
+    db_.add_call_name({enclave.id(), CallType::kOcall,
+                       static_cast<CallId>(spec.ocalls.size() + off), sync_ocall_name(off)});
+  }
+}
+
+void Logger::on_enclave_created(const sgxsim::Enclave& enclave) {
+  tracedb::EnclaveRecord rec;
+  rec.enclave_id = enclave.id();
+  rec.name = enclave.config().name;
+  rec.created_ns = urts_->clock().now();
+  rec.tcs_count = static_cast<std::uint32_t>(enclave.tcs_count());
+  rec.size_bytes = enclave.size_bytes();
+  db_.add_enclave(rec);
+  register_names(enclave);
+}
+
+void Logger::on_enclave_destroyed(EnclaveId eid, Nanoseconds now) {
+  db_.set_enclave_destroyed(eid, now);
+}
+
+SgxStatus Logger::shadow_sgx_ecall(EnclaveId eid, CallId id, const sgxsim::OcallTable* table,
+                                   void* ms) {
+  // Enclaves created before attach: register lazily on first traced call.
+  if (const sgxsim::Enclave* enclave = urts_->find_enclave(eid)) {
+    bool need_record = false;
+    {
+      std::lock_guard lock(mu_);
+      need_record = !names_registered_.contains(eid);
+    }
+    if (need_record) on_enclave_created(*enclave);
+  }
+
+  auto& clock = urts_->clock();
+  const auto& cost = urts_->cost();
+  const ThreadId tid = urts_->current_thread_id();
+  ThreadTrace& trace = thread_trace(tid);
+
+  // Record entry: timestamp, thread, ids, direct parent (the enclosing ocall,
+  // if this ecall was issued from one).
+  clock.advance(cost.logger_ecall_pre_ns);
+  CallRecord rec;
+  rec.type = CallType::kEcall;
+  rec.thread_id = tid;
+  rec.enclave_id = eid;
+  rec.call_id = id;
+  if (!trace.stack.empty()) {
+    const auto& top = db_.calls()[static_cast<std::size_t>(trace.stack.back())];
+    if (top.type == CallType::kOcall) rec.parent = trace.stack.back();
+  }
+  rec.start_ns = clock.now();
+  const CallIndex idx = db_.add_call(rec);
+  trace.stack.push_back(idx);
+  const std::uint32_t saved_aex = trace.aex_count_current_ecall;
+  trace.aex_count_current_ecall = 0;
+
+  // Swap in the shadow ocall table — always, "as we cannot know beforehand"
+  // whether the ecall performs ocalls (§4.1.2) — and chain to the URTS.
+  const sgxsim::OcallTable* shadow =
+      table != nullptr ? OcallStubRegistry::instance().shadow_table(*this, eid, table) : nullptr;
+  const SgxStatus ret = urts_->real_sgx_ecall(eid, id, shadow, ms);
+
+  // Record exit.
+  clock.advance(cost.logger_ecall_post_ns);
+  db_.finish_call(idx, clock.now(), trace.aex_count_current_ecall);
+  trace.stack.pop_back();
+  trace.aex_count_current_ecall = saved_aex;
+  return ret;
+}
+
+SgxStatus Logger::on_stub_call(const OcallStubRegistry::StubInfo& info, void* ms) {
+  auto& clock = urts_->clock();
+  const auto& cost = urts_->cost();
+  const ThreadId tid = urts_->current_thread_id();
+  ThreadTrace& trace = thread_trace(tid);
+
+  clock.advance(cost.logger_ocall_pre_ns);
+  CallRecord rec;
+  rec.type = CallType::kOcall;
+  rec.thread_id = tid;
+  rec.enclave_id = info.enclave_id;
+  rec.call_id = info.ocall_id;
+  if (!trace.stack.empty()) {
+    const auto& top = db_.calls()[static_cast<std::size_t>(trace.stack.back())];
+    if (top.type == CallType::kEcall) rec.parent = trace.stack.back();
+  }
+  rec.start_ns = clock.now();
+
+  const CallIndex idx = db_.add_call(rec);
+  trace.stack.push_back(idx);
+
+  // Synchronisation ocalls reduce to sleep / wake-up events (§4.1.3); the
+  // marshalling struct layout is SDK-public, so the logger can read the
+  // wake-up targets to track cross-thread dependencies.
+  if (info.is_sync) {
+    const auto* s = static_cast<const sgxsim::SyncOcallMs*>(ms);
+    const std::size_t offset = info.sync_offset;
+    db_.set_call_kind(idx, sync_kind(offset));
+    tracedb::SyncRecord sync;
+    sync.enclave_id = info.enclave_id;
+    sync.timestamp_ns = clock.now();
+    switch (static_cast<SyncOcall>(offset)) {
+      case SyncOcall::kWaitEvent:
+        sync.kind = tracedb::SyncKind::kSleep;
+        sync.thread_id = tid;
+        db_.add_sync(sync);
+        break;
+      case SyncOcall::kSetEvent:
+        sync.kind = tracedb::SyncKind::kWakeup;
+        sync.thread_id = tid;
+        sync.target_thread_id = s->target;
+        db_.add_sync(sync);
+        break;
+      case SyncOcall::kSetMultipleEvents:
+        if (s->targets != nullptr) {
+          for (ThreadId t : *s->targets) {
+            sync.kind = tracedb::SyncKind::kWakeup;
+            sync.thread_id = tid;
+            sync.target_thread_id = t;
+            db_.add_sync(sync);
+          }
+        }
+        break;
+      case SyncOcall::kSetWaitEvent: {
+        sync.kind = tracedb::SyncKind::kWakeup;
+        sync.thread_id = tid;
+        sync.target_thread_id = s->target;
+        db_.add_sync(sync);
+        tracedb::SyncRecord sleep = sync;
+        sleep.kind = tracedb::SyncKind::kSleep;
+        sleep.target_thread_id = 0;
+        db_.add_sync(sleep);
+        break;
+      }
+    }
+  }
+
+  const SgxStatus ret = info.original(ms);
+
+  clock.advance(cost.logger_ocall_post_ns);
+  db_.finish_call(idx, clock.now(), 0);
+  trace.stack.pop_back();
+  return ret;
+}
+
+void Logger::on_aex(EnclaveId eid, ThreadId tid, Nanoseconds now, sgxsim::AexCause cause) {
+  auto& clock = urts_->clock();
+  const auto& cost = urts_->cost();
+  ThreadTrace& trace = thread_trace(tid);
+  ++trace.aex_count_current_ecall;
+  if (config_.trace_aex) {
+    clock.advance(cost.logger_aex_trace_ns);
+    tracedb::AexRecord rec;
+    rec.thread_id = tid;
+    rec.enclave_id = eid;
+    rec.timestamp_ns = now;
+    // §4.1.4: only SGX v2 records the exit type, and the logger may read it
+    // only from debug enclaves; everywhere else the cause stays unknown.
+    if (urts_->sgx_version() >= 2) {
+      const sgxsim::Enclave* enclave = urts_->find_enclave(eid);
+      if (enclave != nullptr && enclave->config().debug) {
+        rec.cause = cause == sgxsim::AexCause::kPageFault ? tracedb::AexCause::kPageFault
+                                                          : tracedb::AexCause::kInterrupt;
+      }
+    }
+    // Attribute to the innermost in-flight ecall of this thread.
+    for (auto it = trace.stack.rbegin(); it != trace.stack.rend(); ++it) {
+      if (db_.calls()[static_cast<std::size_t>(*it)].type == CallType::kEcall) {
+        rec.during_call = *it;
+        break;
+      }
+    }
+    db_.add_aex(rec);
+  } else {
+    clock.advance(cost.logger_aex_count_ns);
+  }
+}
+
+void Logger::on_paging(EnclaveId eid, std::uint64_t page, sgxsim::PageDirection dir,
+                       Nanoseconds now) {
+  tracedb::PagingRecord rec;
+  rec.enclave_id = eid;
+  rec.page_number = page;
+  rec.direction = dir == sgxsim::PageDirection::kIn ? tracedb::PageDirection::kPageIn
+                                                    : tracedb::PageDirection::kPageOut;
+  rec.timestamp_ns = now;
+  db_.add_paging(rec);
+}
+
+}  // namespace perf

@@ -1,0 +1,89 @@
+// The sgx-perf event logger (§4, §4.1).
+//
+// In the original tool this is a shared library preloaded via LD_PRELOAD; it
+// shadows sgx_ecall (Figure 2), rewrites ocall tables with generated stubs
+// (Figure 3), optionally patches the AEP to count or trace AEXs (§4.1.4) and
+// attaches kprobes to the driver's paging paths (§4.1.5).  Here it installs
+// the equivalent hooks on the simulated URTS/driver — the application, the
+// enclave and the SDK remain unmodified.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+#include "perf/stubs.hpp"
+#include "sgxsim/runtime.hpp"
+#include "tracedb/database.hpp"
+
+namespace perf {
+
+struct LoggerConfig {
+  /// Count AEXs per ecall (cheap; Table 2 measures ~1,076 ns per AEX).
+  bool count_aex = true;
+  /// Additionally record each AEX with its timestamp (~1,118 ns per AEX).
+  bool trace_aex = false;
+  /// Subscribe to the driver's paging events (kprobe analogue).
+  bool trace_paging = true;
+};
+
+/// Traces ecalls, ocalls, AEXs, synchronisation and paging into a
+/// TraceDatabase.  Attach to a Urts before the workload runs, detach after.
+class Logger {
+ public:
+  Logger(tracedb::TraceDatabase& db, LoggerConfig config = {});
+  ~Logger();
+
+  Logger(const Logger&) = delete;
+  Logger& operator=(const Logger&) = delete;
+
+  /// Installs all hooks.  Enclaves created *before* attach are registered
+  /// lazily on their first traced ecall.
+  void attach(sgxsim::Urts& urts);
+  /// Restores the original hooks and flushes state.
+  void detach();
+
+  [[nodiscard]] bool attached() const noexcept { return urts_ != nullptr; }
+  [[nodiscard]] tracedb::TraceDatabase& database() noexcept { return db_; }
+  [[nodiscard]] const LoggerConfig& config() const noexcept { return config_; }
+
+  // --- stub callbacks (invoked by OcallStubRegistry trampolines) ------------
+  sgxsim::SgxStatus on_stub_call(const OcallStubRegistry::StubInfo& info, void* ms);
+
+ private:
+  /// The shadow of sgx_ecall: records the event, swaps the ocall table for
+  /// the stub table, chains to the real URTS implementation.
+  sgxsim::SgxStatus shadow_sgx_ecall(sgxsim::EnclaveId eid, sgxsim::CallId id,
+                                     const sgxsim::OcallTable* table, void* ms);
+
+  /// Patched AEP: counts and/or traces the AEX.
+  void on_aex(sgxsim::EnclaveId eid, sgxsim::ThreadId tid, support::Nanoseconds now,
+              sgxsim::AexCause cause);
+
+  void on_paging(sgxsim::EnclaveId eid, std::uint64_t page, sgxsim::PageDirection dir,
+                 support::Nanoseconds now);
+
+  void on_enclave_created(const sgxsim::Enclave& enclave);
+  void on_enclave_destroyed(sgxsim::EnclaveId eid, support::Nanoseconds now);
+
+  /// Registers ecall/ocall names for an enclave (from its EDL) once.
+  void register_names(const sgxsim::Enclave& enclave);
+
+  // Per-thread bookkeeping: the stack of in-flight traced calls, used to set
+  // direct parents and attribute AEXs.
+  struct ThreadTrace {
+    std::vector<tracedb::CallIndex> stack;
+    std::uint32_t aex_count_current_ecall = 0;
+  };
+  ThreadTrace& thread_trace(sgxsim::ThreadId tid);
+
+  tracedb::TraceDatabase& db_;
+  LoggerConfig config_;
+  sgxsim::Urts* urts_ = nullptr;
+
+  std::mutex mu_;
+  std::unordered_map<sgxsim::ThreadId, ThreadTrace> threads_;
+  std::unordered_map<sgxsim::EnclaveId, bool> names_registered_;
+};
+
+}  // namespace perf

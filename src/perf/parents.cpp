@@ -1,0 +1,29 @@
+#include "perf/parents.hpp"
+
+#include <map>
+#include <tuple>
+
+namespace perf {
+
+std::vector<tracedb::CallIndex> compute_indirect_parents(const tracedb::TraceDatabase& db) {
+  const auto& calls = db.calls();
+  std::vector<tracedb::CallIndex> indirect(calls.size(), tracedb::kNoParent);
+
+  // Calls are stored in start order; per thread this order is preserved, and
+  // same-thread calls of the same nesting level never overlap — so a single
+  // forward scan with a (thread, type, direct parent) -> last-seen map
+  // implements the Figure 4 rules.
+  using Key = std::tuple<tracedb::ThreadId, tracedb::CallType, tracedb::CallIndex>;
+  std::map<Key, tracedb::CallIndex> last_seen;
+
+  for (std::size_t i = 0; i < calls.size(); ++i) {
+    const auto& c = calls[i];
+    const Key key{c.thread_id, c.type, c.parent};
+    const auto it = last_seen.find(key);
+    if (it != last_seen.end()) indirect[i] = it->second;
+    last_seen[key] = static_cast<tracedb::CallIndex>(i);
+  }
+  return indirect;
+}
+
+}  // namespace perf

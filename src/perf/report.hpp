@@ -1,0 +1,42 @@
+// Report writers: the analyser's text report, the Figure 5 style call graph
+// (DOT), and Figure 7/8 style histograms and scatter plots of per-call
+// execution times (ASCII + CSV for external plotting).
+#pragma once
+
+#include <string>
+
+#include "perf/analyzer.hpp"
+#include "support/histogram.hpp"
+#include "tracedb/database.hpp"
+#include "tracedb/query.hpp"
+
+namespace perf {
+
+/// Renders the full analysis report as human-readable text: per-enclave
+/// overview, general statistics (§4.3.1) and findings with recommendations
+/// ordered by the priority rules of §4.3.2.
+[[nodiscard]] std::string render_text(const AnalysisReport& report);
+
+/// Renders the call graph as Graphviz DOT (Figure 5): square nodes for
+/// ecalls, round nodes for ocalls, solid edges for direct parents, dashed
+/// edges for indirect parents; edge labels carry call counts, node labels
+/// carry "[id] name".
+[[nodiscard]] std::string render_callgraph_dot(const tracedb::TraceDatabase& db);
+
+/// Builds the execution-time histogram of one call, in microseconds
+/// (Figure 7 groups one ecall's durations into 100 bins).
+[[nodiscard]] support::Histogram duration_histogram(const tracedb::TraceDatabase& db,
+                                                    const tracedb::CallKey& key,
+                                                    std::size_t bins = 100);
+
+/// CSV of (time_since_start_ns, duration_ns) pairs for one call (Figure 8).
+[[nodiscard]] std::string scatter_csv(const tracedb::TraceDatabase& db,
+                                      const tracedb::CallKey& key);
+
+/// ASCII rendering of the scatter plot: time on the x axis, duration on the
+/// y axis, one character cell per bucket.
+[[nodiscard]] std::string render_scatter_ascii(const tracedb::TraceDatabase& db,
+                                               const tracedb::CallKey& key,
+                                               std::size_t width = 78, std::size_t height = 20);
+
+}  // namespace perf

@@ -1,0 +1,109 @@
+#include "perf/stubs.hpp"
+
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "perf/logger.hpp"
+
+namespace perf {
+
+std::array<OcallStubRegistry::StubInfo, OcallStubRegistry::kMaxStubs> OcallStubRegistry::slots_;
+std::atomic<std::size_t> OcallStubRegistry::next_slot_{0};
+
+namespace {
+
+using sgxsim::OcallFn;
+using sgxsim::SgxStatus;
+
+// The stub pool: kMaxStubs distinct functions, each statically bound to one
+// registry slot.  &stub_trampoline<I> plays the role of the paper's
+// runtime-emitted stub code for slot I.
+template <std::size_t I>
+SgxStatus stub_trampoline(void* ms) {
+  return OcallStubRegistry::dispatch(I, ms);
+}
+
+template <std::size_t... Is>
+constexpr std::array<OcallFn, sizeof...(Is)> make_trampolines(std::index_sequence<Is...>) {
+  return {&stub_trampoline<Is>...};
+}
+
+const std::array<OcallFn, OcallStubRegistry::kMaxStubs> kTrampolines =
+    make_trampolines(std::make_index_sequence<OcallStubRegistry::kMaxStubs>{});
+
+}  // namespace
+
+OcallStubRegistry& OcallStubRegistry::instance() {
+  static OcallStubRegistry registry;
+  return registry;
+}
+
+sgxsim::SgxStatus OcallStubRegistry::dispatch(std::size_t slot, void* ms) {
+  const StubInfo& info = slots_.at(slot);
+  if (info.logger == nullptr || info.original == nullptr) {
+    // Stub invoked after its table was reset: fail loudly rather than crash.
+    return SgxStatus::kUnexpected;
+  }
+  return info.logger->on_stub_call(info, ms);
+}
+
+std::size_t OcallStubRegistry::allocate_slot(const StubInfo& info) {
+  const std::size_t slot = next_slot_.fetch_add(1, std::memory_order_relaxed);
+  if (slot >= kMaxStubs) {
+    throw std::runtime_error("OcallStubRegistry: stub pool exhausted");
+  }
+  slots_[slot] = info;
+  return slot;
+}
+
+const sgxsim::OcallTable* OcallStubRegistry::shadow_table(Logger& logger,
+                                                          sgxsim::EnclaveId enclave,
+                                                          const sgxsim::OcallTable* original) {
+  std::lock_guard lock(mu_);
+  const auto it = tables_.find(original);
+  if (it != tables_.end()) return it->second.get();
+
+  // First sight of this table: generate one stub per slot and assemble the
+  // shadow table oT_logger (Figure 3).
+  auto shadow = std::make_unique<sgxsim::OcallTable>();
+  shadow->sync_base = original->sync_base;
+  shadow->entries.reserve(original->entries.size());
+  for (std::size_t i = 0; i < original->entries.size(); ++i) {
+    StubInfo info;
+    info.logger = &logger;
+    info.enclave_id = enclave;
+    info.ocall_id = static_cast<sgxsim::CallId>(i);
+    info.original = original->entries[i];
+    info.is_sync = i >= original->sync_base;
+    if (info.is_sync) info.sync_offset = i - original->sync_base;
+    const std::size_t slot = allocate_slot(info);
+    slots_per_table_.push_back(slot);
+    shadow->entries.push_back(kTrampolines[slot]);
+  }
+
+  const sgxsim::OcallTable* raw = shadow.get();
+  tables_.emplace(original, std::move(shadow));
+  return raw;
+}
+
+void OcallStubRegistry::reset() {
+  std::lock_guard lock(mu_);
+  for (std::size_t slot : slots_per_table_) slots_[slot] = StubInfo{};
+  slots_per_table_.clear();
+  tables_.clear();
+  next_slot_.store(0, std::memory_order_relaxed);
+}
+
+std::size_t OcallStubRegistry::stubs_in_use() const {
+  std::lock_guard lock(mu_);
+  return slots_per_table_.size();
+}
+
+std::size_t OcallStubRegistry::tables_cached() const {
+  std::lock_guard lock(mu_);
+  return tables_.size();
+}
+
+}  // namespace perf

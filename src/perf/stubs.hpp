@@ -1,0 +1,81 @@
+// Runtime-generated ocall call stubs (Figure 3 of the paper).
+//
+// The SDK's ocall table contains raw function pointers to the final ocall
+// implementations — there is no common trampoline to intercept.  sgx-perf
+// therefore generates, at runtime, one small call stub per table slot; the
+// stub knows the ocall id, the enclave and the original function pointer,
+// logs entry/exit events and forwards to the original.  All stubs of a table
+// are assembled into a shadow table oT_logger that replaces the original at
+// every traced sgx_ecall.
+//
+// C++ cannot emit machine code at runtime, so the "generated" stubs come
+// from a fixed pool of template-instantiated trampolines, each statically
+// bound to one slot of a global registry — the observable behaviour (a
+// distinct OcallFn per (table, slot) carrying its own metadata) is identical.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "sgxsim/types.hpp"
+
+namespace perf {
+
+class Logger;
+
+/// Pool of pre-instantiated stub trampolines plus per-stub metadata.
+class OcallStubRegistry {
+ public:
+  static constexpr std::size_t kMaxStubs = 4096;
+
+  struct StubInfo {
+    Logger* logger = nullptr;
+    sgxsim::EnclaveId enclave_id = 0;
+    sgxsim::CallId ocall_id = 0;
+    sgxsim::OcallFn original = nullptr;
+    bool is_sync = false;          // slot >= sync_base of its table
+    std::size_t sync_offset = 0;   // id - sync_base when is_sync
+  };
+
+  OcallStubRegistry() = default;
+  OcallStubRegistry(const OcallStubRegistry&) = delete;
+  OcallStubRegistry& operator=(const OcallStubRegistry&) = delete;
+
+  /// Returns the logger's shadow table for `original`, building it (and its
+  /// stubs) on first sight.  "Call stub and table creation is only needed
+  /// once per ocall table" (§4.1.2) — subsequent calls hit a cache.
+  const sgxsim::OcallTable* shadow_table(Logger& logger, sgxsim::EnclaveId enclave,
+                                         const sgxsim::OcallTable* original);
+
+  /// Drops all cached tables and releases their stub slots.
+  void reset();
+
+  [[nodiscard]] std::size_t stubs_in_use() const;
+  [[nodiscard]] std::size_t tables_cached() const;
+
+  /// Global registry backing the static trampolines.  One per process is
+  /// enough (mirrors the single preloaded library); tests may use several
+  /// registries, but slots are a process-wide resource.
+  static OcallStubRegistry& instance();
+
+  /// Invoked by trampoline `slot`; dispatches to the stub's metadata.
+  static sgxsim::SgxStatus dispatch(std::size_t slot, void* ms);
+
+ private:
+  std::size_t allocate_slot(const StubInfo& info);
+
+  mutable std::mutex mu_;
+  std::unordered_map<const sgxsim::OcallTable*, std::unique_ptr<sgxsim::OcallTable>> tables_;
+  std::vector<std::size_t> slots_per_table_;  // for reset bookkeeping
+
+  // Slot metadata shared with the static trampolines.
+  static std::array<StubInfo, kMaxStubs> slots_;
+  static std::atomic<std::size_t> next_slot_;
+};
+
+}  // namespace perf

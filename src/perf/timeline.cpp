@@ -1,0 +1,49 @@
+#include "perf/timeline.hpp"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "support/strutil.hpp"
+
+namespace perf {
+
+std::string render_timeline(const tracedb::TraceDatabase& db, std::size_t width) {
+  const auto& calls = db.calls();
+  if (calls.empty() || width == 0) return "(no calls)\n";
+
+  support::Nanoseconds t0 = calls.front().start_ns;
+  support::Nanoseconds t1 = 0;
+  for (const auto& c : calls) {
+    t0 = std::min(t0, c.start_ns);
+    t1 = std::max(t1, c.end_ns);
+  }
+  const double span = std::max<double>(1.0, static_cast<double>(t1 - t0));
+
+  std::map<tracedb::ThreadId, std::string> rows;
+  const auto column = [&](support::Nanoseconds t) {
+    const auto col = static_cast<std::size_t>(static_cast<double>(t - t0) / span *
+                                              static_cast<double>(width - 1));
+    return std::min(col, width - 1);
+  };
+
+  for (const auto& c : calls) {
+    auto& row = rows.try_emplace(c.thread_id, std::string(width, '.')).first->second;
+    const std::size_t from = column(c.start_ns);
+    const std::size_t to = column(c.end_ns);
+    const char mark = c.type == tracedb::CallType::kEcall ? 'E' : 'o';
+    for (std::size_t col = from; col <= to; ++col) {
+      // Ecalls dominate ocalls visually (an ocall is nested in an ecall).
+      if (mark == 'E' || row[col] == '.') row[col] = mark;
+    }
+  }
+
+  std::string out = support::format("timeline over %s ('E' in-enclave, 'o' in-ocall):\n",
+                                    support::format_duration_ns(t1 - t0).c_str());
+  for (const auto& [tid, row] : rows) {
+    out += support::format("thread %-4u |%s|\n", tid, row.c_str());
+  }
+  return out;
+}
+
+}  // namespace perf

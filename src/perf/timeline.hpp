@@ -1,0 +1,20 @@
+// ASCII timeline of traced calls, one row per thread.
+//
+// A coarse "who was inside the enclave when" view: each output column covers
+// a slice of the trace; a cell is 'E' when an ecall was executing, 'o' when
+// only an ocall was in flight (the thread was outside again), '.' when the
+// thread was running untrusted code between calls.  Complements the
+// histogram/scatter plots for eyeballing phase behaviour (connection storms,
+// paging stalls, bursts of short calls).
+#pragma once
+
+#include <string>
+
+#include "tracedb/database.hpp"
+
+namespace perf {
+
+[[nodiscard]] std::string render_timeline(const tracedb::TraceDatabase& db,
+                                          std::size_t width = 78);
+
+}  // namespace perf

@@ -1,0 +1,85 @@
+#include "perf/workingset.hpp"
+
+#include "support/strutil.hpp"
+
+namespace perf {
+
+WorkingSetEstimator::WorkingSetEstimator(sgxsim::Enclave& enclave) : enclave_(enclave) {}
+
+WorkingSetEstimator::~WorkingSetEstimator() {
+  if (running_) stop();
+}
+
+void WorkingSetEstimator::start() {
+  {
+    std::lock_guard lock(mu_);
+    accessed_.clear();
+  }
+  enclave_.set_mmu_fault_handler(
+      [this](sgxsim::EnclaveId eid, std::uint64_t page, sgxsim::MemAccess access) {
+        on_fault(eid, page, access);
+      });
+  enclave_.strip_mmu_permissions();
+  running_ = true;
+}
+
+void WorkingSetEstimator::on_fault(sgxsim::EnclaveId /*enclave*/, std::uint64_t page,
+                                   sgxsim::MemAccess /*access*/) {
+  // Restore the page's permissions so subsequent accesses run at full speed,
+  // and remember the page: one fault per page per interval.
+  enclave_.restore_mmu_permission(page);
+  std::lock_guard lock(mu_);
+  accessed_.insert(page);
+}
+
+std::set<std::uint64_t> WorkingSetEstimator::checkpoint() {
+  std::set<std::uint64_t> result;
+  {
+    std::lock_guard lock(mu_);
+    result.swap(accessed_);
+  }
+  enclave_.strip_mmu_permissions();
+  return result;
+}
+
+void WorkingSetEstimator::stop() {
+  enclave_.set_mmu_fault_handler(nullptr);
+  enclave_.restore_mmu_permissions();
+  running_ = false;
+}
+
+std::set<std::uint64_t> WorkingSetEstimator::accessed_pages() const {
+  std::lock_guard lock(mu_);
+  return accessed_;
+}
+
+std::size_t WorkingSetEstimator::accessed_page_count() const {
+  std::lock_guard lock(mu_);
+  return accessed_.size();
+}
+
+std::uint64_t WorkingSetEstimator::accessed_bytes() const {
+  return accessed_page_count() * sgxsim::kPageSize;
+}
+
+std::map<sgxsim::PageType, std::size_t> WorkingSetEstimator::breakdown() const {
+  std::lock_guard lock(mu_);
+  std::map<sgxsim::PageType, std::size_t> out;
+  for (const auto page : accessed_) ++out[enclave_.page_type(page)];
+  return out;
+}
+
+std::string WorkingSetEstimator::summary() const {
+  const auto pages = accessed_page_count();
+  std::string out = support::format("working set: %zu pages (%s)", pages,
+                                    support::format_bytes(pages * sgxsim::kPageSize).c_str());
+  bool first = true;
+  for (const auto& [type, count] : breakdown()) {
+    out += first ? ": " : ", ";
+    first = false;
+    out += support::format("%s=%zu", to_string(type), count);
+  }
+  return out;
+}
+
+}  // namespace perf

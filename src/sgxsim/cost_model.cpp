@@ -1,0 +1,60 @@
+#include "sgxsim/cost_model.hpp"
+
+#include "sgxsim/types.hpp"
+
+namespace sgxsim {
+
+const char* to_string(PatchLevel lvl) noexcept {
+  switch (lvl) {
+    case PatchLevel::kUnpatched: return "unpatched";
+    case PatchLevel::kSpectre: return "+Spectre";
+    case PatchLevel::kSpectreL1tf: return "+Spectre+L1TF";
+  }
+  return "?";
+}
+
+const char* to_string(SgxStatus s) noexcept {
+  switch (s) {
+    case SgxStatus::kSuccess: return "SGX_SUCCESS";
+    case SgxStatus::kInvalidParameter: return "SGX_ERROR_INVALID_PARAMETER";
+    case SgxStatus::kOutOfMemory: return "SGX_ERROR_OUT_OF_MEMORY";
+    case SgxStatus::kEnclaveLost: return "SGX_ERROR_ENCLAVE_LOST";
+    case SgxStatus::kInvalidEnclaveId: return "SGX_ERROR_INVALID_ENCLAVE_ID";
+    case SgxStatus::kOutOfTcs: return "SGX_ERROR_OUT_OF_TCS";
+    case SgxStatus::kEcallNotAllowed: return "SGX_ERROR_ECALL_NOT_ALLOWED";
+    case SgxStatus::kOcallNotAllowed: return "SGX_ERROR_OCALL_NOT_ALLOWED";
+    case SgxStatus::kInvalidFunction: return "SGX_ERROR_INVALID_FUNCTION";
+    case SgxStatus::kEnclaveCrashed: return "SGX_ERROR_ENCLAVE_CRASHED";
+    case SgxStatus::kStackOverrun: return "SGX_ERROR_STACK_OVERRUN";
+    case SgxStatus::kUnexpected: return "SGX_ERROR_UNEXPECTED";
+  }
+  return "SGX_ERROR_?";
+}
+
+CostModel CostModel::preset(PatchLevel lvl) noexcept {
+  CostModel m;
+  switch (lvl) {
+    case PatchLevel::kUnpatched:
+      // Round trip ~2,130 ns (~5,850 cycles @ ~2.75 GHz), §2.3.1 case (i).
+      m.eenter_ns = 1280;
+      m.eexit_ns = 850;
+      break;
+    case PatchLevel::kSpectre:
+      // Round trip ~3,850 ns (~10,170 cycles), §2.3.1 case (ii).  The IBRS /
+      // retpoline-style mitigations also make AEX round trips costlier.
+      m.eenter_ns = 2312;
+      m.eexit_ns = 1538;
+      m.aex_ns = 5850;
+      break;
+    case PatchLevel::kSpectreL1tf:
+      // Round trip ~4,890 ns (~13,100 cycles), §2.3.1 case (iii).  The L1TF
+      // microcode flushes the L1D on every enclave exit.
+      m.eenter_ns = 2936;
+      m.eexit_ns = 1954;
+      m.aex_ns = 6890;
+      break;
+  }
+  return m;
+}
+
+}  // namespace sgxsim

@@ -1,0 +1,99 @@
+// Calibrated virtual-time cost model of the simulated SGX machine.
+//
+// Absolute values are calibrated against the paper's measurements on a Xeon
+// E3-1230 v5 (§2.3.1 and Table 2); everything the analyser *concludes* from
+// the resulting traces is emergent.  All values are virtual nanoseconds.
+#pragma once
+
+#include <cstdint>
+
+#include "support/clock.hpp"
+
+namespace sgxsim {
+
+/// Microcode / SDK patch level of the simulated machine (§2.3.1): enclave
+/// transitions become more expensive with each mitigation.
+enum class PatchLevel {
+  kUnpatched,      // pristine SGX machine          (~5,850 cycles / 2,130 ns round trip)
+  kSpectre,        // +Spectre SDK+microcode fixes  (~10,170 cycles / 3,850 ns)
+  kSpectreL1tf,    // +Foreshadow/L1TF microcode    (~13,100 cycles / 4,890 ns)
+};
+
+[[nodiscard]] const char* to_string(PatchLevel lvl) noexcept;
+
+struct CostModel {
+  // --- raw transition instructions -------------------------------------
+  support::Nanoseconds eenter_ns = 1280;  // EENTER / ERESUME
+  support::Nanoseconds eexit_ns = 850;    // EEXIT
+
+  // --- SDK runtime overheads (patch-independent) -----------------------
+  support::Nanoseconds urts_ecall_overhead_ns = 1300;  // TCS search, frame setup
+  support::Nanoseconds trts_dispatch_ns = 775;         // trampoline -> ecall fn
+  support::Nanoseconds trts_ocall_overhead_ns = 778;   // ocall frame + marshal setup
+  support::Nanoseconds urts_ocall_dispatch_ns = 900;   // table lookup + call
+
+  /// Marshalling copy cost for [in]/[out] pointer data, per byte.
+  double copy_ns_per_byte = 0.05;
+
+  // --- asynchronous exits ----------------------------------------------
+  /// Interval of the timer interrupt that forces AEXs on a busy enclave
+  /// (Linux ~250 Hz tick; calibrated so a 45.4 ms ecall sees ~11.5 AEXs as
+  /// in Table 2 experiment 3).
+  support::Nanoseconds timer_period_ns = 3'943'000;
+  /// Cost of one AEX round trip: state save, EEXIT, interrupt handler,
+  /// AEP jump, ERESUME.
+  support::Nanoseconds aex_ns = 4130;
+
+  // --- paging ------------------------------------------------------------
+  /// EWB-like eviction of one page: re-encryption + version tracking.
+  support::Nanoseconds page_out_ns = 11'300;
+  /// ELDU-like reload of one page: decryption + integrity check.
+  support::Nanoseconds page_in_ns = 11'300;
+  /// Kernel fault-handling overhead per EPC fault (excl. the AEX itself).
+  support::Nanoseconds page_fault_ns = 1'500;
+  /// EADD+EEXTEND cost per page at enclave build time.
+  support::Nanoseconds eadd_ns = 1'000;
+
+  // --- sgx-perf logger instrumentation costs (Table 2 calibration) -------
+  // In virtual time the logger's real CPU work is invisible, so the logger
+  // *charges* these to the clock, split across entry/exit records.
+  support::Nanoseconds logger_ecall_pre_ns = 683;
+  support::Nanoseconds logger_ecall_post_ns = 683;
+  support::Nanoseconds logger_ocall_pre_ns = 660;
+  support::Nanoseconds logger_ocall_post_ns = 660;
+  support::Nanoseconds logger_aex_count_ns = 1'076;
+  support::Nanoseconds logger_aex_trace_ns = 1'118;
+
+  // --- switchless calls (SDK 2.x / HotCalls-style) ---------------------------
+  /// Cost of handing a request to an in-enclave worker over a shared queue
+  /// and collecting the result — no EENTER/EEXIT.  HotCalls (Weisse et al.,
+  /// cited in §2.3.1/§6) report ~620 cycles vs ~8,600-14,000 for an ecall.
+  support::Nanoseconds switchless_call_ns = 620;
+
+  // --- synchronisation -----------------------------------------------------
+  /// One iteration of an in-enclave spin loop (hybrid mutex, §3.4).
+  support::Nanoseconds spin_iteration_ns = 30;
+  /// Untrusted futex-style sleep/wake bookkeeping (outside the enclave).
+  support::Nanoseconds parker_ns = 500;
+
+  /// Round-trip transition time as the paper measures it in §2.3.1
+  /// (EENTER..EEXIT, excluding URTS/TRTS overhead).
+  [[nodiscard]] support::Nanoseconds transition_round_trip_ns() const noexcept {
+    return eenter_ns + eexit_ns;
+  }
+
+  /// Full SDK ecall round trip (what an application observes).
+  [[nodiscard]] support::Nanoseconds full_ecall_ns() const noexcept {
+    return urts_ecall_overhead_ns + eenter_ns + trts_dispatch_ns + eexit_ns;
+  }
+
+  /// Extra cost of one (empty) ocall issued from inside an ecall.
+  [[nodiscard]] support::Nanoseconds full_ocall_ns() const noexcept {
+    return trts_ocall_overhead_ns + eexit_ns + urts_ocall_dispatch_ns + eenter_ns;
+  }
+
+  /// Preset for a given patch level; only the raw transition costs change.
+  [[nodiscard]] static CostModel preset(PatchLevel lvl) noexcept;
+};
+
+}  // namespace sgxsim

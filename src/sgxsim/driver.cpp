@@ -1,0 +1,86 @@
+#include "sgxsim/driver.hpp"
+
+#include <stdexcept>
+
+namespace sgxsim {
+
+Driver::Driver(support::VirtualClock& clock, const CostModel& cost, std::size_t epc_pages)
+    : clock_(clock), cost_(cost), epc_pages_(epc_pages) {
+  if (epc_pages == 0) throw std::invalid_argument("Driver: EPC must have at least one page");
+}
+
+void Driver::set_trace_hooks(PageHook hook) {
+  std::lock_guard lock(mu_);
+  hook_ = std::move(hook);
+}
+
+void Driver::clear_trace_hooks() {
+  std::lock_guard lock(mu_);
+  hook_ = nullptr;
+}
+
+void Driver::lru_touch(const PageKey& key) {
+  const auto it = resident_.find(key);
+  lru_.splice(lru_.begin(), lru_, it->second);
+}
+
+void Driver::evict_one() {
+  const PageKey victim = lru_.back();
+  lru_.pop_back();
+  resident_.erase(victim);
+  ++page_outs_;
+  const auto now = clock_.advance(cost_.page_out_ns);
+  if (hook_) hook_(victim.enclave, victim.page, PageDirection::kOut, now);
+}
+
+void Driver::add_page(EnclaveId enclave, std::uint64_t page) {
+  std::lock_guard lock(mu_);
+  const PageKey key{enclave, page};
+  if (resident_.contains(key)) return;
+  clock_.advance(cost_.eadd_ns);
+  if (resident_.size() >= epc_pages_) evict_one();
+  lru_.push_front(key);
+  resident_.emplace(key, lru_.begin());
+}
+
+void Driver::remove_enclave(EnclaveId enclave) {
+  std::lock_guard lock(mu_);
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->enclave == enclave) {
+      resident_.erase(*it);
+      it = lru_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool Driver::ensure_resident(EnclaveId enclave, std::uint64_t page) {
+  std::lock_guard lock(mu_);
+  const PageKey key{enclave, page};
+  if (resident_.contains(key)) {
+    lru_touch(key);
+    return false;
+  }
+  // EPC fault: kernel handling + eviction (if full) + page-in.
+  clock_.advance(cost_.page_fault_ns);
+  if (resident_.size() >= epc_pages_) evict_one();
+  ++page_ins_;
+  const auto now = clock_.advance(cost_.page_in_ns);
+  lru_.push_front(key);
+  resident_.emplace(key, lru_.begin());
+  if (hook_) hook_(enclave, page, PageDirection::kIn, now);
+  return true;
+}
+
+bool Driver::is_resident(EnclaveId enclave, std::uint64_t page) const {
+  std::lock_guard lock(mu_);
+  return resident_.contains(PageKey{enclave, page});
+}
+
+std::size_t Driver::resident_pages() const {
+  std::lock_guard lock(mu_);
+  return resident_.size();
+}
+
+}  // namespace sgxsim

@@ -1,0 +1,431 @@
+#include "sgxsim/edl.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "support/strutil.hpp"
+
+namespace sgxsim::edl {
+
+namespace {
+
+enum class TokKind {
+  kIdent,
+  kNumber,
+  kPunct,  // one of { } ( ) [ ] , ; = *
+  kEnd,
+};
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;
+  int line = 1;
+  int column = 1;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  Token next() {
+    skip_ws_and_comments();
+    Token t;
+    t.line = line_;
+    t.column = column_;
+    if (pos_ >= src_.size()) {
+      t.kind = TokKind::kEnd;
+      return t;
+    }
+    const char c = src_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      t.kind = TokKind::kIdent;
+      while (pos_ < src_.size() &&
+             (std::isalnum(static_cast<unsigned char>(src_[pos_])) || src_[pos_] == '_')) {
+        t.text.push_back(src_[pos_]);
+        bump();
+      }
+      return t;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      t.kind = TokKind::kNumber;
+      while (pos_ < src_.size() && std::isdigit(static_cast<unsigned char>(src_[pos_]))) {
+        t.text.push_back(src_[pos_]);
+        bump();
+      }
+      return t;
+    }
+    static constexpr std::string_view kPunct = "{}()[],;=*";
+    if (kPunct.find(c) != std::string_view::npos) {
+      t.kind = TokKind::kPunct;
+      t.text.push_back(c);
+      bump();
+      return t;
+    }
+    throw_error(t, std::string("unexpected character '") + c + "'");
+  }
+
+  [[noreturn]] static void throw_error(const Token& at, const std::string& msg) {
+    ParseError e{msg, at.line, at.column};
+    throw std::runtime_error(e.to_string());
+  }
+
+ private:
+  void bump() {
+    if (src_[pos_] == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    ++pos_;
+  }
+
+  void skip_ws_and_comments() {
+    for (;;) {
+      while (pos_ < src_.size() && std::isspace(static_cast<unsigned char>(src_[pos_]))) bump();
+      if (pos_ + 1 < src_.size() && src_[pos_] == '/' && src_[pos_ + 1] == '/') {
+        while (pos_ < src_.size() && src_[pos_] != '\n') bump();
+        continue;
+      }
+      if (pos_ + 1 < src_.size() && src_[pos_] == '/' && src_[pos_ + 1] == '*') {
+        bump();
+        bump();
+        while (pos_ + 1 < src_.size() && !(src_[pos_] == '*' && src_[pos_ + 1] == '/')) bump();
+        if (pos_ + 1 < src_.size()) {
+          bump();
+          bump();
+        }
+        continue;
+      }
+      return;
+    }
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view src) : lexer_(src) { advance(); }
+
+  InterfaceSpec parse_enclave() {
+    expect_ident("enclave");
+    expect_punct("{");
+    InterfaceSpec spec;
+    while (!is_punct("}")) {
+      if (is_ident("trusted")) {
+        advance();
+        parse_trusted(spec);
+      } else if (is_ident("untrusted")) {
+        advance();
+        parse_untrusted(spec);
+      } else if (is_ident("from") || is_ident("include") || is_ident("import")) {
+        // `from "x.edl" import *;` / `include "x.h"` — accepted and skipped.
+        skip_statement();
+      } else {
+        fail("expected 'trusted' or 'untrusted' section");
+      }
+    }
+    expect_punct("}");
+    expect_punct(";");
+    validate(spec);
+    return spec;
+  }
+
+ private:
+  void parse_trusted(InterfaceSpec& spec) {
+    expect_punct("{");
+    while (!is_punct("}")) {
+      EcallDecl decl;
+      if (is_ident("public")) {
+        decl.is_public = true;
+        advance();
+      }
+      decl.return_type = parse_type();
+      decl.name = expect_any_ident("ecall name");
+      decl.params = parse_params();
+      // Trusted functions may also carry an allow() clause in real EDL
+      // (ocalls allowed during the ecall); we accept and ignore it since the
+      // runtime does not restrict ocalls.
+      if (is_ident("allow")) {
+        advance();
+        skip_paren_group();
+      }
+      if (is_ident("transition_using_threads")) {
+        decl.is_switchless = true;  // SDK 2.x switchless calls
+        advance();
+      }
+      expect_punct(";");
+      spec.ecalls.push_back(std::move(decl));
+    }
+    expect_punct("}");
+    expect_punct(";");
+  }
+
+  void parse_untrusted(InterfaceSpec& spec) {
+    expect_punct("{");
+    while (!is_punct("}")) {
+      OcallDecl decl;
+      decl.return_type = parse_type();
+      decl.name = expect_any_ident("ocall name");
+      decl.params = parse_params();
+      if (is_ident("allow")) {
+        advance();
+        expect_punct("(");
+        while (!is_punct(")")) {
+          decl.allowed_ecalls.push_back(expect_any_ident("allowed ecall name"));
+          if (is_punct(",")) advance();
+        }
+        expect_punct(")");
+      }
+      if (is_ident("transition_using_threads")) advance();
+      expect_punct(";");
+      spec.ocalls.push_back(std::move(decl));
+    }
+    expect_punct("}");
+    expect_punct(";");
+  }
+
+  /// Parses a (possibly multi-token) type like `const unsigned char *`.
+  std::string parse_type() {
+    std::vector<std::string> words;
+    if (tok_.kind != TokKind::kIdent) fail("expected type");
+    words.push_back(tok_.text);
+    advance();
+    // Multi-word types: const/unsigned/signed/struct always continue; long
+    // and short only continue into a base type (so `long ocall_foo(...)`
+    // keeps `ocall_foo` as the declaration name).
+    while (tok_.kind == TokKind::kIdent) {
+      const std::string& prev = words.back();
+      const bool always = prev == "const" || prev == "unsigned" || prev == "signed" ||
+                          prev == "struct";
+      const bool sized = (prev == "long" || prev == "short") &&
+                         (tok_.text == "int" || tok_.text == "long" || tok_.text == "double");
+      if (!always && !sized) break;
+      words.push_back(tok_.text);
+      advance();
+    }
+    std::string type = support::join(words, " ");
+    while (is_punct("*")) {
+      type += "*";
+      advance();
+    }
+    return type;
+  }
+
+  std::vector<Parameter> parse_params() {
+    expect_punct("(");
+    std::vector<Parameter> params;
+    if (is_ident("void")) {
+      // `(void)` — but only if immediately followed by ')'.
+      Token save = tok_;
+      advance();
+      if (is_punct(")")) {
+        advance();
+        return params;
+      }
+      // It was a `void*` parameter; rewind is impossible, so handle inline.
+      Parameter p;
+      std::string type = save.text;
+      while (is_punct("*")) {
+        type += "*";
+        advance();
+      }
+      p.type = type;
+      finish_param(p);
+      params.push_back(std::move(p));
+      while (is_punct(",")) {
+        advance();
+        params.push_back(parse_param());
+      }
+      expect_punct(")");
+      return params;
+    }
+    if (!is_punct(")")) {
+      params.push_back(parse_param());
+      while (is_punct(",")) {
+        advance();
+        params.push_back(parse_param());
+      }
+    }
+    expect_punct(")");
+    return params;
+  }
+
+  Parameter parse_param() {
+    Parameter p;
+    if (is_punct("[")) {
+      advance();
+      while (!is_punct("]")) {
+        const std::string attr = expect_any_ident("attribute");
+        if (attr == "in") {
+          p.direction = p.direction == PointerDirection::kOut ? PointerDirection::kInOut
+                                                              : PointerDirection::kIn;
+        } else if (attr == "out") {
+          p.direction = p.direction == PointerDirection::kIn ? PointerDirection::kInOut
+                                                             : PointerDirection::kOut;
+        } else if (attr == "user_check") {
+          p.direction = PointerDirection::kUserCheck;
+        } else if (attr == "size" || attr == "count") {
+          expect_punct("=");
+          if (tok_.kind != TokKind::kIdent && tok_.kind != TokKind::kNumber) {
+            fail("expected size value");
+          }
+          p.size_expr = tok_.text;
+          advance();
+        } else if (attr == "string" || attr == "wstring" || attr == "isptr" ||
+                   attr == "readonly" || attr == "sizefunc") {
+          // Accepted SDK attributes that need no modelling here.
+        } else {
+          fail("unknown attribute '" + attr + "'");
+        }
+        if (is_punct(",")) advance();
+      }
+      expect_punct("]");
+    }
+    p.type = parse_type();
+    finish_param(p);
+    return p;
+  }
+
+  void finish_param(Parameter& p) {
+    if (tok_.kind == TokKind::kIdent) {
+      p.name = tok_.text;
+      advance();
+    }
+    // A pointer without an explicit attribute behaves like user_check in the
+    // SDK unless declared; flag it the same way so the analyser sees it.
+    if (p.direction == PointerDirection::kNone && p.type.find('*') != std::string::npos) {
+      p.direction = PointerDirection::kUserCheck;
+    }
+  }
+
+  void validate(const InterfaceSpec& spec) {
+    for (const auto& o : spec.ocalls) {
+      for (const auto& allowed : o.allowed_ecalls) {
+        if (!spec.ecall_id(allowed)) {
+          fail("allow() references unknown ecall '" + allowed + "' in ocall '" + o.name + "'");
+        }
+      }
+    }
+  }
+
+  void skip_statement() {
+    while (tok_.kind != TokKind::kEnd && !is_punct(";")) advance();
+    if (is_punct(";")) advance();
+  }
+
+  void skip_paren_group() {
+    expect_punct("(");
+    int depth = 1;
+    while (depth > 0 && tok_.kind != TokKind::kEnd) {
+      if (is_punct("(")) ++depth;
+      if (is_punct(")")) --depth;
+      advance();
+    }
+  }
+
+  // --- token helpers -------------------------------------------------------
+  void advance() { tok_ = lexer_.next(); }
+
+  [[nodiscard]] bool is_ident(std::string_view s) const {
+    return tok_.kind == TokKind::kIdent && tok_.text == s;
+  }
+  [[nodiscard]] bool is_punct(std::string_view s) const {
+    return tok_.kind == TokKind::kPunct && tok_.text == s;
+  }
+
+  void expect_ident(std::string_view s) {
+    if (!is_ident(s)) fail("expected '" + std::string(s) + "'");
+    advance();
+  }
+  void expect_punct(std::string_view s) {
+    if (!is_punct(s)) fail("expected '" + std::string(s) + "'");
+    advance();
+  }
+  std::string expect_any_ident(const std::string& what) {
+    if (tok_.kind != TokKind::kIdent) fail("expected " + what);
+    std::string s = tok_.text;
+    advance();
+    return s;
+  }
+
+  [[noreturn]] void fail(const std::string& msg) const { Lexer::throw_error(tok_, msg); }
+
+  Lexer lexer_;
+  Token tok_;
+};
+
+}  // namespace
+
+bool EcallDecl::has_user_check() const noexcept {
+  for (const auto& p : params) {
+    if (p.direction == PointerDirection::kUserCheck) return true;
+  }
+  return false;
+}
+
+bool OcallDecl::has_user_check() const noexcept {
+  for (const auto& p : params) {
+    if (p.direction == PointerDirection::kUserCheck) return true;
+  }
+  return false;
+}
+
+const char* to_string(PointerDirection d) noexcept {
+  switch (d) {
+    case PointerDirection::kNone: return "none";
+    case PointerDirection::kIn: return "in";
+    case PointerDirection::kOut: return "out";
+    case PointerDirection::kInOut: return "inout";
+    case PointerDirection::kUserCheck: return "user_check";
+  }
+  return "?";
+}
+
+std::optional<CallId> InterfaceSpec::ecall_id(std::string_view name) const noexcept {
+  for (std::size_t i = 0; i < ecalls.size(); ++i) {
+    if (ecalls[i].name == name) return static_cast<CallId>(i);
+  }
+  return std::nullopt;
+}
+
+std::optional<CallId> InterfaceSpec::ocall_id(std::string_view name) const noexcept {
+  for (std::size_t i = 0; i < ocalls.size(); ++i) {
+    if (ocalls[i].name == name) return static_cast<CallId>(i);
+  }
+  return std::nullopt;
+}
+
+bool InterfaceSpec::is_allowed(CallId ocall, CallId ecall) const {
+  if (ocall >= ocalls.size() || ecall >= ecalls.size()) return false;
+  const auto& ecall_name = ecalls[ecall].name;
+  for (const auto& allowed : ocalls[ocall].allowed_ecalls) {
+    if (allowed == ecall_name) return true;
+  }
+  return false;
+}
+
+std::string ParseError::to_string() const {
+  return support::format("EDL parse error at %d:%d: %s", line, column, message.c_str());
+}
+
+InterfaceSpec parse(std::string_view text) {
+  Parser p(text);
+  return p.parse_enclave();
+}
+
+InterfaceSpec parse_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open EDL file: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse(ss.str());
+}
+
+}  // namespace sgxsim::edl

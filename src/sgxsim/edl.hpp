@@ -1,0 +1,103 @@
+// Enclave Description Language (EDL) model and parser.
+//
+// The Intel SGX SDK describes the enclave interface in an .edl file that
+// sgx_edger8r turns into wrapper code.  We parse the same core syntax into an
+// InterfaceSpec used twice: by the runtime, to enforce public/private ecalls
+// and allow() lists; and by the sgx-perf analyser, for the interface-security
+// hints of §3.6 / §4.3.2 (private-ecall candidates, minimal allow() sets,
+// user_check pointer highlighting).
+//
+// Supported grammar (a faithful subset of the SDK's):
+//
+//   enclave {
+//     trusted {
+//       public int ecall_foo([in, size=len] const char* buf, size_t len);
+//       void ecall_priv(void);
+//     };
+//     untrusted {
+//       void ocall_bar([user_check] void* p) allow (ecall_priv, ecall_foo);
+//     };
+//   };
+//
+// Call ids are assigned by declaration order, exactly like edger8r.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sgxsim/types.hpp"
+
+namespace sgxsim::edl {
+
+/// Pointer-marshalling behaviour of a parameter (§3.6).
+enum class PointerDirection : std::uint8_t {
+  kNone,       // not a pointer / no attribute
+  kIn,         // copied into the callee's side before the call
+  kOut,        // copied back after the call
+  kInOut,      // both
+  kUserCheck,  // raw pointer, developer-checked — a security smell
+};
+
+[[nodiscard]] const char* to_string(PointerDirection d) noexcept;
+
+struct Parameter {
+  std::string type;   // e.g. "const char*"
+  std::string name;   // e.g. "buf"
+  PointerDirection direction = PointerDirection::kNone;
+  /// size= attribute: either a literal byte count or the name of another
+  /// parameter that carries the size.
+  std::optional<std::string> size_expr;
+};
+
+struct EcallDecl {
+  std::string name;
+  std::string return_type;
+  bool is_public = false;
+  /// SDK 2.x `transition_using_threads`: the call is eligible for switchless
+  /// execution (served by an in-enclave worker, no EENTER/EEXIT).
+  bool is_switchless = false;
+  std::vector<Parameter> params;
+
+  [[nodiscard]] bool has_user_check() const noexcept;
+};
+
+struct OcallDecl {
+  std::string name;
+  std::string return_type;
+  std::vector<Parameter> params;
+  /// Names of ecalls permitted while this ocall is in flight (allow clause).
+  std::vector<std::string> allowed_ecalls;
+
+  [[nodiscard]] bool has_user_check() const noexcept;
+};
+
+/// A parsed enclave interface.  Ecall/ocall ids equal declaration order.
+struct InterfaceSpec {
+  std::vector<EcallDecl> ecalls;
+  std::vector<OcallDecl> ocalls;
+
+  [[nodiscard]] std::optional<CallId> ecall_id(std::string_view name) const noexcept;
+  [[nodiscard]] std::optional<CallId> ocall_id(std::string_view name) const noexcept;
+  /// True if `ecall` may run while `ocall` is in flight.
+  [[nodiscard]] bool is_allowed(CallId ocall, CallId ecall) const;
+};
+
+/// Parse error with 1-based line/column of the offending token.
+struct ParseError {
+  std::string message;
+  int line = 0;
+  int column = 0;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Parses EDL text.  Throws std::runtime_error carrying ParseError::to_string()
+/// on malformed input.
+[[nodiscard]] InterfaceSpec parse(std::string_view text);
+
+/// Parses the file at `path`.
+[[nodiscard]] InterfaceSpec parse_file(const std::string& path);
+
+}  // namespace sgxsim::edl

@@ -1,0 +1,225 @@
+#include "sgxsim/enclave.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+#include "crypto/sha256.hpp"
+#include "support/strutil.hpp"
+
+namespace sgxsim {
+
+const char* to_string(PageType t) noexcept {
+  switch (t) {
+    case PageType::kSecs: return "secs";
+    case PageType::kCode: return "code";
+    case PageType::kHeap: return "heap";
+    case PageType::kGuard: return "guard";
+    case PageType::kStack: return "stack";
+    case PageType::kTcs: return "tcs";
+    case PageType::kSsa: return "ssa";
+    case PageType::kPadding: return "padding";
+  }
+  return "?";
+}
+
+std::uint8_t Enclave::natural_permissions(PageType t) noexcept {
+  constexpr auto r = static_cast<std::uint8_t>(MemAccess::kRead);
+  constexpr auto w = static_cast<std::uint8_t>(MemAccess::kWrite);
+  constexpr auto x = static_cast<std::uint8_t>(MemAccess::kExecute);
+  switch (t) {
+    case PageType::kCode: return r | x;
+    case PageType::kGuard: return 0;
+    case PageType::kSecs:
+    case PageType::kTcs:
+    case PageType::kSsa:
+    case PageType::kHeap:
+    case PageType::kStack: return r | w;
+    case PageType::kPadding: return r;
+  }
+  return 0;
+}
+
+Enclave::Enclave(EnclaveId id, EnclaveConfig config, edl::InterfaceSpec interface,
+                 support::VirtualClock& clock, Driver& driver)
+    : id_(id),
+      config_(std::move(config)),
+      interface_(std::move(interface)),
+      clock_(clock),
+      driver_(driver),
+      heap_(config_.heap_pages * kPageSize) {
+  if (config_.tcs_count == 0) throw std::invalid_argument("enclave needs at least one TCS");
+  if (config_.code_pages == 0) throw std::invalid_argument("enclave needs code pages");
+  build_layout();
+  compute_measurement();
+  ecall_impls_.resize(interface_.ecalls.size());
+  tcs_busy_.assign(config_.tcs_count, false);
+
+  // EADD every page: creation cost scales with enclave size, which is why
+  // Gjerdrum et al. worry about start-up times of big enclaves (§6).
+  for (std::uint64_t p = 0; p < page_types_.size(); ++p) driver_.add_page(id_, p);
+}
+
+void Enclave::build_layout() {
+  page_types_.clear();
+  page_types_.push_back(PageType::kSecs);
+  for (std::size_t i = 0; i < config_.code_pages; ++i) page_types_.push_back(PageType::kCode);
+  heap_base_page_ = page_types_.size();
+  for (std::size_t i = 0; i < config_.heap_pages; ++i) page_types_.push_back(PageType::kHeap);
+  for (std::size_t t = 0; t < config_.tcs_count; ++t) {
+    page_types_.push_back(PageType::kGuard);
+    stack_base_pages_.push_back(page_types_.size());
+    for (std::size_t i = 0; i < config_.stack_pages; ++i)
+      page_types_.push_back(PageType::kStack);
+    page_types_.push_back(PageType::kGuard);
+    tcs_pages_.push_back(page_types_.size());
+    page_types_.push_back(PageType::kTcs);
+    page_types_.push_back(PageType::kSsa);
+    page_types_.push_back(PageType::kSsa);
+  }
+  // Pad to the next power of two (§4.2: padding pages are "contained in the
+  // enclave measurement and the enclave size needs to be a power of two").
+  const std::uint64_t target = std::bit_ceil(page_types_.size());
+  while (page_types_.size() < target) page_types_.push_back(PageType::kPadding);
+
+  mmu_perms_.resize(page_types_.size());
+  for (std::size_t p = 0; p < page_types_.size(); ++p) {
+    mmu_perms_[p] = natural_permissions(page_types_[p]);
+  }
+}
+
+void Enclave::compute_measurement() {
+  crypto::Sha256 h;
+  h.update(config_.name);
+  const std::uint64_t sizes[4] = {config_.code_pages, config_.heap_pages, config_.stack_pages,
+                                  config_.tcs_count};
+  h.update(sizes, sizeof(sizes));
+  for (const auto& e : interface_.ecalls) {
+    h.update(e.name);
+    h.update(e.is_public ? "pub" : "priv");
+  }
+  for (const auto& o : interface_.ocalls) h.update(o.name);
+  measurement_ = crypto::to_hex(h.finish());
+}
+
+void Enclave::register_ecall(const std::string& name, EcallFn fn) {
+  const auto id = interface_.ecall_id(name);
+  if (!id) {
+    throw std::invalid_argument("register_ecall: '" + name + "' is not in the enclave EDL");
+  }
+  ecall_impls_.at(*id) = std::move(fn);
+}
+
+const EcallFn* Enclave::ecall_fn(CallId id) const noexcept {
+  if (id >= ecall_impls_.size() || !ecall_impls_[id]) return nullptr;
+  return &ecall_impls_[id];
+}
+
+bool Enclave::ecall_public(CallId id) const { return interface_.ecalls.at(id).is_public; }
+
+std::optional<std::size_t> Enclave::acquire_tcs() {
+  std::lock_guard lock(tcs_mu_);
+  for (std::size_t i = 0; i < tcs_busy_.size(); ++i) {
+    if (!tcs_busy_[i]) {
+      tcs_busy_[i] = true;
+      return i;
+    }
+  }
+  return std::nullopt;
+}
+
+void Enclave::release_tcs(std::size_t index) {
+  std::lock_guard lock(tcs_mu_);
+  tcs_busy_.at(index) = false;
+}
+
+bool Enclave::touch_page(std::uint64_t page, MemAccess access) {
+  if (page >= page_types_.size()) {
+    throw std::out_of_range(support::format("enclave %llu: page %llu out of range",
+                                            static_cast<unsigned long long>(id_),
+                                            static_cast<unsigned long long>(page)));
+  }
+  // 1. MMU permissions are checked first (§4.2): a stripped page faults to
+  //    the working-set estimator's handler even though the EPCM would allow
+  //    the access.
+  MmuFaultHandler handler;
+  {
+    std::lock_guard lock(mmu_mu_);
+    if ((mmu_perms_[page] & static_cast<std::uint8_t>(access)) == 0) {
+      handler = mmu_fault_handler_;
+    }
+  }
+  if (handler) handler(id_, page, access);
+
+  // 2. EPC residency (the SGX side): fault the page in if it was evicted.
+  return driver_.ensure_resident(id_, page);
+}
+
+bool Enclave::touch_range(EnclaveAddr addr, std::uint64_t len, MemAccess access) {
+  if (len == 0) return false;
+  const std::uint64_t first = addr / kPageSize;
+  const std::uint64_t last = (addr + len - 1) / kPageSize;
+  bool faulted = false;
+  for (std::uint64_t p = first; p <= last; ++p) faulted |= touch_page(p, access);
+  return faulted;
+}
+
+EnclaveAddr Enclave::heap_alloc(std::uint64_t bytes) {
+  HeapOffset off;
+  {
+    std::lock_guard lock(heap_mu_);
+    off = heap_.allocate(bytes);
+  }
+  if (off == FreeListAllocator::kFailed) return 0;
+  const EnclaveAddr addr = heap_base_page_ * kPageSize + off;
+  touch_range(addr, bytes, MemAccess::kWrite);  // trusted malloc zeroes memory
+  return addr;
+}
+
+void Enclave::heap_free(EnclaveAddr addr) {
+  std::lock_guard lock(heap_mu_);
+  heap_.deallocate(addr - heap_base_page_ * kPageSize);
+}
+
+std::uint64_t Enclave::heap_used() const {
+  std::lock_guard lock(heap_mu_);
+  return heap_.used();
+}
+
+void Enclave::strip_mmu_permissions() {
+  std::lock_guard lock(mmu_mu_);
+  for (auto& p : mmu_perms_) p = 0;
+}
+
+void Enclave::restore_mmu_permission(std::uint64_t page) {
+  std::lock_guard lock(mmu_mu_);
+  mmu_perms_.at(page) = natural_permissions(page_types_.at(page));
+}
+
+void Enclave::restore_mmu_permissions() {
+  std::lock_guard lock(mmu_mu_);
+  for (std::size_t p = 0; p < mmu_perms_.size(); ++p) {
+    mmu_perms_[p] = natural_permissions(page_types_[p]);
+  }
+}
+
+void Enclave::set_mmu_fault_handler(MmuFaultHandler handler) {
+  std::lock_guard lock(mmu_mu_);
+  mmu_fault_handler_ = std::move(handler);
+}
+
+MutexId Enclave::create_mutex(MutexKind kind, std::uint32_t spin_limit) {
+  std::lock_guard lock(sync_mu_);
+  MutexState m;
+  m.kind = kind;
+  m.spin_limit = spin_limit;
+  mutexes_.push_back(std::move(m));
+  return static_cast<MutexId>(mutexes_.size() - 1);
+}
+
+CondId Enclave::create_cond() {
+  std::lock_guard lock(sync_mu_);
+  conds_.emplace_back();
+  return static_cast<CondId>(conds_.size() - 1);
+}
+
+}  // namespace sgxsim

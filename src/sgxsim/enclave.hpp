@@ -1,0 +1,203 @@
+// The simulated enclave: memory layout, EPCM/MMU permissions, trusted heap,
+// TCS pool, in-enclave synchronisation state and the registered trusted
+// functions.
+//
+// Layout follows §2.3.3: one metadata (SECS) page, code pages, heap pages,
+// and per configured thread a guard page, stack pages, a TCS page and two
+// SSA pages; the total is padded to the next power of two with padding pages
+// that are part of the measurement but never touched — which is why the
+// working set is much smaller than the enclave (§4.2).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sgxsim/driver.hpp"
+#include "sgxsim/edl.hpp"
+#include "sgxsim/heap.hpp"
+#include "sgxsim/types.hpp"
+#include "support/clock.hpp"
+
+namespace sgxsim {
+
+class TrustedContext;
+class Urts;
+
+/// Byte address inside the enclave's linear range.
+using EnclaveAddr = std::uint64_t;
+
+enum class MemAccess : std::uint8_t {
+  kRead = 1,
+  kWrite = 2,
+  kExecute = 4,
+};
+
+enum class PageType : std::uint8_t {
+  kSecs,
+  kCode,
+  kHeap,
+  kGuard,
+  kStack,
+  kTcs,
+  kSsa,
+  kPadding,
+};
+
+[[nodiscard]] const char* to_string(PageType t) noexcept;
+
+/// Build-time enclave configuration (the SDK's Enclave.config.xml analogue).
+struct EnclaveConfig {
+  std::string name = "enclave";
+  std::size_t code_pages = 64;
+  std::size_t heap_pages = 256;
+  std::size_t stack_pages = 8;  // per TCS
+  std::size_t tcs_count = 4;    // max concurrent threads inside (§2.1)
+  bool debug = true;            // debug enclaves allow inspection
+};
+
+/// Trusted function implementation: receives the trusted execution context
+/// and the marshalling struct, exactly like an edger8r-generated bridge.
+using EcallFn = std::function<SgxStatus(TrustedContext&, void*)>;
+
+/// In-enclave mutex flavours: the SDK default (sleep via ocall on contention,
+/// §2.3.2) and the paper's recommended hybrid spin-then-sleep (§3.4).
+enum class MutexKind : std::uint8_t { kSdkDefault, kHybridSpin };
+
+using MutexId = std::uint32_t;
+using CondId = std::uint32_t;
+
+class Enclave {
+ public:
+  Enclave(EnclaveId id, EnclaveConfig config, edl::InterfaceSpec interface,
+          support::VirtualClock& clock, Driver& driver);
+
+  Enclave(const Enclave&) = delete;
+  Enclave& operator=(const Enclave&) = delete;
+
+  // --- identity & layout ---------------------------------------------------
+  [[nodiscard]] EnclaveId id() const noexcept { return id_; }
+  [[nodiscard]] const EnclaveConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const edl::InterfaceSpec& interface() const noexcept { return interface_; }
+  /// MRENCLAVE-like hex measurement over the layout and interface.
+  [[nodiscard]] const std::string& measurement() const noexcept { return measurement_; }
+  [[nodiscard]] std::size_t total_pages() const noexcept { return page_types_.size(); }
+  [[nodiscard]] std::uint64_t size_bytes() const noexcept { return total_pages() * kPageSize; }
+  [[nodiscard]] PageType page_type(std::uint64_t page) const { return page_types_.at(page); }
+  [[nodiscard]] std::uint64_t heap_base_page() const noexcept { return heap_base_page_; }
+  [[nodiscard]] std::uint64_t code_base_page() const noexcept { return 1; }
+
+  // --- trusted function registry -------------------------------------------
+  /// Registers the implementation of the ecall named `name` in the EDL.
+  /// Throws std::invalid_argument for names absent from the interface.
+  void register_ecall(const std::string& name, EcallFn fn);
+  [[nodiscard]] const EcallFn* ecall_fn(CallId id) const noexcept;
+  [[nodiscard]] bool ecall_public(CallId id) const;
+
+  // --- TCS pool -------------------------------------------------------------
+  /// Claims a free TCS; nullopt when all are busy (SGX_ERROR_OUT_OF_TCS).
+  [[nodiscard]] std::optional<std::size_t> acquire_tcs();
+  void release_tcs(std::size_t index);
+  [[nodiscard]] std::size_t tcs_count() const noexcept { return config_.tcs_count; }
+
+  // --- memory ----------------------------------------------------------------
+  /// Simulates an access to `page`.  Order matters and mirrors §4.2: the MMU
+  /// permissions are checked *before* the SGX/EPCM ones, so stripped MMU
+  /// permissions fault even for EPC-resident pages; then EPC residency is
+  /// ensured (possibly paging).  Returns true if an EPC fault occurred.
+  bool touch_page(std::uint64_t page, MemAccess access);
+  /// Touches every page overlapping [addr, addr+len).
+  bool touch_range(EnclaveAddr addr, std::uint64_t len, MemAccess access);
+
+  /// Trusted heap: returns an enclave address, or 0 on exhaustion.  Newly
+  /// allocated memory is touched for writing (zeroing), as trusted malloc
+  /// does.
+  [[nodiscard]] EnclaveAddr heap_alloc(std::uint64_t bytes);
+  void heap_free(EnclaveAddr addr);
+  [[nodiscard]] std::uint64_t heap_used() const;
+  [[nodiscard]] std::uint64_t heap_capacity() const noexcept {
+    return config_.heap_pages * kPageSize;
+  }
+
+  // --- MMU permission games (working-set estimator, §4.2) ---------------------
+  using MmuFaultHandler = std::function<void(EnclaveId, std::uint64_t /*page*/, MemAccess)>;
+  /// Strips all MMU permissions from every enclave page.
+  void strip_mmu_permissions();
+  /// Restores the natural permissions of one page / of all pages.
+  void restore_mmu_permission(std::uint64_t page);
+  void restore_mmu_permissions();
+  void set_mmu_fault_handler(MmuFaultHandler handler);
+  [[nodiscard]] std::uint8_t mmu_permissions(std::uint64_t page) const {
+    return mmu_perms_.at(page);
+  }
+
+  // --- in-enclave synchronisation state (used by TrustedContext) --------------
+  [[nodiscard]] MutexId create_mutex(MutexKind kind = MutexKind::kSdkDefault,
+                                     std::uint32_t spin_limit = 64);
+  [[nodiscard]] CondId create_cond();
+
+  struct MutexState {
+    MutexKind kind = MutexKind::kSdkDefault;
+    std::uint32_t spin_limit = 0;
+    ThreadId owner = 0;  // 0 = unlocked
+    std::deque<ThreadId> waiters;
+  };
+  struct CondState {
+    std::deque<ThreadId> waiters;
+  };
+
+  /// Synchronisation state is manipulated under this lock by the TRTS.
+  std::mutex& sync_mu() noexcept { return sync_mu_; }
+  [[nodiscard]] MutexState& mutex_state(MutexId id) { return mutexes_.at(id); }
+  [[nodiscard]] CondState& cond_state(CondId id) { return conds_.at(id); }
+
+  /// Natural (EPCM) permissions for a page of the given type.
+  [[nodiscard]] static std::uint8_t natural_permissions(PageType t) noexcept;
+
+ private:
+  void build_layout();
+  void compute_measurement();
+
+  EnclaveId id_;
+  EnclaveConfig config_;
+  edl::InterfaceSpec interface_;
+  support::VirtualClock& clock_;
+  Driver& driver_;
+
+  std::vector<PageType> page_types_;
+  std::vector<std::uint8_t> mmu_perms_;
+  std::uint64_t heap_base_page_ = 0;
+  std::vector<std::uint64_t> tcs_pages_;         // page index of each TCS
+  std::vector<std::uint64_t> stack_base_pages_;  // first stack page per TCS
+  std::string measurement_;
+
+  std::vector<EcallFn> ecall_impls_;
+
+  std::mutex tcs_mu_;
+  std::vector<bool> tcs_busy_;
+
+  mutable std::mutex heap_mu_;
+  FreeListAllocator heap_;
+
+  std::mutex mmu_mu_;
+  MmuFaultHandler mmu_fault_handler_;
+
+  std::mutex sync_mu_;
+  std::deque<MutexState> mutexes_;
+  std::deque<CondState> conds_;
+
+ public:
+  /// Stack/TCS page helpers used by the runtime when entering an ecall.
+  [[nodiscard]] std::uint64_t tcs_page(std::size_t tcs_index) const {
+    return tcs_pages_.at(tcs_index);
+  }
+  [[nodiscard]] std::uint64_t stack_base_page(std::size_t tcs_index) const {
+    return stack_base_pages_.at(tcs_index);
+  }
+};
+
+}  // namespace sgxsim

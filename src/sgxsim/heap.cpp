@@ -1,0 +1,65 @@
+#include "sgxsim/heap.hpp"
+
+#include <stdexcept>
+
+namespace sgxsim {
+
+FreeListAllocator::FreeListAllocator(std::uint64_t capacity) : capacity_(capacity) {
+  if (capacity > 0) free_.emplace(0, capacity);
+}
+
+HeapOffset FreeListAllocator::allocate(std::uint64_t size) {
+  if (size == 0) size = 1;
+  // Round to alignment to keep all block offsets aligned.
+  size = (size + kAlignment - 1) / kAlignment * kAlignment;
+
+  for (auto it = free_.begin(); it != free_.end(); ++it) {
+    if (it->second < size) continue;
+    const HeapOffset offset = it->first;
+    const std::uint64_t block_size = it->second;
+    free_.erase(it);
+    if (block_size > size) {
+      free_.emplace(offset + size, block_size - size);
+    }
+    allocated_.emplace(offset, size);
+    used_ += size;
+    return offset;
+  }
+  return kFailed;
+}
+
+void FreeListAllocator::deallocate(HeapOffset offset) {
+  const auto it = allocated_.find(offset);
+  if (it == allocated_.end()) {
+    throw std::logic_error("FreeListAllocator: deallocate of unknown offset");
+  }
+  std::uint64_t size = it->second;
+  allocated_.erase(it);
+  used_ -= size;
+
+  // Coalesce with the following free block.
+  auto next = free_.lower_bound(offset);
+  if (next != free_.end() && offset + size == next->first) {
+    size += next->second;
+    next = free_.erase(next);
+  }
+  // Coalesce with the preceding free block.
+  if (next != free_.begin()) {
+    auto prev = std::prev(next);
+    if (prev->first + prev->second == offset) {
+      prev->second += size;
+      return;
+    }
+  }
+  free_.emplace(offset, size);
+}
+
+std::uint64_t FreeListAllocator::largest_free_block() const noexcept {
+  std::uint64_t best = 0;
+  for (const auto& [offset, size] : free_) {
+    if (size > best) best = size;
+  }
+  return best;
+}
+
+}  // namespace sgxsim

@@ -1,0 +1,50 @@
+// First-fit free-list allocator for the simulated enclave heap.
+//
+// The SDK's trusted malloc draws from a fixed heap region whose size is set
+// at enclave build time (§2.3.3: "the heap and stack are not virtually
+// infinite, but actually have a limit").  This allocator reproduces that:
+// allocation fails once the configured region is exhausted, which is exactly
+// the failure mode the paper warns about.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+
+namespace sgxsim {
+
+/// Byte offset inside the enclave's heap region.
+using HeapOffset = std::uint64_t;
+
+class FreeListAllocator {
+ public:
+  /// Manages `capacity` bytes starting at offset 0.
+  explicit FreeListAllocator(std::uint64_t capacity);
+
+  /// Allocates `size` bytes (16-byte aligned).  Returns the offset, or
+  /// kFailed when the region cannot satisfy the request.
+  [[nodiscard]] HeapOffset allocate(std::uint64_t size);
+
+  /// Frees a block previously returned by allocate().  Freeing an unknown
+  /// offset is a programming error and throws std::logic_error.
+  void deallocate(HeapOffset offset);
+
+  [[nodiscard]] std::uint64_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::uint64_t used() const noexcept { return used_; }
+  [[nodiscard]] std::uint64_t free_bytes() const noexcept { return capacity_ - used_; }
+  /// Largest single allocation that can currently succeed.
+  [[nodiscard]] std::uint64_t largest_free_block() const noexcept;
+  [[nodiscard]] std::size_t allocation_count() const noexcept { return allocated_.size(); }
+
+  static constexpr HeapOffset kFailed = ~std::uint64_t{0};
+
+ private:
+  static constexpr std::uint64_t kAlignment = 16;
+
+  std::uint64_t capacity_;
+  std::uint64_t used_ = 0;
+  std::map<HeapOffset, std::uint64_t> free_;       // offset -> size, coalesced
+  std::map<HeapOffset, std::uint64_t> allocated_;  // offset -> size
+};
+
+}  // namespace sgxsim

@@ -1,0 +1,304 @@
+#include "sgxsim/runtime.hpp"
+
+#include <atomic>
+#include <stdexcept>
+
+namespace sgxsim {
+
+namespace {
+
+// Builtin untrusted implementations of the SDK synchronisation ocalls.
+// They are ordinary OcallFn entries in every table, so the profiler's table
+// rewrite wraps them like any application ocall.
+
+SgxStatus sync_wait_event(void* ms) {
+  auto* s = static_cast<SyncOcallMs*>(ms);
+  s->urts->park_current_thread();
+  return SgxStatus::kSuccess;
+}
+
+SgxStatus sync_set_event(void* ms) {
+  auto* s = static_cast<SyncOcallMs*>(ms);
+  s->urts->unpark(s->target);
+  return SgxStatus::kSuccess;
+}
+
+SgxStatus sync_set_multiple_events(void* ms) {
+  auto* s = static_cast<SyncOcallMs*>(ms);
+  if (s->targets != nullptr) {
+    for (ThreadId t : *s->targets) s->urts->unpark(t);
+  }
+  return SgxStatus::kSuccess;
+}
+
+SgxStatus sync_set_wait_event(void* ms) {
+  auto* s = static_cast<SyncOcallMs*>(ms);
+  s->urts->unpark(s->target);
+  s->urts->park_current_thread();
+  return SgxStatus::kSuccess;
+}
+
+}  // namespace
+
+OcallTable make_ocall_table(std::vector<OcallFn> app_entries) {
+  OcallTable table;
+  table.entries = std::move(app_entries);
+  table.sync_base = static_cast<CallId>(table.entries.size());
+  table.entries.push_back(&sync_wait_event);
+  table.entries.push_back(&sync_set_event);
+  table.entries.push_back(&sync_set_multiple_events);
+  table.entries.push_back(&sync_set_wait_event);
+  return table;
+}
+
+namespace {
+std::atomic<std::uint64_t> g_urts_instance_counter{1};
+}  // namespace
+
+Urts::Urts(CostModel cost, std::size_t epc_pages)
+    : cost_(cost), driver_(clock_, cost_, epc_pages) {
+  instance_token_ = g_urts_instance_counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+Urts::~Urts() = default;
+
+void Urts::set_patch_level(PatchLevel lvl) noexcept {
+  // Only the transition-related costs change; the driver keeps referencing
+  // the same CostModel object.
+  const CostModel preset = CostModel::preset(lvl);
+  cost_.eenter_ns = preset.eenter_ns;
+  cost_.eexit_ns = preset.eexit_ns;
+  cost_.aex_ns = preset.aex_ns;
+}
+
+EnclaveId Urts::create_enclave(EnclaveConfig config, edl::InterfaceSpec interface) {
+  std::unique_ptr<Enclave> enclave;
+  EnclaveId id = 0;
+  {
+    std::lock_guard lock(enclaves_mu_);
+    id = next_enclave_id_++;
+    enclave = std::make_unique<Enclave>(id, std::move(config), std::move(interface), clock_,
+                                        driver_);
+    enclaves_.emplace(id, std::move(enclave));
+  }
+  if (hooks_.enclave_created) hooks_.enclave_created(*enclaves_.at(id));
+  return id;
+}
+
+SgxStatus Urts::destroy_enclave(EnclaveId id) {
+  std::unique_ptr<Enclave> doomed;
+  {
+    std::lock_guard lock(enclaves_mu_);
+    const auto it = enclaves_.find(id);
+    if (it == enclaves_.end()) return SgxStatus::kInvalidEnclaveId;
+    doomed = std::move(it->second);
+    enclaves_.erase(it);
+  }
+  driver_.remove_enclave(id);
+  if (hooks_.enclave_destroyed) hooks_.enclave_destroyed(id, clock_.now());
+  return SgxStatus::kSuccess;
+}
+
+Enclave& Urts::enclave(EnclaveId id) {
+  std::lock_guard lock(enclaves_mu_);
+  return *enclaves_.at(id);
+}
+
+const Enclave* Urts::find_enclave(EnclaveId id) const {
+  std::lock_guard lock(enclaves_mu_);
+  const auto it = enclaves_.find(id);
+  return it == enclaves_.end() ? nullptr : it->second.get();
+}
+
+SgxStatus Urts::sgx_ecall(EnclaveId eid, CallId id, const OcallTable* table, void* ms) {
+  if (hooks_.sgx_ecall) return hooks_.sgx_ecall(eid, id, table, ms);
+  return real_sgx_ecall(eid, id, table, ms);
+}
+
+void Urts::set_switchless_workers(EnclaveId enclave, std::size_t workers) {
+  std::lock_guard lock(enclaves_mu_);
+  if (workers == 0) {
+    switchless_workers_.erase(enclave);
+  } else {
+    switchless_workers_[enclave] = workers;
+  }
+}
+
+std::size_t Urts::switchless_workers(EnclaveId enclave) const {
+  std::lock_guard lock(enclaves_mu_);
+  const auto it = switchless_workers_.find(enclave);
+  return it == switchless_workers_.end() ? 0 : it->second;
+}
+
+Urts::ThreadState& Urts::thread_state() {
+  // Keyed by instance token, not address: a destroyed Urts may be
+  // reallocated at the same address by a later test or experiment.
+  thread_local std::map<std::uint64_t, ThreadState*> cache;
+  const auto it = cache.find(instance_token_);
+  if (it != cache.end()) return *it->second;
+
+  std::lock_guard lock(threads_mu_);
+  auto state = std::make_unique<ThreadState>();
+  state->id = next_thread_id_++;
+  ThreadState* raw = state.get();
+  threads_.emplace(raw->id, std::move(state));
+  parkers_.emplace(raw->id, std::make_unique<Parker>());
+  cache.emplace(instance_token_, raw);
+  return *raw;
+}
+
+ThreadId Urts::current_thread_id() { return thread_state().id; }
+
+Urts::Parker& Urts::parker_for(ThreadId id) {
+  std::lock_guard lock(threads_mu_);
+  auto& slot = parkers_[id];
+  if (!slot) slot = std::make_unique<Parker>();
+  return *slot;
+}
+
+void Urts::park_current_thread() {
+  clock_.advance(cost_.parker_ns);
+  Parker& p = parker_for(current_thread_id());
+  std::unique_lock lock(p.m);
+  p.cv.wait(lock, [&] { return p.permits > 0; });
+  --p.permits;
+}
+
+void Urts::unpark(ThreadId thread) {
+  clock_.advance(cost_.parker_ns);
+  Parker& p = parker_for(thread);
+  {
+    std::lock_guard lock(p.m);
+    ++p.permits;
+  }
+  p.cv.notify_one();
+}
+
+Urts::CallFrame* Urts::innermost_ecall(ThreadState& ts) {
+  for (auto it = ts.frames.rbegin(); it != ts.frames.rend(); ++it) {
+    if (!it->is_ocall) return &*it;
+  }
+  return nullptr;
+}
+
+Urts::CallFrame* Urts::innermost_ocall(ThreadState& ts, EnclaveId eid) {
+  for (auto it = ts.frames.rbegin(); it != ts.frames.rend(); ++it) {
+    if (it->is_ocall && it->eid == eid) return &*it;
+  }
+  return nullptr;
+}
+
+void Urts::deliver_aex(ThreadState& ts) {
+  // State save into the SSA, EEXIT, kernel interrupt handler, AEP, ERESUME.
+  const auto now = clock_.advance(cost_.aex_ns);
+  CallFrame* ecall = innermost_ecall(ts);
+  const EnclaveId eid = ecall != nullptr ? ecall->eid : 0;
+  // The AEP normally holds exactly one ERESUME; the profiler may have patched
+  // it (§4.1.4) to count/trace before resuming.
+  if (hooks_.aep) hooks_.aep(eid, ts.id, now, AexCause::kInterrupt);
+  ts.next_aex_deadline = clock_.now() + cost_.timer_period_ns;
+}
+
+void Urts::charge_in_enclave(ThreadState& ts, support::Nanoseconds ns) {
+  while (true) {
+    const auto now = clock_.now();
+    if (now >= ts.next_aex_deadline) {
+      deliver_aex(ts);
+      continue;
+    }
+    if (ns == 0) return;
+    const support::Nanoseconds step = std::min<support::Nanoseconds>(
+        ns, ts.next_aex_deadline - now);
+    clock_.advance(step);
+    ns -= step;
+  }
+}
+
+SgxStatus Urts::real_sgx_ecall(EnclaveId eid, CallId id, const OcallTable* table, void* ms) {
+  Enclave* enclave_ptr = nullptr;
+  {
+    std::lock_guard lock(enclaves_mu_);
+    const auto it = enclaves_.find(eid);
+    if (it == enclaves_.end()) return SgxStatus::kInvalidEnclaveId;
+    enclave_ptr = it->second.get();
+  }
+  Enclave& enclave = *enclave_ptr;
+
+  if (id >= enclave.interface().ecalls.size()) return SgxStatus::kInvalidFunction;
+  const EcallFn* fn = enclave.ecall_fn(id);
+  if (fn == nullptr) return SgxStatus::kInvalidFunction;
+
+  ThreadState& ts = thread_state();
+
+  // Interface policy (§3.6): inside an ocall, only ecalls in that ocall's
+  // allow() list may run; private ecalls may *only* run inside an ocall.
+  CallFrame* enclosing_ocall = innermost_ocall(ts, eid);
+  if (enclosing_ocall != nullptr) {
+    if (!enclave.interface().is_allowed(enclosing_ocall->call_id, id)) {
+      return SgxStatus::kEcallNotAllowed;
+    }
+  } else if (!enclave.ecall_public(id)) {
+    return SgxStatus::kEcallNotAllowed;
+  }
+
+  // Switchless fast path (SDK 2.x `transition_using_threads`): an in-enclave
+  // worker serves the request over a shared queue — no TCS claim, no
+  // EENTER/EEXIT, just the queue handoff cost.  Falls through to the normal
+  // path when the feature is disabled for this enclave.
+  if (enclave.interface().ecalls[id].is_switchless && switchless_workers(eid) > 0) {
+    clock_.advance(cost_.switchless_call_ns);
+    ts.frames.push_back(CallFrame{eid, /*is_ocall=*/false, id, table, /*tcs_index=*/0});
+    ts.next_aex_deadline = clock_.now() + cost_.timer_period_ns;
+    SgxStatus ret = SgxStatus::kSuccess;
+    {
+      TrustedContext ctx(*this, enclave, ts);
+      try {
+        ret = (*fn)(ctx, ms);
+      } catch (...) {
+        ret = SgxStatus::kEnclaveCrashed;
+      }
+    }
+    ts.frames.pop_back();
+    return ret;
+  }
+
+  // URTS: find a free TCS (§2.1 — the TCS count bounds enclave concurrency).
+  const auto tcs = enclave.acquire_tcs();
+  if (!tcs) return SgxStatus::kOutOfTcs;
+  clock_.advance(cost_.urts_ecall_overhead_ns);
+
+  // EENTER.
+  clock_.advance(cost_.eenter_ns);
+  ts.frames.push_back(CallFrame{eid, /*is_ocall=*/false, id, table, *tcs});
+  ts.next_aex_deadline = clock_.now() + cost_.timer_period_ns;
+
+  // Entering trusted code touches the entry trampoline, the ecall's code
+  // page, the TCS and the top of this TCS's stack.
+  enclave.touch_page(enclave.code_base_page(), MemAccess::kExecute);
+  const std::uint64_t fn_page =
+      enclave.code_base_page() + 1 + id % std::max<std::size_t>(enclave.config().code_pages - 1, 1);
+  enclave.touch_page(fn_page % enclave.total_pages(), MemAccess::kExecute);
+  enclave.touch_page(enclave.tcs_page(*tcs), MemAccess::kRead);
+  enclave.touch_page(enclave.stack_base_page(*tcs), MemAccess::kWrite);
+
+  // TRTS trampoline: resolve the id to the actual ecall and dispatch.
+  charge_in_enclave(ts, cost_.trts_dispatch_ns);
+
+  SgxStatus ret = SgxStatus::kSuccess;
+  {
+    TrustedContext ctx(*this, enclave, ts);
+    try {
+      ret = (*fn)(ctx, ms);
+    } catch (...) {
+      ret = SgxStatus::kEnclaveCrashed;
+    }
+  }
+
+  // EEXIT.
+  clock_.advance(cost_.eexit_ns);
+  ts.frames.pop_back();
+  enclave.release_tcs(*tcs);
+  return ret;
+}
+
+}  // namespace sgxsim

@@ -1,0 +1,238 @@
+// The simulated SGX SDK runtime: URTS (untrusted) + TRTS (trusted).
+//
+// Call architecture mirrors Figure 1 of the paper:
+//
+//   app wrapper  ->  Urts::sgx_ecall(eid, id, ocall_table, ms)   [URTS]
+//                     -> hook (sgx-perf shadows exactly here, Figure 2)
+//                     -> real_sgx_ecall: TCS claim, EENTER
+//                     -> trampoline dispatch -> registered EcallFn  [TRTS]
+//   trusted code ->  TrustedContext::ocall(id, ms)                [TRTS]
+//                     -> EEXIT -> ocall_table->entries[id](ms)     [URTS]
+//                        (sgx-perf swaps this table, Figure 3)
+//
+// AEXs are injected from a timer-interrupt model while trusted code runs;
+// the AEP is a hook the profiler may patch (§4.1.4).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "sgxsim/cost_model.hpp"
+#include "sgxsim/driver.hpp"
+#include "sgxsim/enclave.hpp"
+#include "sgxsim/types.hpp"
+#include "support/clock.hpp"
+
+namespace sgxsim {
+
+class Urts;
+class TrustedContext;
+
+/// Hardware-level reason for an AEX (exposed to software only on SGX v2).
+enum class AexCause : std::uint8_t {
+  kInterrupt = 1,  // timer or external interrupt
+  kPageFault = 2,  // EPC fault during enclave execution
+};
+
+/// Interposition points a "preloaded" profiler library may install.  The
+/// defaults route straight to the real implementations; sgx-perf replaces
+/// them without touching application, enclave or SDK (§4).
+struct UrtsHooks {
+  /// Shadow of sgx_ecall.  When set, every application ecall lands here; the
+  /// shadow chains to Urts::real_sgx_ecall (the dlsym(RTLD_NEXT) analogue).
+  std::function<SgxStatus(EnclaveId, CallId, const OcallTable*, void*)> sgx_ecall;
+  /// Patched AEP: invoked on every AEX, after the kernel handler, before
+  /// ERESUME — (enclave, thread, timestamp, cause).  The cause argument is
+  /// what the simulated hardware knows; whether a profiler may *use* it is
+  /// governed by the SGX version and the enclave's debug flag (§4.1.4).
+  std::function<void(EnclaveId, ThreadId, support::Nanoseconds, AexCause)> aep;
+  /// Enclave lifecycle notifications (the real tool hooks
+  /// sgx_create_enclave / sgx_destroy_enclave the same way).
+  std::function<void(const Enclave&)> enclave_created;
+  std::function<void(EnclaveId, support::Nanoseconds)> enclave_destroyed;
+};
+
+/// Marshalling struct of the four builtin synchronisation ocalls; the layout
+/// is SDK-public knowledge, which is how the profiler can interpret it.
+struct SyncOcallMs {
+  Urts* urts = nullptr;
+  ThreadId self = 0;                          // calling thread
+  ThreadId target = 0;                        // thread to wake (set-event)
+  const std::vector<ThreadId>* targets = nullptr;  // set-multiple-events
+};
+
+/// Builds a per-enclave ocall table from application entries, appending the
+/// four SDK synchronisation ocalls the way importing sgx_tstdc.edl does.
+[[nodiscard]] OcallTable make_ocall_table(std::vector<OcallFn> app_entries);
+
+/// One simulated machine: clock, cost model, EPC driver, enclaves, threads.
+class Urts {
+ public:
+  explicit Urts(CostModel cost = CostModel::preset(PatchLevel::kUnpatched),
+                std::size_t epc_pages = Driver::kDefaultEpcPages);
+  ~Urts();
+
+  Urts(const Urts&) = delete;
+  Urts& operator=(const Urts&) = delete;
+
+  // --- machine services -----------------------------------------------------
+  [[nodiscard]] support::VirtualClock& clock() noexcept { return clock_; }
+  [[nodiscard]] Driver& driver() noexcept { return driver_; }
+  [[nodiscard]] const CostModel& cost() const noexcept { return cost_; }
+  /// Re-calibrates transition costs (simulates applying microcode updates).
+  void set_patch_level(PatchLevel lvl) noexcept;
+
+  /// Enables switchless calls for `enclave`: `workers` in-enclave worker
+  /// threads poll a shared request queue, so ecalls the EDL marks
+  /// `transition_using_threads` are served without EENTER/EEXIT (the
+  /// asynchronous-call technique of SCONE/HotCalls, §2.3/§6).  Pass 0 to
+  /// disable again; marked calls then fall back to normal transitions, like
+  /// the SDK does when no worker is free.
+  void set_switchless_workers(EnclaveId enclave, std::size_t workers);
+  [[nodiscard]] std::size_t switchless_workers(EnclaveId enclave) const;
+
+  /// SGX capability level of the machine: version 2 records the AEX exit
+  /// type so a profiler can read it for debug enclaves (§4.1.4 — "SGX v2
+  /// will enable this").  Default is version 1, like the paper's testbed.
+  void set_sgx_version(int version) noexcept { sgx_version_ = version; }
+  [[nodiscard]] int sgx_version() const noexcept { return sgx_version_; }
+
+  // --- enclave lifecycle ------------------------------------------------------
+  /// Creates an enclave; throws std::invalid_argument on bad config.
+  EnclaveId create_enclave(EnclaveConfig config, edl::InterfaceSpec interface);
+  SgxStatus destroy_enclave(EnclaveId id);
+  /// Throws std::out_of_range for unknown ids.
+  [[nodiscard]] Enclave& enclave(EnclaveId id);
+  [[nodiscard]] const Enclave* find_enclave(EnclaveId id) const;
+
+  // --- the generic ecall entry point (Figure 1/2) -----------------------------
+  /// Public entry used by application wrappers; dispatches through the hook.
+  SgxStatus sgx_ecall(EnclaveId eid, CallId id, const OcallTable* table, void* ms);
+  /// The URTS implementation a shadow chains to.
+  SgxStatus real_sgx_ecall(EnclaveId eid, CallId id, const OcallTable* table, void* ms);
+
+  [[nodiscard]] UrtsHooks& hooks() noexcept { return hooks_; }
+
+  // --- threads ------------------------------------------------------------------
+  /// Stable id of the calling OS thread (registered on first use, like the
+  /// profiler's shadowed pthread_create registers threads).
+  ThreadId current_thread_id();
+
+  /// Futex-style parking used by the builtin sync ocalls.
+  void park_current_thread();
+  void unpark(ThreadId thread);
+
+ private:
+  friend class TrustedContext;
+
+  struct CallFrame {
+    EnclaveId eid = 0;
+    bool is_ocall = false;
+    CallId call_id = 0;
+    const OcallTable* table = nullptr;  // table passed at the enclosing sgx_ecall
+    std::size_t tcs_index = 0;          // valid for ecall frames
+  };
+
+  struct ThreadState {
+    ThreadId id = 0;
+    std::vector<CallFrame> frames;
+    /// Absolute virtual time of the next simulated timer interrupt.
+    support::Nanoseconds next_aex_deadline = 0;
+  };
+
+  struct Parker {
+    std::mutex m;
+    std::condition_variable cv;
+    unsigned permits = 0;
+  };
+
+  ThreadState& thread_state();
+  Parker& parker_for(ThreadId id);
+
+  /// Advances virtual time attributable to trusted execution, injecting AEXs
+  /// whenever a timer deadline is crossed (§4.1.4).
+  void charge_in_enclave(ThreadState& ts, support::Nanoseconds ns);
+  void deliver_aex(ThreadState& ts);
+
+  /// Innermost ecall frame of `ts`, or nullptr when not inside an enclave.
+  [[nodiscard]] CallFrame* innermost_ecall(ThreadState& ts);
+  /// Innermost *ocall* frame for `eid`, or nullptr (private-ecall check).
+  [[nodiscard]] CallFrame* innermost_ocall(ThreadState& ts, EnclaveId eid);
+
+  support::VirtualClock clock_;
+  CostModel cost_;
+  Driver driver_;
+  UrtsHooks hooks_;
+
+  mutable std::mutex enclaves_mu_;
+  std::map<EnclaveId, std::unique_ptr<Enclave>> enclaves_;
+  std::map<EnclaveId, std::size_t> switchless_workers_;
+  EnclaveId next_enclave_id_ = 1;
+
+  std::mutex threads_mu_;
+  std::map<ThreadId, std::unique_ptr<ThreadState>> threads_;
+  std::map<ThreadId, std::unique_ptr<Parker>> parkers_;
+  ThreadId next_thread_id_ = 1;
+  /// Unique per Urts instance: guards the thread-local ThreadState cache
+  /// against a destroyed Urts being reallocated at the same address.
+  std::uint64_t instance_token_ = 0;
+  int sgx_version_ = 1;
+};
+
+/// Execution context handed to trusted functions (the TRTS service surface:
+/// ocalls, trusted heap, simulated computation, synchronisation).
+class TrustedContext {
+ public:
+  TrustedContext(Urts& urts, Enclave& enclave, Urts::ThreadState& ts) noexcept
+      : urts_(urts), enclave_(enclave), ts_(ts) {}
+
+  TrustedContext(const TrustedContext&) = delete;
+  TrustedContext& operator=(const TrustedContext&) = delete;
+
+  // --- ocalls ----------------------------------------------------------------
+  /// Issues ocall `id` through the ocall table of the enclosing sgx_ecall.
+  SgxStatus ocall(CallId id, void* ms);
+
+  // --- simulated computation ----------------------------------------------------
+  /// Accounts `ns` of in-enclave computation (AEXs may be injected).
+  void work(support::Nanoseconds ns);
+  /// Accounts the marshalling copy of `bytes` into / out of the enclave.
+  void copy_in(std::uint64_t bytes);
+  void copy_out(std::uint64_t bytes);
+
+  // --- trusted heap ---------------------------------------------------------------
+  [[nodiscard]] EnclaveAddr malloc(std::uint64_t bytes) { return enclave_.heap_alloc(bytes); }
+  void free(EnclaveAddr addr) { enclave_.heap_free(addr); }
+  /// Simulates touching enclave memory (drives paging and the working set).
+  void touch(EnclaveAddr addr, std::uint64_t len, MemAccess access);
+
+  // --- SDK synchronisation primitives (§2.3.2) --------------------------------------
+  SgxStatus mutex_lock(MutexId id);
+  SgxStatus mutex_unlock(MutexId id);
+  SgxStatus cond_wait(CondId cond, MutexId mutex);
+  SgxStatus cond_signal(CondId cond);
+  SgxStatus cond_broadcast(CondId cond);
+
+  // --- introspection -------------------------------------------------------------------
+  [[nodiscard]] Enclave& enclave() noexcept { return enclave_; }
+  [[nodiscard]] Urts& urts() noexcept { return urts_; }
+  [[nodiscard]] ThreadId thread_id() const noexcept { return ts_.id; }
+  [[nodiscard]] const CostModel& cost() const noexcept { return urts_.cost(); }
+
+ private:
+  /// The sync ocalls go through the regular ocall path so that the profiler
+  /// sees them in the rewritten table (§4.1.3).
+  SgxStatus sync_ocall(SyncOcall which, ThreadId target,
+                       const std::vector<ThreadId>* targets = nullptr);
+
+  Urts& urts_;
+  Enclave& enclave_;
+  Urts::ThreadState& ts_;
+};
+
+}  // namespace sgxsim

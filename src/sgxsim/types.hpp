@@ -1,0 +1,70 @@
+// Common identifiers, status codes and the ocall-table ABI of the simulated
+// SGX SDK runtime.
+//
+// The shapes mirror the Intel SGX SDK deliberately: one generic
+// `sgx_ecall(eid, index, ocall_table, marshalling_struct)` entry point, and a
+// per-enclave table of plain function pointers for ocalls.  sgx-perf's two
+// interposition tricks (shadowing `sgx_ecall`, rewriting the ocall table)
+// depend on exactly this ABI.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace sgxsim {
+
+using EnclaveId = std::uint64_t;
+using ThreadId = std::uint32_t;
+using CallId = std::uint32_t;
+
+inline constexpr std::size_t kPageSize = 4096;
+
+/// Status codes, a subset of the SDK's sgx_status_t.
+enum class SgxStatus : std::uint32_t {
+  kSuccess = 0x0000,
+  kInvalidParameter = 0x0002,
+  kOutOfMemory = 0x0003,          // enclave heap exhausted
+  kEnclaveLost = 0x0004,
+  kInvalidEnclaveId = 0x2002,
+  kOutOfTcs = 0x1003,             // all TCS busy: too many concurrent ecalls
+  kEcallNotAllowed = 0x1001,      // private ecall outside an ocall, or not in allow()
+  kOcallNotAllowed = 0x1002,      // ocall index out of table bounds
+  kInvalidFunction = 0x1004,      // unknown ecall/ocall index
+  kEnclaveCrashed = 0x1006,
+  kStackOverrun = 0x1009,
+  kUnexpected = 0x0001,
+};
+
+[[nodiscard]] const char* to_string(SgxStatus s) noexcept;
+
+/// An untrusted ocall implementation: takes the marshalling struct, returns a
+/// status.  Application state travels inside the marshalling struct, exactly
+/// like edger8r-generated code routes it through `ms` pointers.
+using OcallFn = SgxStatus (*)(void* ms);
+
+/// The per-enclave ocall table handed to sgx_ecall (§4.1.2 / Figure 3).
+///
+/// `entries[i]` implements ocall id `i`.  The last four slots are the SDK's
+/// in-enclave synchronisation ocalls (sleep / wake-one / wake-multiple /
+/// wake-one-and-sleep), appended by the interface builder the way importing
+/// sgx_tstdc.edl appends them in real edger8r output; `sync_base` is the
+/// index of the first one.
+struct OcallTable {
+  std::vector<OcallFn> entries;
+  CallId sync_base = 0;
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries.size(); }
+};
+
+/// Offsets of the four synchronisation ocalls relative to sync_base,
+/// mirroring the SDK's sgx_thread_* untrusted events (§4.1.3).
+enum class SyncOcall : CallId {
+  kWaitEvent = 0,       // sleep until woken
+  kSetEvent = 1,        // wake one thread
+  kSetMultipleEvents = 2,
+  kSetWaitEvent = 3,    // wake one and sleep
+};
+
+inline constexpr std::size_t kNumSyncOcalls = 4;
+
+}  // namespace sgxsim

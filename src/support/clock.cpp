@@ -1,0 +1,5 @@
+#include "support/clock.hpp"
+
+// VirtualClock is header-only today; this translation unit anchors the
+// library and reserves room for future out-of-line members.
+namespace support {}

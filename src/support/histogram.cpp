@@ -1,0 +1,80 @@
+#include "support/histogram.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace support {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
+  if (bins == 0) throw std::invalid_argument("Histogram: bins must be >= 1");
+  if (!(hi > lo)) throw std::invalid_argument("Histogram: hi must be > lo");
+}
+
+Histogram Histogram::from_values(const std::vector<double>& values, std::size_t bins) {
+  if (values.empty()) {
+    Histogram h(0.0, 1.0, bins);
+    return h;
+  }
+  const auto [mn, mx] = std::minmax_element(values.begin(), values.end());
+  const double lo = *mn;
+  double hi = *mx;
+  if (hi <= lo) hi = lo + 1.0;  // degenerate: all samples equal
+  Histogram h(lo, hi, bins);
+  for (double v : values) h.add(v);
+  return h;
+}
+
+void Histogram::add(double value) noexcept {
+  if (value < lo_ || value > hi_) return;  // out-of-range samples are dropped
+  auto bin = static_cast<std::size_t>((value - lo_) / width_);
+  if (bin >= counts_.size()) bin = counts_.size() - 1;  // value == hi_
+  ++counts_[bin];
+  ++total_;
+}
+
+std::pair<double, double> Histogram::bin_range(std::size_t bin) const {
+  if (bin >= counts_.size()) throw std::out_of_range("Histogram::bin_range");
+  return {lo_ + width_ * static_cast<double>(bin),
+          lo_ + width_ * static_cast<double>(bin + 1)};
+}
+
+std::size_t Histogram::mode_bin() const noexcept {
+  return static_cast<std::size_t>(
+      std::max_element(counts_.begin(), counts_.end()) - counts_.begin());
+}
+
+std::string Histogram::render_ascii(std::size_t width, const std::string& unit) const {
+  std::string out;
+  const std::uint64_t peak = counts_.empty() ? 0 : counts_[mode_bin()];
+  char line[256];
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto [b_lo, b_hi] = bin_range(i);
+    const std::size_t bar =
+        peak == 0 ? 0
+                  : static_cast<std::size_t>(static_cast<double>(counts_[i]) /
+                                             static_cast<double>(peak) *
+                                             static_cast<double>(width));
+    std::snprintf(line, sizeof(line), "[%10.2f, %10.2f) %-7s %8llu |", b_lo, b_hi,
+                  unit.c_str(), static_cast<unsigned long long>(counts_[i]));
+    out += line;
+    out.append(bar, '#');
+    out += '\n';
+  }
+  return out;
+}
+
+std::string Histogram::to_csv() const {
+  std::string out = "bin_lo,bin_hi,count\n";
+  char line[128];
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto [b_lo, b_hi] = bin_range(i);
+    std::snprintf(line, sizeof(line), "%.6f,%.6f,%llu\n", b_lo, b_hi,
+                  static_cast<unsigned long long>(counts_[i]));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace support

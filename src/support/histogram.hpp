@@ -1,0 +1,52 @@
+// Fixed-bin histogram used for the analyser's execution-time histograms
+// (Figure 7 of the paper groups one ecall's execution times into 100 bins).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace support {
+
+class Histogram {
+ public:
+  /// Builds a histogram with `bins` equal-width bins spanning [lo, hi].
+  /// Requires bins >= 1 and hi > lo.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  /// Builds a histogram spanning [min(values), max(values)] like the paper's
+  /// analyser does when plotting one call's durations.
+  static Histogram from_values(const std::vector<double>& values, std::size_t bins);
+
+  void add(double value) noexcept;
+
+  [[nodiscard]] std::size_t bin_count() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::uint64_t count_at(std::size_t bin) const { return counts_.at(bin); }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] double lo() const noexcept { return lo_; }
+  [[nodiscard]] double hi() const noexcept { return hi_; }
+  [[nodiscard]] double bin_width() const noexcept { return width_; }
+  /// Inclusive-exclusive bounds of a bin (last bin is inclusive at hi).
+  [[nodiscard]] std::pair<double, double> bin_range(std::size_t bin) const;
+
+  /// Index of the most populated bin.
+  [[nodiscard]] std::size_t mode_bin() const noexcept;
+
+  /// Renders an ASCII bar chart, `width` characters for the fullest bin.
+  /// `unit` annotates the bin labels (e.g. "us").
+  [[nodiscard]] std::string render_ascii(std::size_t width = 50,
+                                         const std::string& unit = "") const;
+
+  /// CSV rows "bin_lo,bin_hi,count\n" for external plotting.
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace support

@@ -1,0 +1,81 @@
+// Deterministic pseudo-random number generation for workload synthesis.
+//
+// xoshiro256** (Blackman & Vigna) — small, fast, and good enough for
+// generating synthetic keys, payloads and commit records.  We avoid
+// std::mt19937 so that the exact stream is pinned by this repository and not
+// by a standard-library implementation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace support {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) noexcept {
+    // SplitMix64 seeding, as recommended by the xoshiro authors.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9E3779B97F4A7C15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform value in [0, bound).  `bound` must be non-zero.
+  std::uint64_t next_below(std::uint64_t bound) noexcept {
+    // Lemire's multiply-shift rejection-free approximation is fine here: the
+    // tiny modulo bias is irrelevant for workload synthesis.
+    return next_u64() % bound;
+  }
+
+  /// Uniform value in [lo, hi] inclusive.
+  std::uint64_t next_in(std::uint64_t lo, std::uint64_t hi) noexcept {
+    return lo + next_below(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// True with probability `p`.
+  bool chance(double p) noexcept { return next_double() < p; }
+
+  /// Random lowercase-alphanumeric string of length `n`.
+  std::string next_string(std::size_t n) {
+    static constexpr char kAlphabet[] = "abcdefghijklmnopqrstuvwxyz0123456789";
+    std::string s;
+    s.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      s.push_back(kAlphabet[next_below(sizeof(kAlphabet) - 1)]);
+    }
+    return s;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace support

@@ -1,0 +1,52 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace support {
+
+double percentile_sorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return sorted.front();
+  const double clamped = std::clamp(q, 0.0, 100.0);
+  const double rank = clamped / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+Summary summarize(const std::vector<double>& values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+
+  for (double v : sorted) s.sum += v;
+  s.mean = s.sum / static_cast<double>(s.count);
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.median = percentile_sorted(sorted, 50.0);
+  s.p90 = percentile_sorted(sorted, 90.0);
+  s.p95 = percentile_sorted(sorted, 95.0);
+  s.p99 = percentile_sorted(sorted, 99.0);
+
+  double sq = 0.0;
+  for (double v : sorted) {
+    const double d = v - s.mean;
+    sq += d * d;
+  }
+  s.stddev = std::sqrt(sq / static_cast<double>(s.count));
+  return s;
+}
+
+Summary summarize(const std::vector<std::uint64_t>& values) {
+  std::vector<double> d;
+  d.reserve(values.size());
+  for (auto v : values) d.push_back(static_cast<double>(v));
+  return summarize(d);
+}
+
+}  // namespace support

@@ -1,0 +1,37 @@
+// Descriptive statistics used by the sgx-perf analyser.
+//
+// §4.3.1 of the paper: "These statistics comprise number of calls, average
+// and median duration, standard deviation as well as 90th, 95th and 99th
+// percentile values."
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace support {
+
+/// Summary statistics over a sample of (duration) values.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double median = 0.0;
+  double stddev = 0.0;  // population standard deviation
+  double min = 0.0;
+  double max = 0.0;
+  double p90 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double sum = 0.0;
+};
+
+/// Computes a Summary over `values`.  Empty input yields an all-zero Summary.
+[[nodiscard]] Summary summarize(const std::vector<double>& values);
+
+/// Convenience overload for integer samples (e.g. nanosecond durations).
+[[nodiscard]] Summary summarize(const std::vector<std::uint64_t>& values);
+
+/// Linear-interpolation percentile over a *sorted* sample, `q` in [0, 100].
+[[nodiscard]] double percentile_sorted(const std::vector<double>& sorted, double q);
+
+}  // namespace support

@@ -1,0 +1,77 @@
+#include "support/strutil.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace support {
+
+std::string format(const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  std::va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<std::size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+std::vector<std::string> split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view s) noexcept {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t' || s[b] == '\n' || s[b] == '\r')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t' || s[e - 1] == '\n' || s[e - 1] == '\r'))
+    --e;
+  return s.substr(b, e - b);
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) noexcept {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) noexcept {
+  return s.size() >= suffix.size() && s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string format_duration_ns(std::uint64_t ns) {
+  if (ns < 10'000) return format("%llu ns", static_cast<unsigned long long>(ns));
+  if (ns < 10'000'000) return format("%.1f us", static_cast<double>(ns) / 1e3);
+  if (ns < 10'000'000'000ull) return format("%.1f ms", static_cast<double>(ns) / 1e6);
+  return format("%.2f s", static_cast<double>(ns) / 1e9);
+}
+
+std::string format_bytes(std::uint64_t bytes) {
+  if (bytes < 1024) return format("%llu B", static_cast<unsigned long long>(bytes));
+  if (bytes < 1024ull * 1024) return format("%.2f KiB", static_cast<double>(bytes) / 1024.0);
+  if (bytes < 1024ull * 1024 * 1024)
+    return format("%.2f MiB", static_cast<double>(bytes) / (1024.0 * 1024.0));
+  return format("%.2f GiB", static_cast<double>(bytes) / (1024.0 * 1024.0 * 1024.0));
+}
+
+}  // namespace support

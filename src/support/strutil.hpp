@@ -1,0 +1,33 @@
+// Small string and formatting helpers shared across the repository.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace support {
+
+/// printf-style formatting into a std::string.
+[[nodiscard]] std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Splits `s` on `sep`, keeping empty fields.
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char sep);
+
+/// Strips leading/trailing ASCII whitespace.
+[[nodiscard]] std::string_view trim(std::string_view s) noexcept;
+
+/// True if `s` starts with / ends with the given prefix or suffix.
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix) noexcept;
+[[nodiscard]] bool ends_with(std::string_view s, std::string_view suffix) noexcept;
+
+/// Joins `parts` with `sep`.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Human-readable duration, e.g. "4205 ns", "13.2 us", "45.4 ms".
+[[nodiscard]] std::string format_duration_ns(std::uint64_t ns);
+
+/// Human-readable byte size, e.g. "1.26 MiB".
+[[nodiscard]] std::string format_bytes(std::uint64_t bytes);
+
+}  // namespace support

@@ -1,0 +1,96 @@
+#include "tracedb/database.hpp"
+
+#include <stdexcept>
+
+#include "support/strutil.hpp"
+
+namespace tracedb {
+
+TraceDatabase::TraceDatabase(TraceDatabase&& other) noexcept {
+  std::lock_guard lock(other.mu_);
+  calls_ = std::move(other.calls_);
+  aexs_ = std::move(other.aexs_);
+  paging_ = std::move(other.paging_);
+  syncs_ = std::move(other.syncs_);
+  enclaves_ = std::move(other.enclaves_);
+  call_names_ = std::move(other.call_names_);
+}
+
+CallIndex TraceDatabase::add_call(const CallRecord& rec) {
+  std::lock_guard lock(mu_);
+  calls_.push_back(rec);
+  return static_cast<CallIndex>(calls_.size() - 1);
+}
+
+void TraceDatabase::finish_call(CallIndex idx, Nanoseconds end_ns, std::uint32_t aex_count) {
+  std::lock_guard lock(mu_);
+  auto& rec = calls_.at(static_cast<std::size_t>(idx));
+  rec.end_ns = end_ns;
+  rec.aex_count = aex_count;
+}
+
+void TraceDatabase::set_call_kind(CallIndex idx, OcallKind kind) {
+  std::lock_guard lock(mu_);
+  calls_.at(static_cast<std::size_t>(idx)).kind = kind;
+}
+
+void TraceDatabase::add_aex(const AexRecord& rec) {
+  std::lock_guard lock(mu_);
+  aexs_.push_back(rec);
+}
+
+void TraceDatabase::add_paging(const PagingRecord& rec) {
+  std::lock_guard lock(mu_);
+  paging_.push_back(rec);
+}
+
+void TraceDatabase::add_sync(const SyncRecord& rec) {
+  std::lock_guard lock(mu_);
+  syncs_.push_back(rec);
+}
+
+void TraceDatabase::add_enclave(const EnclaveRecord& rec) {
+  std::lock_guard lock(mu_);
+  enclaves_.push_back(rec);
+}
+
+void TraceDatabase::set_enclave_destroyed(EnclaveId id, Nanoseconds when) {
+  std::lock_guard lock(mu_);
+  for (auto& e : enclaves_) {
+    if (e.enclave_id == id) {
+      e.destroyed_ns = when;
+      return;
+    }
+  }
+}
+
+void TraceDatabase::add_call_name(const CallNameRecord& rec) {
+  std::lock_guard lock(mu_);
+  for (const auto& existing : call_names_) {
+    if (existing.enclave_id == rec.enclave_id && existing.type == rec.type &&
+        existing.call_id == rec.call_id) {
+      return;  // idempotent registration
+    }
+  }
+  call_names_.push_back(rec);
+}
+
+std::string TraceDatabase::name_of(EnclaveId enclave, CallType type, CallId id) const {
+  std::lock_guard lock(mu_);
+  for (const auto& rec : call_names_) {
+    if (rec.enclave_id == enclave && rec.type == type && rec.call_id == id) return rec.name;
+  }
+  return support::format("%s_%u", type == CallType::kEcall ? "ecall" : "ocall", id);
+}
+
+void TraceDatabase::clear() {
+  std::lock_guard lock(mu_);
+  calls_.clear();
+  aexs_.clear();
+  paging_.clear();
+  syncs_.clear();
+  enclaves_.clear();
+  call_names_.clear();
+}
+
+}  // namespace tracedb

@@ -1,0 +1,82 @@
+// The trace database: thread-safe append, typed tables, save/load, CSV.
+#pragma once
+
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tracedb/schema.hpp"
+
+namespace tracedb {
+
+/// Append-oriented store for one profiling session.
+///
+/// Writers (the event logger, driver hooks) append concurrently under an
+/// internal mutex; readers (the analyser) take a consistent snapshot or run
+/// after the workload has quiesced, as the real tool does when the SQLite
+/// file is analysed post-mortem.
+class TraceDatabase {
+ public:
+  TraceDatabase() = default;
+
+  TraceDatabase(const TraceDatabase&) = delete;
+  TraceDatabase& operator=(const TraceDatabase&) = delete;
+
+  /// Move is supported so load() can return by value; the moved-from
+  /// database must not have concurrent writers.
+  TraceDatabase(TraceDatabase&& other) noexcept;
+
+  // --- writer API ---------------------------------------------------------
+
+  /// Appends a call record and returns its index (used as a parent handle).
+  CallIndex add_call(const CallRecord& rec);
+  /// Patches the end timestamp / AEX count of a call once it returns.
+  void finish_call(CallIndex idx, Nanoseconds end_ns, std::uint32_t aex_count);
+  /// Reclassifies an ocall (sleep/wake kinds are known only by id lookup).
+  void set_call_kind(CallIndex idx, OcallKind kind);
+
+  void add_aex(const AexRecord& rec);
+  void add_paging(const PagingRecord& rec);
+  void add_sync(const SyncRecord& rec);
+  void add_enclave(const EnclaveRecord& rec);
+  void set_enclave_destroyed(EnclaveId id, Nanoseconds when);
+  void add_call_name(const CallNameRecord& rec);
+
+  // --- reader API ---------------------------------------------------------
+
+  [[nodiscard]] const std::vector<CallRecord>& calls() const noexcept { return calls_; }
+  [[nodiscard]] const std::vector<AexRecord>& aexs() const noexcept { return aexs_; }
+  [[nodiscard]] const std::vector<PagingRecord>& paging() const noexcept { return paging_; }
+  [[nodiscard]] const std::vector<SyncRecord>& syncs() const noexcept { return syncs_; }
+  [[nodiscard]] const std::vector<EnclaveRecord>& enclaves() const noexcept { return enclaves_; }
+  [[nodiscard]] const std::vector<CallNameRecord>& call_names() const noexcept {
+    return call_names_;
+  }
+
+  /// Resolves a call's registered name; "<type>_<id>" if unregistered.
+  [[nodiscard]] std::string name_of(EnclaveId enclave, CallType type, CallId id) const;
+
+  /// Drops all rows (reuse between experiment repetitions).
+  void clear();
+
+  // --- persistence (see serialize.cpp) -------------------------------------
+
+  /// Binary format v2.  Throws std::runtime_error on I/O or format errors.
+  void save(const std::string& path) const;
+  static TraceDatabase load(const std::string& path);
+
+  /// Writes one CSV file per table into `directory` (created if needed).
+  void export_csv(const std::string& directory) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<CallRecord> calls_;
+  std::vector<AexRecord> aexs_;
+  std::vector<PagingRecord> paging_;
+  std::vector<SyncRecord> syncs_;
+  std::vector<EnclaveRecord> enclaves_;
+  std::vector<CallNameRecord> call_names_;
+};
+
+}  // namespace tracedb

@@ -1,0 +1,96 @@
+#include "tracedb/query.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace tracedb {
+
+std::map<CallKey, CallInstances> group_calls(const TraceDatabase& db) {
+  std::map<CallKey, CallInstances> out;
+  const auto& calls = db.calls();
+  for (std::size_t i = 0; i < calls.size(); ++i) {
+    const auto& c = calls[i];
+    out[CallKey{c.enclave_id, c.type, c.call_id}].push_back(static_cast<CallIndex>(i));
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> durations_of(const TraceDatabase& db, const CallKey& key) {
+  std::vector<std::uint64_t> out;
+  for (const auto& c : db.calls()) {
+    if (c.enclave_id == key.enclave_id && c.type == key.type && c.call_id == key.call_id) {
+      out.push_back(c.duration());
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>> scatter_of(const TraceDatabase& db,
+                                                                const CallKey& key) {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
+  for (const auto& c : db.calls()) {
+    if (c.enclave_id == key.enclave_id && c.type == key.type && c.call_id == key.call_id) {
+      out.emplace_back(c.start_ns, c.duration());
+    }
+  }
+  return out;
+}
+
+std::vector<CallIndex> calls_in_range(const TraceDatabase& db, CallType type,
+                                      Nanoseconds from_ns, Nanoseconds to_ns) {
+  std::vector<CallIndex> out;
+  const auto& calls = db.calls();
+  for (std::size_t i = 0; i < calls.size(); ++i) {
+    const auto& c = calls[i];
+    if (c.type == type && c.start_ns >= from_ns && c.start_ns < to_ns) {
+      out.push_back(static_cast<CallIndex>(i));
+    }
+  }
+  return out;
+}
+
+std::size_t distinct_calls(const TraceDatabase& db, EnclaveId enclave, CallType type) {
+  std::set<CallId> ids;
+  for (const auto& c : db.calls()) {
+    if (c.enclave_id == enclave && c.type == type) ids.insert(c.call_id);
+  }
+  return ids.size();
+}
+
+std::size_t total_calls(const TraceDatabase& db, EnclaveId enclave, CallType type) {
+  std::size_t n = 0;
+  for (const auto& c : db.calls()) {
+    if (c.enclave_id == enclave && c.type == type) ++n;
+  }
+  return n;
+}
+
+double fraction_shorter_than(const TraceDatabase& db, EnclaveId enclave, CallType type,
+                             Nanoseconds threshold_ns, Nanoseconds subtract_ns) {
+  std::size_t total = 0;
+  std::size_t below = 0;
+  for (const auto& c : db.calls()) {
+    if (c.enclave_id != enclave || c.type != type) continue;
+    ++total;
+    const Nanoseconds raw = c.duration();
+    const Nanoseconds adjusted = raw > subtract_ns ? raw - subtract_ns : 0;
+    if (adjusted < threshold_ns) ++below;
+  }
+  return total == 0 ? 0.0 : static_cast<double>(below) / static_cast<double>(total);
+}
+
+std::pair<std::size_t, std::size_t> paging_counts(const TraceDatabase& db, EnclaveId enclave) {
+  std::size_t ins = 0;
+  std::size_t outs = 0;
+  for (const auto& p : db.paging()) {
+    if (p.enclave_id != enclave) continue;
+    if (p.direction == PageDirection::kPageIn) {
+      ++ins;
+    } else {
+      ++outs;
+    }
+  }
+  return {ins, outs};
+}
+
+}  // namespace tracedb

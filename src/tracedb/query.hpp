@@ -1,0 +1,61 @@
+// Read-side query helpers over a TraceDatabase.
+//
+// These provide the "SQL views" the analyser and the report writers need:
+// per-call-id grouping, duration vectors, time-range filters and simple
+// aggregates.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "tracedb/database.hpp"
+
+namespace tracedb {
+
+/// Key identifying one distinct call site: (enclave, type, id).
+struct CallKey {
+  EnclaveId enclave_id = 0;
+  CallType type = CallType::kEcall;
+  CallId call_id = 0;
+
+  auto operator<=>(const CallKey&) const = default;
+};
+
+/// Indices (into db.calls()) of every instance of one call, in trace order.
+using CallInstances = std::vector<CallIndex>;
+
+/// Groups all calls by (enclave, type, id).
+[[nodiscard]] std::map<CallKey, CallInstances> group_calls(const TraceDatabase& db);
+
+/// Durations (ns) of every instance of `key`, in trace order.
+[[nodiscard]] std::vector<std::uint64_t> durations_of(const TraceDatabase& db,
+                                                      const CallKey& key);
+
+/// Start-relative (start_ns, duration_ns) pairs for scatter plots (Fig. 8).
+[[nodiscard]] std::vector<std::pair<std::uint64_t, std::uint64_t>> scatter_of(
+    const TraceDatabase& db, const CallKey& key);
+
+/// Indices of calls of `type` that started within [from_ns, to_ns).
+[[nodiscard]] std::vector<CallIndex> calls_in_range(const TraceDatabase& db, CallType type,
+                                                    Nanoseconds from_ns, Nanoseconds to_ns);
+
+/// Number of distinct call ids of `type` observed for `enclave`.
+[[nodiscard]] std::size_t distinct_calls(const TraceDatabase& db, EnclaveId enclave,
+                                         CallType type);
+
+/// Total number of call instances of `type` for `enclave`.
+[[nodiscard]] std::size_t total_calls(const TraceDatabase& db, EnclaveId enclave, CallType type);
+
+/// Fraction of calls of `type` whose duration is below `threshold_ns`.
+/// For ecalls the caller should subtract the transition time first (§4.1.2);
+/// `subtract_ns` supports that.
+[[nodiscard]] double fraction_shorter_than(const TraceDatabase& db, EnclaveId enclave,
+                                           CallType type, Nanoseconds threshold_ns,
+                                           Nanoseconds subtract_ns = 0);
+
+/// Paging event counts for `enclave`: {page-ins, page-outs}.
+[[nodiscard]] std::pair<std::size_t, std::size_t> paging_counts(const TraceDatabase& db,
+                                                                EnclaveId enclave);
+
+}  // namespace tracedb

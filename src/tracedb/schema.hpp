@@ -1,0 +1,127 @@
+// Typed event schema of the sgx-perf trace database.
+//
+// The original tool serialises all events into a SQLite database (§4 of the
+// paper).  SQLite is not available in this environment, so tracedb is an
+// embedded, typed, append-oriented store exposing the same relational views
+// the analyser needs: calls (ecalls/ocalls with direct parents), AEXs,
+// paging events, synchronisation events, and per-enclave metadata.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "support/clock.hpp"
+
+namespace tracedb {
+
+using support::Nanoseconds;
+
+using EnclaveId = std::uint64_t;
+using ThreadId = std::uint32_t;
+using CallId = std::uint32_t;
+
+/// Index of a record inside TraceDatabase::calls(); kNoParent when absent.
+using CallIndex = std::int64_t;
+inline constexpr CallIndex kNoParent = -1;
+
+enum class CallType : std::uint8_t {
+  kEcall = 0,
+  kOcall = 1,
+};
+
+/// Classification of ocalls, mirroring §4.1.3: the SDK's four in-enclave
+/// synchronisation ocalls reduce to sleep and wake-up events; everything
+/// else is generic.
+enum class OcallKind : std::uint8_t {
+  kGeneric = 0,
+  kSleep = 1,        // thread waits outside the enclave
+  kWakeOne = 2,      // wake a single waiter
+  kWakeMultiple = 3, // wake several waiters
+  kWakeOneAndSleep = 4,
+};
+
+/// One completed ecall or ocall.
+struct CallRecord {
+  CallType type = CallType::kEcall;
+  OcallKind kind = OcallKind::kGeneric;  // meaningful for ocalls only
+  ThreadId thread_id = 0;
+  EnclaveId enclave_id = 0;
+  CallId call_id = 0;
+  /// Direct parent per §4.3.2: the call of the *other* type during which this
+  /// call was issued (an ecall's parent is an ocall and vice versa).
+  CallIndex parent = kNoParent;
+  Nanoseconds start_ns = 0;
+  Nanoseconds end_ns = 0;
+  /// AEXs observed during this call (ecalls, when AEX counting is enabled).
+  std::uint32_t aex_count = 0;
+
+  [[nodiscard]] Nanoseconds duration() const noexcept { return end_ns - start_ns; }
+};
+
+/// Why an AEX happened.  On SGX v1 the reason cannot be observed (§4.1.4:
+/// "we cannot differentiate interrupts from simple page faults"); SGX v2
+/// records the exit type, readable for debug enclaves.
+enum class AexCause : std::uint8_t {
+  kUnknown = 0,    // SGX v1, or a non-debug enclave
+  kInterrupt = 1,  // timer / external interrupt
+  kPageFault = 2,  // EPC fault during enclave execution
+};
+
+/// One Asynchronous Enclave Exit (recorded when AEX *tracing* is enabled).
+struct AexRecord {
+  ThreadId thread_id = 0;
+  EnclaveId enclave_id = 0;
+  Nanoseconds timestamp_ns = 0;
+  /// The ecall during which the AEX occurred, if attributable.
+  CallIndex during_call = kNoParent;
+  AexCause cause = AexCause::kUnknown;
+};
+
+enum class PageDirection : std::uint8_t {
+  kPageIn = 0,   // ELDU-like: page loaded back into the EPC
+  kPageOut = 1,  // EWB-like: page evicted from the EPC
+};
+
+/// One EPC paging event, captured via the (simulated) kprobe on the driver.
+struct PagingRecord {
+  EnclaveId enclave_id = 0;
+  std::uint64_t page_number = 0;  // enclave-relative page index
+  PageDirection direction = PageDirection::kPageOut;
+  Nanoseconds timestamp_ns = 0;
+};
+
+enum class SyncKind : std::uint8_t {
+  kSleep = 0,
+  kWakeup = 1,
+};
+
+/// One synchronisation dependency event: which thread slept, which thread
+/// woke which other thread (§4.1.3 "track which thread wakes up which other
+/// threads to track dependencies").
+struct SyncRecord {
+  SyncKind kind = SyncKind::kSleep;
+  ThreadId thread_id = 0;          // acting thread
+  ThreadId target_thread_id = 0;   // woken thread (wakeups only)
+  EnclaveId enclave_id = 0;
+  Nanoseconds timestamp_ns = 0;
+};
+
+/// Per-enclave metadata.
+struct EnclaveRecord {
+  EnclaveId enclave_id = 0;
+  std::string name;
+  Nanoseconds created_ns = 0;
+  Nanoseconds destroyed_ns = 0;  // 0 while alive
+  std::uint32_t tcs_count = 0;
+  std::uint64_t size_bytes = 0;
+};
+
+/// Human-readable name for a call id, one row per (enclave, type, id).
+struct CallNameRecord {
+  EnclaveId enclave_id = 0;
+  CallType type = CallType::kEcall;
+  CallId call_id = 0;
+  std::string name;
+};
+
+}  // namespace tracedb

@@ -1,0 +1,326 @@
+// Binary persistence (format v2) and CSV export for TraceDatabase.
+//
+// Layout: magic "SGXPTRC2", then per table a u64 row count followed by rows.
+// v2 added the AEX cause byte; v1 files are rejected by the magic check.
+// Integers are little-endian fixed-width; strings are u32-length-prefixed.
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "tracedb/database.hpp"
+
+namespace tracedb {
+namespace {
+
+constexpr char kMagic[8] = {'S', 'G', 'X', 'P', 'T', 'R', 'C', '2'};
+
+struct FileCloser {
+  void operator()(std::FILE* f) const noexcept {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+class Writer {
+ public:
+  explicit Writer(const std::string& path) : f_(std::fopen(path.c_str(), "wb")) {
+    if (!f_) throw std::runtime_error("tracedb: cannot open for writing: " + path);
+  }
+
+  void bytes(const void* p, std::size_t n) {
+    if (std::fwrite(p, 1, n, f_.get()) != n) throw std::runtime_error("tracedb: write failed");
+  }
+  void u8(std::uint8_t v) { bytes(&v, 1); }
+  void u32(std::uint32_t v) { bytes(&v, 4); }
+  void u64(std::uint64_t v) { bytes(&v, 8); }
+  void i64(std::int64_t v) { bytes(&v, 8); }
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    bytes(s.data(), s.size());
+  }
+
+ private:
+  FilePtr f_;
+};
+
+class Reader {
+ public:
+  explicit Reader(const std::string& path) : f_(std::fopen(path.c_str(), "rb")) {
+    if (!f_) throw std::runtime_error("tracedb: cannot open for reading: " + path);
+  }
+
+  void bytes(void* p, std::size_t n) {
+    if (std::fread(p, 1, n, f_.get()) != n)
+      throw std::runtime_error("tracedb: truncated trace file");
+  }
+  std::uint8_t u8() {
+    std::uint8_t v;
+    bytes(&v, 1);
+    return v;
+  }
+  std::uint32_t u32() {
+    std::uint32_t v;
+    bytes(&v, 4);
+    return v;
+  }
+  std::uint64_t u64() {
+    std::uint64_t v;
+    bytes(&v, 8);
+    return v;
+  }
+  std::int64_t i64() {
+    std::int64_t v;
+    bytes(&v, 8);
+    return v;
+  }
+  std::string str() {
+    const std::uint32_t n = u32();
+    if (n > (1u << 24)) throw std::runtime_error("tracedb: implausible string length");
+    std::string s(n, '\0');
+    if (n > 0) bytes(s.data(), n);
+    return s;
+  }
+
+ private:
+  FilePtr f_;
+};
+
+}  // namespace
+
+void TraceDatabase::save(const std::string& path) const {
+  std::lock_guard lock(mu_);
+  Writer w(path);
+  w.bytes(kMagic, sizeof(kMagic));
+
+  w.u64(calls_.size());
+  for (const auto& c : calls_) {
+    w.u8(static_cast<std::uint8_t>(c.type));
+    w.u8(static_cast<std::uint8_t>(c.kind));
+    w.u32(c.thread_id);
+    w.u64(c.enclave_id);
+    w.u32(c.call_id);
+    w.i64(c.parent);
+    w.u64(c.start_ns);
+    w.u64(c.end_ns);
+    w.u32(c.aex_count);
+  }
+
+  w.u64(aexs_.size());
+  for (const auto& a : aexs_) {
+    w.u32(a.thread_id);
+    w.u64(a.enclave_id);
+    w.u64(a.timestamp_ns);
+    w.i64(a.during_call);
+    w.u8(static_cast<std::uint8_t>(a.cause));
+  }
+
+  w.u64(paging_.size());
+  for (const auto& p : paging_) {
+    w.u64(p.enclave_id);
+    w.u64(p.page_number);
+    w.u8(static_cast<std::uint8_t>(p.direction));
+    w.u64(p.timestamp_ns);
+  }
+
+  w.u64(syncs_.size());
+  for (const auto& s : syncs_) {
+    w.u8(static_cast<std::uint8_t>(s.kind));
+    w.u32(s.thread_id);
+    w.u32(s.target_thread_id);
+    w.u64(s.enclave_id);
+    w.u64(s.timestamp_ns);
+  }
+
+  w.u64(enclaves_.size());
+  for (const auto& e : enclaves_) {
+    w.u64(e.enclave_id);
+    w.str(e.name);
+    w.u64(e.created_ns);
+    w.u64(e.destroyed_ns);
+    w.u32(e.tcs_count);
+    w.u64(e.size_bytes);
+  }
+
+  w.u64(call_names_.size());
+  for (const auto& n : call_names_) {
+    w.u64(n.enclave_id);
+    w.u8(static_cast<std::uint8_t>(n.type));
+    w.u32(n.call_id);
+    w.str(n.name);
+  }
+}
+
+TraceDatabase TraceDatabase::load(const std::string& path) {
+  Reader r(path);
+  char magic[8];
+  r.bytes(magic, sizeof(magic));
+  for (std::size_t i = 0; i < sizeof(kMagic); ++i) {
+    if (magic[i] != kMagic[i]) throw std::runtime_error("tracedb: bad magic in " + path);
+  }
+
+  TraceDatabase db;
+  const std::uint64_t n_calls = r.u64();
+  db.calls_.reserve(n_calls);
+  for (std::uint64_t i = 0; i < n_calls; ++i) {
+    CallRecord c;
+    c.type = static_cast<CallType>(r.u8());
+    c.kind = static_cast<OcallKind>(r.u8());
+    c.thread_id = r.u32();
+    c.enclave_id = r.u64();
+    c.call_id = r.u32();
+    c.parent = r.i64();
+    c.start_ns = r.u64();
+    c.end_ns = r.u64();
+    c.aex_count = r.u32();
+    db.calls_.push_back(c);
+  }
+
+  const std::uint64_t n_aex = r.u64();
+  db.aexs_.reserve(n_aex);
+  for (std::uint64_t i = 0; i < n_aex; ++i) {
+    AexRecord a;
+    a.thread_id = r.u32();
+    a.enclave_id = r.u64();
+    a.timestamp_ns = r.u64();
+    a.during_call = r.i64();
+    a.cause = static_cast<AexCause>(r.u8());
+    db.aexs_.push_back(a);
+  }
+
+  const std::uint64_t n_pg = r.u64();
+  db.paging_.reserve(n_pg);
+  for (std::uint64_t i = 0; i < n_pg; ++i) {
+    PagingRecord p;
+    p.enclave_id = r.u64();
+    p.page_number = r.u64();
+    p.direction = static_cast<PageDirection>(r.u8());
+    p.timestamp_ns = r.u64();
+    db.paging_.push_back(p);
+  }
+
+  const std::uint64_t n_sync = r.u64();
+  db.syncs_.reserve(n_sync);
+  for (std::uint64_t i = 0; i < n_sync; ++i) {
+    SyncRecord s;
+    s.kind = static_cast<SyncKind>(r.u8());
+    s.thread_id = r.u32();
+    s.target_thread_id = r.u32();
+    s.enclave_id = r.u64();
+    s.timestamp_ns = r.u64();
+    db.syncs_.push_back(s);
+  }
+
+  const std::uint64_t n_enc = r.u64();
+  db.enclaves_.reserve(n_enc);
+  for (std::uint64_t i = 0; i < n_enc; ++i) {
+    EnclaveRecord e;
+    e.enclave_id = r.u64();
+    e.name = r.str();
+    e.created_ns = r.u64();
+    e.destroyed_ns = r.u64();
+    e.tcs_count = r.u32();
+    e.size_bytes = r.u64();
+    db.enclaves_.push_back(e);
+  }
+
+  const std::uint64_t n_names = r.u64();
+  db.call_names_.reserve(n_names);
+  for (std::uint64_t i = 0; i < n_names; ++i) {
+    CallNameRecord n;
+    n.enclave_id = r.u64();
+    n.type = static_cast<CallType>(r.u8());
+    n.call_id = r.u32();
+    n.name = r.str();
+    db.call_names_.push_back(n);
+  }
+
+  return db;
+}
+
+void TraceDatabase::export_csv(const std::string& directory) const {
+  std::lock_guard lock(mu_);
+  namespace fs = std::filesystem;
+  fs::create_directories(directory);
+
+  auto open = [&](const char* name) {
+    const std::string path = directory + "/" + name;
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) throw std::runtime_error("tracedb: cannot write " + path);
+    return FilePtr(f);
+  };
+
+  {
+    FilePtr f = open("calls.csv");
+    std::fprintf(f.get(),
+                 "index,type,kind,thread_id,enclave_id,call_id,parent,start_ns,end_ns,"
+                 "duration_ns,aex_count\n");
+    for (std::size_t i = 0; i < calls_.size(); ++i) {
+      const auto& c = calls_[i];
+      std::fprintf(f.get(), "%zu,%u,%u,%u,%llu,%u,%lld,%llu,%llu,%llu,%u\n", i,
+                   static_cast<unsigned>(c.type), static_cast<unsigned>(c.kind), c.thread_id,
+                   static_cast<unsigned long long>(c.enclave_id), c.call_id,
+                   static_cast<long long>(c.parent),
+                   static_cast<unsigned long long>(c.start_ns),
+                   static_cast<unsigned long long>(c.end_ns),
+                   static_cast<unsigned long long>(c.duration()), c.aex_count);
+    }
+  }
+  {
+    FilePtr f = open("aexs.csv");
+    std::fprintf(f.get(), "thread_id,enclave_id,timestamp_ns,during_call,cause\n");
+    for (const auto& a : aexs_) {
+      const char* cause = a.cause == AexCause::kInterrupt
+                              ? "interrupt"
+                              : (a.cause == AexCause::kPageFault ? "page_fault" : "unknown");
+      std::fprintf(f.get(), "%u,%llu,%llu,%lld,%s\n", a.thread_id,
+                   static_cast<unsigned long long>(a.enclave_id),
+                   static_cast<unsigned long long>(a.timestamp_ns),
+                   static_cast<long long>(a.during_call), cause);
+    }
+  }
+  {
+    FilePtr f = open("paging.csv");
+    std::fprintf(f.get(), "enclave_id,page_number,direction,timestamp_ns\n");
+    for (const auto& p : paging_) {
+      std::fprintf(f.get(), "%llu,%llu,%s,%llu\n",
+                   static_cast<unsigned long long>(p.enclave_id),
+                   static_cast<unsigned long long>(p.page_number),
+                   p.direction == PageDirection::kPageIn ? "in" : "out",
+                   static_cast<unsigned long long>(p.timestamp_ns));
+    }
+  }
+  {
+    FilePtr f = open("syncs.csv");
+    std::fprintf(f.get(), "kind,thread_id,target_thread_id,enclave_id,timestamp_ns\n");
+    for (const auto& s : syncs_) {
+      std::fprintf(f.get(), "%s,%u,%u,%llu,%llu\n",
+                   s.kind == SyncKind::kSleep ? "sleep" : "wakeup", s.thread_id,
+                   s.target_thread_id, static_cast<unsigned long long>(s.enclave_id),
+                   static_cast<unsigned long long>(s.timestamp_ns));
+    }
+  }
+  {
+    FilePtr f = open("enclaves.csv");
+    std::fprintf(f.get(), "enclave_id,name,created_ns,destroyed_ns,tcs_count,size_bytes\n");
+    for (const auto& e : enclaves_) {
+      std::fprintf(f.get(), "%llu,%s,%llu,%llu,%u,%llu\n",
+                   static_cast<unsigned long long>(e.enclave_id), e.name.c_str(),
+                   static_cast<unsigned long long>(e.created_ns),
+                   static_cast<unsigned long long>(e.destroyed_ns), e.tcs_count,
+                   static_cast<unsigned long long>(e.size_bytes));
+    }
+  }
+  {
+    FilePtr f = open("call_names.csv");
+    std::fprintf(f.get(), "enclave_id,type,call_id,name\n");
+    for (const auto& n : call_names_) {
+      std::fprintf(f.get(), "%llu,%s,%u,%s\n", static_cast<unsigned long long>(n.enclave_id),
+                   n.type == CallType::kEcall ? "ecall" : "ocall", n.call_id, n.name.c_str());
+    }
+  }
+}
+
+}  // namespace tracedb

@@ -1,0 +1,308 @@
+// Bignum tests: kernel correctness, Karatsuba vs schoolbook equivalence
+// (property sweep), division, modexp, kernel hooks and the signing workload.
+#include <gtest/gtest.h>
+
+#include "bignum/bignum.hpp"
+#include "bignum/signing.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace bignum;
+
+// --- kernels -----------------------------------------------------------------
+
+TEST(Kernels, AddWordsCarry) {
+  const Limb a[2] = {0xFFFFFFFF, 1};
+  const Limb b[2] = {1, 0};
+  Limb r[2];
+  EXPECT_EQ(bn_add_words(r, a, b, 2), 0u);
+  EXPECT_EQ(r[0], 0u);
+  EXPECT_EQ(r[1], 2u);
+
+  const Limb c[1] = {0xFFFFFFFF};
+  const Limb d[1] = {1};
+  Limb r2[1];
+  EXPECT_EQ(bn_add_words(r2, c, d, 1), 1u);  // carry out
+}
+
+TEST(Kernels, SubWordsBorrow) {
+  const Limb a[2] = {0, 1};  // 2^32
+  const Limb b[2] = {1, 0};
+  Limb r[2];
+  EXPECT_EQ(bn_sub_words(r, a, b, 2), 0u);
+  EXPECT_EQ(r[0], 0xFFFFFFFFu);
+  EXPECT_EQ(r[1], 0u);
+
+  EXPECT_EQ(bn_sub_words(r, b, a, 2), 1u);  // negative: borrow out
+}
+
+TEST(Kernels, SubPartWordsLongerA) {
+  const Limb a[3] = {0, 0, 5};  // 5 * 2^64
+  const Limb b[1] = {1};
+  Limb r[3];
+  EXPECT_EQ(bn_sub_part_words(r, a, b, 1, 2), 0u);
+  EXPECT_EQ(r[0], 0xFFFFFFFFu);
+  EXPECT_EQ(r[1], 0xFFFFFFFFu);
+  EXPECT_EQ(r[2], 4u);
+}
+
+TEST(Kernels, SubPartWordsLongerB) {
+  const Limb a[1] = {5};
+  const Limb b[2] = {1, 0};
+  Limb r[2];
+  EXPECT_EQ(bn_sub_part_words(r, a, b, 1, -1), 0u);
+  EXPECT_EQ(r[0], 4u);
+  EXPECT_EQ(r[1], 0u);
+}
+
+TEST(Kernels, CmpWords) {
+  const Limb a[2] = {1, 2};
+  const Limb b[2] = {2, 1};
+  EXPECT_EQ(bn_cmp_words(a, b, 2), 1);   // high limb decides
+  EXPECT_EQ(bn_cmp_words(b, a, 2), -1);
+  EXPECT_EQ(bn_cmp_words(a, a, 2), 0);
+}
+
+TEST(Kernels, MulNormalSmall) {
+  const Limb a[1] = {0xFFFFFFFF};
+  const Limb b[1] = {0xFFFFFFFF};
+  Limb r[2];
+  bn_mul_normal(r, a, 1, b, 1);
+  // (2^32-1)^2 = 0xFFFFFFFE00000001
+  EXPECT_EQ(r[0], 0x00000001u);
+  EXPECT_EQ(r[1], 0xFFFFFFFEu);
+}
+
+// --- Karatsuba vs schoolbook (property sweep) ------------------------------------
+
+class KaratsubaProperty : public testing::TestWithParam<int> {};
+
+TEST_P(KaratsubaProperty, MatchesSchoolbook) {
+  const int n2 = GetParam();
+  support::Rng rng(static_cast<std::uint64_t>(n2) * 7919);
+  for (int iter = 0; iter < 20; ++iter) {
+    std::vector<Limb> a(static_cast<std::size_t>(n2));
+    std::vector<Limb> b(static_cast<std::size_t>(n2));
+    for (auto& l : a) l = static_cast<Limb>(rng.next_u64());
+    for (auto& l : b) l = static_cast<Limb>(rng.next_u64());
+    // Occasionally equal halves to exercise the `zero` path.
+    if (iter % 5 == 0) std::copy(a.begin(), a.begin() + n2 / 2, a.begin() + n2 / 2);
+
+    std::vector<Limb> expected(static_cast<std::size_t>(2 * n2));
+    bn_mul_normal(expected.data(), a.data(), n2, b.data(), n2);
+
+    std::vector<Limb> actual(static_cast<std::size_t>(2 * n2), 0);
+    std::vector<Limb> scratch(static_cast<std::size_t>(4 * n2), 0);
+    bn_mul_recursive(actual.data(), a.data(), b.data(), n2, scratch.data());
+    EXPECT_EQ(actual, expected) << "n2=" << n2 << " iter=" << iter;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, KaratsubaProperty, testing::Values(16, 32, 64, 128));
+
+TEST(Karatsuba, HooksInterceptSubPartWords) {
+  support::Rng rng(5);
+  constexpr int n2 = 32;
+  std::vector<Limb> a(n2);
+  std::vector<Limb> b(n2);
+  for (auto& l : a) l = static_cast<Limb>(rng.next_u64());
+  for (auto& l : b) l = static_cast<Limb>(rng.next_u64());
+
+  int calls = 0;
+  KernelHooks hooks;
+  hooks.sub_part_words = [&calls](Limb* r, const Limb* x, const Limb* y, int cl, int dl) {
+    ++calls;
+    return bn_sub_part_words(r, x, y, cl, dl);
+  };
+  std::vector<Limb> r(2 * n2, 0);
+  std::vector<Limb> t(4 * n2, 0);
+  bn_mul_recursive(r.data(), a.data(), b.data(), n2, t.data(), &hooks);
+
+  // 32 -> 16 (3 nodes each issuing 2 calls at 32 and 16): depth has
+  // internal nodes at n2=32 (1) and n2=16 (3) = 4 nodes * 2 calls = 8.
+  EXPECT_EQ(calls, 8);
+
+  std::vector<Limb> expected(2 * n2);
+  bn_mul_normal(expected.data(), a.data(), n2, b.data(), n2);
+  EXPECT_EQ(r, expected);
+}
+
+// --- BigNum ---------------------------------------------------------------------
+
+TEST(BigNum, HexRoundTrip) {
+  const auto n = BigNum::from_hex("deadbeefcafebabe0123456789abcdef");
+  EXPECT_EQ(n.to_hex(), "deadbeefcafebabe0123456789abcdef");
+  EXPECT_EQ(BigNum(0).to_hex(), "0");
+  EXPECT_EQ(BigNum::from_hex("000f").to_hex(), "f");
+  EXPECT_THROW(BigNum::from_hex("xyz"), std::invalid_argument);
+}
+
+TEST(BigNum, FromBytesBigEndian) {
+  const std::uint8_t bytes[3] = {0x01, 0x02, 0x03};
+  EXPECT_EQ(BigNum::from_bytes_be(bytes, 3).to_hex(), "10203");
+}
+
+TEST(BigNum, ComparisonAndBits) {
+  const BigNum a(100);
+  const BigNum b(200);
+  EXPECT_TRUE(a < b);
+  EXPECT_TRUE(b > a);
+  EXPECT_TRUE(a == BigNum(100));
+  EXPECT_EQ(BigNum(0).bit_length(), 0);
+  EXPECT_EQ(BigNum(1).bit_length(), 1);
+  EXPECT_EQ(BigNum(0x100).bit_length(), 9);
+  EXPECT_TRUE(BigNum(5).bit(0));
+  EXPECT_FALSE(BigNum(5).bit(1));
+  EXPECT_TRUE(BigNum(5).bit(2));
+  EXPECT_TRUE(BigNum(5).is_odd());
+  EXPECT_FALSE(BigNum(4).is_odd());
+}
+
+TEST(BigNum, AddSub) {
+  const auto a = BigNum::from_hex("ffffffffffffffff");
+  const auto one = BigNum(1);
+  EXPECT_EQ(a.add(one).to_hex(), "10000000000000000");
+  EXPECT_EQ(a.add(one).sub(one).to_hex(), "ffffffffffffffff");
+  EXPECT_THROW(one.sub(a), std::underflow_error);
+}
+
+TEST(BigNum, Shifts) {
+  const BigNum one(1);
+  EXPECT_EQ(one.shift_left(100).bit_length(), 101);
+  EXPECT_EQ(one.shift_left(100).shift_right(100), one);
+  EXPECT_TRUE(one.shift_right(1).is_zero());
+  const auto x = BigNum::from_hex("123456789abcdef");
+  EXPECT_EQ(x.shift_left(37).shift_right(37), x);
+}
+
+TEST(BigNum, MulSmallKnown) {
+  EXPECT_EQ(BigNum(1000000007).mul(BigNum(998244353)).to_u64(),
+            1000000007ull * 998244353ull);
+  EXPECT_TRUE(BigNum(0).mul(BigNum(5)).is_zero());
+}
+
+TEST(BigNum, MulLargeMatchesDistributive) {
+  support::Rng rng(11);
+  auto next = [&rng] { return rng.next_u64(); };
+  const auto a = BigNum::random(next, 700);
+  const auto b = BigNum::random(next, 900);
+  const auto c = BigNum::random(next, 300);
+  // (a + b) * c == a*c + b*c — exercises the Karatsuba path (700+ bits).
+  EXPECT_EQ(a.add(b).mul(c), a.mul(c).add(b.mul(c)));
+}
+
+TEST(BigNum, DivModKnown) {
+  const auto [q, r] = BigNum(1'000'000'007).divmod(BigNum(12345));
+  EXPECT_EQ(q.to_u64(), 1'000'000'007ull / 12345);
+  EXPECT_EQ(r.to_u64(), 1'000'000'007ull % 12345);
+  EXPECT_THROW(BigNum(1).divmod(BigNum(0)), std::domain_error);
+}
+
+TEST(BigNum, DivModSmallerDividend) {
+  const auto [q, r] = BigNum(5).divmod(BigNum(100));
+  EXPECT_TRUE(q.is_zero());
+  EXPECT_EQ(r.to_u64(), 5u);
+}
+
+class DivModProperty : public testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(DivModProperty, ReconstructsDividend) {
+  const auto [dividend_bits, divisor_bits] = GetParam();
+  support::Rng rng(static_cast<std::uint64_t>(dividend_bits * 1000 + divisor_bits));
+  auto next = [&rng] { return rng.next_u64(); };
+  for (int iter = 0; iter < 10; ++iter) {
+    const auto u = BigNum::random(next, dividend_bits);
+    const auto v = BigNum::random(next, divisor_bits);
+    const auto [q, r] = u.divmod(v);
+    EXPECT_TRUE(r < v);
+    EXPECT_EQ(q.mul(v).add(r), u) << u.to_hex() << " / " << v.to_hex();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DivModProperty,
+                         testing::Values(std::pair{256, 128}, std::pair{512, 256},
+                                         std::pair{1024, 512}, std::pair{1024, 64},
+                                         std::pair{333, 97}, std::pair{64, 64}));
+
+TEST(BigNum, ModexpSmallKnown) {
+  // 3^7 mod 50 = 2187 mod 50 = 37.
+  EXPECT_EQ(BigNum(3).modexp(BigNum(7), BigNum(50)).to_u64(), 37u);
+  // Fermat: 2^(p-1) mod p == 1 for prime p.
+  EXPECT_EQ(BigNum(2).modexp(BigNum(1'000'000'006), BigNum(1'000'000'007)).to_u64(), 1u);
+}
+
+TEST(BigNum, ModexpZeroExponent) {
+  EXPECT_EQ(BigNum(12345).modexp(BigNum(0), BigNum(99)).to_u64(), 1u);
+}
+
+TEST(BigNum, ModexpRoutesThroughHooks) {
+  support::Rng rng(3);
+  auto next = [&rng] { return rng.next_u64(); };
+  const auto base = BigNum::random(next, 512);
+  const auto mod = BigNum::random(next, 512);
+  int calls = 0;
+  KernelHooks hooks;
+  hooks.sub_part_words = [&calls](Limb* r, const Limb* a, const Limb* b, int cl, int dl) {
+    ++calls;
+    return bn_sub_part_words(r, a, b, cl, dl);
+  };
+  const auto with_hooks = base.modexp(BigNum(65537), mod, &hooks);
+  const auto without = base.modexp(BigNum(65537), mod);
+  EXPECT_EQ(with_hooks, without);
+  EXPECT_GT(calls, 0);  // Karatsuba engaged for 512-bit operands
+}
+
+// --- signing -----------------------------------------------------------------------
+
+TEST(Signing, DeterministicAndVerifiable) {
+  const Signer signer(1234);
+  const Certificate cert = make_test_certificate(1, 0);
+  const BigNum sig1 = signer.sign(cert);
+  const BigNum sig2 = signer.sign(cert);
+  EXPECT_EQ(sig1, sig2);
+  EXPECT_TRUE(signer.check(cert, sig1));
+}
+
+TEST(Signing, DifferentCertsDifferentSignatures) {
+  const Signer signer(1234);
+  const BigNum s0 = signer.sign(make_test_certificate(1, 0));
+  const BigNum s1 = signer.sign(make_test_certificate(1, 1));
+  EXPECT_FALSE(s0 == s1);
+}
+
+TEST(Signing, DifferentKeysDifferentSignatures) {
+  const Certificate cert = make_test_certificate(1, 0);
+  EXPECT_FALSE(Signer(1).sign(cert) == Signer(2).sign(cert));
+}
+
+TEST(Signing, SignatureBelowModulus) {
+  const Signer signer(77);
+  const BigNum sig = signer.sign(make_test_certificate(2, 5));
+  EXPECT_TRUE(sig < signer.modulus());
+}
+
+TEST(Signing, CertificateSerializationContainsFields) {
+  const Certificate cert = make_test_certificate(9, 42);
+  const std::string s = cert.serialize();
+  EXPECT_NE(s.find("serial=42"), std::string::npos);
+  EXPECT_NE(s.find(cert.subject), std::string::npos);
+}
+
+TEST(Signing, HooksSeeSubPartWordsStorm) {
+  // The Glamdring shape: one signature triggers thousands of
+  // bn_sub_part_words invocations through the hook.
+  const Signer signer(1234);
+  const Certificate cert = make_test_certificate(1, 0);
+  int calls = 0;
+  KernelHooks hooks;
+  hooks.sub_part_words = [&calls](Limb* r, const Limb* a, const Limb* b, int cl, int dl) {
+    ++calls;
+    return bn_sub_part_words(r, a, b, cl, dl);
+  };
+  const BigNum sig = signer.sign(cert, &hooks);
+  EXPECT_TRUE(signer.check(cert, sig));
+  EXPECT_GT(calls, 100);
+}
+
+}  // namespace

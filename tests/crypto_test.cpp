@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "crypto/chacha20.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/sha256.hpp"
+
+namespace {
+
+using namespace crypto;
+
+// --- SHA-256 (FIPS 180-4 / NIST vectors) --------------------------------------
+
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(to_hex(sha256("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(to_hex(sha256("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(to_hex(sha256("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(to_hex(h.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  Sha256 h;
+  h.update("ab");
+  h.update("c");
+  EXPECT_EQ(to_hex(h.finish()), to_hex(sha256("abc")));
+}
+
+TEST(Sha256, ExactBlockBoundary) {
+  const std::string msg(64, 'x');
+  Sha256 h;
+  h.update(msg);
+  const auto one = h.finish();
+  EXPECT_EQ(to_hex(one), to_hex(sha256(msg)));
+}
+
+TEST(Sha256, ResetAllowsReuse) {
+  Sha256 h;
+  h.update("garbage");
+  (void)h.finish();
+  h.reset();
+  h.update("abc");
+  EXPECT_EQ(to_hex(h.finish()),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+// --- HMAC-SHA-256 (RFC 4231) ------------------------------------------------
+
+TEST(Hmac, Rfc4231Case1) {
+  const std::string key(20, '\x0b');
+  EXPECT_EQ(to_hex(hmac_sha256(key, "Hi There")),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Hmac, Rfc4231Case2) {
+  EXPECT_EQ(to_hex(hmac_sha256("Jefe", "what do ya want for nothing?")),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hmac, Rfc4231Case3) {
+  const std::string key(20, '\xaa');
+  const std::string msg(50, '\xdd');
+  EXPECT_EQ(to_hex(hmac_sha256(key, msg)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(Hmac, Rfc4231LongKey) {
+  const std::string key(131, '\xaa');
+  EXPECT_EQ(to_hex(hmac_sha256(key, "Test Using Larger Than Block-Size Key - Hash Key First")),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Hmac, DigestEqualConstantTime) {
+  const auto a = sha256("x");
+  auto b = a;
+  EXPECT_TRUE(digest_equal(a, b));
+  b[31] ^= 1;
+  EXPECT_FALSE(digest_equal(a, b));
+}
+
+// --- ChaCha20 (RFC 8439 §2.4.2) ------------------------------------------------
+
+TEST(ChaCha20, Rfc8439TestVector) {
+  ChaChaKey key{};
+  for (int i = 0; i < 32; ++i) key[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(i);
+  ChaChaNonce nonce{};
+  nonce[3] = 0x00;
+  nonce[4] = 0x00;
+  nonce[7] = 0x4a;
+  // nonce = 00:00:00:00 00:00:00:4a 00:00:00:00
+  const std::string plaintext =
+      "Ladies and Gentlemen of the class of '99: If I could offer you "
+      "only one tip for the future, sunscreen would be it.";
+  std::vector<std::uint8_t> buf(plaintext.begin(), plaintext.end());
+  chacha20_crypt(key, nonce, 1, buf.data(), buf.size());
+  // First 16 bytes of the RFC's expected ciphertext.
+  const std::uint8_t expected[16] = {0x6e, 0x2e, 0x35, 0x9a, 0x25, 0x68, 0xf9, 0x80,
+                                     0x41, 0xba, 0x07, 0x28, 0xdd, 0x0d, 0x69, 0x81};
+  EXPECT_EQ(std::memcmp(buf.data(), expected, sizeof(expected)), 0);
+}
+
+TEST(ChaCha20, RoundTrips) {
+  ChaChaKey key{};
+  key[0] = 7;
+  ChaChaNonce nonce{};
+  nonce[0] = 9;
+  std::vector<std::uint8_t> data(1000);
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] = static_cast<std::uint8_t>(i);
+  const auto original = data;
+  chacha20_crypt(key, nonce, 0, data.data(), data.size());
+  EXPECT_NE(data, original);
+  chacha20_crypt(key, nonce, 0, data.data(), data.size());
+  EXPECT_EQ(data, original);
+}
+
+TEST(ChaCha20, StreamingMatchesOneShot) {
+  ChaChaKey key{};
+  key[5] = 42;
+  ChaChaNonce nonce{};
+  std::vector<std::uint8_t> a(200, 0xAB);
+  std::vector<std::uint8_t> b = a;
+
+  chacha20_crypt(key, nonce, 3, a.data(), a.size());
+
+  ChaCha20 ctx(key, nonce, 3);
+  ctx.crypt(b.data(), 77);
+  ctx.crypt(b.data() + 77, b.size() - 77);
+  EXPECT_EQ(a, b);
+}
+
+TEST(ChaCha20, DifferentCountersDiffer) {
+  ChaChaKey key{};
+  ChaChaNonce nonce{};
+  std::vector<std::uint8_t> a(64, 0);
+  std::vector<std::uint8_t> b(64, 0);
+  chacha20_crypt(key, nonce, 0, a.data(), a.size());
+  chacha20_crypt(key, nonce, 1, b.data(), b.size());
+  EXPECT_NE(a, b);
+}
+
+TEST(ChaCha20, VectorOverloadReturnsTransformed) {
+  ChaChaKey key{};
+  ChaChaNonce nonce{};
+  const std::vector<std::uint8_t> plain{1, 2, 3};
+  const auto enc = chacha20_crypt(key, nonce, 0, plain);
+  EXPECT_NE(enc, plain);
+  EXPECT_EQ(chacha20_crypt(key, nonce, 0, enc), plain);
+}
+
+}  // namespace

@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include "sgxsim/edl.hpp"
+
+namespace {
+
+using namespace sgxsim::edl;
+
+constexpr const char* kSample = R"(
+// A sample enclave interface.
+enclave {
+  trusted {
+    public int ecall_encrypt([in, size=len] const char* buf, size_t len,
+                             [out, size=len] char* out);
+    public void ecall_status(void);
+    int ecall_internal([user_check] void* scratch);
+  };
+  untrusted {
+    void ocall_print([in, size=n] const char* msg, size_t n);
+    int ocall_fetch([out, size=cap] char* buf, size_t cap) allow (ecall_internal);
+    void ocall_raw([user_check] void* p);
+  };
+};
+)";
+
+TEST(EdlParser, ParsesCounts) {
+  const InterfaceSpec spec = parse(kSample);
+  EXPECT_EQ(spec.ecalls.size(), 3u);
+  EXPECT_EQ(spec.ocalls.size(), 3u);
+}
+
+TEST(EdlParser, IdsFollowDeclarationOrder) {
+  const InterfaceSpec spec = parse(kSample);
+  EXPECT_EQ(spec.ecall_id("ecall_encrypt"), 0u);
+  EXPECT_EQ(spec.ecall_id("ecall_status"), 1u);
+  EXPECT_EQ(spec.ecall_id("ecall_internal"), 2u);
+  EXPECT_EQ(spec.ocall_id("ocall_print"), 0u);
+  EXPECT_FALSE(spec.ecall_id("nope").has_value());
+}
+
+TEST(EdlParser, PublicPrivate) {
+  const InterfaceSpec spec = parse(kSample);
+  EXPECT_TRUE(spec.ecalls[0].is_public);
+  EXPECT_TRUE(spec.ecalls[1].is_public);
+  EXPECT_FALSE(spec.ecalls[2].is_public);
+}
+
+TEST(EdlParser, PointerDirections) {
+  const InterfaceSpec spec = parse(kSample);
+  const auto& enc = spec.ecalls[0];
+  ASSERT_EQ(enc.params.size(), 3u);
+  EXPECT_EQ(enc.params[0].direction, PointerDirection::kIn);
+  EXPECT_EQ(enc.params[0].size_expr, "len");
+  EXPECT_EQ(enc.params[1].direction, PointerDirection::kNone);
+  EXPECT_EQ(enc.params[2].direction, PointerDirection::kOut);
+  EXPECT_TRUE(spec.ecalls[2].has_user_check());
+  EXPECT_TRUE(spec.ocalls[2].has_user_check());
+  EXPECT_FALSE(spec.ocalls[0].has_user_check());
+}
+
+TEST(EdlParser, VoidParameterList) {
+  const InterfaceSpec spec = parse(kSample);
+  EXPECT_TRUE(spec.ecalls[1].params.empty());
+}
+
+TEST(EdlParser, AllowClause) {
+  const InterfaceSpec spec = parse(kSample);
+  EXPECT_TRUE(spec.ocalls[0].allowed_ecalls.empty());
+  ASSERT_EQ(spec.ocalls[1].allowed_ecalls.size(), 1u);
+  EXPECT_EQ(spec.ocalls[1].allowed_ecalls[0], "ecall_internal");
+  EXPECT_TRUE(spec.is_allowed(1, 2));   // ocall_fetch allows ecall_internal
+  EXPECT_FALSE(spec.is_allowed(0, 2));  // ocall_print allows nothing
+  EXPECT_FALSE(spec.is_allowed(9, 0));  // out-of-range ocall
+}
+
+TEST(EdlParser, TypesPreserved) {
+  const InterfaceSpec spec = parse(kSample);
+  EXPECT_EQ(spec.ecalls[0].params[0].type, "const char*");
+  EXPECT_EQ(spec.ecalls[0].return_type, "int");
+  EXPECT_EQ(spec.ecalls[1].return_type, "void");
+}
+
+TEST(EdlParser, MultiWordTypes) {
+  const InterfaceSpec spec = parse(R"(
+    enclave {
+      trusted {
+        public void e([in, size=4] const unsigned char* p);
+      };
+      untrusted {};
+    };
+  )");
+  EXPECT_EQ(spec.ecalls[0].params[0].type, "const unsigned char*");
+}
+
+TEST(EdlParser, CommentsSkipped) {
+  const InterfaceSpec spec = parse(R"(
+    enclave {
+      /* block
+         comment */
+      trusted {
+        public void e(void);  // line comment
+      };
+      untrusted {};
+    };
+  )");
+  EXPECT_EQ(spec.ecalls.size(), 1u);
+}
+
+TEST(EdlParser, ImportStatementsSkipped) {
+  const InterfaceSpec spec = parse(R"(
+    enclave {
+      from other import thing;
+      trusted { public void e(void); };
+      untrusted {};
+    };
+  )");
+  EXPECT_EQ(spec.ecalls.size(), 1u);
+}
+
+TEST(EdlParser, UnattributedPointerBecomesUserCheck) {
+  const InterfaceSpec spec = parse(R"(
+    enclave {
+      trusted { public void e(char* raw); };
+      untrusted {};
+    };
+  )");
+  EXPECT_EQ(spec.ecalls[0].params[0].direction, PointerDirection::kUserCheck);
+}
+
+TEST(EdlParser, InOutCombines) {
+  const InterfaceSpec spec = parse(R"(
+    enclave {
+      trusted { public void e([in, out, size=8] char* buf); };
+      untrusted {};
+    };
+  )");
+  EXPECT_EQ(spec.ecalls[0].params[0].direction, PointerDirection::kInOut);
+}
+
+TEST(EdlParser, ErrorsOnGarbage) {
+  EXPECT_THROW(parse("banana {"), std::runtime_error);
+  EXPECT_THROW(parse("enclave { trusted { public } };"), std::runtime_error);
+  EXPECT_THROW(parse("enclave { trusted {}; untrusted {}; }"), std::runtime_error);  // missing ;
+}
+
+TEST(EdlParser, ErrorsOnUnknownAllowTarget) {
+  EXPECT_THROW(parse(R"(
+    enclave {
+      trusted { public void e(void); };
+      untrusted { void o(void) allow (missing_ecall); };
+    };
+  )"),
+               std::runtime_error);
+}
+
+TEST(EdlParser, ErrorsOnUnknownAttribute) {
+  EXPECT_THROW(parse(R"(
+    enclave {
+      trusted { public void e([bogus] char* p); };
+      untrusted {};
+    };
+  )"),
+               std::runtime_error);
+}
+
+TEST(EdlParser, ErrorMessageCarriesLocation) {
+  try {
+    (void)parse("enclave {\n  banana");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("2:"), std::string::npos) << e.what();
+  }
+}
+
+TEST(EdlParser, ParseFileMissing) {
+  EXPECT_THROW(parse_file("/nonexistent/foo.edl"), std::runtime_error);
+}
+
+}  // namespace

@@ -1,0 +1,236 @@
+// Tests for the post-paper extensions: SGX v2 AEX-cause reporting (§4.1.4's
+// "SGX v2 will enable this") and switchless calls (SDK 2.x
+// `transition_using_threads`).
+#include <gtest/gtest.h>
+
+#include "perf/logger.hpp"
+#include "sgxsim/runtime.hpp"
+#include "tests/sim_helpers.hpp"
+
+namespace {
+
+using namespace sgxsim;
+using test_helpers::empty_ocall;
+using test_helpers::make_enclave;
+
+// --- SGX v2 AEX cause ---------------------------------------------------------
+
+constexpr const char* kAexEdl = R"(
+enclave {
+  trusted {
+    public int ecall_long(void);
+    public int ecall_touch(void);
+  };
+  untrusted { void ocall_noop(void); };
+};
+)";
+
+class AexCauseTest : public testing::Test {
+ protected:
+  AexCauseTest() : urts_(CostModel::preset(PatchLevel::kUnpatched), /*epc_pages=*/48) {
+    EnclaveConfig config;
+    config.code_pages = 4;
+    config.heap_pages = 64;  // larger than the EPC: touching sweeps will fault
+    config.stack_pages = 2;
+    config.tcs_count = 1;
+    config.debug = true;
+    eid_ = make_enclave(urts_, kAexEdl, config);
+    table_ = make_ocall_table({&empty_ocall});
+    Enclave& e = urts_.enclave(eid_);
+    e.register_ecall("ecall_long", [](TrustedContext& ctx, void*) {
+      for (int i = 0; i < 20'000; ++i) ctx.work(450);  // ~9 ms: timer AEXs
+      return SgxStatus::kSuccess;
+    });
+    e.register_ecall("ecall_touch", [](TrustedContext& ctx, void*) {
+      const auto base = ctx.enclave().heap_base_page() * kPageSize;
+      for (std::uint64_t p = 0; p < 64; ++p) ctx.touch(base + p * kPageSize, 1,
+                                                       MemAccess::kWrite);
+      return SgxStatus::kSuccess;
+    });
+  }
+
+  tracedb::TraceDatabase run(int sgx_version, CallId call) {
+    urts_.set_sgx_version(sgx_version);
+    tracedb::TraceDatabase db;
+    perf::LoggerConfig config;
+    config.trace_aex = true;
+    perf::Logger logger(db, config);
+    logger.attach(urts_);
+    urts_.sgx_ecall(eid_, call, &table_, nullptr);
+    logger.detach();
+    return db;
+  }
+
+  Urts urts_;
+  EnclaveId eid_ = 0;
+  OcallTable table_;
+};
+
+TEST_F(AexCauseTest, V1CannotTellCauses) {
+  // §4.1.4: "Due to a limitation in the first version of SGX, it is not
+  // possible to infer the reason for the AEX."
+  const auto db = run(1, 0);
+  ASSERT_FALSE(db.aexs().empty());
+  for (const auto& a : db.aexs()) EXPECT_EQ(a.cause, tracedb::AexCause::kUnknown);
+}
+
+TEST_F(AexCauseTest, V2ReportsInterrupts) {
+  const auto db = run(2, 0);
+  ASSERT_FALSE(db.aexs().empty());
+  for (const auto& a : db.aexs()) EXPECT_EQ(a.cause, tracedb::AexCause::kInterrupt);
+}
+
+TEST_F(AexCauseTest, V2ReportsPageFaults) {
+  const auto db = run(2, 1);
+  ASSERT_FALSE(db.aexs().empty());
+  bool saw_fault = false;
+  for (const auto& a : db.aexs()) saw_fault |= a.cause == tracedb::AexCause::kPageFault;
+  EXPECT_TRUE(saw_fault);
+}
+
+TEST_F(AexCauseTest, NonDebugEnclaveHidesCausesEvenOnV2) {
+  // "This type could then be read by the logger as long as the enclave is a
+  // debug enclave" (§4.1.4).
+  EnclaveConfig config;
+  config.code_pages = 4;
+  config.heap_pages = 8;
+  config.stack_pages = 2;
+  config.tcs_count = 1;
+  config.debug = false;
+  const EnclaveId release = make_enclave(urts_, kAexEdl, config);
+  urts_.enclave(release).register_ecall("ecall_long", [](TrustedContext& ctx, void*) {
+    for (int i = 0; i < 20'000; ++i) ctx.work(450);
+    return SgxStatus::kSuccess;
+  });
+  urts_.set_sgx_version(2);
+  tracedb::TraceDatabase db;
+  perf::LoggerConfig lconfig;
+  lconfig.trace_aex = true;
+  perf::Logger logger(db, lconfig);
+  logger.attach(urts_);
+  urts_.sgx_ecall(release, 0, &table_, nullptr);
+  logger.detach();
+  ASSERT_FALSE(db.aexs().empty());
+  for (const auto& a : db.aexs()) EXPECT_EQ(a.cause, tracedb::AexCause::kUnknown);
+}
+
+TEST_F(AexCauseTest, CausesSurviveSerialization) {
+  const auto db = run(2, 1);
+  const std::string path = testing::TempDir() + "/aex_cause.bin";
+  db.save(path);
+  const auto loaded = tracedb::TraceDatabase::load(path);
+  ASSERT_EQ(loaded.aexs().size(), db.aexs().size());
+  for (std::size_t i = 0; i < loaded.aexs().size(); ++i) {
+    EXPECT_EQ(loaded.aexs()[i].cause, db.aexs()[i].cause);
+  }
+  std::remove(path.c_str());
+}
+
+// --- switchless calls -----------------------------------------------------------
+
+constexpr const char* kSwitchlessEdl = R"(
+enclave {
+  trusted {
+    public int ecall_fast(void) transition_using_threads;
+    public int ecall_regular(void);
+  };
+  untrusted { void ocall_noop(void); };
+};
+)";
+
+class SwitchlessTest : public testing::Test {
+ protected:
+  SwitchlessTest() {
+    eid_ = make_enclave(urts_, kSwitchlessEdl);
+    table_ = make_ocall_table({&empty_ocall});
+    Enclave& e = urts_.enclave(eid_);
+    const auto work = [](TrustedContext& ctx, void*) {
+      ctx.work(100);
+      return SgxStatus::kSuccess;
+    };
+    e.register_ecall("ecall_fast", work);
+    e.register_ecall("ecall_regular", work);
+  }
+
+  support::Nanoseconds time_call(CallId id) {
+    const auto t0 = urts_.clock().now();
+    EXPECT_EQ(urts_.sgx_ecall(eid_, id, &table_, nullptr), SgxStatus::kSuccess);
+    return urts_.clock().now() - t0;
+  }
+
+  Urts urts_;
+  EnclaveId eid_ = 0;
+  OcallTable table_;
+};
+
+TEST_F(SwitchlessTest, EdlFlagParsed) {
+  const auto spec = edl::parse(kSwitchlessEdl);
+  EXPECT_TRUE(spec.ecalls[0].is_switchless);
+  EXPECT_FALSE(spec.ecalls[1].is_switchless);
+}
+
+TEST_F(SwitchlessTest, DisabledByDefaultFallsBackToTransitions) {
+  EXPECT_EQ(urts_.switchless_workers(eid_), 0u);
+  EXPECT_EQ(time_call(0), time_call(1));  // both pay the full transition
+}
+
+TEST_F(SwitchlessTest, EnabledSkipsTransitions) {
+  urts_.set_switchless_workers(eid_, 2);
+  const auto fast = time_call(0);
+  const auto regular = time_call(1);
+  EXPECT_EQ(fast, urts_.cost().switchless_call_ns + 100);
+  EXPECT_GT(regular, fast * 5);  // HotCalls-magnitude difference
+}
+
+TEST_F(SwitchlessTest, OnlyMarkedCallsUseTheFastPath) {
+  urts_.set_switchless_workers(eid_, 2);
+  EXPECT_EQ(time_call(1), urts_.cost().full_ecall_ns() + 100);
+}
+
+TEST_F(SwitchlessTest, CanBeDisabledAgain) {
+  urts_.set_switchless_workers(eid_, 2);
+  const auto fast = time_call(0);
+  urts_.set_switchless_workers(eid_, 0);
+  EXPECT_GT(time_call(0), fast);
+}
+
+TEST_F(SwitchlessTest, SwitchlessCallsCanStillOcall) {
+  urts_.enclave(eid_).register_ecall("ecall_fast", [](TrustedContext& ctx, void*) {
+    return ctx.ocall(0, nullptr);
+  });
+  urts_.set_switchless_workers(eid_, 1);
+  EXPECT_EQ(urts_.sgx_ecall(eid_, 0, &table_, nullptr), SgxStatus::kSuccess);
+}
+
+TEST_F(SwitchlessTest, VisibleToTheProfiler) {
+  urts_.set_switchless_workers(eid_, 2);
+  tracedb::TraceDatabase db;
+  perf::Logger logger(db);
+  logger.attach(urts_);
+  urts_.sgx_ecall(eid_, 0, &table_, nullptr);
+  logger.detach();
+  ASSERT_EQ(db.calls().size(), 1u);
+  EXPECT_EQ(db.name_of(eid_, tracedb::CallType::kEcall, 0), "ecall_fast");
+  // Duration reflects the cheap path plus the logger's own cost.
+  EXPECT_LT(db.calls()[0].duration(), urts_.cost().full_ecall_ns());
+}
+
+TEST_F(SwitchlessTest, NoTcsPressure) {
+  // Switchless calls don't claim a TCS: a single-TCS enclave can serve a
+  // switchless call even while its TCS is taken.
+  EnclaveConfig config;
+  config.tcs_count = 1;
+  const EnclaveId eid = make_enclave(urts_, kSwitchlessEdl, config);
+  Enclave& e = urts_.enclave(eid);
+  e.register_ecall("ecall_fast", [](TrustedContext& ctx, void*) {
+    ctx.work(50);
+    return SgxStatus::kSuccess;
+  });
+  urts_.set_switchless_workers(eid, 1);
+  const auto tcs = e.acquire_tcs();  // occupy the only TCS
+  ASSERT_TRUE(tcs.has_value());
+  EXPECT_EQ(urts_.sgx_ecall(eid, 0, &table_, nullptr), SgxStatus::kSuccess);
+  e.release_tcs(*tcs);
+}
+
+}  // namespace

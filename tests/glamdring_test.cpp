@@ -1,0 +1,191 @@
+// Glamdring workload tests: signature equivalence across variants, the
+// SISC ecall storm, ocall patterns, analyser detection on the real trace and
+// the optimisation speed-up.
+#include <gtest/gtest.h>
+
+#include "glamdring/glamdring.hpp"
+#include "perf/analyzer.hpp"
+#include "perf/logger.hpp"
+#include "perf/workingset.hpp"
+#include "tracedb/query.hpp"
+
+namespace {
+
+using namespace glamdring;
+
+TEST(Glamdring, AllVariantsProduceTheSameSignature) {
+  sgxsim::Urts urts;
+  SigningBenchmark native(urts, Variant::kNative);
+  SigningBenchmark partitioned(urts, Variant::kPartitioned);
+  SigningBenchmark optimized(urts, Variant::kOptimized);
+
+  const auto s_native = native.sign(3);
+  const auto s_part = partitioned.sign(3);
+  const auto s_opt = optimized.sign(3);
+  EXPECT_EQ(s_native, s_part);
+  EXPECT_EQ(s_native, s_opt);
+
+  // And all match the plain library signer (the partitioning must not
+  // change the math).
+  const auto cert = bignum::make_test_certificate(1, 3);
+  EXPECT_EQ(s_native, native.signer().sign(cert));
+}
+
+TEST(Glamdring, PartitionedIssuesSubPartWordsStorm) {
+  sgxsim::Urts urts;
+  tracedb::TraceDatabase trace;
+  perf::Logger logger(trace);
+  logger.attach(urts);
+  {
+    SigningBenchmark partitioned(urts, Variant::kPartitioned);
+    (void)partitioned.sign(0);
+  }
+  logger.detach();
+
+  std::size_t sub_calls = 0;
+  std::size_t total_ecalls = 0;
+  for (const auto& c : trace.calls()) {
+    if (c.type != tracedb::CallType::kEcall) continue;
+    ++total_ecalls;
+    if (trace.name_of(c.enclave_id, c.type, c.call_id) == "ecall_bn_sub_part_words") {
+      ++sub_calls;
+    }
+  }
+  // §5.2.3: bn_sub_part_words accounts for ~99.5% of all ecalls.
+  EXPECT_GT(sub_calls, 1000u);
+  EXPECT_GT(static_cast<double>(sub_calls) / static_cast<double>(total_ecalls), 0.99);
+}
+
+TEST(Glamdring, OptimizedIssuesFarFewerEcalls) {
+  sgxsim::Urts urts;
+  tracedb::TraceDatabase trace;
+  perf::Logger logger(trace);
+  logger.attach(urts);
+  std::size_t part_ecalls = 0;
+  std::size_t opt_ecalls = 0;
+  {
+    SigningBenchmark partitioned(urts, Variant::kPartitioned);
+    (void)partitioned.sign(0);
+    part_ecalls = trace.calls().size();
+  }
+  trace.clear();
+  {
+    SigningBenchmark optimized(urts, Variant::kOptimized);
+    (void)optimized.sign(0);
+    opt_ecalls = trace.calls().size();
+  }
+  logger.detach();
+  EXPECT_LT(opt_ecalls * 5, part_ecalls);
+}
+
+TEST(Glamdring, ShortBnOcallsAppear) {
+  sgxsim::Urts urts;
+  tracedb::TraceDatabase trace;
+  perf::Logger logger(trace);
+  logger.attach(urts);
+  {
+    SigningBenchmark partitioned(urts, Variant::kPartitioned);
+    (void)partitioned.sign(0);
+  }
+  logger.detach();
+
+  std::size_t bn_ocalls = 0;
+  for (const auto& c : trace.calls()) {
+    if (c.type != tracedb::CallType::kOcall) continue;
+    const auto name = trace.name_of(c.enclave_id, c.type, c.call_id);
+    if (name == "ocall_BN_new" || name == "ocall_BN_free") {
+      ++bn_ocalls;
+      EXPECT_LT(c.duration(), 10'000u);  // "<10us", §5.2.3
+    }
+  }
+  EXPECT_EQ(bn_ocalls, 4u);  // 2 allocs at init, 2 frees at finish
+}
+
+TEST(Glamdring, AnalyzerFlagsSiscOnSubPartWords) {
+  sgxsim::Urts urts;
+  tracedb::TraceDatabase trace;
+  perf::Logger logger(trace);
+  logger.attach(urts);
+  {
+    SigningBenchmark partitioned(urts, Variant::kPartitioned);
+    (void)partitioned.sign(0);
+  }
+  logger.detach();
+
+  perf::Analyzer analyzer(trace);
+  const auto report = analyzer.analyze();
+  bool batch_flagged = false;
+  bool short_flagged = false;
+  for (const auto& f : report.findings) {
+    if (f.subject_name != "ecall_bn_sub_part_words") continue;
+    batch_flagged |= f.kind == perf::FindingKind::kBatchable;
+    short_flagged |= f.kind == perf::FindingKind::kShortCalls;
+  }
+  EXPECT_TRUE(batch_flagged) << "Eq.3 must flag the paired ecalls as batchable (SISC)";
+  EXPECT_TRUE(short_flagged) << "Eq.1 must flag the call as shorter than the transition";
+}
+
+TEST(Glamdring, OptimizedIsFasterPartitionedIsSlowerThanNative) {
+  sgxsim::Urts urts;
+  const auto time_one_sign = [&](Variant v) {
+    SigningBenchmark bench(urts, v);
+    const auto t0 = urts.clock().now();
+    (void)bench.sign(0);
+    return urts.clock().now() - t0;
+  };
+  const auto native = time_one_sign(Variant::kNative);
+  const auto partitioned = time_one_sign(Variant::kPartitioned);
+  const auto optimized = time_one_sign(Variant::kOptimized);
+  EXPECT_LT(native, optimized);
+  EXPECT_LT(optimized, partitioned);
+  // The headline result: moving bn_mul_recursive inside wins ~2x.
+  EXPECT_GT(static_cast<double>(partitioned) / static_cast<double>(optimized), 1.5);
+}
+
+TEST(Glamdring, SpeedupGrowsWithPatchLevel) {
+  const auto ratio_at = [](sgxsim::PatchLevel lvl) {
+    sgxsim::Urts urts(sgxsim::CostModel::preset(lvl));
+    SigningBenchmark partitioned(urts, Variant::kPartitioned);
+    const auto t0 = urts.clock().now();
+    (void)partitioned.sign(0);
+    const auto part = urts.clock().now() - t0;
+    SigningBenchmark optimized(urts, Variant::kOptimized);
+    const auto t1 = urts.clock().now();
+    (void)optimized.sign(0);
+    const auto opt = urts.clock().now() - t1;
+    return static_cast<double>(part) / static_cast<double>(opt);
+  };
+  const double base = ratio_at(sgxsim::PatchLevel::kUnpatched);
+  const double spectre = ratio_at(sgxsim::PatchLevel::kSpectre);
+  const double l1tf = ratio_at(sgxsim::PatchLevel::kSpectreL1tf);
+  // §5.2.3: 2.16x -> 2.66x -> 2.87x as transitions get more expensive.
+  EXPECT_GT(spectre, base);
+  EXPECT_GT(l1tf, spectre);
+}
+
+TEST(Glamdring, RunForRespectsVirtualDeadline) {
+  sgxsim::Urts urts;
+  SigningBenchmark native(urts, Variant::kNative);
+  const auto result = native.run_for(500'000'000);  // 0.5 virtual seconds
+  EXPECT_GT(result.signs, 10u);
+  EXPECT_GE(result.elapsed_ns, 500'000'000u);
+  EXPECT_GT(result.signs_per_s, 0.0);
+}
+
+TEST(Glamdring, WorkingSetIsSmall) {
+  sgxsim::Urts urts;
+  SigningBenchmark partitioned(urts, Variant::kPartitioned);
+  perf::WorkingSetEstimator ws(urts.enclave(partitioned.enclave_id()));
+  ws.start();
+  (void)partitioned.sign(0);
+  const auto startup = ws.checkpoint();
+  (void)partitioned.sign(1);
+  const auto steady = ws.accessed_pages();
+  ws.stop();
+  // §5.2.3 measured 61 pages after start-up, 32 during the benchmark: small,
+  // and steady below start-up.
+  EXPECT_LT(startup.size(), 100u);
+  EXPECT_LE(steady.size(), startup.size());
+}
+
+}  // namespace

@@ -1,0 +1,163 @@
+// Tests for the SQL front end of minidb.
+#include <gtest/gtest.h>
+
+#include "minidb/sql.hpp"
+
+namespace {
+
+using namespace minidb;
+
+class SqlTest : public testing::Test {
+ protected:
+  SqlTest() : vfs_(clock_), db_(vfs_, "/sql.db"), sql_(db_) {}
+
+  SqlResult exec(const std::string& statement) { return sql_.exec(statement); }
+
+  support::VirtualClock clock_;
+  HostVfs vfs_;
+  Database db_;
+  SqlEngine sql_;
+};
+
+TEST_F(SqlTest, CreateInsertSelect) {
+  ASSERT_TRUE(exec("CREATE TABLE kv").ok);
+  const auto ins = exec("INSERT INTO kv VALUES ('alpha', 'one')");
+  ASSERT_TRUE(ins.ok) << ins.error;
+  EXPECT_EQ(ins.affected, 1u);
+
+  const auto sel = exec("SELECT value FROM kv WHERE key = 'alpha'");
+  ASSERT_TRUE(sel.ok) << sel.error;
+  ASSERT_EQ(sel.rows.size(), 1u);
+  EXPECT_EQ(sel.rows[0][0], "one");
+}
+
+TEST_F(SqlTest, SelectMissingKeyReturnsNoRows) {
+  ASSERT_TRUE(exec("CREATE TABLE kv").ok);
+  const auto sel = exec("SELECT value FROM kv WHERE key = 'nope'");
+  ASSERT_TRUE(sel.ok);
+  EXPECT_TRUE(sel.rows.empty());
+}
+
+TEST_F(SqlTest, SelectStarAndKeyValue) {
+  ASSERT_TRUE(exec("CREATE TABLE kv").ok);
+  exec("INSERT INTO kv VALUES ('b', '2')");
+  exec("INSERT INTO kv VALUES ('a', '1')");
+  const auto all = exec("SELECT * FROM kv");
+  ASSERT_TRUE(all.ok);
+  ASSERT_EQ(all.rows.size(), 2u);
+  EXPECT_EQ(all.rows[0][0], "a");  // scan order is sorted
+  EXPECT_EQ(all.rows[0][1], "1");
+  const auto kv = exec("SELECT key, value FROM kv");
+  ASSERT_TRUE(kv.ok);
+  EXPECT_EQ(kv.rows, all.rows);
+}
+
+TEST_F(SqlTest, CountStar) {
+  ASSERT_TRUE(exec("CREATE TABLE kv").ok);
+  for (int i = 0; i < 7; ++i) {
+    exec("INSERT INTO kv VALUES ('k" + std::to_string(i) + "', 'v')");
+  }
+  const auto count = exec("SELECT COUNT(*) FROM kv");
+  ASSERT_TRUE(count.ok);
+  EXPECT_EQ(count.rows[0][0], "7");
+}
+
+TEST_F(SqlTest, DeleteRow) {
+  exec("CREATE TABLE kv");
+  exec("INSERT INTO kv VALUES ('k', 'v')");
+  const auto del = exec("DELETE FROM kv WHERE key = 'k'");
+  ASSERT_TRUE(del.ok);
+  EXPECT_EQ(del.affected, 1u);
+  EXPECT_EQ(exec("DELETE FROM kv WHERE key = 'k'").affected, 0u);
+  EXPECT_TRUE(exec("SELECT value FROM kv WHERE key = 'k'").rows.empty());
+}
+
+TEST_F(SqlTest, TablesAreIsolated) {
+  exec("CREATE TABLE a");
+  exec("CREATE TABLE b");
+  exec("INSERT INTO a VALUES ('k', 'from-a')");
+  exec("INSERT INTO b VALUES ('k', 'from-b')");
+  EXPECT_EQ(exec("SELECT value FROM a WHERE key = 'k'").rows[0][0], "from-a");
+  EXPECT_EQ(exec("SELECT value FROM b WHERE key = 'k'").rows[0][0], "from-b");
+  EXPECT_EQ(exec("SELECT COUNT(*) FROM a").rows[0][0], "1");
+}
+
+TEST_F(SqlTest, DropTableRemovesRows) {
+  exec("CREATE TABLE kv");
+  exec("INSERT INTO kv VALUES ('k1', 'v')");
+  exec("INSERT INTO kv VALUES ('k2', 'v')");
+  const auto drop = exec("DROP TABLE kv");
+  ASSERT_TRUE(drop.ok);
+  EXPECT_EQ(drop.affected, 2u);
+  EXPECT_FALSE(exec("SELECT COUNT(*) FROM kv").ok);  // table gone
+  // Recreate: starts empty.
+  exec("CREATE TABLE kv");
+  EXPECT_EQ(exec("SELECT COUNT(*) FROM kv").rows[0][0], "0");
+}
+
+TEST_F(SqlTest, TransactionsCommitAndRollback) {
+  exec("CREATE TABLE kv");
+  ASSERT_TRUE(exec("BEGIN").ok);
+  exec("INSERT INTO kv VALUES ('a', '1')");
+  exec("INSERT INTO kv VALUES ('b', '2')");
+  ASSERT_TRUE(exec("COMMIT").ok);
+  EXPECT_EQ(exec("SELECT COUNT(*) FROM kv").rows[0][0], "2");
+
+  ASSERT_TRUE(exec("BEGIN").ok);
+  exec("INSERT INTO kv VALUES ('c', '3')");
+  ASSERT_TRUE(exec("ROLLBACK").ok);
+  EXPECT_EQ(exec("SELECT COUNT(*) FROM kv").rows[0][0], "2");
+}
+
+TEST_F(SqlTest, TransactionErrors) {
+  EXPECT_FALSE(exec("COMMIT").ok);
+  EXPECT_FALSE(exec("ROLLBACK").ok);
+  exec("BEGIN");
+  EXPECT_FALSE(exec("BEGIN").ok);
+  exec("ROLLBACK");
+}
+
+TEST_F(SqlTest, QuotedStringEscapes) {
+  exec("CREATE TABLE kv");
+  ASSERT_TRUE(exec("INSERT INTO kv VALUES ('o''brien', 'it''s fine')").ok);
+  const auto sel = exec("SELECT value FROM kv WHERE key = 'o''brien'");
+  ASSERT_EQ(sel.rows.size(), 1u);
+  EXPECT_EQ(sel.rows[0][0], "it's fine");
+}
+
+TEST_F(SqlTest, IdentifiersAreCaseInsensitive) {
+  exec("create table KV");
+  ASSERT_TRUE(exec("insert into kv values ('k', 'v')").ok);
+  EXPECT_EQ(exec("SELECT VALUE FROM Kv WHERE KEY = 'k'").rows[0][0], "v");
+}
+
+TEST_F(SqlTest, SyntaxErrors) {
+  EXPECT_FALSE(exec("").ok);
+  EXPECT_FALSE(exec("BANANA").ok);
+  EXPECT_FALSE(exec("CREATE kv").ok);
+  EXPECT_FALSE(exec("INSERT INTO nope VALUES ('a','b')").ok);
+  exec("CREATE TABLE kv");
+  EXPECT_FALSE(exec("INSERT INTO kv VALUES ('a')").ok);
+  EXPECT_FALSE(exec("INSERT INTO kv VALUES ('a', 'b'").ok);
+  EXPECT_FALSE(exec("SELECT nonsense FROM kv").ok);
+  EXPECT_FALSE(exec("SELECT value FROM kv WHERE banana = 'x'").ok);
+  EXPECT_FALSE(exec("INSERT INTO kv VALUES ('unterminated, 'v')").ok);
+  EXPECT_FALSE(exec("INSERT INTO kv VALUES ('', 'v')").ok);
+}
+
+TEST_F(SqlTest, ExecScriptStopsAtFirstError) {
+  const auto r = sql_.exec_script(
+      "CREATE TABLE kv; INSERT INTO kv VALUES ('a','1'); BOGUS; INSERT INTO kv VALUES ('b','2')");
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(exec("SELECT COUNT(*) FROM kv").rows[0][0], "1");
+}
+
+TEST_F(SqlTest, PersistsAcrossReopen) {
+  exec("CREATE TABLE kv");
+  exec("INSERT INTO kv VALUES ('durable', 'yes')");
+  Database reopened(vfs_, "/sql.db");
+  SqlEngine sql2(reopened);
+  EXPECT_EQ(sql2.exec("SELECT value FROM kv WHERE key = 'durable'").rows[0][0], "yes");
+}
+
+}  // namespace

@@ -1,0 +1,504 @@
+// minidb tests: VFS semantics, pager transactions + crash recovery, B-tree
+// correctness (including a parameterized volume sweep), database API, the
+// git-commit workload and the enclavised build's ocall patterns.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "minidb/db.hpp"
+#include "minidb/enclave_db.hpp"
+#include "minidb/workload.hpp"
+#include "perf/logger.hpp"
+#include "support/rng.hpp"
+#include "support/strutil.hpp"
+#include <cstring>
+
+namespace {
+
+using namespace minidb;
+
+// --- HostVfs -----------------------------------------------------------------
+
+class VfsTest : public testing::Test {
+ protected:
+  support::VirtualClock clock_;
+  HostVfs vfs_{clock_};
+};
+
+TEST_F(VfsTest, WriteThenReadBack) {
+  const Fd fd = vfs_.open("/db");
+  EXPECT_EQ(vfs_.write(fd, "hello", 5), 5);
+  vfs_.lseek(fd, 0);
+  char buf[5];
+  EXPECT_EQ(vfs_.read(fd, buf, 5), 5);
+  EXPECT_EQ(std::string(buf, 5), "hello");
+  EXPECT_EQ(vfs_.file_size(fd), 5u);
+  vfs_.close(fd);
+}
+
+TEST_F(VfsTest, SeekWriteExtends) {
+  const Fd fd = vfs_.open("/db");
+  vfs_.lseek(fd, 100);
+  vfs_.write(fd, "x", 1);
+  EXPECT_EQ(vfs_.file_size(fd), 101u);
+  vfs_.close(fd);
+}
+
+TEST_F(VfsTest, PwriteDoesNotNeedSeek) {
+  const Fd fd = vfs_.open("/db");
+  vfs_.pwrite(fd, "abc", 3, 10);
+  vfs_.lseek(fd, 10);
+  char buf[3];
+  vfs_.read(fd, buf, 3);
+  EXPECT_EQ(std::string(buf, 3), "abc");
+  EXPECT_EQ(vfs_.counters().pwrites, 1u);
+  EXPECT_EQ(vfs_.counters().lseeks, 1u);
+}
+
+TEST_F(VfsTest, ReadPastEofReturnsZero) {
+  const Fd fd = vfs_.open("/db");
+  char buf[4];
+  EXPECT_EQ(vfs_.read(fd, buf, 4), 0);
+}
+
+TEST_F(VfsTest, BadFdReturnsMinusOne) {
+  char buf[1];
+  EXPECT_EQ(vfs_.read(999, buf, 1), -1);
+  EXPECT_EQ(vfs_.write(999, buf, 1), -1);
+  EXPECT_EQ(vfs_.lseek(999, 0), -1);
+}
+
+TEST_F(VfsTest, UnlinkAndExists) {
+  const Fd fd = vfs_.open("/db");
+  vfs_.write(fd, "x", 1);
+  vfs_.close(fd);
+  EXPECT_TRUE(vfs_.exists("/db"));
+  vfs_.unlink("/db");
+  EXPECT_FALSE(vfs_.exists("/db"));
+}
+
+TEST_F(VfsTest, SyscallsAdvanceVirtualTime) {
+  const auto t0 = clock_.now();
+  const Fd fd = vfs_.open("/db");
+  vfs_.lseek(fd, 0);
+  vfs_.write(fd, "x", 1);
+  vfs_.fsync(fd);
+  const VfsCosts costs;
+  EXPECT_EQ(clock_.now() - t0,
+            costs.open_ns + costs.lseek_ns + costs.write_ns + costs.fsync_ns);
+}
+
+// --- Pager ------------------------------------------------------------------------
+
+class PagerTest : public testing::Test {
+ protected:
+  support::VirtualClock clock_;
+  HostVfs vfs_{clock_};
+};
+
+TEST_F(PagerTest, CommitPersistsPages) {
+  {
+    Pager pager(vfs_, "/db");
+    pager.begin();
+    const PageNo p = pager.allocate_page();
+    std::vector<std::uint8_t> content(kDbPageSize, 0xAB);
+    pager.write_page(p, content);
+    pager.commit();
+  }
+  Pager reopened(vfs_, "/db");
+  EXPECT_EQ(reopened.page_count(), 1u);
+  EXPECT_EQ(reopened.read_page(1)[0], 0xAB);
+}
+
+TEST_F(PagerTest, RollbackDiscardsChanges) {
+  Pager pager(vfs_, "/db");
+  pager.begin();
+  const PageNo p = pager.allocate_page();
+  pager.write_page(p, std::vector<std::uint8_t>(kDbPageSize, 1));
+  pager.commit();
+
+  pager.begin();
+  pager.write_page(p, std::vector<std::uint8_t>(kDbPageSize, 2));
+  EXPECT_EQ(pager.read_page(p)[0], 2);
+  pager.rollback();
+  EXPECT_EQ(pager.read_page(p)[0], 1);
+}
+
+TEST_F(PagerTest, JournalDeletedAfterCommit) {
+  Pager pager(vfs_, "/db");
+  pager.begin();
+  pager.write_page(pager.allocate_page(), std::vector<std::uint8_t>(kDbPageSize, 7));
+  EXPECT_TRUE(vfs_.exists("/db-journal"));
+  pager.commit();
+  EXPECT_FALSE(vfs_.exists("/db-journal"));
+}
+
+TEST_F(PagerTest, HotJournalRecovery) {
+  // Simulate a crash mid-commit: the journal holds page 1's pre-image, the
+  // database file already contains the new (uncommitted) content.
+  {
+    Pager pager(vfs_, "/db");
+    pager.begin();
+    pager.write_page(pager.allocate_page(), std::vector<std::uint8_t>(kDbPageSize, 1));
+    pager.commit();
+  }
+  {
+    // Hand-craft a hot journal reverting page 1 to 0x01 and corrupt the db.
+    const Fd jfd = vfs_.open("/db-journal");
+    std::vector<std::uint8_t> record(4 + kDbPageSize, 1);
+    const PageNo pgno = 1;
+    std::memcpy(record.data(), &pgno, 4);
+    vfs_.lseek(jfd, 0);
+    vfs_.write(jfd, record.data(), record.size());
+    vfs_.close(jfd);
+    const Fd dbfd = vfs_.open("/db");
+    std::vector<std::uint8_t> garbage(kDbPageSize, 0xFF);
+    vfs_.lseek(dbfd, 0);
+    vfs_.write(dbfd, garbage.data(), garbage.size());
+    vfs_.close(dbfd);
+  }
+  Pager pager(vfs_, "/db");  // recovery runs here
+  EXPECT_FALSE(vfs_.exists("/db-journal"));
+  EXPECT_EQ(pager.read_page(1)[100], 1);
+}
+
+TEST_F(PagerTest, NestedTransactionThrows) {
+  Pager pager(vfs_, "/db");
+  pager.begin();
+  EXPECT_THROW(pager.begin(), std::logic_error);
+  pager.rollback();
+}
+
+TEST_F(PagerTest, WriteOutsideTransactionThrows) {
+  Pager pager(vfs_, "/db");
+  EXPECT_THROW(pager.write_page(1, {}), std::logic_error);
+  EXPECT_THROW(pager.allocate_page(), std::logic_error);
+  EXPECT_THROW(pager.commit(), std::logic_error);
+}
+
+TEST_F(PagerTest, SeekThenWriteVsMergedPwrite) {
+  {
+    Pager pager(vfs_, "/a", WriteMode::kSeekThenWrite);
+    pager.begin();
+    pager.write_page(pager.allocate_page(), std::vector<std::uint8_t>(kDbPageSize, 1));
+    pager.commit();
+  }
+  const auto seeks_naive = vfs_.counters().lseeks;
+  const auto pwrites_naive = vfs_.counters().pwrites;
+  EXPECT_GT(seeks_naive, 0u);
+  EXPECT_EQ(pwrites_naive, 0u);
+
+  vfs_.reset_counters();
+  {
+    Pager pager(vfs_, "/b", WriteMode::kMergedPwrite);
+    pager.begin();
+    pager.write_page(pager.allocate_page(), std::vector<std::uint8_t>(kDbPageSize, 1));
+    pager.commit();
+  }
+  EXPECT_EQ(vfs_.counters().lseeks, 0u);
+  EXPECT_GT(vfs_.counters().pwrites, 0u);
+}
+
+// --- BTree ------------------------------------------------------------------------
+
+class BTreeTest : public testing::Test {
+ protected:
+  BTreeTest() : vfs_(clock_), pager_(vfs_, "/db") {
+    pager_.begin();
+    tree_ = std::make_unique<BTree>(pager_, 0);
+  }
+
+  support::VirtualClock clock_;
+  HostVfs vfs_;
+  Pager pager_;
+  std::unique_ptr<BTree> tree_;
+};
+
+TEST_F(BTreeTest, PutGet) {
+  tree_->put("alpha", "1");
+  tree_->put("beta", "2");
+  EXPECT_EQ(tree_->get("alpha"), "1");
+  EXPECT_EQ(tree_->get("beta"), "2");
+  EXPECT_FALSE(tree_->get("gamma").has_value());
+}
+
+TEST_F(BTreeTest, Replace) {
+  tree_->put("k", "old");
+  tree_->put("k", "new");
+  EXPECT_EQ(tree_->get("k"), "new");
+  EXPECT_EQ(tree_->size(), 1u);
+}
+
+TEST_F(BTreeTest, Erase) {
+  tree_->put("k", "v");
+  EXPECT_TRUE(tree_->erase("k"));
+  EXPECT_FALSE(tree_->erase("k"));
+  EXPECT_FALSE(tree_->get("k").has_value());
+}
+
+TEST_F(BTreeTest, RejectsOversized) {
+  EXPECT_THROW(tree_->put("", "v"), std::invalid_argument);
+  EXPECT_THROW(tree_->put(std::string(kMaxKeySize + 1, 'k'), "v"), std::invalid_argument);
+  EXPECT_THROW(tree_->put("k", std::string(kMaxValueSize + 1, 'v')), std::invalid_argument);
+}
+
+TEST_F(BTreeTest, ScanIsSorted) {
+  tree_->put("c", "3");
+  tree_->put("a", "1");
+  tree_->put("b", "2");
+  std::vector<std::string> keys;
+  tree_->scan([&](const std::string& k, const std::string&) {
+    keys.push_back(k);
+    return true;
+  });
+  EXPECT_EQ(keys, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST_F(BTreeTest, ScanEarlyStop) {
+  for (int i = 0; i < 10; ++i) tree_->put(std::string(1, static_cast<char>('a' + i)), "v");
+  int seen = 0;
+  tree_->scan([&](const std::string&, const std::string&) { return ++seen < 3; });
+  EXPECT_EQ(seen, 3);
+}
+
+TEST_F(BTreeTest, SplitsGrowTheTree) {
+  // Values near the max cell size force splits quickly.
+  for (int i = 0; i < 64; ++i) {
+    tree_->put(support::format("key-%04d", i), std::string(1200, 'x'));
+  }
+  EXPECT_GT(tree_->height(), 1u);
+  EXPECT_EQ(tree_->size(), 64u);
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(tree_->get(support::format("key-%04d", i)).has_value()) << i;
+  }
+}
+
+class BTreeVolume : public testing::TestWithParam<int> {};
+
+TEST_P(BTreeVolume, MatchesStdMap) {
+  support::VirtualClock clock;
+  HostVfs vfs(clock);
+  Pager pager(vfs, "/db");
+  pager.begin();
+  BTree tree(pager, 0);
+
+  const int n = GetParam();
+  support::Rng rng(static_cast<std::uint64_t>(n));
+  std::map<std::string, std::string> model;
+  for (int i = 0; i < n; ++i) {
+    const std::string key = rng.next_string(rng.next_in(4, 32));
+    const std::string value = rng.next_string(rng.next_in(1, 200));
+    tree.put(key, value);
+    model[key] = value;
+  }
+  EXPECT_EQ(tree.size(), model.size());
+  for (const auto& [k, v] : model) {
+    ASSERT_EQ(tree.get(k), v) << k;
+  }
+  // Scan order matches the model's sorted order.
+  auto it = model.begin();
+  bool ok = true;
+  tree.scan([&](const std::string& k, const std::string& v) {
+    ok = ok && it != model.end() && it->first == k && it->second == v;
+    ++it;
+    return true;
+  });
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(it, model.end());
+  pager.commit();
+}
+
+INSTANTIATE_TEST_SUITE_P(Volumes, BTreeVolume, testing::Values(10, 100, 1000, 5000));
+
+// --- Database ---------------------------------------------------------------------
+
+TEST(Database, PersistsAcrossReopen) {
+  support::VirtualClock clock;
+  HostVfs vfs(clock);
+  {
+    Database db(vfs, "/data.db");
+    db.put("k1", "v1");
+    db.put("k2", "v2");
+  }
+  Database db(vfs, "/data.db");
+  EXPECT_EQ(db.get("k1"), "v1");
+  EXPECT_EQ(db.get("k2"), "v2");
+  EXPECT_EQ(db.size(), 2u);
+}
+
+TEST(Database, TransactionRollback) {
+  support::VirtualClock clock;
+  HostVfs vfs(clock);
+  Database db(vfs, "/data.db");
+  db.put("keep", "1");
+  db.begin();
+  db.put_in_txn("drop", "2");
+  db.rollback();
+  EXPECT_FALSE(db.get("drop").has_value());
+  EXPECT_EQ(db.get("keep"), "1");
+}
+
+TEST(Database, RejectsForeignFile) {
+  support::VirtualClock clock;
+  HostVfs vfs(clock);
+  const Fd fd = vfs.open("/junk");
+  std::vector<std::uint8_t> garbage(kDbPageSize, 0x5A);
+  vfs.write(fd, garbage.data(), garbage.size());
+  vfs.close(fd);
+  EXPECT_THROW(Database(vfs, "/junk"), std::runtime_error);
+}
+
+// --- workload ----------------------------------------------------------------------
+
+TEST(Workload, CommitsAreDeterministic) {
+  CommitGenerator gen(42);
+  const Commit a = gen.make(7);
+  const Commit b = gen.make(7);
+  EXPECT_EQ(a.hash, b.hash);
+  EXPECT_EQ(a.message, b.message);
+  EXPECT_EQ(a.files.size(), b.files.size());
+  EXPECT_NE(gen.make(8).hash, a.hash);
+  EXPECT_EQ(a.hash.size(), 40u);
+}
+
+TEST(Workload, ReplayInsertsAllRecords) {
+  support::VirtualClock clock;
+  HostVfs vfs(clock);
+  Database db(vfs, "/repo.db");
+  CommitGenerator gen;
+  std::size_t total = 0;
+  for (std::uint64_t i = 0; i < 20; ++i) total += replay_commit(db, gen.make(i));
+  EXPECT_EQ(db.size(), total);
+  const Commit c = gen.make(3);
+  EXPECT_TRUE(db.get("commit/" + c.hash).has_value());
+}
+
+// --- enclavised database ---------------------------------------------------------------
+
+class EnclaveDbTest : public testing::Test {
+ protected:
+  EnclaveDbTest() : vfs_(urts_.clock()) {}
+
+  sgxsim::Urts urts_;
+  HostVfs vfs_;
+};
+
+TEST_F(EnclaveDbTest, PutGetThroughEcalls) {
+  DbEnclave db(urts_, vfs_);
+  ASSERT_EQ(db.open("/enc.db"), sgxsim::SgxStatus::kSuccess);
+  EXPECT_EQ(db.put("key", "value"), sgxsim::SgxStatus::kSuccess);
+  EXPECT_EQ(db.get("key"), "value");
+  EXPECT_FALSE(db.get("missing").has_value());
+  EXPECT_EQ(db.close_db(), sgxsim::SgxStatus::kSuccess);
+}
+
+TEST_F(EnclaveDbTest, TransactionsThroughEcalls) {
+  DbEnclave db(urts_, vfs_);
+  ASSERT_EQ(db.open("/enc.db"), sgxsim::SgxStatus::kSuccess);
+  EXPECT_EQ(db.begin(), sgxsim::SgxStatus::kSuccess);
+  EXPECT_EQ(db.put_in_txn("a", "1"), sgxsim::SgxStatus::kSuccess);
+  EXPECT_EQ(db.put_in_txn("b", "2"), sgxsim::SgxStatus::kSuccess);
+  EXPECT_EQ(db.commit(), sgxsim::SgxStatus::kSuccess);
+  EXPECT_EQ(db.get("a"), "1");
+}
+
+TEST_F(EnclaveDbTest, NaiveModeIssuesLseekAndWriteOcalls) {
+  tracedb::TraceDatabase trace;
+  perf::Logger logger(trace);
+  logger.attach(urts_);
+  {
+    DbEnclave db(urts_, vfs_, WriteMode::kSeekThenWrite);
+    ASSERT_EQ(db.open("/enc.db"), sgxsim::SgxStatus::kSuccess);
+    for (int i = 0; i < 5; ++i) {
+      db.put(support::format("key-%d", i), "value");
+    }
+    db.close_db();
+  }
+  logger.detach();
+
+  std::size_t lseeks = 0;
+  std::size_t writes = 0;
+  std::size_t pwrites = 0;
+  for (const auto& c : trace.calls()) {
+    if (c.type != tracedb::CallType::kOcall) continue;
+    const auto name = trace.name_of(c.enclave_id, c.type, c.call_id);
+    if (name == "ocall_vfs_lseek") ++lseeks;
+    if (name == "ocall_vfs_write") ++writes;
+    if (name == "ocall_vfs_pwrite") ++pwrites;
+  }
+  EXPECT_GT(lseeks, 0u);
+  EXPECT_GT(writes, 0u);
+  EXPECT_EQ(pwrites, 0u);
+}
+
+TEST_F(EnclaveDbTest, MergedModeUsesPwriteOcalls) {
+  tracedb::TraceDatabase trace;
+  perf::Logger logger(trace);
+  logger.attach(urts_);
+  {
+    DbEnclave db(urts_, vfs_, WriteMode::kMergedPwrite);
+    ASSERT_EQ(db.open("/enc.db"), sgxsim::SgxStatus::kSuccess);
+    for (int i = 0; i < 5; ++i) db.put(support::format("key-%d", i), "value");
+    db.close_db();
+  }
+  logger.detach();
+
+  std::size_t lseek_write = 0;
+  std::size_t pwrites = 0;
+  for (const auto& c : trace.calls()) {
+    if (c.type != tracedb::CallType::kOcall) continue;
+    const auto name = trace.name_of(c.enclave_id, c.type, c.call_id);
+    if (name == "ocall_vfs_lseek" || name == "ocall_vfs_write") ++lseek_write;
+    if (name == "ocall_vfs_pwrite") ++pwrites;
+  }
+  EXPECT_EQ(lseek_write, 0u);
+  EXPECT_GT(pwrites, 0u);
+}
+
+TEST_F(EnclaveDbTest, MergedModeIsFasterInVirtualTime) {
+  CommitGenerator gen;
+  const auto run = [&](WriteMode mode) {
+    HostVfs vfs(urts_.clock());
+    DbEnclave db(urts_, vfs, mode);
+    db.open("/enc.db");
+    const auto t0 = urts_.clock().now();
+    for (std::uint64_t i = 0; i < 20; ++i) {
+      db.begin();
+      for (const auto& [k, v] : gen.make(i).to_records()) db.put_in_txn(k, v);
+      db.commit();
+    }
+    const auto elapsed = urts_.clock().now() - t0;
+    db.close_db();
+    return elapsed;
+  };
+  const auto naive = run(WriteMode::kSeekThenWrite);
+  const auto merged = run(WriteMode::kMergedPwrite);
+  EXPECT_LT(merged, naive);
+}
+
+TEST_F(EnclaveDbTest, NativeIsFasterThanEnclavised) {
+  CommitGenerator gen;
+  // Native run.
+  const auto t0 = urts_.clock().now();
+  {
+    Database db(vfs_, "/native.db");
+    for (std::uint64_t i = 0; i < 20; ++i) replay_commit(db, gen.make(i));
+  }
+  const auto native = urts_.clock().now() - t0;
+  // Enclavised run.
+  const auto t1 = urts_.clock().now();
+  {
+    DbEnclave db(urts_, vfs_);
+    db.open("/enc.db");
+    for (std::uint64_t i = 0; i < 20; ++i) {
+      db.begin();
+      for (const auto& [k, v] : gen.make(i).to_records()) db.put_in_txn(k, v);
+      db.commit();
+    }
+    db.close_db();
+  }
+  const auto enclavised = urts_.clock().now() - t1;
+  EXPECT_LT(native, enclavised);
+}
+
+}  // namespace

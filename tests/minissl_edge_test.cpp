@@ -1,0 +1,169 @@
+// Additional minissl edge cases: quiet shutdown, ALPN negotiation through
+// the callback, record-boundary behaviour, and Bio buffering under
+// byte-at-a-time delivery.
+#include <gtest/gtest.h>
+
+#include "minissl/http.hpp"
+#include "minissl/ssl.hpp"
+
+namespace {
+
+using namespace minissl;
+
+struct Pair {
+  Pair()
+      : server(ctx, 7), client(ctx, 8) {
+    server.set_transport(std::make_unique<PipeEnd>(conn.server_end()));
+    server.set_accept_state();
+    client.set_transport(std::make_unique<PipeEnd>(conn.client_end()));
+    client.set_connect_state();
+  }
+
+  void handshake() {
+    for (int i = 0; i < 10; ++i) {
+      client.do_handshake();
+      server.do_handshake();
+      if (client.handshake_done() && server.handshake_done()) return;
+    }
+    FAIL() << "handshake stuck";
+  }
+
+  SslCtx ctx;
+  SimConnection conn;
+  Ssl server;
+  Ssl client;
+};
+
+TEST(SslEdge, QuietShutdownSendsNothing) {
+  Pair p;
+  p.handshake();
+  p.client.set_quiet_shutdown(true);
+  EXPECT_EQ(p.client.shutdown(), 0);
+  // The server sees no close_notify: a read just wants more data.
+  char buf[8];
+  const int n = p.server.read(buf, sizeof(buf));
+  EXPECT_EQ(n, -1);
+  EXPECT_EQ(p.server.get_error(n), SSL_ERROR_WANT_READ);
+}
+
+TEST(SslEdge, AlpnCallbackObservesAllOffers) {
+  SslCtx ctx;
+  static std::vector<std::string> observed;
+  observed.clear();
+  ctx.set_alpn_select_cb(
+      [](const Ssl*, std::string& selected, const std::vector<std::string>& offered, void*) {
+        observed = offered;
+        selected = offered.back();  // pick the last offer
+        return 0;
+      },
+      nullptr);
+
+  SimConnection conn;
+  Ssl server(ctx, 1);
+  server.set_transport(std::make_unique<PipeEnd>(conn.server_end()));
+  server.set_accept_state();
+  Ssl client(ctx, 2);
+  client.set_transport(std::make_unique<PipeEnd>(conn.client_end()));
+  client.set_connect_state();
+  client.set_alpn_offer({"h2", "http/1.1", "spdy/3"});
+
+  for (int i = 0; i < 10 && !(client.handshake_done() && server.handshake_done()); ++i) {
+    client.do_handshake();
+    server.do_handshake();
+  }
+  ASSERT_EQ(observed.size(), 3u);
+  EXPECT_EQ(observed[0], "h2");
+  EXPECT_EQ(server.alpn_selected(), "spdy/3");
+}
+
+TEST(SslEdge, EmptyWriteIsNoop) {
+  Pair p;
+  p.handshake();
+  EXPECT_EQ(p.client.write("", 0), 0);
+  char buf[8];
+  const int n = p.server.read(buf, sizeof(buf));
+  EXPECT_EQ(n, -1);  // nothing arrived
+}
+
+TEST(SslEdge, InterleavedBidirectionalTraffic) {
+  Pair p;
+  p.handshake();
+  for (int round = 0; round < 20; ++round) {
+    const std::string c2s = "ping-" + std::to_string(round);
+    const std::string s2c = "pong-" + std::to_string(round);
+    ASSERT_GT(p.client.write(c2s.data(), static_cast<int>(c2s.size())), 0);
+    ASSERT_GT(p.server.write(s2c.data(), static_cast<int>(s2c.size())), 0);
+    char buf[64];
+    int n = p.server.read(buf, sizeof(buf));
+    ASSERT_GT(n, 0);
+    EXPECT_EQ(std::string(buf, static_cast<std::size_t>(n)), c2s);
+    n = p.client.read(buf, sizeof(buf));
+    ASSERT_GT(n, 0);
+    EXPECT_EQ(std::string(buf, static_cast<std::size_t>(n)), s2c);
+  }
+}
+
+TEST(SslEdge, SequenceNumbersPreventReplayConfusion) {
+  Pair p;
+  p.handshake();
+  // Two records, read in order: each decrypts with its own nonce.
+  p.client.write("first", 5);
+  p.client.write("second", 6);
+  char buf[16];
+  int n = p.server.read(buf, sizeof(buf));
+  EXPECT_EQ(std::string(buf, static_cast<std::size_t>(n)), "first");
+  n = p.server.read(buf, sizeof(buf));
+  EXPECT_EQ(std::string(buf, static_cast<std::size_t>(n)), "second");
+}
+
+TEST(BioEdge, ByteAtATimeDelivery) {
+  // A record that trickles in one byte per pump still decodes exactly once
+  // complete.
+  SslCtx ctx;
+  SimConnection conn;
+  Ssl server(ctx, 1);
+  server.set_transport(std::make_unique<PipeEnd>(conn.server_end()));
+  server.set_accept_state();
+  Ssl client(ctx, 2);
+
+  // Produce a ClientHello into a staging pipe, then deliver it byte by byte.
+  SimConnection staging;
+  client.set_transport(std::make_unique<PipeEnd>(staging.client_end()));
+  client.set_connect_state();
+  client.do_handshake();  // writes the hello into staging
+
+  PipeEnd staged_reader = staging.server_end();
+  PipeEnd to_server = conn.client_end();
+  std::uint8_t byte;
+  int delivered = 0;
+  while (staged_reader.read(&byte, 1) == 1) {
+    // Before the final byte arrives, the server must keep returning
+    // WANT_READ rather than mis-decoding a partial record.
+    const int ret = server.do_handshake();
+    EXPECT_EQ(ret, -1);
+    EXPECT_EQ(server.get_error(ret), SSL_ERROR_WANT_READ);
+    to_server.write(&byte, 1);
+    ++delivered;
+  }
+  EXPECT_GT(delivered, 10);
+  EXPECT_EQ(server.do_handshake(), 1);
+}
+
+TEST(HttpEdge, ServerSurvivesEarlyClientClose) {
+  SslCtx ctx;
+  SimConnection conn;
+  NativeTlsSession server(ctx, std::make_unique<PipeEnd>(conn.server_end()), true, 1);
+  NativeTlsSession client(ctx, std::make_unique<PipeEnd>(conn.client_end()), false, 2);
+  // Complete the handshake, then the client closes without sending a request.
+  for (int i = 0; i < 10; ++i) {
+    client.do_handshake();
+    server.do_handshake();
+  }
+  client.shutdown();
+  MiniNginx nginx;
+  for (int i = 0; i < 20 && !nginx.done(); ++i) nginx.step(server);
+  EXPECT_TRUE(nginx.done());
+  EXPECT_TRUE(nginx.last_request().empty());
+}
+
+}  // namespace

@@ -1,0 +1,344 @@
+// minissl tests: error queue, BIO/pipes, handshake + record protocol
+// (native), the TaLoS enclave packaging and the nginx/curl exchange.
+#include <gtest/gtest.h>
+
+#include "minissl/http.hpp"
+#include "minissl/talos.hpp"
+#include "perf/logger.hpp"
+#include "tracedb/query.hpp"
+
+namespace {
+
+using namespace minissl;
+
+// --- error queue -----------------------------------------------------------------
+
+TEST(ErrQueue, FifoSemantics) {
+  ERR_clear_error();
+  EXPECT_EQ(ERR_get_error(), 0u);
+  ERR_put_error(SslErrorCode::kBadRecordMac);
+  ERR_put_error(SslErrorCode::kProtocolViolation);
+  EXPECT_EQ(ERR_peek_error(), static_cast<std::uint64_t>(SslErrorCode::kBadRecordMac));
+  EXPECT_EQ(ERR_get_error(), static_cast<std::uint64_t>(SslErrorCode::kBadRecordMac));
+  EXPECT_EQ(ERR_get_error(), static_cast<std::uint64_t>(SslErrorCode::kProtocolViolation));
+  EXPECT_EQ(ERR_get_error(), 0u);
+}
+
+TEST(ErrQueue, ClearEmpties) {
+  ERR_put_error(SslErrorCode::kBadRecordMac);
+  ERR_clear_error();
+  EXPECT_EQ(ERR_queue_depth(), 0u);
+  EXPECT_EQ(ERR_peek_error(), 0u);
+}
+
+// --- pipes and BIO ----------------------------------------------------------------
+
+TEST(Pipes, BytesFlowBothWays) {
+  SimConnection conn;
+  PipeEnd client = conn.client_end();
+  PipeEnd server = conn.server_end();
+  const std::uint8_t msg[] = {1, 2, 3};
+  client.write(msg, 3);
+  EXPECT_EQ(server.pending(), 3u);
+  std::uint8_t buf[8];
+  EXPECT_EQ(server.read(buf, sizeof(buf)), 3u);
+  EXPECT_EQ(buf[2], 3);
+  server.write(msg, 2);
+  EXPECT_EQ(client.read(buf, sizeof(buf)), 2u);
+}
+
+TEST(BioBuffer, PeekConsumeRead) {
+  SimConnection conn;
+  Bio bio(std::make_unique<PipeEnd>(conn.server_end()));
+  PipeEnd client = conn.client_end();
+  const std::uint8_t msg[] = {9, 8, 7, 6};
+  client.write(msg, 4);
+
+  std::uint8_t buf[4];
+  EXPECT_EQ(bio.peek(buf, 2), 2u);
+  EXPECT_EQ(buf[0], 9);
+  EXPECT_EQ(bio.pending(), 4u);  // peek does not consume
+  bio.consume(2);
+  EXPECT_EQ(bio.read(buf, 4), 2u);
+  EXPECT_EQ(buf[0], 7);
+  EXPECT_EQ(bio.int_ctrl(BioCtrl::kPending, 0), 0);
+  EXPECT_EQ(bio.int_ctrl(BioCtrl::kWPending, 0), 0);
+  EXPECT_EQ(bio.int_ctrl(BioCtrl::kFlush, 0), 1);
+}
+
+// --- native TLS ---------------------------------------------------------------------
+
+class NativeTlsTest : public testing::Test {
+ protected:
+  NativeTlsTest()
+      : server_(ctx_, std::make_unique<PipeEnd>(conn_.server_end()), true, 1),
+        client_(ctx_, std::make_unique<PipeEnd>(conn_.client_end()), false, 2) {}
+
+  /// Pumps both handshakes to completion.
+  void handshake() {
+    for (int i = 0; i < 10; ++i) {
+      client_.do_handshake();
+      server_.do_handshake();
+      if (client_.ssl().handshake_done() && server_.ssl().handshake_done()) return;
+    }
+    FAIL() << "handshake did not complete";
+  }
+
+  SslCtx ctx_;
+  SimConnection conn_;
+  NativeTlsSession server_;
+  NativeTlsSession client_;
+};
+
+TEST_F(NativeTlsTest, HandshakeDerivesMatchingKeys) {
+  handshake();
+  // Round-trip proves both sides derived the same session key.
+  const std::string msg = "hello over TLS";
+  EXPECT_EQ(client_.write(msg.data(), static_cast<int>(msg.size())),
+            static_cast<int>(msg.size()));
+  char buf[64];
+  const int n = server_.read(buf, sizeof(buf));
+  ASSERT_GT(n, 0);
+  EXPECT_EQ(std::string(buf, static_cast<std::size_t>(n)), msg);
+}
+
+TEST_F(NativeTlsTest, HandshakeWantReadBeforePeerActs) {
+  // The server cannot progress before the ClientHello arrives.
+  const int ret = server_.do_handshake();
+  EXPECT_EQ(ret, -1);
+  EXPECT_EQ(server_.get_error(ret), SSL_ERROR_WANT_READ);
+}
+
+TEST_F(NativeTlsTest, AlpnNegotiated) {
+  handshake();
+  EXPECT_EQ(client_.ssl().alpn_selected(), "http/1.1");
+  EXPECT_EQ(server_.ssl().alpn_selected(), "http/1.1");
+  EXPECT_FALSE(client_.ssl().peer_certificate().empty());
+}
+
+TEST_F(NativeTlsTest, ReadWantsDataWhenNoneSent) {
+  handshake();
+  char buf[8];
+  const int n = server_.read(buf, sizeof(buf));
+  EXPECT_EQ(n, -1);
+  EXPECT_EQ(server_.get_error(n), SSL_ERROR_WANT_READ);
+}
+
+TEST_F(NativeTlsTest, LargePayloadFragmentsAcrossRecords) {
+  handshake();
+  const std::string big(50'000, 'z');
+  EXPECT_EQ(client_.write(big.data(), static_cast<int>(big.size())),
+            static_cast<int>(big.size()));
+  std::string received;
+  char buf[17'000];
+  while (received.size() < big.size()) {
+    const int n = server_.read(buf, sizeof(buf));
+    ASSERT_GT(n, 0);
+    received.append(buf, static_cast<std::size_t>(n));
+  }
+  EXPECT_EQ(received, big);
+}
+
+TEST_F(NativeTlsTest, TamperedRecordFailsMac) {
+  handshake();
+  const std::string msg = "sensitive";
+  client_.write(msg.data(), static_cast<int>(msg.size()));
+  // Flip one ciphertext byte in flight: corrupt via a direct pipe write that
+  // replaces the record... simpler: write garbage that parses as a record
+  // header but fails the MAC.
+  PipeEnd raw = conn_.client_end();  // writes into the server's rx queue
+  // Drain the valid record first so the server sees only the bad one.
+  char buf[64];
+  ASSERT_GT(server_.read(buf, sizeof(buf)), 0);
+  const std::uint8_t bogus[] = {23, 3, 0, 'x', 'y', 'z', 0, 0, 0, 0, 0, 0, 0, 0};
+  raw.write(bogus, sizeof(bogus));
+  server_.err_clear();
+  const int n = server_.read(buf, sizeof(buf));
+  EXPECT_EQ(n, -1);
+  EXPECT_EQ(server_.get_error(n), SSL_ERROR_SSL);
+  EXPECT_EQ(server_.err_peek(), static_cast<std::uint64_t>(SslErrorCode::kBadRecordMac));
+}
+
+TEST_F(NativeTlsTest, ShutdownExchangesCloseNotify) {
+  handshake();
+  EXPECT_EQ(client_.shutdown(), 0);  // ours sent, peer's not yet seen
+  char buf[8];
+  EXPECT_EQ(server_.read(buf, sizeof(buf)), 0);  // clean EOF
+  EXPECT_EQ(server_.get_error(0), SSL_ERROR_ZERO_RETURN);
+  EXPECT_EQ(server_.shutdown(), 1);   // both directions closed
+  EXPECT_EQ(client_.shutdown(), 1);
+}
+
+TEST_F(NativeTlsTest, IoBeforeHandshakeFails) {
+  char buf[8];
+  EXPECT_EQ(client_.read(buf, sizeof(buf)), -1);
+  EXPECT_EQ(client_.write(buf, 1), -1);
+  EXPECT_EQ(client_.get_error(-1), SSL_ERROR_SSL);
+  client_.err_clear();
+}
+
+// --- nginx + curl over native TLS ---------------------------------------------------
+
+TEST(Http, NativeExchangeServesRequest) {
+  SslCtx ctx;
+  SimConnection conn;
+  NativeTlsSession server(ctx, std::make_unique<PipeEnd>(conn.server_end()), true, 1);
+  NativeTlsSession client(ctx, std::make_unique<PipeEnd>(conn.client_end()), false, 2);
+  MiniNginx nginx;
+  MiniCurl curl("/index.html");
+  ASSERT_TRUE(run_exchange(nginx, server, curl, client));
+  EXPECT_NE(curl.response().find("200 OK"), std::string::npos);
+  EXPECT_NE(curl.response().find("sgx-perf reproduction"), std::string::npos);
+  EXPECT_NE(nginx.last_request().find("GET /index.html"), std::string::npos);
+}
+
+// --- TaLoS ---------------------------------------------------------------------------
+
+class TalosTest : public testing::Test {
+ protected:
+  sgxsim::Urts urts_;
+};
+
+TEST_F(TalosTest, ExchangeThroughEnclave) {
+  TalosEnclave talos(urts_);
+  SimConnection conn;
+  // Server side terminates TLS inside the enclave; the client is plain curl.
+  const auto conn_id = talos.register_connection(std::make_unique<PipeEnd>(conn.server_end()));
+  auto server_session = talos.new_session(conn_id, /*server=*/true);
+  ASSERT_NE(server_session, nullptr);
+
+  SslCtx client_ctx;
+  NativeTlsSession client(client_ctx, std::make_unique<PipeEnd>(conn.client_end()), false, 9);
+
+  MiniNginx nginx;
+  MiniCurl curl;
+  ASSERT_TRUE(run_exchange(nginx, *server_session, curl, client));
+  EXPECT_NE(curl.response().find("200 OK"), std::string::npos);
+  // The server-side callbacks were executed outside the enclave as ocalls.
+  EXPECT_GE(talos.info_callback_invocations, 1u);
+  EXPECT_GE(talos.alpn_callback_invocations, 1u);
+}
+
+TEST_F(TalosTest, EveryApiCallIsAnEcall) {
+  tracedb::TraceDatabase trace;
+  perf::Logger logger(trace);
+  logger.attach(urts_);
+  {
+    TalosEnclave talos(urts_);
+    SimConnection conn;
+    const auto conn_id =
+        talos.register_connection(std::make_unique<PipeEnd>(conn.server_end()));
+    auto server_session = talos.new_session(conn_id, true);
+    SslCtx client_ctx;
+    NativeTlsSession client(client_ctx, std::make_unique<PipeEnd>(conn.client_end()), false, 9);
+    MiniNginx nginx;
+    MiniCurl curl;
+    ASSERT_TRUE(run_exchange(nginx, *server_session, curl, client));
+  }
+  logger.detach();
+
+  std::map<std::string, std::size_t> ecall_counts;
+  std::map<std::string, std::size_t> ocall_counts;
+  for (const auto& c : trace.calls()) {
+    const auto name = trace.name_of(c.enclave_id, c.type, c.call_id);
+    if (c.type == tracedb::CallType::kEcall) ++ecall_counts[name];
+    if (c.type == tracedb::CallType::kOcall) ++ocall_counts[name];
+  }
+  // The Figure 5 cast is present.
+  EXPECT_GE(ecall_counts["sgx_ecall_SSL_new"], 1u);
+  EXPECT_GE(ecall_counts["sgx_ecall_SSL_set_fd"], 1u);
+  EXPECT_GE(ecall_counts["sgx_ecall_SSL_set_accept_state"], 1u);
+  EXPECT_GE(ecall_counts["sgx_ecall_SSL_do_handshake"], 1u);
+  EXPECT_GE(ecall_counts["sgx_ecall_SSL_read"], 1u);
+  EXPECT_GE(ecall_counts["sgx_ecall_SSL_write"], 1u);
+  EXPECT_GE(ecall_counts["sgx_ecall_SSL_shutdown"], 1u);
+  EXPECT_GE(ecall_counts["sgx_ecall_SSL_free"], 1u);
+  EXPECT_GE(ecall_counts["sgx_ecall_ERR_clear_error"], 1u);
+  EXPECT_GE(ecall_counts["sgx_ecall_SSL_get_rbio"], 1u);
+  EXPECT_GE(ecall_counts["sgx_ecall_BIO_int_ctrl"], 1u);
+  // Socket I/O and callbacks left the enclave.
+  EXPECT_GE(ocall_counts["enclave_ocall_read"], 1u);
+  EXPECT_GE(ocall_counts["enclave_ocall_write"], 1u);
+  EXPECT_GE(ocall_counts["enclave_ocall_execute_ssl_ctx_info_callback"], 1u);
+  EXPECT_GE(ocall_counts["enclave_ocall_alpn_select_cb"], 1u);
+}
+
+TEST_F(TalosTest, OcallsHaveEcallParents) {
+  tracedb::TraceDatabase trace;
+  perf::Logger logger(trace);
+  logger.attach(urts_);
+  {
+    TalosEnclave talos(urts_);
+    SimConnection conn;
+    const auto conn_id =
+        talos.register_connection(std::make_unique<PipeEnd>(conn.server_end()));
+    auto server_session = talos.new_session(conn_id, true);
+    SslCtx client_ctx;
+    NativeTlsSession client(client_ctx, std::make_unique<PipeEnd>(conn.client_end()), false, 9);
+    MiniNginx nginx;
+    MiniCurl curl;
+    ASSERT_TRUE(run_exchange(nginx, *server_session, curl, client));
+  }
+  logger.detach();
+
+  for (const auto& c : trace.calls()) {
+    if (c.type == tracedb::CallType::kOcall) {
+      ASSERT_NE(c.parent, tracedb::kNoParent);
+      EXPECT_EQ(trace.calls()[static_cast<std::size_t>(c.parent)].type,
+                tracedb::CallType::kEcall);
+    }
+  }
+}
+
+TEST_F(TalosTest, ManyRequestsAccumulatePerRequestCallPattern) {
+  tracedb::TraceDatabase trace;
+  perf::Logger logger(trace);
+  logger.attach(urts_);
+  constexpr int kRequests = 20;
+  {
+    TalosEnclave talos(urts_);
+    SslCtx client_ctx;
+    for (int r = 0; r < kRequests; ++r) {
+      SimConnection conn;
+      const auto conn_id =
+          talos.register_connection(std::make_unique<PipeEnd>(conn.server_end()));
+      auto server_session = talos.new_session(conn_id, true);
+      NativeTlsSession client(client_ctx, std::make_unique<PipeEnd>(conn.client_end()), false,
+                              static_cast<std::uint64_t>(r) + 100);
+      MiniNginx nginx;
+      MiniCurl curl;
+      ASSERT_TRUE(run_exchange(nginx, *server_session, curl, client));
+      talos.drop_connection(conn_id);
+    }
+  }
+  logger.detach();
+
+  // Per-connection calls occur exactly once per request (Figure 5's "1000"
+  // edges), e.g. SSL_new / SSL_set_fd / SSL_set_accept_state / SSL_free.
+  std::map<std::string, std::size_t> counts;
+  for (const auto& c : trace.calls()) {
+    if (c.type == tracedb::CallType::kEcall) {
+      ++counts[trace.name_of(c.enclave_id, c.type, c.call_id)];
+    }
+  }
+  EXPECT_EQ(counts["sgx_ecall_SSL_new"], static_cast<std::size_t>(kRequests));
+  EXPECT_EQ(counts["sgx_ecall_SSL_set_fd"], static_cast<std::size_t>(kRequests));
+  EXPECT_EQ(counts["sgx_ecall_SSL_set_accept_state"], static_cast<std::size_t>(kRequests));
+  EXPECT_EQ(counts["sgx_ecall_SSL_free"], static_cast<std::size_t>(kRequests));
+  EXPECT_GE(counts["sgx_ecall_SSL_read"], static_cast<std::size_t>(kRequests));
+  EXPECT_GE(counts["sgx_ecall_SSL_write"], static_cast<std::size_t>(kRequests));
+}
+
+TEST_F(TalosTest, InterfaceIsWide) {
+  const auto spec = sgxsim::edl::parse(kTalosEdl);
+  // The drop-in-replacement interface is wide (the real TaLoS has 207
+  // ecalls; this reproduction models a representative subset).
+  EXPECT_GE(spec.ecalls.size(), 40u);
+  EXPECT_GE(spec.ocalls.size(), 8u);
+  // And it is riddled with user_check pointers.
+  std::size_t user_check = 0;
+  for (const auto& e : spec.ecalls) user_check += e.has_user_check() ? 1 : 0;
+  EXPECT_GE(user_check, 5u);
+}
+
+}  // namespace

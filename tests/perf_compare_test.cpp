@@ -1,0 +1,138 @@
+// Tests for the before/after trace comparison and the thread timeline.
+#include <gtest/gtest.h>
+
+#include "perf/compare.hpp"
+#include "perf/timeline.hpp"
+
+namespace {
+
+using tracedb::CallRecord;
+using tracedb::CallType;
+using tracedb::TraceDatabase;
+
+void add(TraceDatabase& db, CallType type, tracedb::CallId id, std::uint64_t start,
+         std::uint64_t end, tracedb::ThreadId tid = 1) {
+  CallRecord c;
+  c.type = type;
+  c.call_id = id;
+  c.thread_id = tid;
+  c.enclave_id = 1;
+  c.start_ns = start;
+  c.end_ns = end;
+  db.add_call(c);
+}
+
+TEST(Compare, CountsAndTransitionsSaved) {
+  TraceDatabase before;
+  before.add_call_name({1, CallType::kEcall, 0, "ecall_sub"});
+  for (int i = 0; i < 100; ++i) {
+    add(before, CallType::kEcall, 0, static_cast<std::uint64_t>(i) * 10'000,
+        static_cast<std::uint64_t>(i) * 10'000 + 5'000);
+  }
+  TraceDatabase after;
+  after.add_call_name({1, CallType::kEcall, 3, "ecall_sub"});   // different id, same name
+  after.add_call_name({1, CallType::kEcall, 4, "ecall_mul"});
+  for (int i = 0; i < 4; ++i) {
+    add(after, CallType::kEcall, 3, static_cast<std::uint64_t>(i) * 10'000,
+        static_cast<std::uint64_t>(i) * 10'000 + 5'000);
+    add(after, CallType::kEcall, 4, static_cast<std::uint64_t>(i) * 10'000 + 6'000,
+        static_cast<std::uint64_t>(i) * 10'000 + 9'000);
+  }
+
+  const auto cmp = perf::compare_traces(before, after);
+  EXPECT_EQ(cmp.ecalls_before, 100u);
+  EXPECT_EQ(cmp.ecalls_after, 8u);
+  EXPECT_EQ(cmp.transitions_saved(), 92);
+
+  // The biggest count change leads, matched by name across different ids.
+  ASSERT_FALSE(cmp.deltas.empty());
+  EXPECT_EQ(cmp.deltas[0].name, "ecall_sub");
+  EXPECT_EQ(cmp.deltas[0].count_before, 100u);
+  EXPECT_EQ(cmp.deltas[0].count_after, 4u);
+  // ecall_mul is new in the after-trace.
+  bool saw_mul = false;
+  for (const auto& d : cmp.deltas) {
+    if (d.name == "ecall_mul") {
+      saw_mul = true;
+      EXPECT_EQ(d.count_before, 0u);
+      EXPECT_EQ(d.count_after, 4u);
+    }
+  }
+  EXPECT_TRUE(saw_mul);
+}
+
+TEST(Compare, SpeedupFromSpans) {
+  TraceDatabase before;
+  add(before, CallType::kEcall, 0, 0, 200'000);
+  TraceDatabase after;
+  add(after, CallType::kEcall, 0, 0, 100'000);
+  const auto cmp = perf::compare_traces(before, after);
+  ASSERT_TRUE(cmp.speedup().has_value());
+  EXPECT_NEAR(*cmp.speedup(), 2.0, 1e-9);
+}
+
+TEST(Compare, EmptyTracesHaveNoSpeedup) {
+  TraceDatabase before;
+  TraceDatabase after;
+  const auto cmp = perf::compare_traces(before, after);
+  EXPECT_FALSE(cmp.speedup().has_value());
+  EXPECT_TRUE(cmp.deltas.empty());
+}
+
+TEST(Compare, RenderMentionsKeyNumbers) {
+  TraceDatabase before;
+  before.add_call_name({1, CallType::kOcall, 0, "ocall_lseek"});
+  for (int i = 0; i < 10; ++i) {
+    add(before, CallType::kOcall, 0, static_cast<std::uint64_t>(i) * 1'000,
+        static_cast<std::uint64_t>(i) * 1'000 + 500);
+  }
+  TraceDatabase after;
+  const std::string text = perf::render_comparison(perf::compare_traces(before, after));
+  EXPECT_NE(text.find("ocall_lseek"), std::string::npos);
+  EXPECT_NE(text.find("transitions saved: 10"), std::string::npos);
+}
+
+TEST(Compare, RenderTruncatesRows) {
+  TraceDatabase before;
+  for (int i = 0; i < 30; ++i) {
+    add(before, CallType::kEcall, static_cast<tracedb::CallId>(i),
+        static_cast<std::uint64_t>(i) * 1'000, static_cast<std::uint64_t>(i) * 1'000 + 100);
+  }
+  TraceDatabase after;
+  const std::string text =
+      perf::render_comparison(perf::compare_traces(before, after), /*max_rows=*/5);
+  EXPECT_NE(text.find("more calls"), std::string::npos);
+}
+
+TEST(Timeline, MarksEcallsAndOcallsPerThread) {
+  TraceDatabase db;
+  // Thread 1: one ecall covering the first half with a nested ocall.
+  add(db, CallType::kEcall, 0, 0, 500, 1);
+  add(db, CallType::kOcall, 0, 100, 200, 1);
+  // Thread 2: a late short ecall.
+  add(db, CallType::kEcall, 1, 900, 1'000, 2);
+
+  const std::string text = perf::render_timeline(db, 40);
+  EXPECT_NE(text.find("thread 1"), std::string::npos);
+  EXPECT_NE(text.find("thread 2"), std::string::npos);
+  EXPECT_NE(text.find('E'), std::string::npos);
+  // The ecall visually dominates its nested ocall (no 'o' inside an 'E' run
+  // for thread 1 because ecalls win the cell).
+  const auto row1_start = text.find("thread 1");
+  const auto row2_start = text.find("thread 2");
+  const std::string row1 = text.substr(row1_start, row2_start - row1_start);
+  EXPECT_EQ(row1.find('o'), std::string::npos);
+}
+
+TEST(Timeline, EmptyTrace) {
+  TraceDatabase db;
+  EXPECT_EQ(perf::render_timeline(db), "(no calls)\n");
+}
+
+TEST(Timeline, ZeroWidthGuard) {
+  TraceDatabase db;
+  add(db, CallType::kEcall, 0, 0, 10);
+  EXPECT_EQ(perf::render_timeline(db, 0), "(no calls)\n");
+}
+
+}  // namespace

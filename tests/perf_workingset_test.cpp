@@ -1,0 +1,150 @@
+// Working-set estimator tests (§4.2).
+#include <gtest/gtest.h>
+
+#include "perf/workingset.hpp"
+#include "sgxsim/runtime.hpp"
+#include "tests/sim_helpers.hpp"
+
+namespace {
+
+using namespace sgxsim;
+using test_helpers::empty_ocall;
+using test_helpers::make_enclave;
+
+constexpr const char* kEdl = R"(
+enclave {
+  trusted {
+    public int ecall_touch_some(void);
+    public int ecall_touch_more(void);
+  };
+  untrusted { void ocall_noop(void); };
+};
+)";
+
+class WorkingSetTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    EnclaveConfig config;
+    config.code_pages = 8;
+    config.heap_pages = 64;
+    config.stack_pages = 4;
+    config.tcs_count = 2;
+    eid_ = make_enclave(urts_, kEdl, config);
+    table_ = make_ocall_table({&empty_ocall});
+    Enclave& e = urts_.enclave(eid_);
+    e.register_ecall("ecall_touch_some", [](TrustedContext& ctx, void*) {
+      const auto base = ctx.enclave().heap_base_page() * kPageSize;
+      for (std::uint64_t p = 0; p < 8; ++p) ctx.touch(base + p * kPageSize, 1, MemAccess::kWrite);
+      return SgxStatus::kSuccess;
+    });
+    e.register_ecall("ecall_touch_more", [](TrustedContext& ctx, void*) {
+      const auto base = ctx.enclave().heap_base_page() * kPageSize;
+      for (std::uint64_t p = 0; p < 32; ++p) ctx.touch(base + p * kPageSize, 1, MemAccess::kWrite);
+      return SgxStatus::kSuccess;
+    });
+  }
+
+  Urts urts_;
+  EnclaveId eid_ = 0;
+  OcallTable table_;
+};
+
+TEST_F(WorkingSetTest, CountsTouchedPages) {
+  Enclave& e = urts_.enclave(eid_);
+  perf::WorkingSetEstimator ws(e);
+  ws.start();
+  urts_.sgx_ecall(eid_, 0, &table_, nullptr);
+  // 8 heap pages + code/TCS/stack pages touched on entry.
+  const auto pages = ws.accessed_page_count();
+  EXPECT_GE(pages, 8u);
+  EXPECT_LT(pages, 20u);
+  const auto breakdown = ws.breakdown();
+  EXPECT_EQ(breakdown.at(PageType::kHeap), 8u);
+  EXPECT_GE(breakdown.at(PageType::kCode), 1u);
+  ws.stop();
+}
+
+TEST_F(WorkingSetTest, WorkingSetIsMuchSmallerThanEnclave) {
+  Enclave& e = urts_.enclave(eid_);
+  perf::WorkingSetEstimator ws(e);
+  ws.start();
+  urts_.sgx_ecall(eid_, 0, &table_, nullptr);
+  // §4.2: guard and padding pages make the enclave much larger than its
+  // working set.
+  EXPECT_LT(ws.accessed_page_count(), e.total_pages() / 4);
+  ws.stop();
+}
+
+TEST_F(WorkingSetTest, CheckpointSeparatesPhases) {
+  Enclave& e = urts_.enclave(eid_);
+  perf::WorkingSetEstimator ws(e);
+  ws.start();
+  urts_.sgx_ecall(eid_, 1, &table_, nullptr);  // "start-up": 32 heap pages
+  const auto startup = ws.checkpoint();
+  urts_.sgx_ecall(eid_, 0, &table_, nullptr);  // "steady state": 8 heap pages
+  const auto steady = ws.accessed_pages();
+  ws.stop();
+
+  // The SecureKeeper pattern: start-up set bigger than the steady-state set.
+  EXPECT_GT(startup.size(), steady.size());
+  EXPECT_GE(startup.size(), 32u);
+  // Re-touched pages are counted again after the checkpoint re-strip.
+  bool heap_in_steady = false;
+  for (const auto p : steady) heap_in_steady |= e.page_type(p) == PageType::kHeap;
+  EXPECT_TRUE(heap_in_steady);
+}
+
+TEST_F(WorkingSetTest, EachPageCountedOncePerInterval) {
+  Enclave& e = urts_.enclave(eid_);
+  perf::WorkingSetEstimator ws(e);
+  ws.start();
+  urts_.sgx_ecall(eid_, 0, &table_, nullptr);
+  const auto first = ws.accessed_page_count();
+  urts_.sgx_ecall(eid_, 0, &table_, nullptr);  // same pages again
+  EXPECT_EQ(ws.accessed_page_count(), first);
+  ws.stop();
+}
+
+TEST_F(WorkingSetTest, StopRestoresPermissions) {
+  Enclave& e = urts_.enclave(eid_);
+  perf::WorkingSetEstimator ws(e);
+  ws.start();
+  EXPECT_EQ(e.mmu_permissions(0), 0u);
+  ws.stop();
+  EXPECT_NE(e.mmu_permissions(e.heap_base_page()), 0u);
+  // Execution continues untracked after stop.
+  EXPECT_EQ(urts_.sgx_ecall(eid_, 0, &table_, nullptr), SgxStatus::kSuccess);
+  EXPECT_EQ(ws.accessed_page_count(), 0u);
+}
+
+TEST_F(WorkingSetTest, DestructorRestoresWhenRunning) {
+  Enclave& e = urts_.enclave(eid_);
+  {
+    perf::WorkingSetEstimator ws(e);
+    ws.start();
+    EXPECT_EQ(e.mmu_permissions(e.heap_base_page()), 0u);
+  }
+  EXPECT_NE(e.mmu_permissions(e.heap_base_page()), 0u);
+}
+
+TEST_F(WorkingSetTest, SummaryMentionsPagesAndTypes) {
+  Enclave& e = urts_.enclave(eid_);
+  perf::WorkingSetEstimator ws(e);
+  ws.start();
+  urts_.sgx_ecall(eid_, 0, &table_, nullptr);
+  const std::string s = ws.summary();
+  EXPECT_NE(s.find("pages"), std::string::npos);
+  EXPECT_NE(s.find("heap="), std::string::npos);
+  ws.stop();
+}
+
+TEST_F(WorkingSetTest, BytesMatchPages) {
+  Enclave& e = urts_.enclave(eid_);
+  perf::WorkingSetEstimator ws(e);
+  ws.start();
+  urts_.sgx_ecall(eid_, 0, &table_, nullptr);
+  EXPECT_EQ(ws.accessed_bytes(), ws.accessed_page_count() * kPageSize);
+  ws.stop();
+}
+
+}  // namespace

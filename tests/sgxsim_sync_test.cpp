@@ -1,0 +1,235 @@
+// In-enclave synchronisation tests: SDK mutex semantics (§2.3.2), hybrid
+// spin locks (§3.4), condition variables, and the sleep/wake ocall pattern.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "sgxsim/runtime.hpp"
+#include "tests/sim_helpers.hpp"
+
+namespace {
+
+using namespace sgxsim;
+using test_helpers::empty_ocall;
+using test_helpers::make_enclave;
+
+constexpr const char* kSyncEdl = R"(
+enclave {
+  trusted {
+    public int ecall_locked_increment(void);
+    public int ecall_cond_wait(void);
+    public int ecall_cond_signal(void);
+  };
+  untrusted {
+    void ocall_noop(void);
+  };
+};
+)";
+
+// Counts invocations of the builtin sync ocalls by wrapping the table slots.
+struct SyncCounters {
+  static std::atomic<int> sleeps;
+  static std::atomic<int> wakes;
+  static OcallFn real_sleep;
+  static OcallFn real_wake;
+
+  static SgxStatus counting_sleep(void* ms) {
+    ++sleeps;
+    return real_sleep(ms);
+  }
+  static SgxStatus counting_wake(void* ms) {
+    ++wakes;
+    return real_wake(ms);
+  }
+};
+std::atomic<int> SyncCounters::sleeps{0};
+std::atomic<int> SyncCounters::wakes{0};
+OcallFn SyncCounters::real_sleep = nullptr;
+OcallFn SyncCounters::real_wake = nullptr;
+
+class SyncTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    SyncCounters::sleeps = 0;
+    SyncCounters::wakes = 0;
+    EnclaveConfig config;
+    config.tcs_count = 8;
+    eid_ = make_enclave(urts_, kSyncEdl, config);
+    table_ = make_ocall_table({&empty_ocall});
+    // Wrap the sleep (offset 0) and wake-one (offset 1) slots with counters.
+    SyncCounters::real_sleep = table_.entries[table_.sync_base + 0];
+    SyncCounters::real_wake = table_.entries[table_.sync_base + 1];
+    table_.entries[table_.sync_base + 0] = &SyncCounters::counting_sleep;
+    table_.entries[table_.sync_base + 1] = &SyncCounters::counting_wake;
+  }
+
+  Urts urts_;
+  EnclaveId eid_ = 0;
+  OcallTable table_;
+};
+
+TEST_F(SyncTest, UncontendedLockStaysInEnclave) {
+  Enclave& e = urts_.enclave(eid_);
+  const MutexId m = e.create_mutex();
+  e.register_ecall("ecall_locked_increment", [m](TrustedContext& ctx, void*) {
+    EXPECT_EQ(ctx.mutex_lock(m), SgxStatus::kSuccess);
+    return ctx.mutex_unlock(m);
+  });
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(urts_.sgx_ecall(eid_, 0, &table_, nullptr), SgxStatus::kSuccess);
+  }
+  // §2.3.2: locking an unlocked mutex succeeds without leaving the enclave.
+  EXPECT_EQ(SyncCounters::sleeps.load(), 0);
+  EXPECT_EQ(SyncCounters::wakes.load(), 0);
+}
+
+TEST_F(SyncTest, UnlockWithoutOwnershipFails) {
+  Enclave& e = urts_.enclave(eid_);
+  const MutexId m = e.create_mutex();
+  e.register_ecall("ecall_locked_increment",
+                   [m](TrustedContext& ctx, void*) { return ctx.mutex_unlock(m); });
+  EXPECT_EQ(urts_.sgx_ecall(eid_, 0, &table_, nullptr), SgxStatus::kInvalidParameter);
+}
+
+TEST_F(SyncTest, ContendedSdkMutexSleepsAndWakes) {
+  // Deterministic contention: the holder keeps the lock until it *sees* the
+  // second thread enqueued in the waiter list, then unlocks — which must
+  // issue the wake-one ocall (§2.3.2: "a mutex lock can therefore result in
+  // two ocalls").
+  Enclave& e = urts_.enclave(eid_);
+  const MutexId m = e.create_mutex(MutexKind::kSdkDefault);
+  std::atomic<bool> holding{false};
+
+  e.register_ecall("ecall_locked_increment", [&, m](TrustedContext& ctx, void*) {
+    if (auto st = ctx.mutex_lock(m); st != SgxStatus::kSuccess) return st;
+    holding = true;
+    // Wait until the contender has parked itself in the waiter queue.
+    for (;;) {
+      {
+        std::lock_guard lock(e.sync_mu());
+        if (!e.mutex_state(m).waiters.empty()) break;
+      }
+      std::this_thread::yield();
+    }
+    return ctx.mutex_unlock(m);
+  });
+  e.register_ecall("ecall_cond_wait", [&, m](TrustedContext& ctx, void*) {
+    if (auto st = ctx.mutex_lock(m); st != SgxStatus::kSuccess) return st;
+    return ctx.mutex_unlock(m);
+  });
+
+  std::thread holder(
+      [&] { EXPECT_EQ(urts_.sgx_ecall(eid_, 0, &table_, nullptr), SgxStatus::kSuccess); });
+  while (!holding) std::this_thread::yield();
+  std::thread contender(
+      [&] { EXPECT_EQ(urts_.sgx_ecall(eid_, 1, &table_, nullptr), SgxStatus::kSuccess); });
+  holder.join();
+  contender.join();
+
+  EXPECT_GE(SyncCounters::sleeps.load(), 1);
+  EXPECT_GE(SyncCounters::wakes.load(), 1);
+}
+
+TEST_F(SyncTest, HybridMutexAcquiresViaSpinWithoutSleeping) {
+  // The holder releases as soon as the contender signals it is about to
+  // spin; with a large spin budget the contender must acquire the lock
+  // inside the enclave, without a sleep ocall (§3.4).
+  Enclave& e = urts_.enclave(eid_);
+  const MutexId m = e.create_mutex(MutexKind::kHybridSpin, 50'000'000);
+  std::atomic<bool> holding{false};
+  std::atomic<bool> contender_ready{false};
+
+  e.register_ecall("ecall_locked_increment", [&, m](TrustedContext& ctx, void*) {
+    if (auto st = ctx.mutex_lock(m); st != SgxStatus::kSuccess) return st;
+    holding = true;
+    while (!contender_ready) std::this_thread::yield();
+    return ctx.mutex_unlock(m);
+  });
+  e.register_ecall("ecall_cond_wait", [&, m](TrustedContext& ctx, void*) {
+    contender_ready = true;
+    if (auto st = ctx.mutex_lock(m); st != SgxStatus::kSuccess) return st;
+    return ctx.mutex_unlock(m);
+  });
+
+  std::thread holder(
+      [&] { EXPECT_EQ(urts_.sgx_ecall(eid_, 0, &table_, nullptr), SgxStatus::kSuccess); });
+  while (!holding) std::this_thread::yield();
+  std::thread contender(
+      [&] { EXPECT_EQ(urts_.sgx_ecall(eid_, 1, &table_, nullptr), SgxStatus::kSuccess); });
+  holder.join();
+  contender.join();
+
+  EXPECT_EQ(SyncCounters::sleeps.load(), 0);
+  // No sleeper means no wake either: the whole handover stayed in-enclave.
+  EXPECT_EQ(SyncCounters::wakes.load(), 0);
+}
+
+TEST_F(SyncTest, CondSignalWakesWaiter) {
+  Enclave& e = urts_.enclave(eid_);
+  const MutexId m = e.create_mutex();
+  const CondId cv = e.create_cond();
+  std::atomic<bool> ready{false};
+  std::atomic<bool> woke{false};
+
+  e.register_ecall("ecall_cond_wait", [&, m, cv](TrustedContext& ctx, void*) {
+    if (auto st = ctx.mutex_lock(m); st != SgxStatus::kSuccess) return st;
+    ready = true;
+    if (auto st = ctx.cond_wait(cv, m); st != SgxStatus::kSuccess) return st;
+    woke = true;
+    return ctx.mutex_unlock(m);
+  });
+  e.register_ecall("ecall_cond_signal",
+                   [cv](TrustedContext& ctx, void*) { return ctx.cond_signal(cv); });
+
+  std::thread waiter(
+      [&] { EXPECT_EQ(urts_.sgx_ecall(eid_, 1, &table_, nullptr), SgxStatus::kSuccess); });
+  while (!ready) std::this_thread::yield();
+  // Give the waiter a moment to actually park.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(urts_.sgx_ecall(eid_, 2, &table_, nullptr), SgxStatus::kSuccess);
+  waiter.join();
+  EXPECT_TRUE(woke.load());
+  EXPECT_GE(SyncCounters::wakes.load(), 1);
+}
+
+TEST_F(SyncTest, CondBroadcastWakesAll) {
+  Enclave& e = urts_.enclave(eid_);
+  const MutexId m = e.create_mutex();
+  const CondId cv = e.create_cond();
+  std::atomic<int> waiting{0};
+  std::atomic<int> woken{0};
+
+  e.register_ecall("ecall_cond_wait", [&, m, cv](TrustedContext& ctx, void*) {
+    if (auto st = ctx.mutex_lock(m); st != SgxStatus::kSuccess) return st;
+    ++waiting;
+    if (auto st = ctx.cond_wait(cv, m); st != SgxStatus::kSuccess) return st;
+    ++woken;
+    return ctx.mutex_unlock(m);
+  });
+  e.register_ecall("ecall_cond_signal",
+                   [cv](TrustedContext& ctx, void*) { return ctx.cond_broadcast(cv); });
+
+  constexpr int kWaiters = 3;
+  std::vector<std::thread> waiters;
+  for (int i = 0; i < kWaiters; ++i) {
+    waiters.emplace_back(
+        [&] { EXPECT_EQ(urts_.sgx_ecall(eid_, 1, &table_, nullptr), SgxStatus::kSuccess); });
+  }
+  while (waiting.load() < kWaiters) std::this_thread::yield();
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_EQ(urts_.sgx_ecall(eid_, 2, &table_, nullptr), SgxStatus::kSuccess);
+  for (auto& t : waiters) t.join();
+  EXPECT_EQ(woken.load(), kWaiters);
+}
+
+TEST_F(SyncTest, ParkUnparkPermitSurvivesEarlyWake) {
+  // A wake delivered before the sleep must not be lost (permit semantics).
+  const ThreadId self = urts_.current_thread_id();
+  urts_.unpark(self);
+  urts_.park_current_thread();  // consumes the stored permit, returns at once
+  SUCCEED();
+}
+
+}  // namespace

@@ -1,0 +1,494 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "sgxsim/driver.hpp"
+#include "sgxsim/heap.hpp"
+#include "sgxsim/runtime.hpp"
+#include "tests/sim_helpers.hpp"
+
+namespace {
+
+using namespace sgxsim;
+using test_helpers::empty_ocall;
+using test_helpers::FnMs;
+using test_helpers::invoke_fn_ocall;
+using test_helpers::make_enclave;
+
+constexpr const char* kSimpleEdl = R"(
+enclave {
+  trusted {
+    public int ecall_work(void);
+    public int ecall_with_ocall(void);
+    int ecall_private(void);
+  };
+  untrusted {
+    void ocall_noop(void) allow (ecall_private);
+    void ocall_fn(void);
+  };
+};
+)";
+
+// --- FreeListAllocator --------------------------------------------------------
+
+TEST(FreeListAllocator, AllocatesAndFrees) {
+  FreeListAllocator a(1024);
+  const auto x = a.allocate(100);
+  ASSERT_NE(x, FreeListAllocator::kFailed);
+  EXPECT_EQ(a.used(), 112u);  // rounded to 16
+  a.deallocate(x);
+  EXPECT_EQ(a.used(), 0u);
+  EXPECT_EQ(a.largest_free_block(), 1024u);
+}
+
+TEST(FreeListAllocator, ExhaustionFails) {
+  FreeListAllocator a(256);
+  EXPECT_NE(a.allocate(200), FreeListAllocator::kFailed);
+  EXPECT_EQ(a.allocate(100), FreeListAllocator::kFailed);
+}
+
+TEST(FreeListAllocator, CoalescesNeighbours) {
+  FreeListAllocator a(300);
+  const auto x = a.allocate(64);
+  const auto y = a.allocate(64);
+  const auto z = a.allocate(64);
+  ASSERT_NE(z, FreeListAllocator::kFailed);
+  a.deallocate(x);
+  a.deallocate(z);
+  EXPECT_LT(a.largest_free_block(), 300u - a.used());
+  a.deallocate(y);  // bridges x..z and the tail
+  EXPECT_EQ(a.largest_free_block(), 300u);
+  EXPECT_EQ(a.allocation_count(), 0u);
+}
+
+TEST(FreeListAllocator, ZeroSizedAllocationsWork) {
+  FreeListAllocator a(64);
+  const auto x = a.allocate(0);
+  ASSERT_NE(x, FreeListAllocator::kFailed);
+  EXPECT_GT(a.used(), 0u);
+}
+
+TEST(FreeListAllocator, DoubleFreeThrows) {
+  FreeListAllocator a(64);
+  const auto x = a.allocate(16);
+  a.deallocate(x);
+  EXPECT_THROW(a.deallocate(x), std::logic_error);
+  EXPECT_THROW(a.deallocate(999), std::logic_error);
+}
+
+TEST(FreeListAllocator, ReusesFreedSpace) {
+  FreeListAllocator a(160);
+  const auto x = a.allocate(64);
+  ASSERT_NE(a.allocate(64), FreeListAllocator::kFailed);
+  a.deallocate(x);
+  EXPECT_NE(a.allocate(64), FreeListAllocator::kFailed);
+}
+
+// --- Driver / EPC ----------------------------------------------------------------
+
+TEST(Driver, PagesResidentAfterAdd) {
+  support::VirtualClock clock;
+  const CostModel cost;
+  Driver d(clock, cost, 16);
+  d.add_page(1, 0);
+  d.add_page(1, 1);
+  EXPECT_TRUE(d.is_resident(1, 0));
+  EXPECT_TRUE(d.is_resident(1, 1));
+  EXPECT_EQ(d.resident_pages(), 2u);
+}
+
+TEST(Driver, EvictsLruWhenFull) {
+  support::VirtualClock clock;
+  const CostModel cost;
+  Driver d(clock, cost, 2);
+  d.add_page(1, 0);
+  d.add_page(1, 1);
+  d.ensure_resident(1, 0);  // touch 0: now 1 is LRU
+  d.add_page(1, 2);         // evicts 1
+  EXPECT_TRUE(d.is_resident(1, 0));
+  EXPECT_FALSE(d.is_resident(1, 1));
+  EXPECT_TRUE(d.is_resident(1, 2));
+  EXPECT_EQ(d.page_out_count(), 1u);
+}
+
+TEST(Driver, EnsureResidentFaultsInEvictedPages) {
+  support::VirtualClock clock;
+  const CostModel cost;
+  Driver d(clock, cost, 2);
+  d.add_page(1, 0);
+  d.add_page(1, 1);
+  d.add_page(1, 2);  // evicts 0
+  const auto t0 = clock.now();
+  EXPECT_TRUE(d.ensure_resident(1, 0));  // faults back in, evicting 1
+  EXPECT_GE(clock.now() - t0, cost.page_in_ns);
+  EXPECT_EQ(d.page_in_count(), 1u);
+  EXPECT_FALSE(d.ensure_resident(1, 0));  // now a hit
+}
+
+TEST(Driver, HooksObservePaging) {
+  support::VirtualClock clock;
+  const CostModel cost;
+  Driver d(clock, cost, 1);
+  int ins = 0;
+  int outs = 0;
+  d.set_trace_hooks([&](EnclaveId, std::uint64_t, PageDirection dir, support::Nanoseconds) {
+    (dir == PageDirection::kIn ? ins : outs)++;
+  });
+  d.add_page(1, 0);
+  d.add_page(1, 1);      // evicts 0 -> out
+  d.ensure_resident(1, 0);  // evicts 1 -> out, loads 0 -> in
+  EXPECT_EQ(outs, 2);
+  EXPECT_EQ(ins, 1);
+  d.clear_trace_hooks();
+  d.ensure_resident(1, 1);
+  EXPECT_EQ(ins, 1);  // unchanged after detach
+}
+
+TEST(Driver, RemoveEnclaveFreesPages) {
+  support::VirtualClock clock;
+  const CostModel cost;
+  Driver d(clock, cost, 8);
+  d.add_page(1, 0);
+  d.add_page(2, 0);
+  d.remove_enclave(1);
+  EXPECT_FALSE(d.is_resident(1, 0));
+  EXPECT_TRUE(d.is_resident(2, 0));
+}
+
+TEST(Driver, SharedEpcEvictsAcrossEnclaves) {
+  support::VirtualClock clock;
+  const CostModel cost;
+  Driver d(clock, cost, 2);
+  d.add_page(1, 0);
+  d.add_page(1, 1);
+  d.add_page(2, 0);  // the EPC is shared: enclave 1 loses a page
+  EXPECT_EQ(d.resident_pages(), 2u);
+  EXPECT_FALSE(d.is_resident(1, 0));
+}
+
+TEST(Driver, RejectsZeroCapacity) {
+  support::VirtualClock clock;
+  const CostModel cost;
+  EXPECT_THROW(Driver(clock, cost, 0), std::invalid_argument);
+}
+
+// --- CostModel presets --------------------------------------------------------------
+
+TEST(CostModel, PresetRoundTripsMatchPaper) {
+  // §2.3.1: ~2,130 / ~3,850 / ~4,890 ns round trips.
+  EXPECT_EQ(CostModel::preset(PatchLevel::kUnpatched).transition_round_trip_ns(), 2130u);
+  EXPECT_EQ(CostModel::preset(PatchLevel::kSpectre).transition_round_trip_ns(), 3850u);
+  EXPECT_EQ(CostModel::preset(PatchLevel::kSpectreL1tf).transition_round_trip_ns(), 4890u);
+}
+
+TEST(CostModel, FullCallCostsMatchTable2) {
+  const CostModel m = CostModel::preset(PatchLevel::kUnpatched);
+  EXPECT_EQ(m.full_ecall_ns(), 4205u);               // Table 2 native single ecall
+  EXPECT_EQ(m.full_ecall_ns() + m.full_ocall_ns(), 8013u);  // Table 2 ecall + ocall
+}
+
+// --- Enclave layout -------------------------------------------------------------------
+
+TEST(Enclave, LayoutIsPowerOfTwoWithPadding) {
+  Urts urts;
+  EnclaveConfig config;
+  config.code_pages = 10;
+  config.heap_pages = 20;
+  config.stack_pages = 4;
+  config.tcs_count = 2;
+  const EnclaveId eid = make_enclave(urts, kSimpleEdl, config);
+  Enclave& e = urts.enclave(eid);
+  const auto total = e.total_pages();
+  EXPECT_EQ(total & (total - 1), 0u) << "size must be a power of two";
+  EXPECT_EQ(e.page_type(0), PageType::kSecs);
+  EXPECT_EQ(e.page_type(1), PageType::kCode);
+  EXPECT_EQ(e.page_type(e.heap_base_page()), PageType::kHeap);
+  EXPECT_EQ(e.page_type(total - 1), PageType::kPadding);
+}
+
+TEST(Enclave, MeasurementIsDeterministic) {
+  Urts urts;
+  const EnclaveId a = make_enclave(urts, kSimpleEdl);
+  const EnclaveId b = make_enclave(urts, kSimpleEdl);
+  EXPECT_EQ(urts.enclave(a).measurement(), urts.enclave(b).measurement());
+
+  EnclaveConfig bigger;
+  bigger.heap_pages = 512;
+  const EnclaveId c = make_enclave(urts, kSimpleEdl, bigger);
+  EXPECT_NE(urts.enclave(a).measurement(), urts.enclave(c).measurement());
+}
+
+TEST(Enclave, RegisterUnknownEcallThrows) {
+  Urts urts;
+  const EnclaveId eid = make_enclave(urts, kSimpleEdl);
+  EXPECT_THROW(urts.enclave(eid).register_ecall(
+                   "nope", [](TrustedContext&, void*) { return SgxStatus::kSuccess; }),
+               std::invalid_argument);
+}
+
+TEST(Enclave, TcsPoolExhausts) {
+  Urts urts;
+  EnclaveConfig config;
+  config.tcs_count = 2;
+  const EnclaveId eid = make_enclave(urts, kSimpleEdl, config);
+  Enclave& e = urts.enclave(eid);
+  const auto a = e.acquire_tcs();
+  const auto b = e.acquire_tcs();
+  ASSERT_TRUE(a && b);
+  EXPECT_FALSE(e.acquire_tcs().has_value());
+  e.release_tcs(*a);
+  EXPECT_TRUE(e.acquire_tcs().has_value());
+}
+
+TEST(Enclave, HeapExhaustionReturnsZero) {
+  Urts urts;
+  EnclaveConfig config;
+  config.heap_pages = 2;  // 8 KiB heap
+  const EnclaveId eid = make_enclave(urts, kSimpleEdl, config);
+  Enclave& e = urts.enclave(eid);
+  const EnclaveAddr a = e.heap_alloc(4096);
+  EXPECT_NE(a, 0u);
+  EXPECT_EQ(e.heap_alloc(8192), 0u);  // §2.3.3: the heap is not infinite
+  e.heap_free(a);
+  EXPECT_NE(e.heap_alloc(4096), 0u);
+}
+
+// --- ecall dispatch and costs ------------------------------------------------------
+
+class RuntimeTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    eid_ = make_enclave(urts_, kSimpleEdl);
+    table_ = make_ocall_table({&empty_ocall, &invoke_fn_ocall});
+    Enclave& e = urts_.enclave(eid_);
+    e.register_ecall("ecall_work", [](TrustedContext&, void*) { return SgxStatus::kSuccess; });
+    e.register_ecall("ecall_with_ocall", [](TrustedContext& ctx, void*) {
+      return ctx.ocall(0, nullptr);
+    });
+    e.register_ecall("ecall_private",
+                     [](TrustedContext&, void*) { return SgxStatus::kSuccess; });
+  }
+
+  Urts urts_;
+  EnclaveId eid_ = 0;
+  OcallTable table_;
+};
+
+TEST_F(RuntimeTest, EmptyEcallCostsTable2Native) {
+  const auto t0 = urts_.clock().now();
+  EXPECT_EQ(urts_.sgx_ecall(eid_, 0, &table_, nullptr), SgxStatus::kSuccess);
+  EXPECT_EQ(urts_.clock().now() - t0, urts_.cost().full_ecall_ns());  // 4,205 ns
+}
+
+TEST_F(RuntimeTest, EcallPlusOcallCostsTable2Native) {
+  const auto t0 = urts_.clock().now();
+  EXPECT_EQ(urts_.sgx_ecall(eid_, 1, &table_, nullptr), SgxStatus::kSuccess);
+  EXPECT_EQ(urts_.clock().now() - t0, urts_.cost().full_ecall_ns() + urts_.cost().full_ocall_ns());
+}
+
+TEST_F(RuntimeTest, PatchLevelsSlowTransitions) {
+  const auto run = [&] {
+    const auto t0 = urts_.clock().now();
+    urts_.sgx_ecall(eid_, 0, &table_, nullptr);
+    return urts_.clock().now() - t0;
+  };
+  const auto unpatched = run();
+  urts_.set_patch_level(PatchLevel::kSpectre);
+  const auto spectre = run();
+  urts_.set_patch_level(PatchLevel::kSpectreL1tf);
+  const auto l1tf = run();
+  EXPECT_EQ(spectre - unpatched, 3850u - 2130u);
+  EXPECT_EQ(l1tf - unpatched, 4890u - 2130u);
+}
+
+TEST_F(RuntimeTest, InvalidIdsAreRejected) {
+  EXPECT_EQ(urts_.sgx_ecall(999, 0, &table_, nullptr), SgxStatus::kInvalidEnclaveId);
+  EXPECT_EQ(urts_.sgx_ecall(eid_, 99, &table_, nullptr), SgxStatus::kInvalidFunction);
+}
+
+TEST_F(RuntimeTest, UnregisteredEcallIsInvalidFunction) {
+  const EnclaveId other = make_enclave(urts_, kSimpleEdl);
+  EXPECT_EQ(urts_.sgx_ecall(other, 0, &table_, nullptr), SgxStatus::kInvalidFunction);
+}
+
+TEST_F(RuntimeTest, PrivateEcallRejectedFromOutside) {
+  EXPECT_EQ(urts_.sgx_ecall(eid_, 2, &table_, nullptr), SgxStatus::kEcallNotAllowed);
+}
+
+TEST_F(RuntimeTest, PrivateEcallAllowedFromAllowedOcall) {
+  // ecall_with_ocall -> ocall_fn -> ecall_private.  ocall_noop (id 0) allows
+  // ecall_private, ocall_fn (id 1) does not.
+  Enclave& e = urts_.enclave(eid_);
+  e.register_ecall("ecall_with_ocall", [this](TrustedContext& ctx, void*) {
+    FnMs ms;
+    SgxStatus inner = SgxStatus::kSuccess;
+    ms.fn = [this, &inner] {
+      inner = urts_.sgx_ecall(eid_, 2, &table_, nullptr);
+      return SgxStatus::kSuccess;
+    };
+    // ocall_fn does NOT allow ecall_private.
+    const SgxStatus st = ctx.ocall(1, &ms);
+    EXPECT_EQ(st, SgxStatus::kSuccess);
+    EXPECT_EQ(inner, SgxStatus::kEcallNotAllowed);
+
+    // ocall_noop DOES allow it... but ocall_noop is empty_ocall, so route the
+    // nested ecall through the allowed ocall id 0 using a custom table.
+    return SgxStatus::kSuccess;
+  });
+  EXPECT_EQ(urts_.sgx_ecall(eid_, 1, &table_, nullptr), SgxStatus::kSuccess);
+
+  // Now the allowed path: replace ocall 0 with the fn dispatcher.
+  OcallTable allowed_table = make_ocall_table({&invoke_fn_ocall, &empty_ocall});
+  e.register_ecall("ecall_with_ocall", [this, &allowed_table](TrustedContext& ctx, void*) {
+    FnMs ms;
+    SgxStatus inner = SgxStatus::kUnexpected;
+    ms.fn = [this, &inner, &allowed_table] {
+      inner = urts_.sgx_ecall(eid_, 2, &allowed_table, nullptr);
+      return SgxStatus::kSuccess;
+    };
+    const SgxStatus st = ctx.ocall(0, &ms);  // ocall_noop allows ecall_private
+    EXPECT_EQ(st, SgxStatus::kSuccess);
+    EXPECT_EQ(inner, SgxStatus::kSuccess);
+    return SgxStatus::kSuccess;
+  });
+  EXPECT_EQ(urts_.sgx_ecall(eid_, 1, &allowed_table, nullptr), SgxStatus::kSuccess);
+}
+
+TEST_F(RuntimeTest, NestedEcallNeedsSecondTcs) {
+  EnclaveConfig config;
+  config.tcs_count = 1;
+  const EnclaveId eid = make_enclave(urts_, kSimpleEdl, config);
+  Enclave& e = urts_.enclave(eid);
+  e.register_ecall("ecall_private", [](TrustedContext&, void*) { return SgxStatus::kSuccess; });
+  OcallTable table = make_ocall_table({&invoke_fn_ocall, &empty_ocall});
+  SgxStatus inner = SgxStatus::kSuccess;
+  e.register_ecall("ecall_with_ocall", [&, eid](TrustedContext& ctx, void*) {
+    FnMs ms;
+    ms.fn = [&, eid] {
+      inner = urts_.sgx_ecall(eid, 2, &table, nullptr);
+      return SgxStatus::kSuccess;
+    };
+    return ctx.ocall(0, &ms);
+  });
+  EXPECT_EQ(urts_.sgx_ecall(eid, 1, &table, nullptr), SgxStatus::kSuccess);
+  EXPECT_EQ(inner, SgxStatus::kOutOfTcs);  // the single TCS is held by the outer ecall
+}
+
+TEST_F(RuntimeTest, ThrowingEcallReportsCrashAndReleasesTcs) {
+  Enclave& e = urts_.enclave(eid_);
+  e.register_ecall("ecall_work",
+                   [](TrustedContext&, void*) -> SgxStatus { throw std::runtime_error("boom"); });
+  EXPECT_EQ(urts_.sgx_ecall(eid_, 0, &table_, nullptr), SgxStatus::kEnclaveCrashed);
+  // The TCS must have been released: another call still works.
+  e.register_ecall("ecall_work", [](TrustedContext&, void*) { return SgxStatus::kSuccess; });
+  EXPECT_EQ(urts_.sgx_ecall(eid_, 0, &table_, nullptr), SgxStatus::kSuccess);
+}
+
+TEST_F(RuntimeTest, OcallOutOfRangeRejected) {
+  Enclave& e = urts_.enclave(eid_);
+  e.register_ecall("ecall_work",
+                   [](TrustedContext& ctx, void*) { return ctx.ocall(99, nullptr); });
+  EXPECT_EQ(urts_.sgx_ecall(eid_, 0, &table_, nullptr), SgxStatus::kOcallNotAllowed);
+}
+
+TEST_F(RuntimeTest, WorkAdvancesVirtualTime) {
+  Enclave& e = urts_.enclave(eid_);
+  e.register_ecall("ecall_work", [](TrustedContext& ctx, void*) {
+    ctx.work(1'000'000);
+    return SgxStatus::kSuccess;
+  });
+  const auto t0 = urts_.clock().now();
+  urts_.sgx_ecall(eid_, 0, &table_, nullptr);
+  EXPECT_GE(urts_.clock().now() - t0, 1'000'000u + urts_.cost().full_ecall_ns());
+}
+
+TEST_F(RuntimeTest, CopyInChargesPerByte) {
+  Enclave& e = urts_.enclave(eid_);
+  e.register_ecall("ecall_work", [](TrustedContext& ctx, void*) {
+    ctx.copy_in(100'000);  // 100 KB at 0.05 ns/B = 5,000 ns
+    return SgxStatus::kSuccess;
+  });
+  const auto t0 = urts_.clock().now();
+  urts_.sgx_ecall(eid_, 0, &table_, nullptr);
+  EXPECT_EQ(urts_.clock().now() - t0, urts_.cost().full_ecall_ns() + 5'000u);
+}
+
+TEST_F(RuntimeTest, LongEcallExperiencesTimerAexs) {
+  Enclave& e = urts_.enclave(eid_);
+  int aex_count = 0;
+  urts_.hooks().aep = [&](EnclaveId, ThreadId, support::Nanoseconds, AexCause) { ++aex_count; };
+  e.register_ecall("ecall_work", [](TrustedContext& ctx, void*) {
+    // ~45.4 ms of in-enclave work, in 1M slices like the paper's loop.
+    for (int i = 0; i < 1'000'000; ++i) ctx.work(45);
+    return SgxStatus::kSuccess;
+  });
+  urts_.sgx_ecall(eid_, 0, &table_, nullptr);
+  // 45 ms / 3.943 ms per tick ~ 11.4 AEXs (Table 2 reports ~11.5).
+  EXPECT_GE(aex_count, 10);
+  EXPECT_LE(aex_count, 13);
+}
+
+TEST_F(RuntimeTest, ShortEcallSeesNoAex) {
+  int aex_count = 0;
+  urts_.hooks().aep = [&](EnclaveId, ThreadId, support::Nanoseconds, AexCause) { ++aex_count; };
+  urts_.sgx_ecall(eid_, 0, &table_, nullptr);
+  EXPECT_EQ(aex_count, 0);
+}
+
+TEST_F(RuntimeTest, DestroyEnclave) {
+  EXPECT_EQ(urts_.destroy_enclave(eid_), SgxStatus::kSuccess);
+  EXPECT_EQ(urts_.destroy_enclave(eid_), SgxStatus::kInvalidEnclaveId);
+  EXPECT_EQ(urts_.sgx_ecall(eid_, 0, &table_, nullptr), SgxStatus::kInvalidEnclaveId);
+}
+
+TEST_F(RuntimeTest, EcallHookShadowsAndChains) {
+  int shadow_calls = 0;
+  urts_.hooks().sgx_ecall = [&](EnclaveId eid, CallId id, const OcallTable* table, void* ms) {
+    ++shadow_calls;
+    return urts_.real_sgx_ecall(eid, id, table, ms);
+  };
+  EXPECT_EQ(urts_.sgx_ecall(eid_, 0, &table_, nullptr), SgxStatus::kSuccess);
+  EXPECT_EQ(shadow_calls, 1);
+  urts_.hooks().sgx_ecall = nullptr;
+  EXPECT_EQ(urts_.sgx_ecall(eid_, 0, &table_, nullptr), SgxStatus::kSuccess);
+  EXPECT_EQ(shadow_calls, 1);
+}
+
+TEST_F(RuntimeTest, EnclaveTooBigForEpcPagesDuringCreation) {
+  // EPC of 64 pages; enclave wants ~128: creation succeeds but pages out.
+  Urts small(CostModel::preset(PatchLevel::kUnpatched), 64);
+  EnclaveConfig config;
+  config.heap_pages = 100;
+  const EnclaveId eid = make_enclave(small, kSimpleEdl, config);
+  Enclave& e = small.enclave(eid);
+  EXPECT_GT(e.total_pages(), 64u);
+  EXPECT_GT(small.driver().page_out_count(), 0u);
+}
+
+TEST_F(RuntimeTest, HeapTouchCausesPagingWhenEpcTooSmall) {
+  Urts small(CostModel::preset(PatchLevel::kUnpatched), 32);
+  EnclaveConfig config;
+  config.heap_pages = 64;
+  config.code_pages = 4;
+  config.stack_pages = 2;
+  config.tcs_count = 1;
+  const EnclaveId eid = make_enclave(small, kSimpleEdl, config);
+  Enclave& e = small.enclave(eid);
+  e.register_ecall("ecall_work", [](TrustedContext& ctx, void*) {
+    // Touch the whole heap twice; the second sweep faults pages back in.
+    Enclave& enc = ctx.enclave();
+    const auto base = enc.heap_base_page() * kPageSize;
+    for (int sweep = 0; sweep < 2; ++sweep) {
+      for (std::uint64_t p = 0; p < 64; ++p) {
+        ctx.touch(base + p * kPageSize, 1, MemAccess::kWrite);
+      }
+    }
+    return SgxStatus::kSuccess;
+  });
+  OcallTable table = make_ocall_table({&empty_ocall, &empty_ocall});
+  const auto ins_before = small.driver().page_in_count();
+  EXPECT_EQ(small.sgx_ecall(eid, 0, &table, nullptr), SgxStatus::kSuccess);
+  EXPECT_GT(small.driver().page_in_count(), ins_before + 32);
+}
+
+}  // namespace

@@ -1,0 +1,29 @@
+// Shared helpers for tests that build simulated enclaves.
+#pragma once
+
+#include <functional>
+
+#include "sgxsim/runtime.hpp"
+
+namespace test_helpers {
+
+/// Marshalling struct that lets tests express ocall bodies as std::function.
+struct FnMs {
+  std::function<sgxsim::SgxStatus()> fn;
+};
+
+inline sgxsim::SgxStatus invoke_fn_ocall(void* ms) {
+  auto* m = static_cast<FnMs*>(ms);
+  return m->fn ? m->fn() : sgxsim::SgxStatus::kSuccess;
+}
+
+/// An ocall that does nothing (used where only the transition matters).
+inline sgxsim::SgxStatus empty_ocall(void* /*ms*/) { return sgxsim::SgxStatus::kSuccess; }
+
+/// Builds an enclave from EDL text with a default small config.
+inline sgxsim::EnclaveId make_enclave(sgxsim::Urts& urts, const std::string& edl_text,
+                                      sgxsim::EnclaveConfig config = {}) {
+  return urts.create_enclave(std::move(config), sgxsim::edl::parse(edl_text));
+}
+
+}  // namespace test_helpers

@@ -1,0 +1,216 @@
+// sgxperf — offline analysis of recorded traces.
+//
+// The real tool's workflow is record-then-analyse: the logger serialises all
+// events to a database, and the analyser is run on it afterwards, possibly
+// many times with different options.  This CLI provides that second half:
+//
+//   sgxperf report  <trace.bin> [--edl FILE] [--enclave ID]   text report
+//   sgxperf graph   <trace.bin>                               DOT call graph
+//   sgxperf hist    <trace.bin> --call NAME [--bins N]        duration histogram
+//   sgxperf scatter <trace.bin> --call NAME                   time series (CSV)
+//   sgxperf csv     <trace.bin> <directory>                   dump all tables
+//   sgxperf stats   <trace.bin>                               general statistics
+//   sgxperf compare <before.bin> <after.bin>                  optimisation diff
+//   sgxperf timeline <trace.bin>                              per-thread activity
+//
+// Weights of the Eq. 1-3 detectors are tunable: --eq1-alpha 0.5 etc.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "perf/analyzer.hpp"
+#include "perf/compare.hpp"
+#include "perf/timeline.hpp"
+#include "perf/report.hpp"
+#include "sgxsim/edl.hpp"
+
+namespace {
+
+struct Options {
+  std::string command;
+  std::string trace_path;
+  std::string edl_path;
+  std::string call_name;
+  std::string csv_dir;
+  tracedb::EnclaveId enclave_id = 1;
+  std::size_t bins = 100;
+  perf::AnalyzerConfig config;
+};
+
+void usage() {
+  std::fputs(
+      "usage: sgxperf <command> <trace.bin> [options]\n"
+      "commands:\n"
+      "  report   full analysis report (findings + recommendations)\n"
+      "  stats    general statistics only\n"
+      "  graph    Graphviz DOT call graph (Figure 5 style) to stdout\n"
+      "  hist     ASCII+CSV duration histogram    (--call NAME [--bins N])\n"
+      "  scatter  duration-over-time CSV          (--call NAME)\n"
+      "  csv      export all tables as CSV        (csv <trace> <directory>)\n"
+      "  compare  diff two traces                 (compare <before> <after>)\n"
+      "  timeline per-thread enclave activity\n"
+      "options:\n"
+      "  --edl FILE        enclave EDL for security analysis\n"
+      "  --enclave ID      enclave id the EDL/call belongs to (default 1)\n"
+      "  --call NAME       call to plot (as shown by 'stats')\n"
+      "  --bins N          histogram bins (default 100)\n"
+      "  --eq1-alpha X --eq1-beta X --eq1-gamma X    Eq.1 weights\n"
+      "  --eq2-gamma X                                Eq.2 threshold\n"
+      "  --eq3-epsilon X --eq3-lambda X               Eq.3 weights\n"
+      "  --transition-ns N  ecall transition time to subtract (default 4205)\n",
+      stderr);
+}
+
+bool parse_args(int argc, char** argv, Options& opts) {
+  if (argc < 3) return false;
+  opts.command = argv[1];
+  opts.trace_path = argv[2];
+  int i = 3;
+  if (opts.command == "csv" || opts.command == "compare") {
+    if (argc < 4) return false;
+    opts.csv_dir = argv[3];  // second path (csv directory / after-trace)
+    i = 4;
+  }
+  for (; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--edl") {
+      opts.edl_path = next();
+    } else if (arg == "--enclave") {
+      opts.enclave_id = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--call") {
+      opts.call_name = next();
+    } else if (arg == "--bins") {
+      opts.bins = std::strtoul(next(), nullptr, 10);
+    } else if (arg == "--eq1-alpha") {
+      opts.config.eq1_alpha = std::strtod(next(), nullptr);
+    } else if (arg == "--eq1-beta") {
+      opts.config.eq1_beta = std::strtod(next(), nullptr);
+    } else if (arg == "--eq1-gamma") {
+      opts.config.eq1_gamma = std::strtod(next(), nullptr);
+    } else if (arg == "--eq2-gamma") {
+      opts.config.eq2_gamma = std::strtod(next(), nullptr);
+    } else if (arg == "--eq3-epsilon") {
+      opts.config.eq3_epsilon = std::strtod(next(), nullptr);
+    } else if (arg == "--eq3-lambda") {
+      opts.config.eq3_lambda = std::strtod(next(), nullptr);
+    } else if (arg == "--transition-ns") {
+      opts.config.ecall_transition_ns = std::strtoull(next(), nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Resolves a call by registered name across both call types.
+std::optional<tracedb::CallKey> find_call(const tracedb::TraceDatabase& db,
+                                          tracedb::EnclaveId enclave,
+                                          const std::string& name) {
+  for (const auto& rec : db.call_names()) {
+    if (rec.enclave_id == enclave && rec.name == name) {
+      return tracedb::CallKey{rec.enclave_id, rec.type, rec.call_id};
+    }
+  }
+  // Fall back to the synthesized "ecall_<id>"/"ocall_<id>" names.
+  const auto groups = tracedb::group_calls(db);
+  for (const auto& [key, _] : groups) {
+    if (key.enclave_id == enclave && db.name_of(key.enclave_id, key.type, key.call_id) == name) {
+      return key;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  if (!parse_args(argc, argv, opts)) {
+    usage();
+    return 2;
+  }
+
+  tracedb::TraceDatabase db = [&] {
+    try {
+      return tracedb::TraceDatabase::load(opts.trace_path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      std::exit(1);
+    }
+  }();
+
+  if (opts.command == "csv") {
+    db.export_csv(opts.csv_dir);
+    std::printf("exported %zu calls, %zu AEXs, %zu paging events to %s\n", db.calls().size(),
+                db.aexs().size(), db.paging().size(), opts.csv_dir.c_str());
+    return 0;
+  }
+  if (opts.command == "compare") {
+    try {
+      const auto after = tracedb::TraceDatabase::load(opts.csv_dir);
+      std::fputs(perf::render_comparison(perf::compare_traces(db, after)).c_str(), stdout);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+    return 0;
+  }
+  if (opts.command == "timeline") {
+    std::fputs(perf::render_timeline(db).c_str(), stdout);
+    return 0;
+  }
+  if (opts.command == "graph") {
+    std::fputs(perf::render_callgraph_dot(db).c_str(), stdout);
+    return 0;
+  }
+  if (opts.command == "hist" || opts.command == "scatter") {
+    if (opts.call_name.empty()) {
+      std::fputs("error: --call NAME required\n", stderr);
+      return 2;
+    }
+    const auto key = find_call(db, opts.enclave_id, opts.call_name);
+    if (!key) {
+      std::fprintf(stderr, "error: no call named '%s' for enclave %llu\n",
+                   opts.call_name.c_str(),
+                   static_cast<unsigned long long>(opts.enclave_id));
+      return 1;
+    }
+    if (opts.command == "hist") {
+      const auto hist = perf::duration_histogram(db, *key, opts.bins);
+      std::fputs(hist.render_ascii(60, "us").c_str(), stdout);
+      std::fputs(hist.to_csv().c_str(), stdout);
+    } else {
+      std::fputs(perf::scatter_csv(db, *key).c_str(), stdout);
+    }
+    return 0;
+  }
+  if (opts.command == "report" || opts.command == "stats") {
+    perf::Analyzer analyzer(db, opts.config);
+    if (!opts.edl_path.empty()) {
+      try {
+        analyzer.set_interface(opts.enclave_id, sgxsim::edl::parse_file(opts.edl_path));
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "error parsing EDL: %s\n", e.what());
+        return 1;
+      }
+    }
+    auto report = analyzer.analyze();
+    if (opts.command == "stats") report.findings.clear();
+    std::fputs(perf::render_text(report).c_str(), stdout);
+    return 0;
+  }
+
+  usage();
+  return 2;
+}
