@@ -1,5 +1,7 @@
 #include "perf/logger.hpp"
 
+#include <atomic>
+#include <map>
 #include <stdexcept>
 
 namespace perf {
@@ -39,6 +41,11 @@ OcallKind sync_kind(std::size_t offset) {
   return OcallKind::kGeneric;
 }
 
+/// Distinguishes attach epochs across all Logger instances, so the
+/// thread-local PerThread cache can never hand out state from a previous
+/// attach (or a different logger) after a detach/re-attach cycle.
+std::atomic<std::uint64_t> g_attach_counter{1};
+
 }  // namespace
 
 Logger::Logger(tracedb::TraceDatabase& db, LoggerConfig config) : db_(db), config_(config) {}
@@ -50,6 +57,14 @@ Logger::~Logger() {
 void Logger::attach(sgxsim::Urts& urts) {
   if (attached()) throw std::logic_error("Logger: already attached");
   urts_ = &urts;
+  {
+    std::lock_guard lock(mu_);
+    attach_token_ = g_attach_counter.fetch_add(1, std::memory_order_relaxed);
+    // Previous epoch's per-thread state (sealed shard husks included) can go
+    // now: all its frames must have unwound before a re-attach.
+    per_threads_.clear();
+    names_registered_.clear();
+  }
 
   auto& hooks = urts.hooks();
   hooks.sgx_ecall = [this](EnclaveId eid, CallId id, const sgxsim::OcallTable* table, void* ms) {
@@ -81,15 +96,97 @@ void Logger::detach() {
   hooks.enclave_destroyed = nullptr;
   if (config_.trace_paging) urts_->driver().clear_trace_hooks();
   OcallStubRegistry::instance().reset();
+
+  const Nanoseconds now = urts_->clock().now();
+  // From here on, frames unwinding through the detached logger see
+  // attached() == false and record nothing further.
   urts_ = nullptr;
-  std::lock_guard lock(mu_);
-  threads_.clear();
-  names_registered_.clear();
+
+  finalize_open_calls(now);
+  if (config_.sharded) db_.merge_shards();
 }
 
-Logger::ThreadTrace& Logger::thread_trace(ThreadId tid) {
+void Logger::flush() {
+  if (!config_.sharded) return;
+  {
+    std::lock_guard lock(mu_);
+    for (const auto& pt : per_threads_) {
+      if (!pt->stack.empty()) {
+        throw std::logic_error("Logger: flush() with traced calls in flight");
+      }
+    }
+  }
+  db_.merge_shards();
+  db_.reopen_shards();
+}
+
+void Logger::finalize_open_calls(Nanoseconds now) {
   std::lock_guard lock(mu_);
-  return threads_[tid];  // unordered_map references are rehash-stable
+  for (auto& pt : per_threads_) {
+    // The AEX counter belongs to the innermost in-flight ecall; outer open
+    // calls close with a count of zero, as they would on a normal return.
+    bool innermost_ecall = true;
+    for (auto it = pt->stack.rbegin(); it != pt->stack.rend(); ++it) {
+      std::uint32_t aex = 0;
+      if (it->type == CallType::kEcall && innermost_ecall) {
+        aex = pt->aex_count_current_ecall;
+        innermost_ecall = false;
+      }
+      record_finish(*pt, it->index, now, aex);
+    }
+    pt->stack.clear();
+    pt->aex_count_current_ecall = 0;
+  }
+}
+
+Logger::PerThread& Logger::per_thread() {
+  thread_local std::uint64_t cached_token = 0;
+  thread_local PerThread* cached = nullptr;
+  if (cached_token == attach_token_ && cached != nullptr) return *cached;
+
+  // Slow path: first touch of this epoch by this thread (or the thread is
+  // alternating between two attached loggers).  Stale epochs' entries are
+  // never looked up again — their tokens are globally unique and retired.
+  thread_local std::map<std::uint64_t, PerThread*> epochs;
+  const auto it = epochs.find(attach_token_);
+  if (it != epochs.end()) {
+    cached_token = attach_token_;
+    cached = it->second;
+    return *cached;
+  }
+
+  std::lock_guard lock(mu_);
+  auto pt = std::make_unique<PerThread>();
+  if (config_.sharded) {
+    pt->shard = &db_.register_shard(urts_->current_thread_id(), urts_->current_thread_slot());
+  }
+  PerThread* raw = pt.get();
+  per_threads_.push_back(std::move(pt));
+  epochs.emplace(attach_token_, raw);
+  cached_token = attach_token_;
+  cached = raw;
+  return *raw;
+}
+
+CallIndex Logger::record_call(PerThread& pt, const CallRecord& rec) {
+  return pt.shard != nullptr ? pt.shard->add_call(rec) : db_.add_call(rec);
+}
+
+void Logger::record_finish(PerThread& pt, CallIndex idx, Nanoseconds end_ns,
+                           std::uint32_t aex_count) {
+  if (pt.shard != nullptr) {
+    pt.shard->finish_call(idx, end_ns, aex_count);
+  } else {
+    db_.finish_call(idx, end_ns, aex_count);
+  }
+}
+
+void Logger::record_kind(PerThread& pt, CallIndex idx, OcallKind kind) {
+  if (pt.shard != nullptr) {
+    pt.shard->set_call_kind(idx, kind);
+  } else {
+    db_.set_call_kind(idx, kind);
+  }
 }
 
 void Logger::register_names(const sgxsim::Enclave& enclave) {
@@ -129,8 +226,10 @@ void Logger::on_enclave_destroyed(EnclaveId eid, Nanoseconds now) {
   db_.set_enclave_destroyed(eid, now);
 }
 
-SgxStatus Logger::shadow_sgx_ecall(EnclaveId eid, CallId id, const sgxsim::OcallTable* table,
-                                   void* ms) {
+void Logger::ensure_enclave_registered(PerThread& pt, EnclaveId eid) {
+  for (const EnclaveId seen : pt.enclaves_seen) {
+    if (seen == eid) return;
+  }
   // Enclaves created before attach: register lazily on first traced call.
   if (const sgxsim::Enclave* enclave = urts_->find_enclave(eid)) {
     bool need_record = false;
@@ -140,11 +239,18 @@ SgxStatus Logger::shadow_sgx_ecall(EnclaveId eid, CallId id, const sgxsim::Ocall
     }
     if (need_record) on_enclave_created(*enclave);
   }
+  pt.enclaves_seen.push_back(eid);
+}
 
+SgxStatus Logger::shadow_sgx_ecall(EnclaveId eid, CallId id, const sgxsim::OcallTable* table,
+                                   void* ms) {
   auto& clock = urts_->clock();
   const auto& cost = urts_->cost();
   const ThreadId tid = urts_->current_thread_id();
-  ThreadTrace& trace = thread_trace(tid);
+  PerThread& pt = per_thread();
+  const std::uint64_t epoch = attach_token_;
+
+  ensure_enclave_registered(pt, eid);
 
   // Record entry: timestamp, thread, ids, direct parent (the enclosing ocall,
   // if this ecall was issued from one).
@@ -154,15 +260,14 @@ SgxStatus Logger::shadow_sgx_ecall(EnclaveId eid, CallId id, const sgxsim::Ocall
   rec.thread_id = tid;
   rec.enclave_id = eid;
   rec.call_id = id;
-  if (!trace.stack.empty()) {
-    const auto& top = db_.calls()[static_cast<std::size_t>(trace.stack.back())];
-    if (top.type == CallType::kOcall) rec.parent = trace.stack.back();
+  if (!pt.stack.empty() && pt.stack.back().type == CallType::kOcall) {
+    rec.parent = pt.stack.back().index;
   }
   rec.start_ns = clock.now();
-  const CallIndex idx = db_.add_call(rec);
-  trace.stack.push_back(idx);
-  const std::uint32_t saved_aex = trace.aex_count_current_ecall;
-  trace.aex_count_current_ecall = 0;
+  const CallIndex idx = record_call(pt, rec);
+  pt.stack.push_back({idx, CallType::kEcall});
+  const std::uint32_t saved_aex = pt.aex_count_current_ecall;
+  pt.aex_count_current_ecall = 0;
 
   // Swap in the shadow ocall table — always, "as we cannot know beforehand"
   // whether the ecall performs ocalls (§4.1.2) — and chain to the URTS.
@@ -170,11 +275,14 @@ SgxStatus Logger::shadow_sgx_ecall(EnclaveId eid, CallId id, const sgxsim::Ocall
       table != nullptr ? OcallStubRegistry::instance().shadow_table(*this, eid, table) : nullptr;
   const SgxStatus ret = urts_->real_sgx_ecall(eid, id, shadow, ms);
 
-  // Record exit.
-  clock.advance(cost.logger_ecall_post_ns);
-  db_.finish_call(idx, clock.now(), trace.aex_count_current_ecall);
-  trace.stack.pop_back();
-  trace.aex_count_current_ecall = saved_aex;
+  // Record exit — unless the logger was detached while this call was in
+  // flight, in which case detach() already finalized the record.
+  if (attached() && attach_token_ == epoch) {
+    clock.advance(cost.logger_ecall_post_ns);
+    record_finish(pt, idx, clock.now(), pt.aex_count_current_ecall);
+    pt.stack.pop_back();
+    pt.aex_count_current_ecall = saved_aex;
+  }
   return ret;
 }
 
@@ -182,7 +290,8 @@ SgxStatus Logger::on_stub_call(const OcallStubRegistry::StubInfo& info, void* ms
   auto& clock = urts_->clock();
   const auto& cost = urts_->cost();
   const ThreadId tid = urts_->current_thread_id();
-  ThreadTrace& trace = thread_trace(tid);
+  PerThread& pt = per_thread();
+  const std::uint64_t epoch = attach_token_;
 
   clock.advance(cost.logger_ocall_pre_ns);
   CallRecord rec;
@@ -190,14 +299,13 @@ SgxStatus Logger::on_stub_call(const OcallStubRegistry::StubInfo& info, void* ms
   rec.thread_id = tid;
   rec.enclave_id = info.enclave_id;
   rec.call_id = info.ocall_id;
-  if (!trace.stack.empty()) {
-    const auto& top = db_.calls()[static_cast<std::size_t>(trace.stack.back())];
-    if (top.type == CallType::kEcall) rec.parent = trace.stack.back();
+  if (!pt.stack.empty() && pt.stack.back().type == CallType::kEcall) {
+    rec.parent = pt.stack.back().index;
   }
   rec.start_ns = clock.now();
 
-  const CallIndex idx = db_.add_call(rec);
-  trace.stack.push_back(idx);
+  const CallIndex idx = record_call(pt, rec);
+  pt.stack.push_back({idx, CallType::kOcall});
 
   // Synchronisation ocalls reduce to sleep / wake-up events (§4.1.3); the
   // marshalling struct layout is SDK-public, so the logger can read the
@@ -205,21 +313,28 @@ SgxStatus Logger::on_stub_call(const OcallStubRegistry::StubInfo& info, void* ms
   if (info.is_sync) {
     const auto* s = static_cast<const sgxsim::SyncOcallMs*>(ms);
     const std::size_t offset = info.sync_offset;
-    db_.set_call_kind(idx, sync_kind(offset));
+    record_kind(pt, idx, sync_kind(offset));
     tracedb::SyncRecord sync;
     sync.enclave_id = info.enclave_id;
     sync.timestamp_ns = clock.now();
+    auto record_sync = [&](const tracedb::SyncRecord& r) {
+      if (pt.shard != nullptr) {
+        pt.shard->add_sync(r);
+      } else {
+        db_.add_sync(r);
+      }
+    };
     switch (static_cast<SyncOcall>(offset)) {
       case SyncOcall::kWaitEvent:
         sync.kind = tracedb::SyncKind::kSleep;
         sync.thread_id = tid;
-        db_.add_sync(sync);
+        record_sync(sync);
         break;
       case SyncOcall::kSetEvent:
         sync.kind = tracedb::SyncKind::kWakeup;
         sync.thread_id = tid;
         sync.target_thread_id = s->target;
-        db_.add_sync(sync);
+        record_sync(sync);
         break;
       case SyncOcall::kSetMultipleEvents:
         if (s->targets != nullptr) {
@@ -227,7 +342,7 @@ SgxStatus Logger::on_stub_call(const OcallStubRegistry::StubInfo& info, void* ms
             sync.kind = tracedb::SyncKind::kWakeup;
             sync.thread_id = tid;
             sync.target_thread_id = t;
-            db_.add_sync(sync);
+            record_sync(sync);
           }
         }
         break;
@@ -235,11 +350,11 @@ SgxStatus Logger::on_stub_call(const OcallStubRegistry::StubInfo& info, void* ms
         sync.kind = tracedb::SyncKind::kWakeup;
         sync.thread_id = tid;
         sync.target_thread_id = s->target;
-        db_.add_sync(sync);
+        record_sync(sync);
         tracedb::SyncRecord sleep = sync;
         sleep.kind = tracedb::SyncKind::kSleep;
         sleep.target_thread_id = 0;
-        db_.add_sync(sleep);
+        record_sync(sleep);
         break;
       }
     }
@@ -247,17 +362,21 @@ SgxStatus Logger::on_stub_call(const OcallStubRegistry::StubInfo& info, void* ms
 
   const SgxStatus ret = info.original(ms);
 
-  clock.advance(cost.logger_ocall_post_ns);
-  db_.finish_call(idx, clock.now(), 0);
-  trace.stack.pop_back();
+  if (attached() && attach_token_ == epoch) {
+    clock.advance(cost.logger_ocall_post_ns);
+    record_finish(pt, idx, clock.now(), 0);
+    pt.stack.pop_back();
+  }
   return ret;
 }
 
 void Logger::on_aex(EnclaveId eid, ThreadId tid, Nanoseconds now, sgxsim::AexCause cause) {
   auto& clock = urts_->clock();
   const auto& cost = urts_->cost();
-  ThreadTrace& trace = thread_trace(tid);
-  ++trace.aex_count_current_ecall;
+  // AEXs are delivered on the thread that was executing in-enclave, so this
+  // thread's own recording state is the right one.
+  PerThread& pt = per_thread();
+  ++pt.aex_count_current_ecall;
   if (config_.trace_aex) {
     clock.advance(cost.logger_aex_trace_ns);
     tracedb::AexRecord rec;
@@ -274,13 +393,17 @@ void Logger::on_aex(EnclaveId eid, ThreadId tid, Nanoseconds now, sgxsim::AexCau
       }
     }
     // Attribute to the innermost in-flight ecall of this thread.
-    for (auto it = trace.stack.rbegin(); it != trace.stack.rend(); ++it) {
-      if (db_.calls()[static_cast<std::size_t>(*it)].type == CallType::kEcall) {
-        rec.during_call = *it;
+    for (auto it = pt.stack.rbegin(); it != pt.stack.rend(); ++it) {
+      if (it->type == CallType::kEcall) {
+        rec.during_call = it->index;
         break;
       }
     }
-    db_.add_aex(rec);
+    if (pt.shard != nullptr) {
+      pt.shard->add_aex(rec);
+    } else {
+      db_.add_aex(rec);
+    }
   } else {
     clock.advance(cost.logger_aex_count_ns);
   }
@@ -294,7 +417,12 @@ void Logger::on_paging(EnclaveId eid, std::uint64_t page, sgxsim::PageDirection 
   rec.direction = dir == sgxsim::PageDirection::kIn ? tracedb::PageDirection::kPageIn
                                                     : tracedb::PageDirection::kPageOut;
   rec.timestamp_ns = now;
-  db_.add_paging(rec);
+  PerThread& pt = per_thread();
+  if (pt.shard != nullptr) {
+    pt.shard->add_paging(rec);
+  } else {
+    db_.add_paging(rec);
+  }
 }
 
 }  // namespace perf

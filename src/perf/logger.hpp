@@ -6,11 +6,20 @@
 // attaches kprobes to the driver's paging paths (§4.1.5).  Here it installs
 // the equivalent hooks on the simulated URTS/driver — the application, the
 // enclave and the SDK remain unmodified.
+//
+// Recording path: like the real tool, each worker thread appends to its own
+// per-thread buffer (a tracedb::EventShard) with no locking on the hot path;
+// detach() (or flush()) seals the shards and merges them into the globally
+// time-ordered database, so the analyser and the serialized format never see
+// a difference.  Set LoggerConfig::sharded = false to fall back to the old
+// single-mutex path (kept for A/B benchmarking of the contention win).
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <vector>
 
 #include "perf/stubs.hpp"
 #include "sgxsim/runtime.hpp"
@@ -25,6 +34,9 @@ struct LoggerConfig {
   bool trace_aex = false;
   /// Subscribe to the driver's paging events (kprobe analogue).
   bool trace_paging = true;
+  /// Record into per-thread shards (lock-free hot path, merged at detach).
+  /// false = serialize every record through the database mutex.
+  bool sharded = true;
 };
 
 /// Traces ecalls, ocalls, AEXs, synchronisation and paging into a
@@ -40,8 +52,20 @@ class Logger {
   /// Installs all hooks.  Enclaves created *before* attach are registered
   /// lazily on their first traced ecall.
   void attach(sgxsim::Urts& urts);
-  /// Restores the original hooks and flushes state.
+
+  /// Restores the original hooks, finalizes calls still in flight (their
+  /// end timestamp becomes the detach time — never leaked half-open) and
+  /// merges all shards into the database.  Safe to call from inside a
+  /// traced call: the frames unwinding through the detached logger record
+  /// nothing further.
   void detach();
+
+  /// Merges everything recorded so far into the database and reopens the
+  /// shards for further recording — the mid-session quiescent point tests
+  /// and tools use to inspect a trace without detaching.  Throws
+  /// std::logic_error if any traced call is still in flight.  All worker
+  /// threads must have quiesced.  No-op in non-sharded mode.
+  void flush();
 
   [[nodiscard]] bool attached() const noexcept { return urts_ != nullptr; }
   [[nodiscard]] tracedb::TraceDatabase& database() noexcept { return db_; }
@@ -69,20 +93,52 @@ class Logger {
   /// Registers ecall/ocall names for an enclave (from its EDL) once.
   void register_names(const sgxsim::Enclave& enclave);
 
-  // Per-thread bookkeeping: the stack of in-flight traced calls, used to set
-  // direct parents and attribute AEXs.
-  struct ThreadTrace {
-    std::vector<tracedb::CallIndex> stack;
-    std::uint32_t aex_count_current_ecall = 0;
+  /// One in-flight traced call.  The record type is cached here so the hot
+  /// path never reads the database (whose arrays another thread's merge
+  /// could be growing) to classify the parent.
+  struct StackEntry {
+    tracedb::CallIndex index = tracedb::kNoParent;  // shard-local if sharded
+    tracedb::CallType type = tracedb::CallType::kEcall;
   };
-  ThreadTrace& thread_trace(sgxsim::ThreadId tid);
+
+  /// Per-thread recording state, touched only by its owner thread on the
+  /// hot path.  In sharded mode `shard` points at this thread's EventShard;
+  /// in mutex mode it is null and records go straight to the database.
+  struct PerThread {
+    tracedb::EventShard* shard = nullptr;
+    std::vector<StackEntry> stack;
+    std::uint32_t aex_count_current_ecall = 0;
+    /// Enclaves whose lazy registration this thread has already verified —
+    /// keeps the per-ecall registration check off the logger mutex.
+    std::vector<sgxsim::EnclaveId> enclaves_seen;
+  };
+
+  /// This thread's recording state for the current attach epoch.  Uses a
+  /// thread-local cache keyed by a globally unique attach token (the same
+  /// pattern as Urts::thread_state), so the lookup is lock-free after the
+  /// first call and never confuses epochs or logger instances.
+  PerThread& per_thread();
+
+  // Record routing: shard in sharded mode, database mutex otherwise.
+  tracedb::CallIndex record_call(PerThread& pt, const tracedb::CallRecord& rec);
+  void record_finish(PerThread& pt, tracedb::CallIndex idx, support::Nanoseconds end_ns,
+                     std::uint32_t aex_count);
+  void record_kind(PerThread& pt, tracedb::CallIndex idx, tracedb::OcallKind kind);
+
+  /// Ensures `eid`'s enclave record and call names exist (lazy path for
+  /// enclaves created before attach).
+  void ensure_enclave_registered(PerThread& pt, sgxsim::EnclaveId eid);
+
+  /// Finalizes every in-flight call of every thread at time `now`.
+  void finalize_open_calls(support::Nanoseconds now);
 
   tracedb::TraceDatabase& db_;
   LoggerConfig config_;
   sgxsim::Urts* urts_ = nullptr;
+  std::uint64_t attach_token_ = 0;
 
   std::mutex mu_;
-  std::unordered_map<sgxsim::ThreadId, ThreadTrace> threads_;
+  std::vector<std::unique_ptr<PerThread>> per_threads_;
   std::unordered_map<sgxsim::EnclaveId, bool> names_registered_;
 };
 

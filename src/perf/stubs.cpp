@@ -61,7 +61,32 @@ std::size_t OcallStubRegistry::allocate_slot(const StubInfo& info) {
 const sgxsim::OcallTable* OcallStubRegistry::shadow_table(Logger& logger,
                                                           sgxsim::EnclaveId enclave,
                                                           const sgxsim::OcallTable* original) {
+  // Hot path: every traced ecall looks its table up here, so consult a
+  // thread-local cache first and only fall back to the mutex on a miss.
+  // The cache applies to the singleton only — short-lived test registries
+  // would otherwise poison it across instances at the same address.
+  if (this == &instance()) {
+    thread_local std::uint64_t cached_generation = 0;
+    thread_local std::unordered_map<const sgxsim::OcallTable*, const sgxsim::OcallTable*> cache;
+    const std::uint64_t gen = generation_.load(std::memory_order_acquire);
+    if (cached_generation != gen) {
+      cache.clear();
+      cached_generation = gen;
+    }
+    const auto it = cache.find(original);
+    if (it != cache.end()) return it->second;
+    std::lock_guard lock(mu_);
+    const sgxsim::OcallTable* shadow = shadow_table_locked(logger, enclave, original);
+    cache.emplace(original, shadow);
+    return shadow;
+  }
   std::lock_guard lock(mu_);
+  return shadow_table_locked(logger, enclave, original);
+}
+
+const sgxsim::OcallTable* OcallStubRegistry::shadow_table_locked(Logger& logger,
+                                                                 sgxsim::EnclaveId enclave,
+                                                                 const sgxsim::OcallTable* original) {
   const auto it = tables_.find(original);
   if (it != tables_.end()) return it->second.get();
 
@@ -94,6 +119,7 @@ void OcallStubRegistry::reset() {
   slots_per_table_.clear();
   tables_.clear();
   next_slot_.store(0, std::memory_order_relaxed);
+  generation_.fetch_add(1, std::memory_order_release);
 }
 
 std::size_t OcallStubRegistry::stubs_in_use() const {

@@ -48,7 +48,8 @@ class OcallStubRegistry {
 
   /// Returns the logger's shadow table for `original`, building it (and its
   /// stubs) on first sight.  "Call stub and table creation is only needed
-  /// once per ocall table" (§4.1.2) — subsequent calls hit a cache.
+  /// once per ocall table" (§4.1.2) — subsequent calls hit a thread-local
+  /// cache (invalidated by reset()), so a traced ecall takes no lock here.
   const sgxsim::OcallTable* shadow_table(Logger& logger, sgxsim::EnclaveId enclave,
                                          const sgxsim::OcallTable* original);
 
@@ -68,8 +69,12 @@ class OcallStubRegistry {
 
  private:
   std::size_t allocate_slot(const StubInfo& info);
+  const sgxsim::OcallTable* shadow_table_locked(Logger& logger, sgxsim::EnclaveId enclave,
+                                                const sgxsim::OcallTable* original);
 
   mutable std::mutex mu_;
+  /// Bumped by reset(); invalidates the per-thread shadow-table caches.
+  std::atomic<std::uint64_t> generation_{1};
   std::unordered_map<const sgxsim::OcallTable*, std::unique_ptr<sgxsim::OcallTable>> tables_;
   std::vector<std::size_t> slots_per_table_;  // for reset bookkeeping
 

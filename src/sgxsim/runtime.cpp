@@ -140,6 +140,7 @@ Urts::ThreadState& Urts::thread_state() {
   std::lock_guard lock(threads_mu_);
   auto state = std::make_unique<ThreadState>();
   state->id = next_thread_id_++;
+  state->slot = threads_.size();
   ThreadState* raw = state.get();
   threads_.emplace(raw->id, std::move(state));
   parkers_.emplace(raw->id, std::make_unique<Parker>());
@@ -148,6 +149,13 @@ Urts::ThreadState& Urts::thread_state() {
 }
 
 ThreadId Urts::current_thread_id() { return thread_state().id; }
+
+std::size_t Urts::current_thread_slot() { return thread_state().slot; }
+
+std::size_t Urts::thread_count() const {
+  std::lock_guard lock(threads_mu_);
+  return threads_.size();
+}
 
 Urts::Parker& Urts::parker_for(ThreadId id) {
   std::lock_guard lock(threads_mu_);

@@ -123,6 +123,14 @@ class Urts {
   /// profiler's shadowed pthread_create registers threads).
   ThreadId current_thread_id();
 
+  /// Dense registration-ordered slot of the calling thread (0, 1, 2, ...).
+  /// Unlike ThreadId it always starts at 0, which makes it usable as a
+  /// direct index into per-thread arrays such as the logger's trace shards.
+  std::size_t current_thread_slot();
+
+  /// Number of threads registered with this Urts so far.
+  [[nodiscard]] std::size_t thread_count() const;
+
   /// Futex-style parking used by the builtin sync ocalls.
   void park_current_thread();
   void unpark(ThreadId thread);
@@ -140,6 +148,7 @@ class Urts {
 
   struct ThreadState {
     ThreadId id = 0;
+    std::size_t slot = 0;  // dense registration index (see current_thread_slot)
     std::vector<CallFrame> frames;
     /// Absolute virtual time of the next simulated timer interrupt.
     support::Nanoseconds next_aex_deadline = 0;
@@ -174,7 +183,7 @@ class Urts {
   std::map<EnclaveId, std::size_t> switchless_workers_;
   EnclaveId next_enclave_id_ = 1;
 
-  std::mutex threads_mu_;
+  mutable std::mutex threads_mu_;
   std::map<ThreadId, std::unique_ptr<ThreadState>> threads_;
   std::map<ThreadId, std::unique_ptr<Parker>> parkers_;
   ThreadId next_thread_id_ = 1;

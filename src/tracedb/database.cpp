@@ -1,5 +1,6 @@
 #include "tracedb/database.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "support/strutil.hpp"
@@ -7,13 +8,17 @@
 namespace tracedb {
 
 TraceDatabase::TraceDatabase(TraceDatabase&& other) noexcept {
-  std::lock_guard lock(other.mu_);
+  std::scoped_lock lock(mu_, other.mu_);
   calls_ = std::move(other.calls_);
   aexs_ = std::move(other.aexs_);
   paging_ = std::move(other.paging_);
   syncs_ = std::move(other.syncs_);
   enclaves_ = std::move(other.enclaves_);
   call_names_ = std::move(other.call_names_);
+  shards_ = std::move(other.shards_);
+  merge_stats_ = other.merge_stats_;
+  other.shards_.clear();
+  other.merge_stats_ = MergeStats{};
 }
 
 CallIndex TraceDatabase::add_call(const CallRecord& rec) {
@@ -75,6 +80,182 @@ void TraceDatabase::add_call_name(const CallNameRecord& rec) {
   call_names_.push_back(rec);
 }
 
+EventShard& TraceDatabase::register_shard(ThreadId owner_thread, std::size_t owner_slot) {
+  std::lock_guard lock(mu_);
+  const auto id = static_cast<ShardId>(shards_.size());
+  shards_.push_back(std::make_unique<EventShard>(id, owner_thread, owner_slot));
+  return *shards_.back();
+}
+
+namespace {
+
+/// Source coordinate of one shard record during a merge round.
+struct ShardRef {
+  std::size_t shard;  // index into the round's live-shard list
+  std::size_t local;  // index inside that shard's table
+};
+
+/// Orders shard records by timestamp; ties resolve to shard registration
+/// order then append order, which makes the merged sequence deterministic
+/// and keeps a single shard's records in exact append order.
+template <typename GetNs>
+std::vector<ShardRef> merge_order(const std::vector<EventShard*>& live, GetNs&& table_of) {
+  std::vector<ShardRef> order;
+  for (std::size_t s = 0; s < live.size(); ++s) {
+    for (std::size_t i = 0; i < table_of(live[s]).size(); ++i) order.push_back({s, i});
+  }
+  std::sort(order.begin(), order.end(), [&](const ShardRef& a, const ShardRef& b) {
+    const auto ta = table_of(live[a.shard])[a.local];
+    const auto tb = table_of(live[b.shard])[b.local];
+    if (ta != tb) return ta < tb;
+    if (a.shard != b.shard) return live[a.shard]->shard_id() < live[b.shard]->shard_id();
+    return a.local < b.local;
+  });
+  return order;
+}
+
+}  // namespace
+
+TraceDatabase::MergeStats TraceDatabase::merge_shards() {
+  std::lock_guard lock(mu_);
+  MergeStats round;
+  round.merges = 1;
+
+  std::vector<EventShard*> live;
+  for (auto& s : shards_) {
+    s->seal();
+    if (!s->drained()) live.push_back(s.get());
+  }
+
+  // --- calls: sort by start time, remap local parent references ------------
+  {
+    std::vector<Nanoseconds> starts;  // flattened keys to avoid repeated derefs
+    auto start_of = [](const EventShard* s) -> std::vector<Nanoseconds> {
+      std::vector<Nanoseconds> v;
+      v.reserve(s->calls().size());
+      for (const auto& c : s->calls()) v.push_back(c.start_ns);
+      return v;
+    };
+    std::vector<std::vector<Nanoseconds>> keys;
+    keys.reserve(live.size());
+    for (const EventShard* s : live) keys.push_back(start_of(s));
+    const auto order = merge_order(live, [&](const EventShard* s) -> const std::vector<Nanoseconds>& {
+      for (std::size_t i = 0; i < live.size(); ++i) {
+        if (live[i] == s) return keys[i];
+      }
+      return keys.front();  // unreachable: s always comes from `live`
+    });
+
+    std::vector<std::vector<CallIndex>> remap(live.size());
+    for (std::size_t s = 0; s < live.size(); ++s) remap[s].resize(live[s]->calls_.size());
+    calls_.reserve(calls_.size() + order.size());
+    for (const auto& ref : order) {
+      remap[ref.shard][ref.local] = static_cast<CallIndex>(calls_.size());
+      calls_.push_back(live[ref.shard]->calls_[ref.local]);
+    }
+    for (const auto& ref : order) {
+      auto& rec = calls_[static_cast<std::size_t>(remap[ref.shard][ref.local])];
+      if (rec.parent != kNoParent) {
+        rec.parent = remap[ref.shard][static_cast<std::size_t>(rec.parent)];
+      }
+    }
+    round.calls = order.size();
+
+    // --- AEXs: sort by timestamp, remap during_call through the same map ---
+    std::vector<std::vector<Nanoseconds>> aex_keys(live.size());
+    for (std::size_t s = 0; s < live.size(); ++s) {
+      for (const auto& a : live[s]->aexs()) aex_keys[s].push_back(a.timestamp_ns);
+    }
+    const auto aex_order =
+        merge_order(live, [&](const EventShard* s) -> const std::vector<Nanoseconds>& {
+          for (std::size_t i = 0; i < live.size(); ++i) {
+            if (live[i] == s) return aex_keys[i];
+          }
+          return aex_keys.front();
+        });
+    aexs_.reserve(aexs_.size() + aex_order.size());
+    for (const auto& ref : aex_order) {
+      AexRecord rec = live[ref.shard]->aexs_[ref.local];
+      if (rec.during_call != kNoParent) {
+        rec.during_call = remap[ref.shard][static_cast<std::size_t>(rec.during_call)];
+      }
+      aexs_.push_back(rec);
+    }
+    round.aexs = aex_order.size();
+  }
+
+  // --- paging / sync: time-sorted stitches, no references to remap ---------
+  {
+    std::vector<std::vector<Nanoseconds>> keys(live.size());
+    for (std::size_t s = 0; s < live.size(); ++s) {
+      for (const auto& p : live[s]->paging()) keys[s].push_back(p.timestamp_ns);
+    }
+    const auto order =
+        merge_order(live, [&](const EventShard* s) -> const std::vector<Nanoseconds>& {
+          for (std::size_t i = 0; i < live.size(); ++i) {
+            if (live[i] == s) return keys[i];
+          }
+          return keys.front();
+        });
+    paging_.reserve(paging_.size() + order.size());
+    for (const auto& ref : order) paging_.push_back(live[ref.shard]->paging_[ref.local]);
+    round.paging = order.size();
+  }
+  {
+    std::vector<std::vector<Nanoseconds>> keys(live.size());
+    for (std::size_t s = 0; s < live.size(); ++s) {
+      for (const auto& rec : live[s]->syncs()) keys[s].push_back(rec.timestamp_ns);
+    }
+    const auto order =
+        merge_order(live, [&](const EventShard* s) -> const std::vector<Nanoseconds>& {
+          for (std::size_t i = 0; i < live.size(); ++i) {
+            if (live[i] == s) return keys[i];
+          }
+          return keys.front();
+        });
+    syncs_.reserve(syncs_.size() + order.size());
+    for (const auto& ref : order) syncs_.push_back(live[ref.shard]->syncs_[ref.local]);
+    round.syncs = order.size();
+  }
+
+  // --- drain ----------------------------------------------------------------
+  for (EventShard* s : live) {
+    if (s->events_recorded() > 0) ++round.shards_merged;
+    round.dropped += s->events_dropped();
+    s->calls_.clear();
+    s->aexs_.clear();
+    s->paging_.clear();
+    s->syncs_.clear();
+    s->drained_ = true;
+  }
+
+  merge_stats_.merges += round.merges;
+  merge_stats_.shards_merged += round.shards_merged;
+  merge_stats_.calls += round.calls;
+  merge_stats_.aexs += round.aexs;
+  merge_stats_.paging += round.paging;
+  merge_stats_.syncs += round.syncs;
+  merge_stats_.dropped += round.dropped;
+  return round;
+}
+
+void TraceDatabase::reopen_shards() {
+  std::lock_guard lock(mu_);
+  for (auto& s : shards_) {
+    if (s->drained()) s->reset();
+  }
+}
+
+TraceDatabase::MergeStats TraceDatabase::merge_stats() const {
+  std::lock_guard lock(mu_);
+  return merge_stats_;
+}
+
+std::size_t TraceDatabase::shard_count() const {
+  std::lock_guard lock(mu_);
+  return shards_.size();
+}
+
 std::string TraceDatabase::name_of(EnclaveId enclave, CallType type, CallId id) const {
   std::lock_guard lock(mu_);
   for (const auto& rec : call_names_) {
@@ -91,6 +272,8 @@ void TraceDatabase::clear() {
   syncs_.clear();
   enclaves_.clear();
   call_names_.clear();
+  for (auto& s : shards_) s->reset();
+  merge_stats_ = MergeStats{};
 }
 
 }  // namespace tracedb

@@ -1,21 +1,35 @@
 // The trace database: thread-safe append, typed tables, save/load, CSV.
 #pragma once
 
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "tracedb/schema.hpp"
+#include "tracedb/shard.hpp"
 
 namespace tracedb {
 
 /// Append-oriented store for one profiling session.
 ///
-/// Writers (the event logger, driver hooks) append concurrently under an
-/// internal mutex; readers (the analyser) take a consistent snapshot or run
-/// after the workload has quiesced, as the real tool does when the SQLite
-/// file is analysed post-mortem.
+/// Two writer paths exist:
+///
+///  * the *direct* API (add_call & friends) appends under an internal mutex —
+///    fine for low-frequency events (enclave lifecycle, call names) and for
+///    building databases by hand;
+///  * the *sharded* API: each worker thread records into its own EventShard
+///    (register_shard(), no locking on the hot path) and merge_shards()
+///    stitches the shards into the globally time-ordered record arrays once
+///    the workload has quiesced — the path the event logger uses so that
+///    multi-threaded workloads measure enclave behaviour, not lock
+///    contention.
+///
+/// Readers (the analyser) run after the workload has quiesced and the shards
+/// have been merged, as the real tool does when the SQLite file is analysed
+/// post-mortem.  Do not interleave direct call appends with sharded ones if
+/// global time-ordering matters: merge sorts only the shard-sourced records.
 class TraceDatabase {
  public:
   TraceDatabase() = default;
@@ -23,11 +37,13 @@ class TraceDatabase {
   TraceDatabase(const TraceDatabase&) = delete;
   TraceDatabase& operator=(const TraceDatabase&) = delete;
 
-  /// Move is supported so load() can return by value; the moved-from
-  /// database must not have concurrent writers.
+  /// Move is supported so load() can return by value.  Locks *both* sides'
+  /// mutexes; neither database may have concurrent writers (registered
+  /// shards move along and stay valid, but their writer threads must have
+  /// quiesced).
   TraceDatabase(TraceDatabase&& other) noexcept;
 
-  // --- writer API ---------------------------------------------------------
+  // --- direct writer API ---------------------------------------------------
 
   /// Appends a call record and returns its index (used as a parent handle).
   CallIndex add_call(const CallRecord& rec);
@@ -43,7 +59,41 @@ class TraceDatabase {
   void set_enclave_destroyed(EnclaveId id, Nanoseconds when);
   void add_call_name(const CallNameRecord& rec);
 
-  // --- reader API ---------------------------------------------------------
+  // --- sharded writer API (see shard.hpp for the lifecycle) ----------------
+
+  /// Creates a new per-thread shard and returns a stable reference (shards
+  /// are heap-allocated; registration of further shards never moves them).
+  EventShard& register_shard(ThreadId owner_thread, std::size_t owner_slot = 0);
+
+  /// Cumulative statistics over every merge_shards() call on this database.
+  struct MergeStats {
+    std::size_t merges = 0;          // merge_shards() invocations
+    std::size_t shards_merged = 0;   // non-empty shards drained
+    std::size_t calls = 0;           // records stitched in, per table
+    std::size_t aexs = 0;
+    std::size_t paging = 0;
+    std::size_t syncs = 0;
+    std::size_t dropped = 0;         // events shards rejected after seal
+  };
+
+  /// Seals every live shard and stitches their records into the global
+  /// record arrays, sorted by timestamp (ties broken by shard registration
+  /// order, then append order — so a single-threaded trace merges to exactly
+  /// the sequence the direct API would have produced).  Shard-local parent /
+  /// during_call references are remapped to global indices.  Drained shards
+  /// remain registered as inert husks (late writers see a sealed shard)
+  /// until reopen_shards(), clear() or destruction.  Callers must guarantee
+  /// the shard writers have quiesced.  Returns the stats of *this* merge.
+  MergeStats merge_shards();
+
+  /// Resets every drained shard back to the recording state so its owner
+  /// thread can keep appending (the logger's flush() path).  Quiesce first.
+  void reopen_shards();
+
+  [[nodiscard]] MergeStats merge_stats() const;
+  [[nodiscard]] std::size_t shard_count() const;
+
+  // --- reader API ----------------------------------------------------------
 
   [[nodiscard]] const std::vector<CallRecord>& calls() const noexcept { return calls_; }
   [[nodiscard]] const std::vector<AexRecord>& aexs() const noexcept { return aexs_; }
@@ -57,12 +107,16 @@ class TraceDatabase {
   /// Resolves a call's registered name; "<type>_<id>" if unregistered.
   [[nodiscard]] std::string name_of(EnclaveId enclave, CallType type, CallId id) const;
 
-  /// Drops all rows (reuse between experiment repetitions).
+  /// Drops all rows and resets all shards and merge statistics (reuse
+  /// between experiment repetitions).  Registered shards stay alive and
+  /// recordable; their owner threads must be quiescent.
   void clear();
 
   // --- persistence (see serialize.cpp) -------------------------------------
 
-  /// Binary format v2.  Throws std::runtime_error on I/O or format errors.
+  /// Binary format v2.  Throws std::runtime_error on I/O or format errors,
+  /// or std::logic_error if unmerged shard events exist (merge first — the
+  /// file format has no notion of shards and must stay bit-stable).
   void save(const std::string& path) const;
   static TraceDatabase load(const std::string& path);
 
@@ -77,6 +131,9 @@ class TraceDatabase {
   std::vector<SyncRecord> syncs_;
   std::vector<EnclaveRecord> enclaves_;
   std::vector<CallNameRecord> call_names_;
+
+  std::vector<std::unique_ptr<EventShard>> shards_;
+  MergeStats merge_stats_;
 };
 
 }  // namespace tracedb

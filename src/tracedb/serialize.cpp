@@ -92,6 +92,12 @@ class Reader {
 
 void TraceDatabase::save(const std::string& path) const {
   std::lock_guard lock(mu_);
+  for (const auto& shard : shards_) {
+    if (!shard->drained() && shard->events_recorded() > 0) {
+      throw std::logic_error(
+          "tracedb: save() with unmerged shard events — call merge_shards() first");
+    }
+  }
   Writer w(path);
   w.bytes(kMagic, sizeof(kMagic));
 

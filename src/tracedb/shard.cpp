@@ -1,0 +1,67 @@
+#include "tracedb/shard.hpp"
+
+namespace tracedb {
+
+CallIndex EventShard::add_call(const CallRecord& rec) {
+  if (sealed()) {
+    ++dropped_;
+    return kShardSealed;
+  }
+  calls_.push_back(rec);
+  return static_cast<CallIndex>(calls_.size() - 1);
+}
+
+void EventShard::finish_call(CallIndex local, Nanoseconds end_ns,
+                             std::uint32_t aex_count) noexcept {
+  if (sealed() || local < 0 || static_cast<std::size_t>(local) >= calls_.size()) {
+    ++dropped_;
+    return;
+  }
+  auto& rec = calls_[static_cast<std::size_t>(local)];
+  rec.end_ns = end_ns;
+  rec.aex_count = aex_count;
+}
+
+void EventShard::set_call_kind(CallIndex local, OcallKind kind) noexcept {
+  if (sealed() || local < 0 || static_cast<std::size_t>(local) >= calls_.size()) {
+    ++dropped_;
+    return;
+  }
+  calls_[static_cast<std::size_t>(local)].kind = kind;
+}
+
+void EventShard::add_aex(const AexRecord& rec) {
+  if (sealed()) {
+    ++dropped_;
+    return;
+  }
+  aexs_.push_back(rec);
+}
+
+void EventShard::add_paging(const PagingRecord& rec) {
+  if (sealed()) {
+    ++dropped_;
+    return;
+  }
+  paging_.push_back(rec);
+}
+
+void EventShard::add_sync(const SyncRecord& rec) {
+  if (sealed()) {
+    ++dropped_;
+    return;
+  }
+  syncs_.push_back(rec);
+}
+
+void EventShard::reset() noexcept {
+  calls_.clear();
+  aexs_.clear();
+  paging_.clear();
+  syncs_.clear();
+  dropped_ = 0;
+  drained_ = false;
+  sealed_.store(false, std::memory_order_release);
+}
+
+}  // namespace tracedb

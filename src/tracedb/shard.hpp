@@ -1,0 +1,111 @@
+// Per-thread trace shards: the lock-free fast path of the event logger.
+//
+// The real sgx-perf keeps its ~1.3 us/event overhead because every worker
+// thread appends to its own buffer and the buffers are only stitched together
+// when the database is finalised (§4.1).  An EventShard is that per-thread
+// buffer: append-only vectors of call/AEX/paging/sync records, owned by
+// exactly one writer thread, touched by no lock on the hot path.  The shard
+// is cache-line aligned so two shards never share a line (no false sharing
+// between worker threads).
+//
+// Lifecycle (enforced by TraceDatabase, tested in tracedb_shard_test.cpp):
+//
+//   register_shard()  ->  [recording]  --seal()-->  [sealed]  --drain-->
+//   [drained husk]  --reset (clear()/reopen_shards())-->  [recording]
+//
+// A shard must be *sealed* before it is merged; once sealed, late appends are
+// dropped (and counted) and late finish/kind patches are ignored, so a thread
+// still unwinding through a detached logger can never corrupt or crash the
+// database.  Record indices returned by add_call are *shard-local*; the
+// merge step remaps them (and the parent / during_call references that use
+// them) into global TraceDatabase indices.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "tracedb/schema.hpp"
+
+namespace tracedb {
+
+/// Registration-ordered shard identifier within one TraceDatabase.
+using ShardId = std::uint32_t;
+
+/// Returned by EventShard::add_* when the event was dropped (shard sealed).
+inline constexpr CallIndex kShardSealed = -1;
+
+class alignas(64) EventShard {
+ public:
+  EventShard(ShardId id, ThreadId owner_thread, std::size_t owner_slot) noexcept
+      : shard_id_(id), owner_thread_(owner_thread), owner_slot_(owner_slot) {}
+
+  EventShard(const EventShard&) = delete;
+  EventShard& operator=(const EventShard&) = delete;
+
+  // --- hot path (single writer thread, no locks) ---------------------------
+
+  /// Appends a call record and returns its *shard-local* index, or
+  /// kShardSealed if the shard is sealed (event dropped and counted).
+  CallIndex add_call(const CallRecord& rec);
+  /// Patches end timestamp / AEX count.  Ignored (and counted) when the
+  /// shard is sealed or `local` no longer names a live record — a frame
+  /// unwinding through a detached logger must be harmless.
+  void finish_call(CallIndex local, Nanoseconds end_ns, std::uint32_t aex_count) noexcept;
+  void set_call_kind(CallIndex local, OcallKind kind) noexcept;
+
+  void add_aex(const AexRecord& rec);
+  void add_paging(const PagingRecord& rec);
+  void add_sync(const SyncRecord& rec);
+
+  // --- lifecycle ------------------------------------------------------------
+
+  /// Makes the shard read-only.  Idempotent.  Must happen before drain();
+  /// the owning thread must have quiesced (or be the sealing thread itself).
+  void seal() noexcept { sealed_.store(true, std::memory_order_release); }
+  [[nodiscard]] bool sealed() const noexcept {
+    return sealed_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] bool drained() const noexcept { return drained_; }
+
+  /// Empties the shard back into the recording state (clear() / shard reuse
+  /// between experiment repetitions).  Caller must guarantee quiescence.
+  void reset() noexcept;
+
+  // --- read side (after seal, or from the owner thread) ---------------------
+
+  [[nodiscard]] const std::vector<CallRecord>& calls() const noexcept { return calls_; }
+  [[nodiscard]] const std::vector<AexRecord>& aexs() const noexcept { return aexs_; }
+  [[nodiscard]] const std::vector<PagingRecord>& paging() const noexcept { return paging_; }
+  [[nodiscard]] const std::vector<SyncRecord>& syncs() const noexcept { return syncs_; }
+
+  [[nodiscard]] ShardId shard_id() const noexcept { return shard_id_; }
+  /// The Urts thread that owns this shard (informational).
+  [[nodiscard]] ThreadId owner_thread() const noexcept { return owner_thread_; }
+  /// The owner's dense Urts thread slot (see Urts::current_thread_slot()).
+  [[nodiscard]] std::size_t owner_slot() const noexcept { return owner_slot_; }
+
+  [[nodiscard]] std::size_t events_recorded() const noexcept {
+    return calls_.size() + aexs_.size() + paging_.size() + syncs_.size();
+  }
+  /// Events rejected because the shard was already sealed, plus finish/kind
+  /// patches that arrived too late to apply.
+  [[nodiscard]] std::size_t events_dropped() const noexcept { return dropped_; }
+
+ private:
+  friend class TraceDatabase;  // drains the vectors during merge
+
+  ShardId shard_id_ = 0;
+  ThreadId owner_thread_ = 0;
+  std::size_t owner_slot_ = 0;
+  std::atomic<bool> sealed_{false};
+  bool drained_ = false;
+  std::size_t dropped_ = 0;
+
+  std::vector<CallRecord> calls_;
+  std::vector<AexRecord> aexs_;
+  std::vector<PagingRecord> paging_;
+  std::vector<SyncRecord> syncs_;
+};
+
+}  // namespace tracedb

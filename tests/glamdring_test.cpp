@@ -66,12 +66,14 @@ TEST(Glamdring, OptimizedIssuesFarFewerEcalls) {
   {
     SigningBenchmark partitioned(urts, Variant::kPartitioned);
     (void)partitioned.sign(0);
+    logger.flush();
     part_ecalls = trace.calls().size();
   }
   trace.clear();
   {
     SigningBenchmark optimized(urts, Variant::kOptimized);
     (void)optimized.sign(0);
+    logger.flush();
     opt_ecalls = trace.calls().size();
   }
   logger.detach();

@@ -44,6 +44,13 @@ class LoggerTest : public testing::Test {
 
   void TearDown() override { logger_->detach(); }
 
+  /// Merges the per-thread shards so the database can be inspected while
+  /// the logger stays attached.
+  tracedb::TraceDatabase& trace() {
+    logger_->flush();
+    return db_;
+  }
+
   Urts urts_;
   tracedb::TraceDatabase db_;
   std::unique_ptr<perf::Logger> logger_;
@@ -53,7 +60,7 @@ class LoggerTest : public testing::Test {
 
 TEST_F(LoggerTest, RecordsEcall) {
   EXPECT_EQ(urts_.sgx_ecall(eid_, 0, &table_, nullptr), SgxStatus::kSuccess);
-  ASSERT_EQ(db_.calls().size(), 1u);
+  ASSERT_EQ(trace().calls().size(), 1u);
   const auto& c = db_.calls()[0];
   EXPECT_EQ(c.type, CallType::kEcall);
   EXPECT_EQ(c.call_id, 0u);
@@ -82,7 +89,7 @@ TEST_F(LoggerTest, OcallOverheadMatchesTable2) {
 
 TEST_F(LoggerTest, OcallGetsDirectParent) {
   urts_.sgx_ecall(eid_, 1, &table_, nullptr);
-  ASSERT_EQ(db_.calls().size(), 2u);
+  ASSERT_EQ(trace().calls().size(), 2u);
   const auto& ecall = db_.calls()[0];
   const auto& ocall = db_.calls()[1];
   EXPECT_EQ(ecall.type, CallType::kEcall);
@@ -97,6 +104,7 @@ TEST_F(LoggerTest, OcallDurationExcludesTransitions) {
   // ocall's traced duration is just the stub dispatch — far below the
   // transition cost.
   urts_.sgx_ecall(eid_, 1, &table_, nullptr);
+  ASSERT_EQ(trace().calls().size(), 2u);
   const auto& ocall = db_.calls()[1];
   EXPECT_LT(ocall.duration(), urts_.cost().transition_round_trip_ns());
 }
@@ -138,7 +146,7 @@ TEST_F(LoggerTest, NestedEcallDuringOcallGetsOcallParent) {
   });
   EXPECT_EQ(urts_.sgx_ecall(eid, 0, &table, nullptr), SgxStatus::kSuccess);
 
-  ASSERT_EQ(db_.calls().size(), 3u);
+  ASSERT_EQ(trace().calls().size(), 3u);
   const auto& outer = db_.calls()[0];
   const auto& ocall = db_.calls()[1];
   const auto& inner = db_.calls()[2];
@@ -171,7 +179,7 @@ TEST_F(LoggerTest, SyncOcallsClassified) {
   });
   EXPECT_EQ(urts_.sgx_ecall(eid, 0, &table, nullptr), SgxStatus::kSuccess);
 
-  ASSERT_EQ(db_.calls().size(), 2u);
+  ASSERT_EQ(trace().calls().size(), 2u);
   const auto& wake = db_.calls()[1];
   EXPECT_EQ(wake.type, CallType::kOcall);
   EXPECT_EQ(wake.kind, OcallKind::kWakeOne);
@@ -190,7 +198,7 @@ TEST_F(LoggerTest, AexCounting) {
     return SgxStatus::kSuccess;
   });
   urts_.sgx_ecall(eid_, 0, &table_, nullptr);
-  ASSERT_EQ(db_.calls().size(), 1u);
+  ASSERT_EQ(trace().calls().size(), 1u);
   const auto& c = db_.calls()[0];
   EXPECT_GE(c.aex_count, 10u);
   EXPECT_LE(c.aex_count, 13u);
@@ -210,7 +218,7 @@ TEST_F(LoggerTest, AexTracingRecordsTimestamps) {
     return SgxStatus::kSuccess;
   });
   urts_.sgx_ecall(eid_, 0, &table_, nullptr);
-  ASSERT_FALSE(db_.aexs().empty());
+  ASSERT_FALSE(trace().aexs().empty());
   const auto& c = db_.calls().back();
   EXPECT_EQ(c.aex_count, db_.aexs().size());
   for (const auto& aex : db_.aexs()) {
@@ -275,7 +283,7 @@ TEST_F(LoggerTest, CallNamesComeFromEdl) {
 
 TEST_F(LoggerTest, DetachStopsTracing) {
   urts_.sgx_ecall(eid_, 0, &table_, nullptr);
-  EXPECT_EQ(db_.calls().size(), 1u);
+  EXPECT_EQ(trace().calls().size(), 1u);
   logger_->detach();
   urts_.sgx_ecall(eid_, 0, &table_, nullptr);
   EXPECT_EQ(db_.calls().size(), 1u);  // no longer traced
@@ -284,6 +292,74 @@ TEST_F(LoggerTest, DetachStopsTracing) {
 
 TEST_F(LoggerTest, DoubleAttachThrows) {
   EXPECT_THROW(logger_->attach(urts_), std::logic_error);
+}
+
+TEST_F(LoggerTest, DetachWithCallsInFlightFinalizesOpenRecords) {
+  // Detach from *inside* a traced ocall: both the ocall and its enclosing
+  // ecall are still open.  Detach must finalize them (end = detach time),
+  // not leak half-open records, and the unwinding frames must not record
+  // anything further or crash on the torn-down logger.
+  Enclave& e = urts_.enclave(eid_);
+  e.register_ecall("ecall_with_ocall", [&](TrustedContext& ctx, void*) {
+    FnMs ms;
+    ms.fn = [&] {
+      logger_->detach();
+      return SgxStatus::kSuccess;
+    };
+    return ctx.ocall(1, &ms);
+  });
+  EXPECT_EQ(urts_.sgx_ecall(eid_, 1, &table_, nullptr), SgxStatus::kSuccess);
+
+  ASSERT_EQ(db_.calls().size(), 2u);
+  const auto& ecall = db_.calls()[0];
+  const auto& ocall = db_.calls()[1];
+  EXPECT_EQ(ecall.type, CallType::kEcall);
+  EXPECT_EQ(ocall.type, CallType::kOcall);
+  EXPECT_EQ(ocall.parent, 0);
+  for (const auto& c : db_.calls()) {
+    EXPECT_GT(c.end_ns, 0u);  // finalized, not leaked
+    EXPECT_GE(c.end_ns, c.start_ns);
+  }
+  logger_->attach(urts_);  // re-attach for TearDown symmetry
+}
+
+TEST_F(LoggerTest, DetachWithCallsInFlightFinalizesMutexModeToo) {
+  logger_->detach();
+  perf::LoggerConfig config;
+  config.sharded = false;
+  logger_ = std::make_unique<perf::Logger>(db_, config);
+  logger_->attach(urts_);
+
+  Enclave& e = urts_.enclave(eid_);
+  e.register_ecall("ecall_with_ocall", [&](TrustedContext& ctx, void*) {
+    FnMs ms;
+    ms.fn = [&] {
+      logger_->detach();
+      return SgxStatus::kSuccess;
+    };
+    return ctx.ocall(1, &ms);
+  });
+  EXPECT_EQ(urts_.sgx_ecall(eid_, 1, &table_, nullptr), SgxStatus::kSuccess);
+
+  ASSERT_EQ(db_.calls().size(), 2u);
+  for (const auto& c : db_.calls()) {
+    EXPECT_GT(c.end_ns, 0u);
+    EXPECT_GE(c.end_ns, c.start_ns);
+  }
+  logger_->attach(urts_);
+}
+
+TEST_F(LoggerTest, FlushWithCallsInFlightThrows) {
+  Enclave& e = urts_.enclave(eid_);
+  e.register_ecall("ecall_with_ocall", [&](TrustedContext& ctx, void*) {
+    FnMs ms;
+    ms.fn = [&] {
+      EXPECT_THROW(logger_->flush(), std::logic_error);
+      return SgxStatus::kSuccess;
+    };
+    return ctx.ocall(1, &ms);
+  });
+  EXPECT_EQ(urts_.sgx_ecall(eid_, 1, &table_, nullptr), SgxStatus::kSuccess);
 }
 
 TEST_F(LoggerTest, EnclaveCreatedBeforeAttachIsRegisteredLazily) {

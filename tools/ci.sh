@@ -1,0 +1,29 @@
+#!/bin/sh
+# CI driver: build + run the full test suite twice —
+#   1. plain RelWithDebInfo build,
+#   2. ThreadSanitizer build (-DSGXPERF_SANITIZE=thread), which must report
+#      zero races across the concurrent recording paths.
+#
+# Usage: tools/ci.sh [jobs]   (run from the repository root)
+set -eu
+
+jobs="${1:-$(nproc 2>/dev/null || echo 2)}"
+root="$(cd "$(dirname "$0")/.." && pwd)"
+
+run_suite() {
+  build_dir="$1"
+  shift
+  cmake -S "$root" -B "$build_dir" "$@" >/dev/null
+  cmake --build "$build_dir" -j "$jobs"
+  ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
+}
+
+echo "=== plain build ==="
+run_suite "$root/build" -DCMAKE_BUILD_TYPE=RelWithDebInfo
+
+echo "=== ThreadSanitizer build ==="
+# halt_on_error makes any report fail the run; TSan's exit code then fails ctest.
+TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+  run_suite "$root/build-tsan" -DCMAKE_BUILD_TYPE=RelWithDebInfo -DSGXPERF_SANITIZE=thread
+
+echo "=== all suites passed ==="

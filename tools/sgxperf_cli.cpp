@@ -12,6 +12,13 @@
 //   sgxperf stats   <trace.bin>                               general statistics
 //   sgxperf compare <before.bin> <after.bin>                  optimisation diff
 //   sgxperf timeline <trace.bin>                              per-thread activity
+//   sgxperf record  <out.bin> [--threads N] [--calls N]       demo recording
+//
+// `record` exercises the first half on a built-in multi-threaded workload:
+// it attaches the logger (sharded per-thread buffers), runs N threads of
+// ecall+ocall pairs, merges the shards and saves the trace — useful as a
+// quick source of traces for the other commands and as a smoke test of the
+// concurrent recording path.
 //
 // Weights of the Eq. 1-3 detectors are tunable: --eq1-alpha 0.5 etc.
 #include <cstdio>
@@ -19,13 +26,16 @@
 #include <cstring>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "perf/analyzer.hpp"
 #include "perf/compare.hpp"
+#include "perf/logger.hpp"
 #include "perf/timeline.hpp"
 #include "perf/report.hpp"
 #include "sgxsim/edl.hpp"
+#include "sgxsim/runtime.hpp"
 
 namespace {
 
@@ -37,6 +47,8 @@ struct Options {
   std::string csv_dir;
   tracedb::EnclaveId enclave_id = 1;
   std::size_t bins = 100;
+  std::size_t threads = 4;
+  std::size_t calls = 1000;
   perf::AnalyzerConfig config;
 };
 
@@ -52,6 +64,7 @@ void usage() {
       "  csv      export all tables as CSV        (csv <trace> <directory>)\n"
       "  compare  diff two traces                 (compare <before> <after>)\n"
       "  timeline per-thread enclave activity\n"
+      "  record   record a demo workload          (record <out.bin> [--threads N] [--calls N])\n"
       "options:\n"
       "  --edl FILE        enclave EDL for security analysis\n"
       "  --enclave ID      enclave id the EDL/call belongs to (default 1)\n"
@@ -91,6 +104,10 @@ bool parse_args(int argc, char** argv, Options& opts) {
       opts.call_name = next();
     } else if (arg == "--bins") {
       opts.bins = std::strtoul(next(), nullptr, 10);
+    } else if (arg == "--threads") {
+      opts.threads = std::strtoul(next(), nullptr, 10);
+    } else if (arg == "--calls") {
+      opts.calls = std::strtoul(next(), nullptr, 10);
     } else if (arg == "--eq1-alpha") {
       opts.config.eq1_alpha = std::strtod(next(), nullptr);
     } else if (arg == "--eq1-beta") {
@@ -111,6 +128,73 @@ bool parse_args(int argc, char** argv, Options& opts) {
     }
   }
   return true;
+}
+
+constexpr const char* kDemoEdl = R"(
+enclave {
+  trusted {
+    public int ecall_with_ocall(void);
+  };
+  untrusted {
+    void ocall_noop(void);
+  };
+};
+)";
+
+sgxsim::SgxStatus demo_ocall(void*) { return sgxsim::SgxStatus::kSuccess; }
+
+/// `sgxperf record`: run the built-in demo workload (--threads workers, each
+/// issuing --calls ecall+ocall pairs) through the sharded logger and save the
+/// merged trace to opts.trace_path.
+int run_record(const Options& opts) {
+  using namespace sgxsim;
+  if (opts.threads == 0 || opts.calls == 0) {
+    std::fputs("error: --threads and --calls must be > 0\n", stderr);
+    return 2;
+  }
+  Urts urts;
+  tracedb::TraceDatabase db;
+  perf::Logger logger(db);
+  logger.attach(urts);
+
+  EnclaveConfig config;
+  config.name = "demo";
+  config.tcs_count = opts.threads + 1;
+  const EnclaveId eid = urts.create_enclave(std::move(config), edl::parse(kDemoEdl));
+  urts.enclave(eid).register_ecall("ecall_with_ocall", [](TrustedContext& ctx, void*) {
+    ctx.work(500);
+    return ctx.ocall(0, nullptr);
+  });
+  OcallTable table = make_ocall_table({&demo_ocall});
+
+  const auto body = [&] {
+    for (std::size_t i = 0; i < opts.calls; ++i) {
+      urts.sgx_ecall(eid, 0, &table, nullptr);
+    }
+  };
+  if (opts.threads == 1) {
+    body();
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(opts.threads);
+    for (std::size_t t = 0; t < opts.threads; ++t) workers.emplace_back(body);
+    for (auto& w : workers) w.join();
+  }
+  logger.detach();  // seals + merges the per-thread shards
+
+  const auto stats = db.merge_stats();
+  std::printf("recorded %zu calls, %zu AEXs, %zu paging events, %zu syncs\n", db.calls().size(),
+              db.aexs().size(), db.paging().size(), db.syncs().size());
+  std::printf("shards: %zu registered, %zu merged in %zu merge(s), %zu events dropped\n",
+              db.shard_count(), stats.shards_merged, stats.merges, stats.dropped);
+  try {
+    db.save(opts.trace_path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  std::printf("trace written to %s\n", opts.trace_path.c_str());
+  return 0;
 }
 
 /// Resolves a call by registered name across both call types.
@@ -140,6 +224,8 @@ int main(int argc, char** argv) {
     usage();
     return 2;
   }
+
+  if (opts.command == "record") return run_record(opts);
 
   tracedb::TraceDatabase db = [&] {
     try {
