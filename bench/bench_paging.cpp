@@ -8,6 +8,7 @@
 // path.  Also shows the logger's paging trace identifying the victim pages.
 #include <cstdio>
 
+#include "bench_json.hpp"
 #include "perf/analyzer.hpp"
 #include "perf/logger.hpp"
 #include "sgxsim/runtime.hpp"
@@ -89,7 +90,9 @@ SweepResult run_sweep(double epc_fraction, bool preload, int sweeps = 4,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = bench::strip_smoke_flag(argc, argv);
+  bench::JsonReport json("paging", smoke);
   std::printf("=== E11: EPC oversubscription / paging ablation (paper §2.3.3, §3.5) ===\n");
   std::printf("EPC shrunk to %zu pages; 4 sweeps over a data set of varying size\n\n",
               kEpcPages);
@@ -101,6 +104,11 @@ int main() {
     std::printf("%10.2fx %12llu %12llu %14.2f %16.2f\n", fraction,
                 static_cast<unsigned long long>(r.page_ins),
                 static_cast<unsigned long long>(r.page_outs), r.virtual_ms, r.virtual_ms / 4);
+    char key[48];
+    std::snprintf(key, sizeof key, "sweep_ms.%.2fx_epc", fraction);
+    json.metric(key, r.virtual_ms / 4, "ms");
+    std::snprintf(key, sizeof key, "page_ins.%.2fx_epc", fraction);
+    json.metric(key, static_cast<double>(r.page_ins), "pages");
   }
 
   std::printf("\npre-loading mitigation, data set at 0.9x EPC, single cold sweep "
@@ -111,6 +119,8 @@ int main() {
               static_cast<unsigned long long>(naive.page_ins), naive.virtual_ms);
   std::printf("  preloaded: %llu faults taken outside the enclave, %.2f ms\n",
               static_cast<unsigned long long>(preloaded.page_ins), preloaded.virtual_ms);
+  json.metric("cold_sweep_naive_ms", naive.virtual_ms, "ms");
+  json.metric("cold_sweep_preloaded_ms", preloaded.virtual_ms, "ms");
   std::printf("  (beyond 1x EPC pre-loading cannot help: the set does not fit and the sweep "
               "evicts its own pre-loaded pages)\n");
 
@@ -141,6 +151,8 @@ int main() {
 
   std::printf("\nlogger captured %zu paging events (kprobe trace, §4.1.5)\n",
               trace.paging().size());
+  json.metric("traced_paging_events", static_cast<double>(trace.paging().size()), "events");
+  if (smoke && !json.write()) return 1;
   const auto report = perf::Analyzer(trace).analyze();
   for (const auto& f : report.findings) {
     if (f.kind == perf::FindingKind::kPaging) {

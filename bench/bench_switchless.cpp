@@ -9,6 +9,7 @@
 // and that the call remains visible to the profiler either way.
 #include <cstdio>
 
+#include "bench_json.hpp"
 #include "perf/logger.hpp"
 #include "sgxsim/runtime.hpp"
 
@@ -26,18 +27,19 @@ enclave {
 };
 )";
 
-constexpr int kCalls = 50'000;
-
-double storm_ns_per_call(Urts& urts, EnclaveId eid, OcallTable& table, CallId id) {
+double storm_ns_per_call(Urts& urts, EnclaveId eid, OcallTable& table, CallId id, int calls) {
   std::uint64_t v = 0;
   const auto t0 = urts.clock().now();
-  for (int i = 0; i < kCalls; ++i) urts.sgx_ecall(eid, id, &table, &v);
-  return static_cast<double>(urts.clock().now() - t0) / kCalls;
+  for (int i = 0; i < calls; ++i) urts.sgx_ecall(eid, id, &table, &v);
+  return static_cast<double>(urts.clock().now() - t0) / calls;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = bench::strip_smoke_flag(argc, argv);
+  bench::JsonReport json("switchless", smoke);
+  const int kCalls = smoke ? 5'000 : 50'000;
   std::printf("=== extension: switchless calls vs regular transitions ===\n");
   std::printf("the remedy §2.3/§6 cites (SCONE async calls, HotCalls) for SISC-bound "
               "interfaces; %d short ecalls (~150 ns of work each)\n\n",
@@ -59,10 +61,13 @@ int main() {
     OcallTable table = make_ocall_table({});
     urts.set_switchless_workers(eid, 2);
 
-    const double regular = storm_ns_per_call(urts, eid, table, 1);
-    const double switchless = storm_ns_per_call(urts, eid, table, 0);
+    const double regular = storm_ns_per_call(urts, eid, table, 1, kCalls);
+    const double switchless = storm_ns_per_call(urts, eid, table, 0, kCalls);
     std::printf("%-16s %16.0f %16.0f %9.1fx\n", to_string(lvl), regular, switchless,
                 regular / switchless);
+    const std::string lvl_name = to_string(lvl);
+    json.metric("regular_ns." + lvl_name, regular, "ns");
+    json.metric("switchless_ns." + lvl_name, switchless, "ns");
   }
 
   // The profiler still sees switchless calls (they go through sgx_ecall, the
@@ -88,5 +93,7 @@ int main() {
               "%zu records, mean %.0f ns\n",
               trace.calls().size(), mean);
   std::printf("(a fixed SISC finding would show exactly this before/after signature)\n");
+  json.metric("traced_switchless_mean_ns", mean, "ns");
+  if (smoke && !json.write()) return 1;
   return 0;
 }

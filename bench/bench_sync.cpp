@@ -12,6 +12,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "sgxsim/runtime.hpp"
 
 namespace {
@@ -127,9 +128,11 @@ BENCHMARK(BM_SdkMutexUncontended);
 }  // namespace
 
 int main(int argc, char** argv) {
+  const bool smoke = bench::strip_smoke_flag(argc, argv);
+  bench::JsonReport json("sync", smoke);
   std::printf("=== E10: in-enclave synchronisation ablation (paper §2.3.2 / §3.4) ===\n\n");
   constexpr int kThreads = 4;
-  constexpr int kOps = 400;
+  const int kOps = smoke ? 100 : 400;
 
   std::printf("contended counter: %d threads x %d ops, 2 us critical section\n\n", kThreads,
               kOps);
@@ -140,6 +143,8 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(sdk.sleeps),
                 static_cast<unsigned long long>(sdk.wakes),
                 static_cast<double>(sdk.sleeps + sdk.wakes) / (kThreads * kOps));
+    json.metric("sync_ocalls_per_op.sdk_default",
+                static_cast<double>(sdk.sleeps + sdk.wakes) / (kThreads * kOps), "ocalls");
   }
   for (const std::uint32_t spin : {64u, 512u, 100'000u}) {
     const Run hybrid = run_contended(MutexKind::kHybridSpin, spin, kThreads, kOps, 2'000);
@@ -149,9 +154,13 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(hybrid.sleeps),
                 static_cast<unsigned long long>(hybrid.wakes),
                 static_cast<double>(hybrid.sleeps + hybrid.wakes) / (kThreads * kOps));
+    std::snprintf(label, sizeof(label), "sync_ocalls_per_op.hybrid_spin_%u", spin);
+    json.metric(label, static_cast<double>(hybrid.sleeps + hybrid.wakes) / (kThreads * kOps),
+                "ocalls");
   }
   std::printf("\nthe hybrid lock eliminates the short wake-up ocalls (<10 us) the analyser "
               "flags as SSC\n\n");
+  if (smoke) return json.write() ? 0 : 1;
 
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -8,6 +8,7 @@
 
 #include <cstdio>
 
+#include "bench_json.hpp"
 #include "sgxsim/runtime.hpp"
 #include "support/clock.hpp"
 
@@ -67,7 +68,7 @@ void BM_EcallPlusOcall(benchmark::State& state) {
 }
 BENCHMARK(BM_EcallPlusOcall)->Arg(0)->Arg(1)->Arg(2);
 
-void print_paper_table() {
+void print_paper_table(bench::JsonReport& report) {
   const support::CycleConverter cycles(2.75);
   std::printf("\n=== E1: enclave transition costs vs patch level (paper §2.3.1) ===\n");
   std::printf("paper: ~5,850 cy (~2,130 ns) / ~10,170 cy (~3,850 ns) / ~13,100 cy (~4,890 ns)\n\n");
@@ -88,6 +89,10 @@ void print_paper_table() {
                 static_cast<unsigned long long>(cycles.ns_to_cycles(round_trip)),
                 static_cast<unsigned long long>(ecall_ns),
                 static_cast<unsigned long long>(both_ns));
+    const std::string lvl_name = to_string(lvl);
+    report.metric("round_trip_ns." + lvl_name, static_cast<double>(round_trip), "ns");
+    report.metric("ecall_ns." + lvl_name, static_cast<double>(ecall_ns), "ns");
+    report.metric("ecall_ocall_ns." + lvl_name, static_cast<double>(both_ns), "ns");
   }
   std::printf("\n");
 }
@@ -95,7 +100,10 @@ void print_paper_table() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_paper_table();
+  const bool smoke = bench::strip_smoke_flag(argc, argv);
+  bench::JsonReport report("transitions", smoke);
+  print_paper_table(report);
+  if (smoke) return report.write() ? 0 : 1;  // virtual time: the table is exact
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -74,6 +74,7 @@ Nanoseconds Analyzer::adjusted_duration(const CallRecord& c) const {
 
 AnalysisReport Analyzer::analyze() const {
   AnalysisReport report;
+  report.dropped_events = db_.dropped_events();
   compute_overviews(report);
   compute_stats(report);
   detect_short_calls(report);

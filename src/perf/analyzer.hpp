@@ -136,6 +136,9 @@ struct AnalysisReport {
   std::vector<EnclaveOverview> overviews;
   std::vector<CallStats> stats;          // sorted by call count, descending
   std::vector<Finding> findings;         // sorted by severity, descending
+  /// Events rejected by sealed shards while recording (from the trace, v3).
+  /// Nonzero means the trace is silently truncated.
+  std::uint64_t dropped_events = 0;
 };
 
 class Analyzer {

@@ -4,6 +4,8 @@
 #include <map>
 #include <stdexcept>
 
+#include "telemetry/metrics.hpp"
+
 namespace perf {
 
 using sgxsim::CallId;
@@ -46,6 +48,25 @@ OcallKind sync_kind(std::size_t offset) {
 /// attach (or a different logger) after a detach/re-attach cycle.
 std::atomic<std::uint64_t> g_attach_counter{1};
 
+/// Registry handles resolved once per process; the recording hot paths pay
+/// only relaxed atomic adds after that.
+struct LoggerMetrics {
+  telemetry::Counter& events = telemetry::metrics().counter("logger.events_recorded", "events");
+  telemetry::Counter& ecalls = telemetry::metrics().counter("logger.ecalls_recorded", "calls");
+  telemetry::Counter& ocalls = telemetry::metrics().counter("logger.ocalls_recorded", "calls");
+  telemetry::Counter& aexs = telemetry::metrics().counter("logger.aexs_recorded", "events");
+  telemetry::Counter& paging = telemetry::metrics().counter("logger.paging_recorded", "events");
+  telemetry::Counter& syncs = telemetry::metrics().counter("logger.syncs_recorded", "events");
+  telemetry::Counter& late_drops = telemetry::metrics().counter("logger.late_drops", "events");
+  telemetry::Counter& instr_ns =
+      telemetry::metrics().counter("logger.instrumentation_ns", "ns");
+};
+
+LoggerMetrics& logger_metrics() {
+  static LoggerMetrics m;
+  return m;
+}
+
 }  // namespace
 
 Logger::Logger(tracedb::TraceDatabase& db, LoggerConfig config) : db_(db), config_(config) {}
@@ -64,6 +85,12 @@ void Logger::attach(sgxsim::Urts& urts) {
     // now: all its frames must have unwound before a re-attach.
     per_threads_.clear();
     names_registered_.clear();
+  }
+
+  sampler_.reset();
+  if (config_.metric_sample_period_ns > 0) {
+    sampler_ = std::make_unique<telemetry::TelemetrySampler>(
+        db_, urts.clock(), telemetry::metrics(), config_.metric_sample_period_ns);
   }
 
   auto& hooks = urts.hooks();
@@ -104,6 +131,11 @@ void Logger::detach() {
 
   finalize_open_calls(now);
   if (config_.sharded) db_.merge_shards();
+  // A final unconditional sample closes every counter track at detach time
+  // (after the merge, so tracedb's merge metrics are included).  The sampler
+  // object stays alive until the next attach: a frame still unwinding
+  // through the detached logger may poll it harmlessly.
+  if (sampler_ != nullptr) sampler_->sample_now();
 }
 
 void Logger::flush() {
@@ -169,7 +201,15 @@ Logger::PerThread& Logger::per_thread() {
 }
 
 CallIndex Logger::record_call(PerThread& pt, const CallRecord& rec) {
-  return pt.shard != nullptr ? pt.shard->add_call(rec) : db_.add_call(rec);
+  const CallIndex idx = pt.shard != nullptr ? pt.shard->add_call(rec) : db_.add_call(rec);
+  auto& m = logger_metrics();
+  if (pt.shard != nullptr && idx == tracedb::kShardSealed) {
+    m.late_drops.add();
+  } else {
+    m.events.add();
+    (rec.type == CallType::kEcall ? m.ecalls : m.ocalls).add();
+  }
+  return idx;
 }
 
 void Logger::record_finish(PerThread& pt, CallIndex idx, Nanoseconds end_ns,
@@ -255,6 +295,7 @@ SgxStatus Logger::shadow_sgx_ecall(EnclaveId eid, CallId id, const sgxsim::Ocall
   // Record entry: timestamp, thread, ids, direct parent (the enclosing ocall,
   // if this ecall was issued from one).
   clock.advance(cost.logger_ecall_pre_ns);
+  logger_metrics().instr_ns.add(cost.logger_ecall_pre_ns);
   CallRecord rec;
   rec.type = CallType::kEcall;
   rec.thread_id = tid;
@@ -268,6 +309,7 @@ SgxStatus Logger::shadow_sgx_ecall(EnclaveId eid, CallId id, const sgxsim::Ocall
   pt.stack.push_back({idx, CallType::kEcall});
   const std::uint32_t saved_aex = pt.aex_count_current_ecall;
   pt.aex_count_current_ecall = 0;
+  if (sampler_ != nullptr) sampler_->poll();
 
   // Swap in the shadow ocall table — always, "as we cannot know beforehand"
   // whether the ecall performs ocalls (§4.1.2) — and chain to the URTS.
@@ -279,9 +321,11 @@ SgxStatus Logger::shadow_sgx_ecall(EnclaveId eid, CallId id, const sgxsim::Ocall
   // flight, in which case detach() already finalized the record.
   if (attached() && attach_token_ == epoch) {
     clock.advance(cost.logger_ecall_post_ns);
+    logger_metrics().instr_ns.add(cost.logger_ecall_post_ns);
     record_finish(pt, idx, clock.now(), pt.aex_count_current_ecall);
     pt.stack.pop_back();
     pt.aex_count_current_ecall = saved_aex;
+    if (sampler_ != nullptr) sampler_->poll();
   }
   return ret;
 }
@@ -294,6 +338,7 @@ SgxStatus Logger::on_stub_call(const OcallStubRegistry::StubInfo& info, void* ms
   const std::uint64_t epoch = attach_token_;
 
   clock.advance(cost.logger_ocall_pre_ns);
+  logger_metrics().instr_ns.add(cost.logger_ocall_pre_ns);
   CallRecord rec;
   rec.type = CallType::kOcall;
   rec.thread_id = tid;
@@ -323,6 +368,8 @@ SgxStatus Logger::on_stub_call(const OcallStubRegistry::StubInfo& info, void* ms
       } else {
         db_.add_sync(r);
       }
+      logger_metrics().syncs.add();
+      logger_metrics().events.add();
     };
     switch (static_cast<SyncOcall>(offset)) {
       case SyncOcall::kWaitEvent:
@@ -360,12 +407,15 @@ SgxStatus Logger::on_stub_call(const OcallStubRegistry::StubInfo& info, void* ms
     }
   }
 
+  if (sampler_ != nullptr) sampler_->poll();
   const SgxStatus ret = info.original(ms);
 
   if (attached() && attach_token_ == epoch) {
     clock.advance(cost.logger_ocall_post_ns);
+    logger_metrics().instr_ns.add(cost.logger_ocall_post_ns);
     record_finish(pt, idx, clock.now(), 0);
     pt.stack.pop_back();
+    if (sampler_ != nullptr) sampler_->poll();
   }
   return ret;
 }
@@ -379,6 +429,7 @@ void Logger::on_aex(EnclaveId eid, ThreadId tid, Nanoseconds now, sgxsim::AexCau
   ++pt.aex_count_current_ecall;
   if (config_.trace_aex) {
     clock.advance(cost.logger_aex_trace_ns);
+    logger_metrics().instr_ns.add(cost.logger_aex_trace_ns);
     tracedb::AexRecord rec;
     rec.thread_id = tid;
     rec.enclave_id = eid;
@@ -404,8 +455,11 @@ void Logger::on_aex(EnclaveId eid, ThreadId tid, Nanoseconds now, sgxsim::AexCau
     } else {
       db_.add_aex(rec);
     }
+    logger_metrics().aexs.add();
+    logger_metrics().events.add();
   } else {
     clock.advance(cost.logger_aex_count_ns);
+    logger_metrics().instr_ns.add(cost.logger_aex_count_ns);
   }
 }
 
@@ -423,6 +477,8 @@ void Logger::on_paging(EnclaveId eid, std::uint64_t page, sgxsim::PageDirection 
   } else {
     db_.add_paging(rec);
   }
+  logger_metrics().paging.add();
+  logger_metrics().events.add();
 }
 
 }  // namespace perf

@@ -23,6 +23,7 @@
 
 #include "perf/stubs.hpp"
 #include "sgxsim/runtime.hpp"
+#include "telemetry/sampler.hpp"
 #include "tracedb/database.hpp"
 
 namespace perf {
@@ -37,6 +38,10 @@ struct LoggerConfig {
   /// Record into per-thread shards (lock-free hot path, merged at detach).
   /// false = serialize every record through the database mutex.
   bool sharded = true;
+  /// Virtual-time cadence at which the telemetry registry is sampled into
+  /// the trace (MetricSample table, format v3).  0 = sampling off, which
+  /// keeps traces byte-identical to pre-telemetry recordings.
+  support::Nanoseconds metric_sample_period_ns = 0;
 };
 
 /// Traces ecalls, ocalls, AEXs, synchronisation and paging into a
@@ -136,6 +141,11 @@ class Logger {
   LoggerConfig config_;
   sgxsim::Urts* urts_ = nullptr;
   std::uint64_t attach_token_ = 0;
+
+  /// Snapshots the metrics registry into the database on a virtual-time
+  /// cadence; polled from the recording hot paths.  Null when sampling is
+  /// off (the default).
+  std::unique_ptr<telemetry::TelemetrySampler> sampler_;
 
   std::mutex mu_;
   std::vector<std::unique_ptr<PerThread>> per_threads_;

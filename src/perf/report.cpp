@@ -50,6 +50,13 @@ std::string render_text(const AnalysisReport& report) {
   if (report.stats.size() > limit) {
     out += format("  ... and %zu more call sites\n", report.stats.size() - limit);
   }
+  if (report.dropped_events > 0) {
+    out += format(
+        "WARNING: %llu event(s) were dropped by sealed trace shards during "
+        "recording — this trace is incomplete and the statistics above "
+        "undercount.\n",
+        static_cast<unsigned long long>(report.dropped_events));
+  }
   out += "\n";
 
   out += format("---- findings (%zu) ----\n", report.findings.size());

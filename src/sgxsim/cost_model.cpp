@@ -33,6 +33,7 @@ const char* to_string(SgxStatus s) noexcept {
 
 CostModel CostModel::preset(PatchLevel lvl) noexcept {
   CostModel m;
+  m.level = lvl;
   switch (lvl) {
     case PatchLevel::kUnpatched:
       // Round trip ~2,130 ns (~5,850 cycles @ ~2.75 GHz), §2.3.1 case (i).

@@ -22,6 +22,10 @@ enum class PatchLevel {
 [[nodiscard]] const char* to_string(PatchLevel lvl) noexcept;
 
 struct CostModel {
+  /// The patch level the transition costs below were calibrated for; kept
+  /// here so telemetry can attribute transitions per level.
+  PatchLevel level = PatchLevel::kUnpatched;
+
   // --- raw transition instructions -------------------------------------
   support::Nanoseconds eenter_ns = 1280;  // EENTER / ERESUME
   support::Nanoseconds eexit_ns = 850;    // EEXIT

@@ -2,11 +2,43 @@
 
 #include <stdexcept>
 
+#include "telemetry/metrics.hpp"
+
 namespace sgxsim {
+
+namespace {
+
+/// Registry handles resolved once per process; the paging paths pay only
+/// relaxed atomic adds after that.
+struct DriverMetrics {
+  telemetry::Gauge& epc_resident = telemetry::metrics().gauge("sgxsim.epc_resident", "pages");
+  telemetry::Counter& epc_evictions =
+      telemetry::metrics().counter("sgxsim.epc_evictions", "pages");
+  telemetry::Counter& page_ins = telemetry::metrics().counter("sgxsim.page_ins", "pages");
+  telemetry::Counter& page_faults = telemetry::metrics().counter("sgxsim.page_faults", "faults");
+  /// Virtual ns spent (charged) encrypting/decrypting pages on the EWB/ELDU
+  /// paths — the dominant paging cost (§2.3.3).
+  telemetry::Counter& page_crypto_ns =
+      telemetry::metrics().counter("sgxsim.page_crypto_ns", "ns");
+};
+
+DriverMetrics& driver_metrics() {
+  static DriverMetrics m;
+  return m;
+}
+
+}  // namespace
 
 Driver::Driver(support::VirtualClock& clock, const CostModel& cost, std::size_t epc_pages)
     : clock_(clock), cost_(cost), epc_pages_(epc_pages) {
   if (epc_pages == 0) throw std::invalid_argument("Driver: EPC must have at least one page");
+}
+
+Driver::~Driver() {
+  std::lock_guard lock(mu_);
+  if (!resident_.empty()) {
+    driver_metrics().epc_resident.sub(static_cast<std::int64_t>(resident_.size()));
+  }
 }
 
 void Driver::set_trace_hooks(PageHook hook) {
@@ -29,6 +61,10 @@ void Driver::evict_one() {
   lru_.pop_back();
   resident_.erase(victim);
   ++page_outs_;
+  auto& m = driver_metrics();
+  m.epc_evictions.add();
+  m.epc_resident.sub(1);
+  m.page_crypto_ns.add(cost_.page_out_ns);
   const auto now = clock_.advance(cost_.page_out_ns);
   if (hook_) hook_(victim.enclave, victim.page, PageDirection::kOut, now);
 }
@@ -41,18 +77,22 @@ void Driver::add_page(EnclaveId enclave, std::uint64_t page) {
   if (resident_.size() >= epc_pages_) evict_one();
   lru_.push_front(key);
   resident_.emplace(key, lru_.begin());
+  driver_metrics().epc_resident.add(1);
 }
 
 void Driver::remove_enclave(EnclaveId enclave) {
   std::lock_guard lock(mu_);
+  std::int64_t removed = 0;
   for (auto it = lru_.begin(); it != lru_.end();) {
     if (it->enclave == enclave) {
       resident_.erase(*it);
       it = lru_.erase(it);
+      ++removed;
     } else {
       ++it;
     }
   }
+  if (removed > 0) driver_metrics().epc_resident.sub(removed);
 }
 
 bool Driver::ensure_resident(EnclaveId enclave, std::uint64_t page) {
@@ -63,12 +103,17 @@ bool Driver::ensure_resident(EnclaveId enclave, std::uint64_t page) {
     return false;
   }
   // EPC fault: kernel handling + eviction (if full) + page-in.
+  auto& m = driver_metrics();
+  m.page_faults.add();
   clock_.advance(cost_.page_fault_ns);
   if (resident_.size() >= epc_pages_) evict_one();
   ++page_ins_;
+  m.page_ins.add();
+  m.page_crypto_ns.add(cost_.page_in_ns);
   const auto now = clock_.advance(cost_.page_in_ns);
   lru_.push_front(key);
   resident_.emplace(key, lru_.begin());
+  m.epc_resident.add(1);
   if (hook_) hook_(enclave, page, PageDirection::kIn, now);
   return true;
 }

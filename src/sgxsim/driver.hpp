@@ -32,6 +32,10 @@ class Driver {
   Driver(support::VirtualClock& clock, const CostModel& cost,
          std::size_t epc_pages = kDefaultEpcPages);
 
+  /// Returns this driver's still-resident pages to the process-wide EPC
+  /// residency gauge (several simulated machines share one registry).
+  ~Driver();
+
   Driver(const Driver&) = delete;
   Driver& operator=(const Driver&) = delete;
 

@@ -3,6 +3,8 @@
 #include <atomic>
 #include <stdexcept>
 
+#include "telemetry/metrics.hpp"
+
 namespace sgxsim {
 
 namespace {
@@ -55,6 +57,44 @@ namespace {
 std::atomic<std::uint64_t> g_urts_instance_counter{1};
 }  // namespace
 
+namespace metrics_detail {
+
+/// Registry handles resolved once per process; call sites pay only relaxed
+/// atomic adds after that.
+struct SimMetrics {
+  telemetry::Counter& transitions_unpatched =
+      telemetry::metrics().counter("sgxsim.transitions.unpatched", "transitions");
+  telemetry::Counter& transitions_spectre =
+      telemetry::metrics().counter("sgxsim.transitions.spectre", "transitions");
+  telemetry::Counter& transitions_l1tf =
+      telemetry::metrics().counter("sgxsim.transitions.spectre_l1tf", "transitions");
+  telemetry::Counter& aex_injected =
+      telemetry::metrics().counter("sgxsim.aex_injected", "events");
+  telemetry::Counter& switchless_calls =
+      telemetry::metrics().counter("sgxsim.switchless_calls", "calls");
+  telemetry::Counter& sync_ocalls = telemetry::metrics().counter("sgxsim.sync_ocalls", "calls");
+  telemetry::Gauge& tcs_in_use = telemetry::metrics().gauge("sgxsim.tcs_in_use", "tcs");
+
+  /// One EENTER..EEXIT (or EEXIT..ERESUME) round trip at patch level `lvl`.
+  telemetry::Counter& transitions_for(PatchLevel lvl) noexcept {
+    switch (lvl) {
+      case PatchLevel::kSpectre: return transitions_spectre;
+      case PatchLevel::kSpectreL1tf: return transitions_l1tf;
+      case PatchLevel::kUnpatched: break;
+    }
+    return transitions_unpatched;
+  }
+};
+
+SimMetrics& sim_metrics() {
+  static SimMetrics m;
+  return m;
+}
+
+}  // namespace metrics_detail
+
+using metrics_detail::sim_metrics;
+
 Urts::Urts(CostModel cost, std::size_t epc_pages)
     : cost_(cost), driver_(clock_, cost_, epc_pages) {
   instance_token_ = g_urts_instance_counter.fetch_add(1, std::memory_order_relaxed);
@@ -66,6 +106,7 @@ void Urts::set_patch_level(PatchLevel lvl) noexcept {
   // Only the transition-related costs change; the driver keeps referencing
   // the same CostModel object.
   const CostModel preset = CostModel::preset(lvl);
+  cost_.level = preset.level;
   cost_.eenter_ns = preset.eenter_ns;
   cost_.eexit_ns = preset.eexit_ns;
   cost_.aex_ns = preset.aex_ns;
@@ -199,6 +240,7 @@ Urts::CallFrame* Urts::innermost_ocall(ThreadState& ts, EnclaveId eid) {
 void Urts::deliver_aex(ThreadState& ts) {
   // State save into the SSA, EEXIT, kernel interrupt handler, AEP, ERESUME.
   const auto now = clock_.advance(cost_.aex_ns);
+  sim_metrics().aex_injected.add();
   CallFrame* ecall = innermost_ecall(ts);
   const EnclaveId eid = ecall != nullptr ? ecall->eid : 0;
   // The AEP normally holds exactly one ERESUME; the profiler may have patched
@@ -254,6 +296,7 @@ SgxStatus Urts::real_sgx_ecall(EnclaveId eid, CallId id, const OcallTable* table
   // EENTER/EEXIT, just the queue handoff cost.  Falls through to the normal
   // path when the feature is disabled for this enclave.
   if (enclave.interface().ecalls[id].is_switchless && switchless_workers(eid) > 0) {
+    sim_metrics().switchless_calls.add();
     clock_.advance(cost_.switchless_call_ns);
     ts.frames.push_back(CallFrame{eid, /*is_ocall=*/false, id, table, /*tcs_index=*/0});
     ts.next_aex_deadline = clock_.now() + cost_.timer_period_ns;
@@ -273,9 +316,11 @@ SgxStatus Urts::real_sgx_ecall(EnclaveId eid, CallId id, const OcallTable* table
   // URTS: find a free TCS (§2.1 — the TCS count bounds enclave concurrency).
   const auto tcs = enclave.acquire_tcs();
   if (!tcs) return SgxStatus::kOutOfTcs;
+  sim_metrics().tcs_in_use.add(1);
   clock_.advance(cost_.urts_ecall_overhead_ns);
 
   // EENTER.
+  sim_metrics().transitions_for(cost_.level).add();
   clock_.advance(cost_.eenter_ns);
   ts.frames.push_back(CallFrame{eid, /*is_ocall=*/false, id, table, *tcs});
   ts.next_aex_deadline = clock_.now() + cost_.timer_period_ns;
@@ -306,6 +351,7 @@ SgxStatus Urts::real_sgx_ecall(EnclaveId eid, CallId id, const OcallTable* table
   clock_.advance(cost_.eexit_ns);
   ts.frames.pop_back();
   enclave.release_tcs(*tcs);
+  sim_metrics().tcs_in_use.sub(1);
   return ret;
 }
 

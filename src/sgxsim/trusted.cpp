@@ -1,7 +1,30 @@
 // TrustedContext: the TRTS service surface available to trusted functions.
 #include "sgxsim/runtime.hpp"
 
+#include "telemetry/metrics.hpp"
+
 namespace sgxsim {
+
+namespace {
+
+// Same registry instruments as runtime.cpp's (registration is idempotent by
+// name), resolved once per process.
+telemetry::Counter& transitions_counter(PatchLevel lvl) {
+  static telemetry::Counter& unpatched =
+      telemetry::metrics().counter("sgxsim.transitions.unpatched", "transitions");
+  static telemetry::Counter& spectre =
+      telemetry::metrics().counter("sgxsim.transitions.spectre", "transitions");
+  static telemetry::Counter& l1tf =
+      telemetry::metrics().counter("sgxsim.transitions.spectre_l1tf", "transitions");
+  switch (lvl) {
+    case PatchLevel::kSpectre: return spectre;
+    case PatchLevel::kSpectreL1tf: return l1tf;
+    case PatchLevel::kUnpatched: break;
+  }
+  return unpatched;
+}
+
+}  // namespace
 
 SgxStatus TrustedContext::ocall(CallId id, void* ms) {
   Urts::CallFrame* ecall = urts_.innermost_ecall(ts_);
@@ -13,6 +36,7 @@ SgxStatus TrustedContext::ocall(CallId id, void* ms) {
   urts_.charge_in_enclave(ts_, urts_.cost_.trts_ocall_overhead_ns);
 
   // EEXIT to the URTS ocall dispatcher.
+  transitions_counter(urts_.cost_.level).add();
   urts_.clock_.advance(urts_.cost_.eexit_ns);
   ts_.frames.push_back(Urts::CallFrame{enclave_.id(), /*is_ocall=*/true, id, table, 0});
   urts_.clock_.advance(urts_.cost_.urts_ocall_dispatch_ns);
@@ -52,6 +76,9 @@ void TrustedContext::touch(EnclaveAddr addr, std::uint64_t len, MemAccess access
   const std::uint64_t last = (addr + len - 1) / kPageSize;
   for (std::uint64_t page = first; page <= last; ++page) {
     if (enclave_.touch_page(page, access)) {
+      static telemetry::Counter& aex_injected =
+          telemetry::metrics().counter("sgxsim.aex_injected", "events");
+      aex_injected.add();
       urts_.clock_.advance(urts_.cost_.aex_ns);
       if (urts_.hooks_.aep) {
         urts_.hooks_.aep(enclave_.id(), ts_.id, urts_.clock_.now(), AexCause::kPageFault);
@@ -65,6 +92,9 @@ SgxStatus TrustedContext::sync_ocall(SyncOcall which, ThreadId target,
                                      const std::vector<ThreadId>* targets) {
   Urts::CallFrame* ecall = urts_.innermost_ecall(ts_);
   if (ecall == nullptr || ecall->table == nullptr) return SgxStatus::kOcallNotAllowed;
+  static telemetry::Counter& sync_ocalls =
+      telemetry::metrics().counter("sgxsim.sync_ocalls", "calls");
+  sync_ocalls.add();
   SyncOcallMs ms;
   ms.urts = &urts_;
   ms.self = ts_.id;

@@ -1,0 +1,360 @@
+#include "support/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "support/strutil.hpp"
+
+namespace support::json {
+
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += format("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void Writer::comma() {
+  if (!needs_comma_.empty() && needs_comma_.back()) out_ += ',';
+}
+
+Writer& Writer::begin_object() {
+  comma();
+  out_ += '{';
+  needs_comma_.push_back(false);
+  return *this;
+}
+
+Writer& Writer::end_object() {
+  out_ += '}';
+  needs_comma_.pop_back();
+  if (!needs_comma_.empty()) needs_comma_.back() = true;
+  return *this;
+}
+
+Writer& Writer::begin_array() {
+  comma();
+  out_ += '[';
+  needs_comma_.push_back(false);
+  return *this;
+}
+
+Writer& Writer::end_array() {
+  out_ += ']';
+  needs_comma_.pop_back();
+  if (!needs_comma_.empty()) needs_comma_.back() = true;
+  return *this;
+}
+
+Writer& Writer::key(std::string_view k) {
+  comma();
+  out_ += '"';
+  out_ += escape(k);
+  out_ += "\":";
+  if (!needs_comma_.empty()) needs_comma_.back() = false;
+  return *this;
+}
+
+Writer& Writer::value(std::string_view s) {
+  comma();
+  out_ += '"';
+  out_ += escape(s);
+  out_ += '"';
+  if (!needs_comma_.empty()) needs_comma_.back() = true;
+  return *this;
+}
+
+Writer& Writer::value(double d) {
+  comma();
+  if (!std::isfinite(d)) {
+    out_ += "null";  // JSON has no NaN/Inf
+  } else if (d == static_cast<double>(static_cast<std::int64_t>(d)) &&
+             std::abs(d) < 1e15) {
+    out_ += format("%lld", static_cast<long long>(d));
+  } else {
+    out_ += format("%.12g", d);
+  }
+  if (!needs_comma_.empty()) needs_comma_.back() = true;
+  return *this;
+}
+
+Writer& Writer::value(std::uint64_t v) {
+  comma();
+  out_ += format("%llu", static_cast<unsigned long long>(v));
+  if (!needs_comma_.empty()) needs_comma_.back() = true;
+  return *this;
+}
+
+Writer& Writer::value(std::int64_t v) {
+  comma();
+  out_ += format("%lld", static_cast<long long>(v));
+  if (!needs_comma_.empty()) needs_comma_.back() = true;
+  return *this;
+}
+
+Writer& Writer::value(bool b) {
+  comma();
+  out_ += b ? "true" : "false";
+  if (!needs_comma_.empty()) needs_comma_.back() = true;
+  return *this;
+}
+
+Writer& Writer::null() {
+  comma();
+  out_ += "null";
+  if (!needs_comma_.empty()) needs_comma_.back() = true;
+  return *this;
+}
+
+const Value* Value::find(std::string_view key) const noexcept {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value run() {
+    Value v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const char* what) const {
+    throw std::runtime_error(format("json: %s at offset %zu", what, pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail("unexpected character");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  Value parse_value() {
+    if (depth_ > 128) fail("nesting too deep");
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': {
+        Value v;
+        v.kind = Value::Kind::kString;
+        v.string = parse_string();
+        return v;
+      }
+      case 't':
+      case 'f': {
+        Value v;
+        v.kind = Value::Kind::kBool;
+        if (consume_literal("true")) {
+          v.boolean = true;
+        } else if (consume_literal("false")) {
+          v.boolean = false;
+        } else {
+          fail("bad literal");
+        }
+        return v;
+      }
+      case 'n': {
+        if (!consume_literal("null")) fail("bad literal");
+        return Value{};
+      }
+      default: return parse_number();
+    }
+  }
+
+  Value parse_object() {
+    ++depth_;
+    Value v;
+    v.kind = Value::Kind::kObject;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      --depth_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      v.object.emplace_back(std::move(key), parse_value());
+      skip_ws();
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == '}') {
+        ++pos_;
+        break;
+      }
+      fail("expected ',' or '}'");
+    }
+    --depth_;
+    return v;
+  }
+
+  Value parse_array() {
+    ++depth_;
+    Value v;
+    v.kind = Value::Kind::kArray;
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      --depth_;
+      return v;
+    }
+    while (true) {
+      v.array.push_back(parse_value());
+      skip_ws();
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == ']') {
+        ++pos_;
+        break;
+      }
+      fail("expected ',' or ']'");
+    }
+    --depth_;
+    return v;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') break;
+      if (static_cast<unsigned char>(c) < 0x20) fail("raw control character in string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("bad \\u escape");
+            }
+          }
+          // Minimal UTF-8 encoding; surrogate pairs are passed through as
+          // two 3-byte sequences (fine for validation purposes).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: fail("bad escape character");
+      }
+    }
+    return out;
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start || (pos_ == start + 1 && text_[start] == '-')) fail("bad number");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double d = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') fail("bad number");
+    Value v;
+    v.kind = Value::Kind::kNumber;
+    v.number = d;
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+Value parse(std::string_view text) { return Parser(text).run(); }
+
+}  // namespace support::json

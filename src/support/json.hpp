@@ -1,0 +1,83 @@
+// Minimal JSON support shared by the telemetry exporters, the bench result
+// writers and the CLI's --json output: a streaming writer that produces
+// deterministic, byte-stable text (important for golden-file tests) and a
+// small validating recursive-descent parser used by tests and by
+// tools/json_check to verify that everything we emit is well-formed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace support::json {
+
+/// Escapes `s` for use inside a JSON string literal (no surrounding quotes).
+[[nodiscard]] std::string escape(std::string_view s);
+
+/// Streaming JSON writer.  The caller drives the nesting explicitly; commas
+/// are inserted automatically.  Numbers are formatted deterministically
+/// (integers as-is, doubles with up to 12 significant digits), so identical
+/// input always yields identical bytes.
+class Writer {
+ public:
+  Writer& begin_object();
+  Writer& end_object();
+  Writer& begin_array();
+  Writer& end_array();
+
+  /// Emits the key of the next object member.
+  Writer& key(std::string_view k);
+
+  Writer& value(std::string_view s);
+  Writer& value(const char* s) { return value(std::string_view(s)); }
+  Writer& value(double d);
+  Writer& value(std::uint64_t v);
+  Writer& value(std::int64_t v);
+  Writer& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  Writer& value(bool b);
+  Writer& null();
+
+  /// Convenience: key + value in one call.
+  template <typename T>
+  Writer& kv(std::string_view k, T&& v) {
+    key(k);
+    return value(std::forward<T>(v));
+  }
+
+  [[nodiscard]] const std::string& str() const noexcept { return out_; }
+  [[nodiscard]] std::string take() noexcept { return std::move(out_); }
+
+ private:
+  void comma();
+
+  std::string out_;
+  std::vector<bool> needs_comma_;  // one flag per open container
+};
+
+/// Parsed JSON value (document order preserved for objects).
+struct Value {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Value> array;
+  std::vector<std::pair<std::string, Value>> object;
+
+  [[nodiscard]] bool is_object() const noexcept { return kind == Kind::kObject; }
+  [[nodiscard]] bool is_array() const noexcept { return kind == Kind::kArray; }
+  [[nodiscard]] bool is_number() const noexcept { return kind == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const noexcept { return kind == Kind::kString; }
+
+  /// First member named `key`, or nullptr (objects only).
+  [[nodiscard]] const Value* find(std::string_view key) const noexcept;
+};
+
+/// Parses a complete JSON document.  Throws std::runtime_error with a byte
+/// offset on malformed input (including trailing garbage).
+[[nodiscard]] Value parse(std::string_view text);
+
+}  // namespace support::json

@@ -1,0 +1,184 @@
+#include "telemetry/chrome_trace.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "support/json.hpp"
+#include "support/strutil.hpp"
+
+namespace telemetry {
+namespace {
+
+using support::json::Writer;
+
+/// trace-event timestamps are microseconds; virtual ns divide exactly into
+/// fractional-µs doubles (53-bit mantissa comfortably covers any simulated
+/// trace length).
+double to_us(tracedb::Nanoseconds ns) { return static_cast<double>(ns) / 1000.0; }
+
+/// Counter tracks live under their own synthetic process so they do not
+/// interleave with the per-thread call tracks.
+constexpr std::uint64_t kTelemetryPid = 0;
+
+void write_process_names(Writer& w, const tracedb::TraceDatabase& db) {
+  for (const auto& e : db.enclaves()) {
+    w.begin_object();
+    w.kv("name", "process_name");
+    w.kv("ph", "M");
+    w.kv("pid", e.enclave_id);
+    w.key("args").begin_object();
+    w.kv("name", e.name.empty() ? support::format("enclave %llu",
+                                                  static_cast<unsigned long long>(e.enclave_id))
+                                : "enclave " + e.name);
+    w.end_object();
+    w.end_object();
+  }
+  if (!db.metric_samples().empty()) {
+    w.begin_object();
+    w.kv("name", "process_name");
+    w.kv("ph", "M");
+    w.kv("pid", kTelemetryPid);
+    w.key("args").begin_object();
+    w.kv("name", "telemetry");
+    w.end_object();
+    w.end_object();
+  }
+}
+
+void write_calls(Writer& w, const tracedb::TraceDatabase& db) {
+  for (const auto& c : db.calls()) {
+    w.begin_object();
+    w.kv("name", db.name_of(c.enclave_id, c.type, c.call_id));
+    w.kv("cat", c.type == tracedb::CallType::kEcall ? "ecall" : "ocall");
+    w.kv("ph", "X");
+    w.kv("ts", to_us(c.start_ns));
+    w.kv("dur", to_us(c.end_ns >= c.start_ns ? c.end_ns - c.start_ns : 0));
+    w.kv("pid", c.enclave_id);
+    w.kv("tid", static_cast<std::uint64_t>(c.thread_id));
+    w.key("args").begin_object();
+    w.kv("call_id", static_cast<std::uint64_t>(c.call_id));
+    if (c.aex_count > 0) w.kv("aex_count", static_cast<std::uint64_t>(c.aex_count));
+    w.end_object();
+    w.end_object();
+  }
+}
+
+void write_aexs(Writer& w, const tracedb::TraceDatabase& db) {
+  for (const auto& a : db.aexs()) {
+    w.begin_object();
+    w.kv("name", "AEX");
+    w.kv("cat", "aex");
+    w.kv("ph", "i");
+    w.kv("s", "t");  // thread-scoped instant
+    w.kv("ts", to_us(a.timestamp_ns));
+    w.kv("pid", a.enclave_id);
+    w.kv("tid", static_cast<std::uint64_t>(a.thread_id));
+    w.key("args").begin_object();
+    const char* cause = a.cause == tracedb::AexCause::kInterrupt
+                            ? "interrupt"
+                            : (a.cause == tracedb::AexCause::kPageFault ? "page_fault"
+                                                                        : "unknown");
+    w.kv("cause", cause);
+    w.end_object();
+    w.end_object();
+  }
+}
+
+void write_paging(Writer& w, const tracedb::TraceDatabase& db) {
+  for (const auto& p : db.paging()) {
+    w.begin_object();
+    w.kv("name", p.direction == tracedb::PageDirection::kPageIn ? "page_in" : "page_out");
+    w.kv("cat", "paging");
+    w.kv("ph", "i");
+    w.kv("s", "p");  // process-scoped instant: paging is not tied to a thread
+    w.kv("ts", to_us(p.timestamp_ns));
+    w.kv("pid", p.enclave_id);
+    w.kv("tid", static_cast<std::uint64_t>(0));
+    w.key("args").begin_object();
+    w.kv("page", p.page_number);
+    w.end_object();
+    w.end_object();
+  }
+}
+
+void write_counters(Writer& w, const tracedb::TraceDatabase& db) {
+  for (const auto& s : db.metric_samples()) {
+    const auto& series = db.metric_series();
+    if (s.series_id >= series.size()) continue;  // corrupt reference: skip
+    const auto& meta = series[s.series_id];
+    w.begin_object();
+    w.kv("name", meta.name);
+    w.kv("cat", "metric");
+    w.kv("ph", "C");
+    w.kv("ts", to_us(s.timestamp_ns));
+    w.kv("pid", kTelemetryPid);
+    w.key("args").begin_object();
+    w.kv("value", s.value);
+    w.end_object();
+    w.end_object();
+  }
+}
+
+}  // namespace
+
+std::string export_chrome_trace(const tracedb::TraceDatabase& db) {
+  Writer w;
+  w.begin_object();
+  w.kv("displayTimeUnit", "ns");
+  w.key("traceEvents").begin_array();
+  write_process_names(w, db);
+  write_calls(w, db);
+  write_aexs(w, db);
+  write_paging(w, db);
+  write_counters(w, db);
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+std::string render_metrics_summary(const tracedb::TraceDatabase& db) {
+  std::string out;
+  const auto& series = db.metric_series();
+  const auto& samples = db.metric_samples();
+
+  out += "---- telemetry ----\n";
+  out += support::format("metric series:   %zu\n", series.size());
+  out += support::format("metric samples:  %zu\n", samples.size());
+  out += support::format("events dropped:  %llu\n",
+                         static_cast<unsigned long long>(db.dropped_events()));
+  if (series.empty()) {
+    out += "(no telemetry in this trace; record with sampling enabled)\n";
+    return out;
+  }
+
+  // Final sampled value per series (samples are appended in time order).
+  std::vector<const tracedb::MetricSampleRecord*> last(series.size(), nullptr);
+  std::vector<std::size_t> count(series.size(), 0);
+  for (const auto& s : samples) {
+    if (s.series_id >= series.size()) continue;
+    last[s.series_id] = &s;
+    ++count[s.series_id];
+  }
+
+  out += "\nseries                                    kind     samples  last value\n";
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    const auto& meta = series[i];
+    std::string value = "-";
+    if (last[i] != nullptr) {
+      const double v = last[i]->value;
+      if (v == static_cast<double>(static_cast<long long>(v))) {
+        value = support::format("%lld", static_cast<long long>(v));
+      } else {
+        value = support::format("%.3f", v);
+      }
+      if (!meta.unit.empty()) value += " " + meta.unit;
+    }
+    out += support::format("%-41s %-8s %7zu  %s\n", meta.name.c_str(),
+                           meta.kind == tracedb::MetricKind::kGauge ? "gauge" : "counter",
+                           count[i], value.c_str());
+  }
+  return out;
+}
+
+}  // namespace telemetry

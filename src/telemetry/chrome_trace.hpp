@@ -1,0 +1,30 @@
+// Chrome trace-event / Perfetto JSON export of a trace database.
+//
+// The original sgx-perf ships its own Qt-based visualiser; here the export
+// path targets the ubiquitous trace-event format instead, so any recorded
+// trace opens directly in chrome://tracing or ui.perfetto.dev:
+//
+//   * ecalls/ocalls  ->  "X" complete events, one track per thread
+//   * AEXs           ->  "i" instant events (thread scope)
+//   * paging events  ->  "i" instant events (process scope)
+//   * metric samples ->  "C" counter events, one track per series
+//
+// Timestamps are virtual nanoseconds converted to the format's microsecond
+// unit as exact microsecond doubles.  The output is deterministic: identical
+// databases produce identical bytes (golden-file tested).
+#pragma once
+
+#include <string>
+
+#include "tracedb/database.hpp"
+
+namespace telemetry {
+
+/// Renders `db` as a JSON object in the Chrome trace-event format.
+[[nodiscard]] std::string export_chrome_trace(const tracedb::TraceDatabase& db);
+
+/// Renders the `sgxperf metrics` summary: one line per metric series with
+/// its final sampled value, plus sample/series counts.  Text mode.
+[[nodiscard]] std::string render_metrics_summary(const tracedb::TraceDatabase& db);
+
+}  // namespace telemetry

@@ -1,0 +1,303 @@
+// Lock-free runtime metrics registry — the first piece of the telemetry
+// layer (Stress-SGX-style continuous health signals for the recorder and
+// the simulator itself).
+//
+// Three instrument kinds:
+//
+//   Counter   — monotonically increasing u64 (events recorded, page-ins, ...)
+//   Gauge     — signed value updated by deltas (EPC residency, TCS occupancy)
+//   Histogram — fixed upper-bound buckets + sum (merge latency, charged ns)
+//
+// Hot-path contract: add()/observe() never take a lock.  Every instrument
+// owns kStripes cache-line-aligned cells; a thread picks its stripe once
+// (thread-local registration counter) and then only ever touches that cell
+// with relaxed atomics, so concurrent writers on different threads do not
+// share cache lines.  Reads (value()/snapshot()) sum the stripes — they are
+// racy-by-design point-in-time views, exactly what a sampler wants.
+//
+// Registration (counter()/gauge()/histogram()) takes a mutex — call sites
+// are expected to cache the returned reference (function-local static), so
+// the lookup happens once per process.  Instruments live as long as the
+// registry; references never dangle or move.
+//
+// This header is intentionally self-contained (support/ only) so that low
+// layers (tracedb, sgxsim) can instrument themselves without a link-time
+// dependency on the exporter library.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace telemetry {
+
+/// Number of per-instrument thread stripes.  More threads than stripes is
+/// correct (atomics), merely contended.
+inline constexpr std::size_t kStripes = 16;
+
+enum class MetricKind : std::uint8_t {
+  kCounter = 0,
+  kGauge = 1,
+};
+
+namespace detail {
+
+struct alignas(64) Cell {
+  std::atomic<std::int64_t> v{0};
+};
+
+/// Dense per-thread stripe index, assigned on first use, stable for the
+/// thread's lifetime.
+inline std::size_t thread_stripe() noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t stripe =
+      next.fetch_add(1, std::memory_order_relaxed) % kStripes;
+  return stripe;
+}
+
+}  // namespace detail
+
+/// Monotonic counter.  add() is lock-free and wait-free.
+class Counter {
+ public:
+  Counter(std::string name, std::string unit)
+      : name_(std::move(name)), unit_(std::move(unit)) {}
+
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void add(std::uint64_t delta = 1) noexcept {
+    cells_[detail::thread_stripe()].v.fetch_add(static_cast<std::int64_t>(delta),
+                                                std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    std::int64_t sum = 0;
+    for (const auto& c : cells_) sum += c.v.load(std::memory_order_relaxed);
+    return static_cast<std::uint64_t>(sum);
+  }
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const std::string& unit() const noexcept { return unit_; }
+
+  void reset() noexcept {
+    for (auto& c : cells_) c.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::string name_;
+  std::string unit_;
+  std::array<detail::Cell, kStripes> cells_;
+};
+
+/// Signed gauge updated by deltas (so updates stay per-stripe and lock-free;
+/// absolute set() would need cross-stripe coordination and is deliberately
+/// not offered).
+class Gauge {
+ public:
+  Gauge(std::string name, std::string unit)
+      : name_(std::move(name)), unit_(std::move(unit)) {}
+
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void add(std::int64_t delta) noexcept {
+    cells_[detail::thread_stripe()].v.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void sub(std::int64_t delta) noexcept { add(-delta); }
+
+  [[nodiscard]] std::int64_t value() const noexcept {
+    std::int64_t sum = 0;
+    for (const auto& c : cells_) sum += c.v.load(std::memory_order_relaxed);
+    return sum;
+  }
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const std::string& unit() const noexcept { return unit_; }
+
+  void reset() noexcept {
+    for (auto& c : cells_) c.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::string name_;
+  std::string unit_;
+  std::array<detail::Cell, kStripes> cells_;
+};
+
+/// Fixed-bucket histogram: `bounds` are inclusive upper bounds in ascending
+/// order; one implicit overflow bucket catches everything above the last
+/// bound.  observe() is lock-free: each stripe owns a private row of bucket
+/// counts plus a sum, padded to whole cache lines.
+class Histogram {
+ public:
+  Histogram(std::string name, std::vector<std::uint64_t> bounds, std::string unit)
+      : name_(std::move(name)), unit_(std::move(unit)), bounds_(std::move(bounds)) {
+    // Row layout per stripe: [bucket counts...][sum], padded to 64 bytes.
+    const std::size_t slots = bounds_.size() + 2;  // buckets + overflow + sum
+    stride_ = (slots + 7) / 8 * 8;                 // 8 atomics per cache line
+    cells_ = std::make_unique<std::atomic<std::uint64_t>[]>(stride_ * kStripes);
+    for (std::size_t i = 0; i < stride_ * kStripes; ++i) cells_[i] = 0;
+  }
+
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void observe(std::uint64_t v) noexcept {
+    std::size_t b = 0;
+    while (b < bounds_.size() && v > bounds_[b]) ++b;
+    auto* row = &cells_[detail::thread_stripe() * stride_];
+    row[b].fetch_add(1, std::memory_order_relaxed);
+    row[bounds_.size() + 1].fetch_add(v, std::memory_order_relaxed);
+  }
+
+  /// Count in bucket `b` (b == bounds().size() is the overflow bucket).
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t b) const noexcept {
+    std::uint64_t sum = 0;
+    for (std::size_t s = 0; s < kStripes; ++s)
+      sum += cells_[s * stride_ + b].load(std::memory_order_relaxed);
+    return sum;
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    std::uint64_t total = 0;
+    for (std::size_t b = 0; b <= bounds_.size(); ++b) total += bucket_count(b);
+    return total;
+  }
+
+  [[nodiscard]] std::uint64_t sum() const noexcept {
+    std::uint64_t total = 0;
+    for (std::size_t s = 0; s < kStripes; ++s)
+      total += cells_[s * stride_ + bounds_.size() + 1].load(std::memory_order_relaxed);
+    return total;
+  }
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const std::string& unit() const noexcept { return unit_; }
+  [[nodiscard]] const std::vector<std::uint64_t>& bounds() const noexcept { return bounds_; }
+
+  void reset() noexcept {
+    for (std::size_t i = 0; i < stride_ * kStripes; ++i)
+      cells_[i].store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::string name_;
+  std::string unit_;
+  std::vector<std::uint64_t> bounds_;
+  std::size_t stride_ = 0;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> cells_;
+};
+
+/// One aggregated value at snapshot time.  Histograms flatten into several
+/// rows: `<name>.count`, `<name>.sum` and one `<name>.le_<bound>` row per
+/// bucket — all counter-kind, so any exporter can treat rows uniformly.
+struct MetricSnapshotRow {
+  std::string name;
+  std::string unit;
+  MetricKind kind = MetricKind::kCounter;
+  double value = 0.0;
+};
+
+/// Owner of all instruments.  Registration is idempotent by name (the first
+/// registration wins; kind mismatches throw).  Instrument references stay
+/// valid for the registry's lifetime.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(std::string_view name, std::string_view unit = "") {
+    std::lock_guard lock(mu_);
+    for (const auto& c : counters_) {
+      if (c->name() == name) return *c;
+    }
+    counters_.push_back(std::make_unique<Counter>(std::string(name), std::string(unit)));
+    return *counters_.back();
+  }
+
+  Gauge& gauge(std::string_view name, std::string_view unit = "") {
+    std::lock_guard lock(mu_);
+    for (const auto& g : gauges_) {
+      if (g->name() == name) return *g;
+    }
+    gauges_.push_back(std::make_unique<Gauge>(std::string(name), std::string(unit)));
+    return *gauges_.back();
+  }
+
+  Histogram& histogram(std::string_view name, std::vector<std::uint64_t> bounds,
+                       std::string_view unit = "") {
+    std::lock_guard lock(mu_);
+    for (const auto& h : histograms_) {
+      if (h->name() == name) return *h;
+    }
+    histograms_.push_back(
+        std::make_unique<Histogram>(std::string(name), std::move(bounds), std::string(unit)));
+    return *histograms_.back();
+  }
+
+  /// Point-in-time aggregated view of every instrument, in registration
+  /// order (stable across snapshots, which keeps exported series ids
+  /// stable).
+  [[nodiscard]] std::vector<MetricSnapshotRow> snapshot() const {
+    std::lock_guard lock(mu_);
+    std::vector<MetricSnapshotRow> rows;
+    rows.reserve(counters_.size() + gauges_.size() + histograms_.size() * 4);
+    for (const auto& c : counters_) {
+      rows.push_back({c->name(), c->unit(), MetricKind::kCounter,
+                      static_cast<double>(c->value())});
+    }
+    for (const auto& g : gauges_) {
+      rows.push_back(
+          {g->name(), g->unit(), MetricKind::kGauge, static_cast<double>(g->value())});
+    }
+    for (const auto& h : histograms_) {
+      rows.push_back({h->name() + ".count", "", MetricKind::kCounter,
+                      static_cast<double>(h->count())});
+      rows.push_back({h->name() + ".sum", h->unit(), MetricKind::kCounter,
+                      static_cast<double>(h->sum())});
+      for (std::size_t b = 0; b < h->bounds().size(); ++b) {
+        rows.push_back({h->name() + ".le_" + std::to_string(h->bounds()[b]), "",
+                        MetricKind::kCounter, static_cast<double>(h->bucket_count(b))});
+      }
+    }
+    return rows;
+  }
+
+  /// Zeroes every instrument (experiment / test isolation).  Quiesce hot
+  /// writers first if exact-zero reads matter.
+  void reset() {
+    std::lock_guard lock(mu_);
+    for (const auto& c : counters_) c->reset();
+    for (const auto& g : gauges_) g->reset();
+    for (const auto& h : histograms_) h->reset();
+  }
+
+  [[nodiscard]] std::size_t instrument_count() const {
+    std::lock_guard lock(mu_);
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Counter>> counters_;
+  std::vector<std::unique_ptr<Gauge>> gauges_;
+  std::vector<std::unique_ptr<Histogram>> histograms_;
+};
+
+/// The process-wide registry every built-in instrumentation site uses.
+/// Values accumulate for the process lifetime (like /proc counters); the
+/// sampler turns them into per-trace timeseries.
+inline MetricsRegistry& metrics() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace telemetry

@@ -1,0 +1,51 @@
+#include "telemetry/sampler.hpp"
+
+namespace telemetry {
+
+TelemetrySampler::TelemetrySampler(tracedb::TraceDatabase& db,
+                                   const support::VirtualClock& clock,
+                                   MetricsRegistry& registry, support::Nanoseconds period_ns)
+    : db_(db), clock_(clock), registry_(registry), period_ns_(period_ns) {
+  next_deadline_ns_.store(period_ns == 0 ? ~support::Nanoseconds{0} : clock.now() + period_ns,
+                          std::memory_order_relaxed);
+}
+
+void TelemetrySampler::poll() {
+  if (period_ns_ == 0) return;
+  const support::Nanoseconds now = clock_.now();
+  support::Nanoseconds deadline = next_deadline_ns_.load(std::memory_order_relaxed);
+  if (now < deadline) return;
+  // Advance the deadline past `now` in one step, even if several periods
+  // elapsed since the last poll (idle stretches do not cause sample bursts).
+  support::Nanoseconds next = deadline;
+  while (next <= now) next += period_ns_;
+  if (!next_deadline_ns_.compare_exchange_strong(deadline, next, std::memory_order_relaxed)) {
+    return;  // another thread claimed this deadline
+  }
+  write_sample(now);
+}
+
+void TelemetrySampler::sample_now() { write_sample(clock_.now()); }
+
+void TelemetrySampler::write_sample(support::Nanoseconds now) {
+  // Snapshot rows can shift position between samples when instruments
+  // register mid-run, so series resolution goes by name through the
+  // database's idempotent registration (a linear scan over tens of series —
+  // the sampler cadence, not the event rate, bounds how often this runs).
+  const std::vector<MetricSnapshotRow> rows = registry_.snapshot();
+  std::lock_guard lock(write_mu_);
+  for (const auto& row : rows) {
+    const tracedb::MetricSeriesId id = db_.add_metric_series(
+        row.kind == MetricKind::kGauge ? tracedb::MetricKind::kGauge
+                                       : tracedb::MetricKind::kCounter,
+        row.name, row.unit);
+    tracedb::MetricSampleRecord rec;
+    rec.series_id = id;
+    rec.timestamp_ns = now;
+    rec.value = row.value;
+    db_.add_metric_sample(rec);
+  }
+  samples_taken_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace telemetry

@@ -1,0 +1,65 @@
+// TelemetrySampler: snapshots the metrics registry on a virtual-time cadence
+// into the trace database's MetricSample table (format v3), so resource
+// timeseries (EPC residency, events recorded, transitions, ...) ride along
+// in the same file the analyser and the Chrome exporter read.
+//
+// The sampler is *polled*, not threaded: instrumented hot paths (the logger's
+// ecall shadow, the ocall stubs) call poll() as they pass.  poll() is two
+// relaxed atomic loads on the fast path; when the virtual deadline has
+// passed, one caller claims the sample with a CAS and writes the snapshot
+// under the database mutex.  This matches the simulation's virtual time
+// model — there is no wall-clock thread that could observe virtual time
+// advancing — and bounds the overhead to the sampling cadence.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+#include "support/clock.hpp"
+#include "telemetry/metrics.hpp"
+#include "tracedb/database.hpp"
+
+namespace telemetry {
+
+class TelemetrySampler {
+ public:
+  /// Samples `registry` into `db` every `period_ns` of virtual time read
+  /// from `clock`.  A period of 0 disables the sampler (poll() becomes a
+  /// single load).  All referenced objects must outlive the sampler.
+  TelemetrySampler(tracedb::TraceDatabase& db, const support::VirtualClock& clock,
+                   MetricsRegistry& registry, support::Nanoseconds period_ns);
+
+  TelemetrySampler(const TelemetrySampler&) = delete;
+  TelemetrySampler& operator=(const TelemetrySampler&) = delete;
+
+  /// Hot-path hook: takes a sample iff the virtual deadline has passed.
+  /// Thread-safe; exactly one of the racing callers wins the CAS and writes.
+  void poll();
+
+  /// Takes a sample unconditionally (logger detach writes a final sample so
+  /// the trace always ends with a complete snapshot).
+  void sample_now();
+
+  [[nodiscard]] std::uint64_t samples_taken() const noexcept {
+    return samples_taken_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] support::Nanoseconds period_ns() const noexcept { return period_ns_; }
+
+ private:
+  void write_sample(support::Nanoseconds now);
+
+  tracedb::TraceDatabase& db_;
+  const support::VirtualClock& clock_;
+  MetricsRegistry& registry_;
+  support::Nanoseconds period_ns_;
+
+  std::atomic<support::Nanoseconds> next_deadline_ns_;
+  std::atomic<std::uint64_t> samples_taken_{0};
+
+  /// Serialises writers so two concurrent sample_now() calls cannot
+  /// interleave their per-series appends.
+  std::mutex write_mu_;
+};
+
+}  // namespace telemetry

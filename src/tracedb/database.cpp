@@ -1,11 +1,36 @@
 #include "tracedb/database.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 
 #include "support/strutil.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace tracedb {
+namespace {
+
+/// Registry handles resolved once per process; merge/registration paths pay
+/// only relaxed atomic adds after that.
+struct DbMetrics {
+  telemetry::Counter& shards_registered =
+      telemetry::metrics().counter("tracedb.shards_registered", "shards");
+  telemetry::Counter& shard_seals = telemetry::metrics().counter("tracedb.shard_seals", "shards");
+  telemetry::Counter& merges = telemetry::metrics().counter("tracedb.merges", "merges");
+  telemetry::Counter& merge_records =
+      telemetry::metrics().counter("tracedb.merge_records", "records");
+  telemetry::Counter& events_dropped =
+      telemetry::metrics().counter("tracedb.events_dropped", "events");
+  telemetry::Histogram& merge_ns = telemetry::metrics().histogram(
+      "tracedb.merge_ns", {10'000, 100'000, 1'000'000, 10'000'000, 100'000'000}, "ns");
+};
+
+DbMetrics& db_metrics() {
+  static DbMetrics m;
+  return m;
+}
+
+}  // namespace
 
 TraceDatabase::TraceDatabase(TraceDatabase&& other) noexcept {
   std::scoped_lock lock(mu_, other.mu_);
@@ -15,10 +40,14 @@ TraceDatabase::TraceDatabase(TraceDatabase&& other) noexcept {
   syncs_ = std::move(other.syncs_);
   enclaves_ = std::move(other.enclaves_);
   call_names_ = std::move(other.call_names_);
+  metric_series_ = std::move(other.metric_series_);
+  metric_samples_ = std::move(other.metric_samples_);
+  dropped_events_ = other.dropped_events_;
   shards_ = std::move(other.shards_);
   merge_stats_ = other.merge_stats_;
   other.shards_.clear();
   other.merge_stats_ = MergeStats{};
+  other.dropped_events_ = 0;
 }
 
 CallIndex TraceDatabase::add_call(const CallRecord& rec) {
@@ -84,7 +113,33 @@ EventShard& TraceDatabase::register_shard(ThreadId owner_thread, std::size_t own
   std::lock_guard lock(mu_);
   const auto id = static_cast<ShardId>(shards_.size());
   shards_.push_back(std::make_unique<EventShard>(id, owner_thread, owner_slot));
+  db_metrics().shards_registered.add();
   return *shards_.back();
+}
+
+MetricSeriesId TraceDatabase::add_metric_series(MetricKind kind, const std::string& name,
+                                                const std::string& unit) {
+  std::lock_guard lock(mu_);
+  for (const auto& s : metric_series_) {
+    if (s.name == name) return s.series_id;  // idempotent registration
+  }
+  MetricSeriesRecord rec;
+  rec.series_id = static_cast<MetricSeriesId>(metric_series_.size());
+  rec.kind = kind;
+  rec.name = name;
+  rec.unit = unit;
+  metric_series_.push_back(std::move(rec));
+  return metric_series_.back().series_id;
+}
+
+void TraceDatabase::add_metric_sample(const MetricSampleRecord& rec) {
+  std::lock_guard lock(mu_);
+  metric_samples_.push_back(rec);
+}
+
+std::uint64_t TraceDatabase::dropped_events() const {
+  std::lock_guard lock(mu_);
+  return dropped_events_;
 }
 
 namespace {
@@ -118,11 +173,13 @@ std::vector<ShardRef> merge_order(const std::vector<EventShard*>& live, GetNs&& 
 
 TraceDatabase::MergeStats TraceDatabase::merge_shards() {
   std::lock_guard lock(mu_);
+  const auto merge_start = std::chrono::steady_clock::now();
   MergeStats round;
   round.merges = 1;
 
   std::vector<EventShard*> live;
   for (auto& s : shards_) {
+    if (!s->sealed()) db_metrics().shard_seals.add();
     s->seal();
     if (!s->drained()) live.push_back(s.get());
   }
@@ -221,12 +278,19 @@ TraceDatabase::MergeStats TraceDatabase::merge_shards() {
   // --- drain ----------------------------------------------------------------
   for (EventShard* s : live) {
     if (s->events_recorded() > 0) ++round.shards_merged;
-    round.dropped += s->events_dropped();
     s->calls_.clear();
     s->aexs_.clear();
     s->paging_.clear();
     s->syncs_.clear();
     s->drained_ = true;
+  }
+
+  // Collect late-writer drops from *every* shard — drained husks included,
+  // since a writer can race the previous merge and drop into a husk — and
+  // zero the per-shard tallies so each drop is counted exactly once.
+  for (auto& s : shards_) {
+    round.dropped += s->events_dropped();
+    s->dropped_ = 0;
   }
 
   merge_stats_.merges += round.merges;
@@ -236,6 +300,16 @@ TraceDatabase::MergeStats TraceDatabase::merge_shards() {
   merge_stats_.paging += round.paging;
   merge_stats_.syncs += round.syncs;
   merge_stats_.dropped += round.dropped;
+  dropped_events_ += round.dropped;
+
+  auto& tm = db_metrics();
+  tm.merges.add();
+  tm.merge_records.add(round.calls + round.aexs + round.paging + round.syncs);
+  if (round.dropped > 0) tm.events_dropped.add(round.dropped);
+  tm.merge_ns.observe(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now() -
+                                                           merge_start)
+          .count()));
   return round;
 }
 
@@ -272,6 +346,9 @@ void TraceDatabase::clear() {
   syncs_.clear();
   enclaves_.clear();
   call_names_.clear();
+  metric_series_.clear();
+  metric_samples_.clear();
+  dropped_events_ = 0;
   for (auto& s : shards_) s->reset();
   merge_stats_ = MergeStats{};
 }

@@ -59,6 +59,15 @@ class TraceDatabase {
   void set_enclave_destroyed(EnclaveId id, Nanoseconds when);
   void add_call_name(const CallNameRecord& rec);
 
+  // --- telemetry tables (format v3) ----------------------------------------
+
+  /// Registers (idempotently, by name) a metric timeseries and returns its
+  /// id.  Samples are appended under the internal mutex — the sampler runs
+  /// at a coarse cadence, so this is not a hot path.
+  MetricSeriesId add_metric_series(MetricKind kind, const std::string& name,
+                                   const std::string& unit);
+  void add_metric_sample(const MetricSampleRecord& rec);
+
   // --- sharded writer API (see shard.hpp for the lifecycle) ----------------
 
   /// Creates a new per-thread shard and returns a stable reference (shards
@@ -103,6 +112,17 @@ class TraceDatabase {
   [[nodiscard]] const std::vector<CallNameRecord>& call_names() const noexcept {
     return call_names_;
   }
+  [[nodiscard]] const std::vector<MetricSeriesRecord>& metric_series() const noexcept {
+    return metric_series_;
+  }
+  [[nodiscard]] const std::vector<MetricSampleRecord>& metric_samples() const noexcept {
+    return metric_samples_;
+  }
+
+  /// Total events rejected by sealed shards over the database's lifetime
+  /// (accumulated at merge time, persisted in format v3).  Nonzero means the
+  /// trace is silently truncated — the analyser surfaces this as a warning.
+  [[nodiscard]] std::uint64_t dropped_events() const;
 
   /// Resolves a call's registered name; "<type>_<id>" if unregistered.
   [[nodiscard]] std::string name_of(EnclaveId enclave, CallType type, CallId id) const;
@@ -114,9 +134,11 @@ class TraceDatabase {
 
   // --- persistence (see serialize.cpp) -------------------------------------
 
-  /// Binary format v2.  Throws std::runtime_error on I/O or format errors,
-  /// or std::logic_error if unmerged shard events exist (merge first — the
-  /// file format has no notion of shards and must stay bit-stable).
+  /// Binary format v3 (v2 plus the dropped-event count and the telemetry
+  /// tables; load() still accepts v2 files).  Throws std::runtime_error on
+  /// I/O or format errors, or std::logic_error if unmerged shard events
+  /// exist (merge first — the file format has no notion of shards and must
+  /// stay bit-stable).
   void save(const std::string& path) const;
   static TraceDatabase load(const std::string& path);
 
@@ -131,6 +153,9 @@ class TraceDatabase {
   std::vector<SyncRecord> syncs_;
   std::vector<EnclaveRecord> enclaves_;
   std::vector<CallNameRecord> call_names_;
+  std::vector<MetricSeriesRecord> metric_series_;
+  std::vector<MetricSampleRecord> metric_samples_;
+  std::uint64_t dropped_events_ = 0;
 
   std::vector<std::unique_ptr<EventShard>> shards_;
   MergeStats merge_stats_;

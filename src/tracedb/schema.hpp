@@ -124,4 +124,27 @@ struct CallNameRecord {
   std::string name;
 };
 
+using MetricSeriesId = std::uint32_t;
+
+enum class MetricKind : std::uint8_t {
+  kCounter = 0,  // monotonically increasing
+  kGauge = 1,    // may go up and down
+};
+
+/// Metadata for one telemetry timeseries (format v3).  One row per metric
+/// name; samples reference the series by id.
+struct MetricSeriesRecord {
+  MetricSeriesId series_id = 0;
+  MetricKind kind = MetricKind::kCounter;
+  std::string name;
+  std::string unit;
+};
+
+/// One sampled metric value at a virtual timestamp (format v3).
+struct MetricSampleRecord {
+  MetricSeriesId series_id = 0;
+  Nanoseconds timestamp_ns = 0;
+  double value = 0.0;
+};
+
 }  // namespace tracedb

@@ -1,8 +1,14 @@
-// Binary persistence (format v2) and CSV export for TraceDatabase.
+// Binary persistence (formats v2/v3) and CSV export for TraceDatabase.
 //
-// Layout: magic "SGXPTRC2", then per table a u64 row count followed by rows.
-// v2 added the AEX cause byte; v1 files are rejected by the magic check.
-// Integers are little-endian fixed-width; strings are u32-length-prefixed.
+// Layout: magic "SGXPTRC3", then per table a u64 row count followed by rows.
+// v2 added the AEX cause byte; v3 appends the dropped-event count and the
+// telemetry tables (metric series, metric samples) after the v2 payload, so
+// a v2 file is exactly a v3 file that ends early — load() accepts both
+// magics and leaves the v3 fields at their defaults for v2 input.  v1 files
+// are rejected by the magic check.  Integers are little-endian fixed-width;
+// strings are u32-length-prefixed; metric values are IEEE-754 doubles
+// stored as their u64 bit pattern.
+#include <bit>
 #include <cstdint>
 #include <cstdio>
 #include <filesystem>
@@ -15,7 +21,8 @@
 namespace tracedb {
 namespace {
 
-constexpr char kMagic[8] = {'S', 'G', 'X', 'P', 'T', 'R', 'C', '2'};
+constexpr char kMagicV2[8] = {'S', 'G', 'X', 'P', 'T', 'R', 'C', '2'};
+constexpr char kMagicV3[8] = {'S', 'G', 'X', 'P', 'T', 'R', 'C', '3'};
 
 struct FileCloser {
   void operator()(std::FILE* f) const noexcept {
@@ -37,6 +44,7 @@ class Writer {
   void u32(std::uint32_t v) { bytes(&v, 4); }
   void u64(std::uint64_t v) { bytes(&v, 8); }
   void i64(std::int64_t v) { bytes(&v, 8); }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
   void str(const std::string& s) {
     u32(static_cast<std::uint32_t>(s.size()));
     bytes(s.data(), s.size());
@@ -76,6 +84,7 @@ class Reader {
     bytes(&v, 8);
     return v;
   }
+  double f64() { return std::bit_cast<double>(u64()); }
   std::string str() {
     const std::uint32_t n = u32();
     if (n > (1u << 24)) throw std::runtime_error("tracedb: implausible string length");
@@ -99,7 +108,7 @@ void TraceDatabase::save(const std::string& path) const {
     }
   }
   Writer w(path);
-  w.bytes(kMagic, sizeof(kMagic));
+  w.bytes(kMagicV3, sizeof(kMagicV3));
 
   w.u64(calls_.size());
   for (const auto& c : calls_) {
@@ -157,14 +166,41 @@ void TraceDatabase::save(const std::string& path) const {
     w.u32(n.call_id);
     w.str(n.name);
   }
+
+  // --- v3 additions ---------------------------------------------------------
+  w.u64(dropped_events_);
+
+  w.u64(metric_series_.size());
+  for (const auto& s : metric_series_) {
+    w.u32(s.series_id);
+    w.u8(static_cast<std::uint8_t>(s.kind));
+    w.str(s.name);
+    w.str(s.unit);
+  }
+
+  w.u64(metric_samples_.size());
+  for (const auto& s : metric_samples_) {
+    w.u32(s.series_id);
+    w.u64(s.timestamp_ns);
+    w.f64(s.value);
+  }
 }
 
 TraceDatabase TraceDatabase::load(const std::string& path) {
   Reader r(path);
   char magic[8];
   r.bytes(magic, sizeof(magic));
-  for (std::size_t i = 0; i < sizeof(kMagic); ++i) {
-    if (magic[i] != kMagic[i]) throw std::runtime_error("tracedb: bad magic in " + path);
+  bool v3 = true;
+  for (std::size_t i = 0; i < sizeof(kMagicV3); ++i) {
+    if (magic[i] != kMagicV3[i]) {
+      v3 = false;
+      break;
+    }
+  }
+  if (!v3) {
+    for (std::size_t i = 0; i < sizeof(kMagicV2); ++i) {
+      if (magic[i] != kMagicV2[i]) throw std::runtime_error("tracedb: bad magic in " + path);
+    }
   }
 
   TraceDatabase db;
@@ -241,6 +277,31 @@ TraceDatabase TraceDatabase::load(const std::string& path) {
     n.call_id = r.u32();
     n.name = r.str();
     db.call_names_.push_back(n);
+  }
+
+  if (v3) {
+    db.dropped_events_ = r.u64();
+
+    const std::uint64_t n_series = r.u64();
+    db.metric_series_.reserve(n_series);
+    for (std::uint64_t i = 0; i < n_series; ++i) {
+      MetricSeriesRecord s;
+      s.series_id = r.u32();
+      s.kind = static_cast<MetricKind>(r.u8());
+      s.name = r.str();
+      s.unit = r.str();
+      db.metric_series_.push_back(std::move(s));
+    }
+
+    const std::uint64_t n_samples = r.u64();
+    db.metric_samples_.reserve(n_samples);
+    for (std::uint64_t i = 0; i < n_samples; ++i) {
+      MetricSampleRecord s;
+      s.series_id = r.u32();
+      s.timestamp_ns = r.u64();
+      s.value = r.f64();
+      db.metric_samples_.push_back(s);
+    }
   }
 
   return db;
@@ -325,6 +386,23 @@ void TraceDatabase::export_csv(const std::string& directory) const {
     for (const auto& n : call_names_) {
       std::fprintf(f.get(), "%llu,%s,%u,%s\n", static_cast<unsigned long long>(n.enclave_id),
                    n.type == CallType::kEcall ? "ecall" : "ocall", n.call_id, n.name.c_str());
+    }
+  }
+  {
+    FilePtr f = open("metric_series.csv");
+    std::fprintf(f.get(), "series_id,kind,name,unit\n");
+    for (const auto& s : metric_series_) {
+      std::fprintf(f.get(), "%u,%s,%s,%s\n", s.series_id,
+                   s.kind == MetricKind::kCounter ? "counter" : "gauge", s.name.c_str(),
+                   s.unit.c_str());
+    }
+  }
+  {
+    FilePtr f = open("metric_samples.csv");
+    std::fprintf(f.get(), "series_id,timestamp_ns,value\n");
+    for (const auto& s : metric_samples_) {
+      std::fprintf(f.get(), "%u,%llu,%.17g\n", s.series_id,
+                   static_cast<unsigned long long>(s.timestamp_ns), s.value);
     }
   }
 }

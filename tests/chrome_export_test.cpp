@@ -1,0 +1,174 @@
+// Chrome trace-event exporter: byte-exact golden-file check on a handcrafted
+// database, plus schema validation of an export of a real logger-recorded
+// trace (per-thread duration events, instant events, counter tracks).
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+#include <string>
+#include <thread>
+
+#include "perf/logger.hpp"
+#include "sgxsim/runtime.hpp"
+#include "support/json.hpp"
+#include "telemetry/chrome_trace.hpp"
+#include "tests/sim_helpers.hpp"
+#include "tracedb/database.hpp"
+
+namespace {
+
+using support::json::Value;
+using tracedb::TraceDatabase;
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+}
+
+/// Deterministic database covering every event family the exporter handles.
+TraceDatabase golden_db() {
+  TraceDatabase db;
+  db.add_enclave({/*enclave_id=*/1, "worker", /*created_ns=*/0, /*destroyed_ns=*/90'000,
+                  /*tcs_count=*/2, /*size_bytes=*/1 << 20});
+  db.add_call_name({1, tracedb::CallType::kEcall, 0, "ecall_process"});
+  db.add_call_name({1, tracedb::CallType::kOcall, 0, "ocall_log"});
+
+  tracedb::CallRecord ecall;
+  ecall.type = tracedb::CallType::kEcall;
+  ecall.thread_id = 11;
+  ecall.enclave_id = 1;
+  ecall.call_id = 0;
+  ecall.start_ns = 1'000;
+  ecall.end_ns = 9'500;
+  ecall.aex_count = 1;
+  const auto parent = db.add_call(ecall);
+
+  tracedb::CallRecord ocall;
+  ocall.type = tracedb::CallType::kOcall;
+  ocall.thread_id = 11;
+  ocall.enclave_id = 1;
+  ocall.call_id = 0;
+  ocall.parent = parent;
+  ocall.start_ns = 3'000;
+  ocall.end_ns = 4'250;
+  db.add_call(ocall);
+
+  db.add_aex({/*thread_id=*/11, /*enclave_id=*/1, /*timestamp_ns=*/5'000, parent,
+              tracedb::AexCause::kInterrupt});
+  db.add_paging({/*enclave_id=*/1, /*page_number=*/42, tracedb::PageDirection::kPageOut,
+                 /*timestamp_ns=*/6'000});
+
+  const auto series =
+      db.add_metric_series(tracedb::MetricKind::kGauge, "sgxsim.epc_resident", "pages");
+  db.add_metric_sample({series, 2'000, 128.0});
+  db.add_metric_sample({series, 8'000, 127.0});
+  return db;
+}
+
+TEST(ChromeExport, MatchesGoldenFile) {
+  const std::string json = telemetry::export_chrome_trace(golden_db());
+  const std::string golden_path = std::string(GOLDEN_DIR) + "/chrome_trace.json";
+  const std::string expected = slurp(golden_path);
+  ASSERT_FALSE(expected.empty()) << "missing golden file: " << golden_path;
+  EXPECT_EQ(json + "\n", expected) << "exporter output drifted from " << golden_path
+                                   << " — if intentional, regenerate the golden file";
+}
+
+TEST(ChromeExport, GoldenOutputIsValidJson) {
+  const Value doc = support::json::parse(telemetry::export_chrome_trace(golden_db()));
+  ASSERT_TRUE(doc.is_object());
+  const Value* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  // 2 process_name metadata + 2 calls + 1 AEX + 1 paging + 2 samples.
+  EXPECT_EQ(events->array.size(), 8u);
+}
+
+TEST(ChromeExport, EmptyDatabaseExportsEmptyEventArray) {
+  TraceDatabase db;
+  const Value doc = support::json::parse(telemetry::export_chrome_trace(db));
+  const Value* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  EXPECT_TRUE(events->array.empty());
+}
+
+// End-to-end: record a real multi-threaded workload with telemetry sampling
+// on, export it, and check the trace-event schema the viewers rely on.
+TEST(ChromeExport, RecordedTraceHasCallTracksAndCounterTracks) {
+  using namespace sgxsim;
+  Urts urts;
+  TraceDatabase db;
+  perf::LoggerConfig config;
+  config.metric_sample_period_ns = 50'000;
+  perf::Logger logger(db, config);
+  logger.attach(urts);
+
+  constexpr const char* kEdl = R"(
+    enclave {
+      trusted { public int ecall_work(void); };
+      untrusted { void ocall_note(void); };
+    };
+  )";
+  EnclaveConfig enclave_config;
+  enclave_config.tcs_count = 3;
+  const EnclaveId eid = test_helpers::make_enclave(urts, kEdl, std::move(enclave_config));
+  urts.enclave(eid).register_ecall("ecall_work", [](TrustedContext& ctx, void*) {
+    ctx.work(2'000);
+    return ctx.ocall(0, nullptr);
+  });
+  OcallTable table = make_ocall_table({&test_helpers::empty_ocall});
+  std::thread other([&] {
+    for (int i = 0; i < 40; ++i) urts.sgx_ecall(eid, 0, &table, nullptr);
+  });
+  for (int i = 0; i < 40; ++i) urts.sgx_ecall(eid, 0, &table, nullptr);
+  other.join();
+  logger.detach();
+
+  const Value doc = support::json::parse(telemetry::export_chrome_trace(db));
+  const Value* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+
+  std::set<double> ecall_tids;
+  std::set<std::string> counter_names;
+  std::size_t duration_events = 0;
+  for (const auto& e : events->array) {
+    const Value* ph = e.find("ph");
+    ASSERT_NE(ph, nullptr);
+    if (ph->string == "X") {
+      ++duration_events;
+      ASSERT_NE(e.find("ts"), nullptr);
+      ASSERT_NE(e.find("dur"), nullptr);
+      const Value* cat = e.find("cat");
+      ASSERT_NE(cat, nullptr);
+      EXPECT_TRUE(cat->string == "ecall" || cat->string == "ocall");
+      if (cat->string == "ecall") ecall_tids.insert(e.find("tid")->number);
+    } else if (ph->string == "C") {
+      counter_names.insert(e.find("name")->string);
+    }
+  }
+  // Two worker threads issued 40 ecall+ocall pairs each.
+  EXPECT_EQ(duration_events, 160u);
+  EXPECT_EQ(ecall_tids.size(), 2u) << "expected one ecall track per worker thread";
+  // The acceptance bar: at least the EPC residency, events-recorded and
+  // transition counters must appear as counter tracks.
+  EXPECT_GE(counter_names.size(), 3u);
+  EXPECT_TRUE(counter_names.contains("sgxsim.epc_resident"));
+  EXPECT_TRUE(counter_names.contains("logger.events_recorded"));
+  EXPECT_TRUE(counter_names.contains("sgxsim.transitions.unpatched"));
+}
+
+TEST(MetricsSummary, RendersSeriesTable) {
+  const std::string out = telemetry::render_metrics_summary(golden_db());
+  EXPECT_NE(out.find("metric series:   1"), std::string::npos);
+  EXPECT_NE(out.find("metric samples:  2"), std::string::npos);
+  EXPECT_NE(out.find("sgxsim.epc_resident"), std::string::npos);
+  EXPECT_NE(out.find("gauge"), std::string::npos);
+  EXPECT_NE(out.find("127 pages"), std::string::npos);
+}
+
+TEST(MetricsSummary, ExplainsEmptyTelemetry) {
+  TraceDatabase db;
+  const std::string out = telemetry::render_metrics_summary(db);
+  EXPECT_NE(out.find("no telemetry in this trace"), std::string::npos);
+}
+
+}  // namespace

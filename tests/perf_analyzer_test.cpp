@@ -545,4 +545,33 @@ TEST(Security, MinimalAllowSetSuppressedWhenEdlGiven) {
   }
 }
 
+// --- dropped events (format v3) --------------------------------------------------
+
+TEST(DroppedEvents, SurfacedInReportWithWarning) {
+  TraceDatabase db;
+  auto& shard = db.register_shard(/*owner_thread=*/1);
+  db.merge_shards();  // seals the shard: further appends are dropped
+  CallRecord rec;
+  rec.thread_id = 1;
+  rec.enclave_id = 1;
+  rec.start_ns = 10;
+  rec.end_ns = 20;
+  EXPECT_EQ(shard.add_call(rec), tracedb::kShardSealed);
+  EXPECT_EQ(shard.add_call(rec), tracedb::kShardSealed);
+  db.merge_shards();  // collects the late-writer drops
+
+  const auto report = perf::Analyzer(db).analyze();
+  EXPECT_EQ(report.dropped_events, 2u);
+  const std::string text = render_text(report);
+  EXPECT_NE(text.find("WARNING: 2 event(s) were dropped"), std::string::npos);
+}
+
+TEST(DroppedEvents, NoWarningOnCompleteTrace) {
+  TraceDatabase db;
+  add(db, CallType::kEcall, 0, 0, 1'000);
+  const auto report = perf::Analyzer(db).analyze();
+  EXPECT_EQ(report.dropped_events, 0u);
+  EXPECT_EQ(render_text(report).find("WARNING"), std::string::npos);
+}
+
 }  // namespace

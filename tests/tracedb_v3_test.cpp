@@ -1,0 +1,152 @@
+// Binary format v3: the telemetry appendix round-trips byte-identically and
+// v2 files (written before the appendix existed) still load cleanly with the
+// v3 fields at their defaults.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "tracedb/database.hpp"
+
+namespace {
+
+using tracedb::CallRecord;
+using tracedb::CallType;
+using tracedb::MetricKind;
+using tracedb::TraceDatabase;
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+}
+
+/// Hand-assembles a minimal format-v2 file: magic + six tables (one call,
+/// the rest empty) and *no* v3 appendix — byte-for-byte what the previous
+/// serializer wrote.
+std::string write_v2_file() {
+  const std::string path = temp_path("tracedb_v2_compat.bin");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  EXPECT_NE(f, nullptr);
+  const auto u8 = [&](std::uint8_t v) { std::fwrite(&v, 1, 1, f); };
+  const auto u32 = [&](std::uint32_t v) { std::fwrite(&v, 4, 1, f); };
+  const auto u64 = [&](std::uint64_t v) { std::fwrite(&v, 8, 1, f); };
+  const auto i64 = [&](std::int64_t v) { std::fwrite(&v, 8, 1, f); };
+
+  std::fwrite("SGXPTRC2", 1, 8, f);
+  u64(1);       // calls: one record
+  u8(0);        //   type = ecall
+  u8(0);        //   kind = generic
+  u32(7);       //   thread_id
+  u64(1);       //   enclave_id
+  u32(3);       //   call_id
+  i64(-1);      //   parent = none
+  u64(100);     //   start_ns
+  u64(4305);    //   end_ns
+  u32(2);       //   aex_count
+  u64(0);       // aexs: empty
+  u64(0);       // paging: empty
+  u64(0);       // syncs: empty
+  u64(0);       // enclaves: empty
+  u64(0);       // call_names: empty
+  // v2 ends here: no dropped count, no metric tables.
+  std::fclose(f);
+  return path;
+}
+
+TEST(FormatV3, LoadsV2FilesWithDefaultedTelemetryFields) {
+  const std::string path = write_v2_file();
+  const TraceDatabase db = TraceDatabase::load(path);
+  ASSERT_EQ(db.calls().size(), 1u);
+  EXPECT_EQ(db.calls()[0].thread_id, 7u);
+  EXPECT_EQ(db.calls()[0].call_id, 3u);
+  EXPECT_EQ(db.calls()[0].end_ns, 4305u);
+  EXPECT_EQ(db.calls()[0].aex_count, 2u);
+  EXPECT_EQ(db.dropped_events(), 0u);
+  EXPECT_TRUE(db.metric_series().empty());
+  EXPECT_TRUE(db.metric_samples().empty());
+  std::filesystem::remove(path);
+}
+
+TEST(FormatV3, RejectsUnknownMagic) {
+  const std::string path = temp_path("tracedb_bad_magic.bin");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fwrite("SGXPTRC1", 1, 8, f);
+  std::fclose(f);
+  EXPECT_THROW((void)TraceDatabase::load(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TraceDatabase build_v3_db() {
+  TraceDatabase db;
+  CallRecord c;
+  c.type = CallType::kEcall;
+  c.thread_id = 1;
+  c.enclave_id = 1;
+  c.call_id = 0;
+  c.start_ns = 10;
+  c.end_ns = 4215;
+  db.add_call(c);
+
+  const auto counter = db.add_metric_series(MetricKind::kCounter, "logger.events", "events");
+  const auto gauge = db.add_metric_series(MetricKind::kGauge, "sgxsim.epc_resident", "pages");
+  db.add_metric_sample({counter, 1000, 2.0});
+  db.add_metric_sample({gauge, 1000, 512.0});
+  db.add_metric_sample({counter, 2000, 17.5});  // fractional values survive
+
+  // A real dropped event: seal the shard via merge, then append late.
+  auto& shard = db.register_shard(/*owner_thread=*/1);
+  db.merge_shards();
+  EXPECT_EQ(shard.add_call(c), tracedb::kShardSealed);
+  db.merge_shards();  // collects the drop into dropped_events()
+  EXPECT_EQ(db.dropped_events(), 1u);
+  return db;
+}
+
+TEST(FormatV3, RoundTripsByteIdentically) {
+  const TraceDatabase original = build_v3_db();
+  const std::string path_a = temp_path("tracedb_v3_a.bin");
+  const std::string path_b = temp_path("tracedb_v3_b.bin");
+  original.save(path_a);
+
+  const TraceDatabase reloaded = TraceDatabase::load(path_a);
+  EXPECT_EQ(reloaded.dropped_events(), 1u);
+  ASSERT_EQ(reloaded.metric_series().size(), 2u);
+  EXPECT_EQ(reloaded.metric_series()[0].name, "logger.events");
+  EXPECT_EQ(reloaded.metric_series()[0].kind, MetricKind::kCounter);
+  EXPECT_EQ(reloaded.metric_series()[1].name, "sgxsim.epc_resident");
+  EXPECT_EQ(reloaded.metric_series()[1].kind, MetricKind::kGauge);
+  ASSERT_EQ(reloaded.metric_samples().size(), 3u);
+  EXPECT_EQ(reloaded.metric_samples()[0].timestamp_ns, 1000u);
+  EXPECT_DOUBLE_EQ(reloaded.metric_samples()[2].value, 17.5);
+
+  reloaded.save(path_b);
+  const std::string bytes_a = slurp(path_a);
+  const std::string bytes_b = slurp(path_b);
+  ASSERT_FALSE(bytes_a.empty());
+  EXPECT_EQ(bytes_a, bytes_b);
+  EXPECT_EQ(bytes_a.substr(0, 8), "SGXPTRC3");
+  std::filesystem::remove(path_a);
+  std::filesystem::remove(path_b);
+}
+
+TEST(FormatV3, SeriesRegistrationIsIdempotentByName) {
+  TraceDatabase db;
+  const auto a = db.add_metric_series(MetricKind::kCounter, "x", "u");
+  const auto b = db.add_metric_series(MetricKind::kCounter, "x", "other");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(db.metric_series().size(), 1u);
+  const auto c = db.add_metric_series(MetricKind::kGauge, "y", "");
+  EXPECT_NE(a, c);
+  EXPECT_EQ(db.metric_series().size(), 2u);
+}
+
+}  // namespace

@@ -1,8 +1,13 @@
 #!/bin/sh
-# CI driver: build + run the full test suite twice —
+# CI driver: build + run the full test suite three times —
 #   1. plain RelWithDebInfo build,
 #   2. ThreadSanitizer build (-DSGXPERF_SANITIZE=thread), which must report
-#      zero races across the concurrent recording paths.
+#      zero races across the concurrent recording paths,
+#   3. AddressSanitizer build (-DSGXPERF_SANITIZE=address), which must report
+#      zero heap errors / leaks.
+# The plain build then runs the bench suite in --smoke mode and validates
+# every BENCH_*.json artefact with tools/json_check: a bench that emits
+# malformed JSON fails the pipeline.
 #
 # Usage: tools/ci.sh [jobs]   (run from the repository root)
 set -eu
@@ -21,9 +26,33 @@ run_suite() {
 echo "=== plain build ==="
 run_suite "$root/build" -DCMAKE_BUILD_TYPE=RelWithDebInfo
 
+echo "=== bench smoke run (JSON artefacts) ==="
+smoke_dir="$root/build/bench-smoke"
+rm -rf "$smoke_dir"
+mkdir -p "$smoke_dir"
+for bench in bench_transitions bench_logger_overhead bench_paging \
+             bench_switchless bench_sync; do
+  echo "--- $bench --smoke"
+  (cd "$smoke_dir" && "$root/build/bench/$bench" --smoke >/dev/null)
+done
+count=0
+for artefact in "$smoke_dir"/BENCH_*.json; do
+  "$root/build/tools/json_check" "$artefact"
+  count=$((count + 1))
+done
+if [ "$count" -lt 4 ]; then
+  echo "error: expected at least 4 BENCH_*.json artefacts, got $count" >&2
+  exit 1
+fi
+echo "$count bench artefacts valid"
+
 echo "=== ThreadSanitizer build ==="
 # halt_on_error makes any report fail the run; TSan's exit code then fails ctest.
 TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
   run_suite "$root/build-tsan" -DCMAKE_BUILD_TYPE=RelWithDebInfo -DSGXPERF_SANITIZE=thread
+
+echo "=== AddressSanitizer build ==="
+ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=1}" \
+  run_suite "$root/build-asan" -DCMAKE_BUILD_TYPE=RelWithDebInfo -DSGXPERF_SANITIZE=address
 
 echo "=== all suites passed ==="

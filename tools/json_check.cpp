@@ -1,0 +1,66 @@
+// json_check — validates that a file (or stdin) is a well-formed JSON
+// document, using the same parser the test-suite uses.  CI runs it over every
+// artefact the toolchain emits as JSON (BENCH_*.json, `sgxperf export
+// --chrome`, `--json` CLI output) so a malformed writer fails the pipeline
+// instead of silently producing garbage for downstream consumers.
+//
+//   json_check FILE...     validate each file; first failure wins
+//   json_check -           validate stdin
+//
+// Exit status: 0 = all valid, 1 = parse error (reported with byte offset),
+// 2 = usage / IO error.
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+#include "support/json.hpp"
+
+namespace {
+
+bool read_all(std::FILE* f, std::string& out) {
+  char buf[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, n);
+  return std::ferror(f) == 0;
+}
+
+int check(const char* name, std::FILE* f) {
+  std::string text;
+  if (!read_all(f, text)) {
+    std::fprintf(stderr, "json_check: %s: read error\n", name);
+    return 2;
+  }
+  try {
+    (void)support::json::parse(text);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "json_check: %s: %s\n", name, e.what());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fputs("usage: json_check FILE...  (or '-' for stdin)\n", stderr);
+    return 2;
+  }
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    int rc = 0;
+    if (arg == "-") {
+      rc = check("<stdin>", stdin);
+    } else {
+      std::FILE* f = std::fopen(arg.c_str(), "rb");
+      if (f == nullptr) {
+        std::fprintf(stderr, "json_check: %s: cannot open\n", arg.c_str());
+        return 2;
+      }
+      rc = check(arg.c_str(), f);
+      std::fclose(f);
+    }
+    if (rc != 0) return rc;
+  }
+  return 0;
+}

@@ -12,6 +12,8 @@
 //   sgxperf stats   <trace.bin>                               general statistics
 //   sgxperf compare <before.bin> <after.bin>                  optimisation diff
 //   sgxperf timeline <trace.bin>                              per-thread activity
+//   sgxperf metrics <trace.bin>                               telemetry summary
+//   sgxperf export  <trace.bin> --chrome FILE                 Chrome/Perfetto JSON
 //   sgxperf record  <out.bin> [--threads N] [--calls N]       demo recording
 //
 // `record` exercises the first half on a built-in multi-threaded workload:
@@ -36,6 +38,8 @@
 #include "perf/report.hpp"
 #include "sgxsim/edl.hpp"
 #include "sgxsim/runtime.hpp"
+#include "support/json.hpp"
+#include "telemetry/chrome_trace.hpp"
 
 namespace {
 
@@ -45,10 +49,13 @@ struct Options {
   std::string edl_path;
   std::string call_name;
   std::string csv_dir;
+  std::string chrome_path;
   tracedb::EnclaveId enclave_id = 1;
   std::size_t bins = 100;
   std::size_t threads = 4;
   std::size_t calls = 1000;
+  support::Nanoseconds sample_ns = 0;  // 0 = telemetry sampling off
+  bool json = false;
   perf::AnalyzerConfig config;
 };
 
@@ -64,6 +71,8 @@ void usage() {
       "  csv      export all tables as CSV        (csv <trace> <directory>)\n"
       "  compare  diff two traces                 (compare <before> <after>)\n"
       "  timeline per-thread enclave activity\n"
+      "  metrics  telemetry metric series recorded in the trace\n"
+      "  export   convert to another format       (export <trace> --chrome FILE)\n"
       "  record   record a demo workload          (record <out.bin> [--threads N] [--calls N])\n"
       "options:\n"
       "  --edl FILE        enclave EDL for security analysis\n"
@@ -73,7 +82,10 @@ void usage() {
       "  --eq1-alpha X --eq1-beta X --eq1-gamma X    Eq.1 weights\n"
       "  --eq2-gamma X                                Eq.2 threshold\n"
       "  --eq3-epsilon X --eq3-lambda X               Eq.3 weights\n"
-      "  --transition-ns N  ecall transition time to subtract (default 4205)\n",
+      "  --transition-ns N  ecall transition time to subtract (default 4205)\n"
+      "  --chrome FILE     (export) write Chrome trace-event JSON to FILE\n"
+      "  --sample-ns N     (record) telemetry sample period, virtual ns (0 = off)\n"
+      "  --json            (record, stats) machine-readable JSON on stdout\n",
       stderr);
 }
 
@@ -122,6 +134,12 @@ bool parse_args(int argc, char** argv, Options& opts) {
       opts.config.eq3_lambda = std::strtod(next(), nullptr);
     } else if (arg == "--transition-ns") {
       opts.config.ecall_transition_ns = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--chrome") {
+      opts.chrome_path = next();
+    } else if (arg == "--sample-ns") {
+      opts.sample_ns = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--json") {
+      opts.json = true;
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       return false;
@@ -154,7 +172,9 @@ int run_record(const Options& opts) {
   }
   Urts urts;
   tracedb::TraceDatabase db;
-  perf::Logger logger(db);
+  perf::LoggerConfig logger_config;
+  logger_config.metric_sample_period_ns = opts.sample_ns;
+  perf::Logger logger(db, logger_config);
   logger.attach(urts);
 
   EnclaveConfig config;
@@ -183,18 +203,86 @@ int run_record(const Options& opts) {
   logger.detach();  // seals + merges the per-thread shards
 
   const auto stats = db.merge_stats();
-  std::printf("recorded %zu calls, %zu AEXs, %zu paging events, %zu syncs\n", db.calls().size(),
-              db.aexs().size(), db.paging().size(), db.syncs().size());
-  std::printf("shards: %zu registered, %zu merged in %zu merge(s), %zu events dropped\n",
-              db.shard_count(), stats.shards_merged, stats.merges, stats.dropped);
   try {
     db.save(opts.trace_path);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
-  std::printf("trace written to %s\n", opts.trace_path.c_str());
+  if (opts.json) {
+    support::json::Writer w;
+    w.begin_object();
+    w.kv("calls", static_cast<std::uint64_t>(db.calls().size()));
+    w.kv("aexs", static_cast<std::uint64_t>(db.aexs().size()));
+    w.kv("paging", static_cast<std::uint64_t>(db.paging().size()));
+    w.kv("syncs", static_cast<std::uint64_t>(db.syncs().size()));
+    w.kv("shards_registered", static_cast<std::uint64_t>(db.shard_count()));
+    w.kv("shards_merged", static_cast<std::uint64_t>(stats.shards_merged));
+    w.kv("merges", static_cast<std::uint64_t>(stats.merges));
+    w.kv("dropped_events", static_cast<std::uint64_t>(stats.dropped));
+    w.kv("metric_series", static_cast<std::uint64_t>(db.metric_series().size()));
+    w.kv("metric_samples", static_cast<std::uint64_t>(db.metric_samples().size()));
+    w.kv("trace", opts.trace_path);
+    w.end_object();
+    std::printf("%s\n", w.str().c_str());
+  } else {
+    std::printf("recorded %zu calls, %zu AEXs, %zu paging events, %zu syncs\n", db.calls().size(),
+                db.aexs().size(), db.paging().size(), db.syncs().size());
+    std::printf("shards: %zu registered, %zu merged in %zu merge(s), %zu events dropped\n",
+                db.shard_count(), stats.shards_merged, stats.merges, stats.dropped);
+    if (db.metric_samples().size() > 0) {
+      std::printf("telemetry: %zu metric series, %zu samples\n", db.metric_series().size(),
+                  db.metric_samples().size());
+    }
+    std::printf("trace written to %s\n", opts.trace_path.c_str());
+  }
   return 0;
+}
+
+/// `sgxperf stats --json`: general statistics as a JSON document, one object
+/// per call site, so CI can assert on counts without scraping the text table.
+std::string stats_json(const perf::AnalysisReport& report) {
+  support::json::Writer w;
+  w.begin_object();
+  w.key("dropped_events");
+  w.value(report.dropped_events);
+  w.key("enclaves");
+  w.begin_array();
+  for (const auto& ov : report.overviews) {
+    w.begin_object();
+    w.kv("enclave_id", static_cast<std::uint64_t>(ov.enclave_id));
+    w.kv("name", ov.name);
+    w.kv("ecalls_called", static_cast<std::uint64_t>(ov.ecalls_called));
+    w.kv("ocalls_called", static_cast<std::uint64_t>(ov.ocalls_called));
+    w.kv("ecall_instances", static_cast<std::uint64_t>(ov.ecall_instances));
+    w.kv("ocall_instances", static_cast<std::uint64_t>(ov.ocall_instances));
+    w.kv("ecalls_below_10us", ov.ecalls_below_10us);
+    w.kv("ocalls_below_10us", ov.ocalls_below_10us);
+    w.kv("page_ins", static_cast<std::uint64_t>(ov.page_ins));
+    w.kv("page_outs", static_cast<std::uint64_t>(ov.page_outs));
+    w.end_object();
+  }
+  w.end_array();
+  w.key("calls");
+  w.begin_array();
+  for (const auto& s : report.stats) {
+    w.begin_object();
+    w.kv("name", s.name);
+    w.kv("type", s.key.type == tracedb::CallType::kEcall ? "ecall" : "ocall");
+    w.kv("enclave_id", static_cast<std::uint64_t>(s.key.enclave_id));
+    w.kv("call_id", static_cast<std::uint64_t>(s.key.call_id));
+    w.kv("count", static_cast<std::uint64_t>(s.duration_ns.count));
+    w.kv("mean_ns", s.duration_ns.mean);
+    w.kv("median_ns", s.duration_ns.median);
+    w.kv("stddev_ns", s.duration_ns.stddev);
+    w.kv("p90_ns", s.duration_ns.p90);
+    w.kv("p99_ns", s.duration_ns.p99);
+    w.kv("aex_total", s.aex_total);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
 }
 
 /// Resolves a call by registered name across both call types.
@@ -256,6 +344,33 @@ int main(int argc, char** argv) {
     std::fputs(perf::render_timeline(db).c_str(), stdout);
     return 0;
   }
+  if (opts.command == "metrics") {
+    std::fputs(telemetry::render_metrics_summary(db).c_str(), stdout);
+    return 0;
+  }
+  if (opts.command == "export") {
+    if (opts.chrome_path.empty()) {
+      std::fputs("error: export requires --chrome FILE\n", stderr);
+      return 2;
+    }
+    const std::string json = telemetry::export_chrome_trace(db);
+    std::FILE* f = std::fopen(opts.chrome_path.c_str(), "wb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: cannot open %s for writing\n", opts.chrome_path.c_str());
+      return 1;
+    }
+    const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+    const bool ok = written == json.size() && std::fclose(f) == 0;
+    if (!ok) {
+      std::fprintf(stderr, "error: short write to %s\n", opts.chrome_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %zu trace events (%zu bytes) to %s — load in chrome://tracing or ui.perfetto.dev\n",
+                db.calls().size() + db.aexs().size() + db.paging().size() +
+                    db.metric_samples().size(),
+                json.size(), opts.chrome_path.c_str());
+    return 0;
+  }
   if (opts.command == "graph") {
     std::fputs(perf::render_callgraph_dot(db).c_str(), stdout);
     return 0;
@@ -293,7 +408,11 @@ int main(int argc, char** argv) {
     }
     auto report = analyzer.analyze();
     if (opts.command == "stats") report.findings.clear();
-    std::fputs(perf::render_text(report).c_str(), stdout);
+    if (opts.json) {
+      std::printf("%s\n", stats_json(report).c_str());
+    } else {
+      std::fputs(perf::render_text(report).c_str(), stdout);
+    }
     return 0;
   }
 
