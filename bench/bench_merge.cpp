@@ -1,0 +1,110 @@
+// E-merge: detach-time shard stitching — sequential sort-based merge cost
+// versus the parallel tournament-tree merge (tracedb/merge.hpp).
+//
+// The workload mimics what Logger::detach() sees: k per-thread shards whose
+// timestamps interleave globally but are *nearly* sorted within a shard
+// (records are appended at call completion, so nested calls appear slightly
+// out of start order).  Real time is measured — virtual time cannot see
+// merge cost — and the parallel output is asserted byte-identical to the
+// sequential one before any number is reported.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "tracedb/merge.hpp"
+
+namespace {
+
+/// Deterministic xorshift so runs are comparable across machines.
+std::uint64_t rng_state = 0x9e3779b97f4a7c15ULL;
+std::uint64_t next_rand() {
+  rng_state ^= rng_state << 13;
+  rng_state ^= rng_state >> 7;
+  rng_state ^= rng_state << 17;
+  return rng_state;
+}
+
+/// One shard's key table: globally interleaved timestamps with local jitter
+/// (each record may complete up to ~16 ticks after a later-starting one).
+std::vector<std::vector<tracedb::Nanoseconds>> make_shards(std::size_t k, std::size_t per_shard) {
+  std::vector<std::vector<tracedb::Nanoseconds>> keys(k);
+  for (std::size_t s = 0; s < k; ++s) {
+    keys[s].reserve(per_shard);
+    std::uint64_t t = s;  // offset the interleave per shard
+    for (std::size_t i = 0; i < per_shard; ++i) {
+      t += 1 + next_rand() % (2 * k);
+      keys[s].push_back(t + next_rand() % 16);
+    }
+  }
+  return keys;
+}
+
+double merge_ms(const std::vector<std::vector<tracedb::Nanoseconds>>& keys,
+                const std::vector<std::uint32_t>& ids, std::size_t threads,
+                std::vector<tracedb::MergeRef>& out) {
+  const auto t0 = std::chrono::steady_clock::now();
+  out = tracedb::parallel_merge_order(keys, ids, threads);
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = bench::strip_smoke_flag(argc, argv);
+  bench::JsonReport json("merge", smoke);
+
+  const std::size_t kShards = 8;
+  const std::size_t kPerShard = smoke ? 40'000 : 400'000;
+  const std::size_t hw = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+
+  const auto keys = make_shards(kShards, kPerShard);
+  std::vector<std::uint32_t> ids(kShards);
+  for (std::size_t s = 0; s < kShards; ++s) ids[s] = static_cast<std::uint32_t>(s);
+
+  std::printf("=== detach-time k-way merge: %zu shards x %zu records, %zu hw threads ===\n\n",
+              kShards, kPerShard, hw);
+
+  // Warm-up + correctness gate: the parallel order must equal the sequential
+  // order element-for-element, or the speedup is meaningless.
+  std::vector<tracedb::MergeRef> seq;
+  std::vector<tracedb::MergeRef> par;
+  (void)merge_ms(keys, ids, 1, seq);
+  (void)merge_ms(keys, ids, hw, par);
+  if (seq.size() != par.size()) {
+    std::fprintf(stderr, "FAIL: size mismatch %zu vs %zu\n", seq.size(), par.size());
+    return 1;
+  }
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    if (seq[i].shard != par[i].shard || seq[i].local != par[i].local) {
+      std::fprintf(stderr, "FAIL: order diverges at %zu\n", i);
+      return 1;
+    }
+  }
+  std::printf("determinism: parallel order identical to sequential (%zu records)\n\n",
+              seq.size());
+
+  const int kReps = smoke ? 3 : 7;
+  double best_seq = 1e300;
+  double best_par = 1e300;
+  for (int r = 0; r < kReps; ++r) {
+    std::vector<tracedb::MergeRef> out;
+    best_seq = std::min(best_seq, merge_ms(keys, ids, 1, out));
+    best_par = std::min(best_par, merge_ms(keys, ids, hw, out));
+  }
+
+  std::printf("sequential (1 thread):   %8.2f ms\n", best_seq);
+  std::printf("parallel (%2zu threads):   %8.2f ms\n", hw, best_par);
+  std::printf("speedup:                 %8.2fx\n", best_seq / best_par);
+
+  json.metric("records", static_cast<double>(seq.size()), "records");
+  json.metric("threads", static_cast<double>(hw), "threads");
+  json.metric("merge_ms.sequential", best_seq, "ms");
+  json.metric("merge_ms.parallel", best_par, "ms");
+  json.metric("speedup", best_seq / best_par, "x");
+  return json.write() ? 0 : 1;
+}

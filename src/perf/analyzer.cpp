@@ -5,6 +5,7 @@
 
 #include "perf/parents.hpp"
 #include "support/strutil.hpp"
+#include "telemetry/hdr_histogram.hpp"
 
 namespace perf {
 
@@ -25,6 +26,7 @@ const char* to_string(FindingKind k) noexcept {
     case FindingKind::kMergeable: return "short different successive calls (SDSC)";
     case FindingKind::kSyncContention: return "short synchronisation calls (SSC)";
     case FindingKind::kPaging: return "EPC paging";
+    case FindingKind::kTailLatency: return "tail latency (p99 far above p50)";
     case FindingKind::kPrivateEcallCandidate: return "ecall can be made private";
     case FindingKind::kExcessAllowedEcalls: return "allow() list larger than necessary";
     case FindingKind::kMinimalAllowSet: return "smallest observed allow() set";
@@ -49,6 +51,9 @@ const char* to_string(Recommendation r) noexcept {
     case Recommendation::kPreloadPages: return "pre-load pages before issuing the ecall";
     case Recommendation::kAlternativeMemoryManagement:
       return "manage memory inside the enclave instead of relying on SGX paging";
+    case Recommendation::kInvestigateTail:
+      return "inspect the slowest instances (AEX storms, paging, lock convoys) — the "
+             "mean hides them";
     case Recommendation::kMakePrivate: return "declare the ecall private in the EDL";
     case Recommendation::kRestrictAllowedEcalls: return "shrink the ocall's allow() list";
     case Recommendation::kCheckPointerHandling:
@@ -75,8 +80,10 @@ Nanoseconds Analyzer::adjusted_duration(const CallRecord& c) const {
 AnalysisReport Analyzer::analyze() const {
   AnalysisReport report;
   report.dropped_events = db_.dropped_events();
+  report.stream_dropped = db_.stream_dropped();
   compute_overviews(report);
   compute_stats(report);
+  detect_tail_latency(report);
   detect_short_calls(report);
   detect_reordering(report);
   const auto indirect = compute_indirect_parents(db_);
@@ -140,12 +147,54 @@ void Analyzer::compute_stats(AnalysisReport& report) const {
     cs.duration_ns = support::summarize(durations);
     cs.fraction_below_10us =
         instances.empty() ? 0.0 : static_cast<double>(below) / static_cast<double>(instances.size());
+
+    // Percentiles: prefer the recorder's v4 latency table (covers events a
+    // truncated call table may have lost); reconstruct with the same HDR
+    // geometry otherwise, so quantization is identical either way.
+    telemetry::HdrSnapshot snap;
+    if (const tracedb::LatencyRecord* lat =
+            db_.find_latency(key.enclave_id, key.type, key.call_id);
+        lat != nullptr && lat->count > 0) {
+      for (const auto& [idx, n] : lat->buckets) snap.add_bucket(idx, n);
+      snap.set_exact_sum(lat->sum_ns);
+    } else {
+      for (const auto d : durations) snap.record(d);
+    }
+    cs.p50_ns = snap.value_at_percentile(50);
+    cs.p90_ns = snap.value_at_percentile(90);
+    cs.p99_ns = snap.value_at_percentile(99);
+    cs.p999_ns = snap.value_at_percentile(99.9);
     report.stats.push_back(std::move(cs));
   }
   std::stable_sort(report.stats.begin(), report.stats.end(),
                    [](const CallStats& a, const CallStats& b) {
                      return a.duration_ns.count > b.duration_ns.count;
                    });
+}
+
+// --- tail latency: the distribution problem means cannot show ---------------
+void Analyzer::detect_tail_latency(AnalysisReport& report) const {
+  for (const auto& s : report.stats) {
+    if (s.duration_ns.count < config_.min_calls) continue;
+    if (s.p99_ns < config_.tail_min_ns) continue;
+    const double p50 = static_cast<double>(s.p50_ns > 0 ? s.p50_ns : 1);
+    if (static_cast<double>(s.p99_ns) < config_.tail_ratio * p50) continue;
+    Finding f;
+    f.kind = FindingKind::kTailLatency;
+    f.subject = s.key;
+    f.subject_name = s.name;
+    f.recommendations = {Recommendation::kInvestigateTail};
+    f.detail = support::format(
+        "p50 %.1fus but p99 %.1fus / p99.9 %.1fus over %zu calls — %.0fx tail the mean "
+        "(%.1fus) does not show",
+        static_cast<double>(s.p50_ns) / 1e3, static_cast<double>(s.p99_ns) / 1e3,
+        static_cast<double>(s.p999_ns) / 1e3, s.duration_ns.count,
+        static_cast<double>(s.p99_ns) / p50, s.duration_ns.mean / 1e3);
+    // Severity: excess tail time over the median, across the slowest 1%.
+    f.severity = static_cast<double>(s.p99_ns - s.p50_ns) *
+                 (static_cast<double>(s.duration_ns.count) * 0.01) / 1e3;
+    report.findings.push_back(std::move(f));
+  }
 }
 
 // --- Equation 1: moving / duplication ---------------------------------------

@@ -54,6 +54,12 @@ struct AnalyzerConfig {
 
   /// Paging events above this count raise a paging finding.
   std::size_t paging_threshold = 64;
+
+  /// Tail-latency finding: fires when a call site's p99 exceeds both
+  /// `tail_ratio` × p50 and `tail_min_ns` (means hide exactly this — a few
+  /// 100x-slower transitions disappear into the average).
+  double tail_ratio = 8.0;
+  support::Nanoseconds tail_min_ns = 50'000;
 };
 
 /// What kind of problem a finding describes (Table 1).
@@ -65,6 +71,7 @@ enum class FindingKind {
   kMergeable,           // Eq.3, different indirect parent: SDSC
   kSyncContention,      // SSC: short sync ocalls
   kPaging,              // paging events observed
+  kTailLatency,         // p99 ≫ p50: a tail the mean-based stats hide
   kPrivateEcallCandidate,
   kExcessAllowedEcalls,
   kMinimalAllowSet,  // no EDL given: the smallest allow() set observed
@@ -88,6 +95,7 @@ enum class Recommendation {
   kReduceMemoryUsage,
   kPreloadPages,
   kAlternativeMemoryManagement,
+  kInvestigateTail,
   kMakePrivate,
   kRestrictAllowedEcalls,
   kCheckPointerHandling,
@@ -115,6 +123,14 @@ struct CallStats {
   support::Summary duration_ns;
   std::uint64_t aex_total = 0;
   double fraction_below_10us = 0.0;
+  /// HDR-quantized latency percentiles (ns).  Sourced from the trace's v4
+  /// latency table when present, otherwise reconstructed from the per-call
+  /// durations with the same bucket geometry — so both paths report
+  /// identically quantized values.
+  std::uint64_t p50_ns = 0;
+  std::uint64_t p90_ns = 0;
+  std::uint64_t p99_ns = 0;
+  std::uint64_t p999_ns = 0;
 };
 
 struct EnclaveOverview {
@@ -139,6 +155,9 @@ struct AnalysisReport {
   /// Events rejected by sealed shards while recording (from the trace, v3).
   /// Nonzero means the trace is silently truncated.
   std::uint64_t dropped_events = 0;
+  /// Events dropped by live streaming subscriptions (from the trace, v4).
+  /// These never affect the recorded tables — only live consumers lagged.
+  std::uint64_t stream_dropped = 0;
 };
 
 class Analyzer {
@@ -161,6 +180,9 @@ class Analyzer {
                           const std::vector<tracedb::CallIndex>& indirect) const;  // Eq. 3
   void detect_sync(AnalysisReport& report) const;                  // SSC
   void detect_paging(AnalysisReport& report) const;
+  /// Flags call sites whose p99/p50 ratio betrays a tail (needs the
+  /// percentiles compute_stats() filled in, so runs after it).
+  void detect_tail_latency(AnalysisReport& report) const;
   void analyze_security(AnalysisReport& report) const;
 
   /// Duration with the ecall transition time subtracted (§4.1.2).

@@ -1,0 +1,137 @@
+#include "perf/calltree.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "support/strutil.hpp"
+
+namespace perf {
+
+using tracedb::CallIndex;
+using tracedb::CallKey;
+using tracedb::CallRecord;
+using tracedb::kNoParent;
+
+namespace {
+
+/// Per-call self time: duration minus the durations of recorded direct
+/// children.  Saturating — a call finalized early at detach() can report a
+/// shorter duration than children that completed normally.
+std::vector<std::uint64_t> self_times(const std::vector<CallRecord>& calls) {
+  std::vector<std::uint64_t> self(calls.size());
+  for (std::size_t i = 0; i < calls.size(); ++i) self[i] = calls[i].duration();
+  for (const auto& c : calls) {
+    if (c.parent == kNoParent) continue;
+    auto& parent_self = self[static_cast<std::size_t>(c.parent)];
+    const std::uint64_t d = c.duration();
+    parent_self = parent_self >= d ? parent_self - d : 0;
+  }
+  return self;
+}
+
+void collapse(const CallTreeNode& node, std::string& prefix, std::vector<std::string>& lines) {
+  const std::size_t saved = prefix.size();
+  if (!node.name.empty()) {
+    if (!prefix.empty()) prefix += ';';
+    prefix += node.name;
+    if (node.self_ns > 0) {
+      lines.push_back(prefix + ' ' + std::to_string(node.self_ns));
+    }
+  }
+  for (const auto& [key, child] : node.children) collapse(*child, prefix, lines);
+  prefix.resize(saved);
+}
+
+void render(const CallTreeNode& node, std::size_t depth, std::string& out) {
+  if (!node.name.empty()) {
+    out.append(depth * 2, ' ');
+    out += support::format("%s  count=%llu total=%lluns self=%lluns aex=%llu\n",
+                           node.name.c_str(),
+                           static_cast<unsigned long long>(node.count),
+                           static_cast<unsigned long long>(node.total_ns),
+                           static_cast<unsigned long long>(node.self_ns),
+                           static_cast<unsigned long long>(node.aex_count));
+    ++depth;
+  }
+  for (const auto& [key, child] : node.children) render(*child, depth, out);
+}
+
+}  // namespace
+
+CallTree::CallTree(const tracedb::TraceDatabase& db) {
+  const auto& calls = db.calls();
+  const std::vector<std::uint64_t> self = self_times(calls);
+
+  // Path cache: node that call i's *frame* maps to, filled lazily by
+  // walking the parent chain (parents may appear at any index in
+  // hand-built databases, so resolution recurses rather than assuming
+  // parent-before-child order).
+  std::vector<CallTreeNode*> node_of(calls.size(), nullptr);
+
+  // Per-enclave synthetic root frames under root_.
+  auto enclave_frame = [&](tracedb::EnclaveId eid) -> CallTreeNode* {
+    // Root children are enclave frames only (real call frames live one
+    // level deeper), so a zeroed type/call_id key cannot collide.
+    auto& slot = root_.children[CallKey{eid, tracedb::CallType::kEcall, 0}];
+    if (slot == nullptr) {
+      slot = std::make_unique<CallTreeNode>();
+      std::string name;
+      for (const auto& e : db.enclaves()) {
+        if (e.enclave_id == eid) {
+          name = e.name;
+          break;
+        }
+      }
+      slot->name = name.empty() ? support::format("enclave_%llu",
+                                                  static_cast<unsigned long long>(eid))
+                                : name;
+    }
+    return slot.get();
+  };
+
+  // Resolve (memoized) the tree node for call i.
+  auto resolve = [&](auto&& resolve_ref, CallIndex idx) -> CallTreeNode* {
+    auto& cached = node_of[static_cast<std::size_t>(idx)];
+    if (cached != nullptr) return cached;
+    const CallRecord& c = calls[static_cast<std::size_t>(idx)];
+    CallTreeNode* parent = c.parent == kNoParent ? enclave_frame(c.enclave_id)
+                                                 : resolve_ref(resolve_ref, c.parent);
+    const CallKey key{c.enclave_id, c.type, c.call_id};
+    auto& slot = parent->children[key];
+    if (slot == nullptr) {
+      slot = std::make_unique<CallTreeNode>();
+      slot->name = db.name_of(c.enclave_id, c.type, c.call_id);
+    }
+    cached = slot.get();
+    return cached;
+  };
+
+  for (std::size_t i = 0; i < calls.size(); ++i) {
+    CallTreeNode* node = resolve(resolve, static_cast<CallIndex>(i));
+    node->count += 1;
+    node->total_ns += calls[i].duration();
+    node->self_ns += self[i];
+    node->aex_count += calls[i].aex_count;
+  }
+}
+
+std::string CallTree::collapsed() const {
+  std::vector<std::string> lines;
+  std::string prefix;
+  collapse(root_, prefix, lines);
+  std::sort(lines.begin(), lines.end());
+  std::string out;
+  for (const auto& line : lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+std::string CallTree::render_text() const {
+  std::string out;
+  render(root_, 0, out);
+  return out;
+}
+
+}  // namespace perf

@@ -1,0 +1,63 @@
+// Call-tree profiler: folds the direct-parent chains the logger records
+// (ecall → ocall → ecall …, §4.3.2) into a weighted tree and exports it in
+// collapsed-stack ("flamegraph") form.
+//
+// Every traced call contributes one path: the chain of (enclave, type, id)
+// frames from its outermost ancestor down to itself, rooted at a synthetic
+// per-enclave frame.  Node weights:
+//
+//   count    — instances that *end* at this node
+//   total_ns — summed wall-clock durations of those instances
+//   self_ns  — total_ns minus the time spent in recorded child calls, i.e.
+//              the flamegraph sample weight (the time actually attributable
+//              to this frame, not its callees)
+//   aex_count — AEXs observed during those instances
+//
+// The collapsed output is the standard `frame;frame;... <weight>` format
+// consumed by flamegraph.pl / speedscope / inferno, one line per node with
+// nonzero self time, sorted lexicographically so the output is byte-stable
+// for golden-file tests.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "tracedb/database.hpp"
+#include "tracedb/query.hpp"
+
+namespace perf {
+
+struct CallTreeNode {
+  std::string name;                 // display frame, e.g. "ecall_put" or "enclave kv"
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+  std::uint64_t self_ns = 0;
+  std::uint64_t aex_count = 0;
+  /// Children keyed by call site — map, so iteration order (and therefore
+  /// every rendering) is deterministic.
+  std::map<tracedb::CallKey, std::unique_ptr<CallTreeNode>> children;
+};
+
+/// The folded call tree of one trace.  Build once, render many.
+class CallTree {
+ public:
+  explicit CallTree(const tracedb::TraceDatabase& db);
+
+  /// Synthetic root (empty name, zero weights); its children are the
+  /// per-enclave frames.
+  [[nodiscard]] const CallTreeNode& root() const noexcept { return root_; }
+
+  /// Collapsed-stack flamegraph text, weight = self_ns.
+  [[nodiscard]] std::string collapsed() const;
+
+  /// Indented human-readable rendering (for `sgxperf flamegraph --tree`):
+  /// one line per node with count, total, self and AEX columns.
+  [[nodiscard]] std::string render_text() const;
+
+ private:
+  CallTreeNode root_;
+};
+
+}  // namespace perf

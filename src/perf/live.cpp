@@ -1,0 +1,114 @@
+#include "perf/live.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "support/strutil.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace perf {
+
+using tracedb::CallKey;
+
+LiveMonitor::LiveMonitor(Logger& logger, std::string name, std::size_t capacity)
+    : logger_(logger), sub_(logger.subscribe(std::move(name), capacity)) {
+  batch_.reserve(4096);
+}
+
+LiveMonitor::~LiveMonitor() {
+  if (sub_ != nullptr) sub_->close();
+}
+
+std::size_t LiveMonitor::drain() {
+  if (sub_ == nullptr) return 0;
+  std::size_t total = 0;
+  for (;;) {
+    batch_.clear();
+    const std::size_t n = sub_->poll(batch_);
+    if (n == 0) break;
+    total += n;
+    for (const StreamEvent& ev : batch_) {
+      if (!saw_event_ || ev.start_ns < first_ns_) first_ns_ = ev.start_ns;
+      if (!saw_event_ || ev.end_ns > last_ns_) last_ns_ = ev.end_ns;
+      saw_event_ = true;
+      switch (ev.kind) {
+        case StreamEvent::Kind::kCall: {
+          auto& site = sites_[CallKey{ev.enclave_id, ev.call_type, ev.call_id}];
+          site.count += 1;
+          site.aex_total += ev.aex_count;
+          site.latency.record(ev.end_ns - ev.start_ns);
+          total_calls_ += 1;
+          break;
+        }
+        case StreamEvent::Kind::kAex:
+          total_aex_ += 1;
+          break;
+        case StreamEvent::Kind::kPaging:
+          total_paging_ += 1;
+          break;
+      }
+    }
+  }
+  return total;
+}
+
+std::string LiveMonitor::render_frame() {
+  drain();
+  ++frame_;
+
+  // Rates over the virtual time that elapsed since the previous frame (the
+  // clock the events carry — wall-clock rates would measure the host, not
+  // the enclave).
+  const std::uint64_t window_ns = last_ns_ > prev_ns_ ? last_ns_ - prev_ns_ : 0;
+  auto rate = [&](std::uint64_t delta) {
+    return window_ns == 0 ? 0.0 : static_cast<double>(delta) * 1e9 /
+                                      static_cast<double>(window_ns);
+  };
+  const double calls_per_s = rate(total_calls_ - prev_calls_);
+  const double aex_per_s = rate(total_aex_ - prev_aex_);
+  prev_calls_ = total_calls_;
+  prev_aex_ = total_aex_;
+  prev_ns_ = last_ns_;
+
+  const std::int64_t epc_pages =
+      telemetry::metrics().gauge("sgxsim.epc_resident", "pages").value();
+
+  std::string out;
+  out += support::format(
+      "sgxperf top — frame %llu  vtime %.3fms  calls %llu  aex %llu  paging %llu  "
+      "epc %lld pages  stream-dropped %llu\n",
+      static_cast<unsigned long long>(frame_),
+      saw_event_ ? static_cast<double>(last_ns_ - first_ns_) / 1e6 : 0.0,
+      static_cast<unsigned long long>(total_calls_),
+      static_cast<unsigned long long>(total_aex_),
+      static_cast<unsigned long long>(total_paging_), static_cast<long long>(epc_pages),
+      static_cast<unsigned long long>(dropped()));
+  out += support::format("  rates (virtual): %.0f calls/s  %.0f aex/s\n", calls_per_s,
+                         aex_per_s);
+  out += support::format("  %-32s %10s %10s %10s %10s %10s %8s\n", "call", "count",
+                         "p50[us]", "p90[us]", "p99[us]", "p99.9[us]", "aex");
+
+  // Busiest sites first; ties broken by key so frames are deterministic.
+  std::vector<std::pair<CallKey, const LiveSiteStats*>> rows;
+  rows.reserve(sites_.size());
+  for (const auto& [key, site] : sites_) rows.emplace_back(key, &site);
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    if (a.second->count != b.second->count) return a.second->count > b.second->count;
+    return a.first < b.first;
+  });
+
+  for (const auto& [key, site] : rows) {
+    const auto us = [&](double q) {
+      return static_cast<double>(site->latency.value_at_percentile(q)) / 1000.0;
+    };
+    out += support::format("  %-32s %10llu %10.1f %10.1f %10.1f %10.1f %8llu\n",
+                           logger_.database().name_of(key.enclave_id, key.type, key.call_id)
+                               .c_str(),
+                           static_cast<unsigned long long>(site->count), us(50), us(90),
+                           us(99), us(99.9),
+                           static_cast<unsigned long long>(site->aex_total));
+  }
+  return out;
+}
+
+}  // namespace perf

@@ -1,0 +1,82 @@
+// Live enclave monitor ("sgxperf top"): the consumer side of the streaming
+// subscription (stream.hpp), aggregating in-flight events into the numbers
+// an operator watches — calls/s, per-site latency percentiles, AEX rate,
+// paging activity and EPC residency — without ever detaching the logger.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "perf/logger.hpp"
+#include "perf/stream.hpp"
+#include "telemetry/hdr_histogram.hpp"
+#include "tracedb/query.hpp"
+
+namespace perf {
+
+/// Aggregated live view of one call site.
+struct LiveSiteStats {
+  std::uint64_t count = 0;
+  std::uint64_t aex_total = 0;
+  telemetry::HdrSnapshot latency;
+};
+
+/// Subscribes to a logger's event stream and folds batches into per-site
+/// statistics.  Single-consumer: drain() and render_frame() belong to one
+/// monitoring thread; the producers are the traced workload threads.
+class LiveMonitor {
+ public:
+  /// Registers the subscription.  ok() is false when the logger's
+  /// subscriber slots were exhausted.
+  explicit LiveMonitor(Logger& logger, std::string name = "top",
+                       std::size_t capacity = 1 << 14);
+  ~LiveMonitor();
+
+  LiveMonitor(const LiveMonitor&) = delete;
+  LiveMonitor& operator=(const LiveMonitor&) = delete;
+
+  [[nodiscard]] bool ok() const noexcept { return sub_ != nullptr; }
+
+  /// Polls pending events into the aggregates.  Returns events drained.
+  std::size_t drain();
+
+  /// One rendered frame: header (virtual-time rates, EPC residency, drop
+  /// count) plus a per-site table sorted by call count, descending.  Plain
+  /// text, no terminal escapes — the caller decides how to repaint.
+  [[nodiscard]] std::string render_frame();
+
+  // --- aggregate accessors (tests, custom renderers) ------------------------
+  [[nodiscard]] const std::map<tracedb::CallKey, LiveSiteStats>& sites() const noexcept {
+    return sites_;
+  }
+  [[nodiscard]] std::uint64_t total_calls() const noexcept { return total_calls_; }
+  [[nodiscard]] std::uint64_t total_aex() const noexcept { return total_aex_; }
+  [[nodiscard]] std::uint64_t total_paging() const noexcept { return total_paging_; }
+  [[nodiscard]] std::uint64_t dropped() const noexcept {
+    return sub_ != nullptr ? sub_->dropped() : 0;
+  }
+
+ private:
+  Logger& logger_;
+  std::shared_ptr<StreamSubscription> sub_;
+  std::vector<StreamEvent> batch_;
+
+  std::map<tracedb::CallKey, LiveSiteStats> sites_;
+  std::uint64_t total_calls_ = 0;
+  std::uint64_t total_aex_ = 0;
+  std::uint64_t total_paging_ = 0;
+  /// Virtual-time span covered by observed events (for rates).
+  std::uint64_t first_ns_ = 0;
+  std::uint64_t last_ns_ = 0;
+  bool saw_event_ = false;
+  /// Previous frame's totals, for per-frame rate columns.
+  std::uint64_t prev_calls_ = 0;
+  std::uint64_t prev_aex_ = 0;
+  std::uint64_t prev_ns_ = 0;
+  std::uint64_t frame_ = 0;
+};
+
+}  // namespace perf

@@ -87,6 +87,14 @@ void Logger::attach(sgxsim::Urts& urts) {
     names_registered_.clear();
   }
 
+  {
+    // Fresh recording session: last epoch's histograms were persisted at
+    // detach; stale PerThread caches died with per_threads_ above.
+    std::lock_guard lock(mu_);
+    latency_.clear();
+  }
+  db_.set_merge_threads(config_.merge_threads);
+
   sampler_.reset();
   if (config_.metric_sample_period_ns > 0) {
     sampler_ = std::make_unique<telemetry::TelemetrySampler>(
@@ -131,6 +139,7 @@ void Logger::detach() {
 
   finalize_open_calls(now);
   if (config_.sharded) db_.merge_shards();
+  persist_latency();
   // A final unconditional sample closes every counter track at detach time
   // (after the merge, so tracedb's merge metrics are included).  The sampler
   // object stays alive until the next attach: a frame still unwinding
@@ -150,6 +159,51 @@ void Logger::flush() {
   }
   db_.merge_shards();
   db_.reopen_shards();
+  persist_latency();
+}
+
+std::shared_ptr<StreamSubscription> Logger::subscribe(std::string name, std::size_t capacity) {
+  return stream_.subscribe(std::move(name), capacity);
+}
+
+telemetry::HdrSnapshot Logger::latency_snapshot(EnclaveId eid, CallType type,
+                                                CallId id) const {
+  std::lock_guard lock(mu_);
+  const auto it = latency_.find(LatencyKey{eid, type, id});
+  return it != latency_.end() ? it->second->snapshot() : telemetry::HdrSnapshot{};
+}
+
+telemetry::HdrHistogram* Logger::latency_for(PerThread& pt, EnclaveId eid, CallType type,
+                                             CallId id) {
+  if (!config_.latency_histograms) return nullptr;
+  const LatencyKey key{eid, type, id};
+  const auto cached = pt.latency_cache.find(key);
+  if (cached != pt.latency_cache.end()) return cached->second;
+
+  std::lock_guard lock(mu_);
+  auto& slot = latency_[key];
+  if (slot == nullptr) slot = std::make_unique<telemetry::HdrHistogram>();
+  pt.latency_cache.emplace(key, slot.get());
+  return slot.get();
+}
+
+void Logger::persist_latency() {
+  std::lock_guard lock(mu_);
+  for (const auto& [key, hist] : latency_) {
+    const telemetry::HdrSnapshot snap = hist->snapshot();
+    tracedb::LatencyRecord rec;
+    rec.enclave_id = std::get<0>(key);
+    rec.type = std::get<1>(key);
+    rec.call_id = std::get<2>(key);
+    rec.count = snap.count();
+    rec.sum_ns = snap.sum();
+    const auto& buckets = snap.buckets();
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+      if (buckets[i] > 0) rec.buckets.emplace_back(static_cast<std::uint32_t>(i), buckets[i]);
+    }
+    db_.set_latency(rec);
+  }
+  db_.set_stream_dropped(stream_.total_dropped());
 }
 
 void Logger::finalize_open_calls(Nanoseconds now) {
@@ -322,7 +376,23 @@ SgxStatus Logger::shadow_sgx_ecall(EnclaveId eid, CallId id, const sgxsim::Ocall
   if (attached() && attach_token_ == epoch) {
     clock.advance(cost.logger_ecall_post_ns);
     logger_metrics().instr_ns.add(cost.logger_ecall_post_ns);
-    record_finish(pt, idx, clock.now(), pt.aex_count_current_ecall);
+    const Nanoseconds end_ns = clock.now();
+    record_finish(pt, idx, end_ns, pt.aex_count_current_ecall);
+    if (auto* hist = latency_for(pt, eid, CallType::kEcall, id)) {
+      hist->record(end_ns - rec.start_ns);
+    }
+    if (stream_.has_subscribers()) {
+      StreamEvent ev;
+      ev.kind = StreamEvent::Kind::kCall;
+      ev.call_type = CallType::kEcall;
+      ev.thread_id = tid;
+      ev.enclave_id = eid;
+      ev.call_id = id;
+      ev.aex_count = pt.aex_count_current_ecall;
+      ev.start_ns = rec.start_ns;
+      ev.end_ns = end_ns;
+      stream_.publish(ev);
+    }
     pt.stack.pop_back();
     pt.aex_count_current_ecall = saved_aex;
     if (sampler_ != nullptr) sampler_->poll();
@@ -413,7 +483,22 @@ SgxStatus Logger::on_stub_call(const OcallStubRegistry::StubInfo& info, void* ms
   if (attached() && attach_token_ == epoch) {
     clock.advance(cost.logger_ocall_post_ns);
     logger_metrics().instr_ns.add(cost.logger_ocall_post_ns);
-    record_finish(pt, idx, clock.now(), 0);
+    const Nanoseconds end_ns = clock.now();
+    record_finish(pt, idx, end_ns, 0);
+    if (auto* hist = latency_for(pt, info.enclave_id, CallType::kOcall, info.ocall_id)) {
+      hist->record(end_ns - rec.start_ns);
+    }
+    if (stream_.has_subscribers()) {
+      StreamEvent ev;
+      ev.kind = StreamEvent::Kind::kCall;
+      ev.call_type = CallType::kOcall;
+      ev.thread_id = tid;
+      ev.enclave_id = info.enclave_id;
+      ev.call_id = info.ocall_id;
+      ev.start_ns = rec.start_ns;
+      ev.end_ns = end_ns;
+      stream_.publish(ev);
+    }
     pt.stack.pop_back();
     if (sampler_ != nullptr) sampler_->poll();
   }
@@ -427,6 +512,15 @@ void Logger::on_aex(EnclaveId eid, ThreadId tid, Nanoseconds now, sgxsim::AexCau
   // thread's own recording state is the right one.
   PerThread& pt = per_thread();
   ++pt.aex_count_current_ecall;
+  if (stream_.has_subscribers()) {
+    StreamEvent ev;
+    ev.kind = StreamEvent::Kind::kAex;
+    ev.thread_id = tid;
+    ev.enclave_id = eid;
+    ev.start_ns = now;
+    ev.end_ns = now;
+    stream_.publish(ev);
+  }
   if (config_.trace_aex) {
     clock.advance(cost.logger_aex_trace_ns);
     logger_metrics().instr_ns.add(cost.logger_aex_trace_ns);
@@ -476,6 +570,16 @@ void Logger::on_paging(EnclaveId eid, std::uint64_t page, sgxsim::PageDirection 
     pt.shard->add_paging(rec);
   } else {
     db_.add_paging(rec);
+  }
+  if (stream_.has_subscribers()) {
+    StreamEvent ev;
+    ev.kind = StreamEvent::Kind::kPaging;
+    ev.enclave_id = eid;
+    // Paging events carry no call id; the field holds the direction.
+    ev.call_id = dir == sgxsim::PageDirection::kIn ? 0 : 1;
+    ev.start_ns = now;
+    ev.end_ns = now;
+    stream_.publish(ev);
   }
   logger_metrics().paging.add();
   logger_metrics().events.add();

@@ -16,13 +16,17 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <tuple>
 #include <unordered_map>
 #include <vector>
 
+#include "perf/stream.hpp"
 #include "perf/stubs.hpp"
 #include "sgxsim/runtime.hpp"
+#include "telemetry/hdr_histogram.hpp"
 #include "telemetry/sampler.hpp"
 #include "tracedb/database.hpp"
 
@@ -42,6 +46,13 @@ struct LoggerConfig {
   /// the trace (MetricSample table, format v3).  0 = sampling off, which
   /// keeps traces byte-identical to pre-telemetry recordings.
   support::Nanoseconds metric_sample_period_ns = 0;
+  /// Record per-(enclave, type, call_id) HDR latency histograms on the call
+  /// return path and persist them as the v4 latency table at detach/flush.
+  /// Lock-free after a call site's first completion on a thread.
+  bool latency_histograms = true;
+  /// Worker threads for the shard merge at detach (0 = hardware
+  /// concurrency, 1 = sequential).  Output is byte-identical either way.
+  std::size_t merge_threads = 0;
 };
 
 /// Traces ecalls, ocalls, AEXs, synchronisation and paging into a
@@ -76,6 +87,23 @@ class Logger {
   [[nodiscard]] tracedb::TraceDatabase& database() noexcept { return db_; }
   [[nodiscard]] const LoggerConfig& config() const noexcept { return config_; }
 
+  /// Registers a live event subscription (see stream.hpp) — callable while
+  /// recording is in flight, from any thread.  Returns nullptr when all
+  /// subscriber slots are taken.  Subscriptions outlive detach(); close()
+  /// them (or drop the handle) when done.
+  std::shared_ptr<StreamSubscription> subscribe(std::string name,
+                                                std::size_t capacity = 1 << 12);
+
+  /// Events dropped across all streaming subscriptions so far.
+  [[nodiscard]] std::uint64_t stream_dropped() const { return stream_.total_dropped(); }
+
+  /// Cumulative latency snapshot for one call site (empty if none
+  /// recorded).  Safe while recording is in flight — snapshots are
+  /// racy-by-design point-in-time views.
+  [[nodiscard]] telemetry::HdrSnapshot latency_snapshot(sgxsim::EnclaveId eid,
+                                                        tracedb::CallType type,
+                                                        sgxsim::CallId id) const;
+
   // --- stub callbacks (invoked by OcallStubRegistry trampolines) ------------
   sgxsim::SgxStatus on_stub_call(const OcallStubRegistry::StubInfo& info, void* ms);
 
@@ -106,6 +134,9 @@ class Logger {
     tracedb::CallType type = tracedb::CallType::kEcall;
   };
 
+  /// Key of one per-call-site latency histogram.
+  using LatencyKey = std::tuple<sgxsim::EnclaveId, tracedb::CallType, sgxsim::CallId>;
+
   /// Per-thread recording state, touched only by its owner thread on the
   /// hot path.  In sharded mode `shard` points at this thread's EventShard;
   /// in mutex mode it is null and records go straight to the database.
@@ -116,6 +147,9 @@ class Logger {
     /// Enclaves whose lazy registration this thread has already verified —
     /// keeps the per-ecall registration check off the logger mutex.
     std::vector<sgxsim::EnclaveId> enclaves_seen;
+    /// Thread-local view of the shared latency map: the logger mutex is
+    /// taken once per (thread, call site), relaxed adds after that.
+    std::map<LatencyKey, telemetry::HdrHistogram*> latency_cache;
   };
 
   /// This thread's recording state for the current attach epoch.  Uses a
@@ -137,6 +171,15 @@ class Logger {
   /// Finalizes every in-flight call of every thread at time `now`.
   void finalize_open_calls(support::Nanoseconds now);
 
+  /// This thread's latency histogram for a call site (null when latency
+  /// recording is off).  Lock-free after the first lookup per thread.
+  telemetry::HdrHistogram* latency_for(PerThread& pt, sgxsim::EnclaveId eid,
+                                       tracedb::CallType type, sgxsim::CallId id);
+
+  /// Upserts every latency histogram plus the stream-drop count into the
+  /// database (the v4 tables) — called at detach() and flush().
+  void persist_latency();
+
   tracedb::TraceDatabase& db_;
   LoggerConfig config_;
   sgxsim::Urts* urts_ = nullptr;
@@ -147,9 +190,18 @@ class Logger {
   /// off (the default).
   std::unique_ptr<telemetry::TelemetrySampler> sampler_;
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::vector<std::unique_ptr<PerThread>> per_threads_;
   std::unordered_map<sgxsim::EnclaveId, bool> names_registered_;
+
+  /// Live-subscriber fan-out.  The hot paths pay one relaxed load when
+  /// nobody is subscribed.
+  StreamHub stream_;
+
+  /// Per-call-site concurrent latency histograms; pointers handed to
+  /// per-thread caches stay valid until the logger dies (entries are never
+  /// erased, only reset at attach()).  Guarded by mu_.
+  std::map<LatencyKey, std::unique_ptr<telemetry::HdrHistogram>> latency_;
 };
 
 }  // namespace perf

@@ -36,15 +36,15 @@ std::string render_text(const AnalysisReport& report) {
 
   out += "---- general statistics (top call sites by count) ----\n";
   out += format("%-48s %10s %10s %10s %10s %10s %10s %8s\n", "call", "count", "mean[us]",
-                "median", "stddev", "p90", "p99", "aex");
+                "p50[us]", "p90[us]", "p99[us]", "p99.9[us]", "aex");
   const std::size_t limit = std::min<std::size_t>(report.stats.size(), 40);
   for (std::size_t i = 0; i < limit; ++i) {
     const auto& s = report.stats[i];
     const char* type = s.key.type == CallType::kEcall ? "E" : "O";
     out += format("%s %-46s %10zu %10.2f %10.2f %10.2f %10.2f %10.2f %8llu\n", type,
                   s.name.c_str(), s.duration_ns.count, s.duration_ns.mean / 1e3,
-                  s.duration_ns.median / 1e3, s.duration_ns.stddev / 1e3,
-                  s.duration_ns.p90 / 1e3, s.duration_ns.p99 / 1e3,
+                  static_cast<double>(s.p50_ns) / 1e3, static_cast<double>(s.p90_ns) / 1e3,
+                  static_cast<double>(s.p99_ns) / 1e3, static_cast<double>(s.p999_ns) / 1e3,
                   static_cast<unsigned long long>(s.aex_total));
   }
   if (report.stats.size() > limit) {
@@ -56,6 +56,12 @@ std::string render_text(const AnalysisReport& report) {
         "recording — this trace is incomplete and the statistics above "
         "undercount.\n",
         static_cast<unsigned long long>(report.dropped_events));
+  }
+  if (report.stream_dropped > 0) {
+    out += format(
+        "note: %llu event(s) were dropped by live streaming subscribers — the "
+        "recorded trace itself is complete, only live consumers lagged.\n",
+        static_cast<unsigned long long>(report.stream_dropped));
   }
   out += "\n";
 

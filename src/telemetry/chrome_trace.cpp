@@ -47,17 +47,30 @@ void write_process_names(Writer& w, const tracedb::TraceDatabase& db) {
 }
 
 void write_calls(Writer& w, const tracedb::TraceDatabase& db) {
-  for (const auto& c : db.calls()) {
+  const auto& calls = db.calls();
+  // Self time per call — duration minus the time spent in direct children,
+  // the same weighting the call-tree/flamegraph profiler uses.  Saturates at
+  // zero so clock-skewed child records cannot underflow.
+  std::vector<std::uint64_t> child_ns(calls.size(), 0);
+  for (const auto& c : calls) {
+    if (c.parent == tracedb::kNoParent) continue;
+    child_ns[static_cast<std::size_t>(c.parent)] +=
+        c.end_ns >= c.start_ns ? c.end_ns - c.start_ns : 0;
+  }
+  for (std::size_t i = 0; i < calls.size(); ++i) {
+    const auto& c = calls[i];
+    const std::uint64_t dur = c.end_ns >= c.start_ns ? c.end_ns - c.start_ns : 0;
     w.begin_object();
     w.kv("name", db.name_of(c.enclave_id, c.type, c.call_id));
     w.kv("cat", c.type == tracedb::CallType::kEcall ? "ecall" : "ocall");
     w.kv("ph", "X");
     w.kv("ts", to_us(c.start_ns));
-    w.kv("dur", to_us(c.end_ns >= c.start_ns ? c.end_ns - c.start_ns : 0));
+    w.kv("dur", to_us(dur));
     w.kv("pid", c.enclave_id);
     w.kv("tid", static_cast<std::uint64_t>(c.thread_id));
     w.key("args").begin_object();
     w.kv("call_id", static_cast<std::uint64_t>(c.call_id));
+    w.kv("self_ns", dur >= child_ns[i] ? dur - child_ns[i] : 0);
     if (c.aex_count > 0) w.kv("aex_count", static_cast<std::uint64_t>(c.aex_count));
     w.end_object();
     w.end_object();

@@ -6,6 +6,7 @@
 
 #include "support/strutil.hpp"
 #include "telemetry/metrics.hpp"
+#include "tracedb/merge.hpp"
 
 namespace tracedb {
 namespace {
@@ -42,12 +43,16 @@ TraceDatabase::TraceDatabase(TraceDatabase&& other) noexcept {
   call_names_ = std::move(other.call_names_);
   metric_series_ = std::move(other.metric_series_);
   metric_samples_ = std::move(other.metric_samples_);
+  latencies_ = std::move(other.latencies_);
   dropped_events_ = other.dropped_events_;
+  stream_dropped_ = other.stream_dropped_;
   shards_ = std::move(other.shards_);
   merge_stats_ = other.merge_stats_;
+  merge_threads_ = other.merge_threads_;
   other.shards_.clear();
   other.merge_stats_ = MergeStats{};
   other.dropped_events_ = 0;
+  other.stream_dropped_ = 0;
 }
 
 CallIndex TraceDatabase::add_call(const CallRecord& rec) {
@@ -137,39 +142,46 @@ void TraceDatabase::add_metric_sample(const MetricSampleRecord& rec) {
   metric_samples_.push_back(rec);
 }
 
+void TraceDatabase::set_latency(const LatencyRecord& rec) {
+  std::lock_guard lock(mu_);
+  for (auto& existing : latencies_) {
+    if (existing.enclave_id == rec.enclave_id && existing.type == rec.type &&
+        existing.call_id == rec.call_id) {
+      existing = rec;
+      return;
+    }
+  }
+  latencies_.push_back(rec);
+}
+
+const LatencyRecord* TraceDatabase::find_latency(EnclaveId enclave, CallType type,
+                                                 CallId call_id) const {
+  std::lock_guard lock(mu_);
+  for (const auto& rec : latencies_) {
+    if (rec.enclave_id == enclave && rec.type == type && rec.call_id == call_id) return &rec;
+  }
+  return nullptr;
+}
+
+void TraceDatabase::set_stream_dropped(std::uint64_t n) {
+  std::lock_guard lock(mu_);
+  stream_dropped_ = n;
+}
+
+std::uint64_t TraceDatabase::stream_dropped() const {
+  std::lock_guard lock(mu_);
+  return stream_dropped_;
+}
+
+void TraceDatabase::set_merge_threads(std::size_t n) {
+  std::lock_guard lock(mu_);
+  merge_threads_ = n;
+}
+
 std::uint64_t TraceDatabase::dropped_events() const {
   std::lock_guard lock(mu_);
   return dropped_events_;
 }
-
-namespace {
-
-/// Source coordinate of one shard record during a merge round.
-struct ShardRef {
-  std::size_t shard;  // index into the round's live-shard list
-  std::size_t local;  // index inside that shard's table
-};
-
-/// Orders shard records by timestamp; ties resolve to shard registration
-/// order then append order, which makes the merged sequence deterministic
-/// and keeps a single shard's records in exact append order.
-template <typename GetNs>
-std::vector<ShardRef> merge_order(const std::vector<EventShard*>& live, GetNs&& table_of) {
-  std::vector<ShardRef> order;
-  for (std::size_t s = 0; s < live.size(); ++s) {
-    for (std::size_t i = 0; i < table_of(live[s]).size(); ++i) order.push_back({s, i});
-  }
-  std::sort(order.begin(), order.end(), [&](const ShardRef& a, const ShardRef& b) {
-    const auto ta = table_of(live[a.shard])[a.local];
-    const auto tb = table_of(live[b.shard])[b.local];
-    if (ta != tb) return ta < tb;
-    if (a.shard != b.shard) return live[a.shard]->shard_id() < live[b.shard]->shard_id();
-    return a.local < b.local;
-  });
-  return order;
-}
-
-}  // namespace
 
 TraceDatabase::MergeStats TraceDatabase::merge_shards() {
   std::lock_guard lock(mu_);
@@ -184,24 +196,21 @@ TraceDatabase::MergeStats TraceDatabase::merge_shards() {
     if (!s->drained()) live.push_back(s.get());
   }
 
+  // Timestamp ties resolve to shard registration order then append order
+  // inside merge.cpp's tournament merge, which makes the merged sequence
+  // deterministic (and byte-identical for any merge_threads_ setting).
+  std::vector<std::uint32_t> shard_ids;
+  shard_ids.reserve(live.size());
+  for (const EventShard* s : live) shard_ids.push_back(s->shard_id());
+
   // --- calls: sort by start time, remap local parent references ------------
   {
-    std::vector<Nanoseconds> starts;  // flattened keys to avoid repeated derefs
-    auto start_of = [](const EventShard* s) -> std::vector<Nanoseconds> {
-      std::vector<Nanoseconds> v;
-      v.reserve(s->calls().size());
-      for (const auto& c : s->calls()) v.push_back(c.start_ns);
-      return v;
-    };
-    std::vector<std::vector<Nanoseconds>> keys;
-    keys.reserve(live.size());
-    for (const EventShard* s : live) keys.push_back(start_of(s));
-    const auto order = merge_order(live, [&](const EventShard* s) -> const std::vector<Nanoseconds>& {
-      for (std::size_t i = 0; i < live.size(); ++i) {
-        if (live[i] == s) return keys[i];
-      }
-      return keys.front();  // unreachable: s always comes from `live`
-    });
+    std::vector<std::vector<Nanoseconds>> keys(live.size());
+    for (std::size_t s = 0; s < live.size(); ++s) {
+      keys[s].reserve(live[s]->calls().size());
+      for (const auto& c : live[s]->calls()) keys[s].push_back(c.start_ns);
+    }
+    const auto order = parallel_merge_order(keys, shard_ids, merge_threads_);
 
     std::vector<std::vector<CallIndex>> remap(live.size());
     for (std::size_t s = 0; s < live.size(); ++s) remap[s].resize(live[s]->calls_.size());
@@ -223,13 +232,7 @@ TraceDatabase::MergeStats TraceDatabase::merge_shards() {
     for (std::size_t s = 0; s < live.size(); ++s) {
       for (const auto& a : live[s]->aexs()) aex_keys[s].push_back(a.timestamp_ns);
     }
-    const auto aex_order =
-        merge_order(live, [&](const EventShard* s) -> const std::vector<Nanoseconds>& {
-          for (std::size_t i = 0; i < live.size(); ++i) {
-            if (live[i] == s) return aex_keys[i];
-          }
-          return aex_keys.front();
-        });
+    const auto aex_order = parallel_merge_order(aex_keys, shard_ids, merge_threads_);
     aexs_.reserve(aexs_.size() + aex_order.size());
     for (const auto& ref : aex_order) {
       AexRecord rec = live[ref.shard]->aexs_[ref.local];
@@ -247,13 +250,7 @@ TraceDatabase::MergeStats TraceDatabase::merge_shards() {
     for (std::size_t s = 0; s < live.size(); ++s) {
       for (const auto& p : live[s]->paging()) keys[s].push_back(p.timestamp_ns);
     }
-    const auto order =
-        merge_order(live, [&](const EventShard* s) -> const std::vector<Nanoseconds>& {
-          for (std::size_t i = 0; i < live.size(); ++i) {
-            if (live[i] == s) return keys[i];
-          }
-          return keys.front();
-        });
+    const auto order = parallel_merge_order(keys, shard_ids, merge_threads_);
     paging_.reserve(paging_.size() + order.size());
     for (const auto& ref : order) paging_.push_back(live[ref.shard]->paging_[ref.local]);
     round.paging = order.size();
@@ -263,13 +260,7 @@ TraceDatabase::MergeStats TraceDatabase::merge_shards() {
     for (std::size_t s = 0; s < live.size(); ++s) {
       for (const auto& rec : live[s]->syncs()) keys[s].push_back(rec.timestamp_ns);
     }
-    const auto order =
-        merge_order(live, [&](const EventShard* s) -> const std::vector<Nanoseconds>& {
-          for (std::size_t i = 0; i < live.size(); ++i) {
-            if (live[i] == s) return keys[i];
-          }
-          return keys.front();
-        });
+    const auto order = parallel_merge_order(keys, shard_ids, merge_threads_);
     syncs_.reserve(syncs_.size() + order.size());
     for (const auto& ref : order) syncs_.push_back(live[ref.shard]->syncs_[ref.local]);
     round.syncs = order.size();
@@ -348,7 +339,9 @@ void TraceDatabase::clear() {
   call_names_.clear();
   metric_series_.clear();
   metric_samples_.clear();
+  latencies_.clear();
   dropped_events_ = 0;
+  stream_dropped_ = 0;
   for (auto& s : shards_) s->reset();
   merge_stats_ = MergeStats{};
 }

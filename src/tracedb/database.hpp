@@ -68,6 +68,22 @@ class TraceDatabase {
                                    const std::string& unit);
   void add_metric_sample(const MetricSampleRecord& rec);
 
+  // --- latency table (format v4) --------------------------------------------
+
+  /// Upserts the HDR latency histogram for `rec`'s (enclave, type, call_id)
+  /// key: the logger re-persists cumulative snapshots at every flush, so a
+  /// replace (rather than append) keeps the table one-row-per-site.
+  void set_latency(const LatencyRecord& rec);
+  /// Row for one call site, or nullptr if none was recorded.  The pointer
+  /// is invalidated by the next writer call.
+  [[nodiscard]] const LatencyRecord* find_latency(EnclaveId enclave, CallType type,
+                                                  CallId call_id) const;
+
+  /// Events dropped by live streaming subscriptions during recording
+  /// (format v4) — the streaming analogue of dropped_events().
+  void set_stream_dropped(std::uint64_t n);
+  [[nodiscard]] std::uint64_t stream_dropped() const;
+
   // --- sharded writer API (see shard.hpp for the lifecycle) ----------------
 
   /// Creates a new per-thread shard and returns a stable reference (shards
@@ -102,6 +118,12 @@ class TraceDatabase {
   [[nodiscard]] MergeStats merge_stats() const;
   [[nodiscard]] std::size_t shard_count() const;
 
+  /// Worker threads used by merge_shards() for the k-way stitch.  0 (the
+  /// default) picks hardware_concurrency, 1 forces the sequential path.
+  /// Output is byte-identical regardless: the merge order (timestamp,
+  /// shard id, append index) is a unique total order.
+  void set_merge_threads(std::size_t n);
+
   // --- reader API ----------------------------------------------------------
 
   [[nodiscard]] const std::vector<CallRecord>& calls() const noexcept { return calls_; }
@@ -117,6 +139,9 @@ class TraceDatabase {
   }
   [[nodiscard]] const std::vector<MetricSampleRecord>& metric_samples() const noexcept {
     return metric_samples_;
+  }
+  [[nodiscard]] const std::vector<LatencyRecord>& latencies() const noexcept {
+    return latencies_;
   }
 
   /// Total events rejected by sealed shards over the database's lifetime
@@ -155,10 +180,13 @@ class TraceDatabase {
   std::vector<CallNameRecord> call_names_;
   std::vector<MetricSeriesRecord> metric_series_;
   std::vector<MetricSampleRecord> metric_samples_;
+  std::vector<LatencyRecord> latencies_;
   std::uint64_t dropped_events_ = 0;
+  std::uint64_t stream_dropped_ = 0;
 
   std::vector<std::unique_ptr<EventShard>> shards_;
   MergeStats merge_stats_;
+  std::size_t merge_threads_ = 0;
 };
 
 }  // namespace tracedb

@@ -9,6 +9,8 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "support/clock.hpp"
 
@@ -145,6 +147,21 @@ struct MetricSampleRecord {
   MetricSeriesId series_id = 0;
   Nanoseconds timestamp_ns = 0;
   double value = 0.0;
+};
+
+/// Sparse HDR latency histogram for one (enclave, type, call_id) call site
+/// (format v4).  Buckets follow the fixed telemetry::hdr geometry — the
+/// file header records (sub_bits, max_exponent) and the loader validates
+/// them against the compiled constants, so indices are portable.  Only
+/// non-empty buckets are stored, as (index, count) pairs in ascending
+/// index order.
+struct LatencyRecord {
+  EnclaveId enclave_id = 0;
+  CallType type = CallType::kEcall;
+  CallId call_id = 0;
+  std::uint64_t count = 0;
+  std::uint64_t sum_ns = 0;  // exact sum of recorded durations
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> buckets;
 };
 
 }  // namespace tracedb

@@ -1,13 +1,17 @@
-// Binary persistence (formats v2/v3) and CSV export for TraceDatabase.
+// Binary persistence (formats v2/v3/v4) and CSV export for TraceDatabase.
 //
-// Layout: magic "SGXPTRC3", then per table a u64 row count followed by rows.
+// Layout: magic "SGXPTRC4", then per table a u64 row count followed by rows.
 // v2 added the AEX cause byte; v3 appends the dropped-event count and the
-// telemetry tables (metric series, metric samples) after the v2 payload, so
-// a v2 file is exactly a v3 file that ends early — load() accepts both
-// magics and leaves the v3 fields at their defaults for v2 input.  v1 files
-// are rejected by the magic check.  Integers are little-endian fixed-width;
-// strings are u32-length-prefixed; metric values are IEEE-754 doubles
-// stored as their u64 bit pattern.
+// telemetry tables (metric series, metric samples) after the v2 payload;
+// v4 appends the streaming-drop count and the sparse HDR latency table
+// after the v3 payload.  Each older format is exactly a newer file that
+// ends early — load() accepts all three magics and leaves the newer fields
+// at their defaults for older input.  v1 files are rejected by the magic
+// check.  Integers are little-endian fixed-width; strings are
+// u32-length-prefixed; metric values are IEEE-754 doubles stored as their
+// u64 bit pattern.  The latency table header records the compiled HDR
+// bucket geometry (sub_bits, max_exponent); load() rejects mismatches
+// rather than misinterpret bucket indices.
 #include <bit>
 #include <cstdint>
 #include <cstdio>
@@ -16,6 +20,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "telemetry/hdr_histogram.hpp"
 #include "tracedb/database.hpp"
 
 namespace tracedb {
@@ -23,6 +28,14 @@ namespace {
 
 constexpr char kMagicV2[8] = {'S', 'G', 'X', 'P', 'T', 'R', 'C', '2'};
 constexpr char kMagicV3[8] = {'S', 'G', 'X', 'P', 'T', 'R', 'C', '3'};
+constexpr char kMagicV4[8] = {'S', 'G', 'X', 'P', 'T', 'R', 'C', '4'};
+
+bool magic_is(const char (&magic)[8], const char (&want)[8]) {
+  for (std::size_t i = 0; i < 8; ++i) {
+    if (magic[i] != want[i]) return false;
+  }
+  return true;
+}
 
 struct FileCloser {
   void operator()(std::FILE* f) const noexcept {
@@ -108,7 +121,7 @@ void TraceDatabase::save(const std::string& path) const {
     }
   }
   Writer w(path);
-  w.bytes(kMagicV3, sizeof(kMagicV3));
+  w.bytes(kMagicV4, sizeof(kMagicV4));
 
   w.u64(calls_.size());
   for (const auto& c : calls_) {
@@ -184,23 +197,35 @@ void TraceDatabase::save(const std::string& path) const {
     w.u64(s.timestamp_ns);
     w.f64(s.value);
   }
+
+  // --- v4 additions ---------------------------------------------------------
+  w.u64(stream_dropped_);
+
+  w.u8(static_cast<std::uint8_t>(telemetry::hdr::kSubBits));
+  w.u8(static_cast<std::uint8_t>(telemetry::hdr::kMaxExponent));
+  w.u64(latencies_.size());
+  for (const auto& l : latencies_) {
+    w.u64(l.enclave_id);
+    w.u8(static_cast<std::uint8_t>(l.type));
+    w.u32(l.call_id);
+    w.u64(l.count);
+    w.u64(l.sum_ns);
+    w.u32(static_cast<std::uint32_t>(l.buckets.size()));
+    for (const auto& [idx, n] : l.buckets) {
+      w.u32(idx);
+      w.u64(n);
+    }
+  }
 }
 
 TraceDatabase TraceDatabase::load(const std::string& path) {
   Reader r(path);
   char magic[8];
   r.bytes(magic, sizeof(magic));
-  bool v3 = true;
-  for (std::size_t i = 0; i < sizeof(kMagicV3); ++i) {
-    if (magic[i] != kMagicV3[i]) {
-      v3 = false;
-      break;
-    }
-  }
-  if (!v3) {
-    for (std::size_t i = 0; i < sizeof(kMagicV2); ++i) {
-      if (magic[i] != kMagicV2[i]) throw std::runtime_error("tracedb: bad magic in " + path);
-    }
+  const bool v4 = magic_is(magic, kMagicV4);
+  const bool v3 = v4 || magic_is(magic, kMagicV3);
+  if (!v3 && !magic_is(magic, kMagicV2)) {
+    throw std::runtime_error("tracedb: bad magic in " + path);
   }
 
   TraceDatabase db;
@@ -304,6 +329,37 @@ TraceDatabase TraceDatabase::load(const std::string& path) {
     }
   }
 
+  if (v4) {
+    db.stream_dropped_ = r.u64();
+
+    const std::uint8_t sub_bits = r.u8();
+    const std::uint8_t max_exp = r.u8();
+    if (sub_bits != telemetry::hdr::kSubBits || max_exp != telemetry::hdr::kMaxExponent) {
+      throw std::runtime_error("tracedb: latency table bucket geometry mismatch in " + path);
+    }
+    const std::uint64_t n_lat = r.u64();
+    db.latencies_.reserve(n_lat);
+    for (std::uint64_t i = 0; i < n_lat; ++i) {
+      LatencyRecord l;
+      l.enclave_id = r.u64();
+      l.type = static_cast<CallType>(r.u8());
+      l.call_id = r.u32();
+      l.count = r.u64();
+      l.sum_ns = r.u64();
+      const std::uint32_t n_buckets = r.u32();
+      if (n_buckets > telemetry::hdr::kBucketCount) {
+        throw std::runtime_error("tracedb: implausible latency bucket count in " + path);
+      }
+      l.buckets.reserve(n_buckets);
+      for (std::uint32_t b = 0; b < n_buckets; ++b) {
+        const std::uint32_t idx = r.u32();
+        const std::uint64_t n = r.u64();
+        l.buckets.emplace_back(idx, n);
+      }
+      db.latencies_.push_back(std::move(l));
+    }
+  }
+
   return db;
 }
 
@@ -403,6 +459,24 @@ void TraceDatabase::export_csv(const std::string& directory) const {
     for (const auto& s : metric_samples_) {
       std::fprintf(f.get(), "%u,%llu,%.17g\n", s.series_id,
                    static_cast<unsigned long long>(s.timestamp_ns), s.value);
+    }
+  }
+  {
+    FilePtr f = open("latency.csv");
+    std::fprintf(f.get(), "enclave_id,type,call_id,count,sum_ns,p50_ns,p90_ns,p99_ns,p999_ns\n");
+    for (const auto& l : latencies_) {
+      telemetry::HdrSnapshot snap;
+      for (const auto& [idx, n] : l.buckets) snap.add_bucket(idx, n);
+      snap.set_exact_sum(l.sum_ns);
+      std::fprintf(f.get(), "%llu,%s,%u,%llu,%llu,%llu,%llu,%llu,%llu\n",
+                   static_cast<unsigned long long>(l.enclave_id),
+                   l.type == CallType::kEcall ? "ecall" : "ocall", l.call_id,
+                   static_cast<unsigned long long>(l.count),
+                   static_cast<unsigned long long>(l.sum_ns),
+                   static_cast<unsigned long long>(snap.value_at_percentile(50)),
+                   static_cast<unsigned long long>(snap.value_at_percentile(90)),
+                   static_cast<unsigned long long>(snap.value_at_percentile(99)),
+                   static_cast<unsigned long long>(snap.value_at_percentile(99.9)));
     }
   }
 }

@@ -1,0 +1,150 @@
+// Call-tree/flamegraph profiler: folds the recorded parent chains into
+// weighted trees, exports collapsed stacks (golden-checked) and an indented
+// text rendering.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+
+#include "perf/calltree.hpp"
+#include "tracedb/database.hpp"
+
+namespace {
+
+using perf::CallTree;
+using tracedb::CallRecord;
+using tracedb::CallType;
+using tracedb::TraceDatabase;
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+}
+
+tracedb::CallIndex add_call(TraceDatabase& db, CallType type, std::uint32_t call_id,
+                            tracedb::CallIndex parent, std::uint64_t start, std::uint64_t end,
+                            std::uint32_t aex = 0) {
+  CallRecord c;
+  c.type = type;
+  c.thread_id = 11;
+  c.enclave_id = 1;
+  c.call_id = call_id;
+  c.parent = parent;
+  c.start_ns = start;
+  c.end_ns = end;
+  c.aex_count = aex;
+  return db.add_call(c);
+}
+
+/// Deterministic profile: two ecall_process instances, one with a nested
+/// ocall_log that re-enters via ecall_reenter — covering every chain shape
+/// the folder handles (root call, nested ocall, ocall→ecall re-entry).
+TraceDatabase golden_db() {
+  TraceDatabase db;
+  db.add_enclave({/*enclave_id=*/1, "worker", /*created_ns=*/0, /*destroyed_ns=*/0,
+                  /*tcs_count=*/2, /*size_bytes=*/1 << 20});
+  db.add_call_name({1, CallType::kEcall, 0, "ecall_process"});
+  db.add_call_name({1, CallType::kOcall, 0, "ocall_log"});
+  db.add_call_name({1, CallType::kEcall, 1, "ecall_reenter"});
+
+  const auto e0 = add_call(db, CallType::kEcall, 0, tracedb::kNoParent, 1'000, 9'500,
+                           /*aex=*/1);
+  const auto o0 = add_call(db, CallType::kOcall, 0, e0, 3'000, 4'250);
+  add_call(db, CallType::kEcall, 1, o0, 3'500, 3'900);
+  const auto e1 = add_call(db, CallType::kEcall, 0, tracedb::kNoParent, 20'000, 26'000);
+  add_call(db, CallType::kOcall, 0, e1, 21'000, 22'000);
+  return db;
+}
+
+TEST(CallTree, CollapsedStacksMatchGoldenFile) {
+  const CallTree tree(golden_db());
+  const std::string golden_path = std::string(GOLDEN_DIR) + "/flamegraph.txt";
+  const std::string expected = slurp(golden_path);
+  ASSERT_FALSE(expected.empty()) << "missing golden file: " << golden_path;
+  EXPECT_EQ(tree.collapsed(), expected)
+      << "collapsed-stack output drifted from " << golden_path
+      << " — if intentional, regenerate the golden file";
+}
+
+TEST(CallTree, AggregatesCountsTotalsAndSelfTimes) {
+  const CallTree tree(golden_db());
+  const auto& root = tree.root();
+  ASSERT_EQ(root.children.size(), 1u);
+  const auto& worker = *root.children.begin()->second;
+  EXPECT_EQ(worker.name, "worker");
+
+  ASSERT_EQ(worker.children.size(), 1u);
+  const auto& process = *worker.children.begin()->second;
+  EXPECT_EQ(process.name, "ecall_process");
+  EXPECT_EQ(process.count, 2u);
+  EXPECT_EQ(process.total_ns, 8'500u + 6'000u);
+  EXPECT_EQ(process.self_ns, (8'500u - 1'250u) + (6'000u - 1'000u));
+  EXPECT_EQ(process.aex_count, 1u);
+
+  ASSERT_EQ(process.children.size(), 1u);
+  const auto& log = *process.children.begin()->second;
+  EXPECT_EQ(log.count, 2u);
+  EXPECT_EQ(log.total_ns, 1'250u + 1'000u);
+  EXPECT_EQ(log.self_ns, (1'250u - 400u) + 1'000u);
+
+  ASSERT_EQ(log.children.size(), 1u);
+  const auto& reenter = *log.children.begin()->second;
+  EXPECT_EQ(reenter.name, "ecall_reenter");
+  EXPECT_EQ(reenter.count, 1u);
+  EXPECT_EQ(reenter.self_ns, 400u);
+}
+
+TEST(CallTree, RenderTextShowsIndentedHierarchy) {
+  const std::string text = CallTree(golden_db()).render_text();
+  EXPECT_NE(text.find("worker  count=0"), std::string::npos);
+  EXPECT_NE(text.find("  ecall_process  count=2"), std::string::npos);
+  EXPECT_NE(text.find("    ocall_log  count=2"), std::string::npos);
+  EXPECT_NE(text.find("      ecall_reenter  count=1"), std::string::npos);
+}
+
+TEST(CallTree, EmptyDatabaseYieldsEmptyOutputs) {
+  TraceDatabase db;
+  const CallTree tree(db);
+  EXPECT_TRUE(tree.root().children.empty());
+  EXPECT_EQ(tree.collapsed(), "");
+  EXPECT_EQ(tree.render_text(), "");
+}
+
+TEST(CallTree, SynthesizesNamesForAnonymousEnclavesAndCalls) {
+  TraceDatabase db;  // no enclave record, no call names
+  add_call(db, CallType::kEcall, 7, tracedb::kNoParent, 0, 500);
+  const CallTree tree(db);
+  const std::string stacks = tree.collapsed();
+  EXPECT_EQ(stacks, "enclave_1;ecall_7 500\n");
+}
+
+TEST(CallTree, HandlesParentsRecordedAfterChildren) {
+  // Hand-built databases (and merged shards) may interleave orders; the
+  // resolver must not assume parent-before-child indices.
+  TraceDatabase db;
+  CallRecord child;
+  child.type = CallType::kOcall;
+  child.enclave_id = 1;
+  child.call_id = 0;
+  child.parent = 1;  // forward reference
+  child.start_ns = 10;
+  child.end_ns = 20;
+  db.add_call(child);
+  CallRecord parent;
+  parent.type = CallType::kEcall;
+  parent.enclave_id = 1;
+  parent.call_id = 0;
+  parent.parent = tracedb::kNoParent;
+  parent.start_ns = 0;
+  parent.end_ns = 100;
+  db.add_call(parent);
+
+  const CallTree tree(db);
+  const auto& enclave = *tree.root().children.begin()->second;
+  const auto& ecall = *enclave.children.begin()->second;
+  EXPECT_EQ(ecall.self_ns, 90u);
+  ASSERT_EQ(ecall.children.size(), 1u);
+  EXPECT_EQ(ecall.children.begin()->second->self_ns, 10u);
+}
+
+}  // namespace

@@ -1,0 +1,150 @@
+// HDR-style log-bucketed histogram: bucket geometry invariants, percentile
+// extraction, merge/serialisation round trips, and the striped concurrent
+// recorder.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "telemetry/hdr_histogram.hpp"
+
+namespace {
+
+using telemetry::HdrHistogram;
+using telemetry::HdrSnapshot;
+namespace hdr = telemetry::hdr;
+
+TEST(HdrGeometry, FirstBucketsAreExact) {
+  // Values below kSubCount land in their own unit-wide bucket.
+  for (std::uint64_t v = 0; v < hdr::kSubCount; ++v) {
+    const std::size_t idx = hdr::index_of(v);
+    EXPECT_EQ(hdr::lower_bound(idx), v);
+    EXPECT_EQ(hdr::upper_bound(idx), v);
+  }
+}
+
+TEST(HdrGeometry, EveryValueFallsInsideItsBucket) {
+  // Sweep powers of two and their neighbours across the whole range.
+  for (std::uint32_t shift = 0; shift <= hdr::kMaxExponent; ++shift) {
+    const std::uint64_t base = 1ULL << shift;
+    for (const std::uint64_t v : {base - 1, base, base + 1, base + base / 3}) {
+      const std::size_t idx = hdr::index_of(v);
+      ASSERT_LT(idx, hdr::kBucketCount);
+      EXPECT_LE(hdr::lower_bound(idx), v) << "value " << v;
+      EXPECT_GE(hdr::upper_bound(idx), v) << "value " << v;
+    }
+  }
+}
+
+TEST(HdrGeometry, BucketsAreContiguousAndMonotonic) {
+  for (std::size_t idx = 1; idx < hdr::kBucketCount; ++idx) {
+    EXPECT_EQ(hdr::lower_bound(idx), hdr::upper_bound(idx - 1) + 1) << "bucket " << idx;
+  }
+}
+
+TEST(HdrGeometry, OverflowClampsToLastBucket) {
+  EXPECT_EQ(hdr::index_of(~0ULL), hdr::kBucketCount - 1);
+}
+
+TEST(HdrSnapshotTest, EmptySnapshotReportsZero) {
+  HdrSnapshot snap;
+  EXPECT_EQ(snap.count(), 0u);
+  EXPECT_EQ(snap.value_at_percentile(50), 0u);
+  EXPECT_EQ(snap.value_at_percentile(99.9), 0u);
+  EXPECT_EQ(snap.max_value(), 0u);
+}
+
+TEST(HdrSnapshotTest, PercentilesOfUniformRange) {
+  HdrSnapshot snap;
+  for (std::uint64_t v = 1; v <= 10'000; ++v) snap.record(v);
+  EXPECT_EQ(snap.count(), 10'000u);
+  // HDR quantization: the reported value bounds the true percentile from
+  // above by at most one bucket width (≤ ~3% relative error at 5 sub-bits).
+  const auto p50 = static_cast<double>(snap.value_at_percentile(50));
+  const auto p99 = static_cast<double>(snap.value_at_percentile(99));
+  EXPECT_GE(p50, 5'000.0);
+  EXPECT_LE(p50, 5'000.0 * 1.04);
+  EXPECT_GE(p99, 9'900.0);
+  EXPECT_LE(p99, 9'900.0 * 1.04);
+  EXPECT_GE(snap.value_at_percentile(100), 10'000u);
+}
+
+TEST(HdrSnapshotTest, SingleValueDominatesAllPercentiles) {
+  HdrSnapshot snap;
+  snap.record(777);
+  for (const double q : {0.0, 50.0, 90.0, 99.0, 99.9, 100.0}) {
+    const std::uint64_t v = snap.value_at_percentile(q);
+    EXPECT_LE(hdr::lower_bound(hdr::index_of(777)), v);
+    EXPECT_GE(hdr::upper_bound(hdr::index_of(777)), v);
+  }
+}
+
+TEST(HdrSnapshotTest, MergeIsAdditive) {
+  HdrSnapshot a;
+  HdrSnapshot b;
+  for (std::uint64_t v = 0; v < 100; ++v) a.record(v);
+  for (std::uint64_t v = 1'000; v < 1'100; ++v) b.record(v);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 200u);
+  // Lower half comes from a, upper half from b.
+  EXPECT_LT(a.value_at_percentile(25), 100u);
+  EXPECT_GE(a.value_at_percentile(75), 1'000u);
+}
+
+TEST(HdrHistogramTest, ConcurrentRecordersLoseNothing) {
+  HdrHistogram hist;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 25'000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&hist, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        hist.record(static_cast<std::uint64_t>(t) * 1'000 + static_cast<std::uint64_t>(i) % 997);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const HdrSnapshot snap = hist.snapshot();
+  EXPECT_EQ(snap.count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(hist.count(), snap.count());
+}
+
+TEST(HdrHistogramTest, SnapshotSumIsExactNotBucketQuantized) {
+  HdrHistogram hist;
+  // 1000 does not sit on a bucket boundary: upper_bound(index_of(1000)) > 1000.
+  for (int i = 0; i < 10; ++i) hist.record(1'000);
+  const HdrSnapshot snap = hist.snapshot();
+  EXPECT_EQ(snap.sum(), 10'000u);
+  EXPECT_DOUBLE_EQ(snap.mean(), 1'000.0);
+}
+
+TEST(HdrHistogramTest, ResetClearsEverything) {
+  HdrHistogram hist;
+  hist.record(42);
+  hist.reset();
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_EQ(hist.snapshot().count(), 0u);
+}
+
+TEST(HdrSnapshotTest, BucketReconstructionMatchesDirectRecording) {
+  // The analyzer rebuilds snapshots from the trace's sparse bucket table;
+  // both paths must agree bit-for-bit on every percentile.
+  HdrSnapshot direct;
+  for (std::uint64_t v : {3u, 17u, 450u, 450u, 9'000u, 1'000'000u}) direct.record(v);
+
+  HdrSnapshot rebuilt;
+  for (std::size_t idx = 0; idx < hdr::kBucketCount; ++idx) {
+    const std::uint64_t n = direct.buckets()[idx];
+    if (n > 0) rebuilt.add_bucket(idx, n);
+  }
+  rebuilt.set_exact_sum(direct.sum());
+  EXPECT_EQ(rebuilt.count(), direct.count());
+  EXPECT_EQ(rebuilt.sum(), direct.sum());
+  for (const double q : {50.0, 90.0, 99.0, 99.9}) {
+    EXPECT_EQ(rebuilt.value_at_percentile(q), direct.value_at_percentile(q)) << "q=" << q;
+  }
+}
+
+}  // namespace

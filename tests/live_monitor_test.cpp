@@ -1,0 +1,120 @@
+// LiveMonitor ("sgxperf top" engine) and the logger's latency histograms:
+// live aggregation while attached, rendered frames, and the HDR snapshot /
+// persisted latency-table consistency at detach.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "perf/live.hpp"
+#include "perf/logger.hpp"
+#include "sgxsim/runtime.hpp"
+#include "telemetry/hdr_histogram.hpp"
+#include "tests/sim_helpers.hpp"
+
+namespace {
+
+using namespace sgxsim;
+
+constexpr const char* kEdl = R"(
+  enclave {
+    trusted { public int ecall_spin(void); };
+    untrusted { void ocall_blip(void); };
+  };
+)";
+
+TEST(LiveMonitor, AggregatesSitesWhileAttached) {
+  Urts urts;
+  tracedb::TraceDatabase db;
+  perf::Logger logger(db);
+  logger.attach(urts);
+  perf::LiveMonitor monitor(logger);
+  ASSERT_TRUE(monitor.ok());
+
+  EnclaveConfig config;
+  config.tcs_count = 3;
+  const EnclaveId eid = test_helpers::make_enclave(urts, kEdl, std::move(config));
+  urts.enclave(eid).register_ecall("ecall_spin", [](TrustedContext& ctx, void*) {
+    ctx.work(1'000);
+    return ctx.ocall(0, nullptr);
+  });
+  OcallTable table = make_ocall_table({&test_helpers::empty_ocall});
+  std::thread other([&] {
+    for (int i = 0; i < 30; ++i) urts.sgx_ecall(eid, 0, &table, nullptr);
+  });
+  for (int i = 0; i < 30; ++i) urts.sgx_ecall(eid, 0, &table, nullptr);
+  other.join();
+
+  // The logger is still attached: everything must be visible already.
+  monitor.drain();
+  EXPECT_EQ(monitor.total_calls(), 120u);  // 60 ecalls + 60 ocalls
+  EXPECT_EQ(monitor.dropped(), 0u);
+  ASSERT_EQ(monitor.sites().size(), 2u);
+  for (const auto& [key, site] : monitor.sites()) {
+    EXPECT_EQ(site.count, 60u);
+    EXPECT_EQ(site.latency.count(), 60u);
+    EXPECT_GT(site.latency.value_at_percentile(50), 0u);
+  }
+
+  const std::string frame = monitor.render_frame();
+  EXPECT_NE(frame.find("sgxperf top — frame 1"), std::string::npos);
+  EXPECT_NE(frame.find("ecall_spin"), std::string::npos);
+  EXPECT_NE(frame.find("ocall_blip"), std::string::npos);
+  EXPECT_NE(frame.find("p99.9[us]"), std::string::npos);
+
+  logger.detach();
+}
+
+TEST(LiveMonitor, LatencySnapshotMatchesPersistedTable) {
+  Urts urts;
+  tracedb::TraceDatabase db;
+  perf::Logger logger(db);
+  logger.attach(urts);
+
+  const EnclaveId eid = test_helpers::make_enclave(urts, kEdl);
+  urts.enclave(eid).register_ecall("ecall_spin", [](TrustedContext& ctx, void*) {
+    ctx.work(2'500);
+    return SgxStatus::kSuccess;
+  });
+  OcallTable table = make_ocall_table({&test_helpers::empty_ocall});
+  for (int i = 0; i < 40; ++i) urts.sgx_ecall(eid, 0, &table, nullptr);
+
+  // Live snapshot while attached.
+  const auto live = logger.latency_snapshot(eid, tracedb::CallType::kEcall, 0);
+  EXPECT_EQ(live.count(), 40u);
+  logger.detach();
+
+  // After detach the same distribution is in the trace's latency table.
+  const auto* rec = db.find_latency(eid, tracedb::CallType::kEcall, 0);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->count, 40u);
+  telemetry::HdrSnapshot from_table;
+  for (const auto& [idx, n] : rec->buckets) from_table.add_bucket(idx, n);
+  from_table.set_exact_sum(rec->sum_ns);
+  for (const double q : {50.0, 90.0, 99.0, 99.9}) {
+    EXPECT_EQ(from_table.value_at_percentile(q), live.value_at_percentile(q)) << "q=" << q;
+  }
+  EXPECT_EQ(from_table.sum(), live.sum());
+}
+
+TEST(LiveMonitor, HistogramsCanBeDisabled) {
+  Urts urts;
+  tracedb::TraceDatabase db;
+  perf::LoggerConfig config;
+  config.latency_histograms = false;
+  perf::Logger logger(db, config);
+  logger.attach(urts);
+
+  const EnclaveId eid = test_helpers::make_enclave(urts, kEdl);
+  urts.enclave(eid).register_ecall(
+      "ecall_spin", [](TrustedContext& ctx, void*) { ctx.work(100); return SgxStatus::kSuccess; });
+  OcallTable table = make_ocall_table({&test_helpers::empty_ocall});
+  for (int i = 0; i < 5; ++i) urts.sgx_ecall(eid, 0, &table, nullptr);
+  EXPECT_EQ(logger.latency_snapshot(eid, tracedb::CallType::kEcall, 0).count(), 0u);
+  logger.detach();
+  EXPECT_EQ(db.find_latency(eid, tracedb::CallType::kEcall, 0), nullptr);
+  EXPECT_EQ(db.calls().size(), 5u);  // the trace itself is unaffected
+}
+
+}  // namespace

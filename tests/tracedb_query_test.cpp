@@ -1,0 +1,274 @@
+// Query-layer edge cases (empty database, single-event traces) and the
+// format-v4 appendix: latency-table round trips, version spanning
+// (v2 → v3 → v4) and geometry validation on load.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "telemetry/hdr_histogram.hpp"
+#include "tracedb/database.hpp"
+#include "tracedb/merge.hpp"
+#include "tracedb/query.hpp"
+
+namespace {
+
+using tracedb::CallKey;
+using tracedb::CallRecord;
+using tracedb::CallType;
+using tracedb::TraceDatabase;
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(QueryEdgeCases, EmptyDatabaseYieldsEmptyViews) {
+  TraceDatabase db;
+  EXPECT_TRUE(tracedb::group_calls(db).empty());
+  EXPECT_TRUE(tracedb::durations_of(db, CallKey{1, CallType::kEcall, 0}).empty());
+  EXPECT_TRUE(tracedb::scatter_of(db, CallKey{1, CallType::kEcall, 0}).empty());
+  EXPECT_TRUE(tracedb::calls_in_range(db, CallType::kEcall, 0, ~0ULL).empty());
+  EXPECT_EQ(tracedb::distinct_calls(db, 1, CallType::kEcall), 0u);
+  EXPECT_EQ(tracedb::total_calls(db, 1, CallType::kOcall), 0u);
+  EXPECT_EQ(tracedb::fraction_shorter_than(db, 1, CallType::kEcall, 10'000), 0.0);
+  EXPECT_EQ(tracedb::paging_counts(db, 1), (std::pair<std::size_t, std::size_t>{0, 0}));
+  EXPECT_EQ(db.find_latency(1, CallType::kEcall, 0), nullptr);
+  EXPECT_EQ(db.stream_dropped(), 0u);
+}
+
+TEST(QueryEdgeCases, SingleEventTrace) {
+  TraceDatabase db;
+  CallRecord c;
+  c.type = CallType::kEcall;
+  c.thread_id = 3;
+  c.enclave_id = 5;
+  c.call_id = 2;
+  c.start_ns = 100;
+  c.end_ns = 350;
+  db.add_call(c);
+
+  const CallKey key{5, CallType::kEcall, 2};
+  const auto groups = tracedb::group_calls(db);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups.begin()->first, key);
+
+  const auto durations = tracedb::durations_of(db, key);
+  ASSERT_EQ(durations.size(), 1u);
+  EXPECT_EQ(durations[0], 250u);
+
+  EXPECT_EQ(tracedb::distinct_calls(db, 5, CallType::kEcall), 1u);
+  EXPECT_EQ(tracedb::total_calls(db, 5, CallType::kEcall), 1u);
+  // 250ns < 10us, so the whole population is "short".
+  EXPECT_EQ(tracedb::fraction_shorter_than(db, 5, CallType::kEcall, 10'000), 1.0);
+  // Subtracting more than the duration must clamp, not wrap.
+  EXPECT_EQ(tracedb::fraction_shorter_than(db, 5, CallType::kEcall, 10'000, 4'205), 1.0);
+  // Range filter: [start, start+1) hits, [start+1, ...) misses.
+  EXPECT_EQ(tracedb::calls_in_range(db, CallType::kEcall, 100, 101).size(), 1u);
+  EXPECT_TRUE(tracedb::calls_in_range(db, CallType::kEcall, 101, ~0ULL).empty());
+}
+
+TEST(FormatV4, LatencyTableRoundTrips) {
+  TraceDatabase db;
+  tracedb::LatencyRecord rec;
+  rec.enclave_id = 1;
+  rec.type = CallType::kEcall;
+  rec.call_id = 4;
+  rec.count = 3;
+  rec.sum_ns = 3'300;
+  rec.buckets = {{telemetry::hdr::index_of(1'000), 2}, {telemetry::hdr::index_of(1'300), 1}};
+  db.set_latency(rec);
+  db.set_stream_dropped(17);
+
+  const std::string path = temp_path("tracedb_v4_roundtrip.bin");
+  db.save(path);
+  const TraceDatabase reloaded = TraceDatabase::load(path);
+  std::filesystem::remove(path);
+
+  EXPECT_EQ(reloaded.stream_dropped(), 17u);
+  const auto* found = reloaded.find_latency(1, CallType::kEcall, 4);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->count, 3u);
+  EXPECT_EQ(found->sum_ns, 3'300u);
+  EXPECT_EQ(found->buckets, rec.buckets);
+  EXPECT_EQ(reloaded.find_latency(1, CallType::kOcall, 4), nullptr);
+}
+
+TEST(FormatV4, SetLatencyUpsertsByKey) {
+  TraceDatabase db;
+  tracedb::LatencyRecord rec;
+  rec.enclave_id = 2;
+  rec.type = CallType::kOcall;
+  rec.call_id = 0;
+  rec.count = 1;
+  db.set_latency(rec);
+  rec.count = 9;
+  db.set_latency(rec);  // same key: replaces, not appends
+  ASSERT_EQ(db.latencies().size(), 1u);
+  EXPECT_EQ(db.latencies()[0].count, 9u);
+}
+
+/// Hand-assembles a v2 file (pre-telemetry, pre-latency): the current loader
+/// must default every newer table.  This is the version-spanning guarantee —
+/// each older format is exactly a newer file that ends early.
+TEST(FormatV4, LoadsV2FilesWithDefaultedLatencyTable) {
+  const std::string path = temp_path("tracedb_v2_for_v4.bin");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const auto u8 = [&](std::uint8_t v) { std::fwrite(&v, 1, 1, f); };
+  const auto u32 = [&](std::uint32_t v) { std::fwrite(&v, 4, 1, f); };
+  const auto u64 = [&](std::uint64_t v) { std::fwrite(&v, 8, 1, f); };
+  const auto i64 = [&](std::int64_t v) { std::fwrite(&v, 8, 1, f); };
+  std::fwrite("SGXPTRC2", 1, 8, f);
+  u64(1);      // one call
+  u8(0);       // ecall
+  u8(0);       // generic
+  u32(7);      // thread
+  u64(1);      // enclave
+  u32(0);      // call id
+  i64(-1);     // no parent
+  u64(0);      // start
+  u64(900);    // end
+  u32(0);      // aex
+  u64(0);      // aexs
+  u64(0);      // paging
+  u64(0);      // syncs
+  u64(0);      // enclaves
+  u64(0);      // call names
+  std::fclose(f);
+
+  const TraceDatabase db = TraceDatabase::load(path);
+  std::filesystem::remove(path);
+  EXPECT_EQ(db.calls().size(), 1u);
+  EXPECT_TRUE(db.latencies().empty());
+  EXPECT_EQ(db.stream_dropped(), 0u);
+  EXPECT_TRUE(db.metric_series().empty());
+}
+
+TEST(FormatV4, V3SaveIsAPrefixOfV4Save) {
+  // A v4 file is a v3 file plus the appendix: loading a v4 trace and saving
+  // again must preserve every older table bit-for-bit.
+  TraceDatabase db;
+  CallRecord c;
+  c.type = CallType::kOcall;
+  c.enclave_id = 9;
+  c.call_id = 1;
+  c.start_ns = 5;
+  c.end_ns = 50;
+  db.add_call(c);
+  tracedb::LatencyRecord rec;
+  rec.enclave_id = 9;
+  rec.type = CallType::kOcall;
+  rec.call_id = 1;
+  rec.count = 1;
+  rec.sum_ns = 45;
+  rec.buckets = {{telemetry::hdr::index_of(45), 1}};
+  db.set_latency(rec);
+
+  const std::string path = temp_path("tracedb_v4_reload.bin");
+  db.save(path);
+  const TraceDatabase once = TraceDatabase::load(path);
+  const std::string path2 = temp_path("tracedb_v4_reload2.bin");
+  once.save(path2);
+
+  std::ifstream a(path, std::ios::binary);
+  std::ifstream b(path2, std::ios::binary);
+  const std::string bytes_a((std::istreambuf_iterator<char>(a)),
+                            std::istreambuf_iterator<char>());
+  const std::string bytes_b((std::istreambuf_iterator<char>(b)),
+                            std::istreambuf_iterator<char>());
+  EXPECT_EQ(bytes_a, bytes_b);
+  EXPECT_EQ(bytes_a.substr(0, 8), "SGXPTRC4");
+  std::filesystem::remove(path);
+  std::filesystem::remove(path2);
+}
+
+/// The parallel tournament-tree merge must emit exactly the order a global
+/// sort by (timestamp, shard id, append index) would — regardless of thread
+/// count, timestamp ties, or out-of-order appends within a shard.
+TEST(ParallelMerge, IsByteIdenticalToSequentialOrder) {
+  std::uint64_t state = 42;
+  const auto rnd = [&] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+
+  constexpr std::size_t kShards = 5;
+  constexpr std::size_t kPerShard = 6'000;  // > segment threshold in aggregate
+  std::vector<std::vector<tracedb::Nanoseconds>> keys(kShards);
+  std::vector<std::uint32_t> ids;
+  for (std::size_t s = 0; s < kShards; ++s) {
+    ids.push_back(static_cast<std::uint32_t>(10 + s));
+    std::uint64_t t = 0;
+    for (std::size_t i = 0; i < kPerShard; ++i) {
+      t += rnd() % 3;            // frequent cross-shard ties (step can be 0)
+      keys[s].push_back(t + rnd() % 8);  // local out-of-order jitter
+    }
+  }
+
+  const auto seq = tracedb::parallel_merge_order(keys, ids, 1);
+  ASSERT_EQ(seq.size(), kShards * kPerShard);
+  // Reference order: the global-sort contract.
+  for (std::size_t i = 1; i < seq.size(); ++i) {
+    const auto& a = seq[i - 1];
+    const auto& b = seq[i];
+    const auto ka = keys[a.shard][a.local];
+    const auto kb = keys[b.shard][b.local];
+    ASSERT_LE(ka, kb);
+    if (ka == kb) {
+      if (a.shard == b.shard) {
+        ASSERT_LT(a.local, b.local);
+      } else {
+        ASSERT_LT(ids[a.shard], ids[b.shard]);
+      }
+    }
+  }
+
+  for (const std::size_t threads : {2u, 3u, 8u}) {
+    const auto par = tracedb::parallel_merge_order(keys, ids, threads);
+    ASSERT_EQ(par.size(), seq.size()) << threads << " threads";
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+      ASSERT_EQ(par[i].shard, seq[i].shard) << "threads=" << threads << " i=" << i;
+      ASSERT_EQ(par[i].local, seq[i].local) << "threads=" << threads << " i=" << i;
+    }
+  }
+}
+
+TEST(ParallelMerge, HandlesEmptyAndSingleShardInputs) {
+  EXPECT_TRUE(tracedb::parallel_merge_order({}, {}, 4).empty());
+  EXPECT_TRUE(tracedb::parallel_merge_order({{}, {}}, {1, 2}, 4).empty());
+  const auto one = tracedb::parallel_merge_order({{5, 3, 9}}, {1}, 4);
+  ASSERT_EQ(one.size(), 3u);
+  EXPECT_EQ(one[0].local, 1u);  // 3
+  EXPECT_EQ(one[1].local, 0u);  // 5
+  EXPECT_EQ(one[2].local, 2u);  // 9
+}
+
+TEST(FormatV4, RejectsMismatchedBucketGeometry) {
+  TraceDatabase db;
+  db.set_stream_dropped(1);
+  const std::string path = temp_path("tracedb_v4_badgeom.bin");
+  db.save(path);
+
+  // Corrupt the geometry header (sub_bits byte directly after the
+  // stream-drop counter at the end of the v3 payload).
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.is_open());
+  f.seekg(0, std::ios::end);
+  const auto size = static_cast<std::streamoff>(f.tellg());
+  // Layout of the v4 appendix: u64 stream_dropped, u8 sub_bits,
+  // u8 max_exponent, u64 latency-row count (empty here).
+  f.seekp(size - 10);
+  const char bad_sub_bits = 6;
+  f.write(&bad_sub_bits, 1);
+  f.close();
+
+  EXPECT_THROW((void)TraceDatabase::load(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+}  // namespace

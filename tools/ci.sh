@@ -1,13 +1,17 @@
 #!/bin/sh
-# CI driver: build + run the full test suite three times —
+# CI driver: build + run the full test suite four times —
 #   1. plain RelWithDebInfo build,
 #   2. ThreadSanitizer build (-DSGXPERF_SANITIZE=thread), which must report
 #      zero races across the concurrent recording paths,
 #   3. AddressSanitizer build (-DSGXPERF_SANITIZE=address), which must report
-#      zero heap errors / leaks.
+#      zero heap errors / leaks,
+#   4. UBSan build (-DSGXPERF_SANITIZE=undefined) with recovery disabled, so
+#      any undefined behaviour aborts the test that triggered it.
 # The plain build then runs the bench suite in --smoke mode and validates
-# every BENCH_*.json artefact with tools/json_check: a bench that emits
-# malformed JSON fails the pipeline.
+# every BENCH_*.json artefact with tools/json_check, plus a flamegraph
+# golden check: `sgxperf flamegraph` over a deterministic single-threaded
+# recording must reproduce tests/golden/flamegraph_demo.txt byte-for-byte
+# (tools/stack_check also validates the collapsed-stack grammar).
 #
 # Usage: tools/ci.sh [jobs]   (run from the repository root)
 set -eu
@@ -31,7 +35,7 @@ smoke_dir="$root/build/bench-smoke"
 rm -rf "$smoke_dir"
 mkdir -p "$smoke_dir"
 for bench in bench_transitions bench_logger_overhead bench_paging \
-             bench_switchless bench_sync; do
+             bench_switchless bench_sync bench_merge; do
   echo "--- $bench --smoke"
   (cd "$smoke_dir" && "$root/build/bench/$bench" --smoke >/dev/null)
 done
@@ -46,6 +50,14 @@ if [ "$count" -lt 4 ]; then
 fi
 echo "$count bench artefacts valid"
 
+echo "=== flamegraph golden check ==="
+# Single-threaded demo recording: virtual time makes it fully deterministic,
+# so the collapsed stacks must match the committed golden byte-for-byte.
+"$root/build/tools/sgxperf" record "$smoke_dir/fg_demo.bin" --threads 1 --calls 25 >/dev/null
+"$root/build/tools/sgxperf" flamegraph "$smoke_dir/fg_demo.bin" > "$smoke_dir/fg_demo.txt"
+"$root/build/tools/stack_check" "$smoke_dir/fg_demo.txt" \
+  --golden "$root/tests/golden/flamegraph_demo.txt"
+
 echo "=== ThreadSanitizer build ==="
 # halt_on_error makes any report fail the run; TSan's exit code then fails ctest.
 TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
@@ -54,5 +66,9 @@ TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
 echo "=== AddressSanitizer build ==="
 ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=1}" \
   run_suite "$root/build-asan" -DCMAKE_BUILD_TYPE=RelWithDebInfo -DSGXPERF_SANITIZE=address
+
+echo "=== UndefinedBehaviorSanitizer build ==="
+UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}" \
+  run_suite "$root/build-ubsan" -DCMAKE_BUILD_TYPE=RelWithDebInfo -DSGXPERF_SANITIZE=undefined
 
 echo "=== all suites passed ==="

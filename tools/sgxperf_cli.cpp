@@ -14,7 +14,9 @@
 //   sgxperf timeline <trace.bin>                              per-thread activity
 //   sgxperf metrics <trace.bin>                               telemetry summary
 //   sgxperf export  <trace.bin> --chrome FILE                 Chrome/Perfetto JSON
+//   sgxperf flamegraph <trace.bin> [--tree]                   collapsed stacks
 //   sgxperf record  <out.bin> [--threads N] [--calls N]       demo recording
+//   sgxperf top     [--workload demo|kv|db] [--frames N]      live monitor
 //
 // `record` exercises the first half on a built-in multi-threaded workload:
 // it attaches the logger (sharded per-thread buffers), runs N threads of
@@ -22,7 +24,16 @@
 // quick source of traces for the other commands and as a smoke test of the
 // concurrent recording path.
 //
+// `top` is the third workflow: neither record-then-analyse nor post-mortem,
+// but live.  It attaches the logger to a running workload, subscribes to the
+// lock-free event stream and repaints calls/s, per-site latency percentiles,
+// AEX rate and EPC residency while the workload is still in flight.
+//
 // Weights of the Eq. 1-3 detectors are tunable: --eq1-alpha 0.5 etc.
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -31,8 +42,13 @@
 #include <thread>
 #include <vector>
 
+#include "minidb/enclave_db.hpp"
+#include "minidb/workload.hpp"
+#include "minikv/driver.hpp"
 #include "perf/analyzer.hpp"
+#include "perf/calltree.hpp"
 #include "perf/compare.hpp"
+#include "perf/live.hpp"
 #include "perf/logger.hpp"
 #include "perf/timeline.hpp"
 #include "perf/report.hpp"
@@ -56,6 +72,10 @@ struct Options {
   std::size_t calls = 1000;
   support::Nanoseconds sample_ns = 0;  // 0 = telemetry sampling off
   bool json = false;
+  bool tree = false;                   // flamegraph: indented tree, not stacks
+  std::string workload = "demo";       // top: demo | kv | db
+  std::size_t frames = 5;              // top: frames to render
+  std::size_t interval_ms = 100;       // top: wall-clock delay between frames
   perf::AnalyzerConfig config;
 };
 
@@ -73,7 +93,10 @@ void usage() {
       "  timeline per-thread enclave activity\n"
       "  metrics  telemetry metric series recorded in the trace\n"
       "  export   convert to another format       (export <trace> --chrome FILE)\n"
+      "  flamegraph  collapsed call stacks for flamegraph.pl  (--tree for ASCII tree)\n"
       "  record   record a demo workload          (record <out.bin> [--threads N] [--calls N])\n"
+      "  top      live monitor over a running workload (top [--workload demo|kv|db]\n"
+      "           [--frames N] [--interval-ms N] [--threads N] [--calls N])\n"
       "options:\n"
       "  --edl FILE        enclave EDL for security analysis\n"
       "  --enclave ID      enclave id the EDL/call belongs to (default 1)\n"
@@ -85,19 +108,29 @@ void usage() {
       "  --transition-ns N  ecall transition time to subtract (default 4205)\n"
       "  --chrome FILE     (export) write Chrome trace-event JSON to FILE\n"
       "  --sample-ns N     (record) telemetry sample period, virtual ns (0 = off)\n"
-      "  --json            (record, stats) machine-readable JSON on stdout\n",
+      "  --json            (record, stats) machine-readable JSON on stdout\n"
+      "  --tree            (flamegraph) indented call tree instead of collapsed stacks\n"
+      "  --workload W      (top) workload to drive: demo, kv (minikv), db (minidb)\n"
+      "  --frames N        (top) frames to render before exiting (default 5)\n"
+      "  --interval-ms N   (top) wall-clock delay between frames (default 100)\n",
       stderr);
 }
 
 bool parse_args(int argc, char** argv, Options& opts) {
-  if (argc < 3) return false;
+  if (argc < 2) return false;
   opts.command = argv[1];
-  opts.trace_path = argv[2];
-  int i = 3;
-  if (opts.command == "csv" || opts.command == "compare") {
-    if (argc < 4) return false;
-    opts.csv_dir = argv[3];  // second path (csv directory / after-trace)
-    i = 4;
+  int i;
+  if (opts.command == "top") {
+    i = 2;  // `top` drives its own workload — no trace path argument
+  } else {
+    if (argc < 3) return false;
+    opts.trace_path = argv[2];
+    i = 3;
+    if (opts.command == "csv" || opts.command == "compare") {
+      if (argc < 4) return false;
+      opts.csv_dir = argv[3];  // second path (csv directory / after-trace)
+      i = 4;
+    }
   }
   for (; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -140,6 +173,14 @@ bool parse_args(int argc, char** argv, Options& opts) {
       opts.sample_ns = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--json") {
       opts.json = true;
+    } else if (arg == "--tree") {
+      opts.tree = true;
+    } else if (arg == "--workload") {
+      opts.workload = next();
+    } else if (arg == "--frames") {
+      opts.frames = std::strtoul(next(), nullptr, 10);
+    } else if (arg == "--interval-ms") {
+      opts.interval_ms = std::strtoul(next(), nullptr, 10);
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       return false;
@@ -161,6 +202,35 @@ enclave {
 
 sgxsim::SgxStatus demo_ocall(void*) { return sgxsim::SgxStatus::kSuccess; }
 
+/// Drives the built-in demo enclave: `threads` workers, each issuing `calls`
+/// ecall+ocall pairs.  Shared by `record` and `top --workload demo`.
+void run_demo_workload(sgxsim::Urts& urts, std::size_t threads, std::size_t calls) {
+  using namespace sgxsim;
+  EnclaveConfig config;
+  config.name = "demo";
+  config.tcs_count = threads + 1;
+  const EnclaveId eid = urts.create_enclave(std::move(config), edl::parse(kDemoEdl));
+  urts.enclave(eid).register_ecall("ecall_with_ocall", [](TrustedContext& ctx, void*) {
+    ctx.work(500);
+    return ctx.ocall(0, nullptr);
+  });
+  OcallTable table = make_ocall_table({&demo_ocall});
+
+  const auto body = [&] {
+    for (std::size_t i = 0; i < calls; ++i) {
+      urts.sgx_ecall(eid, 0, &table, nullptr);
+    }
+  };
+  if (threads == 1) {
+    body();
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t) workers.emplace_back(body);
+    for (auto& w : workers) w.join();
+  }
+}
+
 /// `sgxperf record`: run the built-in demo workload (--threads workers, each
 /// issuing --calls ecall+ocall pairs) through the sharded logger and save the
 /// merged trace to opts.trace_path.
@@ -177,29 +247,7 @@ int run_record(const Options& opts) {
   perf::Logger logger(db, logger_config);
   logger.attach(urts);
 
-  EnclaveConfig config;
-  config.name = "demo";
-  config.tcs_count = opts.threads + 1;
-  const EnclaveId eid = urts.create_enclave(std::move(config), edl::parse(kDemoEdl));
-  urts.enclave(eid).register_ecall("ecall_with_ocall", [](TrustedContext& ctx, void*) {
-    ctx.work(500);
-    return ctx.ocall(0, nullptr);
-  });
-  OcallTable table = make_ocall_table({&demo_ocall});
-
-  const auto body = [&] {
-    for (std::size_t i = 0; i < opts.calls; ++i) {
-      urts.sgx_ecall(eid, 0, &table, nullptr);
-    }
-  };
-  if (opts.threads == 1) {
-    body();
-  } else {
-    std::vector<std::thread> workers;
-    workers.reserve(opts.threads);
-    for (std::size_t t = 0; t < opts.threads; ++t) workers.emplace_back(body);
-    for (auto& w : workers) w.join();
-  }
+  run_demo_workload(urts, opts.threads, opts.calls);
   logger.detach();  // seals + merges the per-thread shards
 
   const auto stats = db.merge_stats();
@@ -239,6 +287,86 @@ int run_record(const Options& opts) {
   return 0;
 }
 
+/// `sgxperf top`: attach the logger to a live workload, subscribe to the
+/// event stream and repaint aggregate statistics while it runs.  The logger
+/// is never detached between frames — everything shown comes through the
+/// lock-free streaming subscription, not the merged trace.
+int run_top(const Options& opts) {
+  if (opts.threads == 0 || opts.calls == 0 || opts.frames == 0) {
+    std::fputs("error: --threads, --calls and --frames must be > 0\n", stderr);
+    return 2;
+  }
+  if (opts.workload != "demo" && opts.workload != "kv" && opts.workload != "db") {
+    std::fprintf(stderr, "error: unknown workload '%s' (demo, kv, db)\n",
+                 opts.workload.c_str());
+    return 2;
+  }
+
+  sgxsim::Urts urts;
+  tracedb::TraceDatabase db;
+  perf::Logger logger(db);
+  logger.attach(urts);
+  perf::LiveMonitor monitor(logger);
+  if (!monitor.ok()) {
+    std::fputs("error: no free streaming subscriber slot\n", stderr);
+    return 1;
+  }
+
+  std::atomic<bool> done{false};
+  std::thread worker([&] {
+    if (opts.workload == "kv") {
+      minikv::Store store(urts.clock());
+      minikv::KvProxy proxy(urts, store);
+      minikv::DriverConfig config;
+      config.clients = opts.threads;
+      config.ops_per_client = opts.calls;
+      minikv::run_workload(proxy, config);
+    } else if (opts.workload == "db") {
+      minidb::HostVfs vfs(urts.clock());
+      minidb::DbEnclave dbe(urts, vfs, minidb::WriteMode::kSeekThenWrite);
+      dbe.open("/top.db");
+      minidb::CommitGenerator gen;
+      for (std::size_t i = 0; i < opts.calls; ++i) {
+        dbe.begin();
+        for (const auto& [k, v] : gen.make(static_cast<std::uint64_t>(i)).to_records()) {
+          dbe.put_in_txn(k, v);
+        }
+        dbe.commit();
+      }
+      dbe.close_db();
+    } else {
+      run_demo_workload(urts, opts.threads, opts.calls);
+    }
+    done.store(true, std::memory_order_release);
+  });
+
+  // Repaint in place on a terminal; emit sequential frames when piped.
+  const bool tty = isatty(fileno(stdout)) != 0;
+  for (std::size_t frame = 0; frame + 1 < opts.frames; ++frame) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(opts.interval_ms));
+    const std::string text = monitor.render_frame();
+    if (tty) std::fputs("\x1b[2J\x1b[H", stdout);
+    std::fputs(text.c_str(), stdout);
+    if (!tty) std::fputs("\n", stdout);
+    std::fflush(stdout);
+    if (done.load(std::memory_order_acquire)) break;
+  }
+  worker.join();
+
+  // Final frame after the workload finished: drains whatever is still queued.
+  const std::string text = monitor.render_frame();
+  if (tty) std::fputs("\x1b[2J\x1b[H", stdout);
+  std::fputs(text.c_str(), stdout);
+
+  logger.detach();
+  std::printf("\nworkload '%s' finished: %llu calls observed live, %llu dropped by the "
+              "subscriber (trace recorded %zu calls)\n",
+              opts.workload.c_str(),
+              static_cast<unsigned long long>(monitor.total_calls()),
+              static_cast<unsigned long long>(monitor.dropped()), db.calls().size());
+  return 0;
+}
+
 /// `sgxperf stats --json`: general statistics as a JSON document, one object
 /// per call site, so CI can assert on counts without scraping the text table.
 std::string stats_json(const perf::AnalysisReport& report) {
@@ -246,6 +374,8 @@ std::string stats_json(const perf::AnalysisReport& report) {
   w.begin_object();
   w.key("dropped_events");
   w.value(report.dropped_events);
+  w.key("stream_dropped_events");
+  w.value(report.stream_dropped);
   w.key("enclaves");
   w.begin_array();
   for (const auto& ov : report.overviews) {
@@ -275,8 +405,11 @@ std::string stats_json(const perf::AnalysisReport& report) {
     w.kv("mean_ns", s.duration_ns.mean);
     w.kv("median_ns", s.duration_ns.median);
     w.kv("stddev_ns", s.duration_ns.stddev);
-    w.kv("p90_ns", s.duration_ns.p90);
-    w.kv("p99_ns", s.duration_ns.p99);
+    // HDR-quantized percentiles (same bucketing as the trace's latency table).
+    w.kv("p50_ns", s.p50_ns);
+    w.kv("p90_ns", s.p90_ns);
+    w.kv("p99_ns", s.p99_ns);
+    w.kv("p999_ns", s.p999_ns);
     w.kv("aex_total", s.aex_total);
     w.end_object();
   }
@@ -314,6 +447,7 @@ int main(int argc, char** argv) {
   }
 
   if (opts.command == "record") return run_record(opts);
+  if (opts.command == "top") return run_top(opts);
 
   tracedb::TraceDatabase db = [&] {
     try {
@@ -373,6 +507,11 @@ int main(int argc, char** argv) {
   }
   if (opts.command == "graph") {
     std::fputs(perf::render_callgraph_dot(db).c_str(), stdout);
+    return 0;
+  }
+  if (opts.command == "flamegraph") {
+    const perf::CallTree tree(db);
+    std::fputs((opts.tree ? tree.render_text() : tree.collapsed()).c_str(), stdout);
     return 0;
   }
   if (opts.command == "hist" || opts.command == "scatter") {

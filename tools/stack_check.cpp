@@ -1,0 +1,111 @@
+// stack_check — validator for collapsed-stack (flamegraph) text, in the
+// spirit of json_check: CI pipes every `sgxperf flamegraph` artefact through
+// it so a malformed line fails the pipeline instead of silently producing a
+// broken flamegraph.
+//
+//   stack_check FILE [--golden GOLDEN]
+//
+// Validates the collapsed format line by line:
+//   frame(;frame)* <positive integer>\n
+// with non-empty frames (no empty stack, no leading/trailing/double ';',
+// no missing or non-numeric weight), and requires the lines to be sorted —
+// the order `sgxperf flamegraph` guarantees.  With --golden the file must
+// additionally match GOLDEN byte-for-byte.
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <string>
+
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+}
+
+bool valid_line(const std::string& line, std::string& error) {
+  const std::size_t space = line.rfind(' ');
+  if (space == std::string::npos) {
+    error = "no weight separator";
+    return false;
+  }
+  const std::string stack = line.substr(0, space);
+  const std::string weight = line.substr(space + 1);
+  if (stack.empty()) {
+    error = "empty stack";
+    return false;
+  }
+  if (weight.empty()) {
+    error = "empty weight";
+    return false;
+  }
+  for (const char c : weight) {
+    if (c < '0' || c > '9') {
+      error = "non-numeric weight '" + weight + "'";
+      return false;
+    }
+  }
+  if (weight == "0") {
+    error = "zero-weight line (should have been omitted)";
+    return false;
+  }
+  if (stack.front() == ';' || stack.back() == ';' ||
+      stack.find(";;") != std::string::npos) {
+    error = "empty frame in stack";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2 && !(argc == 4 && std::string(argv[2]) == "--golden")) {
+    std::fprintf(stderr, "usage: stack_check FILE [--golden GOLDEN]\n");
+    return 2;
+  }
+  const std::string path = argv[1];
+  const std::string text = slurp(path);
+  if (text.empty()) {
+    std::fprintf(stderr, "%s: empty or unreadable\n", path.c_str());
+    return 1;
+  }
+  if (text.back() != '\n') {
+    std::fprintf(stderr, "%s: missing trailing newline\n", path.c_str());
+    return 1;
+  }
+
+  std::size_t line_no = 0;
+  std::size_t begin = 0;
+  std::string prev;
+  while (begin < text.size()) {
+    ++line_no;
+    const std::size_t end = text.find('\n', begin);
+    const std::string line = text.substr(begin, end - begin);
+    begin = end + 1;
+    std::string error;
+    if (!valid_line(line, error)) {
+      std::fprintf(stderr, "%s:%zu: %s\n", path.c_str(), line_no, error.c_str());
+      return 1;
+    }
+    if (!prev.empty() && !(prev < line)) {
+      std::fprintf(stderr, "%s:%zu: lines not sorted/unique\n", path.c_str(), line_no);
+      return 1;
+    }
+    prev = line;
+  }
+
+  if (argc == 4) {
+    const std::string golden = slurp(argv[3]);
+    if (golden.empty()) {
+      std::fprintf(stderr, "%s: missing golden file\n", argv[3]);
+      return 1;
+    }
+    if (text != golden) {
+      std::fprintf(stderr, "%s: does not match golden %s\n", path.c_str(), argv[3]);
+      return 1;
+    }
+  }
+  std::printf("%s: %zu stacks ok\n", path.c_str(), line_no);
+  return 0;
+}
