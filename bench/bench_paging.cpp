@@ -157,7 +157,7 @@ int main(int argc, char** argv) {
   for (const auto& f : report.findings) {
     if (f.kind == perf::FindingKind::kPaging) {
       std::printf("analyser: %s — %s\n", perf::to_string(f.kind), f.detail.c_str());
-      for (const auto& r : f.recommendations) std::printf("  -> %s\n", perf::to_string(r));
+      for (const auto& r : f.recommendations) std::printf("  -> %s\n", perf::to_string(r.action));
       return 0;
     }
   }

@@ -87,7 +87,7 @@ int main() {
   for (const auto& f : report.findings) {
     if (++shown > 12) break;
     std::printf("[%zu] %s: %s\n", shown, perf::to_string(f.kind), f.subject_name.c_str());
-    for (const auto& r : f.recommendations) std::printf("     -> %s\n", perf::to_string(r));
+    for (const auto& r : f.recommendations) std::printf("     -> %s\n", perf::to_string(r.action));
   }
   return 0;
 }

@@ -60,7 +60,10 @@ int main() {
     if (f.subject_name.find("vfs") == std::string::npos) continue;
     std::printf("  %s: %s%s%s\n", perf::to_string(f.kind), f.subject_name.c_str(),
                 f.partner ? " (with " : "", f.partner ? (f.partner_name + ")").c_str() : "");
-    for (const auto& r : f.recommendations) std::printf("    -> %s\n", perf::to_string(r));
+    for (const auto& r : f.recommendations) {
+      std::printf("    -> %s (predicted %.2fx)\n", perf::to_string(r.action),
+                  r.predicted_speedup);
+    }
   }
 
   // --- 3. apply the merge, re-profile and diff the traces ----------------------

@@ -31,6 +31,30 @@ enclave {
 };
 )";
 
+/// Same interface with both ecalls marked switchless (SDK 2.x
+/// `transition_using_threads`) — selected via Config::switchless_ecalls.
+const char* const kKvEdlSwitchless = R"(
+enclave {
+  trusted {
+    public int ecall_handle_input_from_client([user_check] void* host,
+                                              [in, size=len] const uint8_t* buf, size_t len)
+        transition_using_threads;
+    public int ecall_handle_input_from_server([user_check] void* host,
+                                              [in, size=len] const uint8_t* buf, size_t len)
+        transition_using_threads;
+  };
+  untrusted {
+    void ocall_send_to_server([user_check] void* host, [in, size=len] const uint8_t* buf, size_t len);
+    void ocall_send_to_client([user_check] void* host, uint64_t client_id,
+                              [in, size=len] const uint8_t* buf, size_t len);
+    void ocall_print_debug([in, size=len] const char* msg, size_t len);
+    void ocall_get_time([out, size=8] uint64_t* now);
+    void ocall_log_error([in, size=len] const char* msg, size_t len);
+    void ocall_metrics_update([user_check] void* metrics);
+  };
+};
+)";
+
 namespace {
 
 enum class KvOcall : CallId {
@@ -141,7 +165,9 @@ struct KvProxy::TrustedState {
 
 KvProxy::KvProxy(sgxsim::Urts& urts, Store& backing_store, Config config)
     : store(backing_store), urts_(urts), trusted_(std::make_unique<TrustedState>()) {
-  eid_ = urts_.create_enclave(config.enclave, sgxsim::edl::parse(kKvEdl));
+  eid_ = urts_.create_enclave(
+      config.enclave,
+      sgxsim::edl::parse(config.switchless_ecalls ? kKvEdlSwitchless : kKvEdl));
   table_ = sgxsim::make_ocall_table({
       &ocall_send_to_server, &ocall_send_to_client, &ocall_print_debug,
       &ocall_never_called, &ocall_never_called, &ocall_never_called,

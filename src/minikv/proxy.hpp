@@ -45,6 +45,11 @@ class KvProxy {
     /// modelling it makes simultaneous connects genuinely contend on the
     /// map mutex, producing the sleep/wake ocall storm of §5.2.4.
     std::uint32_t connect_spin_iterations = 200'000;
+    /// Marks both input ecalls `transition_using_threads` so the runtime's
+    /// switchless worker pool (enabled via Urts::set_switchless_workers) can
+    /// serve them — the "apply the recommendation" arm of the what-if
+    /// predicted-vs-measured experiment.
+    bool switchless_ecalls = false;
     Config();
   };
 

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "perf/parents.hpp"
+#include "replay/engine.hpp"
 #include "support/strutil.hpp"
 #include "telemetry/hdr_histogram.hpp"
 
@@ -45,6 +46,8 @@ const char* to_string(Recommendation r) noexcept {
       return "move the caller outside the enclave (needs security evaluation)";
     case Recommendation::kDuplicateInEnclave:
       return "duplicate the ocall's functionality inside the enclave (grows the TCB)";
+    case Recommendation::kSwitchless:
+      return "convert the call site to a switchless call (in-enclave worker threads)";
     case Recommendation::kHybridLock: return "use a hybrid spin-then-sleep lock";
     case Recommendation::kLockFreeStructure: return "use lock-free data structures";
     case Recommendation::kReduceMemoryUsage: return "reduce in-enclave memory usage";
@@ -91,10 +94,104 @@ AnalysisReport Analyzer::analyze() const {
   detect_sync(report);
   detect_paging(report);
   analyze_security(report);
+  if (config_.predict_speedups) annotate_predictions(report);
 
   std::stable_sort(report.findings.begin(), report.findings.end(),
                    [](const Finding& a, const Finding& b) { return a.severity > b.severity; });
   return report;
+}
+
+// --- what-if predictions (replay engine) -------------------------------------
+void Analyzer::annotate_predictions(AnalysisReport& report) const {
+  if (report.findings.empty()) return;
+
+  replay::ReplayConfig replay_config;
+  replay_config.recorded_cost = config_.replay_cost;
+  replay_config.threads = config_.replay_threads;
+  const replay::ReplayEngine engine(db_, replay_config);
+  if (engine.recorded_span_ns() == 0) return;
+
+  const auto site_name = [&](const CallKey& k) {
+    return db_.name_of(k.enclave_id, k.type, k.call_id);
+  };
+
+  // One scenario per modelable (finding, recommendation) pair, deduplicated
+  // by scenario name so e.g. "move in" and "move out" of the same site share
+  // a single replay.
+  struct Slot {
+    std::size_t finding = 0;
+    std::size_t rec = 0;
+    std::size_t scenario = 0;
+  };
+  std::vector<replay::Scenario> scenarios;
+  std::vector<Slot> slots;
+  std::map<std::string, std::size_t> by_name;
+
+  const auto add_slot = [&](std::size_t fi, std::size_t ri, replay::Scenario&& s) {
+    const auto [it, inserted] = by_name.emplace(s.name, scenarios.size());
+    if (inserted) scenarios.push_back(std::move(s));
+    slots.push_back(Slot{fi, ri, it->second});
+  };
+
+  std::vector<std::size_t> sweep_findings;  // short-ecall sites: worker sweep
+  for (std::size_t fi = 0; fi < report.findings.size(); ++fi) {
+    const Finding& f = report.findings[fi];
+    for (std::size_t ri = 0; ri < f.recommendations.size(); ++ri) {
+      replay::Scenario s;
+      switch (f.recommendations[ri].action) {
+        case Recommendation::kMoveCallerIn:
+        case Recommendation::kMoveCallerOut:
+        case Recommendation::kDuplicateInEnclave:
+        case Recommendation::kHybridLock:
+        case Recommendation::kLockFreeStructure:
+          // All of these remove the site's transitions; the body stays.
+          s.name = "eliminate " + site_name(f.subject);
+          s.eliminate.push_back(replay::EliminateSpec{f.subject});
+          break;
+        case Recommendation::kBatch:
+        case Recommendation::kMerge:
+          s.name = "merge " + site_name(f.subject) + " into " +
+                   (f.partner ? site_name(*f.partner) : std::string("indirect parent"));
+          s.merge.push_back(replay::MergeSpec{f.subject, f.partner});
+          break;
+        case Recommendation::kReduceMemoryUsage:
+        case Recommendation::kPreloadPages:
+        case Recommendation::kAlternativeMemoryManagement:
+          // Best-case bound: enough EPC headroom that recorded re-faults
+          // become hits.
+          s.name = "epc x2";
+          s.epc_pages = replay_config.recorded_epc_pages * 2;
+          break;
+        default:
+          break;  // reorder / tail / security actions have no replay model
+      }
+      if (!s.name.empty()) add_slot(fi, ri, std::move(s));
+    }
+    if (f.kind == FindingKind::kShortCalls && f.subject.type == CallType::kEcall) {
+      sweep_findings.push_back(fi);
+    }
+  }
+
+  const auto results = engine.run_all(scenarios);
+  for (const auto& slot : slots) {
+    auto& entry = report.findings[slot.finding].recommendations[slot.rec];
+    entry.predicted_speedup = results[slot.scenario].speedup();
+    entry.scenario = results[slot.scenario].name;
+  }
+
+  // Short ecalls additionally get the switchless alternative, quantified by
+  // a worker-count sweep (Configless-style: the count is part of the answer).
+  for (const std::size_t fi : sweep_findings) {
+    const auto sweep = engine.sweep_switchless(
+        report.findings[fi].subject, config_.switchless_min_workers,
+        config_.switchless_max_workers);
+    RecommendationEntry entry{Recommendation::kSwitchless};
+    entry.predicted_speedup = sweep.best_speedup;
+    entry.best_workers = sweep.best_workers;
+    entry.scenario = "switchless " + sweep.site_name + " x" +
+                     std::to_string(sweep.best_workers);
+    report.findings[fi].recommendations.push_back(std::move(entry));
+  }
 }
 
 void Analyzer::compute_overviews(AnalysisReport& report) const {

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "sgxsim/cost_model.hpp"
 #include "sgxsim/edl.hpp"
 #include "support/stats.hpp"
 #include "tracedb/database.hpp"
@@ -60,6 +61,20 @@ struct AnalyzerConfig {
   /// 100x-slower transitions disappear into the average).
   double tail_ratio = 8.0;
   support::Nanoseconds tail_min_ns = 50'000;
+
+  /// When true, analyze() replays the trace through the what-if engine and
+  /// attaches a predicted whole-run speedup (and, for switchless, the best
+  /// worker count) to every recommendation it can model.
+  bool predict_speedups = true;
+  /// Cost model the trace was recorded under, for the replay predictions
+  /// (the trace file does not store the machine's patch level).
+  sgxsim::CostModel replay_cost = sgxsim::CostModel::preset(sgxsim::PatchLevel::kUnpatched);
+  /// Worker-count sweep bounds for switchless predictions.
+  std::size_t switchless_min_workers = 1;
+  std::size_t switchless_max_workers = 8;
+  /// Scenario-level replay parallelism (0 = hardware concurrency; results
+  /// are identical for every value).
+  std::size_t replay_threads = 0;
 };
 
 /// What kind of problem a finding describes (Table 1).
@@ -90,6 +105,7 @@ enum class Recommendation {
   kMoveCallerIn,
   kMoveCallerOut,
   kDuplicateInEnclave,
+  kSwitchless,
   kHybridLock,
   kLockFreeStructure,
   kReduceMemoryUsage,
@@ -103,6 +119,23 @@ enum class Recommendation {
 
 [[nodiscard]] const char* to_string(Recommendation r) noexcept;
 
+/// One recommendation plus the replay engine's prediction of what it buys.
+/// Implicitly constructible from a bare Recommendation so the detectors can
+/// keep listing actions; the prediction pass fills in the rest.
+struct RecommendationEntry {
+  RecommendationEntry() = default;
+  RecommendationEntry(Recommendation a) : action(a) {}  // NOLINT(google-explicit-constructor)
+
+  Recommendation action = Recommendation::kReorder;
+  /// Predicted whole-run speedup of applying this recommendation (1.0 =
+  /// neutral or not modeled).
+  double predicted_speedup = 1.0;
+  /// Best switchless worker count, when the prediction swept workers.
+  std::size_t best_workers = 0;
+  /// Name of the replayed scenario backing the prediction ("" = none).
+  std::string scenario;
+};
+
 struct Finding {
   FindingKind kind = FindingKind::kShortCalls;
   tracedb::CallKey subject;
@@ -110,7 +143,7 @@ struct Finding {
   /// Merge partner / parent call, when the finding relates two calls.
   std::optional<tracedb::CallKey> partner;
   std::string partner_name;
-  std::vector<Recommendation> recommendations;
+  std::vector<RecommendationEntry> recommendations;
   std::string detail;
   /// Sort key: roughly the number of transitions that could be saved.
   double severity = 0.0;
@@ -184,6 +217,11 @@ class Analyzer {
   /// percentiles compute_stats() filled in, so runs after it).
   void detect_tail_latency(AnalysisReport& report) const;
   void analyze_security(AnalysisReport& report) const;
+  /// Builds one what-if scenario per modelable recommendation, replays them
+  /// (in parallel) and writes predicted speedups back onto the findings.
+  /// Appends a kSwitchless recommendation to short-ecall findings, carrying
+  /// the worker-sweep optimum.
+  void annotate_predictions(AnalysisReport& report) const;
 
   /// Duration with the ecall transition time subtracted (§4.1.2).
   [[nodiscard]] support::Nanoseconds adjusted_duration(const tracedb::CallRecord& c) const;

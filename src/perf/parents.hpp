@@ -4,24 +4,23 @@
 // direct parent of ocall O iff O was issued during E (and vice versa for
 // ecalls during ocalls).
 //
-// Indirect parents are derived post-mortem: the indirect parent of call C is
-// the most recent call of the *same type* as C, on the same thread, with the
-// same direct parent, that completed before C started.  This reproduces all
-// four cases of Figure 4:
-//   (1) E1 E2 E3          -> E2's ip is E1, E3's ip is E2
-//   (2) E1 { O2 O3 }      -> O3's ip is O2
-//   (3) E1 { O2 { E3 } }  -> no indirect parents
-//   (4) E1 { O2 } E3      -> E3's ip is E1 (skipping O2, a different type)
+// Indirect parents are derived post-mortem; the computation itself lives in
+// the tracedb query surface (tracedb::indirect_parents) so that layers below
+// perf — notably the replay engine — can share it.  This header remains the
+// perf-side spelling.
 #pragma once
 
 #include <vector>
 
 #include "tracedb/database.hpp"
+#include "tracedb/query.hpp"
 
 namespace perf {
 
 /// indirect[i] is the indirect parent of db.calls()[i], or kNoParent.
-[[nodiscard]] std::vector<tracedb::CallIndex> compute_indirect_parents(
-    const tracedb::TraceDatabase& db);
+[[nodiscard]] inline std::vector<tracedb::CallIndex> compute_indirect_parents(
+    const tracedb::TraceDatabase& db) {
+  return tracedb::indirect_parents(db);
+}
 
 }  // namespace perf

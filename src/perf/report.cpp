@@ -73,7 +73,13 @@ std::string render_text(const AnalysisReport& report) {
     out += "\n";
     out += format("     %s\n", f.detail.c_str());
     for (const auto& r : f.recommendations) {
-      out += format("     -> %s\n", to_string(r));
+      out += format("     -> %s", to_string(r.action));
+      if (!r.scenario.empty() || r.predicted_speedup != 1.0) {
+        out += format(" [predicted %.2fx", r.predicted_speedup);
+        if (r.best_workers > 0) out += format(", %zu worker(s)", r.best_workers);
+        out += "]";
+      }
+      out += "\n";
     }
   }
   if (report.findings.empty()) {

@@ -1,0 +1,123 @@
+#include "replay/render.hpp"
+
+#include "support/json.hpp"
+#include "support/strutil.hpp"
+
+namespace replay {
+
+using support::format;
+
+std::string render_validation(const ValidationResult& v) {
+  std::string out = format(
+      "validation: recorded span %s, identity replay %s (error %.4f%%)\n",
+      support::format_duration_ns(v.recorded_span_ns).c_str(),
+      support::format_duration_ns(v.replayed_span_ns).c_str(), 100.0 * v.span_error);
+  if (v.ecalls_below_floor > 0) {
+    out += format(
+        "  WARNING: %llu ecall(s) shorter than the modeled transition floor "
+        "(%.2f%% of ecall time) — check --recorded-profile\n",
+        static_cast<unsigned long long>(v.ecalls_below_floor), 100.0 * v.floor_error);
+  }
+  return out;
+}
+
+std::string render_whatif_text(const std::vector<ScenarioResult>& results) {
+  std::string out;
+  out += format("%-44s %12s %12s %8s %12s\n", "scenario", "recorded", "replayed", "speedup",
+                "transitions");
+  for (const auto& r : results) {
+    out += format("%-44s %12s %12s %7.2fx %12llu\n", r.name.c_str(),
+                  support::format_duration_ns(r.recorded_span_ns).c_str(),
+                  support::format_duration_ns(r.replayed_span_ns).c_str(), r.speedup(),
+                  static_cast<unsigned long long>(r.transitions_removed));
+    for (const auto& s : r.switchless) {
+      out += format("    switchless %s: %zu worker(s), %llu served, %llu fallback(s), "
+                    "%s wasted worker time\n",
+                    s.site_name.c_str(), s.workers,
+                    static_cast<unsigned long long>(s.served),
+                    static_cast<unsigned long long>(s.fallbacks),
+                    support::format_duration_ns(s.wasted_worker_ns).c_str());
+    }
+    if (r.page_faults_after != r.page_faults_before) {
+      out += format("    paging: %llu -> %llu faults\n",
+                    static_cast<unsigned long long>(r.page_faults_before),
+                    static_cast<unsigned long long>(r.page_faults_after));
+    }
+  }
+  return out;
+}
+
+std::string render_whatif_json(const ValidationResult& validation,
+                               const std::vector<ScenarioResult>& results) {
+  support::json::Writer w;
+  w.begin_object();
+  write_whatif_json(w, validation, results);
+  w.end_object();
+  return w.take();
+}
+
+void write_whatif_json(support::json::Writer& w, const ValidationResult& validation,
+                       const std::vector<ScenarioResult>& results) {
+  w.key("validation");
+  w.begin_object();
+  w.kv("recorded_span_ns", validation.recorded_span_ns);
+  w.kv("replayed_span_ns", validation.replayed_span_ns);
+  w.kv("span_error", validation.span_error);
+  w.kv("ecalls_below_floor", validation.ecalls_below_floor);
+  w.kv("floor_error", validation.floor_error);
+  w.end_object();
+  w.key("scenarios");
+  w.begin_array();
+  for (const auto& r : results) {
+    w.begin_object();
+    w.kv("name", r.name);
+    w.kv("recorded_span_ns", r.recorded_span_ns);
+    w.kv("replayed_span_ns", r.replayed_span_ns);
+    w.kv("speedup", r.speedup());
+    w.kv("saved_ns", r.saved_ns());
+    w.kv("transitions_removed", r.transitions_removed);
+    w.kv("page_faults_before", r.page_faults_before);
+    w.kv("page_faults_after", r.page_faults_after);
+    w.key("switchless");
+    w.begin_array();
+    for (const auto& s : r.switchless) {
+      w.begin_object();
+      w.kv("site", s.site_name);
+      w.kv("workers", static_cast<std::uint64_t>(s.workers));
+      w.kv("served", s.served);
+      w.kv("fallbacks", s.fallbacks);
+      w.kv("busy_ns", s.busy_ns);
+      w.kv("wasted_worker_ns", s.wasted_worker_ns);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+}
+
+std::string render_sweep_text(const SweepResult& sweep, std::size_t min_workers) {
+  std::string out = format("switchless sweep for %s:\n", sweep.site_name.c_str());
+  out += format("  %7s %12s %8s %10s %10s %16s\n", "workers", "replayed", "speedup", "served",
+                "fallbacks", "wasted");
+  for (std::size_t i = 0; i < sweep.points.size(); ++i) {
+    const auto& p = sweep.points[i];
+    std::uint64_t served = 0;
+    std::uint64_t fallbacks = 0;
+    std::uint64_t wasted = 0;
+    for (const auto& s : p.switchless) {
+      served += s.served;
+      fallbacks += s.fallbacks;
+      wasted += s.wasted_worker_ns;
+    }
+    out += format("  %7zu %12s %7.2fx %10llu %10llu %16s\n", min_workers + i,
+                  support::format_duration_ns(p.replayed_span_ns).c_str(), p.speedup(),
+                  static_cast<unsigned long long>(served),
+                  static_cast<unsigned long long>(fallbacks),
+                  support::format_duration_ns(wasted).c_str());
+  }
+  out += format("  best: %zu worker(s), %.2fx\n", sweep.best_workers, sweep.best_speedup);
+  return out;
+}
+
+}  // namespace replay

@@ -1,0 +1,34 @@
+// Text and JSON rendering of what-if results (`sgxperf whatif`).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "replay/scenario.hpp"
+#include "support/json.hpp"
+
+namespace replay {
+
+/// One-line validation summary (recorded vs identity-replay span).
+[[nodiscard]] std::string render_validation(const ValidationResult& v);
+
+/// Ranked scenario table: speedup, saved time, transitions, switchless
+/// worker economics.  `results` are printed in the given order.
+[[nodiscard]] std::string render_whatif_text(const std::vector<ScenarioResult>& results);
+
+/// Deterministic JSON document (byte-stable for golden tests): validation
+/// header plus one object per scenario.
+[[nodiscard]] std::string render_whatif_json(const ValidationResult& validation,
+                                             const std::vector<ScenarioResult>& results);
+
+/// Writes the "validation" and "scenarios" members into an already-open JSON
+/// object, so callers can append their own members (the CLI adds a ranked
+/// recommendation list).
+void write_whatif_json(support::json::Writer& w, const ValidationResult& validation,
+                       const std::vector<ScenarioResult>& results);
+
+/// Worker-sweep table for one site: span/speedup/wasted cycles per count.
+[[nodiscard]] std::string render_sweep_text(const SweepResult& sweep,
+                                            std::size_t min_workers);
+
+}  // namespace replay

@@ -1,0 +1,129 @@
+// What-if scenarios over a recorded trace.
+//
+// A Scenario is a declarative bundle of transformation passes the replay
+// engine applies to a recorded TraceDatabase before re-costing it: convert
+// call sites to switchless calls (with a bounded worker pool), eliminate
+// transition overhead of a site (move the caller in/out per Table 1), merge
+// Eq.3 batch/merge candidates into their indirect parents, swap the
+// transition-cost profile (unpatched/Spectre/L1TF, §2.3.1), and resize the
+// simulated EPC.  Scenarios are plain data so they can be built by the
+// analyser (one per recommendation), by the CLI (ad-hoc flags), or by tests.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sgxsim/cost_model.hpp"
+#include "tracedb/query.hpp"
+
+namespace replay {
+
+/// Serve every instance of `site` (an ecall) through `workers` in-enclave
+/// worker threads instead of EENTER/EEXIT.  Instances that find all workers
+/// busy fall back to a full transition, exactly like the SDK does.
+struct SwitchlessSpec {
+  tracedb::CallKey site;
+  std::size_t workers = 1;
+};
+
+/// Remove the transition overhead of every instance of `site`: for an ecall,
+/// the caller moves inside the enclave (or the work moves out); for an
+/// ocall, its functionality is duplicated inside / the caller moves out.
+/// The body time stays — only the crossing disappears.
+struct EliminateSpec {
+  tracedb::CallKey site;
+};
+
+/// Eq.3 batching/merging: instances of `site` that have an indirect parent
+/// ride along with that parent's transition and lose their own.  When
+/// `partner` is set, only instances whose indirect parent is an instance of
+/// `partner` are merged (the SDSC case); otherwise any indirect parent
+/// qualifies (the SISC batch case).
+struct MergeSpec {
+  tracedb::CallKey site;
+  std::optional<tracedb::CallKey> partner;
+};
+
+/// One complete what-if configuration.  All passes compose: their per-call
+/// time deltas are additive and the re-timing walk clamps each call's self
+/// time at zero.
+struct Scenario {
+  std::string name;
+  std::vector<SwitchlessSpec> switchless;
+  std::vector<EliminateSpec> eliminate;
+  std::vector<MergeSpec> merge;
+  /// Re-cost every transition under this patch level instead of the one the
+  /// trace was recorded with.
+  std::optional<sgxsim::PatchLevel> cost_profile;
+  /// Re-simulate the recorded fault sequence with this EPC capacity (pages).
+  std::optional<std::size_t> epc_pages;
+};
+
+/// Per-site outcome of a switchless pass.
+struct SwitchlessOutcome {
+  tracedb::CallKey site;
+  std::string site_name;
+  std::size_t workers = 0;
+  std::uint64_t served = 0;     // instances handled by a worker
+  std::uint64_t fallbacks = 0;  // all workers busy -> full transition kept
+  std::uint64_t busy_ns = 0;    // worker-ns spent serving requests
+  /// Worker-ns spent busy-waiting on an empty queue over the replayed run:
+  /// workers x replayed span - busy_ns.  The cost side of switchless.
+  std::uint64_t wasted_worker_ns = 0;
+};
+
+/// Re-costed outcome of one scenario.
+struct ScenarioResult {
+  std::string name;
+  std::uint64_t recorded_span_ns = 0;  // last call end - first call start
+  std::uint64_t replayed_span_ns = 0;
+  std::uint64_t transitions_removed = 0;  // eliminated + merged + switchless-served
+  std::uint64_t page_faults_before = 0;   // recorded page-in events (EPC pass only)
+  std::uint64_t page_faults_after = 0;
+  std::vector<SwitchlessOutcome> switchless;
+
+  [[nodiscard]] double speedup() const noexcept {
+    if (recorded_span_ns == 0 || replayed_span_ns == 0) return 1.0;
+    return static_cast<double>(recorded_span_ns) / static_cast<double>(replayed_span_ns);
+  }
+  [[nodiscard]] std::int64_t saved_ns() const noexcept {
+    return static_cast<std::int64_t>(recorded_span_ns) -
+           static_cast<std::int64_t>(replayed_span_ns);
+  }
+};
+
+/// Result of replaying the *unmodified* trace: the empty scenario must
+/// reproduce the recorded span, and the recorded durations must be
+/// consistent with the cost model's transition floor.
+struct ValidationResult {
+  std::uint64_t recorded_span_ns = 0;
+  std::uint64_t replayed_span_ns = 0;
+  /// |replayed - recorded| / recorded.
+  double span_error = 0.0;
+  /// Ecalls whose recorded duration is below the modeled transition floor
+  /// (full ecall + AEX costs) — nonzero means the trace and the cost model
+  /// disagree and predictions will be unreliable.
+  std::uint64_t ecalls_below_floor = 0;
+  /// Total floor deficit over total recorded ecall time.
+  double floor_error = 0.0;
+
+  [[nodiscard]] bool within(double tolerance = 0.01) const noexcept {
+    return span_error <= tolerance;
+  }
+};
+
+/// Result of a switchless worker-count sweep over one site.
+struct SweepResult {
+  tracedb::CallKey site;
+  std::string site_name;
+  /// One entry per worker count, ascending from the sweep's lower bound.
+  std::vector<ScenarioResult> points;
+  /// Smallest worker count attaining the minimum replayed span (adding
+  /// workers past this point only wastes cycles).
+  std::size_t best_workers = 0;
+  double best_speedup = 1.0;
+};
+
+}  // namespace replay

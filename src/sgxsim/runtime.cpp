@@ -72,6 +72,12 @@ struct SimMetrics {
       telemetry::metrics().counter("sgxsim.aex_injected", "events");
   telemetry::Counter& switchless_calls =
       telemetry::metrics().counter("sgxsim.switchless_calls", "calls");
+  telemetry::Counter& switchless_fallbacks =
+      telemetry::metrics().counter("sgxsim.switchless_fallbacks", "calls");
+  /// Worker busy-wait time; accrues with virtual time, not events, so it is
+  /// folded in whenever the pool is reconfigured or disabled.
+  telemetry::Counter& switchless_wasted =
+      telemetry::metrics().counter("sgxsim.switchless_wasted_worker_ns", "ns");
   telemetry::Counter& sync_ocalls = telemetry::metrics().counter("sgxsim.sync_ocalls", "calls");
   telemetry::Gauge& tcs_in_use = telemetry::metrics().gauge("sgxsim.tcs_in_use", "tcs");
 
@@ -156,19 +162,55 @@ SgxStatus Urts::sgx_ecall(EnclaveId eid, CallId id, const OcallTable* table, voi
   return real_sgx_ecall(eid, id, table, ms);
 }
 
+std::uint64_t Urts::switchless_window_wasted(const SwitchlessState& state) const {
+  if (state.workers == 0) return 0;
+  const std::uint64_t window = clock_.now() - state.enabled_at;
+  const std::uint64_t pool = static_cast<std::uint64_t>(state.workers) * window;
+  const std::uint64_t busy =
+      state.busy_ns.load(std::memory_order_relaxed) - state.busy_at_enable;
+  return pool > busy ? pool - busy : 0;
+}
+
 void Urts::set_switchless_workers(EnclaveId enclave, std::size_t workers) {
   std::lock_guard lock(enclaves_mu_);
-  if (workers == 0) {
-    switchless_workers_.erase(enclave);
-  } else {
-    switchless_workers_[enclave] = workers;
+  auto& slot = switchless_[enclave];
+  if (!slot) slot = std::make_unique<SwitchlessState>();
+  // Close out the previous pool's window: its workers were spinning whenever
+  // they were not serving.
+  const std::uint64_t wasted = switchless_window_wasted(*slot);
+  if (wasted > 0) {
+    slot->retired_wasted_ns += wasted;
+    sim_metrics().switchless_wasted.add(wasted);
   }
+  slot->workers = workers;
+  slot->enabled_at = clock_.now();
+  slot->busy_at_enable = slot->busy_ns.load(std::memory_order_relaxed);
 }
 
 std::size_t Urts::switchless_workers(EnclaveId enclave) const {
   std::lock_guard lock(enclaves_mu_);
-  const auto it = switchless_workers_.find(enclave);
-  return it == switchless_workers_.end() ? 0 : it->second;
+  const auto it = switchless_.find(enclave);
+  return it == switchless_.end() ? 0 : it->second->workers;
+}
+
+Urts::SwitchlessState* Urts::switchless_state(EnclaveId enclave) const {
+  std::lock_guard lock(enclaves_mu_);
+  const auto it = switchless_.find(enclave);
+  return it == switchless_.end() ? nullptr : it->second.get();
+}
+
+Urts::SwitchlessStats Urts::switchless_stats(EnclaveId enclave) const {
+  std::lock_guard lock(enclaves_mu_);
+  const auto it = switchless_.find(enclave);
+  SwitchlessStats stats;
+  if (it == switchless_.end()) return stats;
+  const SwitchlessState& s = *it->second;
+  stats.workers = s.workers;
+  stats.calls = s.calls.load(std::memory_order_relaxed);
+  stats.fallbacks = s.fallbacks.load(std::memory_order_relaxed);
+  stats.busy_ns = s.busy_ns.load(std::memory_order_relaxed);
+  stats.wasted_worker_ns = s.retired_wasted_ns + switchless_window_wasted(s);
+  return stats;
 }
 
 Urts::ThreadState& Urts::thread_state() {
@@ -293,24 +335,50 @@ SgxStatus Urts::real_sgx_ecall(EnclaveId eid, CallId id, const OcallTable* table
 
   // Switchless fast path (SDK 2.x `transition_using_threads`): an in-enclave
   // worker serves the request over a shared queue — no TCS claim, no
-  // EENTER/EEXIT, just the queue handoff cost.  Falls through to the normal
-  // path when the feature is disabled for this enclave.
-  if (enclave.interface().ecalls[id].is_switchless && switchless_workers(eid) > 0) {
-    sim_metrics().switchless_calls.add();
-    clock_.advance(cost_.switchless_call_ns);
-    ts.frames.push_back(CallFrame{eid, /*is_ocall=*/false, id, table, /*tcs_index=*/0});
-    ts.next_aex_deadline = clock_.now() + cost_.timer_period_ns;
-    SgxStatus ret = SgxStatus::kSuccess;
-    {
-      TrustedContext ctx(*this, enclave, ts);
-      try {
-        ret = (*fn)(ctx, ms);
-      } catch (...) {
-        ret = SgxStatus::kEnclaveCrashed;
+  // EENTER/EEXIT, just the queue handoff cost.  The pool is finite: when all
+  // workers are serving other requests the call falls back to a normal
+  // transition, like the SDK does.  Worker time is accounted as busy while
+  // serving and wasted (busy-wait on the queue) otherwise.
+  if (enclave.interface().ecalls[id].is_switchless) {
+    SwitchlessState* sl = switchless_state(eid);
+    bool claimed = false;
+    if (sl != nullptr && sl->workers > 0) {
+      std::size_t in_flight = sl->in_flight.load(std::memory_order_acquire);
+      while (in_flight < sl->workers) {
+        if (sl->in_flight.compare_exchange_weak(in_flight, in_flight + 1,
+                                                std::memory_order_acq_rel)) {
+          claimed = true;
+          break;
+        }
+      }
+      if (!claimed) {
+        sl->fallbacks.fetch_add(1, std::memory_order_relaxed);
+        sim_metrics().switchless_fallbacks.add();
       }
     }
-    ts.frames.pop_back();
-    return ret;
+    if (claimed) {
+      sim_metrics().switchless_calls.add();
+      const auto serve_start = clock_.now();
+      clock_.advance(cost_.switchless_call_ns);
+      ts.frames.push_back(CallFrame{eid, /*is_ocall=*/false, id, table, /*tcs_index=*/0});
+      ts.next_aex_deadline = clock_.now() + cost_.timer_period_ns;
+      SgxStatus ret = SgxStatus::kSuccess;
+      {
+        TrustedContext ctx(*this, enclave, ts);
+        try {
+          ret = (*fn)(ctx, ms);
+        } catch (...) {
+          ret = SgxStatus::kEnclaveCrashed;
+        }
+      }
+      ts.frames.pop_back();
+      // Like every virtual duration, this may include advances other threads
+      // made meanwhile — the same approximation recorded traces live with.
+      sl->busy_ns.fetch_add(clock_.now() - serve_start, std::memory_order_relaxed);
+      sl->calls.fetch_add(1, std::memory_order_relaxed);
+      sl->in_flight.fetch_sub(1, std::memory_order_release);
+      return ret;
+    }
   }
 
   // URTS: find a free TCS (§2.1 — the TCS count bounds enclave concurrency).

@@ -14,6 +14,7 @@
 // the AEP is a hook the profiler may patch (§4.1.4).
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -95,6 +96,19 @@ class Urts {
   /// the SDK does when no worker is free.
   void set_switchless_workers(EnclaveId enclave, std::size_t workers);
   [[nodiscard]] std::size_t switchless_workers(EnclaveId enclave) const;
+
+  /// Worker-pool economics of switchless calls for `enclave`.  Workers
+  /// busy-wait on the request queue whenever they are not serving, so the
+  /// latency win of avoided transitions is paid for in wasted worker cycles
+  /// — exactly the trade-off a what-if worker sweep must expose.
+  struct SwitchlessStats {
+    std::size_t workers = 0;        // currently configured pool size
+    std::uint64_t calls = 0;        // requests served by a worker
+    std::uint64_t fallbacks = 0;    // all workers busy: full transition taken
+    std::uint64_t busy_ns = 0;      // worker time spent serving requests
+    std::uint64_t wasted_worker_ns = 0;  // worker time spent spinning idle
+  };
+  [[nodiscard]] SwitchlessStats switchless_stats(EnclaveId enclave) const;
 
   /// SGX capability level of the machine: version 2 records the AEX exit
   /// type so a profiler can read it for debug enclaves (§4.1.4 — "SGX v2
@@ -178,9 +192,30 @@ class Urts {
   Driver driver_;
   UrtsHooks hooks_;
 
+  /// Per-enclave switchless worker pool.  Heap-allocated and never erased
+  /// (only reconfigured), so the fast path can use the pointer lock-free
+  /// after one map lookup.
+  struct SwitchlessState {
+    std::size_t workers = 0;
+    /// Virtual time when the current pool was configured, and the busy_ns
+    /// baseline at that moment — the live window's idle time is
+    /// workers x (now - enabled_at) - (busy_ns - busy_at_enable).
+    support::Nanoseconds enabled_at = 0;
+    std::uint64_t busy_at_enable = 0;
+    /// Idle worker time accumulated over previous configurations.
+    std::uint64_t retired_wasted_ns = 0;
+    std::atomic<std::size_t> in_flight{0};
+    std::atomic<std::uint64_t> busy_ns{0};
+    std::atomic<std::uint64_t> calls{0};
+    std::atomic<std::uint64_t> fallbacks{0};
+  };
+  [[nodiscard]] SwitchlessState* switchless_state(EnclaveId enclave) const;
+  /// Idle worker time of the live window (caller holds enclaves_mu_).
+  [[nodiscard]] std::uint64_t switchless_window_wasted(const SwitchlessState& state) const;
+
   mutable std::mutex enclaves_mu_;
   std::map<EnclaveId, std::unique_ptr<Enclave>> enclaves_;
-  std::map<EnclaveId, std::size_t> switchless_workers_;
+  std::map<EnclaveId, std::unique_ptr<SwitchlessState>> switchless_;
   EnclaveId next_enclave_id_ = 1;
 
   mutable std::mutex threads_mu_;

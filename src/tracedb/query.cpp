@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <set>
+#include <tuple>
 
 namespace tracedb {
 
@@ -91,6 +92,44 @@ std::pair<std::size_t, std::size_t> paging_counts(const TraceDatabase& db, Encla
     }
   }
   return {ins, outs};
+}
+
+std::vector<CallIndex> indirect_parents(const TraceDatabase& db) {
+  const auto& calls = db.calls();
+  std::vector<CallIndex> indirect(calls.size(), kNoParent);
+
+  // Calls are stored in start order; per thread this order is preserved, and
+  // same-thread calls of the same nesting level never overlap — so a single
+  // forward scan with a (thread, type, direct parent) -> last-seen map
+  // implements the Figure 4 rules.
+  using Key = std::tuple<ThreadId, CallType, CallIndex>;
+  std::map<Key, CallIndex> last_seen;
+
+  for (std::size_t i = 0; i < calls.size(); ++i) {
+    const auto& c = calls[i];
+    const Key key{c.thread_id, c.type, c.parent};
+    const auto it = last_seen.find(key);
+    if (it != last_seen.end()) indirect[i] = it->second;
+    last_seen[key] = static_cast<CallIndex>(i);
+  }
+  return indirect;
+}
+
+std::optional<CallKey> find_call_by_name(const TraceDatabase& db, EnclaveId enclave,
+                                         const std::string& name) {
+  for (const auto& rec : db.call_names()) {
+    if (rec.enclave_id == enclave && rec.name == name) {
+      return CallKey{rec.enclave_id, rec.type, rec.call_id};
+    }
+  }
+  // Fall back to the synthesized "ecall_<id>"/"ocall_<id>" names.
+  for (const auto& [key, _] : group_calls(db)) {
+    if (key.enclave_id == enclave &&
+        db.name_of(key.enclave_id, key.type, key.call_id) == name) {
+      return key;
+    }
+  }
+  return std::nullopt;
 }
 
 }  // namespace tracedb

@@ -7,6 +7,8 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "tracedb/database.hpp"
@@ -57,5 +59,17 @@ using CallInstances = std::vector<CallIndex>;
 /// Paging event counts for `enclave`: {page-ins, page-outs}.
 [[nodiscard]] std::pair<std::size_t, std::size_t> paging_counts(const TraceDatabase& db,
                                                                 EnclaveId enclave);
+
+/// Indirect parents per §4.3.2 / Figure 4: the indirect parent of call C is
+/// the most recent call of the *same type* as C, on the same thread, with
+/// the same direct parent, that completed before C started.
+/// indirect[i] is the indirect parent of db.calls()[i], or kNoParent.
+[[nodiscard]] std::vector<CallIndex> indirect_parents(const TraceDatabase& db);
+
+/// Resolves a call site by its registered (or synthesized "ecall_<id>")
+/// name, searching both call types.  Returns std::nullopt when unknown.
+[[nodiscard]] std::optional<CallKey> find_call_by_name(const TraceDatabase& db,
+                                                       EnclaveId enclave,
+                                                       const std::string& name);
 
 }  // namespace tracedb

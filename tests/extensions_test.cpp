@@ -5,6 +5,7 @@
 
 #include "perf/logger.hpp"
 #include "sgxsim/runtime.hpp"
+#include "telemetry/metrics.hpp"
 #include "tests/sim_helpers.hpp"
 
 namespace {
@@ -213,6 +214,82 @@ TEST_F(SwitchlessTest, VisibleToTheProfiler) {
   EXPECT_EQ(db.name_of(eid_, tracedb::CallType::kEcall, 0), "ecall_fast");
   // Duration reflects the cheap path plus the logger's own cost.
   EXPECT_LT(db.calls()[0].duration(), urts_.cost().full_ecall_ns());
+}
+
+TEST_F(SwitchlessTest, OccupancyStatsAccountBusyAndWastedWorkerTime) {
+  urts_.set_switchless_workers(eid_, 2);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_EQ(urts_.sgx_ecall(eid_, 0, &table_, nullptr), SgxStatus::kSuccess);
+  }
+  const auto stats = urts_.switchless_stats(eid_);
+  EXPECT_EQ(stats.workers, 2u);
+  EXPECT_EQ(stats.calls, 5u);
+  EXPECT_EQ(stats.fallbacks, 0u);
+  // Each served call keeps its worker busy for the queue handoff plus the
+  // 100 ns body; single-threaded, nothing else advances the clock meanwhile.
+  EXPECT_EQ(stats.busy_ns, 5 * (urts_.cost().switchless_call_ns + 100));
+  // The second worker spun through the whole window; the first spun whenever
+  // it was not serving.  Here only one caller existed, so exactly one
+  // worker-equivalent of the elapsed window was wasted.
+  EXPECT_EQ(stats.wasted_worker_ns, stats.busy_ns);
+}
+
+TEST_F(SwitchlessTest, ReconfigureFoldsWastedTimeIntoTheMetricsRegistry) {
+  auto& wasted = telemetry::metrics().counter("sgxsim.switchless_wasted_worker_ns", "ns");
+  const auto before = wasted.value();
+  urts_.set_switchless_workers(eid_, 2);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_EQ(urts_.sgx_ecall(eid_, 0, &table_, nullptr), SgxStatus::kSuccess);
+  }
+  const auto live = urts_.switchless_stats(eid_).wasted_worker_ns;
+  EXPECT_GT(live, 0u);
+  urts_.set_switchless_workers(eid_, 0);  // close out the window
+  EXPECT_EQ(wasted.value() - before, live);
+  // Disabled pool stops accruing: the retired total is stable.
+  EXPECT_EQ(urts_.switchless_stats(eid_).wasted_worker_ns, live);
+}
+
+constexpr const char* kReentrantSwitchlessEdl = R"(
+enclave {
+  trusted {
+    public int ecall_fast(void) transition_using_threads;
+  };
+  untrusted { void ocall_reenter(void) allow(ecall_fast); };
+};
+)";
+
+TEST_F(SwitchlessTest, ExhaustedPoolFallsBackDeterministically) {
+  // One worker serves the outer call; the ocall re-enters the same switchless
+  // ecall while that worker is still occupied, so the nested instance must
+  // take the fallback (full transition) path — deterministically, no racing
+  // threads involved.
+  EnclaveConfig config;
+  config.tcs_count = 2;
+  const EnclaveId eid = make_enclave(urts_, kReentrantSwitchlessEdl, config);
+  Enclave& e = urts_.enclave(eid);
+  OcallTable table = make_ocall_table({&test_helpers::invoke_fn_ocall});
+  test_helpers::FnMs ms;
+  bool nested = false;
+  ms.fn = [&] {
+    if (!nested) {
+      nested = true;
+      return urts_.sgx_ecall(eid, 0, &table, &ms);
+    }
+    return SgxStatus::kSuccess;
+  };
+  e.register_ecall("ecall_fast", [&](TrustedContext& ctx, void*) {
+    ctx.work(100);
+    return nested ? SgxStatus::kSuccess : ctx.ocall(0, &ms);
+  });
+
+  auto& fallbacks = telemetry::metrics().counter("sgxsim.switchless_fallbacks", "calls");
+  const auto metric_before = fallbacks.value();
+  urts_.set_switchless_workers(eid, 1);
+  ASSERT_EQ(urts_.sgx_ecall(eid, 0, &table, &ms), SgxStatus::kSuccess);
+  const auto stats = urts_.switchless_stats(eid);
+  EXPECT_EQ(stats.calls, 1u);      // the outer call claimed the only worker
+  EXPECT_EQ(stats.fallbacks, 1u);  // the nested one found the pool exhausted
+  EXPECT_EQ(fallbacks.value() - metric_before, 1u);
 }
 
 TEST_F(SwitchlessTest, NoTcsPressure) {

@@ -35,7 +35,7 @@ smoke_dir="$root/build/bench-smoke"
 rm -rf "$smoke_dir"
 mkdir -p "$smoke_dir"
 for bench in bench_transitions bench_logger_overhead bench_paging \
-             bench_switchless bench_sync bench_merge; do
+             bench_switchless bench_sync bench_merge bench_replay; do
   echo "--- $bench --smoke"
   (cd "$smoke_dir" && "$root/build/bench/$bench" --smoke >/dev/null)
 done
@@ -44,8 +44,8 @@ for artefact in "$smoke_dir"/BENCH_*.json; do
   "$root/build/tools/json_check" "$artefact"
   count=$((count + 1))
 done
-if [ "$count" -lt 4 ]; then
-  echo "error: expected at least 4 BENCH_*.json artefacts, got $count" >&2
+if [ "$count" -lt 5 ]; then
+  echo "error: expected at least 5 BENCH_*.json artefacts, got $count" >&2
   exit 1
 fi
 echo "$count bench artefacts valid"

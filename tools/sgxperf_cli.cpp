@@ -32,6 +32,7 @@
 // Weights of the Eq. 1-3 detectors are tunable: --eq1-alpha 0.5 etc.
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -52,10 +53,14 @@
 #include "perf/logger.hpp"
 #include "perf/timeline.hpp"
 #include "perf/report.hpp"
+#include "replay/engine.hpp"
+#include "replay/render.hpp"
 #include "sgxsim/edl.hpp"
 #include "sgxsim/runtime.hpp"
 #include "support/json.hpp"
+#include "support/strutil.hpp"
 #include "telemetry/chrome_trace.hpp"
+#include "tracedb/query.hpp"
 
 namespace {
 
@@ -76,6 +81,17 @@ struct Options {
   std::string workload = "demo";       // top: demo | kv | db
   std::size_t frames = 5;              // top: frames to render
   std::size_t interval_ms = 100;       // top: wall-clock delay between frames
+  // whatif / compare --whatif scenario flags
+  std::string switchless_site;
+  std::string eliminate_site;
+  std::string merge_site;
+  std::string workers_range = "1..8";      // --workers N or A..B
+  std::string cost_profile;                // unpatched | spectre | l1tf
+  std::string recorded_profile = "unpatched";
+  std::size_t epc_mb = 0;                  // 0 = no EPC resize pass
+  std::size_t replay_threads = 0;          // 0 = hardware concurrency
+  bool all_recommendations = false;
+  bool whatif = false;                     // compare: diff against a replayed scenario
   perf::AnalyzerConfig config;
 };
 
@@ -97,6 +113,10 @@ void usage() {
       "  record   record a demo workload          (record <out.bin> [--threads N] [--calls N])\n"
       "  top      live monitor over a running workload (top [--workload demo|kv|db]\n"
       "           [--frames N] [--interval-ms N] [--threads N] [--calls N])\n"
+      "  whatif   predict speedups by replaying the trace under a scenario:\n"
+      "           whatif <trace.bin> [--switchless SITE [--workers N|A..B]]\n"
+      "           [--eliminate SITE] [--merge SITE] [--cost-profile P] [--epc-mb N]\n"
+      "           [--all-recommendations] [--json]   (no flags: validation only)\n"
       "options:\n"
       "  --edl FILE        enclave EDL for security analysis\n"
       "  --enclave ID      enclave id the EDL/call belongs to (default 1)\n"
@@ -112,7 +132,17 @@ void usage() {
       "  --tree            (flamegraph) indented call tree instead of collapsed stacks\n"
       "  --workload W      (top) workload to drive: demo, kv (minikv), db (minidb)\n"
       "  --frames N        (top) frames to render before exiting (default 5)\n"
-      "  --interval-ms N   (top) wall-clock delay between frames (default 100)\n",
+      "  --interval-ms N   (top) wall-clock delay between frames (default 100)\n"
+      "  --switchless SITE (whatif) serve SITE via in-enclave workers; sweeps --workers\n"
+      "  --workers N|A..B  (whatif) worker count or sweep range (default 1..8)\n"
+      "  --eliminate SITE  (whatif) remove SITE's transition overhead entirely\n"
+      "  --merge SITE      (whatif) batch/merge SITE into its indirect parents (Eq. 3)\n"
+      "  --cost-profile P  (whatif) re-cost transitions: unpatched, spectre, l1tf\n"
+      "  --epc-mb N        (whatif) re-simulate recorded faults with an N-MiB EPC\n"
+      "  --all-recommendations  (whatif) rank every analyser recommendation\n"
+      "  --recorded-profile P   (whatif) profile the trace was recorded under\n"
+      "  --replay-threads N     (whatif) scenario replay parallelism (0 = auto)\n"
+      "  --whatif          (compare) diff the trace against a replayed scenario\n",
       stderr);
 }
 
@@ -126,10 +156,16 @@ bool parse_args(int argc, char** argv, Options& opts) {
     if (argc < 3) return false;
     opts.trace_path = argv[2];
     i = 3;
-    if (opts.command == "csv" || opts.command == "compare") {
+    if (opts.command == "csv") {
       if (argc < 4) return false;
-      opts.csv_dir = argv[3];  // second path (csv directory / after-trace)
+      opts.csv_dir = argv[3];  // second path (csv directory)
       i = 4;
+    } else if (opts.command == "compare") {
+      // The after-trace is optional when --whatif supplies the scenario.
+      if (argc >= 4 && argv[3][0] != '-') {
+        opts.csv_dir = argv[3];
+        i = 4;
+      }
     }
   }
   for (; i < argc; ++i) {
@@ -175,6 +211,26 @@ bool parse_args(int argc, char** argv, Options& opts) {
       opts.json = true;
     } else if (arg == "--tree") {
       opts.tree = true;
+    } else if (arg == "--switchless") {
+      opts.switchless_site = next();
+    } else if (arg == "--eliminate") {
+      opts.eliminate_site = next();
+    } else if (arg == "--merge") {
+      opts.merge_site = next();
+    } else if (arg == "--workers") {
+      opts.workers_range = next();
+    } else if (arg == "--cost-profile") {
+      opts.cost_profile = next();
+    } else if (arg == "--recorded-profile") {
+      opts.recorded_profile = next();
+    } else if (arg == "--epc-mb") {
+      opts.epc_mb = std::strtoul(next(), nullptr, 10);
+    } else if (arg == "--replay-threads") {
+      opts.replay_threads = std::strtoul(next(), nullptr, 10);
+    } else if (arg == "--all-recommendations") {
+      opts.all_recommendations = true;
+    } else if (arg == "--whatif") {
+      opts.whatif = true;
     } else if (arg == "--workload") {
       opts.workload = next();
     } else if (arg == "--frames") {
@@ -414,27 +470,255 @@ std::string stats_json(const perf::AnalysisReport& report) {
     w.end_object();
   }
   w.end_array();
+  w.key("findings");
+  w.begin_array();
+  for (const auto& f : report.findings) {
+    w.begin_object();
+    w.kv("kind", perf::to_string(f.kind));
+    w.kv("subject", f.subject_name);
+    w.kv("partner", f.partner ? f.partner_name : "");
+    w.kv("severity", f.severity);
+    w.kv("detail", f.detail);
+    w.key("recommendations");
+    w.begin_array();
+    for (const auto& r : f.recommendations) {
+      w.begin_object();
+      w.kv("action", perf::to_string(r.action));
+      w.kv("predicted_speedup", r.predicted_speedup);
+      w.kv("best_workers", static_cast<std::uint64_t>(r.best_workers));
+      w.kv("scenario", r.scenario);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
   w.end_object();
   return w.take();
 }
 
-/// Resolves a call by registered name across both call types.
+/// Resolves a call by registered name across both call types, reporting a
+/// usable error when the name is unknown.
 std::optional<tracedb::CallKey> find_call(const tracedb::TraceDatabase& db,
                                           tracedb::EnclaveId enclave,
                                           const std::string& name) {
-  for (const auto& rec : db.call_names()) {
-    if (rec.enclave_id == enclave && rec.name == name) {
-      return tracedb::CallKey{rec.enclave_id, rec.type, rec.call_id};
-    }
+  const auto key = tracedb::find_call_by_name(db, enclave, name);
+  if (!key) {
+    std::fprintf(stderr, "error: no call named '%s' for enclave %llu\n", name.c_str(),
+                 static_cast<unsigned long long>(enclave));
   }
-  // Fall back to the synthesized "ecall_<id>"/"ocall_<id>" names.
-  const auto groups = tracedb::group_calls(db);
-  for (const auto& [key, _] : groups) {
-    if (key.enclave_id == enclave && db.name_of(key.enclave_id, key.type, key.call_id) == name) {
-      return key;
-    }
-  }
+  return key;
+}
+
+std::optional<sgxsim::PatchLevel> parse_profile(const std::string& name) {
+  using sgxsim::PatchLevel;
+  if (name == "unpatched") return PatchLevel::kUnpatched;
+  if (name == "spectre") return PatchLevel::kSpectre;
+  if (name == "l1tf" || name == "spectre-l1tf") return PatchLevel::kSpectreL1tf;
+  std::fprintf(stderr, "error: unknown cost profile '%s' (unpatched, spectre, l1tf)\n",
+               name.c_str());
   return std::nullopt;
+}
+
+/// Parses "--workers N" or "--workers A..B" into an inclusive range.
+std::optional<std::pair<std::size_t, std::size_t>> parse_workers(const std::string& range) {
+  const auto pos = range.find("..");
+  std::size_t lo = 0;
+  std::size_t hi = 0;
+  if (pos == std::string::npos) {
+    lo = hi = std::strtoul(range.c_str(), nullptr, 10);
+  } else {
+    lo = std::strtoul(range.substr(0, pos).c_str(), nullptr, 10);
+    hi = std::strtoul(range.substr(pos + 2).c_str(), nullptr, 10);
+  }
+  if (lo == 0 || hi < lo) {
+    std::fprintf(stderr, "error: bad --workers '%s' (want N or A..B, 1-based)\n", range.c_str());
+    return std::nullopt;
+  }
+  return std::make_pair(lo, hi);
+}
+
+/// Builds one combined scenario from the ad-hoc CLI flags (used by
+/// `compare --whatif`, where a single after-trace is materialized).  Returns
+/// nullopt on a bad flag; `*any` says whether any pass was requested.
+std::optional<replay::Scenario> scenario_from_flags(const Options& opts,
+                                                    const tracedb::TraceDatabase& db,
+                                                    std::size_t workers, bool* any) {
+  replay::Scenario s;
+  s.name = "whatif";
+  *any = false;
+  if (!opts.switchless_site.empty()) {
+    const auto key = find_call(db, opts.enclave_id, opts.switchless_site);
+    if (!key) return std::nullopt;
+    s.switchless.push_back({*key, workers});
+    *any = true;
+  }
+  if (!opts.eliminate_site.empty()) {
+    const auto key = find_call(db, opts.enclave_id, opts.eliminate_site);
+    if (!key) return std::nullopt;
+    s.eliminate.push_back({*key});
+    *any = true;
+  }
+  if (!opts.merge_site.empty()) {
+    const auto key = find_call(db, opts.enclave_id, opts.merge_site);
+    if (!key) return std::nullopt;
+    s.merge.push_back({*key, std::nullopt});
+    *any = true;
+  }
+  if (!opts.cost_profile.empty()) {
+    const auto profile = parse_profile(opts.cost_profile);
+    if (!profile) return std::nullopt;
+    s.cost_profile = *profile;
+    *any = true;
+  }
+  if (opts.epc_mb > 0) {
+    s.epc_pages = opts.epc_mb * (1024 * 1024 / sgxsim::kPageSize);
+    *any = true;
+  }
+  return s;
+}
+
+/// One analyser recommendation with its replay-predicted speedup, flattened
+/// for the `whatif --all-recommendations` ranking.
+struct RankedRecommendation {
+  std::string finding;
+  std::string subject;
+  std::string action;
+  std::string scenario;
+  double predicted_speedup = 1.0;
+  std::size_t best_workers = 0;
+};
+
+/// `sgxperf whatif`: validate the replay against the recorded trace, then
+/// re-cost it under the scenarios requested on the command line and/or rank
+/// every analyser recommendation by its predicted speedup.
+int run_whatif(const Options& opts, tracedb::TraceDatabase& db) {
+  const auto recorded = parse_profile(opts.recorded_profile);
+  if (!recorded) return 2;
+  const auto workers = parse_workers(opts.workers_range);
+  if (!workers) return 2;
+
+  replay::ReplayConfig rcfg;
+  rcfg.recorded_cost = sgxsim::CostModel::preset(*recorded);
+  rcfg.threads = opts.replay_threads;
+  replay::ReplayEngine engine(db, rcfg);
+  const auto validation = engine.validate();
+
+  std::vector<replay::ScenarioResult> results;
+  std::string sweep_text;
+
+  if (!opts.switchless_site.empty()) {
+    const auto key = find_call(db, opts.enclave_id, opts.switchless_site);
+    if (!key) return 1;
+    const auto sweep = engine.sweep_switchless(*key, workers->first, workers->second);
+    if (!opts.json) sweep_text = replay::render_sweep_text(sweep, workers->first);
+    for (const auto& point : sweep.points) results.push_back(point);
+  }
+  if (!opts.eliminate_site.empty()) {
+    const auto key = find_call(db, opts.enclave_id, opts.eliminate_site);
+    if (!key) return 1;
+    replay::Scenario s;
+    s.name = "eliminate " + opts.eliminate_site;
+    s.eliminate.push_back({*key});
+    results.push_back(engine.run(s));
+  }
+  if (!opts.merge_site.empty()) {
+    const auto key = find_call(db, opts.enclave_id, opts.merge_site);
+    if (!key) return 1;
+    replay::Scenario s;
+    s.name = "merge " + opts.merge_site;
+    s.merge.push_back({*key, std::nullopt});
+    results.push_back(engine.run(s));
+  }
+  if (!opts.cost_profile.empty()) {
+    const auto profile = parse_profile(opts.cost_profile);
+    if (!profile) return 2;
+    replay::Scenario s;
+    s.name = "cost-profile " + opts.cost_profile;
+    s.cost_profile = *profile;
+    results.push_back(engine.run(s));
+  }
+  if (opts.epc_mb > 0) {
+    replay::Scenario s;
+    s.name = support::format("epc %zu MiB", opts.epc_mb);
+    s.epc_pages = opts.epc_mb * (1024 * 1024 / sgxsim::kPageSize);
+    results.push_back(engine.run(s));
+  }
+
+  std::vector<RankedRecommendation> ranked;
+  if (opts.all_recommendations) {
+    perf::AnalyzerConfig acfg = opts.config;
+    acfg.predict_speedups = true;
+    acfg.replay_cost = rcfg.recorded_cost;
+    acfg.switchless_min_workers = workers->first;
+    acfg.switchless_max_workers = workers->second;
+    acfg.replay_threads = opts.replay_threads;
+    perf::Analyzer analyzer(db, acfg);
+    if (!opts.edl_path.empty()) {
+      try {
+        analyzer.set_interface(opts.enclave_id, sgxsim::edl::parse_file(opts.edl_path));
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "error parsing EDL: %s\n", e.what());
+        return 1;
+      }
+    }
+    const auto report = analyzer.analyze();
+    for (const auto& f : report.findings) {
+      for (const auto& r : f.recommendations) {
+        if (r.scenario.empty()) continue;  // no replay model for this action
+        ranked.push_back({perf::to_string(f.kind), f.subject_name, perf::to_string(r.action),
+                          r.scenario, r.predicted_speedup, r.best_workers});
+      }
+    }
+    std::stable_sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+      return a.predicted_speedup > b.predicted_speedup;
+    });
+  }
+
+  if (opts.json) {
+    support::json::Writer w;
+    w.begin_object();
+    replay::write_whatif_json(w, validation, results);
+    if (opts.all_recommendations) {
+      w.key("ranked");
+      w.begin_array();
+      for (const auto& r : ranked) {
+        w.begin_object();
+        w.kv("finding", r.finding);
+        w.kv("subject", r.subject);
+        w.kv("action", r.action);
+        w.kv("scenario", r.scenario);
+        w.kv("predicted_speedup", r.predicted_speedup);
+        w.kv("best_workers", static_cast<std::uint64_t>(r.best_workers));
+        w.end_object();
+      }
+      w.end_array();
+    }
+    w.end_object();
+    std::printf("%s\n", w.take().c_str());
+    return 0;
+  }
+
+  std::fputs(replay::render_validation(validation).c_str(), stdout);
+  if (!sweep_text.empty()) {
+    std::fputs("\n", stdout);
+    std::fputs(sweep_text.c_str(), stdout);
+  }
+  if (!results.empty()) {
+    std::fputs("\n", stdout);
+    std::fputs(replay::render_whatif_text(results).c_str(), stdout);
+  }
+  if (opts.all_recommendations) {
+    std::printf("\nranked recommendations (%zu with a replay model, best first):\n",
+                ranked.size());
+    for (const auto& r : ranked) {
+      std::printf("  %6.2fx  %s — %s (%s)", r.predicted_speedup, r.action.c_str(),
+                  r.subject.c_str(), r.finding.c_str());
+      if (r.best_workers > 0) std::printf(" [%zu worker(s)]", r.best_workers);
+      std::printf("\n");
+    }
+  }
+  return 0;
 }
 
 }  // namespace
@@ -465,6 +749,34 @@ int main(int argc, char** argv) {
     return 0;
   }
   if (opts.command == "compare") {
+    if (opts.whatif) {
+      // Diff the recorded trace against a replayed what-if scenario instead
+      // of a second recording: same table, no second measurement run needed.
+      const auto recorded = parse_profile(opts.recorded_profile);
+      if (!recorded) return 2;
+      const auto workers = parse_workers(opts.workers_range);
+      if (!workers) return 2;
+      bool any = false;
+      const auto scenario = scenario_from_flags(opts, db, workers->first, &any);
+      if (!scenario) return 1;
+      if (!any) {
+        std::fputs("error: compare --whatif needs at least one scenario flag "
+                   "(--switchless/--eliminate/--merge/--cost-profile/--epc-mb)\n",
+                   stderr);
+        return 2;
+      }
+      replay::ReplayConfig rcfg;
+      rcfg.recorded_cost = sgxsim::CostModel::preset(*recorded);
+      rcfg.threads = opts.replay_threads;
+      replay::ReplayEngine engine(db, rcfg);
+      const auto after = engine.materialize(*scenario);
+      std::fputs(perf::render_comparison(perf::compare_traces(db, after)).c_str(), stdout);
+      return 0;
+    }
+    if (opts.csv_dir.empty()) {
+      std::fputs("error: compare needs an after-trace or --whatif scenario flags\n", stderr);
+      return 2;
+    }
     try {
       const auto after = tracedb::TraceDatabase::load(opts.csv_dir);
       std::fputs(perf::render_comparison(perf::compare_traces(db, after)).c_str(), stdout);
@@ -473,6 +785,9 @@ int main(int argc, char** argv) {
       return 1;
     }
     return 0;
+  }
+  if (opts.command == "whatif") {
+    return run_whatif(opts, db);
   }
   if (opts.command == "timeline") {
     std::fputs(perf::render_timeline(db).c_str(), stdout);
@@ -520,12 +835,7 @@ int main(int argc, char** argv) {
       return 2;
     }
     const auto key = find_call(db, opts.enclave_id, opts.call_name);
-    if (!key) {
-      std::fprintf(stderr, "error: no call named '%s' for enclave %llu\n",
-                   opts.call_name.c_str(),
-                   static_cast<unsigned long long>(opts.enclave_id));
-      return 1;
-    }
+    if (!key) return 1;
     if (opts.command == "hist") {
       const auto hist = perf::duration_histogram(db, *key, opts.bins);
       std::fputs(hist.render_ascii(60, "us").c_str(), stdout);
@@ -546,7 +856,9 @@ int main(int argc, char** argv) {
       }
     }
     auto report = analyzer.analyze();
-    if (opts.command == "stats") report.findings.clear();
+    // JSON stats keep the findings (with predicted speedups) for CI; the
+    // text stats table drops them — that is what `report` is for.
+    if (opts.command == "stats" && !opts.json) report.findings.clear();
     if (opts.json) {
       std::printf("%s\n", stats_json(report).c_str());
     } else {
