@@ -7,8 +7,10 @@
 //     increasing size (the tool must remain usable on million-event traces).
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
 
+#include "bench_json.hpp"
 #include "perf/analyzer.hpp"
 #include "support/rng.hpp"
 
@@ -118,12 +120,18 @@ BENCHMARK(BM_AnalyzeTrace)->Arg(1'000)->Arg(10'000)->Arg(100'000);
 }  // namespace
 
 int main(int argc, char** argv) {
+  const bool smoke = bench::strip_smoke_flag(argc, argv);
+  bench::JsonReport json("analyzer", smoke, bench::strip_out_dir_flag(argc, argv));
   std::printf("=== E9: analyser detector validation (Eq. 1-3, paper §4.3.2) ===\n\n");
 
   std::printf("Eq.1 (move/duplicate) vs fraction of sub-1us calls (alpha = 0.35):\n  ");
+  double eq1_first_fire = 1.0;
   for (const double f : {0.10, 0.20, 0.30, 0.34, 0.36, 0.50, 0.80}) {
-    std::printf("%.2f->%s  ", f, eq1_fires(f) ? "FIRE" : "-");
+    const bool fire = eq1_fires(f);
+    if (fire && f < eq1_first_fire) eq1_first_fire = f;
+    std::printf("%.2f->%s  ", f, fire ? "FIRE" : "-");
   }
+  json.metric("eq1_first_firing_fraction", eq1_first_fire, "fraction");
   std::printf("\nEq.1 with alpha raised to 0.60:\n  ");
   {
     AnalyzerConfig strict;
@@ -137,20 +145,40 @@ int main(int argc, char** argv) {
   }
 
   std::printf("\n\nEq.2 (reorder) vs child offset from parent start (window 10/20 us):\n  ");
+  std::uint64_t eq2_last_fire = 0;
   for (const std::uint64_t off : {1ull, 5ull, 9ull, 15ull, 25ull, 100ull}) {
-    std::printf("%llu us->%s  ", static_cast<unsigned long long>(off),
-                eq2_fires(off) ? "FIRE" : "-");
+    const bool fire = eq2_fires(off);
+    if (fire) eq2_last_fire = off;
+    std::printf("%llu us->%s  ", static_cast<unsigned long long>(off), fire ? "FIRE" : "-");
   }
+  json.metric("eq2_last_firing_offset_us", static_cast<double>(eq2_last_fire), "us");
 
   std::printf("\n\nEq.3 (batch) vs gap between successive identical ecalls "
               "(windows 1/5/10/20 us):\n  ");
+  std::uint64_t eq3_last_fire = 0;
   for (const std::uint64_t gap : {0ull, 1ull, 4ull, 9ull, 19ull, 40ull, 200ull}) {
-    std::printf("%llu us->%s  ", static_cast<unsigned long long>(gap),
-                eq3_fires(gap) ? "FIRE" : "-");
+    const bool fire = eq3_fires(gap);
+    if (fire) eq3_last_fire = gap;
+    std::printf("%llu us->%s  ", static_cast<unsigned long long>(gap), fire ? "FIRE" : "-");
   }
+  json.metric("eq3_last_firing_gap_us", static_cast<double>(eq3_last_fire), "us");
   std::printf("\n\n");
 
+  // Analyser cost on a mid-size trace: measured directly (real time) so the
+  // smoke run reports it without the google-benchmark harness.
+  {
+    const auto db = make_large_trace(10'000);
+    const auto t0 = std::chrono::steady_clock::now();
+    Analyzer analyzer(db);
+    benchmark::DoNotOptimize(analyzer.analyze());
+    const double ms =
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0).count();
+    std::printf("analyse 10k-call trace: %.2f ms\n\n", ms);
+    json.metric("analyze_10k_calls_ms", ms, "ms");
+  }
+
+  if (smoke) return json.write() ? 0 : 1;
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return json.write() ? 0 : 1;
 }

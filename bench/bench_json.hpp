@@ -38,10 +38,29 @@ inline bool strip_smoke_flag(int& argc, char** argv) {
   return smoke;
 }
 
+/// Detects `--out-dir DIR` and removes both tokens from argv.  Returns DIR,
+/// or "." when absent — the directory JsonReport::write() lands in, so CI
+/// can collect every bench's JSON in one place (the repo root) regardless
+/// of each binary's working directory.
+inline std::string strip_out_dir_flag(int& argc, char** argv) {
+  std::string dir = ".";
+  int w = 1;
+  for (int r = 1; r < argc; ++r) {
+    if (std::string_view(argv[r]) == "--out-dir" && r + 1 < argc) {
+      dir = argv[++r];
+      continue;
+    }
+    argv[w++] = argv[r];
+  }
+  argv[argc = w] = nullptr;
+  return dir;
+}
+
 /// Accumulates named scalar results; write() emits BENCH_<name>.json.
 class JsonReport {
  public:
-  JsonReport(std::string name, bool smoke) : name_(std::move(name)), smoke_(smoke) {}
+  JsonReport(std::string name, bool smoke, std::string out_dir = ".")
+      : name_(std::move(name)), smoke_(smoke), out_dir_(std::move(out_dir)) {}
 
   void metric(std::string_view metric, double value, std::string_view unit = "") {
     rows_.push_back({std::string(metric), value, std::string(unit)});
@@ -66,7 +85,7 @@ class JsonReport {
     w.end_array();
     w.end_object();
 
-    const std::string path = "BENCH_" + name_ + ".json";
+    const std::string path = out_dir_ + "/BENCH_" + name_ + ".json";
     std::FILE* f = std::fopen(path.c_str(), "wb");
     if (f == nullptr) {
       std::fprintf(stderr, "bench: cannot open %s for writing\n", path.c_str());
@@ -89,6 +108,7 @@ class JsonReport {
 
   std::string name_;
   bool smoke_;
+  std::string out_dir_;
   std::vector<Row> rows_;
 };
 

@@ -69,7 +69,8 @@ double mean_call_ns(Machine& m, CallId id, int n, int warmup) {
 
 int main(int argc, char** argv) {
   const bool smoke = bench::strip_smoke_flag(argc, argv);
-  bench::JsonReport json("logger_overhead", smoke);
+  const std::string out_dir = bench::strip_out_dir_flag(argc, argv);
+  bench::JsonReport json("logger_overhead", smoke, out_dir);
   // The paper uses n = 1,000,000 for (1)/(2); virtual time is deterministic,
   // so a smaller n gives identical means while keeping real time low.
   const int kN = smoke ? 2'000 : 20'000;

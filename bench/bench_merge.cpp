@@ -56,7 +56,8 @@ double merge_ms(const std::vector<std::vector<tracedb::Nanoseconds>>& keys,
 
 int main(int argc, char** argv) {
   const bool smoke = bench::strip_smoke_flag(argc, argv);
-  bench::JsonReport json("merge", smoke);
+  const std::string out_dir = bench::strip_out_dir_flag(argc, argv);
+  bench::JsonReport json("merge", smoke, out_dir);
 
   const std::size_t kShards = 8;
   const std::size_t kPerShard = smoke ? 40'000 : 400'000;

@@ -1,0 +1,87 @@
+// E13 — online analyser feed cost.
+//
+// `sgxperf monitor` runs OnlineAnalyzer::feed() on the consumer side of the
+// streaming subscription while the workload is live, so the per-event cost
+// bounds the event rate one monitoring thread can sustain without dropping.
+// Feeds a pre-built synthetic stream (ecalls with nested short ocalls, the
+// shape that exercises every detector's hot path: Eq. 1 counting, Eq. 2
+// start/end correlation, Eq. 3 same-key gaps, windowed HDR recording) and
+// reports ns/event, events/s and what the detectors concluded.
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "perf/online.hpp"
+#include "support/rng.hpp"
+
+int main(int argc, char** argv) {
+  const bool smoke = bench::strip_smoke_flag(argc, argv);
+  bench::JsonReport json("online", smoke, bench::strip_out_dir_flag(argc, argv));
+  const std::size_t kEvents = smoke ? 200'000 : 2'000'000;
+
+  // Pre-build the stream so the measured loop is feed() alone.
+  std::vector<perf::StreamEvent> events;
+  events.reserve(kEvents + 1);
+  support::Rng rng(11);
+  std::uint64_t t = 0;
+  while (events.size() < kEvents) {
+    const auto call_id = static_cast<std::uint32_t>(rng.next_below(8));
+    const std::uint64_t e_start = t;
+    const std::uint64_t o_start = e_start + 1'000;
+    const std::uint64_t o_end = o_start + 600 + rng.next_below(400);
+    const std::uint64_t e_end = o_end + 2'000 + rng.next_below(4'000);
+
+    // Children publish before their parent (stream order on one thread).
+    perf::StreamEvent oc;
+    oc.kind = perf::StreamEvent::Kind::kCall;
+    oc.call_type = tracedb::CallType::kOcall;
+    oc.thread_id = 1;
+    oc.enclave_id = 1;
+    oc.call_id = call_id;
+    oc.start_ns = o_start;
+    oc.end_ns = o_end;
+    oc.parent_valid = true;
+    oc.parent_type = tracedb::CallType::kEcall;
+    oc.parent_call_id = call_id;
+    oc.parent_start_ns = e_start;
+    events.push_back(oc);
+
+    perf::StreamEvent ec;
+    ec.kind = perf::StreamEvent::Kind::kCall;
+    ec.call_type = tracedb::CallType::kEcall;
+    ec.thread_id = 1;
+    ec.enclave_id = 1;
+    ec.call_id = call_id;
+    ec.start_ns = e_start;
+    ec.end_ns = e_end;
+    ec.aex_count = rng.chance(1.0 / 64.0) ? 1 : 0;
+    events.push_back(ec);
+
+    t = e_end + rng.next_below(3'000);
+  }
+
+  perf::OnlineAnalyzer online;
+  const auto t0 = std::chrono::steady_clock::now();
+  online.feed(events);
+  online.finish(t);
+  const double sec =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  const double ns_per_event = sec * 1e9 / static_cast<double>(events.size());
+  const double events_per_s = static_cast<double>(events.size()) / sec;
+  std::printf("=== E13: online analyser feed throughput ===\n\n");
+  std::printf("events fed:       %zu (%.3f virtual s)\n", events.size(),
+              static_cast<double>(t) / 1e9);
+  std::printf("feed cost:        %.0f ns/event (%.2fM events/s)\n", ns_per_event,
+              events_per_s / 1e6);
+  std::printf("windows closed:   %zu\n", online.windows().size());
+  std::printf("alerts recorded:  %zu (%zu active at end)\n", online.alerts().size(),
+              online.active_alerts().size());
+
+  json.metric("feed_ns_per_event", ns_per_event, "ns");
+  json.metric("feed_events_per_s", events_per_s, "events/s");
+  json.metric("windows", static_cast<double>(online.windows().size()), "windows");
+  json.metric("alerts", static_cast<double>(online.alerts().size()), "alerts");
+  return json.write() ? 0 : 1;
+}

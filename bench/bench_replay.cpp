@@ -44,7 +44,8 @@ minikv::DriverReport record_run(tracedb::TraceDatabase& db, const minikv::Driver
 
 int main(int argc, char** argv) {
   const bool smoke = bench::strip_smoke_flag(argc, argv);
-  bench::JsonReport json("replay", smoke);
+  const std::string out_dir = bench::strip_out_dir_flag(argc, argv);
+  bench::JsonReport json("replay", smoke, out_dir);
 
   minikv::DriverConfig dcfg;
   dcfg.clients = smoke ? 3 : 8;

@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <fstream>
 
+#include "bench_json.hpp"
 #include "minikv/driver.hpp"
 #include "perf/analyzer.hpp"
 #include "perf/logger.hpp"
@@ -18,8 +19,10 @@
 #include "perf/workingset.hpp"
 #include "support/strutil.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace minikv;
+  const bool smoke = bench::strip_smoke_flag(argc, argv);
+  bench::JsonReport json("securekeeper", smoke, bench::strip_out_dir_flag(argc, argv));
 
   std::printf("=== E6-E8: SecureKeeper-like proxy (paper §5.2.4, Figs. 7/8) ===\n\n");
 
@@ -59,7 +62,7 @@ int main() {
 
   DriverConfig config;
   config.clients = 1;
-  config.ops_per_client = 20'000;
+  config.ops_per_client = smoke ? 2'000 : 20'000;
   const DriverReport report = run_workload(proxy, config);
   logger.detach();
 
@@ -69,6 +72,8 @@ int main() {
               static_cast<unsigned long long>(report.failures),
               static_cast<double>(report.virtual_duration_ns) / 1e9,
               report.throughput_ops_per_s);
+  json.metric("throughput_ops_per_s", report.throughput_ops_per_s, "ops/s");
+  json.metric("storm_sync_events", static_cast<double>(storm_sync_events), "events");
 
   perf::Analyzer analyzer(trace);
   analyzer.set_interface(proxy.enclave_id(), sgxsim::edl::parse(kKvEdl));
@@ -149,10 +154,15 @@ int main() {
     std::printf("enclave size: %zu pages; one-enclave-per-client fits ~%zu enclaves in the "
                 "93 MiB EPC (paper: 249)\n",
                 enclave.total_pages(), enclaves_per_epc);
+    json.metric("working_set_startup", static_cast<double>(startup.size()), "pages");
+    json.metric("working_set_steady", static_cast<double>(steady.size()), "pages");
+    json.metric("enclaves_per_epc", static_cast<double>(enclaves_per_epc), "enclaves");
   }
 
   std::printf("\nanalyser findings: %zu (paper: 'we were not able to spot any performance "
               "optimisation possibilities' beyond the storm)\n",
               analysis.findings.size());
+  json.metric("findings", static_cast<double>(analysis.findings.size()), "findings");
+  if (!json.write()) return 1;
   return report.failures == 0 && storm_sync_events > 0 ? 0 : 1;
 }

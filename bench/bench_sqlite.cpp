@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <map>
 
+#include "bench_json.hpp"
 #include "minidb/enclave_db.hpp"
 #include "minidb/workload.hpp"
 #include "perf/analyzer.hpp"
@@ -21,7 +22,7 @@ namespace {
 
 using namespace minidb;
 
-constexpr std::uint64_t kCommits = 400;
+std::uint64_t kCommits = 400;  // --smoke: 100
 
 struct RunResult {
   double requests_per_s = 0.0;
@@ -66,7 +67,10 @@ RunResult run_enclavised(sgxsim::Urts& urts, WriteMode mode) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = bench::strip_smoke_flag(argc, argv);
+  bench::JsonReport json("sqlite", smoke, bench::strip_out_dir_flag(argc, argv));
+  if (smoke) kCommits = 100;
   std::printf("=== E4: minidb insert throughput (paper §5.2.2, Fig. 6 left) ===\n");
   std::printf("paper: native 23,087 req/s; enclavised 13,160 (0.57x); merged 17,483 (+33%%)\n\n");
 
@@ -82,6 +86,12 @@ int main() {
                 native.requests_per_s, enclave.requests_per_s, optimised.requests_per_s,
                 enclave.requests_per_s / native.requests_per_s,
                 optimised.requests_per_s / enclave.requests_per_s);
+    const std::string lvl_name = sgxsim::to_string(lvl);
+    json.metric("native_req_per_s." + lvl_name, native.requests_per_s, "req/s");
+    json.metric("enclave_req_per_s." + lvl_name, enclave.requests_per_s, "req/s");
+    json.metric("optimised_req_per_s." + lvl_name, optimised.requests_per_s, "req/s");
+    json.metric("merge_speedup." + lvl_name,
+                optimised.requests_per_s / enclave.requests_per_s, "x");
   }
 
   // --- the analysis pass that motivates the merge ------------------------------
@@ -126,5 +136,7 @@ int main() {
   }
   std::printf("\nSDSC merge of lseek+write detected: %s (the paper's key finding)\n",
               merge_found ? "YES" : "NO");
+  json.metric("sdsc_merge_detected", merge_found ? 1.0 : 0.0, "bool");
+  if (!json.write()) return 1;
   return merge_found ? 0 : 1;
 }

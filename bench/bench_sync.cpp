@@ -129,7 +129,8 @@ BENCHMARK(BM_SdkMutexUncontended);
 
 int main(int argc, char** argv) {
   const bool smoke = bench::strip_smoke_flag(argc, argv);
-  bench::JsonReport json("sync", smoke);
+  const std::string out_dir = bench::strip_out_dir_flag(argc, argv);
+  bench::JsonReport json("sync", smoke, out_dir);
   std::printf("=== E10: in-enclave synchronisation ablation (paper §2.3.2 / §3.4) ===\n\n");
   constexpr int kThreads = 4;
   const int kOps = smoke ? 100 : 400;

@@ -10,15 +10,18 @@
 #include <cstdio>
 #include <fstream>
 
+#include "bench_json.hpp"
 #include "minissl/http.hpp"
 #include "minissl/talos.hpp"
 #include "perf/analyzer.hpp"
 #include "perf/logger.hpp"
 #include "perf/report.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace minissl;
-  constexpr int kRequests = 1000;
+  const bool smoke = bench::strip_smoke_flag(argc, argv);
+  bench::JsonReport json("talos", smoke, bench::strip_out_dir_flag(argc, argv));
+  const int kRequests = smoke ? 100 : 1000;
 
   sgxsim::Urts urts;
   tracedb::TraceDatabase trace;
@@ -48,10 +51,16 @@ int main() {
               kRequests);
   std::printf("requests served: %llu/%d\n", static_cast<unsigned long long>(served), kRequests);
 
+  json.metric("requests_served", static_cast<double>(served), "requests");
+
   perf::Analyzer analyzer(trace);
   analyzer.set_interface(1, sgxsim::edl::parse(kTalosEdl));
   const auto report = analyzer.analyze();
   for (const auto& ov : report.overviews) {
+    json.metric("ecall_instances", static_cast<double>(ov.ecall_instances), "calls");
+    json.metric("ocall_instances", static_cast<double>(ov.ocall_instances), "calls");
+    json.metric("ecalls_below_10us", 100.0 * ov.ecalls_below_10us, "%");
+    json.metric("ocalls_below_10us", 100.0 * ov.ocalls_below_10us, "%");
     std::printf(
         "interface: %zu ecalls / %zu ocalls defined; %zu / %zu called "
         "(paper: 207/61 defined, 61/10 called)\n",
@@ -89,5 +98,6 @@ int main() {
     std::printf("[%zu] %s: %s\n", shown, perf::to_string(f.kind), f.subject_name.c_str());
     for (const auto& r : f.recommendations) std::printf("     -> %s\n", perf::to_string(r.action));
   }
-  return 0;
+  json.metric("findings", static_cast<double>(report.findings.size()), "findings");
+  return json.write() ? 0 : 1;
 }

@@ -101,7 +101,8 @@ void print_paper_table(bench::JsonReport& report) {
 
 int main(int argc, char** argv) {
   const bool smoke = bench::strip_smoke_flag(argc, argv);
-  bench::JsonReport report("transitions", smoke);
+  const std::string out_dir = bench::strip_out_dir_flag(argc, argv);
+  bench::JsonReport report("transitions", smoke, out_dir);
   print_paper_table(report);
   if (smoke) return report.write() ? 0 : 1;  // virtual time: the table is exact
   benchmark::Initialize(&argc, argv);

@@ -5,6 +5,7 @@
 
 #include "support/strutil.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/timeseries.hpp"
 
 namespace perf {
 
@@ -30,6 +31,22 @@ std::size_t LiveMonitor::drain() {
     for (const StreamEvent& ev : batch_) {
       if (!saw_event_ || ev.start_ns < first_ns_) first_ns_ = ev.start_ns;
       if (!saw_event_ || ev.end_ns > last_ns_) last_ns_ = ev.end_ns;
+      if (window_ns_ > 0) {
+        // Tumbling aggregation window: when this event lands past the open
+        // window, checkpoint every site *first*, so the windowed view keeps
+        // only what arrived after the boundary (the partial open window).
+        if (!window_anchored_) {
+          window_anchor_ = ev.start_ns;
+          window_anchored_ = true;
+        } else if (ev.end_ns >= window_anchor_ && ev.end_ns - window_anchor_ >= window_ns_) {
+          for (auto& [key, site] : sites_) {
+            site.count_at_checkpoint = site.count;
+            site.aex_at_checkpoint = site.aex_total;
+            site.latency_at_checkpoint = site.latency;
+          }
+          window_anchor_ = ev.end_ns - (ev.end_ns - window_anchor_) % window_ns_;
+        }
+      }
       saw_event_ = true;
       switch (ev.kind) {
         case StreamEvent::Kind::kCall: {
@@ -55,6 +72,7 @@ std::size_t LiveMonitor::drain() {
 std::string LiveMonitor::render_frame() {
   drain();
   ++frame_;
+  const bool windowed = window_ns_ > 0;
 
   // Rates over the virtual time that elapsed since the previous frame (the
   // clock the events carry — wall-clock rates would measure the host, not
@@ -85,6 +103,10 @@ std::string LiveMonitor::render_frame() {
       static_cast<unsigned long long>(dropped()));
   out += support::format("  rates (virtual): %.0f calls/s  %.0f aex/s\n", calls_per_s,
                          aex_per_s);
+  if (windowed) {
+    out += support::format("  window: %.3fms (tumbling, virtual time)\n",
+                           static_cast<double>(window_ns_) / 1e6);
+  }
   out += support::format("  %-32s %10s %10s %10s %10s %10s %8s\n", "call", "count",
                          "p50[us]", "p90[us]", "p99[us]", "p99.9[us]", "aex");
 
@@ -98,15 +120,22 @@ std::string LiveMonitor::render_frame() {
   });
 
   for (const auto& [key, site] : rows) {
+    const telemetry::HdrSnapshot windowed_latency =
+        windowed ? telemetry::hdr_delta(site->latency, site->latency_at_checkpoint)
+                 : telemetry::HdrSnapshot{};
+    const telemetry::HdrSnapshot& latency = windowed ? windowed_latency : site->latency;
+    const std::uint64_t count = windowed ? site->count - site->count_at_checkpoint : site->count;
+    const std::uint64_t aex = windowed ? site->aex_total - site->aex_at_checkpoint
+                                       : site->aex_total;
     const auto us = [&](double q) {
-      return static_cast<double>(site->latency.value_at_percentile(q)) / 1000.0;
+      return static_cast<double>(latency.value_at_percentile(q)) / 1000.0;
     };
     out += support::format("  %-32s %10llu %10.1f %10.1f %10.1f %10.1f %8llu\n",
                            logger_.database().name_of(key.enclave_id, key.type, key.call_id)
                                .c_str(),
-                           static_cast<unsigned long long>(site->count), us(50), us(90),
+                           static_cast<unsigned long long>(count), us(50), us(90),
                            us(99), us(99.9),
-                           static_cast<unsigned long long>(site->aex_total));
+                           static_cast<unsigned long long>(aex));
   }
   return out;
 }

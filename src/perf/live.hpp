@@ -17,11 +17,16 @@
 
 namespace perf {
 
-/// Aggregated live view of one call site.
+/// Aggregated live view of one call site.  The primary fields accumulate
+/// forever; the `*_at_checkpoint` cursors mark the last aggregation-window
+/// boundary so a windowed view is the difference (telemetry::hdr_delta).
 struct LiveSiteStats {
   std::uint64_t count = 0;
   std::uint64_t aex_total = 0;
   telemetry::HdrSnapshot latency;
+  std::uint64_t count_at_checkpoint = 0;
+  std::uint64_t aex_at_checkpoint = 0;
+  telemetry::HdrSnapshot latency_at_checkpoint;
 };
 
 /// Subscribes to a logger's event stream and folds batches into per-site
@@ -39,6 +44,14 @@ class LiveMonitor {
   LiveMonitor& operator=(const LiveMonitor&) = delete;
 
   [[nodiscard]] bool ok() const noexcept { return sub_ != nullptr; }
+
+  /// Tumbling aggregation window, in virtual nanoseconds.  0 (default)
+  /// keeps the historical cumulative-since-start table; > 0 makes the
+  /// per-site columns cover at most the last `ns` of virtual time — the
+  /// `sgxperf top --window` flag, and the same window semantics
+  /// `sgxperf monitor` persists as v5 snapshots.
+  void set_window_ns(std::uint64_t ns) noexcept { window_ns_ = ns; }
+  [[nodiscard]] std::uint64_t window_ns() const noexcept { return window_ns_; }
 
   /// Polls pending events into the aggregates.  Returns events drained.
   std::size_t drain();
@@ -77,6 +90,10 @@ class LiveMonitor {
   std::uint64_t prev_aex_ = 0;
   std::uint64_t prev_ns_ = 0;
   std::uint64_t frame_ = 0;
+  /// Tumbling window state (set_window_ns): anchor of the open window.
+  std::uint64_t window_ns_ = 0;
+  std::uint64_t window_anchor_ = 0;
+  bool window_anchored_ = false;
 };
 
 }  // namespace perf

@@ -355,12 +355,16 @@ SgxStatus Logger::shadow_sgx_ecall(EnclaveId eid, CallId id, const sgxsim::Ocall
   rec.thread_id = tid;
   rec.enclave_id = eid;
   rec.call_id = id;
+  StackEntry parent_entry;
+  bool has_parent = false;
   if (!pt.stack.empty() && pt.stack.back().type == CallType::kOcall) {
-    rec.parent = pt.stack.back().index;
+    parent_entry = pt.stack.back();
+    has_parent = true;
+    rec.parent = parent_entry.index;
   }
   rec.start_ns = clock.now();
   const CallIndex idx = record_call(pt, rec);
-  pt.stack.push_back({idx, CallType::kEcall});
+  pt.stack.push_back({idx, CallType::kEcall, id, rec.start_ns});
   const std::uint32_t saved_aex = pt.aex_count_current_ecall;
   pt.aex_count_current_ecall = 0;
   if (sampler_ != nullptr) sampler_->poll();
@@ -391,6 +395,12 @@ SgxStatus Logger::shadow_sgx_ecall(EnclaveId eid, CallId id, const sgxsim::Ocall
       ev.aex_count = pt.aex_count_current_ecall;
       ev.start_ns = rec.start_ns;
       ev.end_ns = end_ns;
+      if (has_parent) {
+        ev.parent_valid = true;
+        ev.parent_type = parent_entry.type;
+        ev.parent_call_id = parent_entry.call_id;
+        ev.parent_start_ns = parent_entry.start_ns;
+      }
       stream_.publish(ev);
     }
     pt.stack.pop_back();
@@ -414,13 +424,17 @@ SgxStatus Logger::on_stub_call(const OcallStubRegistry::StubInfo& info, void* ms
   rec.thread_id = tid;
   rec.enclave_id = info.enclave_id;
   rec.call_id = info.ocall_id;
+  StackEntry parent_entry;
+  bool has_parent = false;
   if (!pt.stack.empty() && pt.stack.back().type == CallType::kEcall) {
-    rec.parent = pt.stack.back().index;
+    parent_entry = pt.stack.back();
+    has_parent = true;
+    rec.parent = parent_entry.index;
   }
   rec.start_ns = clock.now();
 
   const CallIndex idx = record_call(pt, rec);
-  pt.stack.push_back({idx, CallType::kOcall});
+  pt.stack.push_back({idx, CallType::kOcall, info.ocall_id, rec.start_ns});
 
   // Synchronisation ocalls reduce to sleep / wake-up events (§4.1.3); the
   // marshalling struct layout is SDK-public, so the logger can read the
@@ -492,11 +506,18 @@ SgxStatus Logger::on_stub_call(const OcallStubRegistry::StubInfo& info, void* ms
       StreamEvent ev;
       ev.kind = StreamEvent::Kind::kCall;
       ev.call_type = CallType::kOcall;
+      ev.ocall_kind = info.is_sync ? sync_kind(info.sync_offset) : tracedb::OcallKind::kGeneric;
       ev.thread_id = tid;
       ev.enclave_id = info.enclave_id;
       ev.call_id = info.ocall_id;
       ev.start_ns = rec.start_ns;
       ev.end_ns = end_ns;
+      if (has_parent) {
+        ev.parent_valid = true;
+        ev.parent_type = parent_entry.type;
+        ev.parent_call_id = parent_entry.call_id;
+        ev.parent_start_ns = parent_entry.start_ns;
+      }
       stream_.publish(ev);
     }
     pt.stack.pop_back();

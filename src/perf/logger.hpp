@@ -132,6 +132,11 @@ class Logger {
   struct StackEntry {
     tracedb::CallIndex index = tracedb::kNoParent;  // shard-local if sharded
     tracedb::CallType type = tracedb::CallType::kEcall;
+    /// Stream identity of this in-flight call: (call_id, start_ns) lets a
+    /// nested call's completion event name its parent *instance* without
+    /// touching the database (per-thread start times are unique).
+    tracedb::CallId call_id = 0;
+    support::Nanoseconds start_ns = 0;
   };
 
   /// Key of one per-call-site latency histogram.

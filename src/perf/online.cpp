@@ -1,0 +1,434 @@
+#include "perf/online.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace perf {
+
+using support::Nanoseconds;
+using tracedb::AlertKind;
+using tracedb::AlertRecord;
+using tracedb::CallKey;
+using tracedb::CallType;
+using tracedb::OcallKind;
+
+namespace {
+
+/// Direct-parent instance id for the Eq. 3 same-key map when a call has no
+/// parent: mirrors tracedb::kNoParent as a map key (no real start time can
+/// collide — the virtual clock never reaches 2^64-1).
+constexpr std::uint64_t kNoParentInstance = ~0ull;
+
+}  // namespace
+
+const char* to_string(AlertKind k) noexcept {
+  switch (k) {
+    case AlertKind::kShortCalls: return "short_calls";
+    case AlertKind::kReorderStart: return "reorder_start";
+    case AlertKind::kReorderEnd: return "reorder_end";
+    case AlertKind::kBatchable: return "batchable";
+    case AlertKind::kMergeable: return "mergeable";
+    case AlertKind::kSyncContention: return "sync_contention";
+    case AlertKind::kPaging: return "paging";
+    case AlertKind::kTailLatency: return "tail_latency";
+    case AlertKind::kLatencyShift: return "latency_shift";
+  }
+  return "?";
+}
+
+OnlineAnalyzer::OnlineAnalyzer(OnlineConfig config) : config_(std::move(config)) {}
+
+Nanoseconds OnlineAnalyzer::adjusted(const StreamEvent& ev) const noexcept {
+  const Nanoseconds raw = ev.end_ns - ev.start_ns;
+  if (ev.call_type == CallType::kEcall) {
+    const Nanoseconds t = config_.analyzer.ecall_transition_ns;
+    return raw > t ? raw - t : 0;
+  }
+  return raw;
+}
+
+void OnlineAnalyzer::feed(const StreamEvent& ev) {
+  ++events_seen_;
+  roll_windows(ev.end_ns);
+  if (ev.kind == StreamEvent::Kind::kCall) {
+    on_call(ev);
+  } else {
+    on_instant(ev);
+  }
+}
+
+void OnlineAnalyzer::roll_windows(std::uint64_t ts) {
+  const std::uint64_t period = config_.window_ns;
+  if (period == 0) return;
+  if (!window_open_) {
+    window_start_ = ts / period * period;
+    window_open_ = true;
+    return;
+  }
+  // Stragglers (cross-thread reordering in the ring) fold into the open
+  // window; boundaries only ever move forward.
+  while (ts >= window_start_ + period) {
+    close_window(window_start_ + period);
+    window_start_ += period;
+    ++window_index_;
+  }
+}
+
+void OnlineAnalyzer::on_call(const StreamEvent& ev) {
+  const CallKey key{ev.enclave_id, ev.call_type, ev.call_id};
+  auto [it, inserted] = sites_.try_emplace(key, config_.change);
+  SiteState& st = it->second;
+
+  const std::uint64_t raw = ev.end_ns - ev.start_ns;
+  const Nanoseconds adj = adjusted(ev);
+
+  ++st.count;
+  ++st.window_calls;
+  st.touched_this_window = true;
+  ++window_calls_;
+  st.aex_total += ev.aex_count;
+  st.window_aex += ev.aex_count;
+  if (adj < 1'000) ++st.c1;
+  if (adj < 5'000) ++st.c5;
+  if (adj < 10'000) ++st.c10;
+  st.latency.record(raw);
+
+  if (ev.call_type == CallType::kOcall) {
+    if (ev.ocall_kind != OcallKind::kGeneric) st.kind = ev.ocall_kind;
+    if (raw < static_cast<std::uint64_t>(config_.analyzer.short_call_ns)) ++st.short_sync;
+    if (ev.parent_valid) st.any_nested_ocall = true;
+  }
+
+  ThreadState& ts = threads_[ev.thread_id];
+
+  // --- Eq. 2, start side + parent histogram ---------------------------------
+  if (ev.parent_valid) {
+    ++st.nested;
+    ++st.parent_freq[CallKey{ev.enclave_id, ev.parent_type, ev.parent_call_id}];
+    const std::uint64_t from_start = ev.start_ns - ev.parent_start_ns;
+    if (from_start <= 10'000) ++st.start10;
+    if (from_start <= 20'000) ++st.start20;
+
+    // End side needs the parent's end timestamp — buffer until the parent's
+    // own completion event arrives (parents always complete after nested
+    // children, and the stream preserves per-thread order).
+    auto& bucket = ts.pending[ev.parent_start_ns];
+    bucket.push_back(PendingChild{key, ev.end_ns});
+    if (ts.pending.size() > config_.max_pending_parents) {
+      auto oldest = ts.pending.begin();
+      pending_evicted_ += oldest->second.size();
+      ts.pending.erase(oldest);
+    }
+  }
+
+  // --- Eq. 3: indirect parent via the (type, direct-parent instance) map ----
+  {
+    const std::pair<CallType, std::uint64_t> same_key{
+        ev.call_type, ev.parent_valid ? ev.parent_start_ns : kNoParentInstance};
+    auto prev = ts.last_same_key.find(same_key);
+    if (prev != ts.last_same_key.end()) {
+      auto& ps = st.by_parent[prev->second.site];
+      ++ps.count;
+      if (ev.start_ns >= prev->second.end_ns) {
+        const std::uint64_t gap = ev.start_ns - prev->second.end_ns;
+        if (gap <= 1'000) ++ps.p1;
+        if (gap <= 5'000) ++ps.p5;
+        if (gap <= 10'000) ++ps.p10;
+        if (gap <= 20'000) ++ps.p20;
+      }
+    }
+    ts.last_same_key[same_key] = ThreadState::LastCall{key, ev.end_ns};
+  }
+
+  // --- Eq. 2, end side: this completion is some children's parent ----------
+  auto waiting = ts.pending.find(ev.start_ns);
+  if (waiting != ts.pending.end()) {
+    for (const PendingChild& child : waiting->second) {
+      if (ev.end_ns < child.end_ns) continue;
+      const std::uint64_t to_end = ev.end_ns - child.end_ns;
+      auto child_it = sites_.find(child.site);
+      if (child_it == sites_.end()) continue;
+      if (to_end <= 10'000) ++child_it->second.end10;
+      if (to_end <= 20'000) ++child_it->second.end20;
+      if (child.site != key) {
+        reconcile_site(child.site, child_it->second, /*with_tail=*/false, ev.end_ns);
+      }
+    }
+    ts.pending.erase(waiting);
+  }
+
+  reconcile_site(key, st, /*with_tail=*/false, ev.end_ns);
+}
+
+void OnlineAnalyzer::on_instant(const StreamEvent& ev) {
+  if (ev.kind == StreamEvent::Kind::kAex) {
+    ++window_aexs_;
+    return;
+  }
+  // kPaging: call_id carries the direction (0 = in, 1 = out).
+  PagingState& pg = paging_[ev.enclave_id];
+  ++pg.total;
+  if (ev.call_id == 0) {
+    ++pg.window_ins;
+  } else {
+    ++pg.window_outs;
+  }
+  reconcile_paging(ev.enclave_id, ev.end_ns);
+}
+
+std::vector<std::pair<AlertKind, std::uint64_t>> OnlineAnalyzer::evaluate_site(
+    const CallKey& site, const SiteState& st, bool with_tail) const {
+  std::vector<std::pair<AlertKind, std::uint64_t>> firing;
+  const AnalyzerConfig& cfg = config_.analyzer;
+  const auto total = static_cast<double>(st.count);
+
+  if (st.count >= cfg.min_calls) {
+    // Eq. 1 — identical arithmetic to Analyzer::detect_short_calls().
+    const double f1 = static_cast<double>(st.c1) / total;
+    const double f5 = static_cast<double>(st.c5) / total;
+    const double f10 = static_cast<double>(st.c10) / total;
+    if (f1 >= cfg.eq1_alpha || f5 >= cfg.eq1_beta || f10 >= cfg.eq1_gamma) {
+      firing.emplace_back(AlertKind::kShortCalls, static_cast<std::uint64_t>(f10 * 1000.0));
+    }
+
+    // Eq. 2 — detect_reordering().
+    if (st.nested > 0) {
+      const double s_start = static_cast<double>(st.start10) / total * cfg.eq2_alpha +
+                             static_cast<double>(st.start20) / total * cfg.eq2_beta;
+      const double s_end = static_cast<double>(st.end10) / total * cfg.eq2_alpha +
+                           static_cast<double>(st.end20) / total * cfg.eq2_beta;
+      if (s_start >= cfg.eq2_gamma) {
+        firing.emplace_back(AlertKind::kReorderStart,
+                            static_cast<std::uint64_t>(s_start * 1000.0));
+      }
+      if (s_end >= cfg.eq2_gamma) {
+        firing.emplace_back(AlertKind::kReorderEnd, static_cast<std::uint64_t>(s_end * 1000.0));
+      }
+    }
+
+    // Eq. 3 — detect_merge_batch(): one verdict per kind, best score wins.
+    double best_batch = -1.0;
+    double best_merge = -1.0;
+    for (const auto& [parent_key, ps] : st.by_parent) {
+      const double ip_fraction = static_cast<double>(ps.count) / total;
+      if (ip_fraction < cfg.eq3_lambda) continue;
+      const auto p_total = static_cast<double>(ps.count);
+      const double score = static_cast<double>(ps.p1) / p_total * cfg.eq3_alpha +
+                           static_cast<double>(ps.p5) / p_total * cfg.eq3_beta +
+                           static_cast<double>(ps.p10) / p_total * cfg.eq3_gamma +
+                           static_cast<double>(ps.p20) / p_total * cfg.eq3_delta;
+      if (score < cfg.eq3_epsilon) continue;
+      if (parent_key == site) {
+        best_batch = std::max(best_batch, score);
+      } else {
+        best_merge = std::max(best_merge, score);
+      }
+    }
+    if (best_batch >= 0.0) {
+      firing.emplace_back(AlertKind::kBatchable, static_cast<std::uint64_t>(best_batch * 1000.0));
+    }
+    if (best_merge >= 0.0) {
+      firing.emplace_back(AlertKind::kMergeable, static_cast<std::uint64_t>(best_merge * 1000.0));
+    }
+  }
+
+  // SSC — detect_sync(): no min_calls gate post-mortem, none here.
+  if (site.type == CallType::kOcall && st.kind != OcallKind::kGeneric && st.count >= 2 &&
+      st.short_sync > 0) {
+    firing.emplace_back(AlertKind::kSyncContention, st.short_sync);
+  }
+
+  // Tail — detect_tail_latency(), on the cumulative distribution.
+  if (with_tail && st.count >= cfg.min_calls) {
+    const auto& snap = st.latency.cumulative();
+    const std::uint64_t p99 = snap.value_at_percentile(99);
+    const std::uint64_t p50 = snap.value_at_percentile(50);
+    if (p99 >= static_cast<std::uint64_t>(cfg.tail_min_ns)) {
+      const double p50d = static_cast<double>(p50 > 0 ? p50 : 1);
+      if (static_cast<double>(p99) >= cfg.tail_ratio * p50d) {
+        firing.emplace_back(
+            AlertKind::kTailLatency,
+            static_cast<std::uint64_t>(static_cast<double>(p99) / p50d * 1000.0));
+      }
+    }
+  }
+
+  return firing;
+}
+
+void OnlineAnalyzer::reconcile_site(const CallKey& site, const SiteState& st, bool with_tail,
+                                    std::uint64_t now) {
+  const auto firing = evaluate_site(site, st, with_tail);
+
+  static constexpr AlertKind kCheap[] = {
+      AlertKind::kShortCalls, AlertKind::kReorderStart, AlertKind::kReorderEnd,
+      AlertKind::kBatchable,  AlertKind::kMergeable,    AlertKind::kSyncContention,
+  };
+  const auto fires = [&](AlertKind k) {
+    return std::any_of(firing.begin(), firing.end(),
+                       [&](const auto& f) { return f.first == k; });
+  };
+
+  for (const auto& [kind, detail] : firing) {
+    if (!active_.contains({kind, site})) raise_alert(kind, site, now, detail);
+  }
+  for (const AlertKind kind : kCheap) {
+    if (!fires(kind) && active_.contains({kind, site})) resolve_alert(kind, site, now);
+  }
+  if (with_tail && !fires(AlertKind::kTailLatency) &&
+      active_.contains({AlertKind::kTailLatency, site})) {
+    resolve_alert(AlertKind::kTailLatency, site, now);
+  }
+}
+
+void OnlineAnalyzer::reconcile_paging(tracedb::EnclaveId eid, std::uint64_t now) {
+  const auto it = paging_.find(eid);
+  if (it == paging_.end()) return;
+  // Subject mirrors Analyzer::detect_paging(): the enclave as a pseudo-site.
+  const CallKey subject{eid, CallType::kEcall, 0};
+  const bool fires = it->second.total >= config_.analyzer.paging_threshold;
+  const bool is_active = active_.contains({AlertKind::kPaging, subject});
+  if (fires && !is_active) {
+    raise_alert(AlertKind::kPaging, subject, now, it->second.total);
+  }
+  // The event count only grows — a paging alert never resolves.
+}
+
+void OnlineAnalyzer::raise_alert(AlertKind kind, const CallKey& site, std::uint64_t now,
+                                 std::uint64_t detail) {
+  AlertRecord rec;
+  rec.kind = kind;
+  rec.enclave_id = site.enclave_id;
+  rec.type = site.type;
+  rec.call_id = site.call_id;
+  rec.onset_ns = now;
+  rec.resolved_ns = 0;
+  rec.window_index = window_index_;
+  rec.detail = detail;
+  active_[{kind, site}] = alerts_.size();
+  alerts_.push_back(rec);
+  if (sink_) sink_(rec, /*resolved=*/false);
+}
+
+void OnlineAnalyzer::resolve_alert(AlertKind kind, const CallKey& site, std::uint64_t now) {
+  const auto it = active_.find({kind, site});
+  if (it == active_.end()) return;
+  AlertRecord& rec = alerts_[it->second];
+  rec.resolved_ns = now > rec.onset_ns ? now : rec.onset_ns;
+  active_.erase(it);
+  if (sink_) sink_(rec, /*resolved=*/true);
+}
+
+void OnlineAnalyzer::close_window(std::uint64_t window_end) {
+  // Latency-shift alerts are change-point markers: they live exactly one
+  // window, so resolve survivors from earlier windows first.
+  std::vector<std::pair<AlertKind, CallKey>> expired;
+  for (const auto& [k, idx] : active_) {
+    if (k.first == AlertKind::kLatencyShift && alerts_[idx].window_index < window_index_) {
+      expired.push_back(k);
+    }
+  }
+  for (const auto& [kind, site] : expired) resolve_alert(kind, site, window_end);
+
+  std::uint64_t page_ins = 0;
+  std::uint64_t page_outs = 0;
+  for (auto& [eid, pg] : paging_) {
+    page_ins += pg.window_ins;
+    page_outs += pg.window_outs;
+    pg.window_ins = 0;
+    pg.window_outs = 0;
+  }
+
+  for (auto& [key, st] : sites_) {
+    if (!st.touched_this_window) continue;
+    const telemetry::HdrSnapshot delta = st.latency.window_delta();
+
+    tracedb::WindowSiteRecord row;
+    row.window_index = window_index_;
+    row.enclave_id = key.enclave_id;
+    row.type = key.type;
+    row.call_id = key.call_id;
+    row.calls = st.window_calls;
+    row.aex_count = st.window_aex;
+    row.p50_ns = delta.value_at_percentile(50);
+    row.p99_ns = delta.value_at_percentile(99);
+    window_sites_.push_back(row);
+
+    if (delta.count() > 0 && st.change.observe(delta.mean())) {
+      raise_alert(AlertKind::kLatencyShift, key, window_end,
+                  static_cast<std::uint64_t>(st.change.deviation() * 1000.0));
+    }
+
+    // Percentile predicates (tail) run here, on the cumulative state.
+    reconcile_site(key, st, /*with_tail=*/true, window_end);
+
+    st.latency.checkpoint();
+    st.window_calls = 0;
+    st.window_aex = 0;
+    st.touched_this_window = false;
+  }
+
+  tracedb::WindowRecord win;
+  win.window_index = window_index_;
+  win.start_ns = window_start_;
+  win.end_ns = window_end;
+  win.calls = window_calls_;
+  win.aexs = window_aexs_;
+  win.page_ins = page_ins;
+  win.page_outs = page_outs;
+  if (externals_) {
+    const WindowExternals ext = externals_();
+    win.stream_dropped = ext.stream_dropped;
+    win.switchless_calls = ext.switchless_calls;
+    win.switchless_fallbacks = ext.switchless_fallbacks;
+    win.switchless_wasted_ns = ext.switchless_wasted_ns;
+  }
+  win.active_alerts = static_cast<std::uint32_t>(active_.size());
+  windows_.push_back(win);
+
+  window_calls_ = 0;
+  window_aexs_ = 0;
+}
+
+void OnlineAnalyzer::finish(Nanoseconds end_ns) {
+  if (finished_) return;
+  finished_ = true;
+
+  if (window_open_) {
+    const std::uint64_t window_end =
+        end_ns > window_start_ ? static_cast<std::uint64_t>(end_ns) : window_start_;
+    close_window(window_end);
+    ++window_index_;
+  }
+
+  // Final reconciliation: every site, every predicate — after this the
+  // active set is exactly the post-mortem analyser's verdict set (change
+  // markers excluded: they are online-only and expire below).
+  for (const auto& [key, st] : sites_) {
+    reconcile_site(key, st, /*with_tail=*/true, end_ns);
+  }
+  for (const auto& [eid, pg] : paging_) reconcile_paging(eid, end_ns);
+
+  std::vector<std::pair<AlertKind, CallKey>> shifts;
+  for (const auto& [k, idx] : active_) {
+    if (k.first == AlertKind::kLatencyShift) shifts.push_back(k);
+  }
+  for (const auto& [kind, site] : shifts) resolve_alert(kind, site, end_ns);
+}
+
+void OnlineAnalyzer::persist(tracedb::TraceDatabase& db) const {
+  db.set_window_period(config_.window_ns);
+  for (const auto& w : windows_) db.add_window(w);
+  for (const auto& s : window_sites_) db.add_window_site(s);
+  for (const auto& a : alerts_) db.add_alert(a);
+}
+
+std::vector<AlertRecord> OnlineAnalyzer::active_alerts() const {
+  std::vector<AlertRecord> out;
+  for (const auto& a : alerts_) {
+    if (a.resolved_ns == 0) out.push_back(a);
+  }
+  return out;
+}
+
+}  // namespace perf

@@ -1,0 +1,222 @@
+// Online (in-flight) anti-pattern detection.
+//
+// The analyser (§4.3) runs post-mortem: nothing fires until the trace is
+// sealed.  This layer runs the same detectors *incrementally* against a
+// Logger::subscribe() stream, so a long-running workload raises SISC/SDSC/
+// SNC/SSC, paging and tail-latency alerts the moment a site crosses its
+// threshold — with an onset timestamp — instead of averaging the problem
+// away until shutdown.
+//
+// Correctness anchor: the detectors maintain *cumulative* per-site state
+// whose predicates are byte-for-byte the post-mortem ones (same AnalyzerConfig
+// thresholds, same Eq. 1–3 arithmetic, same HDR geometry).  On a quiesced
+// workload where no stream events were dropped, the end-of-run active-alert
+// set therefore equals the post-mortem recommendation set — the property
+// tests/online_analyzer_test.cpp pins on demo/minikv/minidb.
+//
+// On top of the parity detectors, fixed-interval *windows* (virtual-time
+// aligned, so replays are deterministic) cut per-site rate/percentile
+// snapshots (HDR deltas via telemetry::WindowedHdr) and run EWMA+CUSUM
+// change detection over per-window mean latency (AlertKind::kLatencyShift —
+// an online-only signal with no post-mortem analogue).  Windows, per-site
+// window rows and the full alert history persist as the v5 trace tables.
+//
+// Threading: single-consumer.  feed()/on_window()/finish() belong to one
+// monitoring thread; the producers are the traced workload threads on the
+// other side of the stream subscription.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "perf/analyzer.hpp"
+#include "perf/stream.hpp"
+#include "telemetry/timeseries.hpp"
+#include "tracedb/database.hpp"
+#include "tracedb/query.hpp"
+
+namespace perf {
+
+/// Stable lowercase identifier for an alert kind (JSON-lines field, goldens).
+[[nodiscard]] const char* to_string(tracedb::AlertKind k) noexcept;
+
+struct OnlineConfig {
+  /// Detector thresholds — shared with the post-mortem analyser so the
+  /// end-of-run verdicts agree.  (predict_speedups is ignored here.)
+  AnalyzerConfig analyzer;
+  /// Virtual-time window length for the snapshot tables.
+  support::Nanoseconds window_ns = 1'000'000;
+  /// EWMA/CUSUM parameters for the per-site latency-shift detector.
+  telemetry::EwmaCusum::Config change;
+  /// Per-thread cap on parents with buffered children awaiting the parent's
+  /// completion event (Eq. 2 end-side correlation).  Overflow evicts the
+  /// oldest parent — bounded memory even if parent completions are dropped.
+  std::size_t max_pending_parents = 4096;
+};
+
+/// External cumulative counters folded into each window snapshot.  The
+/// analyser cannot reach the runtime itself, so the monitor supplies them.
+struct WindowExternals {
+  std::uint64_t stream_dropped = 0;
+  std::uint64_t switchless_calls = 0;
+  std::uint64_t switchless_fallbacks = 0;
+  std::uint64_t switchless_wasted_ns = 0;
+};
+
+class OnlineAnalyzer {
+ public:
+  using ExternalsFn = std::function<WindowExternals()>;
+  /// Invoked on every alert transition: raised (resolved == false) the
+  /// moment the predicate first holds, resolved when it stops holding.
+  using AlertSink = std::function<void(const tracedb::AlertRecord&, bool resolved)>;
+
+  explicit OnlineAnalyzer(OnlineConfig config = {});
+
+  void set_externals(ExternalsFn fn) { externals_ = std::move(fn); }
+  void set_alert_sink(AlertSink sink) { sink_ = std::move(sink); }
+
+  /// Feeds one stream event.  Cheap-predicate detectors (Eq. 1–3, SSC,
+  /// paging) re-evaluate the affected site immediately; percentile-based
+  /// ones run at window boundaries.
+  void feed(const StreamEvent& ev);
+  void feed(const std::vector<StreamEvent>& batch) {
+    for (const auto& ev : batch) feed(ev);
+  }
+
+  /// Seals the run at virtual time `end_ns`: closes the final window,
+  /// re-evaluates every site (tail latency included) and resolves alerts
+  /// whose predicates no longer hold.  Call once, after the last feed().
+  void finish(support::Nanoseconds end_ns);
+
+  /// Writes the window/alert tables (and the window period) into `db` —
+  /// the v5 payload.  Typically called after finish(), on the same database
+  /// the logger recorded into.
+  void persist(tracedb::TraceDatabase& db) const;
+
+  // --- results --------------------------------------------------------------
+  [[nodiscard]] const std::vector<tracedb::WindowRecord>& windows() const noexcept {
+    return windows_;
+  }
+  [[nodiscard]] const std::vector<tracedb::WindowSiteRecord>& window_sites() const noexcept {
+    return window_sites_;
+  }
+  /// Full alert history, in onset order.  resolved_ns == 0 means still
+  /// active (after finish(): the end-of-run verdict set).
+  [[nodiscard]] const std::vector<tracedb::AlertRecord>& alerts() const noexcept {
+    return alerts_;
+  }
+  [[nodiscard]] std::vector<tracedb::AlertRecord> active_alerts() const;
+  [[nodiscard]] std::uint64_t events_seen() const noexcept { return events_seen_; }
+  /// Eq. 2 child buffers discarded by the pending-parent cap (0 on healthy
+  /// streams; nonzero means end-side reorder counts undercount).
+  [[nodiscard]] std::uint64_t pending_evicted() const noexcept { return pending_evicted_; }
+
+ private:
+  /// Cumulative per-site detector state — the online mirror of what each
+  /// post-mortem detector derives from the full trace.
+  struct SiteState {
+    // Eq. 1 (+ stats): counts over *adjusted* durations.
+    std::uint64_t count = 0;
+    std::uint64_t c1 = 0, c5 = 0, c10 = 0;
+    bool any_nested_ocall = false;
+    std::uint64_t aex_total = 0;
+    // Eq. 2: nesting counts relative to the direct parent.
+    std::uint64_t nested = 0;
+    std::uint64_t start10 = 0, start20 = 0, end10 = 0, end20 = 0;
+    std::map<tracedb::CallKey, std::uint64_t> parent_freq;
+    // Eq. 3: per-indirect-parent gap stats.
+    struct PairStats {
+      std::uint64_t count = 0;
+      std::uint64_t p1 = 0, p5 = 0, p10 = 0, p20 = 0;
+    };
+    std::map<tracedb::CallKey, PairStats> by_parent;
+    // SSC: classification plus short-instance count (raw durations).
+    tracedb::OcallKind kind = tracedb::OcallKind::kGeneric;
+    std::uint64_t short_sync = 0;
+    // Latency: cumulative HDR (tail detector) with a window cursor.
+    telemetry::WindowedHdr latency;
+    std::uint64_t window_calls = 0;  // completions in the open window
+    std::uint64_t window_aex = 0;
+    // Change detection over per-window mean latency.
+    telemetry::EwmaCusum change;
+    bool touched_this_window = false;
+
+    explicit SiteState(const telemetry::EwmaCusum::Config& cfg) : change(cfg) {}
+  };
+
+  /// Per-enclave paging tallies (detector subject: CallKey{eid, kEcall, 0}).
+  struct PagingState {
+    std::uint64_t total = 0;
+    std::uint64_t window_ins = 0;
+    std::uint64_t window_outs = 0;
+  };
+
+  /// One child completion waiting for its parent's end timestamp.
+  struct PendingChild {
+    tracedb::CallKey site;
+    std::uint64_t end_ns = 0;
+  };
+  struct ThreadState {
+    /// parent_start_ns -> children completed inside that parent (Eq. 2
+    /// end-side).  std::map keeps eviction of the oldest parent O(log n).
+    std::map<std::uint64_t, std::vector<PendingChild>> pending;
+    /// (child type, direct-parent instance) -> last completed call of that
+    /// key, mirroring tracedb::indirect_parents (Eq. 3).  Valid online
+    /// because same-key calls never overlap: completion order == start
+    /// order.
+    struct LastCall {
+      tracedb::CallKey site;
+      std::uint64_t end_ns = 0;
+    };
+    std::map<std::pair<tracedb::CallType, std::uint64_t>, LastCall> last_same_key;
+  };
+
+  void on_call(const StreamEvent& ev);
+  void on_instant(const StreamEvent& ev);
+  /// Closes windows until `ts` falls inside the open one.
+  void roll_windows(std::uint64_t ts);
+  void close_window(std::uint64_t window_end);
+
+  /// Alert kinds whose cumulative predicate holds for `site` right now.
+  /// `with_tail` controls the O(buckets) percentile predicates.
+  [[nodiscard]] std::vector<std::pair<tracedb::AlertKind, std::uint64_t>> evaluate_site(
+      const tracedb::CallKey& site, const SiteState& st, bool with_tail) const;
+  void reconcile_site(const tracedb::CallKey& site, const SiteState& st, bool with_tail,
+                      std::uint64_t now);
+  void reconcile_paging(tracedb::EnclaveId eid, std::uint64_t now);
+  void raise_alert(tracedb::AlertKind kind, const tracedb::CallKey& site, std::uint64_t now,
+                   std::uint64_t detail);
+  void resolve_alert(tracedb::AlertKind kind, const tracedb::CallKey& site, std::uint64_t now);
+
+  [[nodiscard]] support::Nanoseconds adjusted(const StreamEvent& ev) const noexcept;
+
+  OnlineConfig config_;
+  ExternalsFn externals_;
+  AlertSink sink_;
+
+  std::map<tracedb::CallKey, SiteState> sites_;
+  std::map<tracedb::EnclaveId, PagingState> paging_;
+  std::map<std::uint32_t, ThreadState> threads_;
+
+  /// (kind, site) -> index into alerts_ of the active record.
+  std::map<std::pair<tracedb::AlertKind, tracedb::CallKey>, std::size_t> active_;
+
+  std::vector<tracedb::WindowRecord> windows_;
+  std::vector<tracedb::WindowSiteRecord> window_sites_;
+  std::vector<tracedb::AlertRecord> alerts_;
+
+  bool window_open_ = false;
+  std::uint64_t window_start_ = 0;
+  std::uint32_t window_index_ = 0;
+  std::uint64_t window_calls_ = 0;
+  std::uint64_t window_aexs_ = 0;
+  std::uint64_t events_seen_ = 0;
+  std::uint64_t pending_evicted_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace perf

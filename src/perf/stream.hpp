@@ -50,12 +50,27 @@ struct StreamEvent {
 
   Kind kind = Kind::kCall;
   tracedb::CallType call_type = tracedb::CallType::kEcall;
+  /// kCall ocalls: the sleep/wake classification (§4.1.3), so online
+  /// consumers can run the SSC detector without a name lookup.
+  tracedb::OcallKind ocall_kind = tracedb::OcallKind::kGeneric;
+  /// kCall: true when the direct parent fields below are meaningful (the
+  /// call was nested inside a call of the other type on the same thread).
+  bool parent_valid = false;
   std::uint32_t thread_id = 0;
   std::uint64_t enclave_id = 0;
   std::uint32_t call_id = 0;
   std::uint32_t aex_count = 0;   // kCall: AEXs during this call
   std::uint64_t start_ns = 0;
   std::uint64_t end_ns = 0;      // kAex/kPaging: == start_ns
+  /// Direct parent (§4.3.2), identified by its call id and start timestamp.
+  /// The (thread_id, parent_start_ns) pair names one parent *instance*: the
+  /// per-thread virtual clock strictly advances, so no two calls on a
+  /// thread share a start time.  Children publish on completion, before
+  /// their parent completes — consumers correlate on the parent's own
+  /// completion event.
+  tracedb::CallType parent_type = tracedb::CallType::kEcall;
+  std::uint32_t parent_call_id = 0;
+  std::uint64_t parent_start_ns = 0;
 };
 
 /// A bounded MPMC ring (Vyukov queue) between the recording threads and one

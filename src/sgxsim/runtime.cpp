@@ -157,6 +157,14 @@ const Enclave* Urts::find_enclave(EnclaveId id) const {
   return it == enclaves_.end() ? nullptr : it->second.get();
 }
 
+std::vector<EnclaveId> Urts::enclave_ids() const {
+  std::lock_guard lock(enclaves_mu_);
+  std::vector<EnclaveId> ids;
+  ids.reserve(enclaves_.size());
+  for (const auto& [id, enclave] : enclaves_) ids.push_back(id);
+  return ids;
+}
+
 SgxStatus Urts::sgx_ecall(EnclaveId eid, CallId id, const OcallTable* table, void* ms) {
   if (hooks_.sgx_ecall) return hooks_.sgx_ecall(eid, id, table, ms);
   return real_sgx_ecall(eid, id, table, ms);

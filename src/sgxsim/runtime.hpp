@@ -123,6 +123,9 @@ class Urts {
   /// Throws std::out_of_range for unknown ids.
   [[nodiscard]] Enclave& enclave(EnclaveId id);
   [[nodiscard]] const Enclave* find_enclave(EnclaveId id) const;
+  /// Ids of all live enclaves, ascending — lets monitors aggregate
+  /// per-enclave counters (e.g. switchless_stats) without tracking creation.
+  [[nodiscard]] std::vector<EnclaveId> enclave_ids() const;
 
   // --- the generic ecall entry point (Figure 1/2) -----------------------------
   /// Public entry used by application wrappers; dispatches through the hook.

@@ -160,6 +160,35 @@ std::string render_metrics_summary(const tracedb::TraceDatabase& db) {
   out += support::format("metric samples:  %zu\n", samples.size());
   out += support::format("events dropped:  %llu\n",
                          static_cast<unsigned long long>(db.dropped_events()));
+
+  // v5 time-series payload (sgxperf monitor): window snapshots carry the
+  // cumulative switchless-pool economics, so the trade-off is visible even
+  // when registry sampling was off during the run.
+  if (!db.windows().empty()) {
+    const auto& last = db.windows().back();
+    out += "\n---- windows (v5 time-series) ----\n";
+    out += support::format("windows:         %zu (period %.3fms, %zu site rows)\n",
+                           db.windows().size(),
+                           static_cast<double>(db.window_period()) / 1e6,
+                           db.window_sites().size());
+    // Count end-of-run actives from the records themselves: finish() can
+    // resolve alerts after the final window snapshot was cut, so the last
+    // window's active_alerts field may overstate the final verdict.
+    std::size_t active = 0;
+    for (const auto& a : db.alerts()) {
+      if (a.resolved_ns == 0) ++active;
+    }
+    out += support::format("alerts:          %zu recorded, %zu active at end\n",
+                           db.alerts().size(), active);
+    out += support::format("stream dropped:  %llu\n",
+                           static_cast<unsigned long long>(last.stream_dropped));
+    out += "switchless:      ";
+    out += support::format("%llu calls, %llu fallbacks, %.3fms wasted worker time\n",
+                           static_cast<unsigned long long>(last.switchless_calls),
+                           static_cast<unsigned long long>(last.switchless_fallbacks),
+                           static_cast<double>(last.switchless_wasted_ns) / 1e6);
+  }
+
   if (series.empty()) {
     out += "(no telemetry in this trace; record with sampling enabled)\n";
     return out;

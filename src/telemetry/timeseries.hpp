@@ -1,0 +1,95 @@
+// Windowed time-series primitives for online (in-flight) analysis.
+//
+// The post-mortem analyser sees one cumulative distribution per call site;
+// a live monitor needs the *per-window* view — "what did latency look like
+// in the last interval" — plus a baseline to decide when a site's regime
+// has moved.  This header provides the three building blocks:
+//
+//   hdr_delta()  — bucket-wise difference of two HDR snapshots, turning two
+//                  cumulative checkpoints into the distribution of exactly
+//                  the values recorded between them.
+//   WindowedHdr  — a cumulative HdrSnapshot plus a checkpoint cursor, so a
+//                  consumer can cut fixed-interval windows without keeping
+//                  a second histogram in the hot path.
+//   EwmaCusum    — EWMA baseline + two-sided CUSUM change detection over
+//                  per-window aggregates (the classic quickest-detection
+//                  scheme: robust to noise, O(1) per observation).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "telemetry/hdr_histogram.hpp"
+
+namespace telemetry {
+
+/// Bucket-wise `cumulative − baseline`.  `baseline` must be an earlier
+/// checkpoint of the same recorder (every bucket monotonically grew);
+/// short-falls clamp to zero rather than wrap.  The delta's sum is the
+/// exact difference of the recorded sums.
+[[nodiscard]] HdrSnapshot hdr_delta(const HdrSnapshot& cumulative, const HdrSnapshot& baseline);
+
+/// Cumulative HDR recorder with a window cursor.  record() accumulates
+/// forever; window_delta() is the distribution since the last checkpoint();
+/// checkpoint() closes the window.
+class WindowedHdr {
+ public:
+  void record(std::uint64_t v) noexcept { cumulative_.record(v); }
+
+  [[nodiscard]] const HdrSnapshot& cumulative() const noexcept { return cumulative_; }
+  [[nodiscard]] HdrSnapshot window_delta() const { return hdr_delta(cumulative_, baseline_); }
+  [[nodiscard]] std::uint64_t window_count() const noexcept {
+    return cumulative_.count() - baseline_.count();
+  }
+
+  /// Closes the current window: subsequent deltas are relative to now.
+  void checkpoint() { baseline_ = cumulative_; }
+
+ private:
+  HdrSnapshot cumulative_;
+  HdrSnapshot baseline_;
+};
+
+/// EWMA baseline plus two-sided CUSUM over per-window aggregates.
+///
+/// Each observation x updates g⁺ = max(0, g⁺ + (x−μ)/σ − k) (and the mirror
+/// g⁻); a change-point fires when either side exceeds h, after which the
+/// baseline re-anchors to x and both accumulators reset — the detector
+/// adapts to the new regime instead of alarming forever.  μ is an EWMA of
+/// the observations, σ an EWMA of |x−μ| (floored so a perfectly flat
+/// baseline still tolerates quantization noise).
+class EwmaCusum {
+ public:
+  struct Config {
+    double alpha = 0.3;      // EWMA smoothing factor for μ and σ
+    double drift = 0.5;      // k: slack per observation, in σ units
+    double threshold = 4.0;  // h: alarm level, in σ units
+    double min_sigma_frac = 0.05;  // σ floor as a fraction of μ
+    std::size_t warmup = 3;  // observations before alarms may fire
+  };
+
+  EwmaCusum();  // defaults (defined below: NSDMIs of a nested class are
+                // unusable as default arguments inside the enclosing class)
+  explicit EwmaCusum(Config cfg) : cfg_(cfg) {}
+
+  /// Feeds one window aggregate.  Returns true when a change-point fired on
+  /// this observation (the alarm is edge-triggered, not a level).
+  bool observe(double x);
+
+  [[nodiscard]] double baseline() const noexcept { return mean_; }
+  /// Larger of the two CUSUM accumulators — "how far out of regime".
+  [[nodiscard]] double deviation() const noexcept { return g_up_ > g_dn_ ? g_up_ : g_dn_; }
+  [[nodiscard]] std::size_t observations() const noexcept { return n_; }
+
+ private:
+  Config cfg_;
+  double mean_ = 0.0;
+  double sigma_ = 0.0;
+  double g_up_ = 0.0;
+  double g_dn_ = 0.0;
+  std::size_t n_ = 0;
+};
+
+inline EwmaCusum::EwmaCusum() : EwmaCusum(Config()) {}
+
+}  // namespace telemetry

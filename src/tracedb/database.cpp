@@ -44,6 +44,10 @@ TraceDatabase::TraceDatabase(TraceDatabase&& other) noexcept {
   metric_series_ = std::move(other.metric_series_);
   metric_samples_ = std::move(other.metric_samples_);
   latencies_ = std::move(other.latencies_);
+  windows_ = std::move(other.windows_);
+  window_sites_ = std::move(other.window_sites_);
+  alerts_ = std::move(other.alerts_);
+  window_period_ = other.window_period_;
   dropped_events_ = other.dropped_events_;
   stream_dropped_ = other.stream_dropped_;
   shards_ = std::move(other.shards_);
@@ -53,6 +57,7 @@ TraceDatabase::TraceDatabase(TraceDatabase&& other) noexcept {
   other.merge_stats_ = MergeStats{};
   other.dropped_events_ = 0;
   other.stream_dropped_ = 0;
+  other.window_period_ = 0;
 }
 
 CallIndex TraceDatabase::add_call(const CallRecord& rec) {
@@ -171,6 +176,31 @@ void TraceDatabase::set_stream_dropped(std::uint64_t n) {
 std::uint64_t TraceDatabase::stream_dropped() const {
   std::lock_guard lock(mu_);
   return stream_dropped_;
+}
+
+void TraceDatabase::set_window_period(Nanoseconds period_ns) {
+  std::lock_guard lock(mu_);
+  window_period_ = period_ns;
+}
+
+Nanoseconds TraceDatabase::window_period() const {
+  std::lock_guard lock(mu_);
+  return window_period_;
+}
+
+void TraceDatabase::add_window(const WindowRecord& rec) {
+  std::lock_guard lock(mu_);
+  windows_.push_back(rec);
+}
+
+void TraceDatabase::add_window_site(const WindowSiteRecord& rec) {
+  std::lock_guard lock(mu_);
+  window_sites_.push_back(rec);
+}
+
+void TraceDatabase::add_alert(const AlertRecord& rec) {
+  std::lock_guard lock(mu_);
+  alerts_.push_back(rec);
 }
 
 void TraceDatabase::set_merge_threads(std::size_t n) {
@@ -340,6 +370,10 @@ void TraceDatabase::clear() {
   metric_series_.clear();
   metric_samples_.clear();
   latencies_.clear();
+  windows_.clear();
+  window_sites_.clear();
+  alerts_.clear();
+  window_period_ = 0;
   dropped_events_ = 0;
   stream_dropped_ = 0;
   for (auto& s : shards_) s->reset();

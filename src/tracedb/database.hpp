@@ -84,6 +84,17 @@ class TraceDatabase {
   void set_stream_dropped(std::uint64_t n);
   [[nodiscard]] std::uint64_t stream_dropped() const;
 
+  // --- time-series tables (format v5) ---------------------------------------
+
+  /// Window length used when the online analyser cut the snapshot tables;
+  /// 0 means no windowing ran (pre-v5 files, or post-mortem-only traces).
+  void set_window_period(Nanoseconds period_ns);
+  [[nodiscard]] Nanoseconds window_period() const;
+
+  void add_window(const WindowRecord& rec);
+  void add_window_site(const WindowSiteRecord& rec);
+  void add_alert(const AlertRecord& rec);
+
   // --- sharded writer API (see shard.hpp for the lifecycle) ----------------
 
   /// Creates a new per-thread shard and returns a stable reference (shards
@@ -143,6 +154,11 @@ class TraceDatabase {
   [[nodiscard]] const std::vector<LatencyRecord>& latencies() const noexcept {
     return latencies_;
   }
+  [[nodiscard]] const std::vector<WindowRecord>& windows() const noexcept { return windows_; }
+  [[nodiscard]] const std::vector<WindowSiteRecord>& window_sites() const noexcept {
+    return window_sites_;
+  }
+  [[nodiscard]] const std::vector<AlertRecord>& alerts() const noexcept { return alerts_; }
 
   /// Total events rejected by sealed shards over the database's lifetime
   /// (accumulated at merge time, persisted in format v3).  Nonzero means the
@@ -181,6 +197,10 @@ class TraceDatabase {
   std::vector<MetricSeriesRecord> metric_series_;
   std::vector<MetricSampleRecord> metric_samples_;
   std::vector<LatencyRecord> latencies_;
+  std::vector<WindowRecord> windows_;
+  std::vector<WindowSiteRecord> window_sites_;
+  std::vector<AlertRecord> alerts_;
+  Nanoseconds window_period_ = 0;
   std::uint64_t dropped_events_ = 0;
   std::uint64_t stream_dropped_ = 0;
 

@@ -132,4 +132,33 @@ std::optional<CallKey> find_call_by_name(const TraceDatabase& db, EnclaveId encl
   return std::nullopt;
 }
 
+std::vector<WindowSiteRecord> window_series_of(const TraceDatabase& db, const CallKey& key) {
+  std::vector<WindowSiteRecord> rows;
+  for (const auto& site : db.window_sites()) {
+    if (site.enclave_id == key.enclave_id && site.type == key.type &&
+        site.call_id == key.call_id) {
+      rows.push_back(site);
+    }
+  }
+  return rows;
+}
+
+std::vector<AlertRecord> active_alerts(const TraceDatabase& db) {
+  std::vector<AlertRecord> out;
+  for (const auto& a : db.alerts()) {
+    if (a.resolved_ns == 0) out.push_back(a);
+  }
+  return out;
+}
+
+std::vector<AlertRecord> alerts_at(const TraceDatabase& db, Nanoseconds at_ns) {
+  std::vector<AlertRecord> out;
+  for (const auto& a : db.alerts()) {
+    if (a.onset_ns <= at_ns && (a.resolved_ns == 0 || at_ns < a.resolved_ns)) {
+      out.push_back(a);
+    }
+  }
+  return out;
+}
+
 }  // namespace tracedb

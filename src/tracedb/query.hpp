@@ -72,4 +72,16 @@ using CallInstances = std::vector<CallIndex>;
                                                        EnclaveId enclave,
                                                        const std::string& name);
 
+/// Per-window rows of one call site from the v5 time-series table, in
+/// window order (the "when did this site regress" view).
+[[nodiscard]] std::vector<WindowSiteRecord> window_series_of(const TraceDatabase& db,
+                                                             const CallKey& key);
+
+/// Alerts whose condition still held when the trace ended (resolved_ns == 0).
+[[nodiscard]] std::vector<AlertRecord> active_alerts(const TraceDatabase& db);
+
+/// Alerts overlapping virtual-time instant `at_ns` (onset ≤ at < resolution,
+/// with unresolved alerts open-ended) — "what was wrong at time T".
+[[nodiscard]] std::vector<AlertRecord> alerts_at(const TraceDatabase& db, Nanoseconds at_ns);
+
 }  // namespace tracedb

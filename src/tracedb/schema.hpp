@@ -149,6 +149,67 @@ struct MetricSampleRecord {
   double value = 0.0;
 };
 
+/// Typed anti-pattern alert raised by the online analyser (format v5).
+/// Values are pinned — they are persisted as a byte in the trace file.
+enum class AlertKind : std::uint8_t {
+  kShortCalls = 0,      // SISC/SDSC, Eq. 1
+  kReorderStart = 1,    // SNC reordering towards the parent's start, Eq. 2
+  kReorderEnd = 2,      // SNC reordering towards the parent's end, Eq. 2
+  kBatchable = 3,       // SNC batching, Eq. 3 (indirect parent == self)
+  kMergeable = 4,       // SNC merging, Eq. 3 (indirect parent != self)
+  kSyncContention = 5,  // SSC: short sleep/wake ocalls
+  kPaging = 6,          // EPC paging pressure
+  kTailLatency = 7,     // p99 ≫ p50 at a call site
+  kLatencyShift = 8,    // EWMA/CUSUM change-point: site latency regime moved
+};
+inline constexpr std::uint8_t kAlertKindCount = 9;
+
+/// One fixed-interval snapshot of workload-wide activity (format v5).
+/// Windows are cut on the *virtual* clock, so a replayed trace produces a
+/// byte-identical window table.
+struct WindowRecord {
+  std::uint32_t window_index = 0;
+  Nanoseconds start_ns = 0;
+  Nanoseconds end_ns = 0;
+  std::uint64_t calls = 0;          // calls completed inside the window
+  std::uint64_t aexs = 0;
+  std::uint64_t page_ins = 0;
+  std::uint64_t page_outs = 0;
+  std::uint64_t stream_dropped = 0;     // cumulative subscriber drops so far
+  std::uint64_t switchless_calls = 0;   // cumulative Urts switchless stats
+  std::uint64_t switchless_fallbacks = 0;
+  std::uint64_t switchless_wasted_ns = 0;
+  std::uint32_t active_alerts = 0;      // alerts live when the window closed
+};
+
+/// Per-site activity inside one window (format v5): rates and percentile
+/// deltas for every (enclave, type, call_id) that completed a call there.
+struct WindowSiteRecord {
+  std::uint32_t window_index = 0;
+  EnclaveId enclave_id = 0;
+  CallType type = CallType::kEcall;
+  CallId call_id = 0;
+  std::uint64_t calls = 0;      // completions inside the window
+  std::uint64_t aex_count = 0;  // AEXs attributed to those completions
+  Nanoseconds p50_ns = 0;       // window-local percentiles (HDR delta)
+  Nanoseconds p99_ns = 0;
+};
+
+/// One alert raised by the online analyser (format v5).  `resolved_ns == 0`
+/// means the condition still held when the trace ended.
+struct AlertRecord {
+  AlertKind kind = AlertKind::kShortCalls;
+  EnclaveId enclave_id = 0;
+  CallType type = CallType::kEcall;
+  CallId call_id = 0;
+  Nanoseconds onset_ns = 0;     // virtual time the threshold was first crossed
+  Nanoseconds resolved_ns = 0;  // 0 while active
+  std::uint32_t window_index = 0;  // window during which the alert fired
+  /// Kind-specific magnitude: Eq. 1/2/3 score ×1000, paging event count,
+  /// tail p99/p50 ratio ×1000, CUSUM deviation ×1000.
+  std::uint64_t detail = 0;
+};
+
 /// Sparse HDR latency histogram for one (enclave, type, call_id) call site
 /// (format v4).  Buckets follow the fixed telemetry::hdr geometry — the
 /// file header records (sub_bits, max_exponent) and the loader validates

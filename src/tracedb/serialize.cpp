@@ -1,17 +1,21 @@
-// Binary persistence (formats v2/v3/v4) and CSV export for TraceDatabase.
+// Binary persistence (formats v2/v3/v4/v5) and CSV export for TraceDatabase.
 //
-// Layout: magic "SGXPTRC4", then per table a u64 row count followed by rows.
+// Layout: magic "SGXPTRC5", then per table a u64 row count followed by rows.
 // v2 added the AEX cause byte; v3 appends the dropped-event count and the
 // telemetry tables (metric series, metric samples) after the v2 payload;
 // v4 appends the streaming-drop count and the sparse HDR latency table
-// after the v3 payload.  Each older format is exactly a newer file that
-// ends early — load() accepts all three magics and leaves the newer fields
-// at their defaults for older input.  v1 files are rejected by the magic
-// check.  Integers are little-endian fixed-width; strings are
-// u32-length-prefixed; metric values are IEEE-754 doubles stored as their
-// u64 bit pattern.  The latency table header records the compiled HDR
-// bucket geometry (sub_bits, max_exponent); load() rejects mismatches
-// rather than misinterpret bucket indices.
+// after the v3 payload; v5 appends the online-analysis time-series tables
+// (window period, window snapshots, per-site window rows, alerts) after the
+// v4 payload.  Each older format is exactly a newer file that ends early —
+// load() accepts all four magics and leaves the newer fields at their
+// defaults for older input.  v1 files are rejected by the magic check.
+// Integers are little-endian fixed-width; strings are u32-length-prefixed;
+// metric values are IEEE-754 doubles stored as their u64 bit pattern.  The
+// latency table header records the compiled HDR bucket geometry (sub_bits,
+// max_exponent); load() rejects mismatches rather than misinterpret bucket
+// indices.  The v5 tables are validated structurally: alert kind bytes must
+// be in range, window intervals must be well-formed, and per-table row
+// counts are bounded against the implausible.
 #include <bit>
 #include <cstdint>
 #include <cstdio>
@@ -29,6 +33,11 @@ namespace {
 constexpr char kMagicV2[8] = {'S', 'G', 'X', 'P', 'T', 'R', 'C', '2'};
 constexpr char kMagicV3[8] = {'S', 'G', 'X', 'P', 'T', 'R', 'C', '3'};
 constexpr char kMagicV4[8] = {'S', 'G', 'X', 'P', 'T', 'R', 'C', '4'};
+constexpr char kMagicV5[8] = {'S', 'G', 'X', 'P', 'T', 'R', 'C', '5'};
+
+/// Ceiling on v5 table row counts: far above any real trace, small enough
+/// that a corrupt count fails fast instead of reserving petabytes.
+constexpr std::uint64_t kMaxV5Rows = 1ull << 32;
 
 bool magic_is(const char (&magic)[8], const char (&want)[8]) {
   for (std::size_t i = 0; i < 8; ++i) {
@@ -121,7 +130,7 @@ void TraceDatabase::save(const std::string& path) const {
     }
   }
   Writer w(path);
-  w.bytes(kMagicV4, sizeof(kMagicV4));
+  w.bytes(kMagicV5, sizeof(kMagicV5));
 
   w.u64(calls_.size());
   for (const auto& c : calls_) {
@@ -216,13 +225,57 @@ void TraceDatabase::save(const std::string& path) const {
       w.u64(n);
     }
   }
+
+  // --- v5 additions ---------------------------------------------------------
+  w.u64(window_period_);
+
+  w.u64(windows_.size());
+  for (const auto& win : windows_) {
+    w.u32(win.window_index);
+    w.u64(win.start_ns);
+    w.u64(win.end_ns);
+    w.u64(win.calls);
+    w.u64(win.aexs);
+    w.u64(win.page_ins);
+    w.u64(win.page_outs);
+    w.u64(win.stream_dropped);
+    w.u64(win.switchless_calls);
+    w.u64(win.switchless_fallbacks);
+    w.u64(win.switchless_wasted_ns);
+    w.u32(win.active_alerts);
+  }
+
+  w.u64(window_sites_.size());
+  for (const auto& site : window_sites_) {
+    w.u32(site.window_index);
+    w.u64(site.enclave_id);
+    w.u8(static_cast<std::uint8_t>(site.type));
+    w.u32(site.call_id);
+    w.u64(site.calls);
+    w.u64(site.aex_count);
+    w.u64(site.p50_ns);
+    w.u64(site.p99_ns);
+  }
+
+  w.u64(alerts_.size());
+  for (const auto& alert : alerts_) {
+    w.u8(static_cast<std::uint8_t>(alert.kind));
+    w.u64(alert.enclave_id);
+    w.u8(static_cast<std::uint8_t>(alert.type));
+    w.u32(alert.call_id);
+    w.u64(alert.onset_ns);
+    w.u64(alert.resolved_ns);
+    w.u32(alert.window_index);
+    w.u64(alert.detail);
+  }
 }
 
 TraceDatabase TraceDatabase::load(const std::string& path) {
   Reader r(path);
   char magic[8];
   r.bytes(magic, sizeof(magic));
-  const bool v4 = magic_is(magic, kMagicV4);
+  const bool v5 = magic_is(magic, kMagicV5);
+  const bool v4 = v5 || magic_is(magic, kMagicV4);
   const bool v3 = v4 || magic_is(magic, kMagicV3);
   if (!v3 && !magic_is(magic, kMagicV2)) {
     throw std::runtime_error("tracedb: bad magic in " + path);
@@ -360,6 +413,81 @@ TraceDatabase TraceDatabase::load(const std::string& path) {
     }
   }
 
+  if (v5) {
+    db.window_period_ = r.u64();
+
+    const std::uint64_t n_windows = r.u64();
+    if (n_windows > kMaxV5Rows) {
+      throw std::runtime_error("tracedb: implausible window count in " + path);
+    }
+    db.windows_.reserve(n_windows);
+    for (std::uint64_t i = 0; i < n_windows; ++i) {
+      WindowRecord win;
+      win.window_index = r.u32();
+      win.start_ns = r.u64();
+      win.end_ns = r.u64();
+      win.calls = r.u64();
+      win.aexs = r.u64();
+      win.page_ins = r.u64();
+      win.page_outs = r.u64();
+      win.stream_dropped = r.u64();
+      win.switchless_calls = r.u64();
+      win.switchless_fallbacks = r.u64();
+      win.switchless_wasted_ns = r.u64();
+      win.active_alerts = r.u32();
+      if (win.end_ns < win.start_ns) {
+        throw std::runtime_error("tracedb: malformed window interval in " + path);
+      }
+      db.windows_.push_back(win);
+    }
+
+    const std::uint64_t n_sites = r.u64();
+    if (n_sites > kMaxV5Rows) {
+      throw std::runtime_error("tracedb: implausible window-site count in " + path);
+    }
+    db.window_sites_.reserve(n_sites);
+    for (std::uint64_t i = 0; i < n_sites; ++i) {
+      WindowSiteRecord site;
+      site.window_index = r.u32();
+      site.enclave_id = r.u64();
+      site.type = static_cast<CallType>(r.u8());
+      site.call_id = r.u32();
+      site.calls = r.u64();
+      site.aex_count = r.u64();
+      site.p50_ns = r.u64();
+      site.p99_ns = r.u64();
+      if (site.window_index >= db.windows_.size()) {
+        throw std::runtime_error("tracedb: window-site references unknown window in " + path);
+      }
+      db.window_sites_.push_back(site);
+    }
+
+    const std::uint64_t n_alerts = r.u64();
+    if (n_alerts > kMaxV5Rows) {
+      throw std::runtime_error("tracedb: implausible alert count in " + path);
+    }
+    db.alerts_.reserve(n_alerts);
+    for (std::uint64_t i = 0; i < n_alerts; ++i) {
+      AlertRecord alert;
+      const std::uint8_t kind = r.u8();
+      if (kind >= kAlertKindCount) {
+        throw std::runtime_error("tracedb: unknown alert kind in " + path);
+      }
+      alert.kind = static_cast<AlertKind>(kind);
+      alert.enclave_id = r.u64();
+      alert.type = static_cast<CallType>(r.u8());
+      alert.call_id = r.u32();
+      alert.onset_ns = r.u64();
+      alert.resolved_ns = r.u64();
+      alert.window_index = r.u32();
+      alert.detail = r.u64();
+      if (alert.resolved_ns != 0 && alert.resolved_ns < alert.onset_ns) {
+        throw std::runtime_error("tracedb: alert resolved before onset in " + path);
+      }
+      db.alerts_.push_back(alert);
+    }
+  }
+
   return db;
 }
 
@@ -477,6 +605,52 @@ void TraceDatabase::export_csv(const std::string& directory) const {
                    static_cast<unsigned long long>(snap.value_at_percentile(90)),
                    static_cast<unsigned long long>(snap.value_at_percentile(99)),
                    static_cast<unsigned long long>(snap.value_at_percentile(99.9)));
+    }
+  }
+  {
+    FilePtr f = open("windows.csv");
+    std::fprintf(f.get(),
+                 "window_index,start_ns,end_ns,calls,aexs,page_ins,page_outs,stream_dropped,"
+                 "switchless_calls,switchless_fallbacks,switchless_wasted_ns,active_alerts\n");
+    for (const auto& w : windows_) {
+      std::fprintf(f.get(), "%u,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%u\n",
+                   w.window_index, static_cast<unsigned long long>(w.start_ns),
+                   static_cast<unsigned long long>(w.end_ns),
+                   static_cast<unsigned long long>(w.calls),
+                   static_cast<unsigned long long>(w.aexs),
+                   static_cast<unsigned long long>(w.page_ins),
+                   static_cast<unsigned long long>(w.page_outs),
+                   static_cast<unsigned long long>(w.stream_dropped),
+                   static_cast<unsigned long long>(w.switchless_calls),
+                   static_cast<unsigned long long>(w.switchless_fallbacks),
+                   static_cast<unsigned long long>(w.switchless_wasted_ns), w.active_alerts);
+    }
+  }
+  {
+    FilePtr f = open("window_sites.csv");
+    std::fprintf(f.get(),
+                 "window_index,enclave_id,type,call_id,calls,aex_count,p50_ns,p99_ns\n");
+    for (const auto& s : window_sites_) {
+      std::fprintf(f.get(), "%u,%llu,%s,%u,%llu,%llu,%llu,%llu\n", s.window_index,
+                   static_cast<unsigned long long>(s.enclave_id),
+                   s.type == CallType::kEcall ? "ecall" : "ocall", s.call_id,
+                   static_cast<unsigned long long>(s.calls),
+                   static_cast<unsigned long long>(s.aex_count),
+                   static_cast<unsigned long long>(s.p50_ns),
+                   static_cast<unsigned long long>(s.p99_ns));
+    }
+  }
+  {
+    FilePtr f = open("alerts.csv");
+    std::fprintf(f.get(),
+                 "kind,enclave_id,type,call_id,onset_ns,resolved_ns,window_index,detail\n");
+    for (const auto& a : alerts_) {
+      std::fprintf(f.get(), "%u,%llu,%s,%u,%llu,%llu,%u,%llu\n",
+                   static_cast<unsigned>(a.kind), static_cast<unsigned long long>(a.enclave_id),
+                   a.type == CallType::kEcall ? "ecall" : "ocall", a.call_id,
+                   static_cast<unsigned long long>(a.onset_ns),
+                   static_cast<unsigned long long>(a.resolved_ns), a.window_index,
+                   static_cast<unsigned long long>(a.detail));
     }
   }
 }

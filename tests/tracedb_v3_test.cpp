@@ -1,6 +1,7 @@
 // Binary format v3: the telemetry appendix round-trips byte-identically and
 // v2 files (written before the appendix existed) still load cleanly with the
-// v3 fields at their defaults.
+// v3 fields at their defaults.  (save() always writes the current format —
+// v5 since the time-series tables landed; tracedb_v5_test.cpp covers those.)
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -133,7 +134,7 @@ TEST(FormatV3, RoundTripsByteIdentically) {
   const std::string bytes_b = slurp(path_b);
   ASSERT_FALSE(bytes_a.empty());
   EXPECT_EQ(bytes_a, bytes_b);
-  EXPECT_EQ(bytes_a.substr(0, 8), "SGXPTRC4");
+  EXPECT_EQ(bytes_a.substr(0, 8), "SGXPTRC5");
   std::filesystem::remove(path_a);
   std::filesystem::remove(path_b);
 }

@@ -1,0 +1,354 @@
+// Binary format v5: the window/alert time-series tables round-trip
+// byte-identically, every older format (v2/v3/v4) still loads with the v5
+// tables absent-but-valid, and corrupt v5 payloads (bad alert kind, malformed
+// window interval, dangling window reference, implausible row counts,
+// truncation) are rejected instead of being half-loaded.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "telemetry/hdr_histogram.hpp"
+#include "tracedb/database.hpp"
+
+namespace {
+
+using tracedb::AlertKind;
+using tracedb::AlertRecord;
+using tracedb::CallRecord;
+using tracedb::CallType;
+using tracedb::TraceDatabase;
+using tracedb::WindowRecord;
+using tracedb::WindowSiteRecord;
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+}
+
+void spill(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Little-endian byte assembler mirroring the serializer's Writer, but into
+/// memory — so fixtures can be truncated or corrupted at exact offsets.
+struct Buf {
+  std::string bytes;
+
+  void raw(const void* p, std::size_t n) {
+    bytes.append(static_cast<const char*>(p), n);
+  }
+  void u8(std::uint8_t v) { raw(&v, 1); }
+  void u32(std::uint32_t v) { raw(&v, 4); }
+  void u64(std::uint64_t v) { raw(&v, 8); }
+  void i64(std::int64_t v) { raw(&v, 8); }
+};
+
+/// Appends the six empty v2 tables (calls..call_names).
+void empty_v2_tables(Buf& b) {
+  for (int t = 0; t < 6; ++t) b.u64(0);
+}
+
+/// Appends the empty v3 appendix (dropped count + metric tables).
+void empty_v3_tables(Buf& b) {
+  b.u64(0);  // dropped_events
+  b.u64(0);  // metric_series
+  b.u64(0);  // metric_samples
+}
+
+/// Appends the empty v4 appendix (stream drops + HDR geometry + latencies).
+void empty_v4_tables(Buf& b) {
+  b.u64(0);  // stream_dropped
+  b.u8(static_cast<std::uint8_t>(telemetry::hdr::kSubBits));
+  b.u8(static_cast<std::uint8_t>(telemetry::hdr::kMaxExponent));
+  b.u64(0);  // latencies
+}
+
+/// A minimal well-formed v5 payload: one window, one site row, one alert.
+void small_v5_tables(Buf& b) {
+  b.u64(1'000'000);  // window_period
+  b.u64(1);          // windows
+  b.u32(0);          //   window_index
+  b.u64(0);          //   start_ns
+  b.u64(1'000'000);  //   end_ns
+  b.u64(4);          //   calls
+  b.u64(1);          //   aexs
+  b.u64(0);          //   page_ins
+  b.u64(0);          //   page_outs
+  b.u64(0);          //   stream_dropped
+  b.u64(2);          //   switchless_calls
+  b.u64(1);          //   switchless_fallbacks
+  b.u64(500);        //   switchless_wasted_ns
+  b.u32(1);          //   active_alerts
+  b.u64(1);          // window_sites
+  b.u32(0);          //   window_index
+  b.u64(1);          //   enclave_id
+  b.u8(1);           //   type = ocall
+  b.u32(7);          //   call_id
+  b.u64(4);          //   calls
+  b.u64(1);          //   aex_count
+  b.u64(800);        //   p50_ns
+  b.u64(1600);       //   p99_ns
+  b.u64(1);          // alerts
+  b.u8(0);           //   kind = short_calls
+  b.u64(1);          //   enclave_id
+  b.u8(1);           //   type = ocall
+  b.u32(7);          //   call_id
+  b.u64(123'456);    //   onset_ns
+  b.u64(0);          //   resolved_ns (active)
+  b.u32(0);          //   window_index
+  b.u64(1000);       //   detail
+}
+
+TEST(FormatV5, RoundTripsByteIdentically) {
+  TraceDatabase original;
+  CallRecord c;
+  c.type = CallType::kEcall;
+  c.thread_id = 1;
+  c.enclave_id = 1;
+  c.call_id = 0;
+  c.start_ns = 10;
+  c.end_ns = 4215;
+  original.add_call(c);
+
+  original.set_window_period(1'000'000);
+  WindowRecord w0;
+  w0.window_index = 0;
+  w0.start_ns = 0;
+  w0.end_ns = 1'000'000;
+  w0.calls = 3;
+  w0.aexs = 1;
+  w0.switchless_calls = 5;
+  w0.switchless_fallbacks = 2;
+  w0.switchless_wasted_ns = 900;
+  w0.active_alerts = 1;
+  original.add_window(w0);
+  WindowRecord w1 = w0;
+  w1.window_index = 1;
+  w1.start_ns = 1'000'000;
+  w1.end_ns = 2'000'000;
+  w1.calls = 0;
+  w1.active_alerts = 2;
+  original.add_window(w1);
+
+  WindowSiteRecord s;
+  s.window_index = 1;
+  s.enclave_id = 1;
+  s.type = CallType::kOcall;
+  s.call_id = 7;
+  s.calls = 12;
+  s.aex_count = 3;
+  s.p50_ns = 750;
+  s.p99_ns = 9'000;
+  original.add_window_site(s);
+
+  AlertRecord active;
+  active.kind = AlertKind::kShortCalls;
+  active.enclave_id = 1;
+  active.type = CallType::kOcall;
+  active.call_id = 7;
+  active.onset_ns = 1'234'567;
+  active.window_index = 1;
+  active.detail = 812;
+  original.add_alert(active);
+  AlertRecord resolved = active;
+  resolved.kind = AlertKind::kLatencyShift;
+  resolved.resolved_ns = 2'000'000;
+  original.add_alert(resolved);
+
+  const std::string path_a = temp_path("tracedb_v5_a.bin");
+  const std::string path_b = temp_path("tracedb_v5_b.bin");
+  original.save(path_a);
+
+  const TraceDatabase reloaded = TraceDatabase::load(path_a);
+  EXPECT_EQ(reloaded.window_period(), 1'000'000u);
+  ASSERT_EQ(reloaded.windows().size(), 2u);
+  EXPECT_EQ(reloaded.windows()[0].switchless_calls, 5u);
+  EXPECT_EQ(reloaded.windows()[0].switchless_wasted_ns, 900u);
+  EXPECT_EQ(reloaded.windows()[1].active_alerts, 2u);
+  ASSERT_EQ(reloaded.window_sites().size(), 1u);
+  EXPECT_EQ(reloaded.window_sites()[0].window_index, 1u);
+  EXPECT_EQ(reloaded.window_sites()[0].p99_ns, 9'000u);
+  ASSERT_EQ(reloaded.alerts().size(), 2u);
+  EXPECT_EQ(reloaded.alerts()[0].kind, AlertKind::kShortCalls);
+  EXPECT_EQ(reloaded.alerts()[0].resolved_ns, 0u);
+  EXPECT_EQ(reloaded.alerts()[1].kind, AlertKind::kLatencyShift);
+  EXPECT_EQ(reloaded.alerts()[1].resolved_ns, 2'000'000u);
+
+  reloaded.save(path_b);
+  const std::string bytes_a = slurp(path_a);
+  const std::string bytes_b = slurp(path_b);
+  ASSERT_FALSE(bytes_a.empty());
+  EXPECT_EQ(bytes_a, bytes_b);
+  EXPECT_EQ(bytes_a.substr(0, 8), "SGXPTRC5");
+  std::filesystem::remove(path_a);
+  std::filesystem::remove(path_b);
+}
+
+// --- older formats stay loadable -------------------------------------------
+
+TEST(FormatV5, LoadsV2FixtureWithEmptyTimeSeries) {
+  Buf b;
+  b.raw("SGXPTRC2", 8);
+  empty_v2_tables(b);
+  const std::string path = temp_path("tracedb_v5_from_v2.bin");
+  spill(path, b.bytes);
+  const TraceDatabase db = TraceDatabase::load(path);
+  EXPECT_EQ(db.window_period(), 0u);
+  EXPECT_TRUE(db.windows().empty());
+  EXPECT_TRUE(db.window_sites().empty());
+  EXPECT_TRUE(db.alerts().empty());
+  std::filesystem::remove(path);
+}
+
+TEST(FormatV5, LoadsV3FixtureWithEmptyTimeSeries) {
+  Buf b;
+  b.raw("SGXPTRC3", 8);
+  empty_v2_tables(b);
+  empty_v3_tables(b);
+  const std::string path = temp_path("tracedb_v5_from_v3.bin");
+  spill(path, b.bytes);
+  const TraceDatabase db = TraceDatabase::load(path);
+  EXPECT_EQ(db.window_period(), 0u);
+  EXPECT_TRUE(db.windows().empty());
+  EXPECT_TRUE(db.alerts().empty());
+  std::filesystem::remove(path);
+}
+
+TEST(FormatV5, LoadsV4FixtureWithEmptyTimeSeries) {
+  Buf b;
+  b.raw("SGXPTRC4", 8);
+  empty_v2_tables(b);
+  empty_v3_tables(b);
+  empty_v4_tables(b);
+  const std::string path = temp_path("tracedb_v5_from_v4.bin");
+  spill(path, b.bytes);
+  const TraceDatabase db = TraceDatabase::load(path);
+  EXPECT_EQ(db.window_period(), 0u);
+  EXPECT_TRUE(db.windows().empty());
+  EXPECT_TRUE(db.window_sites().empty());
+  EXPECT_TRUE(db.alerts().empty());
+  std::filesystem::remove(path);
+}
+
+// --- rejection paths --------------------------------------------------------
+
+std::string v5_fixture_bytes() {
+  Buf b;
+  b.raw("SGXPTRC5", 8);
+  empty_v2_tables(b);
+  empty_v3_tables(b);
+  empty_v4_tables(b);
+  small_v5_tables(b);
+  return b.bytes;
+}
+
+TEST(FormatV5, WellFormedFixtureLoads) {
+  const std::string path = temp_path("tracedb_v5_fixture.bin");
+  spill(path, v5_fixture_bytes());
+  const TraceDatabase db = TraceDatabase::load(path);
+  ASSERT_EQ(db.windows().size(), 1u);
+  ASSERT_EQ(db.window_sites().size(), 1u);
+  ASSERT_EQ(db.alerts().size(), 1u);
+  EXPECT_EQ(db.alerts()[0].onset_ns, 123'456u);
+  std::filesystem::remove(path);
+}
+
+TEST(FormatV5, RejectsUnknownAlertKindByte) {
+  std::string bytes = v5_fixture_bytes();
+  // The alert row starts right after the alerts count; its first byte is the
+  // kind.  The alert table is the last table, so the row's kind byte sits
+  // 34 bytes (u8 + u64 + u8 + u32 + u64*3 + u32... = full row 42 bytes)
+  // before EOF: row = kind(1) + enclave(8) + type(1) + call_id(4) +
+  // onset(8) + resolved(8) + window(4) + detail(8) = 42.
+  bytes[bytes.size() - 42] = static_cast<char>(9);  // kAlertKindCount
+  const std::string path = temp_path("tracedb_v5_bad_kind.bin");
+  spill(path, bytes);
+  EXPECT_THROW((void)TraceDatabase::load(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(FormatV5, RejectsWindowIntervalEndBeforeStart) {
+  Buf b;
+  b.raw("SGXPTRC5", 8);
+  empty_v2_tables(b);
+  empty_v3_tables(b);
+  empty_v4_tables(b);
+  b.u64(1'000'000);  // window_period
+  b.u64(1);          // windows
+  b.u32(0);
+  b.u64(2'000'000);  // start_ns
+  b.u64(1'000'000);  // end_ns < start_ns: malformed
+  for (int i = 0; i < 8; ++i) b.u64(0);
+  b.u32(0);
+  b.u64(0);  // window_sites
+  b.u64(0);  // alerts
+  const std::string path = temp_path("tracedb_v5_bad_interval.bin");
+  spill(path, b.bytes);
+  EXPECT_THROW((void)TraceDatabase::load(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(FormatV5, RejectsSiteReferencingUnknownWindow) {
+  Buf b;
+  b.raw("SGXPTRC5", 8);
+  empty_v2_tables(b);
+  empty_v3_tables(b);
+  empty_v4_tables(b);
+  b.u64(1'000'000);  // window_period
+  b.u64(0);          // windows: none
+  b.u64(1);          // window_sites: one, referencing window 3
+  b.u32(3);
+  b.u64(1);
+  b.u8(0);
+  b.u32(0);
+  b.u64(1);
+  b.u64(0);
+  b.u64(100);
+  b.u64(200);
+  b.u64(0);  // alerts
+  const std::string path = temp_path("tracedb_v5_dangling_site.bin");
+  spill(path, b.bytes);
+  EXPECT_THROW((void)TraceDatabase::load(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(FormatV5, RejectsImplausibleRowCounts) {
+  Buf b;
+  b.raw("SGXPTRC5", 8);
+  empty_v2_tables(b);
+  empty_v3_tables(b);
+  empty_v4_tables(b);
+  b.u64(1'000'000);       // window_period
+  b.u64(1ull << 33);      // windows count > kMaxV5Rows: must fail fast,
+                          // before any allocation is attempted
+  const std::string path = temp_path("tracedb_v5_huge_count.bin");
+  spill(path, b.bytes);
+  EXPECT_THROW((void)TraceDatabase::load(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(FormatV5, RejectsTruncatedFiles) {
+  const std::string full = v5_fixture_bytes();
+  // Cut at several depths: mid-alert-row, mid-window-row, and right after
+  // the magic — every prefix must throw, never half-load.
+  for (const std::size_t keep :
+       {full.size() - 4, full.size() - 42, full.size() - 100, std::size_t{8}}) {
+    const std::string path = temp_path("tracedb_v5_truncated.bin");
+    spill(path, full.substr(0, keep));
+    EXPECT_THROW((void)TraceDatabase::load(path), std::runtime_error)
+        << "prefix of " << keep << " bytes should be rejected";
+    std::filesystem::remove(path);
+  }
+}
+
+}  // namespace

@@ -7,11 +7,19 @@
 #      zero heap errors / leaks,
 #   4. UBSan build (-DSGXPERF_SANITIZE=undefined) with recovery disabled, so
 #      any undefined behaviour aborts the test that triggered it.
-# The plain build then runs the bench suite in --smoke mode and validates
-# every BENCH_*.json artefact with tools/json_check, plus a flamegraph
-# golden check: `sgxperf flamegraph` over a deterministic single-threaded
-# recording must reproduce tests/golden/flamegraph_demo.txt byte-for-byte
-# (tools/stack_check also validates the collapsed-stack grammar).
+# The plain build then runs the full bench suite in --smoke mode with
+# --out-dir pointed at the repo root (so the BENCH_*.json trajectory is
+# refreshed in place and can be committed), validates every artefact with
+# tools/json_check, and runs a flamegraph golden check: `sgxperf flamegraph`
+# over a deterministic single-threaded recording must reproduce
+# tests/golden/flamegraph_demo.txt byte-for-byte (tools/stack_check also
+# validates the collapsed-stack grammar).
+#
+# Every build (plain + all three sanitizer legs) additionally runs a bounded
+# `sgxperf monitor` soak: a deterministic single-threaded demo workload whose
+# streamed alert log must match tests/golden/monitor_demo_alerts.txt
+# byte-for-byte — virtual time makes the online analyser's alert onsets
+# reproducible, so any drift is a real behaviour change.
 #
 # Usage: tools/ci.sh [jobs]   (run from the repository root)
 set -eu
@@ -19,12 +27,28 @@ set -eu
 jobs="${1:-$(nproc 2>/dev/null || echo 2)}"
 root="$(cd "$(dirname "$0")/.." && pwd)"
 
+monitor_soak() {
+  build_dir="$1"
+  soak_dir="$build_dir/monitor-soak"
+  rm -rf "$soak_dir"
+  mkdir -p "$soak_dir"
+  "$build_dir/tools/sgxperf" monitor --threads 1 --calls 60 --window 100000 \
+    --alert-log "$soak_dir/alerts.txt" --out "$soak_dir/soak.bin" >/dev/null 2>/dev/null
+  if ! cmp -s "$soak_dir/alerts.txt" "$root/tests/golden/monitor_demo_alerts.txt"; then
+    echo "error: monitor soak alert log diverged from the golden:" >&2
+    diff -u "$root/tests/golden/monitor_demo_alerts.txt" "$soak_dir/alerts.txt" >&2 || true
+    exit 1
+  fi
+  echo "monitor soak alert log matches golden"
+}
+
 run_suite() {
   build_dir="$1"
   shift
   cmake -S "$root" -B "$build_dir" "$@" >/dev/null
   cmake --build "$build_dir" -j "$jobs"
   ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
+  monitor_soak "$build_dir"
 }
 
 echo "=== plain build ==="
@@ -34,21 +58,24 @@ echo "=== bench smoke run (JSON artefacts) ==="
 smoke_dir="$root/build/bench-smoke"
 rm -rf "$smoke_dir"
 mkdir -p "$smoke_dir"
-for bench in bench_transitions bench_logger_overhead bench_paging \
-             bench_switchless bench_sync bench_merge bench_replay; do
+benches="bench_transitions bench_logger_overhead bench_paging bench_switchless \
+         bench_sync bench_merge bench_replay bench_analyzer bench_glamdring \
+         bench_securekeeper bench_sqlite bench_talos bench_online"
+for bench in $benches; do
   echo "--- $bench --smoke"
-  (cd "$smoke_dir" && "$root/build/bench/$bench" --smoke >/dev/null)
+  (cd "$smoke_dir" && "$root/build/bench/$bench" --smoke --out-dir "$root" >/dev/null)
 done
 count=0
-for artefact in "$smoke_dir"/BENCH_*.json; do
+for bench in $benches; do
+  artefact="$root/BENCH_${bench#bench_}.json"
+  if [ ! -f "$artefact" ]; then
+    echo "error: $bench did not write $artefact" >&2
+    exit 1
+  fi
   "$root/build/tools/json_check" "$artefact"
   count=$((count + 1))
 done
-if [ "$count" -lt 5 ]; then
-  echo "error: expected at least 5 BENCH_*.json artefacts, got $count" >&2
-  exit 1
-fi
-echo "$count bench artefacts valid"
+echo "$count bench artefacts valid (refreshed in $root)"
 
 echo "=== flamegraph golden check ==="
 # Single-threaded demo recording: virtual time makes it fully deterministic,

@@ -17,6 +17,7 @@
 //   sgxperf flamegraph <trace.bin> [--tree]                   collapsed stacks
 //   sgxperf record  <out.bin> [--threads N] [--calls N]       demo recording
 //   sgxperf top     [--workload demo|kv|db] [--frames N]      live monitor
+//   sgxperf monitor [--workload demo|kv|db] [--window NS]     online detection daemon
 //
 // `record` exercises the first half on a built-in multi-threaded workload:
 // it attaches the logger (sharded per-thread buffers), runs N threads of
@@ -28,6 +29,12 @@
 // but live.  It attaches the logger to a running workload, subscribes to the
 // lock-free event stream and repaints calls/s, per-site latency percentiles,
 // AEX rate and EPC residency while the workload is still in flight.
+//
+// `monitor` is `top`'s daemon sibling: instead of rendering frames it feeds
+// the stream into the online analyser (perf/online.hpp), emits every alert
+// transition as a JSON line on stderr the moment the predicate flips, and
+// persists the windowed time-series + alert history as a v5 trace.  On a
+// quiesced run its end-of-run verdicts equal `sgxperf report`'s findings.
 //
 // Weights of the Eq. 1-3 detectors are tunable: --eq1-alpha 0.5 etc.
 #include <unistd.h>
@@ -51,6 +58,7 @@
 #include "perf/compare.hpp"
 #include "perf/live.hpp"
 #include "perf/logger.hpp"
+#include "perf/online.hpp"
 #include "perf/timeline.hpp"
 #include "perf/report.hpp"
 #include "replay/engine.hpp"
@@ -78,9 +86,12 @@ struct Options {
   support::Nanoseconds sample_ns = 0;  // 0 = telemetry sampling off
   bool json = false;
   bool tree = false;                   // flamegraph: indented tree, not stacks
-  std::string workload = "demo";       // top: demo | kv | db
+  std::string workload = "demo";       // top/monitor: demo | kv | db
   std::size_t frames = 5;              // top: frames to render
-  std::size_t interval_ms = 100;       // top: wall-clock delay between frames
+  std::size_t interval_ms = 100;       // top/monitor: wall-clock poll interval
+  support::Nanoseconds window_ns = 0;  // top/monitor: aggregation window (0 = default)
+  std::string alert_log_path;          // monitor: duplicate alert JSON-lines here
+  std::string out_path;                // monitor: save the v5 trace here
   // whatif / compare --whatif scenario flags
   std::string switchless_site;
   std::string eliminate_site;
@@ -112,7 +123,11 @@ void usage() {
       "  flamegraph  collapsed call stacks for flamegraph.pl  (--tree for ASCII tree)\n"
       "  record   record a demo workload          (record <out.bin> [--threads N] [--calls N])\n"
       "  top      live monitor over a running workload (top [--workload demo|kv|db]\n"
-      "           [--frames N] [--interval-ms N] [--threads N] [--calls N])\n"
+      "           [--frames N] [--interval N] [--window NS] [--threads N] [--calls N])\n"
+      "  monitor  online anti-pattern detection over a running workload:\n"
+      "           monitor [--workload demo|kv|db] [--threads N] [--calls N]\n"
+      "           [--window NS] [--interval N] [--alert-log FILE] [--out trace.bin] [--json]\n"
+      "           alerts stream to stderr as JSON lines; --out saves the v5 trace\n"
       "  whatif   predict speedups by replaying the trace under a scenario:\n"
       "           whatif <trace.bin> [--switchless SITE [--workers N|A..B]]\n"
       "           [--eliminate SITE] [--merge SITE] [--cost-profile P] [--epc-mb N]\n"
@@ -130,9 +145,14 @@ void usage() {
       "  --sample-ns N     (record) telemetry sample period, virtual ns (0 = off)\n"
       "  --json            (record, stats) machine-readable JSON on stdout\n"
       "  --tree            (flamegraph) indented call tree instead of collapsed stacks\n"
-      "  --workload W      (top) workload to drive: demo, kv (minikv), db (minidb)\n"
+      "  --workload W      (top, monitor) workload to drive: demo, kv (minikv), db (minidb)\n"
       "  --frames N        (top) frames to render before exiting (default 5)\n"
-      "  --interval-ms N   (top) wall-clock delay between frames (default 100)\n"
+      "  --interval N      (top, monitor) wall-clock poll/repaint interval in ms\n"
+      "                    (default 100; --interval-ms is an alias)\n"
+      "  --window NS       (top, monitor) aggregation window in virtual ns\n"
+      "                    (top default: cumulative; monitor default: 1000000 = 1ms)\n"
+      "  --alert-log FILE  (monitor) also append alert JSON lines to FILE\n"
+      "  --out FILE        (monitor) save the v5 trace (windows + alerts) to FILE\n"
       "  --switchless SITE (whatif) serve SITE via in-enclave workers; sweeps --workers\n"
       "  --workers N|A..B  (whatif) worker count or sweep range (default 1..8)\n"
       "  --eliminate SITE  (whatif) remove SITE's transition overhead entirely\n"
@@ -150,8 +170,8 @@ bool parse_args(int argc, char** argv, Options& opts) {
   if (argc < 2) return false;
   opts.command = argv[1];
   int i;
-  if (opts.command == "top") {
-    i = 2;  // `top` drives its own workload — no trace path argument
+  if (opts.command == "top" || opts.command == "monitor") {
+    i = 2;  // these drive their own workload — no trace path argument
   } else {
     if (argc < 3) return false;
     opts.trace_path = argv[2];
@@ -235,8 +255,14 @@ bool parse_args(int argc, char** argv, Options& opts) {
       opts.workload = next();
     } else if (arg == "--frames") {
       opts.frames = std::strtoul(next(), nullptr, 10);
-    } else if (arg == "--interval-ms") {
+    } else if (arg == "--interval" || arg == "--interval-ms") {
       opts.interval_ms = std::strtoul(next(), nullptr, 10);
+    } else if (arg == "--window") {
+      opts.window_ns = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--alert-log") {
+      opts.alert_log_path = next();
+    } else if (arg == "--out") {
+      opts.out_path = next();
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       return false;
@@ -343,6 +369,41 @@ int run_record(const Options& opts) {
   return 0;
 }
 
+/// Validates the `--workload` name shared by `top` and `monitor`.
+bool check_workload(const Options& opts) {
+  if (opts.workload == "demo" || opts.workload == "kv" || opts.workload == "db") return true;
+  std::fprintf(stderr, "error: unknown workload '%s' (demo, kv, db)\n", opts.workload.c_str());
+  return false;
+}
+
+/// Drives the selected built-in workload to completion — the body of the
+/// worker thread `top` and `monitor` observe from the consumer side.
+void run_named_workload(sgxsim::Urts& urts, const Options& opts) {
+  if (opts.workload == "kv") {
+    minikv::Store store(urts.clock());
+    minikv::KvProxy proxy(urts, store);
+    minikv::DriverConfig config;
+    config.clients = opts.threads;
+    config.ops_per_client = opts.calls;
+    minikv::run_workload(proxy, config);
+  } else if (opts.workload == "db") {
+    minidb::HostVfs vfs(urts.clock());
+    minidb::DbEnclave dbe(urts, vfs, minidb::WriteMode::kSeekThenWrite);
+    dbe.open("/top.db");
+    minidb::CommitGenerator gen;
+    for (std::size_t i = 0; i < opts.calls; ++i) {
+      dbe.begin();
+      for (const auto& [k, v] : gen.make(static_cast<std::uint64_t>(i)).to_records()) {
+        dbe.put_in_txn(k, v);
+      }
+      dbe.commit();
+    }
+    dbe.close_db();
+  } else {
+    run_demo_workload(urts, opts.threads, opts.calls);
+  }
+}
+
 /// `sgxperf top`: attach the logger to a live workload, subscribe to the
 /// event stream and repaint aggregate statistics while it runs.  The logger
 /// is never detached between frames — everything shown comes through the
@@ -352,11 +413,7 @@ int run_top(const Options& opts) {
     std::fputs("error: --threads, --calls and --frames must be > 0\n", stderr);
     return 2;
   }
-  if (opts.workload != "demo" && opts.workload != "kv" && opts.workload != "db") {
-    std::fprintf(stderr, "error: unknown workload '%s' (demo, kv, db)\n",
-                 opts.workload.c_str());
-    return 2;
-  }
+  if (!check_workload(opts)) return 2;
 
   sgxsim::Urts urts;
   tracedb::TraceDatabase db;
@@ -367,32 +424,11 @@ int run_top(const Options& opts) {
     std::fputs("error: no free streaming subscriber slot\n", stderr);
     return 1;
   }
+  monitor.set_window_ns(opts.window_ns);
 
   std::atomic<bool> done{false};
   std::thread worker([&] {
-    if (opts.workload == "kv") {
-      minikv::Store store(urts.clock());
-      minikv::KvProxy proxy(urts, store);
-      minikv::DriverConfig config;
-      config.clients = opts.threads;
-      config.ops_per_client = opts.calls;
-      minikv::run_workload(proxy, config);
-    } else if (opts.workload == "db") {
-      minidb::HostVfs vfs(urts.clock());
-      minidb::DbEnclave dbe(urts, vfs, minidb::WriteMode::kSeekThenWrite);
-      dbe.open("/top.db");
-      minidb::CommitGenerator gen;
-      for (std::size_t i = 0; i < opts.calls; ++i) {
-        dbe.begin();
-        for (const auto& [k, v] : gen.make(static_cast<std::uint64_t>(i)).to_records()) {
-          dbe.put_in_txn(k, v);
-        }
-        dbe.commit();
-      }
-      dbe.close_db();
-    } else {
-      run_demo_workload(urts, opts.threads, opts.calls);
-    }
+    run_named_workload(urts, opts);
     done.store(true, std::memory_order_release);
   });
 
@@ -423,9 +459,182 @@ int run_top(const Options& opts) {
   return 0;
 }
 
+/// One alert transition as a JSON line — the `monitor` stderr stream and the
+/// --alert-log file format.  Site names resolve through the recording
+/// database; paging alerts name the enclave (their subject is per-enclave).
+std::string alert_json_line(const tracedb::TraceDatabase& db, const tracedb::AlertRecord& a,
+                            bool resolved) {
+  support::json::Writer w;
+  w.begin_object();
+  w.kv("event", resolved ? "resolve" : "raise");
+  w.kv("alert", perf::to_string(a.kind));
+  if (a.kind == tracedb::AlertKind::kPaging) {
+    w.kv("site", support::format("enclave %llu", static_cast<unsigned long long>(a.enclave_id)));
+  } else {
+    w.kv("site", db.name_of(a.enclave_id, a.type, a.call_id));
+  }
+  w.kv("enclave_id", static_cast<std::uint64_t>(a.enclave_id));
+  w.kv("type", a.type == tracedb::CallType::kEcall ? "ecall" : "ocall");
+  w.kv("call_id", static_cast<std::uint64_t>(a.call_id));
+  w.kv("onset_ns", static_cast<std::uint64_t>(a.onset_ns));
+  if (resolved) w.kv("resolved_ns", static_cast<std::uint64_t>(a.resolved_ns));
+  w.kv("window", static_cast<std::uint64_t>(a.window_index));
+  w.kv("detail", a.detail);
+  w.end_object();
+  return w.take();
+}
+
+/// `sgxperf monitor`: the daemon sibling of `top`.  Runs the workload with
+/// the logger attached, feeds the streaming subscription into the online
+/// analyser, emits every alert transition as a JSON line the moment it
+/// happens, then seals the run: finish() resolves stale alerts, the window
+/// time-series and alert history persist into the trace (v5), and a summary
+/// goes to stdout.
+int run_monitor(const Options& opts) {
+  if (opts.threads == 0 || opts.calls == 0) {
+    std::fputs("error: --threads and --calls must be > 0\n", stderr);
+    return 2;
+  }
+  if (!check_workload(opts)) return 2;
+
+  sgxsim::Urts urts;
+  tracedb::TraceDatabase db;
+  perf::Logger logger(db);
+  logger.attach(urts);
+  // Subscribe before the workload starts so no event predates the ring, and
+  // size the ring generously: a dropped event would skew the online state.
+  const auto sub = logger.subscribe("monitor", 1 << 16);
+  if (sub == nullptr) {
+    std::fputs("error: no free streaming subscriber slot\n", stderr);
+    return 1;
+  }
+
+  std::FILE* alert_log = nullptr;
+  if (!opts.alert_log_path.empty()) {
+    alert_log = std::fopen(opts.alert_log_path.c_str(), "wb");
+    if (alert_log == nullptr) {
+      std::fprintf(stderr, "error: cannot open %s for writing\n", opts.alert_log_path.c_str());
+      return 1;
+    }
+  }
+
+  perf::OnlineConfig ocfg;
+  ocfg.analyzer = opts.config;
+  if (opts.window_ns > 0) ocfg.window_ns = opts.window_ns;
+  perf::OnlineAnalyzer online(ocfg);
+  online.set_externals([&] {
+    perf::WindowExternals ext;
+    ext.stream_dropped = logger.stream_dropped();
+    for (const auto eid : urts.enclave_ids()) {
+      const auto s = urts.switchless_stats(eid);
+      ext.switchless_calls += s.calls;
+      ext.switchless_fallbacks += s.fallbacks;
+      ext.switchless_wasted_ns += s.wasted_worker_ns;
+    }
+    return ext;
+  });
+  std::uint64_t raised = 0;
+  std::uint64_t resolved_total = 0;
+  online.set_alert_sink([&](const tracedb::AlertRecord& a, bool resolved) {
+    (resolved ? resolved_total : raised) += 1;
+    const std::string line = alert_json_line(db, a, resolved);
+    std::fprintf(stderr, "%s\n", line.c_str());
+    if (alert_log != nullptr) std::fprintf(alert_log, "%s\n", line.c_str());
+  });
+
+  std::atomic<bool> done{false};
+  std::thread worker([&] {
+    run_named_workload(urts, opts);
+    done.store(true, std::memory_order_release);
+  });
+
+  std::vector<perf::StreamEvent> batch;
+  batch.reserve(4096);
+  for (;;) {
+    batch.clear();
+    if (sub->poll(batch) > 0) {
+      online.feed(batch);
+      continue;  // keep draining while events are flowing
+    }
+    if (done.load(std::memory_order_acquire)) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(opts.interval_ms));
+  }
+  worker.join();
+  // Everything published before `done` flipped is in the ring: final drain.
+  for (;;) {
+    batch.clear();
+    if (sub->poll(batch) == 0) break;
+    online.feed(batch);
+  }
+  sub->close();
+  logger.detach();  // workload quiesced: seals and merges the shards
+
+  // Seal virtual time at the last recorded event so the final window — and
+  // the parity of the end-of-run verdicts with `sgxperf report` — does not
+  // depend on wall-clock scheduling.
+  std::uint64_t end_ns = 0;
+  for (const auto& c : db.calls()) end_ns = std::max(end_ns, c.end_ns);
+  for (const auto& a : db.aexs()) end_ns = std::max(end_ns, a.timestamp_ns);
+  for (const auto& p : db.paging()) end_ns = std::max(end_ns, p.timestamp_ns);
+  online.finish(end_ns);
+  online.persist(db);
+  if (alert_log != nullptr) std::fclose(alert_log);
+
+  if (!opts.out_path.empty()) {
+    try {
+      db.save(opts.out_path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+  }
+
+  const auto active = online.active_alerts();
+  if (opts.json) {
+    support::json::Writer w;
+    w.begin_object();
+    w.kv("workload", opts.workload);
+    w.kv("events", online.events_seen());
+    w.kv("windows", static_cast<std::uint64_t>(online.windows().size()));
+    w.kv("window_ns", static_cast<std::uint64_t>(ocfg.window_ns));
+    w.kv("alerts_raised", raised);
+    w.kv("alerts_resolved", resolved_total);
+    w.kv("alerts_active", static_cast<std::uint64_t>(active.size()));
+    w.kv("stream_dropped", logger.stream_dropped());
+    w.kv("pending_evicted", online.pending_evicted());
+    if (!opts.out_path.empty()) w.kv("trace", opts.out_path);
+    w.end_object();
+    std::printf("%s\n", w.take().c_str());
+  } else {
+    std::printf("monitor: workload '%s' finished — %llu events in %zu windows of %.3fms\n",
+                opts.workload.c_str(), static_cast<unsigned long long>(online.events_seen()),
+                online.windows().size(), static_cast<double>(ocfg.window_ns) / 1e6);
+    std::printf("alerts: %llu raised, %llu resolved, %zu active at end of run\n",
+                static_cast<unsigned long long>(raised),
+                static_cast<unsigned long long>(resolved_total), active.size());
+    for (const auto& a : active) {
+      std::printf("  ACTIVE %-14s %s (onset %.3fms)\n", perf::to_string(a.kind),
+                  a.kind == tracedb::AlertKind::kPaging
+                      ? support::format("enclave %llu",
+                                        static_cast<unsigned long long>(a.enclave_id))
+                            .c_str()
+                      : db.name_of(a.enclave_id, a.type, a.call_id).c_str(),
+                  static_cast<double>(a.onset_ns) / 1e6);
+    }
+    if (logger.stream_dropped() > 0 || online.pending_evicted() > 0) {
+      std::printf("warning: %llu stream events dropped, %llu pending children evicted — "
+                  "online verdicts may undercount\n",
+                  static_cast<unsigned long long>(logger.stream_dropped()),
+                  static_cast<unsigned long long>(online.pending_evicted()));
+    }
+    if (!opts.out_path.empty()) std::printf("trace written to %s\n", opts.out_path.c_str());
+  }
+  return 0;
+}
+
 /// `sgxperf stats --json`: general statistics as a JSON document, one object
 /// per call site, so CI can assert on counts without scraping the text table.
-std::string stats_json(const perf::AnalysisReport& report) {
+std::string stats_json(const perf::AnalysisReport& report, const tracedb::TraceDatabase& db) {
   support::json::Writer w;
   w.begin_object();
   w.key("dropped_events");
@@ -490,6 +699,66 @@ std::string stats_json(const perf::AnalysisReport& report) {
       w.end_object();
     }
     w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  // v5 time-series (sgxperf monitor): the windowed run history and the full
+  // alert trail, so CI and dashboards can answer "when did this regress".
+  w.kv("window_period_ns", static_cast<std::uint64_t>(db.window_period()));
+  w.key("windows");
+  w.begin_array();
+  for (const auto& win : db.windows()) {
+    w.begin_object();
+    w.kv("index", static_cast<std::uint64_t>(win.window_index));
+    w.kv("start_ns", static_cast<std::uint64_t>(win.start_ns));
+    w.kv("end_ns", static_cast<std::uint64_t>(win.end_ns));
+    w.kv("calls", win.calls);
+    w.kv("aexs", win.aexs);
+    w.kv("page_ins", win.page_ins);
+    w.kv("page_outs", win.page_outs);
+    w.kv("stream_dropped", win.stream_dropped);
+    w.kv("switchless_calls", win.switchless_calls);
+    w.kv("switchless_fallbacks", win.switchless_fallbacks);
+    w.kv("switchless_wasted_ns", win.switchless_wasted_ns);
+    w.kv("active_alerts", static_cast<std::uint64_t>(win.active_alerts));
+    w.end_object();
+  }
+  w.end_array();
+  w.key("window_sites");
+  w.begin_array();
+  for (const auto& site : db.window_sites()) {
+    w.begin_object();
+    w.kv("window", static_cast<std::uint64_t>(site.window_index));
+    w.kv("name", db.name_of(site.enclave_id, site.type, site.call_id));
+    w.kv("enclave_id", static_cast<std::uint64_t>(site.enclave_id));
+    w.kv("type", site.type == tracedb::CallType::kEcall ? "ecall" : "ocall");
+    w.kv("call_id", static_cast<std::uint64_t>(site.call_id));
+    w.kv("calls", site.calls);
+    w.kv("aex", site.aex_count);
+    w.kv("p50_ns", static_cast<std::uint64_t>(site.p50_ns));
+    w.kv("p99_ns", static_cast<std::uint64_t>(site.p99_ns));
+    w.end_object();
+  }
+  w.end_array();
+  w.key("alerts");
+  w.begin_array();
+  for (const auto& a : db.alerts()) {
+    w.begin_object();
+    w.kv("alert", perf::to_string(a.kind));
+    if (a.kind == tracedb::AlertKind::kPaging) {
+      w.kv("site",
+           support::format("enclave %llu", static_cast<unsigned long long>(a.enclave_id)));
+    } else {
+      w.kv("site", db.name_of(a.enclave_id, a.type, a.call_id));
+    }
+    w.kv("enclave_id", static_cast<std::uint64_t>(a.enclave_id));
+    w.kv("type", a.type == tracedb::CallType::kEcall ? "ecall" : "ocall");
+    w.kv("call_id", static_cast<std::uint64_t>(a.call_id));
+    w.kv("onset_ns", static_cast<std::uint64_t>(a.onset_ns));
+    w.kv("resolved_ns", static_cast<std::uint64_t>(a.resolved_ns));
+    w.kv("active", a.resolved_ns == 0);
+    w.kv("window", static_cast<std::uint64_t>(a.window_index));
+    w.kv("detail", a.detail);
     w.end_object();
   }
   w.end_array();
@@ -732,6 +1001,7 @@ int main(int argc, char** argv) {
 
   if (opts.command == "record") return run_record(opts);
   if (opts.command == "top") return run_top(opts);
+  if (opts.command == "monitor") return run_monitor(opts);
 
   tracedb::TraceDatabase db = [&] {
     try {
@@ -860,7 +1130,7 @@ int main(int argc, char** argv) {
     // text stats table drops them — that is what `report` is for.
     if (opts.command == "stats" && !opts.json) report.findings.clear();
     if (opts.json) {
-      std::printf("%s\n", stats_json(report).c_str());
+      std::printf("%s\n", stats_json(report, db).c_str());
     } else {
       std::fputs(perf::render_text(report).c_str(), stdout);
     }
