@@ -1,0 +1,112 @@
+// E14 — stress suite throughput + analyser feed cost under storm.
+//
+// Two questions:
+//  * bogo-ops/s per stressor — the Stress-SGX-style headline number, both in
+//    virtual time (deterministic, comparable across machines) and wall time
+//    (what the simulator actually sustains);
+//  * ns/event for OnlineAnalyzer::feed() on a real ocall-storm stream — the
+//    monitor-side cost under the nastiest event mix the suite generates
+//    (bench_online measures the same loop on a synthetic stream; this one is
+//    recorded from the storm stressor through the actual logger).
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "perf/logger.hpp"
+#include "perf/online.hpp"
+#include "sgxsim/runtime.hpp"
+#include "stress/stressor.hpp"
+#include "tracedb/database.hpp"
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+/// 4 MiB EPC for the paging stressors so the 1.25x-EPC working set stays
+/// bench-sized; the transition/sync stressors never page and keep the default.
+std::size_t epc_pages_for(const std::string& name) {
+  return (name == "vm" || name == "mixed") ? 1024 : sgxsim::Driver::kDefaultEpcPages;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = bench::strip_smoke_flag(argc, argv);
+  bench::JsonReport json("stress", smoke, bench::strip_out_dir_flag(argc, argv));
+
+  std::printf("=== E14: stress suite bogo-ops + feed cost under storm ===\n\n");
+  std::printf("%-12s %10s %14s %14s %10s\n", "stressor", "bogo-ops", "bogo-ops/vs",
+              "wall-ops/s", "wall-ms");
+
+  for (const auto& name : stress::stressor_names()) {
+    const auto stressor = stress::make_stressor(name);
+    sgxsim::Urts urts(sgxsim::CostModel::preset(sgxsim::PatchLevel::kUnpatched),
+                      epc_pages_for(name));
+    stress::StressConfig config;
+    config.threads = 4;
+    config.duration_ns = smoke ? 40'000'000 : 400'000'000;
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto result = stress::run_stressor(*stressor, urts, config);
+    const double wall_s = seconds_since(t0);
+
+    const double wall_ops_per_s =
+        wall_s > 0 ? static_cast<double>(result.bogo_ops) / wall_s : 0.0;
+    std::printf("%-12s %10llu %14.0f %14.0f %10.1f\n", name.c_str(),
+                static_cast<unsigned long long>(result.bogo_ops), result.bogo_ops_per_vsec(),
+                wall_ops_per_s, wall_s * 1e3);
+    json.metric(name + "_bogo_ops", static_cast<double>(result.bogo_ops), "ops");
+    json.metric(name + "_bogo_ops_per_vsec", result.bogo_ops_per_vsec(), "ops/s");
+    json.metric(name + "_wall_ops_per_s", wall_ops_per_s, "ops/s");
+  }
+
+  // Record a real ocall-storm stream through the logger, then time the
+  // online analyser's feed loop over it in isolation.
+  const auto storm = stress::make_stressor("ocall-storm");
+  sgxsim::Urts urts;
+  tracedb::TraceDatabase db;
+  perf::Logger logger(db);
+  logger.attach(urts);
+  auto sub = logger.subscribe("bench-stress", 1 << 20);
+  stress::StressConfig config;
+  config.threads = 4;
+  config.duration_ns = smoke ? 100'000'000 : 1'000'000'000;
+  const auto storm_result = stress::run_stressor(*storm, urts, config);
+  logger.detach();
+
+  std::vector<perf::StreamEvent> events;
+  std::vector<perf::StreamEvent> batch;
+  std::uint64_t end_ns = 0;
+  while (sub->poll(batch, 4096) > 0) {
+    for (const auto& ev : batch) {
+      end_ns = std::max(end_ns, ev.end_ns);
+      events.push_back(ev);
+    }
+    batch.clear();
+  }
+  sub->close();
+
+  perf::OnlineAnalyzer online;
+  const auto t0 = std::chrono::steady_clock::now();
+  online.feed(events);
+  online.finish(end_ns);
+  const double feed_s = seconds_since(t0);
+  const double ns_per_event =
+      events.empty() ? 0.0 : feed_s * 1e9 / static_cast<double>(events.size());
+  const double events_per_s = feed_s > 0 ? static_cast<double>(events.size()) / feed_s : 0.0;
+
+  std::printf("\nstorm stream:     %zu events from %llu bogo-ops (dropped: %llu)\n",
+              events.size(), static_cast<unsigned long long>(storm_result.bogo_ops),
+              static_cast<unsigned long long>(sub->dropped()));
+  std::printf("feed cost:        %.0f ns/event (%.2fM events/s), %zu alerts recorded\n",
+              ns_per_event, events_per_s / 1e6, online.alerts().size());
+
+  json.metric("storm_events", static_cast<double>(events.size()), "events");
+  json.metric("storm_feed_ns_per_event", ns_per_event, "ns");
+  json.metric("storm_feed_events_per_s", events_per_s, "events/s");
+  json.metric("storm_alerts", static_cast<double>(online.alerts().size()), "alerts");
+  return json.write() ? 0 : 1;
+}

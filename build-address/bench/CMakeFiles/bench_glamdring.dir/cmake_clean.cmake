@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_glamdring.dir/bench_glamdring.cpp.o"
+  "CMakeFiles/bench_glamdring.dir/bench_glamdring.cpp.o.d"
+  "bench_glamdring"
+  "bench_glamdring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_glamdring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

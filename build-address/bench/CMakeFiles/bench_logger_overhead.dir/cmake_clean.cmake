@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_logger_overhead.dir/bench_logger_overhead.cpp.o"
+  "CMakeFiles/bench_logger_overhead.dir/bench_logger_overhead.cpp.o.d"
+  "bench_logger_overhead"
+  "bench_logger_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_logger_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

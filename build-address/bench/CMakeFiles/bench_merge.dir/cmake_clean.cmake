@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_merge.dir/bench_merge.cpp.o"
+  "CMakeFiles/bench_merge.dir/bench_merge.cpp.o.d"
+  "bench_merge"
+  "bench_merge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_merge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_paging.dir/bench_paging.cpp.o"
+  "CMakeFiles/bench_paging.dir/bench_paging.cpp.o.d"
+  "bench_paging"
+  "bench_paging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_paging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

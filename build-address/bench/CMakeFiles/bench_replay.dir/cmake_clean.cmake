@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_replay.dir/bench_replay.cpp.o"
+  "CMakeFiles/bench_replay.dir/bench_replay.cpp.o.d"
+  "bench_replay"
+  "bench_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

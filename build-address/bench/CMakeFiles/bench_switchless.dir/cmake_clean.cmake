@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_switchless.dir/bench_switchless.cpp.o"
+  "CMakeFiles/bench_switchless.dir/bench_switchless.cpp.o.d"
+  "bench_switchless"
+  "bench_switchless.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_switchless.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_talos.dir/bench_talos.cpp.o"
+  "CMakeFiles/bench_talos.dir/bench_talos.cpp.o.d"
+  "bench_talos"
+  "bench_talos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_talos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_tuning.dir/db_tuning.cpp.o"
+  "CMakeFiles/db_tuning.dir/db_tuning.cpp.o.d"
+  "db_tuning"
+  "db_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/talos_profile.dir/talos_profile.cpp.o"
+  "CMakeFiles/talos_profile.dir/talos_profile.cpp.o.d"
+  "talos_profile"
+  "talos_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/talos_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-address/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("crypto")
+subdirs("tracedb")
+subdirs("telemetry")
+subdirs("sgxsim")
+subdirs("replay")
+subdirs("perf")
+subdirs("bignum")
+subdirs("minissl")
+subdirs("minikv")
+subdirs("minidb")
+subdirs("glamdring")
+subdirs("stress")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_crypto.dir/chacha20.cpp.o"
+  "CMakeFiles/repro_crypto.dir/chacha20.cpp.o.d"
+  "CMakeFiles/repro_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/repro_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/repro_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/repro_crypto.dir/sha256.cpp.o.d"
+  "librepro_crypto.a"
+  "librepro_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

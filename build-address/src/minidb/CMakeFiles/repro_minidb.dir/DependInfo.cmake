@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/minidb/btree.cpp" "src/minidb/CMakeFiles/repro_minidb.dir/btree.cpp.o" "gcc" "src/minidb/CMakeFiles/repro_minidb.dir/btree.cpp.o.d"
+  "/root/repo/src/minidb/db.cpp" "src/minidb/CMakeFiles/repro_minidb.dir/db.cpp.o" "gcc" "src/minidb/CMakeFiles/repro_minidb.dir/db.cpp.o.d"
+  "/root/repo/src/minidb/enclave_db.cpp" "src/minidb/CMakeFiles/repro_minidb.dir/enclave_db.cpp.o" "gcc" "src/minidb/CMakeFiles/repro_minidb.dir/enclave_db.cpp.o.d"
+  "/root/repo/src/minidb/pager.cpp" "src/minidb/CMakeFiles/repro_minidb.dir/pager.cpp.o" "gcc" "src/minidb/CMakeFiles/repro_minidb.dir/pager.cpp.o.d"
+  "/root/repo/src/minidb/sql.cpp" "src/minidb/CMakeFiles/repro_minidb.dir/sql.cpp.o" "gcc" "src/minidb/CMakeFiles/repro_minidb.dir/sql.cpp.o.d"
+  "/root/repo/src/minidb/vfs.cpp" "src/minidb/CMakeFiles/repro_minidb.dir/vfs.cpp.o" "gcc" "src/minidb/CMakeFiles/repro_minidb.dir/vfs.cpp.o.d"
+  "/root/repo/src/minidb/workload.cpp" "src/minidb/CMakeFiles/repro_minidb.dir/workload.cpp.o" "gcc" "src/minidb/CMakeFiles/repro_minidb.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-address/src/sgxsim/CMakeFiles/repro_sgxsim.dir/DependInfo.cmake"
+  "/root/repo/build-address/src/crypto/CMakeFiles/repro_crypto.dir/DependInfo.cmake"
+  "/root/repo/build-address/src/support/CMakeFiles/repro_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/minissl/bio.cpp" "src/minissl/CMakeFiles/repro_minissl.dir/bio.cpp.o" "gcc" "src/minissl/CMakeFiles/repro_minissl.dir/bio.cpp.o.d"
+  "/root/repo/src/minissl/err.cpp" "src/minissl/CMakeFiles/repro_minissl.dir/err.cpp.o" "gcc" "src/minissl/CMakeFiles/repro_minissl.dir/err.cpp.o.d"
+  "/root/repo/src/minissl/http.cpp" "src/minissl/CMakeFiles/repro_minissl.dir/http.cpp.o" "gcc" "src/minissl/CMakeFiles/repro_minissl.dir/http.cpp.o.d"
+  "/root/repo/src/minissl/session.cpp" "src/minissl/CMakeFiles/repro_minissl.dir/session.cpp.o" "gcc" "src/minissl/CMakeFiles/repro_minissl.dir/session.cpp.o.d"
+  "/root/repo/src/minissl/ssl.cpp" "src/minissl/CMakeFiles/repro_minissl.dir/ssl.cpp.o" "gcc" "src/minissl/CMakeFiles/repro_minissl.dir/ssl.cpp.o.d"
+  "/root/repo/src/minissl/talos.cpp" "src/minissl/CMakeFiles/repro_minissl.dir/talos.cpp.o" "gcc" "src/minissl/CMakeFiles/repro_minissl.dir/talos.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-address/src/sgxsim/CMakeFiles/repro_sgxsim.dir/DependInfo.cmake"
+  "/root/repo/build-address/src/bignum/CMakeFiles/repro_bignum.dir/DependInfo.cmake"
+  "/root/repo/build-address/src/crypto/CMakeFiles/repro_crypto.dir/DependInfo.cmake"
+  "/root/repo/build-address/src/support/CMakeFiles/repro_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

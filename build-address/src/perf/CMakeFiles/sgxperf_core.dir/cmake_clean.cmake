@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgxperf_core.dir/analyzer.cpp.o"
+  "CMakeFiles/sgxperf_core.dir/analyzer.cpp.o.d"
+  "CMakeFiles/sgxperf_core.dir/calltree.cpp.o"
+  "CMakeFiles/sgxperf_core.dir/calltree.cpp.o.d"
+  "CMakeFiles/sgxperf_core.dir/compare.cpp.o"
+  "CMakeFiles/sgxperf_core.dir/compare.cpp.o.d"
+  "CMakeFiles/sgxperf_core.dir/live.cpp.o"
+  "CMakeFiles/sgxperf_core.dir/live.cpp.o.d"
+  "CMakeFiles/sgxperf_core.dir/logger.cpp.o"
+  "CMakeFiles/sgxperf_core.dir/logger.cpp.o.d"
+  "CMakeFiles/sgxperf_core.dir/online.cpp.o"
+  "CMakeFiles/sgxperf_core.dir/online.cpp.o.d"
+  "CMakeFiles/sgxperf_core.dir/report.cpp.o"
+  "CMakeFiles/sgxperf_core.dir/report.cpp.o.d"
+  "CMakeFiles/sgxperf_core.dir/stream.cpp.o"
+  "CMakeFiles/sgxperf_core.dir/stream.cpp.o.d"
+  "CMakeFiles/sgxperf_core.dir/stubs.cpp.o"
+  "CMakeFiles/sgxperf_core.dir/stubs.cpp.o.d"
+  "CMakeFiles/sgxperf_core.dir/timeline.cpp.o"
+  "CMakeFiles/sgxperf_core.dir/timeline.cpp.o.d"
+  "CMakeFiles/sgxperf_core.dir/workingset.cpp.o"
+  "CMakeFiles/sgxperf_core.dir/workingset.cpp.o.d"
+  "libsgxperf_core.a"
+  "libsgxperf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgxperf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

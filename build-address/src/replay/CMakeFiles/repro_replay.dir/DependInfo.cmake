@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/replay/engine.cpp" "src/replay/CMakeFiles/repro_replay.dir/engine.cpp.o" "gcc" "src/replay/CMakeFiles/repro_replay.dir/engine.cpp.o.d"
+  "/root/repo/src/replay/render.cpp" "src/replay/CMakeFiles/repro_replay.dir/render.cpp.o" "gcc" "src/replay/CMakeFiles/repro_replay.dir/render.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-address/src/sgxsim/CMakeFiles/repro_sgxsim.dir/DependInfo.cmake"
+  "/root/repo/build-address/src/tracedb/CMakeFiles/repro_tracedb.dir/DependInfo.cmake"
+  "/root/repo/build-address/src/support/CMakeFiles/repro_support.dir/DependInfo.cmake"
+  "/root/repo/build-address/src/crypto/CMakeFiles/repro_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

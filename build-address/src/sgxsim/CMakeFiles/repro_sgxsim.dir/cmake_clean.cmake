@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_sgxsim.dir/cost_model.cpp.o"
+  "CMakeFiles/repro_sgxsim.dir/cost_model.cpp.o.d"
+  "CMakeFiles/repro_sgxsim.dir/driver.cpp.o"
+  "CMakeFiles/repro_sgxsim.dir/driver.cpp.o.d"
+  "CMakeFiles/repro_sgxsim.dir/edl.cpp.o"
+  "CMakeFiles/repro_sgxsim.dir/edl.cpp.o.d"
+  "CMakeFiles/repro_sgxsim.dir/enclave.cpp.o"
+  "CMakeFiles/repro_sgxsim.dir/enclave.cpp.o.d"
+  "CMakeFiles/repro_sgxsim.dir/heap.cpp.o"
+  "CMakeFiles/repro_sgxsim.dir/heap.cpp.o.d"
+  "CMakeFiles/repro_sgxsim.dir/runtime.cpp.o"
+  "CMakeFiles/repro_sgxsim.dir/runtime.cpp.o.d"
+  "CMakeFiles/repro_sgxsim.dir/trusted.cpp.o"
+  "CMakeFiles/repro_sgxsim.dir/trusted.cpp.o.d"
+  "librepro_sgxsim.a"
+  "librepro_sgxsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_sgxsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

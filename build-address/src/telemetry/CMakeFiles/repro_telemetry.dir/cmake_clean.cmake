@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_telemetry.dir/chrome_trace.cpp.o"
+  "CMakeFiles/repro_telemetry.dir/chrome_trace.cpp.o.d"
+  "CMakeFiles/repro_telemetry.dir/sampler.cpp.o"
+  "CMakeFiles/repro_telemetry.dir/sampler.cpp.o.d"
+  "CMakeFiles/repro_telemetry.dir/timeseries.cpp.o"
+  "CMakeFiles/repro_telemetry.dir/timeseries.cpp.o.d"
+  "librepro_telemetry.a"
+  "librepro_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

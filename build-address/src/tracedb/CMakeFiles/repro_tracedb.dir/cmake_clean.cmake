@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_tracedb.dir/database.cpp.o"
+  "CMakeFiles/repro_tracedb.dir/database.cpp.o.d"
+  "CMakeFiles/repro_tracedb.dir/merge.cpp.o"
+  "CMakeFiles/repro_tracedb.dir/merge.cpp.o.d"
+  "CMakeFiles/repro_tracedb.dir/query.cpp.o"
+  "CMakeFiles/repro_tracedb.dir/query.cpp.o.d"
+  "CMakeFiles/repro_tracedb.dir/serialize.cpp.o"
+  "CMakeFiles/repro_tracedb.dir/serialize.cpp.o.d"
+  "CMakeFiles/repro_tracedb.dir/shard.cpp.o"
+  "CMakeFiles/repro_tracedb.dir/shard.cpp.o.d"
+  "librepro_tracedb.a"
+  "librepro_tracedb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_tracedb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

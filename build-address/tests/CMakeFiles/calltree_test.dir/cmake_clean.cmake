@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calltree_test.dir/calltree_test.cpp.o"
+  "CMakeFiles/calltree_test.dir/calltree_test.cpp.o.d"
+  "calltree_test"
+  "calltree_test.pdb"
+  "calltree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calltree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

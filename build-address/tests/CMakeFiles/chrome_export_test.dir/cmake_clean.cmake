@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chrome_export_test.dir/chrome_export_test.cpp.o"
+  "CMakeFiles/chrome_export_test.dir/chrome_export_test.cpp.o.d"
+  "chrome_export_test"
+  "chrome_export_test.pdb"
+  "chrome_export_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chrome_export_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edl_test.dir/edl_test.cpp.o"
+  "CMakeFiles/edl_test.dir/edl_test.cpp.o.d"
+  "edl_test"
+  "edl_test.pdb"
+  "edl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

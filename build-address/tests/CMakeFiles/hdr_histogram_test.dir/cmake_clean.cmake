@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdr_histogram_test.dir/hdr_histogram_test.cpp.o"
+  "CMakeFiles/hdr_histogram_test.dir/hdr_histogram_test.cpp.o.d"
+  "hdr_histogram_test"
+  "hdr_histogram_test.pdb"
+  "hdr_histogram_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdr_histogram_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

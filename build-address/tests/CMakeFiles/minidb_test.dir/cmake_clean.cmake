@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minidb_test.dir/minidb_test.cpp.o"
+  "CMakeFiles/minidb_test.dir/minidb_test.cpp.o.d"
+  "minidb_test"
+  "minidb_test.pdb"
+  "minidb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minidb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

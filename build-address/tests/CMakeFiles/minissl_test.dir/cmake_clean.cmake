@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minissl_test.dir/minissl_test.cpp.o"
+  "CMakeFiles/minissl_test.dir/minissl_test.cpp.o.d"
+  "minissl_test"
+  "minissl_test.pdb"
+  "minissl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minissl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_analyzer_test.dir/perf_analyzer_test.cpp.o"
+  "CMakeFiles/perf_analyzer_test.dir/perf_analyzer_test.cpp.o.d"
+  "perf_analyzer_test"
+  "perf_analyzer_test.pdb"
+  "perf_analyzer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_analyzer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_compare_test.dir/perf_compare_test.cpp.o"
+  "CMakeFiles/perf_compare_test.dir/perf_compare_test.cpp.o.d"
+  "perf_compare_test"
+  "perf_compare_test.pdb"
+  "perf_compare_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_compare_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_workingset_test.dir/perf_workingset_test.cpp.o"
+  "CMakeFiles/perf_workingset_test.dir/perf_workingset_test.cpp.o.d"
+  "perf_workingset_test"
+  "perf_workingset_test.pdb"
+  "perf_workingset_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_workingset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

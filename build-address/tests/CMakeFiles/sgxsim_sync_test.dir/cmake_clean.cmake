@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgxsim_sync_test.dir/sgxsim_sync_test.cpp.o"
+  "CMakeFiles/sgxsim_sync_test.dir/sgxsim_sync_test.cpp.o.d"
+  "sgxsim_sync_test"
+  "sgxsim_sync_test.pdb"
+  "sgxsim_sync_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgxsim_sync_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stress_detector_accuracy_test.dir/stress_detector_accuracy_test.cpp.o"
+  "CMakeFiles/stress_detector_accuracy_test.dir/stress_detector_accuracy_test.cpp.o.d"
+  "stress_detector_accuracy_test"
+  "stress_detector_accuracy_test.pdb"
+  "stress_detector_accuracy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stress_detector_accuracy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stress_soak_test.dir/stress_soak_test.cpp.o"
+  "CMakeFiles/stress_soak_test.dir/stress_soak_test.cpp.o.d"
+  "stress_soak_test"
+  "stress_soak_test.pdb"
+  "stress_soak_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stress_soak_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

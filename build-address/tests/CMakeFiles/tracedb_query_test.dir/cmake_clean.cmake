@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tracedb_query_test.dir/tracedb_query_test.cpp.o"
+  "CMakeFiles/tracedb_query_test.dir/tracedb_query_test.cpp.o.d"
+  "tracedb_query_test"
+  "tracedb_query_test.pdb"
+  "tracedb_query_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tracedb_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

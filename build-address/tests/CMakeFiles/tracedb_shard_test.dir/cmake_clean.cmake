@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tracedb_shard_test.dir/tracedb_shard_test.cpp.o"
+  "CMakeFiles/tracedb_shard_test.dir/tracedb_shard_test.cpp.o.d"
+  "tracedb_shard_test"
+  "tracedb_shard_test.pdb"
+  "tracedb_shard_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tracedb_shard_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/json_check.dir/json_check.cpp.o"
+  "CMakeFiles/json_check.dir/json_check.cpp.o.d"
+  "json_check"
+  "json_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/json_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

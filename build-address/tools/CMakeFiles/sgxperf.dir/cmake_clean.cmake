@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgxperf.dir/sgxperf_cli.cpp.o"
+  "CMakeFiles/sgxperf.dir/sgxperf_cli.cpp.o.d"
+  "sgxperf"
+  "sgxperf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgxperf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

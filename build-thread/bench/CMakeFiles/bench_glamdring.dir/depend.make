@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_glamdring.
+# This may be replaced when dependencies are built.

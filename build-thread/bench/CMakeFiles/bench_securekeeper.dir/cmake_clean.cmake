@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_securekeeper.dir/bench_securekeeper.cpp.o"
+  "CMakeFiles/bench_securekeeper.dir/bench_securekeeper.cpp.o.d"
+  "bench_securekeeper"
+  "bench_securekeeper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_securekeeper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

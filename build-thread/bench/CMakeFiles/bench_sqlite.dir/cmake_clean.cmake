@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sqlite.dir/bench_sqlite.cpp.o"
+  "CMakeFiles/bench_sqlite.dir/bench_sqlite.cpp.o.d"
+  "bench_sqlite"
+  "bench_sqlite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sqlite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

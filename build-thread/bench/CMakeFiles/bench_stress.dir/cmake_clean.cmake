@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stress.dir/bench_stress.cpp.o"
+  "CMakeFiles/bench_stress.dir/bench_stress.cpp.o.d"
+  "bench_stress"
+  "bench_stress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

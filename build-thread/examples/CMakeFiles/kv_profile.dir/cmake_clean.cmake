@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kv_profile.dir/kv_profile.cpp.o"
+  "CMakeFiles/kv_profile.dir/kv_profile.cpp.o.d"
+  "kv_profile"
+  "kv_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kv_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workingset_demo.dir/workingset_demo.cpp.o"
+  "CMakeFiles/workingset_demo.dir/workingset_demo.cpp.o.d"
+  "workingset_demo"
+  "workingset_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workingset_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

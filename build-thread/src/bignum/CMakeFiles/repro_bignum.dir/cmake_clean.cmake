@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_bignum.dir/bignum.cpp.o"
+  "CMakeFiles/repro_bignum.dir/bignum.cpp.o.d"
+  "CMakeFiles/repro_bignum.dir/signing.cpp.o"
+  "CMakeFiles/repro_bignum.dir/signing.cpp.o.d"
+  "librepro_bignum.a"
+  "librepro_bignum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_bignum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

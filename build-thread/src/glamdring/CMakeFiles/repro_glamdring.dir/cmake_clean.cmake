@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_glamdring.dir/glamdring.cpp.o"
+  "CMakeFiles/repro_glamdring.dir/glamdring.cpp.o.d"
+  "librepro_glamdring.a"
+  "librepro_glamdring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_glamdring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_minidb.dir/btree.cpp.o"
+  "CMakeFiles/repro_minidb.dir/btree.cpp.o.d"
+  "CMakeFiles/repro_minidb.dir/db.cpp.o"
+  "CMakeFiles/repro_minidb.dir/db.cpp.o.d"
+  "CMakeFiles/repro_minidb.dir/enclave_db.cpp.o"
+  "CMakeFiles/repro_minidb.dir/enclave_db.cpp.o.d"
+  "CMakeFiles/repro_minidb.dir/pager.cpp.o"
+  "CMakeFiles/repro_minidb.dir/pager.cpp.o.d"
+  "CMakeFiles/repro_minidb.dir/sql.cpp.o"
+  "CMakeFiles/repro_minidb.dir/sql.cpp.o.d"
+  "CMakeFiles/repro_minidb.dir/vfs.cpp.o"
+  "CMakeFiles/repro_minidb.dir/vfs.cpp.o.d"
+  "CMakeFiles/repro_minidb.dir/workload.cpp.o"
+  "CMakeFiles/repro_minidb.dir/workload.cpp.o.d"
+  "librepro_minidb.a"
+  "librepro_minidb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_minidb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_minikv.dir/driver.cpp.o"
+  "CMakeFiles/repro_minikv.dir/driver.cpp.o.d"
+  "CMakeFiles/repro_minikv.dir/proxy.cpp.o"
+  "CMakeFiles/repro_minikv.dir/proxy.cpp.o.d"
+  "CMakeFiles/repro_minikv.dir/store.cpp.o"
+  "CMakeFiles/repro_minikv.dir/store.cpp.o.d"
+  "librepro_minikv.a"
+  "librepro_minikv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_minikv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_minissl.dir/bio.cpp.o"
+  "CMakeFiles/repro_minissl.dir/bio.cpp.o.d"
+  "CMakeFiles/repro_minissl.dir/err.cpp.o"
+  "CMakeFiles/repro_minissl.dir/err.cpp.o.d"
+  "CMakeFiles/repro_minissl.dir/http.cpp.o"
+  "CMakeFiles/repro_minissl.dir/http.cpp.o.d"
+  "CMakeFiles/repro_minissl.dir/session.cpp.o"
+  "CMakeFiles/repro_minissl.dir/session.cpp.o.d"
+  "CMakeFiles/repro_minissl.dir/ssl.cpp.o"
+  "CMakeFiles/repro_minissl.dir/ssl.cpp.o.d"
+  "CMakeFiles/repro_minissl.dir/talos.cpp.o"
+  "CMakeFiles/repro_minissl.dir/talos.cpp.o.d"
+  "librepro_minissl.a"
+  "librepro_minissl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_minissl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

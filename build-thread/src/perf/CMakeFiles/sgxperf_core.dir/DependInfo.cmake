@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perf/analyzer.cpp" "src/perf/CMakeFiles/sgxperf_core.dir/analyzer.cpp.o" "gcc" "src/perf/CMakeFiles/sgxperf_core.dir/analyzer.cpp.o.d"
+  "/root/repo/src/perf/calltree.cpp" "src/perf/CMakeFiles/sgxperf_core.dir/calltree.cpp.o" "gcc" "src/perf/CMakeFiles/sgxperf_core.dir/calltree.cpp.o.d"
+  "/root/repo/src/perf/compare.cpp" "src/perf/CMakeFiles/sgxperf_core.dir/compare.cpp.o" "gcc" "src/perf/CMakeFiles/sgxperf_core.dir/compare.cpp.o.d"
+  "/root/repo/src/perf/live.cpp" "src/perf/CMakeFiles/sgxperf_core.dir/live.cpp.o" "gcc" "src/perf/CMakeFiles/sgxperf_core.dir/live.cpp.o.d"
+  "/root/repo/src/perf/logger.cpp" "src/perf/CMakeFiles/sgxperf_core.dir/logger.cpp.o" "gcc" "src/perf/CMakeFiles/sgxperf_core.dir/logger.cpp.o.d"
+  "/root/repo/src/perf/online.cpp" "src/perf/CMakeFiles/sgxperf_core.dir/online.cpp.o" "gcc" "src/perf/CMakeFiles/sgxperf_core.dir/online.cpp.o.d"
+  "/root/repo/src/perf/report.cpp" "src/perf/CMakeFiles/sgxperf_core.dir/report.cpp.o" "gcc" "src/perf/CMakeFiles/sgxperf_core.dir/report.cpp.o.d"
+  "/root/repo/src/perf/stream.cpp" "src/perf/CMakeFiles/sgxperf_core.dir/stream.cpp.o" "gcc" "src/perf/CMakeFiles/sgxperf_core.dir/stream.cpp.o.d"
+  "/root/repo/src/perf/stubs.cpp" "src/perf/CMakeFiles/sgxperf_core.dir/stubs.cpp.o" "gcc" "src/perf/CMakeFiles/sgxperf_core.dir/stubs.cpp.o.d"
+  "/root/repo/src/perf/timeline.cpp" "src/perf/CMakeFiles/sgxperf_core.dir/timeline.cpp.o" "gcc" "src/perf/CMakeFiles/sgxperf_core.dir/timeline.cpp.o.d"
+  "/root/repo/src/perf/workingset.cpp" "src/perf/CMakeFiles/sgxperf_core.dir/workingset.cpp.o" "gcc" "src/perf/CMakeFiles/sgxperf_core.dir/workingset.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-thread/src/replay/CMakeFiles/repro_replay.dir/DependInfo.cmake"
+  "/root/repo/build-thread/src/sgxsim/CMakeFiles/repro_sgxsim.dir/DependInfo.cmake"
+  "/root/repo/build-thread/src/tracedb/CMakeFiles/repro_tracedb.dir/DependInfo.cmake"
+  "/root/repo/build-thread/src/telemetry/CMakeFiles/repro_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build-thread/src/support/CMakeFiles/repro_support.dir/DependInfo.cmake"
+  "/root/repo/build-thread/src/crypto/CMakeFiles/repro_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sgxsim/cost_model.cpp" "src/sgxsim/CMakeFiles/repro_sgxsim.dir/cost_model.cpp.o" "gcc" "src/sgxsim/CMakeFiles/repro_sgxsim.dir/cost_model.cpp.o.d"
+  "/root/repo/src/sgxsim/driver.cpp" "src/sgxsim/CMakeFiles/repro_sgxsim.dir/driver.cpp.o" "gcc" "src/sgxsim/CMakeFiles/repro_sgxsim.dir/driver.cpp.o.d"
+  "/root/repo/src/sgxsim/edl.cpp" "src/sgxsim/CMakeFiles/repro_sgxsim.dir/edl.cpp.o" "gcc" "src/sgxsim/CMakeFiles/repro_sgxsim.dir/edl.cpp.o.d"
+  "/root/repo/src/sgxsim/enclave.cpp" "src/sgxsim/CMakeFiles/repro_sgxsim.dir/enclave.cpp.o" "gcc" "src/sgxsim/CMakeFiles/repro_sgxsim.dir/enclave.cpp.o.d"
+  "/root/repo/src/sgxsim/heap.cpp" "src/sgxsim/CMakeFiles/repro_sgxsim.dir/heap.cpp.o" "gcc" "src/sgxsim/CMakeFiles/repro_sgxsim.dir/heap.cpp.o.d"
+  "/root/repo/src/sgxsim/runtime.cpp" "src/sgxsim/CMakeFiles/repro_sgxsim.dir/runtime.cpp.o" "gcc" "src/sgxsim/CMakeFiles/repro_sgxsim.dir/runtime.cpp.o.d"
+  "/root/repo/src/sgxsim/trusted.cpp" "src/sgxsim/CMakeFiles/repro_sgxsim.dir/trusted.cpp.o" "gcc" "src/sgxsim/CMakeFiles/repro_sgxsim.dir/trusted.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-thread/src/support/CMakeFiles/repro_support.dir/DependInfo.cmake"
+  "/root/repo/build-thread/src/crypto/CMakeFiles/repro_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

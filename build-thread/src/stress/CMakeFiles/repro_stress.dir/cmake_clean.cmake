@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_stress.dir/harness.cpp.o"
+  "CMakeFiles/repro_stress.dir/harness.cpp.o.d"
+  "CMakeFiles/repro_stress.dir/stressor.cpp.o"
+  "CMakeFiles/repro_stress.dir/stressor.cpp.o.d"
+  "librepro_stress.a"
+  "librepro_stress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/clock.cpp" "src/support/CMakeFiles/repro_support.dir/clock.cpp.o" "gcc" "src/support/CMakeFiles/repro_support.dir/clock.cpp.o.d"
+  "/root/repo/src/support/histogram.cpp" "src/support/CMakeFiles/repro_support.dir/histogram.cpp.o" "gcc" "src/support/CMakeFiles/repro_support.dir/histogram.cpp.o.d"
+  "/root/repo/src/support/json.cpp" "src/support/CMakeFiles/repro_support.dir/json.cpp.o" "gcc" "src/support/CMakeFiles/repro_support.dir/json.cpp.o.d"
+  "/root/repo/src/support/stats.cpp" "src/support/CMakeFiles/repro_support.dir/stats.cpp.o" "gcc" "src/support/CMakeFiles/repro_support.dir/stats.cpp.o.d"
+  "/root/repo/src/support/strutil.cpp" "src/support/CMakeFiles/repro_support.dir/strutil.cpp.o" "gcc" "src/support/CMakeFiles/repro_support.dir/strutil.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

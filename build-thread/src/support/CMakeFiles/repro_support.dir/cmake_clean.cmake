@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_support.dir/clock.cpp.o"
+  "CMakeFiles/repro_support.dir/clock.cpp.o.d"
+  "CMakeFiles/repro_support.dir/histogram.cpp.o"
+  "CMakeFiles/repro_support.dir/histogram.cpp.o.d"
+  "CMakeFiles/repro_support.dir/json.cpp.o"
+  "CMakeFiles/repro_support.dir/json.cpp.o.d"
+  "CMakeFiles/repro_support.dir/stats.cpp.o"
+  "CMakeFiles/repro_support.dir/stats.cpp.o.d"
+  "CMakeFiles/repro_support.dir/strutil.cpp.o"
+  "CMakeFiles/repro_support.dir/strutil.cpp.o.d"
+  "librepro_support.a"
+  "librepro_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tracedb/database.cpp" "src/tracedb/CMakeFiles/repro_tracedb.dir/database.cpp.o" "gcc" "src/tracedb/CMakeFiles/repro_tracedb.dir/database.cpp.o.d"
+  "/root/repo/src/tracedb/merge.cpp" "src/tracedb/CMakeFiles/repro_tracedb.dir/merge.cpp.o" "gcc" "src/tracedb/CMakeFiles/repro_tracedb.dir/merge.cpp.o.d"
+  "/root/repo/src/tracedb/query.cpp" "src/tracedb/CMakeFiles/repro_tracedb.dir/query.cpp.o" "gcc" "src/tracedb/CMakeFiles/repro_tracedb.dir/query.cpp.o.d"
+  "/root/repo/src/tracedb/serialize.cpp" "src/tracedb/CMakeFiles/repro_tracedb.dir/serialize.cpp.o" "gcc" "src/tracedb/CMakeFiles/repro_tracedb.dir/serialize.cpp.o.d"
+  "/root/repo/src/tracedb/shard.cpp" "src/tracedb/CMakeFiles/repro_tracedb.dir/shard.cpp.o" "gcc" "src/tracedb/CMakeFiles/repro_tracedb.dir/shard.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-thread/src/support/CMakeFiles/repro_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

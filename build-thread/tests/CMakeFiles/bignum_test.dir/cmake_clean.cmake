@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bignum_test.dir/bignum_test.cpp.o"
+  "CMakeFiles/bignum_test.dir/bignum_test.cpp.o.d"
+  "bignum_test"
+  "bignum_test.pdb"
+  "bignum_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bignum_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glamdring_test.dir/glamdring_test.cpp.o"
+  "CMakeFiles/glamdring_test.dir/glamdring_test.cpp.o.d"
+  "glamdring_test"
+  "glamdring_test.pdb"
+  "glamdring_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glamdring_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_monitor_test.dir/live_monitor_test.cpp.o"
+  "CMakeFiles/live_monitor_test.dir/live_monitor_test.cpp.o.d"
+  "live_monitor_test"
+  "live_monitor_test.pdb"
+  "live_monitor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_monitor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logger_concurrency_test.dir/logger_concurrency_test.cpp.o"
+  "CMakeFiles/logger_concurrency_test.dir/logger_concurrency_test.cpp.o.d"
+  "logger_concurrency_test"
+  "logger_concurrency_test.pdb"
+  "logger_concurrency_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logger_concurrency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

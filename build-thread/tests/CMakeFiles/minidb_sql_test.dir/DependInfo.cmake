@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/minidb_sql_test.cpp" "tests/CMakeFiles/minidb_sql_test.dir/minidb_sql_test.cpp.o" "gcc" "tests/CMakeFiles/minidb_sql_test.dir/minidb_sql_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-thread/src/minidb/CMakeFiles/repro_minidb.dir/DependInfo.cmake"
+  "/root/repo/build-thread/src/sgxsim/CMakeFiles/repro_sgxsim.dir/DependInfo.cmake"
+  "/root/repo/build-thread/src/crypto/CMakeFiles/repro_crypto.dir/DependInfo.cmake"
+  "/root/repo/build-thread/src/support/CMakeFiles/repro_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

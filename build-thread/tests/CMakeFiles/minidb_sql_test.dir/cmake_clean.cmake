@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minidb_sql_test.dir/minidb_sql_test.cpp.o"
+  "CMakeFiles/minidb_sql_test.dir/minidb_sql_test.cpp.o.d"
+  "minidb_sql_test"
+  "minidb_sql_test.pdb"
+  "minidb_sql_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minidb_sql_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minikv_test.dir/minikv_test.cpp.o"
+  "CMakeFiles/minikv_test.dir/minikv_test.cpp.o.d"
+  "minikv_test"
+  "minikv_test.pdb"
+  "minikv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minikv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minissl_edge_test.dir/minissl_edge_test.cpp.o"
+  "CMakeFiles/minissl_edge_test.dir/minissl_edge_test.cpp.o.d"
+  "minissl_edge_test"
+  "minissl_edge_test.pdb"
+  "minissl_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minissl_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

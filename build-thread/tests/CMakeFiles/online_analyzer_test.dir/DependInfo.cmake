@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/online_analyzer_test.cpp" "tests/CMakeFiles/online_analyzer_test.dir/online_analyzer_test.cpp.o" "gcc" "tests/CMakeFiles/online_analyzer_test.dir/online_analyzer_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-thread/src/perf/CMakeFiles/sgxperf_core.dir/DependInfo.cmake"
+  "/root/repo/build-thread/src/minikv/CMakeFiles/repro_minikv.dir/DependInfo.cmake"
+  "/root/repo/build-thread/src/minidb/CMakeFiles/repro_minidb.dir/DependInfo.cmake"
+  "/root/repo/build-thread/src/replay/CMakeFiles/repro_replay.dir/DependInfo.cmake"
+  "/root/repo/build-thread/src/telemetry/CMakeFiles/repro_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build-thread/src/tracedb/CMakeFiles/repro_tracedb.dir/DependInfo.cmake"
+  "/root/repo/build-thread/src/sgxsim/CMakeFiles/repro_sgxsim.dir/DependInfo.cmake"
+  "/root/repo/build-thread/src/crypto/CMakeFiles/repro_crypto.dir/DependInfo.cmake"
+  "/root/repo/build-thread/src/support/CMakeFiles/repro_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

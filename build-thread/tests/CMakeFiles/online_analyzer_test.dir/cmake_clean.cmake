@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_analyzer_test.dir/online_analyzer_test.cpp.o"
+  "CMakeFiles/online_analyzer_test.dir/online_analyzer_test.cpp.o.d"
+  "online_analyzer_test"
+  "online_analyzer_test.pdb"
+  "online_analyzer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_analyzer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgxsim_test.dir/sgxsim_test.cpp.o"
+  "CMakeFiles/sgxsim_test.dir/sgxsim_test.cpp.o.d"
+  "sgxsim_test"
+  "sgxsim_test.pdb"
+  "sgxsim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgxsim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tracedb_v5_test.dir/tracedb_v5_test.cpp.o"
+  "CMakeFiles/tracedb_v5_test.dir/tracedb_v5_test.cpp.o.d"
+  "tracedb_v5_test"
+  "tracedb_v5_test.pdb"
+  "tracedb_v5_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tracedb_v5_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

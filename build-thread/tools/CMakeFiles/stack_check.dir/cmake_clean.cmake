@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stack_check.dir/stack_check.cpp.o"
+  "CMakeFiles/stack_check.dir/stack_check.cpp.o.d"
+  "stack_check"
+  "stack_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stack_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,96 @@
+#include "stress/harness.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+
+#include "perf/logger.hpp"
+#include "perf/online.hpp"
+
+namespace stress {
+
+SoakResult run_soak(Stressor& stressor, sgxsim::Urts& urts,
+                    tracedb::TraceDatabase& db, const SoakConfig& config) {
+  perf::Logger logger(db);
+  logger.attach(urts);
+  auto sub = logger.subscribe("stress-soak", config.subscription_capacity);
+  if (sub == nullptr) {
+    throw std::runtime_error("stress: no free stream subscriber slot");
+  }
+
+  perf::OnlineConfig online_config;
+  online_config.analyzer = config.analyzer;
+  if (config.window_ns > 0) online_config.window_ns = config.window_ns;
+  perf::OnlineAnalyzer online(online_config);
+  online.set_externals([&logger] {
+    perf::WindowExternals ext;
+    ext.stream_dropped = logger.stream_dropped();
+    return ext;
+  });
+  std::uint64_t raised = 0;
+  std::uint64_t resolved = 0;
+  online.set_alert_sink([&raised, &resolved](const tracedb::AlertRecord&, bool was_resolved) {
+    (was_resolved ? resolved : raised) += 1;
+  });
+
+  SoakResult out;
+  std::atomic<bool> workload_done{false};
+  std::thread workload([&] {
+    out.stress = run_stressor(stressor, urts, config.stress);
+    workload_done.store(true, std::memory_order_release);
+  });
+
+  // Consumer loop (this thread): drain the subscription into the online
+  // analyser while the workload runs, then once more after it finishes so
+  // no tail of the stream is lost.
+  std::vector<perf::StreamEvent> batch;
+  batch.reserve(4096);
+  for (;;) {
+    batch.clear();
+    if (sub->poll(batch) > 0) {
+      online.feed(batch);
+      continue;
+    }
+    if (workload_done.load(std::memory_order_acquire)) break;
+    std::this_thread::yield();
+  }
+  workload.join();
+  for (;;) {
+    batch.clear();
+    if (sub->poll(batch) == 0) break;
+    online.feed(batch);
+  }
+  sub->close();
+  logger.detach();
+
+  std::uint64_t end_ns = 0;
+  for (const auto& c : db.calls()) end_ns = std::max(end_ns, c.end_ns);
+  for (const auto& a : db.aexs()) end_ns = std::max(end_ns, a.timestamp_ns);
+  for (const auto& p : db.paging()) end_ns = std::max(end_ns, p.timestamp_ns);
+  online.finish(end_ns);
+  online.persist(db);
+
+  out.events = online.events_seen();
+  out.windows = online.windows().size();
+  out.alerts_raised = raised;
+  out.alerts_resolved = resolved;
+  out.active_alerts = online.active_alerts();
+  for (const auto& alert : out.active_alerts) {
+    if (alert.kind != tracedb::AlertKind::kLatencyShift) out.triggered.insert(alert.kind);
+  }
+  out.stream_dropped = sub->dropped();
+  out.sealed_dropped = db.merge_stats().dropped;
+  out.pending_evicted = online.pending_evicted();
+
+  const auto& spec = stressor.spec();
+  for (const auto kind : spec.must_trigger) {
+    if (out.triggered.count(kind) == 0) out.missing.insert(kind);
+  }
+  for (const auto kind : spec.must_not) {
+    if (out.triggered.count(kind) != 0) out.false_positives.insert(kind);
+  }
+  return out;
+}
+
+}  // namespace stress

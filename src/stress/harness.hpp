@@ -1,0 +1,61 @@
+// SoakHarness: runs a stressor under the full live-observability stack —
+// Logger attached, a stream subscription feeding an OnlineAnalyzer on a
+// dedicated consumer thread (the `sgxperf monitor` architecture) — and
+// seals the run into a normal v5 trace.  This is how the stress suite
+// doubles as a labeled corpus: the SoakResult carries both the raw run
+// stats and the verdict of the triggered alert kinds against the
+// stressor's ground-truth label set.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "perf/analyzer.hpp"
+#include "stress/stressor.hpp"
+#include "tracedb/database.hpp"
+
+namespace stress {
+
+struct SoakConfig {
+  StressConfig stress;
+  /// Stream subscription ring capacity.  Size it at or above the expected
+  /// event count when asserting zero drops (the soak/accuracy tests do).
+  std::size_t subscription_capacity = 1 << 18;
+  /// Online window length; 0 keeps the OnlineConfig default (1 ms).
+  support::Nanoseconds window_ns = 0;
+  perf::AnalyzerConfig analyzer;
+};
+
+struct SoakResult {
+  StressResult stress;
+  std::uint64_t events = 0;
+  std::uint64_t windows = 0;
+  std::uint64_t alerts_raised = 0;
+  std::uint64_t alerts_resolved = 0;
+  std::vector<tracedb::AlertRecord> active_alerts;
+  /// Alert kinds active at end of run, kLatencyShift excluded (it is an
+  /// online-only change signal outside every stressor's label universe).
+  std::set<tracedb::AlertKind> triggered;
+  std::uint64_t stream_dropped = 0;
+  /// Events rejected by sealed shards during the merge (must stay 0).
+  std::uint64_t sealed_dropped = 0;
+  std::uint64_t pending_evicted = 0;
+  /// Label verdict: must_trigger kinds that did not fire / must_not kinds
+  /// that did.
+  std::set<tracedb::AlertKind> missing;
+  std::set<tracedb::AlertKind> false_positives;
+
+  [[nodiscard]] bool labels_ok() const noexcept {
+    return missing.empty() && false_positives.empty();
+  }
+};
+
+/// Runs `stressor` with the logger attached and a live subscription feeding
+/// an online analyser on a separate consumer thread, then seals the run:
+/// finish() at the last recorded timestamp and persist() the windows/alerts
+/// into `db`, which afterwards holds a complete v5 trace of the stress run.
+SoakResult run_soak(Stressor& stressor, sgxsim::Urts& urts,
+                    tracedb::TraceDatabase& db, const SoakConfig& config);
+
+}  // namespace stress

@@ -1,0 +1,565 @@
+// The five stressors and the deterministic lockstep scheduler.
+//
+// Label math (why each must/must-not set holds) is pinned against the
+// detector arithmetic in perf/analyzer.cpp with its default AnalyzerConfig:
+//
+//  * Eq. 1 (short calls) fires when >=35% of a site's adjusted durations are
+//    <1 us, >=50% <5 us or >=65% <10 us.  `ecall_quick` (350 ns of work) and
+//    the noop/sync ocalls sit entirely below 5 us; every other site is kept
+//    >=25 us of work away from the thresholds.
+//  * Eq. 2 (reorder) correlates children within 10/20 us of the parent's
+//    start or end.  `ocall_first` is issued on entry and `ocall_last` right
+//    before return; all other children are separated from both parent edges
+//    by >=15-25 us work pads.
+//  * Eq. 3 (batch/merge) correlates same-thread consecutive calls closer
+//    than 20 us.  The back-to-back `ocall_hot` pair is batchable and
+//    `ocall_alt` (always following a hot) is mergeable; between *ops* every
+//    stressor inserts >20 us of untrusted think time so no top-level site
+//    ever looks batchable by accident.
+//  * SSC needs a non-generic (sync) ocall site with a sub-10 us instance:
+//    the sync stressor issues the SDK set-event/wait-event pair directly,
+//    with a permit always banked so wait never parks (lockstep-safe).
+//  * Paging needs >=64 events per enclave: the vm working set is sized at
+//    1.25x the machine's EPC, so faulting it in already crosses the
+//    threshold and every sequential sweep keeps missing (LRU worst case).
+//  * Tail latency needs p99 >= 50 us and >= 8x p50: the mixed stressor's
+//    `ecall_tail` runs 20 us normally and 600 us on every 16th instance
+//    per worker (deterministic in the op index).
+#include "stress/stressor.hpp"
+
+#include <condition_variable>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "sgxsim/edl.hpp"
+
+namespace stress {
+namespace {
+
+using sgxsim::EnclaveConfig;
+using sgxsim::EnclaveId;
+using sgxsim::MemAccess;
+using sgxsim::OcallTable;
+using sgxsim::SgxStatus;
+using sgxsim::SyncOcall;
+using sgxsim::SyncOcallMs;
+using sgxsim::TrustedContext;
+using tracedb::AlertKind;
+
+/// Untrusted think time between ops: strictly above the 20 us Eq. 2/Eq. 3
+/// correlation horizon even before jitter, so consecutive top-level calls of
+/// one worker never read as batchable.
+constexpr support::Nanoseconds kThinkNs = 30'000;
+constexpr support::Nanoseconds kThinkJitterNs = 5'000;
+
+/// Pages touched by one vm sweep ecall.
+constexpr std::uint64_t kChunkPages = 64;
+
+SgxStatus noop_ocall(void*) { return SgxStatus::kSuccess; }
+
+/// Common plumbing: spec storage and per-worker deterministic rng streams.
+class StressorBase : public Stressor {
+ public:
+  [[nodiscard]] const StressorSpec& spec() const noexcept override { return spec_; }
+
+ protected:
+  void init_workers(const StressConfig& config) {
+    threads_ = config.threads;
+    intensity_ = config.intensity == 0 ? 1 : config.intensity;
+    rngs_.clear();
+    rngs_.reserve(config.threads);
+    for (std::size_t w = 0; w < config.threads; ++w) {
+      rngs_.emplace_back(config.seed * 0x9E3779B97F4A7C15ull + w + 1);
+    }
+  }
+
+  /// Seed-jittered think time; each worker only touches its own stream, so
+  /// this is safe in free-running mode too.
+  void think(sgxsim::Urts& urts, std::size_t worker) {
+    urts.clock().advance(kThinkNs + rngs_[worker].next_below(kThinkJitterNs));
+  }
+
+  StressorSpec spec_;
+  std::size_t threads_ = 1;
+  std::size_t intensity_ = 1;
+  std::vector<support::Rng> rngs_;
+};
+
+std::set<AlertKind> all_pattern_kinds() {
+  return {AlertKind::kShortCalls, AlertKind::kReorderStart, AlertKind::kReorderEnd,
+          AlertKind::kBatchable,  AlertKind::kMergeable,    AlertKind::kSyncContention,
+          AlertKind::kPaging,     AlertKind::kTailLatency};
+}
+
+std::set<AlertKind> all_but(const std::set<AlertKind>& excluded) {
+  std::set<AlertKind> out;
+  for (const auto k : all_pattern_kinds()) {
+    if (excluded.count(k) == 0) out.insert(k);
+  }
+  return out;
+}
+
+// --- shared trusted bodies --------------------------------------------------
+
+/// The transition-storm ecall body (ocall table ids 0-3):
+///   ocall_first (0)  on entry            -> Eq. 2 reorder-start
+///   per burst: hot (1) x2, alt (2)       -> Eq. 3 batchable on hot,
+///                                           mergeable on alt (follows hot)
+///   ocall_last (3)   right before return -> Eq. 2 reorder-end
+/// The 25/15 us work pads keep the burst children away from the parent's
+/// edges and the bursts apart, so only the intended detectors fire.
+SgxStatus storm_ecall_body(TrustedContext& ctx, std::size_t bursts) {
+  ctx.ocall(0, nullptr);
+  ctx.work(25'000);
+  for (std::size_t b = 0; b < bursts; ++b) {
+    ctx.ocall(1, nullptr);
+    ctx.ocall(1, nullptr);
+    ctx.ocall(2, nullptr);
+    ctx.work(15'000);
+  }
+  return ctx.ocall(3, nullptr);
+}
+
+/// The contended-sync ecall body: bank a wake-event for ourselves, then
+/// consume it.  Both SDK sync ocalls go through the rewritten table, so the
+/// profiler classifies them (kWakeOne / kSleep) and SSC fires; the banked
+/// permit means wait-event never parks, which keeps the lockstep scheduler's
+/// token from being held by a blocked thread.  The 25 us pads keep the sync
+/// sites off the Eq. 2/Eq. 3 horizons.
+SgxStatus sync_ecall_body(TrustedContext& ctx, sgxsim::CallId sync_base) {
+  SyncOcallMs ms;
+  ms.urts = &ctx.urts();
+  ms.self = ctx.thread_id();
+  ms.target = ctx.thread_id();
+  ctx.work(25'000);
+  ctx.ocall(sync_base + static_cast<sgxsim::CallId>(SyncOcall::kSetEvent), &ms);
+  ctx.work(25'000);
+  ctx.ocall(sync_base + static_cast<sgxsim::CallId>(SyncOcall::kWaitEvent), &ms);
+  ctx.work(25'000);
+  return SgxStatus::kSuccess;
+}
+
+// --- cpu --------------------------------------------------------------------
+
+constexpr char kCpuEdl[] = R"(
+enclave {
+  trusted {
+    public int ecall_spin(void);
+  };
+};
+)";
+
+/// Tight trusted compute, near-zero transitions: the negative control.  Long
+/// uniform ecalls with >20 us think gaps must trigger nothing.
+class CpuStressor final : public StressorBase {
+ public:
+  CpuStressor() {
+    spec_.name = "cpu";
+    spec_.description = "tight trusted compute, near-zero transitions (negative control)";
+    spec_.must_not = all_but({});
+  }
+
+  void prepare(sgxsim::Urts& urts, const StressConfig& config) override {
+    init_workers(config);
+    EnclaveConfig cfg;
+    cfg.name = "stress_cpu";
+    cfg.tcs_count = config.threads + 1;
+    eid_ = urts.create_enclave(std::move(cfg), sgxsim::edl::parse(kCpuEdl));
+    table_ = sgxsim::make_ocall_table({});
+    const auto spin_ns = static_cast<support::Nanoseconds>(50'000) * intensity_;
+    urts.enclave(eid_).register_ecall("ecall_spin", [spin_ns](TrustedContext& ctx, void*) {
+      ctx.work(spin_ns);
+      return SgxStatus::kSuccess;
+    });
+  }
+
+  void step(sgxsim::Urts& urts, std::size_t worker, std::uint64_t) override {
+    think(urts, worker);
+    urts.sgx_ecall(eid_, 0, &table_, nullptr);
+  }
+
+ private:
+  EnclaveId eid_ = 0;
+  OcallTable table_;
+};
+
+// --- vm ---------------------------------------------------------------------
+
+constexpr char kVmEdl[] = R"(
+enclave {
+  trusted {
+    public int ecall_vm_init(void);
+    public int ecall_vm_sweep(void);
+  };
+};
+)";
+
+/// EPC-thrashing working set: the trusted heap is sized at 1.25x the
+/// machine's EPC, faulted in up front (heap_alloc touches every page for
+/// write) and then swept in 64-page chunks — the sequential-over-LRU worst
+/// case, so every sweep keeps paging.
+class VmStressor final : public StressorBase {
+ public:
+  VmStressor() {
+    spec_.name = "vm";
+    spec_.description = "EPC-thrashing working set at 1.25x EPC (EWB/ELD load)";
+    spec_.must_trigger = {AlertKind::kPaging};
+    spec_.must_not = all_but(spec_.must_trigger);
+  }
+
+  void prepare(sgxsim::Urts& urts, const StressConfig& config) override {
+    init_workers(config);
+    const std::size_t epc = urts.driver().epc_pages();
+    const std::size_t heap_pages = epc + epc / 4;
+    bytes_ = static_cast<std::uint64_t>(heap_pages - 4) * sgxsim::kPageSize;
+    chunks_ = bytes_ / (kChunkPages * sgxsim::kPageSize);
+    EnclaveConfig cfg;
+    cfg.name = "stress_vm";
+    cfg.heap_pages = heap_pages;
+    cfg.tcs_count = config.threads + 1;
+    eid_ = urts.create_enclave(std::move(cfg), sgxsim::edl::parse(kVmEdl));
+    table_ = sgxsim::make_ocall_table({});
+    auto& enclave = urts.enclave(eid_);
+    enclave.register_ecall("ecall_vm_init", [this](TrustedContext& ctx, void*) {
+      base_ = ctx.malloc(bytes_);
+      return base_ == 0 ? SgxStatus::kOutOfMemory : SgxStatus::kSuccess;
+    });
+    enclave.register_ecall("ecall_vm_sweep", [this](TrustedContext& ctx, void* ms) {
+      const auto chunk = *static_cast<const std::uint64_t*>(ms);
+      ctx.touch(base_ + chunk * kChunkPages * sgxsim::kPageSize,
+                kChunkPages * sgxsim::kPageSize, MemAccess::kRead);
+      return SgxStatus::kSuccess;
+    });
+    // Fault the whole working set in from the main thread before the
+    // workers start: exceeding the EPC here already fires the paging label.
+    urts.sgx_ecall(eid_, 0, &table_, nullptr);
+  }
+
+  void step(sgxsim::Urts& urts, std::size_t worker, std::uint64_t op) override {
+    think(urts, worker);
+    std::uint64_t chunk = (op * threads_ + worker) % chunks_;
+    urts.sgx_ecall(eid_, 1, &table_, &chunk);
+  }
+
+ private:
+  EnclaveId eid_ = 0;
+  OcallTable table_;
+  sgxsim::EnclaveAddr base_ = 0;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t chunks_ = 1;
+};
+
+// --- sync -------------------------------------------------------------------
+
+constexpr char kSyncEdl[] = R"(
+enclave {
+  trusted {
+    public int ecall_sync(void);
+  };
+};
+)";
+
+/// In-enclave synchronisation traffic: every op issues the SDK wake/wait
+/// ocall pair (SSC), whose sub-microsecond bodies also read as short calls.
+class SyncStressor final : public StressorBase {
+ public:
+  SyncStressor() {
+    spec_.name = "sync";
+    spec_.description = "SDK sync-ocall traffic (wake/wait pairs, SSC pattern)";
+    spec_.must_trigger = {AlertKind::kSyncContention, AlertKind::kShortCalls};
+    spec_.must_not = all_but(spec_.must_trigger);
+  }
+
+  void prepare(sgxsim::Urts& urts, const StressConfig& config) override {
+    init_workers(config);
+    EnclaveConfig cfg;
+    cfg.name = "stress_sync";
+    cfg.tcs_count = config.threads + 1;
+    eid_ = urts.create_enclave(std::move(cfg), sgxsim::edl::parse(kSyncEdl));
+    table_ = sgxsim::make_ocall_table({});
+    const auto sync_base = table_.sync_base;
+    urts.enclave(eid_).register_ecall("ecall_sync", [sync_base](TrustedContext& ctx, void*) {
+      return sync_ecall_body(ctx, sync_base);
+    });
+  }
+
+  void step(sgxsim::Urts& urts, std::size_t worker, std::uint64_t) override {
+    think(urts, worker);
+    urts.sgx_ecall(eid_, 0, &table_, nullptr);
+  }
+
+ private:
+  EnclaveId eid_ = 0;
+  OcallTable table_;
+};
+
+// --- ocall-storm ------------------------------------------------------------
+
+constexpr char kStormEdl[] = R"(
+enclave {
+  trusted {
+    public int ecall_storm(void);
+    public int ecall_quick(void);
+  };
+  untrusted {
+    void ocall_first(void);
+    void ocall_hot(void);
+    void ocall_alt(void);
+    void ocall_last(void);
+  };
+};
+)";
+
+/// Short-call and hot-ocall generator: the storm ecall drives Eq. 2 (first/
+/// last ocalls) and Eq. 3 (hot/alt bursts); the quick ecall's 350 ns body
+/// drives Eq. 1 on the ecall side, the noop ocalls on the ocall side.
+class OcallStormStressor final : public StressorBase {
+ public:
+  OcallStormStressor() {
+    spec_.name = "ocall-storm";
+    spec_.description = "short-call + hot-ocall transition storm (Eq. 1-3 patterns)";
+    spec_.must_trigger = {AlertKind::kShortCalls, AlertKind::kReorderStart,
+                          AlertKind::kReorderEnd, AlertKind::kBatchable,
+                          AlertKind::kMergeable};
+    spec_.must_not = all_but(spec_.must_trigger);
+  }
+
+  void prepare(sgxsim::Urts& urts, const StressConfig& config) override {
+    init_workers(config);
+    EnclaveConfig cfg;
+    cfg.name = "stress_storm";
+    cfg.tcs_count = config.threads + 1;
+    eid_ = urts.create_enclave(std::move(cfg), sgxsim::edl::parse(kStormEdl));
+    table_ = sgxsim::make_ocall_table({&noop_ocall, &noop_ocall, &noop_ocall, &noop_ocall});
+    auto& enclave = urts.enclave(eid_);
+    const std::size_t bursts = 4 * intensity_;
+    enclave.register_ecall("ecall_storm", [bursts](TrustedContext& ctx, void*) {
+      return storm_ecall_body(ctx, bursts);
+    });
+    enclave.register_ecall("ecall_quick", [](TrustedContext& ctx, void*) {
+      ctx.work(350);
+      return SgxStatus::kSuccess;
+    });
+  }
+
+  void step(sgxsim::Urts& urts, std::size_t worker, std::uint64_t) override {
+    think(urts, worker);
+    urts.sgx_ecall(eid_, 0, &table_, nullptr);
+    think(urts, worker);
+    urts.sgx_ecall(eid_, 1, &table_, nullptr);
+  }
+
+ private:
+  EnclaveId eid_ = 0;
+  OcallTable table_;
+};
+
+// --- mixed ------------------------------------------------------------------
+
+constexpr char kMixedEdl[] = R"(
+enclave {
+  trusted {
+    public int ecall_storm(void);
+    public int ecall_quick(void);
+    public int ecall_sync(void);
+    public int ecall_tail(void);
+    public int ecall_vm_init(void);
+    public int ecall_vm_sweep(void);
+  };
+  untrusted {
+    void ocall_first(void);
+    void ocall_hot(void);
+    void ocall_alt(void);
+    void ocall_last(void);
+  };
+};
+)";
+
+/// Everything at once: cycles storm/quick, sync, tail and vm-sweep ops, so
+/// every detector with a post-mortem analogue must fire.  The tail site runs
+/// 20 us normally and 600 us on every 16th instance per worker — enough mass
+/// above p99 to clear both tail thresholds deterministically.
+class MixedStressor final : public StressorBase {
+ public:
+  MixedStressor() {
+    spec_.name = "mixed";
+    spec_.description = "all axes combined: storm + sync + tail + EPC sweep";
+    spec_.must_trigger = all_pattern_kinds();
+  }
+
+  void prepare(sgxsim::Urts& urts, const StressConfig& config) override {
+    init_workers(config);
+    const std::size_t epc = urts.driver().epc_pages();
+    const std::size_t heap_pages = epc + epc / 4;
+    bytes_ = static_cast<std::uint64_t>(heap_pages - 4) * sgxsim::kPageSize;
+    chunks_ = bytes_ / (kChunkPages * sgxsim::kPageSize);
+    EnclaveConfig cfg;
+    cfg.name = "stress_mixed";
+    cfg.heap_pages = heap_pages;
+    cfg.tcs_count = config.threads + 1;
+    eid_ = urts.create_enclave(std::move(cfg), sgxsim::edl::parse(kMixedEdl));
+    table_ = sgxsim::make_ocall_table({&noop_ocall, &noop_ocall, &noop_ocall, &noop_ocall});
+    const auto sync_base = table_.sync_base;
+    const std::size_t bursts = 4 * intensity_;
+    auto& enclave = urts.enclave(eid_);
+    enclave.register_ecall("ecall_storm", [bursts](TrustedContext& ctx, void*) {
+      return storm_ecall_body(ctx, bursts);
+    });
+    enclave.register_ecall("ecall_quick", [](TrustedContext& ctx, void*) {
+      ctx.work(350);
+      return SgxStatus::kSuccess;
+    });
+    enclave.register_ecall("ecall_sync", [sync_base](TrustedContext& ctx, void*) {
+      return sync_ecall_body(ctx, sync_base);
+    });
+    enclave.register_ecall("ecall_tail", [](TrustedContext& ctx, void* ms) {
+      ctx.work(*static_cast<const support::Nanoseconds*>(ms));
+      return SgxStatus::kSuccess;
+    });
+    enclave.register_ecall("ecall_vm_init", [this](TrustedContext& ctx, void*) {
+      base_ = ctx.malloc(bytes_);
+      return base_ == 0 ? SgxStatus::kOutOfMemory : SgxStatus::kSuccess;
+    });
+    enclave.register_ecall("ecall_vm_sweep", [this](TrustedContext& ctx, void* ms) {
+      const auto chunk = *static_cast<const std::uint64_t*>(ms);
+      ctx.touch(base_ + chunk * kChunkPages * sgxsim::kPageSize,
+                kChunkPages * sgxsim::kPageSize, MemAccess::kRead);
+      return SgxStatus::kSuccess;
+    });
+    urts.sgx_ecall(eid_, 4, &table_, nullptr);  // fault the working set in
+  }
+
+  void step(sgxsim::Urts& urts, std::size_t worker, std::uint64_t op) override {
+    switch (op % 4) {
+      case 0: {
+        think(urts, worker);
+        urts.sgx_ecall(eid_, 0, &table_, nullptr);
+        think(urts, worker);
+        urts.sgx_ecall(eid_, 1, &table_, nullptr);
+        break;
+      }
+      case 1: {
+        think(urts, worker);
+        urts.sgx_ecall(eid_, 2, &table_, nullptr);
+        break;
+      }
+      case 2: {
+        // Tail op: this worker's (op/4)-th tail instance; every 16th runs
+        // 30x longer.  Deterministic in the op index, so the p99/p50 ratio
+        // is pinned regardless of scheduling mode.
+        think(urts, worker);
+        support::Nanoseconds work_ns = ((op / 4) % 16 == 15) ? 600'000 : 20'000;
+        urts.sgx_ecall(eid_, 3, &table_, &work_ns);
+        break;
+      }
+      default: {
+        think(urts, worker);
+        std::uint64_t chunk = ((op / 4) * threads_ + worker) % chunks_;
+        urts.sgx_ecall(eid_, 5, &table_, &chunk);
+        break;
+      }
+    }
+  }
+
+ private:
+  EnclaveId eid_ = 0;
+  OcallTable table_;
+  sgxsim::EnclaveAddr base_ = 0;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t chunks_ = 1;
+};
+
+/// Round-robin token for the lockstep scheduler.
+struct Lockstep {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t turn = 0;
+  std::vector<bool> done;
+};
+
+}  // namespace
+
+std::unique_ptr<Stressor> make_stressor(const std::string& name) {
+  if (name == "cpu") return std::make_unique<CpuStressor>();
+  if (name == "vm") return std::make_unique<VmStressor>();
+  if (name == "sync") return std::make_unique<SyncStressor>();
+  if (name == "ocall-storm") return std::make_unique<OcallStormStressor>();
+  if (name == "mixed") return std::make_unique<MixedStressor>();
+  return nullptr;
+}
+
+std::vector<std::string> stressor_names() {
+  return {"cpu", "vm", "sync", "ocall-storm", "mixed"};
+}
+
+StressResult run_stressor(Stressor& stressor, sgxsim::Urts& urts,
+                          const StressConfig& config) {
+  if (config.threads == 0) throw std::invalid_argument("stress: threads must be > 0");
+  stressor.prepare(urts, config);
+  const auto start = urts.clock().now();
+  const auto deadline = start + config.duration_ns;
+
+  StressResult result;
+  result.per_thread_ops.assign(config.threads, 0);
+
+  if (config.lockstep) {
+    // One op per turn, workers rotating in index order.  The first round
+    // also pins the ThreadId assignment (registration happens on the first
+    // op), so a fixed config yields a byte-identical merged trace.
+    Lockstep ls;
+    ls.done.assign(config.threads, false);
+    const auto pass_token = [&](std::size_t from) {
+      std::size_t t = from;
+      for (std::size_t i = 0; i < config.threads; ++i) {
+        t = (t + 1) % config.threads;
+        if (!ls.done[t]) break;
+      }
+      ls.turn = t;
+      ls.cv.notify_all();
+    };
+    const auto body = [&](std::size_t w) {
+      std::uint64_t op = 0;
+      for (;;) {
+        std::unique_lock lock(ls.mu);
+        ls.cv.wait(lock, [&] { return ls.turn == w; });
+        if (urts.clock().now() >= deadline) {
+          ls.done[w] = true;
+          pass_token(w);
+          return;
+        }
+        lock.unlock();
+        // The token stays ours while the op runs: ops are fully serialized,
+        // but nothing blocks inside the simulated runtime holding the mutex.
+        stressor.step(urts, w, op);
+        result.per_thread_ops[w] += 1;
+        ++op;
+        lock.lock();
+        pass_token(w);
+      }
+    };
+    std::vector<std::thread> workers;
+    workers.reserve(config.threads);
+    for (std::size_t w = 0; w < config.threads; ++w) workers.emplace_back(body, w);
+    for (auto& t : workers) t.join();
+  } else {
+    const auto body = [&](std::size_t w) {
+      std::uint64_t op = 0;
+      while (urts.clock().now() < deadline) {
+        stressor.step(urts, w, op);
+        result.per_thread_ops[w] += 1;
+        ++op;
+      }
+    };
+    std::vector<std::thread> workers;
+    workers.reserve(config.threads);
+    for (std::size_t w = 0; w < config.threads; ++w) workers.emplace_back(body, w);
+    for (auto& t : workers) t.join();
+  }
+
+  for (const auto ops : result.per_thread_ops) result.bogo_ops += ops;
+  result.elapsed_ns = urts.clock().now() - start;
+  return result;
+}
+
+}  // namespace stress

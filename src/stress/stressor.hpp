@@ -1,0 +1,102 @@
+// Stress-SGX-style workload suite (PAPERS.md, arXiv:1906.11204): pluggable
+// in-enclave stressors that saturate one axis of enclave behaviour each —
+// trusted compute, EPC paging, in-enclave synchronisation, transition storms
+// — plus a mixed stressor combining all of them.
+//
+// Two properties make the suite usable as a *labeled corpus* for the
+// analyser's anti-pattern detectors rather than just a load generator:
+//
+//  1. Every stressor declares a ground-truth label set: exactly which
+//     anti-pattern alert kinds its construction must trigger and which it
+//     must not.  tests/stress_detector_accuracy_test.cpp measures detector
+//     precision/recall against these labels; `sgxperf stress` reports the
+//     same verdict per run.
+//
+//  2. Runs are deterministic.  Workers run against the shared virtual clock
+//     in a lockstep round-robin (one bogo-op per turn), so a fixed
+//     (stressor, threads, seed, duration) config always produces the same
+//     bogo-ops count and a byte-identical merged trace — the replay/merge
+//     determinism guarantees extend to the stress suite.  Free-running mode
+//     (lockstep = false) trades this for true thread concurrency; the soak
+//     tests use it to exercise the lock-free recording paths.
+//
+// Label design is pinned against the detector arithmetic in
+// perf/analyzer.cpp (Eq. 1–3, SSC, paging, tail): every stressor separates
+// its pattern sites with >20 us virtual-time pads so no *unintended*
+// detector crosses a threshold — which is what makes the must-not sets
+// assertable.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sgxsim/runtime.hpp"
+#include "support/clock.hpp"
+#include "support/rng.hpp"
+#include "tracedb/database.hpp"
+
+namespace stress {
+
+struct StressConfig {
+  std::size_t threads = 4;
+  /// Virtual-time budget: workers stop at start + duration_ns.
+  support::Nanoseconds duration_ns = 200'000'000;
+  /// Scales the per-op payload (burst length, compute time).
+  std::size_t intensity = 1;
+  std::uint64_t seed = 42;
+  /// Deterministic round-robin scheduling (one op per turn).  false =
+  /// free-running threads: true concurrency, no determinism guarantee.
+  bool lockstep = true;
+};
+
+/// Ground truth of one stressor: the alert kinds its construction must
+/// trigger and must not.  kLatencyShift is never labeled — it is an
+/// online-only change signal with no post-mortem analogue.
+struct StressorSpec {
+  std::string name;
+  std::string description;
+  std::set<tracedb::AlertKind> must_trigger;
+  std::set<tracedb::AlertKind> must_not;
+};
+
+struct StressResult {
+  std::uint64_t bogo_ops = 0;
+  std::vector<std::uint64_t> per_thread_ops;
+  /// Virtual time consumed by the run.
+  support::Nanoseconds elapsed_ns = 0;
+
+  [[nodiscard]] double bogo_ops_per_vsec() const noexcept {
+    return elapsed_ns == 0 ? 0.0
+                           : static_cast<double>(bogo_ops) * 1e9 /
+                                 static_cast<double>(elapsed_ns);
+  }
+};
+
+/// One pluggable stressor.  prepare() builds the enclave(s) on the given
+/// machine; step() runs one bogo-op on behalf of worker `worker` (0-based,
+/// its `op`-th op).  step() must be safe for concurrent calls by *different*
+/// workers (free-running mode); per-worker state is indexed by `worker`.
+class Stressor {
+ public:
+  virtual ~Stressor() = default;
+
+  [[nodiscard]] virtual const StressorSpec& spec() const noexcept = 0;
+  virtual void prepare(sgxsim::Urts& urts, const StressConfig& config) = 0;
+  virtual void step(sgxsim::Urts& urts, std::size_t worker, std::uint64_t op) = 0;
+};
+
+/// Builds the stressor registered under `name`; nullptr for unknown names.
+[[nodiscard]] std::unique_ptr<Stressor> make_stressor(const std::string& name);
+
+/// Registered stressor names, in a stable order.
+[[nodiscard]] std::vector<std::string> stressor_names();
+
+/// Runs `stressor` on `urts` until config.duration_ns of virtual time has
+/// elapsed.  Calls prepare() first; spawns config.threads workers.
+StressResult run_stressor(Stressor& stressor, sgxsim::Urts& urts,
+                          const StressConfig& config);
+
+}  // namespace stress

@@ -21,6 +21,11 @@
 # byte-for-byte — virtual time makes the online analyser's alert onsets
 # reproducible, so any drift is a real behaviour change.
 #
+# Every build also regenerates one golden stress corpus (`sgxperf stress`,
+# lockstep + fixed seed => deterministic trace) and diffs `sgxperf stats
+# --json` against tests/golden/stress_corpus_stats.json to catch silent
+# detector-threshold drift.
+#
 # Usage: tools/ci.sh [jobs]   (run from the repository root)
 set -eu
 
@@ -42,6 +47,27 @@ monitor_soak() {
   echo "monitor soak alert log matches golden"
 }
 
+# Regenerate one golden stress corpus and diff its post-mortem statistics:
+# the stressors are deterministic under virtual time (lockstep scheduling,
+# fixed seed), so any drift in `sgxperf stats --json` is a real change in a
+# detector threshold, the cost model or the trace format — exactly the silent
+# drift this leg exists to catch.
+stress_corpus() {
+  build_dir="$1"
+  corpus_dir="$build_dir/stress-corpus"
+  rm -rf "$corpus_dir"
+  mkdir -p "$corpus_dir"
+  "$build_dir/tools/sgxperf" stress --stressor ocall-storm --threads 2 \
+    --duration 20000000 --seed 7 --out "$corpus_dir/corpus.bin" >/dev/null
+  "$build_dir/tools/sgxperf" stats "$corpus_dir/corpus.bin" --json > "$corpus_dir/stats.json"
+  if ! cmp -s "$corpus_dir/stats.json" "$root/tests/golden/stress_corpus_stats.json"; then
+    echo "error: stress corpus stats diverged from the golden:" >&2
+    diff -u "$root/tests/golden/stress_corpus_stats.json" "$corpus_dir/stats.json" >&2 || true
+    exit 1
+  fi
+  echo "stress corpus stats match golden"
+}
+
 run_suite() {
   build_dir="$1"
   shift
@@ -49,6 +75,7 @@ run_suite() {
   cmake --build "$build_dir" -j "$jobs"
   ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
   monitor_soak "$build_dir"
+  stress_corpus "$build_dir"
 }
 
 echo "=== plain build ==="
@@ -60,7 +87,7 @@ rm -rf "$smoke_dir"
 mkdir -p "$smoke_dir"
 benches="bench_transitions bench_logger_overhead bench_paging bench_switchless \
          bench_sync bench_merge bench_replay bench_analyzer bench_glamdring \
-         bench_securekeeper bench_sqlite bench_talos bench_online"
+         bench_securekeeper bench_sqlite bench_talos bench_online bench_stress"
 for bench in $benches; do
   echo "--- $bench --smoke"
   (cd "$smoke_dir" && "$root/build/bench/$bench" --smoke --out-dir "$root" >/dev/null)

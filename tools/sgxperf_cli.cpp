@@ -18,6 +18,7 @@
 //   sgxperf record  <out.bin> [--threads N] [--calls N]       demo recording
 //   sgxperf top     [--workload demo|kv|db] [--frames N]      live monitor
 //   sgxperf monitor [--workload demo|kv|db] [--window NS]     online detection daemon
+//   sgxperf stress  --stressor cpu|vm|sync|ocall-storm|mixed  labeled stress run
 //
 // `record` exercises the first half on a built-in multi-threaded workload:
 // it attaches the logger (sharded per-thread buffers), runs N threads of
@@ -46,6 +47,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <optional>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -65,6 +67,7 @@
 #include "replay/render.hpp"
 #include "sgxsim/edl.hpp"
 #include "sgxsim/runtime.hpp"
+#include "stress/harness.hpp"
 #include "support/json.hpp"
 #include "support/strutil.hpp"
 #include "telemetry/chrome_trace.hpp"
@@ -91,7 +94,12 @@ struct Options {
   std::size_t interval_ms = 100;       // top/monitor: wall-clock poll interval
   support::Nanoseconds window_ns = 0;  // top/monitor: aggregation window (0 = default)
   std::string alert_log_path;          // monitor: duplicate alert JSON-lines here
-  std::string out_path;                // monitor: save the v5 trace here
+  std::string out_path;                // monitor/stress: save the v5 trace here
+  // stress flags
+  std::string stressor;                        // cpu | vm | sync | ocall-storm | mixed
+  support::Nanoseconds duration_ns = 200'000'000;  // virtual-time budget
+  std::size_t intensity = 1;
+  std::uint64_t seed = 42;
   // whatif / compare --whatif scenario flags
   std::string switchless_site;
   std::string eliminate_site;
@@ -128,6 +136,11 @@ void usage() {
       "           monitor [--workload demo|kv|db] [--threads N] [--calls N]\n"
       "           [--window NS] [--interval N] [--alert-log FILE] [--out trace.bin] [--json]\n"
       "           alerts stream to stderr as JSON lines; --out saves the v5 trace\n"
+      "  stress   run a labeled stressor through the logger + online analyser:\n"
+      "           stress --stressor cpu|vm|sync|ocall-storm|mixed [--threads N]\n"
+      "           [--duration NS] [--intensity N] [--seed N] [--epc-mb N]\n"
+      "           [--window NS] [--out trace.bin] [--json]\n"
+      "           exits nonzero if the run violates the stressor's label set\n"
       "  whatif   predict speedups by replaying the trace under a scenario:\n"
       "           whatif <trace.bin> [--switchless SITE [--workers N|A..B]]\n"
       "           [--eliminate SITE] [--merge SITE] [--cost-profile P] [--epc-mb N]\n"
@@ -152,7 +165,11 @@ void usage() {
       "  --window NS       (top, monitor) aggregation window in virtual ns\n"
       "                    (top default: cumulative; monitor default: 1000000 = 1ms)\n"
       "  --alert-log FILE  (monitor) also append alert JSON lines to FILE\n"
-      "  --out FILE        (monitor) save the v5 trace (windows + alerts) to FILE\n"
+      "  --out FILE        (monitor, stress) save the v5 trace (windows + alerts) to FILE\n"
+      "  --stressor NAME   (stress) stressor to run: cpu, vm, sync, ocall-storm, mixed\n"
+      "  --duration NS     (stress) virtual-time budget per run (default 200000000)\n"
+      "  --intensity N     (stress) per-op payload scale (default 1)\n"
+      "  --seed N          (stress) rng seed; fixed seed => deterministic bogo-ops\n"
       "  --switchless SITE (whatif) serve SITE via in-enclave workers; sweeps --workers\n"
       "  --workers N|A..B  (whatif) worker count or sweep range (default 1..8)\n"
       "  --eliminate SITE  (whatif) remove SITE's transition overhead entirely\n"
@@ -170,7 +187,7 @@ bool parse_args(int argc, char** argv, Options& opts) {
   if (argc < 2) return false;
   opts.command = argv[1];
   int i;
-  if (opts.command == "top" || opts.command == "monitor") {
+  if (opts.command == "top" || opts.command == "monitor" || opts.command == "stress") {
     i = 2;  // these drive their own workload — no trace path argument
   } else {
     if (argc < 3) return false;
@@ -263,6 +280,14 @@ bool parse_args(int argc, char** argv, Options& opts) {
       opts.alert_log_path = next();
     } else if (arg == "--out") {
       opts.out_path = next();
+    } else if (arg == "--stressor") {
+      opts.stressor = next();
+    } else if (arg == "--duration") {
+      opts.duration_ns = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--intensity") {
+      opts.intensity = std::strtoul(next(), nullptr, 10);
+    } else if (arg == "--seed") {
+      opts.seed = std::strtoull(next(), nullptr, 10);
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       return false;
@@ -630,6 +655,143 @@ int run_monitor(const Options& opts) {
     if (!opts.out_path.empty()) std::printf("trace written to %s\n", opts.out_path.c_str());
   }
   return 0;
+}
+
+/// Emits a set of alert kinds as a JSON array of kind names.
+void kinds_array(support::json::Writer& w, std::string_view key,
+                 const std::set<tracedb::AlertKind>& kinds) {
+  w.key(key);
+  w.begin_array();
+  for (const auto kind : kinds) w.value(perf::to_string(kind));
+  w.end_array();
+}
+
+/// `sgxperf stress`: run one labeled stressor through the logger + online
+/// analyser soak harness (src/stress/harness.hpp), report deterministic
+/// bogo-ops and the label verdict, and optionally save the v5 trace.  The
+/// exit status reflects the verdict, so a stress run doubles as a detector
+/// precision/recall check.
+int run_stress(const Options& opts) {
+  const auto list_names = [] {
+    std::string names;
+    for (const auto& n : stress::stressor_names()) {
+      if (!names.empty()) names += ", ";
+      names += n;
+    }
+    return names;
+  };
+  if (opts.stressor.empty()) {
+    std::fprintf(stderr, "error: stress requires --stressor NAME (%s)\n", list_names().c_str());
+    return 2;
+  }
+  const auto stressor = stress::make_stressor(opts.stressor);
+  if (stressor == nullptr) {
+    std::fprintf(stderr, "error: unknown stressor '%s' (%s)\n", opts.stressor.c_str(),
+                 list_names().c_str());
+    return 2;
+  }
+  if (opts.threads == 0 || opts.duration_ns == 0) {
+    std::fputs("error: --threads and --duration must be > 0\n", stderr);
+    return 2;
+  }
+
+  const std::size_t epc_pages = opts.epc_mb > 0
+                                    ? opts.epc_mb * (1024 * 1024 / sgxsim::kPageSize)
+                                    : sgxsim::Driver::kDefaultEpcPages;
+  sgxsim::Urts urts(sgxsim::CostModel::preset(sgxsim::PatchLevel::kUnpatched), epc_pages);
+  tracedb::TraceDatabase db;
+
+  stress::SoakConfig scfg;
+  scfg.stress.threads = opts.threads;
+  scfg.stress.duration_ns = opts.duration_ns;
+  scfg.stress.intensity = opts.intensity;
+  scfg.stress.seed = opts.seed;
+  scfg.analyzer = opts.config;
+  if (opts.window_ns > 0) scfg.window_ns = opts.window_ns;
+
+  stress::SoakResult result;
+  try {
+    result = stress::run_soak(*stressor, urts, db, scfg);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+
+  if (!opts.out_path.empty()) {
+    try {
+      db.save(opts.out_path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+  }
+
+  const auto& spec = stressor->spec();
+  if (opts.json) {
+    support::json::Writer w;
+    w.begin_object();
+    w.kv("stressor", spec.name);
+    w.kv("threads", static_cast<std::uint64_t>(opts.threads));
+    w.kv("duration_ns", static_cast<std::uint64_t>(opts.duration_ns));
+    w.kv("intensity", static_cast<std::uint64_t>(opts.intensity));
+    w.kv("seed", opts.seed);
+    w.kv("bogo_ops", result.stress.bogo_ops);
+    w.kv("bogo_ops_per_vsec", result.stress.bogo_ops_per_vsec());
+    w.kv("elapsed_ns", static_cast<std::uint64_t>(result.stress.elapsed_ns));
+    w.key("per_thread_ops");
+    w.begin_array();
+    for (const auto ops : result.stress.per_thread_ops) w.value(ops);
+    w.end_array();
+    w.kv("events", result.events);
+    w.kv("windows", result.windows);
+    w.kv("alerts_raised", result.alerts_raised);
+    w.kv("alerts_resolved", result.alerts_resolved);
+    w.kv("stream_dropped", result.stream_dropped);
+    w.kv("sealed_dropped", result.sealed_dropped);
+    w.kv("pending_evicted", result.pending_evicted);
+    kinds_array(w, "must_trigger", spec.must_trigger);
+    kinds_array(w, "must_not", spec.must_not);
+    kinds_array(w, "triggered", result.triggered);
+    kinds_array(w, "missing", result.missing);
+    kinds_array(w, "false_positives", result.false_positives);
+    w.kv("labels_ok", result.labels_ok());
+    if (!opts.out_path.empty()) w.kv("trace", opts.out_path);
+    w.end_object();
+    std::printf("%s\n", w.take().c_str());
+  } else {
+    std::printf("stress '%s': %llu bogo-ops in %.3fms virtual (%.0f bogo-ops/s), %zu thread(s)\n",
+                spec.name.c_str(), static_cast<unsigned long long>(result.stress.bogo_ops),
+                static_cast<double>(result.stress.elapsed_ns) / 1e6,
+                result.stress.bogo_ops_per_vsec(), opts.threads);
+    std::printf("observed: %llu events in %llu windows; alerts %llu raised / %llu resolved\n",
+                static_cast<unsigned long long>(result.events),
+                static_cast<unsigned long long>(result.windows),
+                static_cast<unsigned long long>(result.alerts_raised),
+                static_cast<unsigned long long>(result.alerts_resolved));
+    const auto print_kinds = [](const char* label, const std::set<tracedb::AlertKind>& kinds) {
+      std::printf("%s", label);
+      if (kinds.empty()) std::printf(" (none)");
+      for (const auto kind : kinds) std::printf(" %s", perf::to_string(kind));
+      std::printf("\n");
+    };
+    print_kinds("labels expected:", spec.must_trigger);
+    print_kinds("labels triggered:", result.triggered);
+    if (result.labels_ok()) {
+      std::printf("label verdict: OK (100%% recall, 0 false positives)\n");
+    } else {
+      print_kinds("labels MISSING:", result.missing);
+      print_kinds("labels FALSE-POSITIVE:", result.false_positives);
+    }
+    if (result.stream_dropped > 0 || result.sealed_dropped > 0 || result.pending_evicted > 0) {
+      std::printf("warning: %llu stream events dropped, %llu sealed-shard drops, "
+                  "%llu pending children evicted\n",
+                  static_cast<unsigned long long>(result.stream_dropped),
+                  static_cast<unsigned long long>(result.sealed_dropped),
+                  static_cast<unsigned long long>(result.pending_evicted));
+    }
+    if (!opts.out_path.empty()) std::printf("trace written to %s\n", opts.out_path.c_str());
+  }
+  return result.labels_ok() ? 0 : 1;
 }
 
 /// `sgxperf stats --json`: general statistics as a JSON document, one object
@@ -1002,6 +1164,7 @@ int main(int argc, char** argv) {
   if (opts.command == "record") return run_record(opts);
   if (opts.command == "top") return run_top(opts);
   if (opts.command == "monitor") return run_monitor(opts);
+  if (opts.command == "stress") return run_stress(opts);
 
   tracedb::TraceDatabase db = [&] {
     try {
