@@ -1,0 +1,99 @@
+// E15 — fleet aggregation service: produce, ingest and query cost.
+//
+// Three questions:
+//  * wire overhead — bytes per producer stream and per merged window, the
+//    budget a `sgxperf monitor --fleet` producer adds to its run;
+//  * ingest throughput — MB/s and windows/s through Aggregator::ingest with
+//    incremental frame reassembly (chunked pushes, the socket read path);
+//  * query cost — ms per full snapshot_json and per top-N ranking over the
+//    merged state, which bounds how often a dashboard can poll `serve`.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "fleet/aggregator.hpp"
+#include "fleet/corpus.hpp"
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = bench::strip_smoke_flag(argc, argv);
+  bench::JsonReport json("fleet", smoke, bench::strip_out_dir_flag(argc, argv));
+
+  std::printf("=== E15: fleet aggregation — produce, ingest, query ===\n\n");
+
+  fleet::CorpusConfig config = fleet::default_corpus();
+  for (auto& p : config.producers) p.duration_ns = smoke ? 20'000'000 : 100'000'000;
+
+  // Produce: each corpus producer is a full lockstep stress run under a
+  // MonitorSession + FrameSink, so this is the end-to-end producer cost.
+  auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::string> streams;
+  std::size_t stream_bytes = 0;
+  for (const auto& spec : config.producers) {
+    streams.push_back(fleet::run_corpus_producer(spec, config));
+    stream_bytes += streams.back().size();
+  }
+  const double produce_s = seconds_since(t0);
+  std::printf("%-28s %3zu producers, %8zu bytes, %7.1f ms\n", "produce (stress + frames)",
+              streams.size(), stream_bytes, produce_s * 1e3);
+
+  // Ingest repeatedly into fresh aggregators to get a stable rate; chunked
+  // pushes exercise the incremental reassembly the socket loop relies on.
+  const int ingest_rounds = smoke ? 20 : 100;
+  std::uint64_t windows_merged = 0;
+  t0 = std::chrono::steady_clock::now();
+  for (int round = 0; round < ingest_rounds; ++round) {
+    fleet::Aggregator agg;
+    for (const auto& bytes : streams) {
+      const fleet::ProducerId id = agg.connect();
+      constexpr std::size_t kChunk = 4096;
+      for (std::size_t off = 0; off < bytes.size(); off += kChunk) {
+        agg.ingest(id, bytes.data() + off, std::min(kChunk, bytes.size() - off));
+      }
+      agg.disconnect(id);
+    }
+    windows_merged = agg.windows_merged();
+  }
+  const double ingest_s = seconds_since(t0);
+  const double ingest_mb_s =
+      static_cast<double>(stream_bytes) * ingest_rounds / (1024.0 * 1024.0) / ingest_s;
+  const double windows_per_s = static_cast<double>(windows_merged) * ingest_rounds / ingest_s;
+  std::printf("%-28s %8.1f MB/s, %10.0f windows/s (%llu windows/round)\n", "ingest (4 KiB chunks)",
+              ingest_mb_s, windows_per_s, static_cast<unsigned long long>(windows_merged));
+
+  // Query: snapshot and rankings over the merged state.
+  fleet::Aggregator agg;
+  fleet::run_corpus(agg, config);
+  const int query_rounds = smoke ? 50 : 500;
+  t0 = std::chrono::steady_clock::now();
+  std::size_t snapshot_bytes = 0;
+  for (int i = 0; i < query_rounds; ++i) snapshot_bytes = agg.snapshot_json().size();
+  const double snapshot_ms = seconds_since(t0) * 1e3 / query_rounds;
+  t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < query_rounds; ++i) (void)agg.top_json("p99", 10);
+  const double top_ms = seconds_since(t0) * 1e3 / query_rounds;
+  std::printf("%-28s %8.3f ms/snapshot (%zu bytes), %.3f ms/top-10\n", "query", snapshot_ms,
+              snapshot_bytes, top_ms);
+
+  json.metric("producers", static_cast<double>(streams.size()));
+  json.metric("stream_bytes", static_cast<double>(stream_bytes), "bytes");
+  json.metric("bytes_per_window",
+              static_cast<double>(stream_bytes) / static_cast<double>(windows_merged), "bytes");
+  json.metric("produce_ms", produce_s * 1e3, "ms");
+  json.metric("ingest_mb_per_s", ingest_mb_s, "MB/s");
+  json.metric("ingest_windows_per_s", windows_per_s, "windows/s");
+  json.metric("snapshot_ms", snapshot_ms, "ms");
+  json.metric("top10_ms", top_ms, "ms");
+  return json.write() ? 0 : 1;
+}

@@ -71,6 +71,7 @@ class JsonReport {
   [[nodiscard]] bool write() const {
     support::json::Writer w;
     w.begin_object();
+    w.kv("schema_version", support::json::kSchemaVersion);
     w.kv("bench", name_);
     w.kv("smoke", smoke_);
     w.key("metrics");

@@ -28,8 +28,12 @@ int main(int argc, char** argv) {
 
   // Phase 1 — the connection storm: many clients connect simultaneously,
   // contending on the in-enclave session map (sleep/wake ocalls expected).
+  // The clients free-run on OS threads, so whether any of them actually
+  // collide inside the session map is scheduler luck; retry a few times so
+  // the exit-status assertion checks "the storm *can* contend", not "this
+  // particular interleaving did".
   std::size_t storm_sync_events = 0;
-  {
+  for (int attempt = 0; attempt < 5 && storm_sync_events == 0; ++attempt) {
     sgxsim::Urts storm_urts;
     Store storm_store(storm_urts.clock());
     KvProxy storm_proxy(storm_urts, storm_store);

@@ -1,0 +1,604 @@
+#include "fleet/aggregator.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "perf/online.hpp"
+#include "support/json.hpp"
+#include "support/strutil.hpp"
+
+namespace fleet {
+namespace {
+
+const char* type_name(tracedb::CallType t) {
+  return t == tracedb::CallType::kEcall ? "ecall" : "ocall";
+}
+
+/// Splits a query line into whitespace-separated tokens.
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream in(line);
+  std::string tok;
+  while (in >> tok) out.push_back(tok);
+  return out;
+}
+
+std::string error_json(const std::string& message) {
+  support::json::Writer w;
+  w.begin_object();
+  w.kv("schema_version", support::json::kSchemaVersion);
+  w.kv("error", message);
+  w.end_object();
+  return w.take();
+}
+
+}  // namespace
+
+Aggregator::Aggregator(AggregatorConfig config) : config_(config) {
+  if (config_.retention_windows == 0) config_.retention_windows = 1;
+}
+
+ProducerId Aggregator::connect() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const ProducerId id = next_producer_++;
+  producers_[id];  // default-constructed Producer
+  return id;
+}
+
+void Aggregator::ingest(ProducerId id, const char* data, std::size_t size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = producers_.find(id);
+  if (it == producers_.end()) return;
+  Producer& p = it->second;
+  if (p.state.ended || !p.state.error.empty()) return;  // quarantined
+  p.parser.push(data, size);
+  while (auto frame = p.parser.next()) {
+    p.state.frames += 1;
+    apply(p, *frame);
+    if (!p.state.error.empty()) return;
+  }
+  if (p.parser.error()) p.state.error = p.parser.error_message();
+}
+
+void Aggregator::disconnect(ProducerId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = producers_.find(id);
+  if (it == producers_.end()) return;
+  it->second.state.ended = true;
+}
+
+void Aggregator::apply(Producer& p, const Frame& frame) {
+  if (const auto* hello = std::get_if<HelloFrame>(&frame)) {
+    if (hello->version > kWireVersion) {
+      p.state.error = support::format("unsupported wire version %u", hello->version);
+      return;
+    }
+    if (hello->hdr_sub_bits != telemetry::hdr::kSubBits ||
+        hello->hdr_max_exponent != telemetry::hdr::kMaxExponent) {
+      // Bucket indices are only portable between identical geometries;
+      // merging anything else would silently corrupt the fleet series.
+      p.state.error = support::format("HDR geometry mismatch (%u/%u, fleet has %u/%u)",
+                                      hello->hdr_sub_bits, hello->hdr_max_exponent,
+                                      telemetry::hdr::kSubBits, telemetry::hdr::kMaxExponent);
+      return;
+    }
+    if (window_ns_ == 0) window_ns_ = hello->window_ns;
+    if (hello->window_ns != window_ns_) {
+      p.state.error = support::format(
+          "window period mismatch (%llu ns, fleet uses %llu ns)",
+          static_cast<unsigned long long>(hello->window_ns),
+          static_cast<unsigned long long>(window_ns_));
+      return;
+    }
+    p.state.host = hello->host;
+    p.state.enclave = hello->enclave;
+    p.state.hello_seen = true;
+    return;
+  }
+  if (!p.state.hello_seen) {
+    p.state.error = "frame before hello";
+    return;
+  }
+  if (const auto* window = std::get_if<WindowFrame>(&frame)) {
+    apply_window(p, *window);
+  } else if (const auto* alert = std::get_if<AlertFrame>(&frame)) {
+    apply_alert(p, *alert);
+  } else if (const auto* stats = std::get_if<StatsFrame>(&frame)) {
+    p.state.events = stats->events;
+    p.state.stream_dropped = std::max(p.state.stream_dropped, stats->stream_dropped);
+    p.state.sealed_dropped = stats->sealed_dropped;
+    p.state.pending_evicted = stats->pending_evicted;
+  } else if (const auto* bye = std::get_if<ByeFrame>(&frame)) {
+    p.state.clean = true;
+    p.state.end_ns = bye->end_ns;
+  }
+}
+
+void Aggregator::apply_window(Producer& p, const WindowFrame& f) {
+  const auto& w = f.window;
+  p.state.windows += 1;
+  p.state.stream_dropped = std::max(p.state.stream_dropped, w.stream_dropped);
+  p.state.paging += w.page_ins + w.page_outs;
+  p.last_window_end = std::max(p.last_window_end, static_cast<std::uint64_t>(w.end_ns));
+  windows_merged_ += 1;
+
+  FleetWindow& fw = fleet_windows_[w.start_ns];
+  fw.start_ns = w.start_ns;
+  fw.end_ns = std::max(fw.end_ns, static_cast<std::uint64_t>(w.end_ns));
+  fw.calls += w.calls;
+  fw.aexs += w.aexs;
+  fw.page_ins += w.page_ins;
+  fw.page_outs += w.page_outs;
+  fw.stream_dropped += w.stream_dropped;
+  fw.producers += 1;
+  fw.active_alerts += w.active_alerts;
+
+  total_calls_ += w.calls;
+  total_aexs_ += w.aexs;
+  total_page_ins_ += w.page_ins;
+  total_page_outs_ += w.page_outs;
+
+  for (const auto& s : f.sites) {
+    const SiteKey key{p.state.host, p.state.enclave, s.name, s.row.type};
+    SiteSeries& series = sites_[key];
+    if (series.calls == 0) {
+      series.first_enclave_id = s.row.enclave_id;
+      series.first_call_id = s.row.call_id;
+    }
+    // Bucket-wise delta add; the sum is then pinned to the exactly-recorded
+    // one (add_bucket approximates from bucket upper bounds).
+    const std::uint64_t prev_sum = series.cumulative.sum();
+    for (const auto& [bucket, count] : s.buckets) series.cumulative.add_bucket(bucket, count);
+    series.cumulative.set_exact_sum(prev_sum + s.delta_sum);
+    series.calls += s.row.calls;
+    series.aex += s.row.aex_count;
+    SitePoint point;
+    point.start_ns = w.start_ns;
+    point.end_ns = w.end_ns;
+    point.calls = s.row.calls;
+    point.aex = s.row.aex_count;
+    point.p50_ns = s.row.p50_ns;
+    point.p99_ns = s.row.p99_ns;
+    series.points.push_back(point);
+  }
+  prune();
+}
+
+void Aggregator::apply_alert(Producer& p, const AlertFrame& f) {
+  p.state.alerts += 1;
+  const SiteKey key{p.state.host, p.state.enclave, f.site_name, f.alert.type};
+  AlertState& st = alerts_[{key, f.alert.kind}];
+  st.enclave_id = f.alert.enclave_id;
+  st.call_id = f.alert.call_id;
+  st.detail = f.alert.detail;
+  st.window_index = f.alert.window_index;
+  if (f.resolved) {
+    st.active = false;
+    st.resolved_ns = f.alert.resolved_ns;
+    alerts_resolved_ += 1;
+  } else {
+    st.active = true;
+    st.onset_ns = f.alert.onset_ns;
+    st.resolved_ns = 0;
+    st.raises += 1;
+    alerts_raised_ += 1;
+  }
+}
+
+void Aggregator::prune() {
+  while (fleet_windows_.size() > config_.retention_windows) {
+    fleet_windows_.erase(fleet_windows_.begin());
+  }
+  if (fleet_windows_.empty()) return;
+  const std::uint64_t min_start = fleet_windows_.begin()->first;
+  for (auto& [key, series] : sites_) {
+    while (!series.points.empty() && series.points.front().start_ns < min_start) {
+      series.points.pop_front();
+    }
+  }
+}
+
+std::vector<Aggregator::TopRow> Aggregator::top(const std::string& by, std::size_t n) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return top_locked(by, n);
+}
+
+std::vector<Aggregator::TopRow> Aggregator::top_locked(const std::string& by,
+                                                       std::size_t n) const {
+  std::vector<TopRow> rows;
+  if (by == "paging") {
+    // Producer-level metric: rank (host, enclave) identities.
+    std::map<std::pair<std::string, std::string>, std::uint64_t> per_producer;
+    for (const auto& [id, p] : producers_) {
+      if (!p.state.hello_seen) continue;
+      per_producer[{p.state.host, p.state.enclave}] += p.state.paging;
+    }
+    for (const auto& [identity, paging] : per_producer) {
+      TopRow row;
+      row.key.host = identity.first;
+      row.key.enclave = identity.second;
+      row.value = paging;
+      rows.push_back(std::move(row));
+    }
+  } else {
+    for (const auto& [key, series] : sites_) {
+      TopRow row;
+      row.key = key;
+      row.calls = series.calls;
+      row.p99_ns = series.cumulative.value_at_percentile(99.0);
+      row.value = by == "transitions" ? series.calls : row.p99_ns;
+      rows.push_back(std::move(row));
+    }
+  }
+  std::stable_sort(rows.begin(), rows.end(), [](const TopRow& a, const TopRow& b) {
+    if (a.value != b.value) return a.value > b.value;
+    return a.key < b.key;
+  });
+  if (rows.size() > n) rows.resize(n);
+  return rows;
+}
+
+std::string Aggregator::snapshot_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return snapshot_json_locked();
+}
+
+std::string Aggregator::snapshot_json_locked() const {
+  support::json::Writer w;
+  w.begin_object();
+  w.kv("schema_version", support::json::kSchemaVersion);
+  w.kv("window_ns", window_ns_);
+
+  // Producers sorted by identity (connect order varies across runs).
+  std::vector<const ProducerState*> producers;
+  for (const auto& [id, p] : producers_) producers.push_back(&p.state);
+  std::stable_sort(producers.begin(), producers.end(),
+                   [](const ProducerState* a, const ProducerState* b) {
+                     if (a->host != b->host) return a->host < b->host;
+                     return a->enclave < b->enclave;
+                   });
+  w.key("producers");
+  w.begin_array();
+  for (const auto* p : producers) {
+    w.begin_object();
+    w.kv("host", p->host);
+    w.kv("enclave", p->enclave);
+    w.kv("ended", p->ended);
+    w.kv("clean", p->clean);
+    w.kv("lossy", p->lossy());
+    if (!p->error.empty()) w.kv("error", p->error);
+    w.kv("frames", p->frames);
+    w.kv("windows", p->windows);
+    w.kv("alerts", p->alerts);
+    w.kv("events", p->events);
+    w.kv("stream_dropped", p->stream_dropped);
+    w.kv("sealed_dropped", p->sealed_dropped);
+    w.kv("pending_evicted", p->pending_evicted);
+    w.kv("paging", p->paging);
+    w.kv("end_ns", p->end_ns);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("fleet_windows");
+  w.begin_array();
+  for (const auto& [start, fw] : fleet_windows_) {
+    w.begin_object();
+    w.kv("start_ns", fw.start_ns);
+    w.kv("end_ns", fw.end_ns);
+    w.kv("calls", fw.calls);
+    w.kv("aexs", fw.aexs);
+    w.kv("page_ins", fw.page_ins);
+    w.kv("page_outs", fw.page_outs);
+    w.kv("producers", static_cast<std::uint64_t>(fw.producers));
+    w.kv("active_alerts", static_cast<std::uint64_t>(fw.active_alerts));
+    w.kv("stream_dropped", fw.stream_dropped);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("sites");
+  w.begin_array();
+  for (const auto& [key, series] : sites_) {
+    w.begin_object();
+    w.kv("host", key.host);
+    w.kv("enclave", key.enclave);
+    w.kv("site", key.site);
+    w.kv("type", type_name(key.type));
+    w.kv("calls", series.calls);
+    w.kv("aex", series.aex);
+    w.kv("sum_ns", series.cumulative.sum());
+    w.kv("p50_ns", series.cumulative.value_at_percentile(50.0));
+    w.kv("p90_ns", series.cumulative.value_at_percentile(90.0));
+    w.kv("p99_ns", series.cumulative.value_at_percentile(99.0));
+    w.kv("p999_ns", series.cumulative.value_at_percentile(99.9));
+    w.kv("max_ns", series.cumulative.max_value());
+    w.kv("points", static_cast<std::uint64_t>(series.points.size()));
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("alerts");
+  w.begin_object();
+  w.kv("raised", alerts_raised_);
+  w.kv("resolved", alerts_resolved_);
+  w.key("active");
+  w.begin_array();
+  for (const auto& [key, st] : alerts_) {
+    if (!st.active) continue;
+    w.begin_object();
+    w.kv("host", key.first.host);
+    w.kv("enclave", key.first.enclave);
+    w.kv("site", key.first.site);
+    w.kv("kind", perf::to_string(key.second));
+    w.kv("onset_ns", st.onset_ns);
+    w.kv("detail", st.detail);
+    w.kv("raises", st.raises);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+
+  w.key("totals");
+  w.begin_object();
+  w.kv("calls", total_calls_);
+  w.kv("aexs", total_aexs_);
+  w.kv("page_ins", total_page_ins_);
+  w.kv("page_outs", total_page_outs_);
+  w.kv("windows_merged", windows_merged_);
+  w.end_object();
+
+  w.end_object();
+  return w.take();
+}
+
+std::string Aggregator::top_json(const std::string& by, std::size_t n) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (by != "p99" && by != "transitions" && by != "paging") {
+    return error_json(support::format("unknown ranking '%s' (p99|transitions|paging)",
+                                      by.c_str()));
+  }
+  const auto rows = top_locked(by, n);
+  support::json::Writer w;
+  w.begin_object();
+  w.kv("schema_version", support::json::kSchemaVersion);
+  w.kv("by", by);
+  w.key("rows");
+  w.begin_array();
+  for (const auto& row : rows) {
+    w.begin_object();
+    w.kv("host", row.key.host);
+    w.kv("enclave", row.key.enclave);
+    if (!row.key.site.empty()) {
+      w.kv("site", row.key.site);
+      w.kv("type", type_name(row.key.type));
+    }
+    w.kv("value", row.value);
+    if (by != "paging") {
+      w.kv("calls", row.calls);
+      w.kv("p99_ns", row.p99_ns);
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+std::string Aggregator::alerts_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  support::json::Writer w;
+  w.begin_object();
+  w.kv("schema_version", support::json::kSchemaVersion);
+  w.kv("raised", alerts_raised_);
+  w.kv("resolved", alerts_resolved_);
+  w.key("alerts");
+  w.begin_array();
+  for (const auto& [key, st] : alerts_) {
+    w.begin_object();
+    w.kv("host", key.first.host);
+    w.kv("enclave", key.first.enclave);
+    w.kv("site", key.first.site);
+    w.kv("type", type_name(key.first.type));
+    w.kv("kind", perf::to_string(key.second));
+    w.kv("active", st.active);
+    w.kv("onset_ns", st.onset_ns);
+    if (!st.active) w.kv("resolved_ns", st.resolved_ns);
+    w.kv("detail", st.detail);
+    w.kv("raises", st.raises);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+std::string Aggregator::series_json(const std::string& host, const std::string& enclave,
+                                    const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  support::json::Writer w;
+  w.begin_object();
+  w.kv("schema_version", support::json::kSchemaVersion);
+  w.kv("host", host);
+  w.kv("enclave", enclave);
+  w.kv("site", site);
+  w.key("series");
+  w.begin_array();
+  for (const auto& [key, series] : sites_) {
+    if (key.host != host || key.enclave != enclave || key.site != site) continue;
+    w.begin_object();
+    w.kv("type", type_name(key.type));
+    w.kv("calls", series.calls);
+    w.kv("p99_ns", series.cumulative.value_at_percentile(99.0));
+    w.key("points");
+    w.begin_array();
+    for (const auto& point : series.points) {
+      w.begin_object();
+      w.kv("start_ns", point.start_ns);
+      w.kv("end_ns", point.end_ns);
+      w.kv("calls", point.calls);
+      w.kv("aex", point.aex);
+      w.kv("p50_ns", point.p50_ns);
+      w.kv("p99_ns", point.p99_ns);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+std::string Aggregator::query(const std::string& line) const {
+  const auto tokens = tokenize(line);
+  if (tokens.empty()) return error_json("empty query");
+  if (tokens[0] == "snapshot") return snapshot_json();
+  if (tokens[0] == "alerts") return alerts_json();
+  if (tokens[0] == "top") {
+    const std::string by = tokens.size() > 1 ? tokens[1] : "p99";
+    std::size_t n = 10;
+    if (tokens.size() > 2) {
+      const long long parsed = std::atoll(tokens[2].c_str());
+      if (parsed > 0) n = static_cast<std::size_t>(parsed);
+    }
+    return top_json(by, n);
+  }
+  if (tokens[0] == "series") {
+    if (tokens.size() < 4) return error_json("usage: series <host> <enclave> <site>");
+    return series_json(tokens[1], tokens[2], tokens[3]);
+  }
+  return error_json(support::format("unknown query '%s'", tokens[0].c_str()));
+}
+
+std::optional<std::uint64_t> Aggregator::site_p99(const SiteKey& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = sites_.find(key);
+  if (it == sites_.end()) return std::nullopt;
+  return it->second.cumulative.value_at_percentile(99.0);
+}
+
+std::uint64_t Aggregator::windows_merged() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return windows_merged_;
+}
+
+void Aggregator::checkpoint(tracedb::TraceDatabase& db) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  db.set_window_period(window_ns_);
+
+  // One synthetic enclave per (host, enclave) identity, ids assigned in
+  // sorted identity order so checkpoints of the same fleet state are
+  // byte-identical.
+  std::map<std::pair<std::string, std::string>, tracedb::EnclaveId> enclave_ids;
+  for (const auto& [key, series] : sites_) enclave_ids[{key.host, key.enclave}];
+  for (const auto& [id, p] : producers_) {
+    if (p.state.hello_seen) enclave_ids[{p.state.host, p.state.enclave}];
+  }
+  tracedb::EnclaveId next_eid = 1;
+  for (auto& [identity, eid] : enclave_ids) {
+    eid = next_eid++;
+    tracedb::EnclaveRecord rec;
+    rec.enclave_id = eid;
+    rec.name = identity.first + "/" + identity.second;
+    db.add_enclave(rec);
+  }
+
+  // Synthetic call ids per (identity, type), in sorted site order; call-id
+  // collisions across producers are impossible because each identity gets
+  // its own synthetic enclave.
+  std::map<SiteKey, std::pair<tracedb::EnclaveId, tracedb::CallId>> site_ids;
+  std::map<std::pair<tracedb::EnclaveId, tracedb::CallType>, tracedb::CallId> next_call_id;
+  for (const auto& [key, series] : sites_) {
+    const tracedb::EnclaveId eid = enclave_ids.at({key.host, key.enclave});
+    const tracedb::CallId cid = next_call_id[{eid, key.type}]++;
+    site_ids[key] = {eid, cid};
+    tracedb::CallNameRecord name;
+    name.enclave_id = eid;
+    name.type = key.type;
+    name.call_id = cid;
+    name.name = key.site;
+    db.add_call_name(name);
+
+    tracedb::LatencyRecord lat;
+    lat.enclave_id = eid;
+    lat.type = key.type;
+    lat.call_id = cid;
+    lat.count = series.cumulative.count();
+    lat.sum_ns = series.cumulative.sum();
+    const auto& buckets = series.cumulative.buckets();
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+      if (buckets[i] > 0) lat.buckets.emplace_back(static_cast<std::uint32_t>(i), buckets[i]);
+    }
+    db.set_latency(lat);
+  }
+
+  // Retained fleet windows, re-indexed 0..N-1 in time order.
+  std::map<std::uint64_t, std::uint32_t> window_index;
+  std::uint32_t idx = 0;
+  for (const auto& [start, fw] : fleet_windows_) {
+    window_index[start] = idx;
+    tracedb::WindowRecord rec;
+    rec.window_index = idx++;
+    rec.start_ns = fw.start_ns;
+    rec.end_ns = fw.end_ns;
+    rec.calls = fw.calls;
+    rec.aexs = fw.aexs;
+    rec.page_ins = fw.page_ins;
+    rec.page_outs = fw.page_outs;
+    rec.stream_dropped = fw.stream_dropped;
+    rec.active_alerts = fw.active_alerts;
+    db.add_window(rec);
+  }
+
+  std::vector<tracedb::WindowSiteRecord> site_rows;
+  for (const auto& [key, series] : sites_) {
+    const auto [eid, cid] = site_ids.at(key);
+    for (const auto& point : series.points) {
+      const auto wit = window_index.find(point.start_ns);
+      if (wit == window_index.end()) continue;
+      tracedb::WindowSiteRecord rec;
+      rec.window_index = wit->second;
+      rec.enclave_id = eid;
+      rec.type = key.type;
+      rec.call_id = cid;
+      rec.calls = point.calls;
+      rec.aex_count = point.aex;
+      rec.p50_ns = point.p50_ns;
+      rec.p99_ns = point.p99_ns;
+      site_rows.push_back(rec);
+    }
+  }
+  std::stable_sort(site_rows.begin(), site_rows.end(),
+                   [](const tracedb::WindowSiteRecord& a, const tracedb::WindowSiteRecord& b) {
+                     if (a.window_index != b.window_index) return a.window_index < b.window_index;
+                     if (a.enclave_id != b.enclave_id) return a.enclave_id < b.enclave_id;
+                     if (a.type != b.type) return a.type < b.type;
+                     return a.call_id < b.call_id;
+                   });
+  for (const auto& rec : site_rows) db.add_window_site(rec);
+
+  for (const auto& [key, st] : alerts_) {
+    tracedb::AlertRecord rec;
+    rec.kind = key.second;
+    const auto sit = site_ids.find(key.first);
+    if (sit != site_ids.end()) {
+      rec.enclave_id = sit->second.first;
+      rec.call_id = sit->second.second;
+    } else {
+      // Paging alerts key a producer, not a call site.
+      const auto eit = enclave_ids.find({key.first.host, key.first.enclave});
+      rec.enclave_id = eit != enclave_ids.end() ? eit->second : 0;
+      rec.call_id = st.call_id;
+    }
+    rec.type = key.first.type;
+    rec.onset_ns = st.onset_ns;
+    rec.resolved_ns = st.active ? 0 : st.resolved_ns;
+    rec.detail = st.detail;
+    const auto wit = window_index.upper_bound(st.onset_ns);
+    rec.window_index = wit == window_index.begin() ? 0 : std::prev(wit)->second;
+    db.add_alert(rec);
+  }
+}
+
+}  // namespace fleet

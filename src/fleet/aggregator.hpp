@@ -1,0 +1,234 @@
+// Fleet aggregator: merges wire frames from N producers into one keyed
+// time-series (the `sgxperf serve` core, transport-agnostic).
+//
+// Keying.  Every window-site row is tagged (host, enclave, site-name, call
+// type) — the producer's self-declared identity from its hello frame plus
+// the call site.  Site *names* (not numeric call ids) key the fleet series,
+// so the same EDL function traced in different processes lands in one
+// series even when call-id assignment differs; the numeric (enclave_id,
+// call_id) of the first producer to report a site is kept for checkpoints.
+//
+// Merging.  Per-site window HDR *deltas* are summed bucket-wise into a
+// cumulative fleet histogram per key — exact, order-independent (bucket
+// addition commutes), and equal within bucket resolution to what one
+// WindowedHdr observing the union of the streams would hold.  Producer
+// windows are aligned on the virtual clock (same window_ns, epoch 0), so
+// fleet windows are keyed by start_ns and merge counter-wise.
+//
+// Retention.  The fleet keeps the last `retention_windows` windows: older
+// fleet window rows and per-site series points are pruned as new windows
+// arrive; cumulative histograms, totals and alert state are never pruned —
+// the aggregate stays exact, only the time-series view is bounded.
+//
+// Determinism.  All state lives in ordered maps keyed by (host, enclave,
+// site); snapshots iterate those maps, so a snapshot is a pure function of
+// the *set* of frames ingested, not of arrival interleaving.  This is what
+// the multi-producer determinism test (byte-identical snapshot across runs
+// and thread counts) pins.
+//
+// Threading: every public method takes the internal mutex — safe to ingest
+// from a socket loop while another thread queries or checkpoints.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fleet/wire.hpp"
+#include "telemetry/hdr_histogram.hpp"
+#include "tracedb/database.hpp"
+
+namespace fleet {
+
+struct AggregatorConfig {
+  /// Fleet windows (and per-site series points) retained, oldest pruned.
+  std::size_t retention_windows = 256;
+};
+
+/// Fleet series key: producer identity plus call site.
+struct SiteKey {
+  std::string host;
+  std::string enclave;
+  std::string site;
+  tracedb::CallType type = tracedb::CallType::kEcall;
+
+  [[nodiscard]] bool operator<(const SiteKey& o) const noexcept {
+    if (host != o.host) return host < o.host;
+    if (enclave != o.enclave) return enclave < o.enclave;
+    if (site != o.site) return site < o.site;
+    return type < o.type;
+  }
+  [[nodiscard]] bool operator==(const SiteKey& o) const noexcept {
+    return host == o.host && enclave == o.enclave && site == o.site && type == o.type;
+  }
+};
+
+/// One retained point of a site's percentile series (one producer window).
+struct SitePoint {
+  std::uint64_t start_ns = 0;
+  std::uint64_t end_ns = 0;
+  std::uint64_t calls = 0;
+  std::uint64_t aex = 0;
+  std::uint64_t p50_ns = 0;
+  std::uint64_t p99_ns = 0;
+};
+
+/// Everything the fleet knows about one site key.
+struct SiteSeries {
+  /// Sum of all window deltas — the exact cumulative distribution.
+  telemetry::HdrSnapshot cumulative;
+  std::uint64_t calls = 0;
+  std::uint64_t aex = 0;
+  /// Numeric identity from the first producer that reported the site
+  /// (checkpoint currency; names are the real key).
+  tracedb::EnclaveId first_enclave_id = 0;
+  tracedb::CallId first_call_id = 0;
+  std::deque<SitePoint> points;  // bounded by retention_windows
+};
+
+/// One merged fleet window (keyed by virtual start_ns across producers).
+struct FleetWindow {
+  std::uint64_t start_ns = 0;
+  std::uint64_t end_ns = 0;
+  std::uint64_t calls = 0;
+  std::uint64_t aexs = 0;
+  std::uint64_t page_ins = 0;
+  std::uint64_t page_outs = 0;
+  std::uint64_t stream_dropped = 0;  // sum of producer cumulative counters
+  std::uint32_t producers = 0;       // producer windows merged in
+  std::uint32_t active_alerts = 0;
+};
+
+/// Raise/resolve state of one (site key, kind) pair.
+struct AlertState {
+  bool active = false;
+  std::uint64_t onset_ns = 0;
+  std::uint64_t resolved_ns = 0;
+  std::uint64_t detail = 0;
+  std::uint32_t window_index = 0;
+  std::uint64_t raises = 0;  // lifetime raise count
+  tracedb::EnclaveId enclave_id = 0;
+  tracedb::CallId call_id = 0;
+};
+
+/// Per-producer bookkeeping, including the loss counters `serve` reports.
+struct ProducerState {
+  std::string host;
+  std::string enclave;
+  bool hello_seen = false;
+  bool ended = false;        // stream closed (bye or disconnect)
+  bool clean = false;        // bye frame seen before close
+  std::string error;         // framing/geometry error, empty when healthy
+  std::uint64_t end_ns = 0;  // from the bye frame
+  std::uint64_t frames = 0;
+  std::uint64_t windows = 0;
+  std::uint64_t alerts = 0;
+  std::uint64_t events = 0;          // from the stats frame
+  std::uint64_t stream_dropped = 0;  // max of stats frame / window counters
+  std::uint64_t sealed_dropped = 0;
+  std::uint64_t pending_evicted = 0;
+  std::uint64_t paging = 0;  // cumulative page_ins + page_outs
+
+  /// Lossy = lost events, died mid-stream, or sent garbage.
+  [[nodiscard]] bool lossy() const noexcept {
+    return stream_dropped > 0 || sealed_dropped > 0 || !error.empty() || (ended && !clean);
+  }
+};
+
+using ProducerId = std::uint64_t;
+
+class Aggregator {
+ public:
+  explicit Aggregator(AggregatorConfig config = {});
+
+  /// Registers a new producer stream and returns its handle.
+  ProducerId connect();
+  /// Feeds raw stream bytes from one producer (any slicing).  Frames are
+  /// applied as they complete; a framing error quarantines the producer.
+  void ingest(ProducerId id, const char* data, std::size_t size);
+  void ingest(ProducerId id, const std::string& bytes) { ingest(id, bytes.data(), bytes.size()); }
+  /// End of the producer's stream.  A stream without a bye frame is kept
+  /// (partial data stays merged) and flagged lossy.
+  void disconnect(ProducerId id);
+
+  // --- queries (each locks; JSON output is deterministic) -------------------
+
+  struct TopRow {
+    SiteKey key;
+    std::uint64_t value = 0;  // metric the ranking used
+    std::uint64_t calls = 0;
+    std::uint64_t p99_ns = 0;
+  };
+
+  /// Top-`n` sites by "p99" | "transitions" | "paging" ("paging" ranks
+  /// (host, enclave) producers; the key's site field is empty).
+  [[nodiscard]] std::vector<TopRow> top(const std::string& by, std::size_t n) const;
+
+  /// Full fleet snapshot (producers, retained windows, per-site cumulative
+  /// percentiles, alert state, totals) as one deterministic JSON object.
+  [[nodiscard]] std::string snapshot_json() const;
+  [[nodiscard]] std::string top_json(const std::string& by, std::size_t n) const;
+  /// Active alerts (and lifetime raise/resolve totals).
+  [[nodiscard]] std::string alerts_json() const;
+  /// Retained percentile series of one site key (all call types).
+  [[nodiscard]] std::string series_json(const std::string& host, const std::string& enclave,
+                                        const std::string& site) const;
+
+  /// Answers one query-protocol line ("snapshot", "top <by> <n>", "alerts",
+  /// "series <host> <enclave> <site>"); unknown queries get a JSON error.
+  [[nodiscard]] std::string query(const std::string& line) const;
+
+  /// Cumulative p99 of one site key (tests compare against single-process
+  /// WindowedHdr values).  nullopt if the key is unknown.
+  [[nodiscard]] std::optional<std::uint64_t> site_p99(const SiteKey& key) const;
+
+  /// Fleet windows merged so far (monotonic; drives checkpoint cadence).
+  [[nodiscard]] std::uint64_t windows_merged() const;
+
+  /// Persists the fleet series as a v5-compatible trace: one synthetic
+  /// enclave per (host, enclave) producer identity, the retained fleet
+  /// windows, per-site window rows, the alert history and the cumulative
+  /// per-site HDR latency table — so `sgxperf stats`/`export` work on the
+  /// aggregate.
+  void checkpoint(tracedb::TraceDatabase& db) const;
+
+ private:
+  struct Producer {
+    ProducerState state;
+    FrameParser parser;
+    std::uint64_t last_window_end = 0;
+  };
+
+  void apply(Producer& p, const Frame& frame);
+  void apply_window(Producer& p, const WindowFrame& f);
+  void apply_alert(Producer& p, const AlertFrame& f);
+  void prune();
+
+  [[nodiscard]] std::vector<TopRow> top_locked(const std::string& by, std::size_t n) const;
+  [[nodiscard]] std::string snapshot_json_locked() const;
+
+  AggregatorConfig config_;
+  mutable std::mutex mu_;
+
+  std::map<ProducerId, Producer> producers_;
+  ProducerId next_producer_ = 1;
+  std::uint64_t window_ns_ = 0;  // from the first hello
+
+  std::map<std::uint64_t, FleetWindow> fleet_windows_;  // by start_ns
+  std::map<SiteKey, SiteSeries> sites_;
+  std::map<std::pair<SiteKey, tracedb::AlertKind>, AlertState> alerts_;
+
+  std::uint64_t windows_merged_ = 0;
+  std::uint64_t alerts_raised_ = 0;
+  std::uint64_t alerts_resolved_ = 0;
+  std::uint64_t total_calls_ = 0;
+  std::uint64_t total_aexs_ = 0;
+  std::uint64_t total_page_ins_ = 0;
+  std::uint64_t total_page_outs_ = 0;
+};
+
+}  // namespace fleet

@@ -1,0 +1,92 @@
+#include "fleet/corpus.hpp"
+
+#include <stdexcept>
+
+#include "fleet/wire.hpp"
+#include "perf/logger.hpp"
+#include "perf/session.hpp"
+#include "sgxsim/runtime.hpp"
+#include "stress/stressor.hpp"
+
+namespace fleet {
+
+CorpusConfig default_corpus() {
+  CorpusConfig config;
+  config.producers = {
+      {"host-a", "stress_cpu", "cpu", 2, 20'000'000, 7, 0},
+      {"host-b", "stress_storm", "ocall-storm", 2, 20'000'000, 7, 0},
+      {"host-c", "stress_vm", "vm", 2, 20'000'000, 7, 4},
+  };
+  return config;
+}
+
+std::string run_corpus_producer(const CorpusProducerSpec& spec, const CorpusConfig& config) {
+  auto stressor = stress::make_stressor(spec.stressor);
+  if (stressor == nullptr) {
+    throw std::runtime_error("fleet corpus: unknown stressor '" + spec.stressor + "'");
+  }
+
+  const std::size_t epc_pages = spec.epc_mb > 0
+                                    ? spec.epc_mb * (1024 * 1024 / sgxsim::kPageSize)
+                                    : sgxsim::Driver::kDefaultEpcPages;
+  sgxsim::Urts urts(sgxsim::CostModel::preset(sgxsim::PatchLevel::kUnpatched), epc_pages);
+  tracedb::TraceDatabase db;
+  perf::Logger logger(db);
+  logger.attach(urts);
+
+  perf::MonitorSessionConfig session_config;
+  session_config.identity = {spec.host, spec.enclave};
+  session_config.subscription_name = "fleet-corpus";
+  session_config.subscription_capacity = config.subscription_capacity;
+  session_config.online.window_ns = config.window_ns;
+  perf::MonitorSession session(logger, urts, session_config);
+  if (!session.ok()) throw std::runtime_error("fleet corpus: no free subscriber slot");
+
+  std::string stream;
+  session.add_sink(FrameSink::to_string(stream));
+
+  stress::StressConfig stress_config;
+  stress_config.threads = spec.threads;
+  stress_config.duration_ns = spec.duration_ns;
+  stress_config.seed = spec.seed;
+  stress_config.lockstep = true;  // the determinism anchor
+  stress::run_stressor(*stressor, urts, stress_config);
+
+  // The workload has quiesced (run_stressor joins its workers): one drain
+  // picks up every event, then the detach seals the database so finish()
+  // reads the exact virtual end time.
+  session.poll();
+  logger.detach();
+  session.finish();
+  return stream;
+}
+
+void run_corpus(Aggregator& agg, const CorpusConfig& config) {
+  std::vector<std::string> streams;
+  streams.reserve(config.producers.size());
+  for (const auto& spec : config.producers) {
+    streams.push_back(run_corpus_producer(spec, config));
+  }
+  std::vector<ProducerId> ids;
+  ids.reserve(streams.size());
+  for (std::size_t i = 0; i < streams.size(); ++i) ids.push_back(agg.connect());
+  // Round-robin in deliberately awkward chunks: frames arrive sliced across
+  // ingest calls and interleaved across producers, proving reassembly and
+  // order-independence.
+  constexpr std::size_t kChunk = 4093;  // prime, misaligned with frame sizes
+  std::vector<std::size_t> offsets(streams.size(), 0);
+  for (bool progress = true; progress;) {
+    progress = false;
+    for (std::size_t i = 0; i < streams.size(); ++i) {
+      const std::string& s = streams[i];
+      if (offsets[i] >= s.size()) continue;
+      const std::size_t n = std::min(kChunk, s.size() - offsets[i]);
+      agg.ingest(ids[i], s.data() + offsets[i], n);
+      offsets[i] += n;
+      progress = true;
+    }
+  }
+  for (const auto id : ids) agg.disconnect(id);
+}
+
+}  // namespace fleet

@@ -1,0 +1,53 @@
+// Deterministic multi-producer fleet corpus: the stress suite (PR 6) as a
+// fleet load generator.
+//
+// Each corpus producer runs one lockstep stressor under a MonitorSession
+// with a FrameSink, yielding one wire byte stream.  Lockstep scheduling
+// makes every producer's stream a pure function of its (stressor, threads,
+// seed, duration) spec — byte-identical across runs and thread counts — and
+// the aggregator's ordered-map state makes the merged snapshot independent
+// of ingest interleaving.  Together: `sgxperf fleet --corpus` produces a
+// byte-stable JSON snapshot, which is the CI golden gate, and the
+// multi-producer determinism test's subject.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fleet/aggregator.hpp"
+
+namespace fleet {
+
+/// One simulated producer process.
+struct CorpusProducerSpec {
+  std::string host;
+  std::string enclave;
+  std::string stressor;  // stress::make_stressor name
+  std::size_t threads = 2;
+  std::uint64_t duration_ns = 20'000'000;
+  std::uint64_t seed = 7;
+  std::size_t epc_mb = 0;  // 0 = default EPC
+};
+
+struct CorpusConfig {
+  std::vector<CorpusProducerSpec> producers;
+  std::uint64_t window_ns = 1'000'000;
+  std::size_t subscription_capacity = 1 << 18;
+};
+
+/// The default 3-producer corpus: a compute producer, a transition-storm
+/// producer and an EPC-thrashing producer on distinct hosts — covering the
+/// p99 / transitions / paging ranking axes.
+[[nodiscard]] CorpusConfig default_corpus();
+
+/// Runs one producer and returns its complete wire byte stream.  Throws on
+/// unknown stressor names.
+[[nodiscard]] std::string run_corpus_producer(const CorpusProducerSpec& spec,
+                                              const CorpusConfig& config);
+
+/// Runs every producer and ingests the streams into `agg` in interleaved
+/// chunks (exercising incremental frame reassembly).
+void run_corpus(Aggregator& agg, const CorpusConfig& config);
+
+}  // namespace fleet

@@ -1,0 +1,275 @@
+#include "fleet/server.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace fleet {
+namespace {
+
+/// Binds a listening UNIX-domain socket at `path`, unlinking any stale one.
+int listen_unix(const std::string& path) {
+  if (path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+    std::fprintf(stderr, "fleet: socket path too long: %s\n", path.c_str());
+    return -1;
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::fprintf(stderr, "fleet: socket: %s\n", std::strerror(errno));
+    return -1;
+  }
+  ::unlink(path.c_str());
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 64) != 0) {
+    std::fprintf(stderr, "fleet: bind/listen %s: %s\n", path.c_str(), std::strerror(errno));
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int connect_unix(const std::string& path) {
+  if (path.size() >= sizeof(sockaddr_un{}.sun_path)) return -1;
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool write_all(int fd, const char* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+Server::Server(ServerConfig config) : config_(std::move(config)), agg_(config_.aggregator) {}
+
+Server::~Server() {
+  for (auto& conn : conns_) {
+    if (conn.fd >= 0) ::close(conn.fd);
+  }
+  if (ingest_fd_ >= 0) {
+    ::close(ingest_fd_);
+    ::unlink(config_.ingest_path.c_str());
+  }
+  if (query_fd_ >= 0) {
+    ::close(query_fd_);
+    ::unlink(config_.query_path.c_str());
+  }
+  for (const int fd : wake_pipe_) {
+    if (fd >= 0) ::close(fd);
+  }
+}
+
+bool Server::start() {
+  if (config_.ingest_path.empty()) {
+    std::fprintf(stderr, "fleet: no ingest socket path configured\n");
+    return false;
+  }
+  ingest_fd_ = listen_unix(config_.ingest_path);
+  if (ingest_fd_ < 0) return false;
+  if (!config_.query_path.empty()) {
+    query_fd_ = listen_unix(config_.query_path);
+    if (query_fd_ < 0) return false;
+  }
+  if (::pipe(wake_pipe_) != 0) {
+    std::fprintf(stderr, "fleet: pipe: %s\n", std::strerror(errno));
+    return false;
+  }
+  return true;
+}
+
+void Server::stop() noexcept {
+  stop_.store(true, std::memory_order_release);
+  if (wake_pipe_[1] >= 0) {
+    const char byte = 0;
+    // Best-effort wake; the poll timeout bounds the latency anyway.
+    (void)!::write(wake_pipe_[1], &byte, 1);
+  }
+}
+
+void Server::close_connection(Connection& conn) {
+  if (conn.fd < 0) return;
+  if (!conn.is_query) agg_.disconnect(conn.producer);
+  ::close(conn.fd);
+  conn.fd = -1;
+}
+
+void Server::maybe_checkpoint(bool force) {
+  if (config_.checkpoint_path.empty()) return;
+  const std::uint64_t merged = agg_.windows_merged();
+  if (!force) {
+    if (config_.checkpoint_every_windows == 0) return;
+    if (merged - last_checkpoint_windows_ < config_.checkpoint_every_windows) return;
+  }
+  last_checkpoint_windows_ = merged;
+  tracedb::TraceDatabase db;
+  agg_.checkpoint(db);
+  try {
+    db.save(config_.checkpoint_path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fleet: checkpoint failed: %s\n", e.what());
+  }
+}
+
+std::uint64_t Server::run() {
+  using Clock = std::chrono::steady_clock;
+  auto last_activity = Clock::now();
+  char buf[1 << 16];
+
+  while (!stop_.load(std::memory_order_acquire)) {
+    std::vector<pollfd> fds;
+    fds.push_back({wake_pipe_[0], POLLIN, 0});
+    fds.push_back({ingest_fd_, POLLIN, 0});
+    if (query_fd_ >= 0) fds.push_back({query_fd_, POLLIN, 0});
+    const std::size_t conn_base = fds.size();
+    for (const auto& conn : conns_) fds.push_back({conn.fd, POLLIN, 0});
+
+    const int timeout_ms = config_.idle_exit_ms > 0 ? 50 : 500;
+    const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      std::fprintf(stderr, "fleet: poll: %s\n", std::strerror(errno));
+      break;
+    }
+
+    if (fds[0].revents != 0) {
+      (void)!::read(wake_pipe_[0], buf, sizeof(buf));
+    }
+    // Accept new producer / query connections.
+    if (fds[1].revents != 0) {
+      for (;;) {
+        const int fd = ::accept(ingest_fd_, nullptr, nullptr);
+        if (fd < 0) break;
+        Connection conn;
+        conn.fd = fd;
+        conn.producer = agg_.connect();
+        producers_served_ += 1;
+        conns_.push_back(conn);
+        last_activity = Clock::now();
+        break;  // accept one per wakeup; level-triggered poll re-fires
+      }
+    }
+    if (query_fd_ >= 0 && fds[2].revents != 0) {
+      const int fd = ::accept(query_fd_, nullptr, nullptr);
+      if (fd >= 0) {
+        Connection conn;
+        conn.fd = fd;
+        conn.is_query = true;
+        conns_.push_back(conn);
+        last_activity = Clock::now();
+      }
+    }
+
+    // Service established connections.  conns_ may have grown past the
+    // pollfd set this round; the new entries are picked up next iteration.
+    for (std::size_t i = 0; i < conns_.size() && conn_base + i < fds.size(); ++i) {
+      Connection& conn = conns_[i];
+      if (conn.fd < 0 || fds[conn_base + i].revents == 0) continue;
+      const ssize_t n = ::read(conn.fd, buf, sizeof(buf));
+      last_activity = Clock::now();
+      if (n <= 0) {
+        if (n < 0 && (errno == EINTR || errno == EAGAIN)) continue;
+        if (conn.is_query && !conn.request.empty()) {
+          // Client half-closed without a newline: treat the buffer as the
+          // full request.
+          const std::string response = agg_.query(conn.request) + "\n";
+          (void)write_all(conn.fd, response.data(), response.size());
+        }
+        close_connection(conn);
+        continue;
+      }
+      if (conn.is_query) {
+        conn.request.append(buf, static_cast<std::size_t>(n));
+        const auto eol = conn.request.find('\n');
+        if (eol != std::string::npos) {
+          conn.request.resize(eol);
+          const std::string response = agg_.query(conn.request) + "\n";
+          (void)write_all(conn.fd, response.data(), response.size());
+          close_connection(conn);
+        }
+      } else {
+        agg_.ingest(conn.producer, buf, static_cast<std::size_t>(n));
+        maybe_checkpoint(/*force=*/false);
+      }
+    }
+    conns_.erase(std::remove_if(conns_.begin(), conns_.end(),
+                                [](const Connection& c) { return c.fd < 0; }),
+                 conns_.end());
+
+    if (config_.idle_exit_ms > 0 && conns_.empty()) {
+      const auto idle =
+          std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() - last_activity);
+      if (idle.count() >= static_cast<long long>(config_.idle_exit_ms)) break;
+    }
+  }
+
+  for (auto& conn : conns_) close_connection(conn);
+  conns_.clear();
+  maybe_checkpoint(/*force=*/true);
+  return producers_served_;
+}
+
+std::string query_server(const std::string& query_path, const std::string& request) {
+  const int fd = connect_unix(query_path);
+  if (fd < 0) {
+    throw std::runtime_error("cannot connect to query socket " + query_path + ": " +
+                             std::strerror(errno));
+  }
+  const std::string line = request + "\n";
+  if (!write_all(fd, line.data(), line.size())) {
+    ::close(fd);
+    throw std::runtime_error("query write failed");
+  }
+  ::shutdown(fd, SHUT_WR);
+  std::string response;
+  char buf[1 << 14];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  // Strip the trailing response newline; callers print their own.
+  if (!response.empty() && response.back() == '\n') response.pop_back();
+  return response;
+}
+
+bool send_producer_stream(const std::string& ingest_path, const std::string& bytes) {
+  const int fd = connect_unix(ingest_path);
+  if (fd < 0) return false;
+  const bool ok = write_all(fd, bytes.data(), bytes.size());
+  ::close(fd);
+  return ok;
+}
+
+int connect_ingest(const std::string& ingest_path) { return connect_unix(ingest_path); }
+
+}  // namespace fleet

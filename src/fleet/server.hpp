@@ -1,0 +1,97 @@
+// The `sgxperf serve` daemon: UNIX-domain socket front-end of the fleet
+// Aggregator.
+//
+// Two listening sockets:
+//
+//   ingest  — producers connect and stream wire frames (fleet/wire.hpp);
+//             one connection == one producer stream.  EOF without a bye
+//             frame marks the producer lossy, its partial data stays merged.
+//   query   — request/response: the client sends one text line ("snapshot",
+//             "top <by> <n>", "alerts", "series <host> <enclave> <site>"),
+//             the server replies with one JSON document and closes.
+//
+// Single-threaded poll(2) loop — the aggregator's mutex makes concurrent
+// checkpoint/query access from other threads safe, but the socket plumbing
+// itself never needs more than one thread (windows arrive at window
+// cadence, not event cadence).  stop() is async-signal-safe via a self-pipe
+// so a SIGINT handler can end run() cleanly.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fleet/aggregator.hpp"
+
+namespace fleet {
+
+struct ServerConfig {
+  std::string ingest_path;           // required
+  std::string query_path;            // optional: no query socket when empty
+  AggregatorConfig aggregator;
+  /// Persist the fleet series as a v5 trace every N merged producer windows
+  /// (0 = only at shutdown) — `sgxperf stats`/`export` work on the file.
+  std::string checkpoint_path;
+  std::uint64_t checkpoint_every_windows = 0;
+  /// Exit run() after this long with no connected producer and no pending
+  /// byte (0 = run until stop()).  Tests and one-shot pipelines use this.
+  std::uint64_t idle_exit_ms = 0;
+};
+
+class Server {
+ public:
+  explicit Server(ServerConfig config);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds and listens on the configured sockets (unlinking stale paths).
+  /// Returns false (with a message on stderr) on any socket error.
+  [[nodiscard]] bool start();
+
+  /// Serves until stop() or idle-exit.  Writes a final checkpoint if one is
+  /// configured.  Returns the number of producer streams served.
+  std::uint64_t run();
+
+  /// Ends run() from any thread or from a signal handler.
+  void stop() noexcept;
+
+  [[nodiscard]] Aggregator& aggregator() noexcept { return agg_; }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    bool is_query = false;
+    ProducerId producer = 0;   // ingest connections
+    std::string request;       // query connections: accumulated request line
+  };
+
+  void close_connection(Connection& conn);
+  void maybe_checkpoint(bool force);
+
+  ServerConfig config_;
+  Aggregator agg_;
+  int ingest_fd_ = -1;
+  int query_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  std::atomic<bool> stop_{false};
+  std::vector<Connection> conns_;
+  std::uint64_t producers_served_ = 0;
+  std::uint64_t last_checkpoint_windows_ = 0;
+};
+
+/// Connects to a serve query socket, sends one request line and returns the
+/// JSON response.  Throws std::runtime_error on connection failure.
+[[nodiscard]] std::string query_server(const std::string& query_path, const std::string& request);
+
+/// Connects to a serve ingest socket and streams `bytes` as one producer.
+/// Returns false on connection/write failure.
+[[nodiscard]] bool send_producer_stream(const std::string& ingest_path, const std::string& bytes);
+
+/// Connects to a serve ingest socket and returns the fd (-1 on failure) —
+/// for live streaming (`sgxperf monitor --fleet`).
+[[nodiscard]] int connect_ingest(const std::string& ingest_path);
+
+}  // namespace fleet

@@ -263,6 +263,29 @@ void Analyzer::compute_stats(AnalysisReport& report) const {
     cs.p999_ns = snap.value_at_percentile(99.9);
     report.stats.push_back(std::move(cs));
   }
+  // Sites present only in the latency table still get a stats row: a fleet
+  // checkpoint (sgxperf serve) persists cumulative HDR histograms without
+  // raw call instances, and the histogram carries count, sum and
+  // percentiles on its own.
+  for (const auto& lat : db_.latencies()) {
+    if (lat.count == 0) continue;
+    const tracedb::CallKey key{lat.enclave_id, lat.type, lat.call_id};
+    if (groups.find(key) != groups.end()) continue;  // raw calls covered it
+    CallStats cs;
+    cs.key = key;
+    cs.name = db_.name_of(key.enclave_id, key.type, key.call_id);
+    telemetry::HdrSnapshot snap;
+    for (const auto& [idx, n] : lat.buckets) snap.add_bucket(idx, n);
+    snap.set_exact_sum(lat.sum_ns);
+    cs.duration_ns.count = static_cast<std::size_t>(lat.count);
+    cs.duration_ns.mean = static_cast<double>(lat.sum_ns) / static_cast<double>(lat.count);
+    cs.p50_ns = snap.value_at_percentile(50);
+    cs.duration_ns.median = static_cast<double>(cs.p50_ns);
+    cs.p90_ns = snap.value_at_percentile(90);
+    cs.p99_ns = snap.value_at_percentile(99);
+    cs.p999_ns = snap.value_at_percentile(99.9);
+    report.stats.push_back(std::move(cs));
+  }
   std::stable_sort(report.stats.begin(), report.stats.end(),
                    [](const CallStats& a, const CallStats& b) {
                      return a.duration_ns.count > b.duration_ns.count;

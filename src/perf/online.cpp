@@ -339,6 +339,7 @@ void OnlineAnalyzer::close_window(std::uint64_t window_end) {
     pg.window_outs = 0;
   }
 
+  std::vector<WindowSiteSnapshot> sink_sites;
   for (auto& [key, st] : sites_) {
     if (!st.touched_this_window) continue;
     const telemetry::HdrSnapshot delta = st.latency.window_delta();
@@ -353,6 +354,7 @@ void OnlineAnalyzer::close_window(std::uint64_t window_end) {
     row.p50_ns = delta.value_at_percentile(50);
     row.p99_ns = delta.value_at_percentile(99);
     window_sites_.push_back(row);
+    if (window_sink_) sink_sites.push_back({row, delta});
 
     if (delta.count() > 0 && st.change.observe(delta.mean())) {
       raise_alert(AlertKind::kLatencyShift, key, window_end,
@@ -385,6 +387,7 @@ void OnlineAnalyzer::close_window(std::uint64_t window_end) {
   }
   win.active_alerts = static_cast<std::uint32_t>(active_.size());
   windows_.push_back(win);
+  if (window_sink_) window_sink_(win, sink_sites);
 
   window_calls_ = 0;
   window_aexs_ = 0;

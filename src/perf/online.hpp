@@ -67,17 +67,32 @@ struct WindowExternals {
   std::uint64_t switchless_wasted_ns = 0;
 };
 
+/// One closed window's per-site view as handed to a window sink: the
+/// persisted row plus the window-local HDR delta (the mergeable currency a
+/// fleet aggregator needs — bucket-wise sums of deltas reconstruct the
+/// cumulative distribution exactly).
+struct WindowSiteSnapshot {
+  tracedb::WindowSiteRecord row;
+  telemetry::HdrSnapshot delta;
+};
+
 class OnlineAnalyzer {
  public:
   using ExternalsFn = std::function<WindowExternals()>;
   /// Invoked on every alert transition: raised (resolved == false) the
   /// moment the predicate first holds, resolved when it stops holding.
   using AlertSink = std::function<void(const tracedb::AlertRecord&, bool resolved)>;
+  /// Invoked each time a window closes, with the window row and one
+  /// snapshot per site that completed a call inside it.  The HDR deltas are
+  /// only materialised when a window sink is installed.
+  using WindowSink =
+      std::function<void(const tracedb::WindowRecord&, const std::vector<WindowSiteSnapshot>&)>;
 
   explicit OnlineAnalyzer(OnlineConfig config = {});
 
   void set_externals(ExternalsFn fn) { externals_ = std::move(fn); }
   void set_alert_sink(AlertSink sink) { sink_ = std::move(sink); }
+  void set_window_sink(WindowSink sink) { window_sink_ = std::move(sink); }
 
   /// Feeds one stream event.  Cheap-predicate detectors (Eq. 1–3, SSC,
   /// paging) re-evaluate the affected site immediately; percentile-based
@@ -197,6 +212,7 @@ class OnlineAnalyzer {
   OnlineConfig config_;
   ExternalsFn externals_;
   AlertSink sink_;
+  WindowSink window_sink_;
 
   std::map<tracedb::CallKey, SiteState> sites_;
   std::map<tracedb::EnclaveId, PagingState> paging_;

@@ -1,0 +1,169 @@
+#include "perf/session.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "sgxsim/runtime.hpp"
+#include "support/json.hpp"
+#include "support/strutil.hpp"
+
+namespace perf {
+
+std::string alert_json(const tracedb::AlertRecord& alert, bool resolved,
+                       const std::string& site_name) {
+  support::json::Writer w;
+  w.begin_object();
+  w.kv("schema_version", support::json::kSchemaVersion);
+  w.kv("event", resolved ? "resolve" : "raise");
+  w.kv("alert", to_string(alert.kind));
+  w.kv("site", site_name);
+  w.kv("enclave_id", static_cast<std::uint64_t>(alert.enclave_id));
+  w.kv("type", alert.type == tracedb::CallType::kEcall ? "ecall" : "ocall");
+  w.kv("call_id", static_cast<std::uint64_t>(alert.call_id));
+  w.kv("onset_ns", static_cast<std::uint64_t>(alert.onset_ns));
+  if (resolved) w.kv("resolved_ns", static_cast<std::uint64_t>(alert.resolved_ns));
+  w.kv("window", static_cast<std::uint64_t>(alert.window_index));
+  w.kv("detail", alert.detail);
+  w.end_object();
+  return w.take();
+}
+
+void JsonLinesSink::on_alert(const tracedb::AlertRecord& alert, bool resolved,
+                             const std::string& site_name) {
+  if (out_ == nullptr) return;
+  const std::string line = alert_json(alert, resolved, site_name);
+  std::fprintf(out_, "%s\n", line.c_str());
+}
+
+MonitorSession::MonitorSession(Logger& logger, MonitorSessionConfig config)
+    : logger_(logger), config_(std::move(config)), online_(config_.online) {
+  sub_ = logger_.subscribe(config_.subscription_name, config_.subscription_capacity);
+  batch_.reserve(4096);
+  wire_analyzer();
+}
+
+MonitorSession::MonitorSession(Logger& logger, sgxsim::Urts& urts, MonitorSessionConfig config)
+    : MonitorSession(logger, std::move(config)) {
+  urts_ = &urts;
+}
+
+MonitorSession::~MonitorSession() {
+  if (sub_ != nullptr) sub_->close();
+}
+
+void MonitorSession::wire_analyzer() {
+  online_.set_externals([this] {
+    WindowExternals ext;
+    ext.stream_dropped = sub_ != nullptr ? sub_->dropped() : 0;
+    if (urts_ != nullptr) {
+      for (const auto eid : urts_->enclave_ids()) {
+        const auto s = urts_->switchless_stats(eid);
+        ext.switchless_calls += s.calls;
+        ext.switchless_fallbacks += s.fallbacks;
+        ext.switchless_wasted_ns += s.wasted_worker_ns;
+      }
+    }
+    return ext;
+  });
+  online_.set_alert_sink([this](const tracedb::AlertRecord& a, bool resolved) {
+    (resolved ? resolved_ : raised_) += 1;
+    const std::string name = name_of(a.enclave_id, a.type, a.call_id);
+    const std::string& site =
+        a.kind == tracedb::AlertKind::kPaging
+            ? support::format("enclave %llu", static_cast<unsigned long long>(a.enclave_id))
+            : name;
+    for (const auto& sink : sinks_) sink->on_alert(a, resolved, site);
+  });
+  online_.set_window_sink([this](const tracedb::WindowRecord& win,
+                                 const std::vector<WindowSiteSnapshot>& sites) {
+    if (sinks_.empty()) return;
+    std::vector<SessionWindowSite> rows;
+    rows.reserve(sites.size());
+    for (const auto& s : sites) {
+      rows.push_back({s.row, name_of(s.row.enclave_id, s.row.type, s.row.call_id), s.delta});
+    }
+    for (const auto& sink : sinks_) sink->on_window(win, rows);
+  });
+}
+
+std::string MonitorSession::name_of(tracedb::EnclaveId enclave, tracedb::CallType type,
+                                    tracedb::CallId id) const {
+  return logger_.database().name_of(enclave, type, id);
+}
+
+void MonitorSession::add_sink(std::shared_ptr<MonitorSink> sink) {
+  if (sink == nullptr) return;
+  SessionInfo info;
+  info.identity = config_.identity;
+  info.window_ns = config_.online.window_ns;
+  sink->on_session_start(info);
+  sinks_.push_back(std::move(sink));
+}
+
+std::size_t MonitorSession::poll() {
+  if (sub_ == nullptr || finished_) return 0;
+  std::size_t total = 0;
+  for (;;) {
+    batch_.clear();
+    if (sub_->poll(batch_) == 0) break;
+    total += batch_.size();
+    if (!batch_.empty()) {
+      last_event_ns_ = std::max(last_event_ns_, batch_.back().end_ns);
+    }
+    online_.feed(batch_);
+  }
+  return total;
+}
+
+std::uint64_t MonitorSession::pump(const std::atomic<bool>& done, std::size_t interval_ms) {
+  std::uint64_t total = 0;
+  for (;;) {
+    const std::size_t n = poll();
+    total += n;
+    if (n > 0) continue;  // keep draining while events are flowing
+    if (done.load(std::memory_order_acquire)) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
+  total += poll();  // everything published before `done` flipped is in the ring
+  return total;
+}
+
+void MonitorSession::finish() {
+  if (finished_) return;
+  poll();
+  if (sub_ != nullptr) sub_->close();
+  finished_ = true;
+
+  // Seal virtual time at the last recorded event so the final window — and
+  // the parity of the end-of-run verdicts with the post-mortem analyser —
+  // does not depend on wall-clock scheduling.  The database view is exact
+  // once the embedder has detached/flushed the logger; the stream high-water
+  // mark covers the attached case.
+  std::uint64_t end_ns = last_event_ns_;
+  const auto& db = logger_.database();
+  for (const auto& c : db.calls()) end_ns = std::max(end_ns, c.end_ns);
+  for (const auto& a : db.aexs()) end_ns = std::max(end_ns, a.timestamp_ns);
+  for (const auto& p : db.paging()) end_ns = std::max(end_ns, p.timestamp_ns);
+  end_ns_ = end_ns;
+  online_.finish(end_ns);
+
+  const SessionStats final_stats = stats();
+  for (const auto& sink : sinks_) sink->on_stats(final_stats);
+  for (const auto& sink : sinks_) sink->on_finish(end_ns_);
+}
+
+void MonitorSession::persist() { online_.persist(logger_.database()); }
+
+SessionStats MonitorSession::stats() const {
+  SessionStats s;
+  s.events = online_.events_seen();
+  s.stream_dropped = sub_ != nullptr ? sub_->dropped() : 0;
+  s.sealed_dropped = logger_.database().merge_stats().dropped;
+  s.pending_evicted = online_.pending_evicted();
+  s.alerts_raised = raised_;
+  s.alerts_resolved = resolved_;
+  return s;
+}
+
+}  // namespace perf

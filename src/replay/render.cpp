@@ -51,6 +51,7 @@ std::string render_whatif_json(const ValidationResult& validation,
                                const std::vector<ScenarioResult>& results) {
   support::json::Writer w;
   w.begin_object();
+  w.kv("schema_version", support::json::kSchemaVersion);
   write_whatif_json(w, validation, results);
   w.end_object();
   return w.take();

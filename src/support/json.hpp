@@ -13,6 +13,13 @@
 
 namespace support::json {
 
+/// Version stamped into every JSON document the tools emit (stats --json,
+/// monitor alert lines, whatif, bench reports, fleet snapshots, trace
+/// exports).  A daemon consuming these streams dispatches on it; bump when
+/// any emitter changes shape incompatibly.  tools/json_check rejects
+/// documents without it.
+inline constexpr std::uint64_t kSchemaVersion = 1;
+
 /// Escapes `s` for use inside a JSON string literal (no surrounding quotes).
 [[nodiscard]] std::string escape(std::string_view s);
 

@@ -138,6 +138,7 @@ void write_counters(Writer& w, const tracedb::TraceDatabase& db) {
 std::string export_chrome_trace(const tracedb::TraceDatabase& db) {
   Writer w;
   w.begin_object();
+  w.kv("schema_version", support::json::kSchemaVersion);
   w.kv("displayTimeUnit", "ns");
   w.key("traceEvents").begin_array();
   write_process_names(w, db);

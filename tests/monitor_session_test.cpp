@@ -1,0 +1,238 @@
+// perf::MonitorSession — the embeddable `sgxperf monitor` consumer loop.
+//
+// Pins the embedding contract: a session wrapped around an externally-driven
+// Urts/Logger observes the same typed output the daemon emits (alert
+// transitions, window snapshots with per-site HDR deltas, final stats), its
+// persisted v5 tables match the analyser state, its loss counters are
+// visible mid-run, and — under lockstep stress scheduling — its entire
+// output is a pure function of the workload spec (byte-identical alert
+// streams across runs).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "perf/logger.hpp"
+#include "perf/session.hpp"
+#include "sgxsim/runtime.hpp"
+#include "stress/stressor.hpp"
+
+namespace {
+
+/// Captures everything a session emits, in order.
+class CollectorSink : public perf::MonitorSink {
+ public:
+  void on_session_start(const perf::SessionInfo& info) override {
+    starts += 1;
+    last_info = info;
+  }
+  void on_alert(const tracedb::AlertRecord& alert, bool resolved,
+                const std::string& site_name) override {
+    alert_lines.push_back(perf::alert_json(alert, resolved, site_name));
+  }
+  void on_window(const tracedb::WindowRecord& window,
+                 const std::vector<perf::SessionWindowSite>& sites) override {
+    windows.emplace_back(window, sites);
+  }
+  void on_stats(const perf::SessionStats& stats) override {
+    stats_calls += 1;
+    final_stats = stats;
+  }
+  void on_finish(std::uint64_t end_ns) override {
+    finish_calls += 1;
+    finish_end_ns = end_ns;
+  }
+
+  int starts = 0;
+  perf::SessionInfo last_info;
+  std::vector<std::string> alert_lines;
+  std::vector<std::pair<tracedb::WindowRecord, std::vector<perf::SessionWindowSite>>> windows;
+  int stats_calls = 0;
+  perf::SessionStats final_stats;
+  int finish_calls = 0;
+  std::uint64_t finish_end_ns = 0;
+};
+
+struct SessionRun {
+  tracedb::TraceDatabase db;
+  std::shared_ptr<CollectorSink> sink;
+  perf::SessionStats stats;
+  std::uint64_t end_ns = 0;
+  std::size_t analyzer_windows = 0;
+};
+
+/// Runs one lockstep stressor under an embedded session — the corpus
+/// producer shape, minus the wire sink.
+SessionRun run_embedded(const std::string& stressor_name, std::size_t threads,
+                        std::uint64_t duration_ns, std::uint64_t seed) {
+  SessionRun out;
+  const auto stressor = stress::make_stressor(stressor_name);
+  if (stressor == nullptr) throw std::runtime_error("unknown stressor");
+
+  sgxsim::Urts urts(sgxsim::CostModel::preset(sgxsim::PatchLevel::kUnpatched));
+  perf::Logger logger(out.db);
+  logger.attach(urts);
+
+  perf::MonitorSessionConfig config;
+  config.identity = {"test-host", stressor_name};
+  config.subscription_capacity = 1 << 18;
+  config.online.window_ns = 1'000'000;
+  perf::MonitorSession session(logger, urts, config);
+  if (!session.ok()) throw std::runtime_error("no subscriber slot");
+
+  out.sink = std::make_shared<CollectorSink>();
+  session.add_sink(out.sink);
+
+  stress::StressConfig scfg;
+  scfg.threads = threads;
+  scfg.duration_ns = duration_ns;
+  scfg.seed = seed;
+  scfg.lockstep = true;
+  stress::run_stressor(*stressor, urts, scfg);
+
+  session.poll();
+  logger.detach();
+  session.finish();
+  session.persist();
+  out.stats = session.stats();
+  out.end_ns = session.end_ns();
+  out.analyzer_windows = session.analyzer().windows().size();
+  return out;
+}
+
+TEST(MonitorSession, ObservesAnEmbeddedStressRun) {
+  const auto run = run_embedded("ocall-storm", 2, 20'000'000, 7);
+
+  EXPECT_EQ(run.sink->starts, 1);
+  EXPECT_EQ(run.sink->last_info.identity.host, "test-host");
+  EXPECT_EQ(run.sink->last_info.identity.enclave, "ocall-storm");
+  EXPECT_EQ(run.sink->last_info.window_ns, 1'000'000u);
+
+  EXPECT_GT(run.stats.events, 0u);
+  EXPECT_EQ(run.stats.stream_dropped, 0u);
+  EXPECT_EQ(run.stats.sealed_dropped, 0u);
+  EXPECT_GT(run.stats.alerts_raised, 0u) << "ocall-storm must trip the online detectors";
+  EXPECT_EQ(run.sink->alert_lines.size(), run.stats.alerts_raised + run.stats.alerts_resolved);
+
+  ASSERT_FALSE(run.sink->windows.empty());
+  EXPECT_EQ(run.sink->windows.size(), run.analyzer_windows);
+  // Window deltas cover every recorded call exactly once.
+  std::uint64_t delta_calls = 0;
+  for (const auto& [win, sites] : run.sink->windows) {
+    for (const auto& site : sites) {
+      EXPECT_FALSE(site.name.empty());
+      EXPECT_EQ(site.delta.count(), site.row.calls);
+      delta_calls += site.delta.count();
+    }
+  }
+  EXPECT_EQ(delta_calls, run.db.calls().size());
+
+  EXPECT_EQ(run.sink->stats_calls, 1);
+  EXPECT_EQ(run.sink->finish_calls, 1);
+  EXPECT_GT(run.sink->finish_end_ns, 0u);
+  EXPECT_EQ(run.sink->finish_end_ns, run.end_ns);
+}
+
+TEST(MonitorSession, PersistWritesTheV5Tables) {
+  const auto run = run_embedded("cpu", 2, 10'000'000, 7);
+  EXPECT_EQ(run.db.window_period(), 1'000'000u);
+  EXPECT_EQ(run.db.windows().size(), run.analyzer_windows);
+  EXPECT_FALSE(run.db.window_sites().empty());
+}
+
+TEST(MonitorSession, LockstepRunsAreByteIdentical) {
+  const auto a = run_embedded("ocall-storm", 2, 20'000'000, 7);
+  const auto b = run_embedded("ocall-storm", 2, 20'000'000, 7);
+  EXPECT_EQ(a.sink->alert_lines, b.sink->alert_lines);
+  ASSERT_EQ(a.sink->windows.size(), b.sink->windows.size());
+  for (std::size_t i = 0; i < a.sink->windows.size(); ++i) {
+    const auto& [wa, sa] = a.sink->windows[i];
+    const auto& [wb, sb] = b.sink->windows[i];
+    EXPECT_EQ(wa.calls, wb.calls);
+    ASSERT_EQ(sa.size(), sb.size());
+    for (std::size_t j = 0; j < sa.size(); ++j) {
+      EXPECT_EQ(sa[j].name, sb[j].name);
+      EXPECT_EQ(sa[j].delta.count(), sb[j].delta.count());
+      EXPECT_EQ(sa[j].delta.sum(), sb[j].delta.sum());
+    }
+  }
+  EXPECT_EQ(a.stats.events, b.stats.events);
+  EXPECT_EQ(a.end_ns, b.end_ns);
+}
+
+TEST(MonitorSession, PumpDrainsAConcurrentWorkload) {
+  const auto stressor = stress::make_stressor("cpu");
+  ASSERT_NE(stressor, nullptr);
+  sgxsim::Urts urts(sgxsim::CostModel::preset(sgxsim::PatchLevel::kUnpatched));
+  tracedb::TraceDatabase db;
+  perf::Logger logger(db);
+  logger.attach(urts);
+
+  perf::MonitorSessionConfig config;
+  config.subscription_capacity = 1 << 18;
+  config.online.window_ns = 1'000'000;
+  perf::MonitorSession session(logger, urts, config);
+  ASSERT_TRUE(session.ok());
+
+  std::atomic<bool> done{false};
+  std::thread worker([&] {
+    stress::StressConfig scfg;
+    scfg.threads = 2;
+    scfg.duration_ns = 10'000'000;
+    scfg.seed = 7;
+    scfg.lockstep = true;
+    stress::run_stressor(*stressor, urts, scfg);
+    done.store(true, std::memory_order_release);
+  });
+  const std::uint64_t pumped = session.pump(done, 1);
+  worker.join();
+  logger.detach();
+  session.finish();
+
+  EXPECT_GT(pumped, 0u);
+  // finish() may drain a tail beyond what pump() saw, never less.
+  EXPECT_GE(session.stats().events, pumped);
+  EXPECT_EQ(session.stats().stream_dropped, 0u);
+}
+
+TEST(MonitorSession, AlertJsonCarriesSchemaVersionFirst) {
+  tracedb::AlertRecord alert;
+  alert.kind = tracedb::AlertKind::kShortCalls;
+  alert.enclave_id = 1;
+  alert.type = tracedb::CallType::kEcall;
+  alert.call_id = 3;
+  alert.onset_ns = 42;
+  alert.window_index = 0;
+  alert.detail = 1000;
+  const std::string raise = perf::alert_json(alert, false, "ecall_foo");
+  EXPECT_EQ(raise.rfind("{\"schema_version\":1,", 0), 0u) << raise;
+  EXPECT_NE(raise.find("\"event\":\"raise\""), std::string::npos);
+  EXPECT_NE(raise.find("\"site\":\"ecall_foo\""), std::string::npos);
+  alert.resolved_ns = 99;
+  const std::string resolve = perf::alert_json(alert, true, "ecall_foo");
+  EXPECT_NE(resolve.find("\"event\":\"resolve\""), std::string::npos);
+  EXPECT_NE(resolve.find("\"resolved_ns\":99"), std::string::npos);
+}
+
+TEST(MonitorSession, NotOkWhenSubscriberSlotsExhausted) {
+  tracedb::TraceDatabase db;
+  perf::Logger logger(db);
+  std::vector<std::unique_ptr<perf::MonitorSession>> sessions;
+  // Exhaust the hub: sessions stop being ok() at some finite depth.
+  bool saturated = false;
+  for (int i = 0; i < 64; ++i) {
+    auto s = std::make_unique<perf::MonitorSession>(logger);
+    if (!s->ok()) {
+      saturated = true;
+      break;
+    }
+    sessions.push_back(std::move(s));
+  }
+  EXPECT_TRUE(saturated) << "subscriber slots must be finite";
+}
+
+}  // namespace

@@ -1,0 +1,143 @@
+// bench_diff — compare fresh BENCH_*.json results against committed
+// baselines.
+//
+//   bench_diff --fresh DIR --baseline DIR [--threshold 0.25] [file...]
+//
+// For every BENCH_<name>.json present in both directories (or for the
+// explicitly listed file names), metrics are matched by name and the
+// relative change |fresh - base| / base is computed.  Changes beyond the
+// threshold are flagged and make the exit status nonzero.
+//
+// Metric direction (higher- vs lower-is-better) is not encoded in the
+// files, so bench_diff flags drift in *either* direction: a 2x "speedup"
+// on a ns-metric is as suspicious as a 2x slowdown when the workload was
+// supposed to be unchanged.  CI runs this as an advisory leg — virtual-time
+// metrics are deterministic, but wall-clock metrics vary with machine load,
+// so a red bench_diff is a prompt to look, not a build failure.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "support/json.hpp"
+
+namespace {
+
+struct Metrics {
+  std::map<std::string, double> values;  // metric name -> value
+  std::string unit_of;                   // unused; units live in the files
+};
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+/// Loads the metrics array of one BENCH_*.json.  Returns false (with a
+/// message) on parse/shape errors.
+bool load_metrics(const std::string& path, std::map<std::string, double>& out) {
+  std::string text;
+  if (!read_file(path, text)) {
+    std::fprintf(stderr, "bench_diff: cannot read %s\n", path.c_str());
+    return false;
+  }
+  try {
+    const auto doc = support::json::parse(text);
+    if (!doc.is_object()) throw std::runtime_error("top-level value is not an object");
+    const auto* metrics = doc.find("metrics");
+    if (metrics == nullptr || !metrics->is_array()) {
+      throw std::runtime_error("missing \"metrics\" array");
+    }
+    for (const auto& row : metrics->array) {
+      const auto* name = row.find("name");
+      const auto* value = row.find("value");
+      if (name == nullptr || !name->is_string() || value == nullptr || !value->is_number()) {
+        throw std::runtime_error("metric row without string name / numeric value");
+      }
+      out[name->string] = value->number;
+    }
+    return true;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_diff: %s: %s\n", path.c_str(), e.what());
+    return false;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string fresh_dir;
+  std::string baseline_dir;
+  double threshold = 0.25;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--fresh" && i + 1 < argc) {
+      fresh_dir = argv[++i];
+    } else if (arg == "--baseline" && i + 1 < argc) {
+      baseline_dir = argv[++i];
+    } else if (arg == "--threshold" && i + 1 < argc) {
+      threshold = std::strtod(argv[++i], nullptr);
+    } else if (!arg.empty() && arg[0] != '-') {
+      files.push_back(arg);
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_diff --fresh DIR --baseline DIR [--threshold F] "
+                   "[BENCH_name.json...]\n");
+      return 2;
+    }
+  }
+  if (fresh_dir.empty() || baseline_dir.empty() || files.empty()) {
+    std::fprintf(stderr,
+                 "usage: bench_diff --fresh DIR --baseline DIR [--threshold F] "
+                 "[BENCH_name.json...]\n");
+    return 2;
+  }
+
+  int flagged = 0;
+  int compared = 0;
+  std::printf("%-16s %-28s %14s %14s %9s\n", "bench", "metric", "baseline", "fresh", "change");
+  for (const auto& file : files) {
+    std::map<std::string, double> base;
+    std::map<std::string, double> fresh;
+    if (!load_metrics(baseline_dir + "/" + file, base) ||
+        !load_metrics(fresh_dir + "/" + file, fresh)) {
+      ++flagged;
+      continue;
+    }
+    for (const auto& [name, base_value] : base) {
+      const auto it = fresh.find(name);
+      if (it == fresh.end()) {
+        std::printf("%-16s %-28s %14.4g %14s %9s  MISSING\n", file.c_str(), name.c_str(),
+                    base_value, "-", "-");
+        ++flagged;
+        continue;
+      }
+      ++compared;
+      const double change =
+          base_value == 0.0 ? (it->second == 0.0 ? 0.0 : 1.0)
+                            : (it->second - base_value) / base_value;
+      const bool over = change > threshold || change < -threshold;
+      if (over) ++flagged;
+      std::printf("%-16s %-28s %14.4g %14.4g %+8.1f%%%s\n", file.c_str(), name.c_str(),
+                  base_value, it->second, change * 100.0, over ? "  DRIFT" : "");
+    }
+    for (const auto& [name, value] : fresh) {
+      if (base.find(name) == base.end()) {
+        std::printf("%-16s %-28s %14s %14.4g %9s  NEW\n", file.c_str(), name.c_str(), "-", value,
+                    "-");
+      }
+    }
+  }
+  std::printf("\nbench_diff: %d metric(s) compared, %d flagged (threshold %.0f%%)\n", compared,
+              flagged, threshold * 100.0);
+  return flagged == 0 ? 0 : 1;
+}

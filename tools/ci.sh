@@ -26,6 +26,17 @@
 # --json` against tests/golden/stress_corpus_stats.json to catch silent
 # detector-threshold drift.
 #
+# Every build also runs the fleet golden gate: `sgxperf fleet snapshot
+# --corpus` drives three deterministic stress producers through monitor
+# sessions, wire framing and the fleet aggregator, and the merged query
+# snapshot must match tests/golden/fleet_corpus.json byte-for-byte — in the
+# sanitizer legs too, so the whole producer->merge->query path is proven
+# race-free and exact.
+#
+# After the bench smoke run, bench_diff compares the refreshed BENCH_*.json
+# against the committed baselines (advisory: wall-clock metrics vary with
+# machine load, so drift is reported but does not fail the build).
+#
 # Usage: tools/ci.sh [jobs]   (run from the repository root)
 set -eu
 
@@ -68,6 +79,25 @@ stress_corpus() {
   echo "stress corpus stats match golden"
 }
 
+# Fleet golden gate: the in-process corpus (3 deterministic stress producers
+# -> monitor sessions -> wire frames -> aggregator) must produce a
+# byte-stable merged query snapshot.  Runs in every leg: under the
+# sanitizers this covers the concurrent ingest/query locking too.
+fleet_corpus() {
+  build_dir="$1"
+  fleet_dir="$build_dir/fleet-corpus"
+  rm -rf "$fleet_dir"
+  mkdir -p "$fleet_dir"
+  "$build_dir/tools/sgxperf" fleet snapshot --corpus > "$fleet_dir/snapshot.json"
+  if ! cmp -s "$fleet_dir/snapshot.json" "$root/tests/golden/fleet_corpus.json"; then
+    echo "error: fleet corpus snapshot diverged from the golden:" >&2
+    diff -u "$root/tests/golden/fleet_corpus.json" "$fleet_dir/snapshot.json" >&2 || true
+    exit 1
+  fi
+  "$build_dir/tools/json_check" "$fleet_dir/snapshot.json"
+  echo "fleet corpus snapshot matches golden"
+}
+
 run_suite() {
   build_dir="$1"
   shift
@@ -76,6 +106,7 @@ run_suite() {
   ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
   monitor_soak "$build_dir"
   stress_corpus "$build_dir"
+  fleet_corpus "$build_dir"
 }
 
 echo "=== plain build ==="
@@ -87,12 +118,21 @@ rm -rf "$smoke_dir"
 mkdir -p "$smoke_dir"
 benches="bench_transitions bench_logger_overhead bench_paging bench_switchless \
          bench_sync bench_merge bench_replay bench_analyzer bench_glamdring \
-         bench_securekeeper bench_sqlite bench_talos bench_online bench_stress"
+         bench_securekeeper bench_sqlite bench_talos bench_online bench_stress \
+         bench_fleet"
+# Snapshot the committed baselines before the smoke run refreshes them in
+# place — bench_diff compares against what was in the tree.
+baseline_dir="$smoke_dir/baseline"
+mkdir -p "$baseline_dir"
+for f in "$root"/BENCH_*.json; do
+  [ -f "$f" ] && cp "$f" "$baseline_dir/"
+done
 for bench in $benches; do
   echo "--- $bench --smoke"
   (cd "$smoke_dir" && "$root/build/bench/$bench" --smoke --out-dir "$root" >/dev/null)
 done
 count=0
+diff_files=""
 for bench in $benches; do
   artefact="$root/BENCH_${bench#bench_}.json"
   if [ ! -f "$artefact" ]; then
@@ -101,8 +141,20 @@ for bench in $benches; do
   fi
   "$root/build/tools/json_check" "$artefact"
   count=$((count + 1))
+  [ -f "$baseline_dir/$(basename "$artefact")" ] && \
+    diff_files="$diff_files $(basename "$artefact")"
 done
 echo "$count bench artefacts valid (refreshed in $root)"
+
+echo "=== bench regression diff (advisory) ==="
+if [ -n "$diff_files" ]; then
+  # shellcheck disable=SC2086 — diff_files is a word list by construction.
+  "$root/build/tools/bench_diff" --fresh "$root" --baseline "$baseline_dir" \
+    --threshold 0.25 $diff_files \
+    || echo "bench_diff: drift flagged (advisory — not failing the build)"
+else
+  echo "no committed baselines to diff against"
+fi
 
 echo "=== flamegraph golden check ==="
 # Single-threaded demo recording: virtual time makes it fully deterministic,

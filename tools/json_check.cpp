@@ -4,11 +4,16 @@
 // --chrome`, `--json` CLI output) so a malformed writer fails the pipeline
 // instead of silently producing garbage for downstream consumers.
 //
+// Beyond grammar, every artefact must be a JSON object carrying a numeric
+// top-level "schema_version" (support::json::kSchemaVersion) — downstream
+// consumers dispatch on it, so an emitter that forgets the stamp fails CI
+// here rather than surprising a parser later.
+//
 //   json_check FILE...     validate each file; first failure wins
 //   json_check -           validate stdin
 //
-// Exit status: 0 = all valid, 1 = parse error (reported with byte offset),
-// 2 = usage / IO error.
+// Exit status: 0 = all valid, 1 = parse/schema error (reported with byte
+// offset for parse errors), 2 = usage / IO error.
 #include <cstdio>
 #include <stdexcept>
 #include <string>
@@ -31,7 +36,17 @@ int check(const char* name, std::FILE* f) {
     return 2;
   }
   try {
-    (void)support::json::parse(text);
+    const auto doc = support::json::parse(text);
+    if (!doc.is_object()) {
+      std::fprintf(stderr, "json_check: %s: top-level value is not an object\n", name);
+      return 1;
+    }
+    const auto* version = doc.find("schema_version");
+    if (version == nullptr || !version->is_number()) {
+      std::fprintf(stderr, "json_check: %s: missing numeric top-level \"schema_version\"\n",
+                   name);
+      return 1;
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "json_check: %s: %s\n", name, e.what());
     return 1;

@@ -19,6 +19,8 @@
 //   sgxperf top     [--workload demo|kv|db] [--frames N]      live monitor
 //   sgxperf monitor [--workload demo|kv|db] [--window NS]     online detection daemon
 //   sgxperf stress  --stressor cpu|vm|sync|ocall-storm|mixed  labeled stress run
+//   sgxperf serve   --socket PATH [--query-socket PATH]       fleet aggregation daemon
+//   sgxperf fleet   [snapshot|top|alerts|series] ...          query the fleet daemon
 //
 // `record` exercises the first half on a built-in multi-threaded workload:
 // it attaches the logger (sharded per-thread buffers), runs N threads of
@@ -37,21 +39,34 @@
 // persists the windowed time-series + alert history as a v5 trace.  On a
 // quiesced run its end-of-run verdicts equal `sgxperf report`'s findings.
 //
+// `serve` is the fleet half: a daemon that ingests binary alert/window
+// frames (fleet/wire.hpp) from N `monitor --fleet` producers over a UNIX
+// socket, merges the per-site HDR deltas into one keyed time-series and
+// answers `fleet` queries over a second socket.  `fleet --corpus` runs the
+// built-in deterministic 3-producer stress corpus in-process instead — the
+// CI golden gate for the whole pipeline.
+//
 // Weights of the Eq. 1-3 detectors are tunable: --eq1-alpha 0.5 etc.
 #include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <optional>
 #include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "fleet/corpus.hpp"
+#include "fleet/server.hpp"
+#include "fleet/wire.hpp"
 #include "minidb/enclave_db.hpp"
 #include "minidb/workload.hpp"
 #include "minikv/driver.hpp"
@@ -61,6 +76,7 @@
 #include "perf/live.hpp"
 #include "perf/logger.hpp"
 #include "perf/online.hpp"
+#include "perf/session.hpp"
 #include "perf/timeline.hpp"
 #include "perf/report.hpp"
 #include "replay/engine.hpp"
@@ -111,6 +127,20 @@ struct Options {
   std::size_t replay_threads = 0;          // 0 = hardware concurrency
   bool all_recommendations = false;
   bool whatif = false;                     // compare: diff against a replayed scenario
+  // fleet / serve flags
+  std::string socket_path;                 // serve: ingest socket path
+  std::string query_socket_path;           // serve: query socket; fleet: daemon to ask
+  std::size_t retention = 256;             // serve/fleet: fleet windows retained
+  std::string checkpoint_path;             // serve: periodic v5 checkpoint trace
+  std::uint64_t checkpoint_every = 0;      // serve: checkpoint every N merged windows
+  std::uint64_t idle_exit_ms = 0;          // serve: exit after idle (0 = run forever)
+  std::string fleet_socket;                // monitor: stream wire frames to this ingest socket
+  std::string fleet_host = "localhost";    // monitor: producer host identity
+  std::string rank_by = "p99";             // fleet top: p99 | transitions | paging
+  std::size_t top_n = 10;                  // fleet top: rows
+  bool corpus = false;                     // fleet: run the built-in corpus in-process
+  std::string fleet_subcommand;            // fleet: snapshot | top | alerts | series
+  std::vector<std::string> fleet_args;     // fleet series: <host> <enclave> <site>
   perf::AnalyzerConfig config;
 };
 
@@ -141,6 +171,13 @@ void usage() {
       "           [--duration NS] [--intensity N] [--seed N] [--epc-mb N]\n"
       "           [--window NS] [--out trace.bin] [--json]\n"
       "           exits nonzero if the run violates the stressor's label set\n"
+      "  serve    fleet aggregation daemon: ingest monitor streams, answer queries:\n"
+      "           serve --socket PATH [--query-socket PATH] [--retention N]\n"
+      "           [--checkpoint FILE [--checkpoint-every N]] [--idle-exit-ms N] [--json]\n"
+      "  fleet    query a serve daemon (or the built-in deterministic corpus):\n"
+      "           fleet [snapshot|top|alerts|series] (--query-socket PATH | --corpus)\n"
+      "           [--by p99|transitions|paging] [--n N] [--out trace.bin]\n"
+      "           fleet series <host> <enclave> <site> ...   (always JSON on stdout)\n"
       "  whatif   predict speedups by replaying the trace under a scenario:\n"
       "           whatif <trace.bin> [--switchless SITE [--workers N|A..B]]\n"
       "           [--eliminate SITE] [--merge SITE] [--cost-profile P] [--epc-mb N]\n"
@@ -165,6 +202,17 @@ void usage() {
       "  --window NS       (top, monitor) aggregation window in virtual ns\n"
       "                    (top default: cumulative; monitor default: 1000000 = 1ms)\n"
       "  --alert-log FILE  (monitor) also append alert JSON lines to FILE\n"
+      "  --fleet PATH      (monitor) also stream wire frames to a serve ingest socket\n"
+      "  --fleet-host H    (monitor) producer host identity for --fleet (default localhost)\n"
+      "  --socket PATH     (serve) ingest UNIX socket producers connect to\n"
+      "  --query-socket P  (serve, fleet) query UNIX socket\n"
+      "  --retention N     (serve, fleet --corpus) fleet windows retained (default 256)\n"
+      "  --checkpoint FILE (serve) persist the fleet series as a v5 trace\n"
+      "  --checkpoint-every N  (serve) checkpoint every N merged windows (0 = at exit)\n"
+      "  --idle-exit-ms N  (serve) exit after N ms with no connection (0 = run forever)\n"
+      "  --by M            (fleet top) ranking metric: p99, transitions, paging\n"
+      "  --n N             (fleet top) rows to return (default 10)\n"
+      "  --corpus          (fleet) aggregate the built-in 3-producer stress corpus\n"
       "  --out FILE        (monitor, stress) save the v5 trace (windows + alerts) to FILE\n"
       "  --stressor NAME   (stress) stressor to run: cpu, vm, sync, ocall-storm, mixed\n"
       "  --duration NS     (stress) virtual-time budget per run (default 200000000)\n"
@@ -187,8 +235,13 @@ bool parse_args(int argc, char** argv, Options& opts) {
   if (argc < 2) return false;
   opts.command = argv[1];
   int i;
-  if (opts.command == "top" || opts.command == "monitor" || opts.command == "stress") {
-    i = 2;  // these drive their own workload — no trace path argument
+  if (opts.command == "top" || opts.command == "monitor" || opts.command == "stress" ||
+      opts.command == "serve" || opts.command == "fleet") {
+    i = 2;  // these drive their own workload / daemon — no trace path argument
+    if (opts.command == "fleet" && argc > 2 && argv[2][0] != '-') {
+      opts.fleet_subcommand = argv[2];
+      i = 3;
+    }
   } else {
     if (argc < 3) return false;
     opts.trace_path = argv[2];
@@ -288,6 +341,30 @@ bool parse_args(int argc, char** argv, Options& opts) {
       opts.intensity = std::strtoul(next(), nullptr, 10);
     } else if (arg == "--seed") {
       opts.seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--socket") {
+      opts.socket_path = next();
+    } else if (arg == "--query-socket") {
+      opts.query_socket_path = next();
+    } else if (arg == "--retention") {
+      opts.retention = std::strtoul(next(), nullptr, 10);
+    } else if (arg == "--checkpoint") {
+      opts.checkpoint_path = next();
+    } else if (arg == "--checkpoint-every") {
+      opts.checkpoint_every = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--idle-exit-ms" || arg == "--idle-exit") {
+      opts.idle_exit_ms = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--fleet") {
+      opts.fleet_socket = next();
+    } else if (arg == "--fleet-host") {
+      opts.fleet_host = next();
+    } else if (arg == "--by") {
+      opts.rank_by = next();
+    } else if (arg == "--n") {
+      opts.top_n = std::strtoul(next(), nullptr, 10);
+    } else if (arg == "--corpus") {
+      opts.corpus = true;
+    } else if (!arg.empty() && arg[0] != '-' && opts.command == "fleet") {
+      opts.fleet_args.push_back(arg);  // fleet series <host> <enclave> <site>
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       return false;
@@ -367,6 +444,7 @@ int run_record(const Options& opts) {
   if (opts.json) {
     support::json::Writer w;
     w.begin_object();
+    w.kv("schema_version", support::json::kSchemaVersion);
     w.kv("calls", static_cast<std::uint64_t>(db.calls().size()));
     w.kv("aexs", static_cast<std::uint64_t>(db.aexs().size()));
     w.kv("paging", static_cast<std::uint64_t>(db.paging().size()));
@@ -484,37 +562,14 @@ int run_top(const Options& opts) {
   return 0;
 }
 
-/// One alert transition as a JSON line — the `monitor` stderr stream and the
-/// --alert-log file format.  Site names resolve through the recording
-/// database; paging alerts name the enclave (their subject is per-enclave).
-std::string alert_json_line(const tracedb::TraceDatabase& db, const tracedb::AlertRecord& a,
-                            bool resolved) {
-  support::json::Writer w;
-  w.begin_object();
-  w.kv("event", resolved ? "resolve" : "raise");
-  w.kv("alert", perf::to_string(a.kind));
-  if (a.kind == tracedb::AlertKind::kPaging) {
-    w.kv("site", support::format("enclave %llu", static_cast<unsigned long long>(a.enclave_id)));
-  } else {
-    w.kv("site", db.name_of(a.enclave_id, a.type, a.call_id));
-  }
-  w.kv("enclave_id", static_cast<std::uint64_t>(a.enclave_id));
-  w.kv("type", a.type == tracedb::CallType::kEcall ? "ecall" : "ocall");
-  w.kv("call_id", static_cast<std::uint64_t>(a.call_id));
-  w.kv("onset_ns", static_cast<std::uint64_t>(a.onset_ns));
-  if (resolved) w.kv("resolved_ns", static_cast<std::uint64_t>(a.resolved_ns));
-  w.kv("window", static_cast<std::uint64_t>(a.window_index));
-  w.kv("detail", a.detail);
-  w.end_object();
-  return w.take();
-}
-
 /// `sgxperf monitor`: the daemon sibling of `top`.  Runs the workload with
-/// the logger attached, feeds the streaming subscription into the online
-/// analyser, emits every alert transition as a JSON line the moment it
-/// happens, then seals the run: finish() resolves stale alerts, the window
-/// time-series and alert history persist into the trace (v5), and a summary
-/// goes to stdout.
+/// the logger attached and a perf::MonitorSession (the embeddable consumer
+/// loop) watching it: alert transitions stream to stderr and --alert-log as
+/// JSON lines the moment the predicate flips, wire frames stream to a serve
+/// daemon when --fleet names an ingest socket, a status line with the loss
+/// counters goes to stderr about once a second, and finish() seals the run —
+/// stale alerts resolve, the window time-series and alert history persist
+/// into the trace (v5), and a summary goes to stdout.
 int run_monitor(const Options& opts) {
   if (opts.threads == 0 || opts.calls == 0) {
     std::fputs("error: --threads and --calls must be > 0\n", stderr);
@@ -526,14 +581,21 @@ int run_monitor(const Options& opts) {
   tracedb::TraceDatabase db;
   perf::Logger logger(db);
   logger.attach(urts);
+
   // Subscribe before the workload starts so no event predates the ring, and
   // size the ring generously: a dropped event would skew the online state.
-  const auto sub = logger.subscribe("monitor", 1 << 16);
-  if (sub == nullptr) {
+  perf::MonitorSessionConfig scfg;
+  scfg.identity = {opts.fleet_host, opts.workload};
+  scfg.subscription_name = "monitor";
+  scfg.online.analyzer = opts.config;
+  if (opts.window_ns > 0) scfg.online.window_ns = opts.window_ns;
+  perf::MonitorSession session(logger, urts, scfg);
+  if (!session.ok()) {
     std::fputs("error: no free streaming subscriber slot\n", stderr);
     return 1;
   }
 
+  session.add_sink(std::make_shared<perf::JsonLinesSink>(stderr));
   std::FILE* alert_log = nullptr;
   if (!opts.alert_log_path.empty()) {
     alert_log = std::fopen(opts.alert_log_path.c_str(), "wb");
@@ -541,31 +603,29 @@ int run_monitor(const Options& opts) {
       std::fprintf(stderr, "error: cannot open %s for writing\n", opts.alert_log_path.c_str());
       return 1;
     }
+    session.add_sink(std::make_shared<perf::JsonLinesSink>(alert_log));
   }
-
-  perf::OnlineConfig ocfg;
-  ocfg.analyzer = opts.config;
-  if (opts.window_ns > 0) ocfg.window_ns = opts.window_ns;
-  perf::OnlineAnalyzer online(ocfg);
-  online.set_externals([&] {
-    perf::WindowExternals ext;
-    ext.stream_dropped = logger.stream_dropped();
-    for (const auto eid : urts.enclave_ids()) {
-      const auto s = urts.switchless_stats(eid);
-      ext.switchless_calls += s.calls;
-      ext.switchless_fallbacks += s.fallbacks;
-      ext.switchless_wasted_ns += s.wasted_worker_ns;
+  int fleet_fd = -1;
+  if (!opts.fleet_socket.empty()) {
+    fleet_fd = fleet::connect_ingest(opts.fleet_socket);
+    if (fleet_fd < 0) {
+      std::fprintf(stderr, "error: cannot connect to fleet ingest socket %s: %s\n",
+                   opts.fleet_socket.c_str(), std::strerror(errno));
+      if (alert_log != nullptr) std::fclose(alert_log);
+      return 1;
     }
-    return ext;
-  });
-  std::uint64_t raised = 0;
-  std::uint64_t resolved_total = 0;
-  online.set_alert_sink([&](const tracedb::AlertRecord& a, bool resolved) {
-    (resolved ? resolved_total : raised) += 1;
-    const std::string line = alert_json_line(db, a, resolved);
-    std::fprintf(stderr, "%s\n", line.c_str());
-    if (alert_log != nullptr) std::fprintf(alert_log, "%s\n", line.c_str());
-  });
+    session.add_sink(std::make_shared<fleet::FrameSink>([fleet_fd](const char* data,
+                                                                   std::size_t size) {
+      // Best-effort: a vanished daemon drops frames, it never kills the run.
+      while (size > 0) {
+        const ssize_t n = ::write(fleet_fd, data, size);
+        if (n < 0 && errno == EINTR) continue;
+        if (n <= 0) break;
+        data += n;
+        size -= static_cast<std::size_t>(n);
+      }
+    }));
+  }
 
   std::atomic<bool> done{false};
   std::thread worker([&] {
@@ -573,37 +633,35 @@ int run_monitor(const Options& opts) {
     done.store(true, std::memory_order_release);
   });
 
-  std::vector<perf::StreamEvent> batch;
-  batch.reserve(4096);
+  // The session's pump loop, with a periodic status line: the per-subscriber
+  // stream-drop / sealed-shard-drop counters were invisible mid-run before.
+  using Clock = std::chrono::steady_clock;
+  auto next_status = Clock::now() + std::chrono::seconds(1);
   for (;;) {
-    batch.clear();
-    if (sub->poll(batch) > 0) {
-      online.feed(batch);
-      continue;  // keep draining while events are flowing
-    }
+    if (session.poll() > 0) continue;  // keep draining while events are flowing
     if (done.load(std::memory_order_acquire)) break;
     std::this_thread::sleep_for(std::chrono::milliseconds(opts.interval_ms));
+    if (Clock::now() >= next_status) {
+      const auto st = session.stats();
+      std::fprintf(stderr,
+                   "monitor: %llu events, alerts %llu/%llu, stream_dropped=%llu "
+                   "sealed_dropped=%llu pending_evicted=%llu\n",
+                   static_cast<unsigned long long>(st.events),
+                   static_cast<unsigned long long>(st.alerts_raised),
+                   static_cast<unsigned long long>(st.alerts_resolved),
+                   static_cast<unsigned long long>(st.stream_dropped),
+                   static_cast<unsigned long long>(st.sealed_dropped),
+                   static_cast<unsigned long long>(st.pending_evicted));
+      next_status = Clock::now() + std::chrono::seconds(1);
+    }
   }
   worker.join();
-  // Everything published before `done` flipped is in the ring: final drain.
-  for (;;) {
-    batch.clear();
-    if (sub->poll(batch) == 0) break;
-    online.feed(batch);
-  }
-  sub->close();
+  session.poll();   // everything published before `done` flipped is in the ring
   logger.detach();  // workload quiesced: seals and merges the shards
-
-  // Seal virtual time at the last recorded event so the final window — and
-  // the parity of the end-of-run verdicts with `sgxperf report` — does not
-  // depend on wall-clock scheduling.
-  std::uint64_t end_ns = 0;
-  for (const auto& c : db.calls()) end_ns = std::max(end_ns, c.end_ns);
-  for (const auto& a : db.aexs()) end_ns = std::max(end_ns, a.timestamp_ns);
-  for (const auto& p : db.paging()) end_ns = std::max(end_ns, p.timestamp_ns);
-  online.finish(end_ns);
-  online.persist(db);
+  session.finish(); // resolves stale alerts, emits stats/bye to the sinks
+  session.persist();
   if (alert_log != nullptr) std::fclose(alert_log);
+  if (fleet_fd >= 0) ::close(fleet_fd);
 
   if (!opts.out_path.empty()) {
     try {
@@ -614,29 +672,33 @@ int run_monitor(const Options& opts) {
     }
   }
 
+  const auto& online = session.analyzer();
+  const auto stats = session.stats();
   const auto active = online.active_alerts();
   if (opts.json) {
     support::json::Writer w;
     w.begin_object();
+    w.kv("schema_version", support::json::kSchemaVersion);
     w.kv("workload", opts.workload);
-    w.kv("events", online.events_seen());
+    w.kv("events", stats.events);
     w.kv("windows", static_cast<std::uint64_t>(online.windows().size()));
-    w.kv("window_ns", static_cast<std::uint64_t>(ocfg.window_ns));
-    w.kv("alerts_raised", raised);
-    w.kv("alerts_resolved", resolved_total);
+    w.kv("window_ns", static_cast<std::uint64_t>(scfg.online.window_ns));
+    w.kv("alerts_raised", stats.alerts_raised);
+    w.kv("alerts_resolved", stats.alerts_resolved);
     w.kv("alerts_active", static_cast<std::uint64_t>(active.size()));
-    w.kv("stream_dropped", logger.stream_dropped());
-    w.kv("pending_evicted", online.pending_evicted());
+    w.kv("stream_dropped", stats.stream_dropped);
+    w.kv("sealed_dropped", stats.sealed_dropped);
+    w.kv("pending_evicted", stats.pending_evicted);
     if (!opts.out_path.empty()) w.kv("trace", opts.out_path);
     w.end_object();
     std::printf("%s\n", w.take().c_str());
   } else {
     std::printf("monitor: workload '%s' finished — %llu events in %zu windows of %.3fms\n",
-                opts.workload.c_str(), static_cast<unsigned long long>(online.events_seen()),
-                online.windows().size(), static_cast<double>(ocfg.window_ns) / 1e6);
+                opts.workload.c_str(), static_cast<unsigned long long>(stats.events),
+                online.windows().size(), static_cast<double>(scfg.online.window_ns) / 1e6);
     std::printf("alerts: %llu raised, %llu resolved, %zu active at end of run\n",
-                static_cast<unsigned long long>(raised),
-                static_cast<unsigned long long>(resolved_total), active.size());
+                static_cast<unsigned long long>(stats.alerts_raised),
+                static_cast<unsigned long long>(stats.alerts_resolved), active.size());
     for (const auto& a : active) {
       std::printf("  ACTIVE %-14s %s (onset %.3fms)\n", perf::to_string(a.kind),
                   a.kind == tracedb::AlertKind::kPaging
@@ -646,14 +708,127 @@ int run_monitor(const Options& opts) {
                       : db.name_of(a.enclave_id, a.type, a.call_id).c_str(),
                   static_cast<double>(a.onset_ns) / 1e6);
     }
-    if (logger.stream_dropped() > 0 || online.pending_evicted() > 0) {
-      std::printf("warning: %llu stream events dropped, %llu pending children evicted — "
-                  "online verdicts may undercount\n",
-                  static_cast<unsigned long long>(logger.stream_dropped()),
-                  static_cast<unsigned long long>(online.pending_evicted()));
+    if (stats.stream_dropped > 0 || stats.sealed_dropped > 0 || stats.pending_evicted > 0) {
+      std::printf("warning: %llu stream events dropped, %llu sealed-shard drops, "
+                  "%llu pending children evicted — online verdicts may undercount\n",
+                  static_cast<unsigned long long>(stats.stream_dropped),
+                  static_cast<unsigned long long>(stats.sealed_dropped),
+                  static_cast<unsigned long long>(stats.pending_evicted));
     }
     if (!opts.out_path.empty()) std::printf("trace written to %s\n", opts.out_path.c_str());
   }
+  return 0;
+}
+
+// `serve` must shut down cleanly on SIGINT/SIGTERM (final checkpoint, socket
+// unlink); Server::stop() is async-signal-safe by design (self-pipe).
+fleet::Server* g_serve_instance = nullptr;
+
+void serve_signal_handler(int) {
+  if (g_serve_instance != nullptr) g_serve_instance->stop();
+}
+
+/// `sgxperf serve`: the fleet aggregation daemon.  Listens on --socket for
+/// producer streams (`sgxperf monitor --fleet`, or any MonitorSession with a
+/// FrameSink), merges them into the keyed fleet time-series, and answers
+/// queries on --query-socket until SIGINT/SIGTERM or idle-exit.
+int run_serve(const Options& opts) {
+  if (opts.socket_path.empty()) {
+    std::fputs("error: serve requires --socket PATH (the ingest socket)\n", stderr);
+    return 2;
+  }
+  fleet::ServerConfig cfg;
+  cfg.ingest_path = opts.socket_path;
+  cfg.query_path = opts.query_socket_path;
+  cfg.aggregator.retention_windows = opts.retention;
+  cfg.checkpoint_path = opts.checkpoint_path;
+  cfg.checkpoint_every_windows = opts.checkpoint_every;
+  cfg.idle_exit_ms = opts.idle_exit_ms;
+  fleet::Server server(cfg);
+  if (!server.start()) return 1;
+
+  g_serve_instance = &server;
+  std::signal(SIGINT, serve_signal_handler);
+  std::signal(SIGTERM, serve_signal_handler);
+  std::fprintf(stderr, "serve: ingest %s%s%s\n", opts.socket_path.c_str(),
+               opts.query_socket_path.empty() ? "" : ", query ",
+               opts.query_socket_path.c_str());
+
+  const std::uint64_t producers = server.run();
+  g_serve_instance = nullptr;
+
+  if (opts.json) {
+    std::printf("%s\n", server.aggregator().snapshot_json().c_str());
+  } else {
+    std::printf("serve: %llu producer stream(s), %llu fleet windows merged\n",
+                static_cast<unsigned long long>(producers),
+                static_cast<unsigned long long>(server.aggregator().windows_merged()));
+    if (!opts.checkpoint_path.empty()) {
+      std::printf("fleet checkpoint written to %s\n", opts.checkpoint_path.c_str());
+    }
+  }
+  return 0;
+}
+
+/// `sgxperf fleet`: ask a running serve daemon (--query-socket) — or the
+/// built-in deterministic 3-producer stress corpus aggregated in-process
+/// (--corpus, the CI golden path) — for a snapshot / top-N / alert listing /
+/// per-site series.  Output is always one JSON document on stdout.
+int run_fleet(const Options& opts) {
+  const std::string sub = opts.fleet_subcommand.empty() ? "snapshot" : opts.fleet_subcommand;
+  std::string request;
+  if (sub == "snapshot") {
+    request = "snapshot";
+  } else if (sub == "alerts") {
+    request = "alerts";
+  } else if (sub == "top") {
+    request = support::format("top %s %zu", opts.rank_by.c_str(), opts.top_n);
+  } else if (sub == "series") {
+    if (opts.fleet_args.size() != 3) {
+      std::fputs("error: fleet series needs <host> <enclave> <site>\n", stderr);
+      return 2;
+    }
+    request = "series " + opts.fleet_args[0] + " " + opts.fleet_args[1] + " " +
+              opts.fleet_args[2];
+  } else {
+    std::fprintf(stderr, "error: unknown fleet subcommand '%s' (snapshot, top, alerts, series)\n",
+                 sub.c_str());
+    return 2;
+  }
+
+  std::string response;
+  if (opts.corpus) {
+    fleet::Aggregator agg({opts.retention});
+    try {
+      fleet::run_corpus(agg, fleet::default_corpus());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+    response = agg.query(request);
+    if (!opts.out_path.empty()) {
+      tracedb::TraceDatabase db;
+      agg.checkpoint(db);
+      try {
+        db.save(opts.out_path);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+      }
+    }
+  } else if (!opts.query_socket_path.empty()) {
+    try {
+      response = fleet::query_server(opts.query_socket_path, request);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+  } else {
+    std::fputs("error: fleet needs --query-socket PATH (live daemon) or --corpus (built-in)\n",
+               stderr);
+    return 2;
+  }
+  std::printf("%s\n", response.c_str());
   return 0;
 }
 
@@ -730,6 +905,7 @@ int run_stress(const Options& opts) {
   if (opts.json) {
     support::json::Writer w;
     w.begin_object();
+    w.kv("schema_version", support::json::kSchemaVersion);
     w.kv("stressor", spec.name);
     w.kv("threads", static_cast<std::uint64_t>(opts.threads));
     w.kv("duration_ns", static_cast<std::uint64_t>(opts.duration_ns));
@@ -799,6 +975,7 @@ int run_stress(const Options& opts) {
 std::string stats_json(const perf::AnalysisReport& report, const tracedb::TraceDatabase& db) {
   support::json::Writer w;
   w.begin_object();
+  w.kv("schema_version", support::json::kSchemaVersion);
   w.key("dropped_events");
   w.value(report.dropped_events);
   w.key("stream_dropped_events");
@@ -1109,6 +1286,7 @@ int run_whatif(const Options& opts, tracedb::TraceDatabase& db) {
   if (opts.json) {
     support::json::Writer w;
     w.begin_object();
+    w.kv("schema_version", support::json::kSchemaVersion);
     replay::write_whatif_json(w, validation, results);
     if (opts.all_recommendations) {
       w.key("ranked");
@@ -1165,6 +1343,8 @@ int main(int argc, char** argv) {
   if (opts.command == "top") return run_top(opts);
   if (opts.command == "monitor") return run_monitor(opts);
   if (opts.command == "stress") return run_stress(opts);
+  if (opts.command == "serve") return run_serve(opts);
+  if (opts.command == "fleet") return run_fleet(opts);
 
   tracedb::TraceDatabase db = [&] {
     try {
