@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <sstream>
+#include <tuple>
 
 #include "perf/online.hpp"
 #include "support/json.hpp"
@@ -116,6 +117,21 @@ void Aggregator::apply(Producer& p, const Frame& frame) {
 
 void Aggregator::apply_window(Producer& p, const WindowFrame& f) {
   const auto& w = f.window;
+  // Charge every key this frame would create against the producer's cap
+  // up front, so a frame that would blow the cap is rejected whole.
+  if (config_.max_keys_per_producer != 0) {
+    std::uint64_t new_keys = 0;
+    for (const auto& s : f.sites) {
+      const SiteKey key{p.state.host, p.state.enclave, s.name, s.row.type};
+      if (sites_.find(key) == sites_.end()) new_keys += 1;
+    }
+    if (p.keys_created + new_keys > config_.max_keys_per_producer) {
+      p.state.error = support::format("fleet key cap exceeded (%zu distinct keys)",
+                                      config_.max_keys_per_producer);
+      return;
+    }
+    p.keys_created += new_keys;
+  }
   p.state.windows += 1;
   p.state.stream_dropped = std::max(p.state.stream_dropped, w.stream_dropped);
   p.state.paging += w.page_ins + w.page_outs;
@@ -165,9 +181,18 @@ void Aggregator::apply_window(Producer& p, const WindowFrame& f) {
 }
 
 void Aggregator::apply_alert(Producer& p, const AlertFrame& f) {
-  p.state.alerts += 1;
   const SiteKey key{p.state.host, p.state.enclave, f.site_name, f.alert.type};
-  AlertState& st = alerts_[{key, f.alert.kind}];
+  const auto alert_key = std::make_pair(key, f.alert.kind);
+  if (config_.max_keys_per_producer != 0 && alerts_.find(alert_key) == alerts_.end()) {
+    if (p.keys_created >= config_.max_keys_per_producer) {
+      p.state.error = support::format("fleet key cap exceeded (%zu distinct keys)",
+                                      config_.max_keys_per_producer);
+      return;
+    }
+    p.keys_created += 1;
+  }
+  p.state.alerts += 1;
+  AlertState& st = alerts_[alert_key];
   st.enclave_id = f.alert.enclave_id;
   st.call_id = f.alert.call_id;
   st.detail = f.alert.detail;
@@ -249,13 +274,22 @@ std::string Aggregator::snapshot_json_locked() const {
   w.kv("schema_version", support::json::kSchemaVersion);
   w.kv("window_ns", window_ns_);
 
-  // Producers sorted by identity (connect order varies across runs).
+  // Producers sorted by identity, tie-broken by row content: connect order
+  // varies across runs, and two producers may legitimately share a
+  // (host, enclave) identity — a content tiebreaker keeps the snapshot a
+  // pure function of the ingested frame set either way.
   std::vector<const ProducerState*> producers;
   for (const auto& [id, p] : producers_) producers.push_back(&p.state);
   std::stable_sort(producers.begin(), producers.end(),
                    [](const ProducerState* a, const ProducerState* b) {
-                     if (a->host != b->host) return a->host < b->host;
-                     return a->enclave < b->enclave;
+                     const auto key = [](const ProducerState* p) {
+                       return std::tie(p->host, p->enclave, p->frames, p->windows,
+                                       p->alerts, p->events, p->stream_dropped,
+                                       p->sealed_dropped, p->pending_evicted,
+                                       p->paging, p->end_ns, p->ended, p->clean,
+                                       p->error);
+                     };
+                     return key(a) < key(b);
                    });
   w.key("producers");
   w.begin_array();

@@ -47,6 +47,12 @@ namespace fleet {
 struct AggregatorConfig {
   /// Fleet windows (and per-site series points) retained, oldest pruned.
   std::size_t retention_windows = 256;
+  /// Distinct fleet keys (site series + alert states) one producer may
+  /// create; past the cap the producer is quarantined with an error, like a
+  /// framing violation (0 = unlimited).  Host/enclave/site names are
+  /// producer-controlled strings, so without a cap one misbehaving producer
+  /// could grow the keyed maps without bound.
+  std::size_t max_keys_per_producer = 4096;
 };
 
 /// Fleet series key: producer identity plus call site.
@@ -201,6 +207,7 @@ class Aggregator {
     ProducerState state;
     FrameParser parser;
     std::uint64_t last_window_end = 0;
+    std::uint64_t keys_created = 0;  // distinct fleet keys this producer added
   };
 
   void apply(Producer& p, const Frame& frame);

@@ -53,9 +53,11 @@ int connect_unix(const std::string& path) {
   return fd;
 }
 
+/// Blocking full write to a socket.  MSG_NOSIGNAL: a peer that disconnects
+/// mid-write must surface as EPIPE, not as a process-killing SIGPIPE.
 bool write_all(int fd, const char* data, std::size_t size) {
   while (size > 0) {
-    const ssize_t n = ::write(fd, data, size);
+    const ssize_t n = ::send(fd, data, size, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       return false;
@@ -65,6 +67,10 @@ bool write_all(int fd, const char* data, std::size_t size) {
   }
   return true;
 }
+
+/// A query client that accepts a response slower than this is presumed stuck
+/// and dropped (its fd would otherwise be held until daemon shutdown).
+constexpr std::chrono::milliseconds kResponseStall{5000};
 
 }  // namespace
 
@@ -121,6 +127,25 @@ void Server::close_connection(Connection& conn) {
   conn.fd = -1;
 }
 
+/// Pushes pending response bytes without ever blocking the poll loop.
+/// Returns true when the connection is done (fully drained, or the client is
+/// gone) — the remainder, if any, waits for the next POLLOUT.
+bool Server::drain_response(Connection& conn) {
+  while (conn.response_off < conn.response.size()) {
+    const ssize_t n = ::send(conn.fd, conn.response.data() + conn.response_off,
+                             conn.response.size() - conn.response_off,
+                             MSG_DONTWAIT | MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return false;  // socket buffer full
+      return true;  // EPIPE/ECONNRESET: client vanished, response is moot
+    }
+    conn.response_off += static_cast<std::size_t>(n);
+    conn.last_progress = std::chrono::steady_clock::now();
+  }
+  return true;
+}
+
 void Server::maybe_checkpoint(bool force) {
   if (config_.checkpoint_path.empty()) return;
   const std::uint64_t merged = agg_.windows_merged();
@@ -149,7 +174,12 @@ std::uint64_t Server::run() {
     fds.push_back({ingest_fd_, POLLIN, 0});
     if (query_fd_ >= 0) fds.push_back({query_fd_, POLLIN, 0});
     const std::size_t conn_base = fds.size();
-    for (const auto& conn : conns_) fds.push_back({conn.fd, POLLIN, 0});
+    for (const auto& conn : conns_) {
+      // A query connection with a pending response only waits for the
+      // socket to accept more bytes; its request is already complete.
+      const short events = conn.is_query && !conn.response.empty() ? POLLOUT : POLLIN;
+      fds.push_back({conn.fd, events, 0});
+    }
 
     const int timeout_ms = config_.idle_exit_ms > 0 ? 50 : 500;
     const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
@@ -192,15 +222,21 @@ std::uint64_t Server::run() {
     for (std::size_t i = 0; i < conns_.size() && conn_base + i < fds.size(); ++i) {
       Connection& conn = conns_[i];
       if (conn.fd < 0 || fds[conn_base + i].revents == 0) continue;
-      const ssize_t n = ::read(conn.fd, buf, sizeof(buf));
       last_activity = Clock::now();
+      if (conn.is_query && !conn.response.empty()) {
+        if (drain_response(conn)) close_connection(conn);
+        continue;
+      }
+      const ssize_t n = ::read(conn.fd, buf, sizeof(buf));
       if (n <= 0) {
         if (n < 0 && (errno == EINTR || errno == EAGAIN)) continue;
         if (conn.is_query && !conn.request.empty()) {
           // Client half-closed without a newline: treat the buffer as the
-          // full request.
-          const std::string response = agg_.query(conn.request) + "\n";
-          (void)write_all(conn.fd, response.data(), response.size());
+          // full request; the response drains via POLLOUT.
+          conn.response = agg_.query(conn.request) + "\n";
+          conn.last_progress = Clock::now();
+          if (drain_response(conn)) close_connection(conn);
+          continue;
         }
         close_connection(conn);
         continue;
@@ -210,14 +246,21 @@ std::uint64_t Server::run() {
         const auto eol = conn.request.find('\n');
         if (eol != std::string::npos) {
           conn.request.resize(eol);
-          const std::string response = agg_.query(conn.request) + "\n";
-          (void)write_all(conn.fd, response.data(), response.size());
-          close_connection(conn);
+          conn.response = agg_.query(conn.request) + "\n";
+          conn.last_progress = Clock::now();
+          if (drain_response(conn)) close_connection(conn);
         }
       } else {
         agg_.ingest(conn.producer, buf, static_cast<std::size_t>(n));
         maybe_checkpoint(/*force=*/false);
       }
+    }
+    // Drop query clients whose response has made no progress for too long —
+    // a connected-but-not-reading client must not pin its fd (and buffered
+    // snapshot) until shutdown.
+    for (auto& conn : conns_) {
+      if (conn.fd < 0 || conn.response.empty()) continue;
+      if (Clock::now() - conn.last_progress >= kResponseStall) close_connection(conn);
     }
     conns_.erase(std::remove_if(conns_.begin(), conns_.end(),
                                 [](const Connection& c) { return c.fd < 0; }),

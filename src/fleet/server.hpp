@@ -13,11 +13,15 @@
 // Single-threaded poll(2) loop — the aggregator's mutex makes concurrent
 // checkpoint/query access from other threads safe, but the socket plumbing
 // itself never needs more than one thread (windows arrive at window
-// cadence, not event cadence).  stop() is async-signal-safe via a self-pipe
-// so a SIGINT handler can end run() cleanly.
+// cadence, not event cadence).  Query responses drain non-blocking via
+// POLLOUT with a stall deadline, so a client that stops reading can never
+// wedge ingest; all socket writes use MSG_NOSIGNAL, so a vanished peer is
+// an EPIPE, never a fatal SIGPIPE.  stop() is async-signal-safe via a
+// self-pipe so a SIGINT handler can end run() cleanly.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -66,9 +70,15 @@ class Server {
     bool is_query = false;
     ProducerId producer = 0;   // ingest connections
     std::string request;       // query connections: accumulated request line
+    std::string response;      // query connections: undrained response bytes
+    std::size_t response_off = 0;
+    /// Last time response bytes moved — a client that stops reading is
+    /// closed after a stall deadline instead of wedging the poll loop.
+    std::chrono::steady_clock::time_point last_progress{};
   };
 
   void close_connection(Connection& conn);
+  bool drain_response(Connection& conn);
   void maybe_checkpoint(bool force);
 
   ServerConfig config_;

@@ -8,11 +8,14 @@
 // HDR histogram reports — bucket-wise delta addition is exact.
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <map>
 #include <memory>
 #include <string>
@@ -267,6 +270,51 @@ TEST(FleetAggregator, QueryProtocolAnswersEveryVerb) {
   EXPECT_NE(agg.query("bogus verb").find("\"error\""), std::string::npos);
 }
 
+TEST(FleetAggregator, KeyCapQuarantinesRunawayProducer) {
+  fleet::AggregatorConfig config;
+  config.max_keys_per_producer = 8;
+  fleet::Aggregator agg(config);
+
+  // A producer that mints a fresh site name every window: without the cap
+  // the keyed maps (and their HDR snapshots) would grow without bound.
+  std::string bytes;
+  fleet::encode_magic(bytes);
+  fleet::HelloFrame hello;
+  hello.hdr_sub_bits = telemetry::hdr::kSubBits;
+  hello.hdr_max_exponent = telemetry::hdr::kMaxExponent;
+  hello.window_ns = 1'000'000;
+  hello.host = "host-x";
+  hello.enclave = "runaway";
+  fleet::encode(bytes, hello);
+  for (int i = 0; i < 64; ++i) {
+    fleet::WindowFrame w;
+    w.window.window_index = static_cast<std::uint32_t>(i);
+    w.window.start_ns = static_cast<std::uint64_t>(i) * 1'000'000;
+    w.window.end_ns = w.window.start_ns + 1'000'000;
+    w.window.calls = 1;
+    fleet::WireSite site;
+    site.name = "site_" + std::to_string(i);
+    site.row.calls = 1;
+    site.delta_count = 1;
+    site.delta_sum = 100;
+    site.buckets = {{0, 1}};
+    w.sites.push_back(site);
+    fleet::encode(bytes, w);
+  }
+
+  const fleet::ProducerId id = agg.connect();
+  agg.ingest(id, bytes);
+  agg.disconnect(id);
+
+  EXPECT_EQ(agg.windows_merged(), 8u) << "nothing past the cap may be merged";
+  const std::string snapshot = agg.snapshot_json();
+  EXPECT_NE(snapshot.find("fleet key cap exceeded"), std::string::npos) << snapshot;
+  EXPECT_NE(snapshot.find("\"lossy\":true"), std::string::npos) << snapshot;
+  EXPECT_NE(snapshot.find("\"site\":\"site_7\""), std::string::npos)
+      << "keys created below the cap must stay merged";
+  EXPECT_EQ(snapshot.find("\"site\":\"site_8\""), std::string::npos) << snapshot;
+}
+
 TEST(FleetServer, ConcurrentSocketProducersMatchInProcessMerge) {
   const fleet::CorpusConfig config = small_corpus();
   const auto streams = corpus_streams(config);
@@ -303,6 +351,46 @@ TEST(FleetServer, ConcurrentSocketProducersMatchInProcessMerge) {
 
   const std::string alerts = fleet::query_server(sconfig.query_path, "alerts");
   EXPECT_NE(alerts.find("\"schema_version\":1"), std::string::npos);
+
+  server.stop();
+  loop.join();
+  std::remove(sconfig.ingest_path.c_str());
+  std::remove(sconfig.query_path.c_str());
+}
+
+TEST(FleetServer, VanishedQueryClientDoesNotKillTheDaemon) {
+  const fleet::CorpusConfig config = small_corpus();
+  const auto streams = corpus_streams(config);
+
+  const std::string base = "/tmp/sgxperf_fleet_gone_" + std::to_string(::getpid());
+  fleet::ServerConfig sconfig;
+  sconfig.ingest_path = base + ".ingest";
+  sconfig.query_path = base + ".query";
+  fleet::Server server(sconfig);
+  ASSERT_TRUE(server.start());
+  std::thread loop([&] { server.run(); });
+
+  ASSERT_TRUE(fleet::send_producer_stream(sconfig.ingest_path, streams[0]));
+
+  // Clients that send a query and vanish before reading the response: the
+  // daemon (same process as this test) must see EPIPE and drop the
+  // response — a SIGPIPE would kill the whole test binary.
+  for (int i = 0; i < 10; ++i) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, sconfig.query_path.c_str(), sizeof(addr.sun_path) - 1);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)), 0);
+    const char req[] = "snapshot\n";
+    ASSERT_EQ(::send(fd, req, sizeof(req) - 1, MSG_NOSIGNAL),
+              static_cast<ssize_t>(sizeof(req) - 1));
+    ::close(fd);  // gone before reading a byte of the response
+  }
+
+  // The daemon is still alive and answering.
+  const std::string got = fleet::query_server(sconfig.query_path, "alerts");
+  EXPECT_NE(got.find("\"schema_version\":1"), std::string::npos) << got;
 
   server.stop();
   loop.join();

@@ -47,6 +47,7 @@
 // CI golden gate for the whole pipeline.
 //
 // Weights of the Eq. 1-3 detectors are tunable: --eq1-alpha 0.5 etc.
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -614,17 +615,26 @@ int run_monitor(const Options& opts) {
       if (alert_log != nullptr) std::fclose(alert_log);
       return 1;
     }
-    session.add_sink(std::make_shared<fleet::FrameSink>([fleet_fd](const char* data,
-                                                                   std::size_t size) {
-      // Best-effort: a vanished daemon drops frames, it never kills the run.
-      while (size > 0) {
-        const ssize_t n = ::write(fleet_fd, data, size);
-        if (n < 0 && errno == EINTR) continue;
-        if (n <= 0) break;
-        data += n;
-        size -= static_cast<std::size_t>(n);
-      }
-    }));
+    // Best-effort: a vanished daemon drops frames, it never kills the run.
+    // MSG_NOSIGNAL turns the SIGPIPE a dead daemon would raise into EPIPE,
+    // and `daemon_gone` stops further frame writes after the first failure.
+    auto daemon_gone = std::make_shared<bool>(false);
+    session.add_sink(std::make_shared<fleet::FrameSink>(
+        [fleet_fd, daemon_gone](const char* data, std::size_t size) {
+          if (*daemon_gone) return;
+          while (size > 0) {
+            const ssize_t n = ::send(fleet_fd, data, size, MSG_NOSIGNAL);
+            if (n < 0 && errno == EINTR) continue;
+            if (n <= 0) {
+              *daemon_gone = true;
+              std::fprintf(stderr, "monitor: fleet daemon unreachable (%s), frames dropped\n",
+                           n < 0 ? std::strerror(errno) : "closed");
+              return;
+            }
+            data += n;
+            size -= static_cast<std::size_t>(n);
+          }
+        }));
   }
 
   std::atomic<bool> done{false};
