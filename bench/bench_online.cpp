@@ -13,6 +13,7 @@
 
 #include "bench_json.hpp"
 #include "perf/online.hpp"
+#include "perf/orderliness.hpp"
 #include "support/rng.hpp"
 
 int main(int argc, char** argv) {
@@ -68,8 +69,36 @@ int main(int argc, char** argv) {
   const double sec =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
 
+  // Second leg: the same stream with the interface-orderliness checker armed
+  // on a worst-case-dense model (every id an entry, all 64 edges legal), so
+  // every ecall takes the full known/entry/edge lookup path and no violation
+  // short-circuits it.  The delta against the first leg is the per-event
+  // price of `monitor --order-model`.
+  perf::OnlineConfig checked_config;
+  auto& em = checked_config.order.enclaves[1];
+  for (std::uint32_t a = 0; a < 8; ++a) {
+    em.known.insert(a);
+    em.entries.insert(a);
+    for (std::uint32_t b = 0; b < 8; ++b) em.edges.emplace(a, b);
+  }
+  perf::OnlineAnalyzer checked(checked_config);
+  const auto t1 = std::chrono::steady_clock::now();
+  checked.feed(events);
+  checked.finish(t);
+  const double checked_sec =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t1).count();
+
+  std::size_t order_alerts = 0;
+  for (const auto& a : checked.active_alerts()) {
+    if (a.kind >= tracedb::AlertKind::kOutOfOrderEcall) ++order_alerts;
+  }
+
   const double ns_per_event = sec * 1e9 / static_cast<double>(events.size());
   const double events_per_s = static_cast<double>(events.size()) / sec;
+  const double checked_ns_per_event = checked_sec * 1e9 / static_cast<double>(events.size());
+  const double checker_overhead = ns_per_event == 0.0
+                                      ? 0.0
+                                      : (checked_ns_per_event - ns_per_event) / ns_per_event;
   std::printf("=== E13: online analyser feed throughput ===\n\n");
   std::printf("events fed:       %zu (%.3f virtual s)\n", events.size(),
               static_cast<double>(t) / 1e9);
@@ -78,10 +107,14 @@ int main(int argc, char** argv) {
   std::printf("windows closed:   %zu\n", online.windows().size());
   std::printf("alerts recorded:  %zu (%zu active at end)\n", online.alerts().size(),
               online.active_alerts().size());
+  std::printf("with order check: %.0f ns/event (%+.1f%%), %zu orderliness alerts\n",
+              checked_ns_per_event, checker_overhead * 100.0, order_alerts);
 
   json.metric("feed_ns_per_event", ns_per_event, "ns");
   json.metric("feed_events_per_s", events_per_s, "events/s");
   json.metric("windows", static_cast<double>(online.windows().size()), "windows");
   json.metric("alerts", static_cast<double>(online.alerts().size()), "alerts");
+  json.metric("feed_checked_ns_per_event", checked_ns_per_event, "ns");
+  json.metric("order_alerts", static_cast<double>(order_alerts), "alerts");
   return json.write() ? 0 : 1;
 }

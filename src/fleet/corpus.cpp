@@ -16,6 +16,7 @@ CorpusConfig default_corpus() {
       {"host-a", "stress_cpu", "cpu", 2, 20'000'000, 7, 0},
       {"host-b", "stress_storm", "ocall-storm", 2, 20'000'000, 7, 0},
       {"host-c", "stress_vm", "vm", 2, 20'000'000, 7, 4},
+      {"host-d", "stress_order", "order", 2, 20'000'000, 7, 0},
   };
   return config;
 }
@@ -34,23 +35,31 @@ std::string run_corpus_producer(const CorpusProducerSpec& spec, const CorpusConf
   perf::Logger logger(db);
   logger.attach(urts);
 
+  stress::StressConfig stress_config;
+  stress_config.threads = spec.threads;
+  stress_config.duration_ns = spec.duration_ns;
+  stress_config.seed = spec.seed;
+  stress_config.lockstep = true;  // the determinism anchor
+
+  // Prepare before the session subscribes: the stressor's orderliness model
+  // is keyed by the enclave ids prepare() creates, and the producer's online
+  // analyser needs that model at construction.  The enclave-created stream
+  // events are skipped (no subscriber yet), which the checker tolerates.
+  stressor->prepare(urts, stress_config);
+
   perf::MonitorSessionConfig session_config;
   session_config.identity = {spec.host, spec.enclave};
   session_config.subscription_name = "fleet-corpus";
   session_config.subscription_capacity = config.subscription_capacity;
   session_config.online.window_ns = config.window_ns;
+  session_config.online.order = stressor->order_model();
   perf::MonitorSession session(logger, urts, session_config);
   if (!session.ok()) throw std::runtime_error("fleet corpus: no free subscriber slot");
 
   std::string stream;
   session.add_sink(FrameSink::to_string(stream));
 
-  stress::StressConfig stress_config;
-  stress_config.threads = spec.threads;
-  stress_config.duration_ns = spec.duration_ns;
-  stress_config.seed = spec.seed;
-  stress_config.lockstep = true;  // the determinism anchor
-  stress::run_stressor(*stressor, urts, stress_config);
+  stress::run_stressor(*stressor, urts, stress_config, /*already_prepared=*/true);
 
   // The workload has quiesced (run_stressor joins its workers): one drain
   // picks up every event, then the detach seals the database so finish()

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "perf/orderliness.hpp"
 #include "perf/parents.hpp"
 #include "replay/engine.hpp"
 #include "support/strutil.hpp"
@@ -28,6 +29,11 @@ const char* to_string(FindingKind k) noexcept {
     case FindingKind::kSyncContention: return "short synchronisation calls (SSC)";
     case FindingKind::kPaging: return "EPC paging";
     case FindingKind::kTailLatency: return "tail latency (p99 far above p50)";
+    case FindingKind::kOutOfOrderEcall: return "out-of-order ecall (illegal transition)";
+    case FindingKind::kReentrantEcall: return "unexpected re-entrant ecall";
+    case FindingKind::kUseBeforeInit: return "ecall before init completed";
+    case FindingKind::kUseAfterDestroy: return "ecall after enclave destruction";
+    case FindingKind::kPhaseViolation: return "lifecycle phase violation (init re-entered)";
     case FindingKind::kPrivateEcallCandidate: return "ecall can be made private";
     case FindingKind::kExcessAllowedEcalls: return "allow() list larger than necessary";
     case FindingKind::kMinimalAllowSet: return "smallest observed allow() set";
@@ -57,6 +63,9 @@ const char* to_string(Recommendation r) noexcept {
     case Recommendation::kInvestigateTail:
       return "inspect the slowest instances (AEX storms, paging, lock convoys) — the "
              "mean hides them";
+    case Recommendation::kAuditCallSequence:
+      return "audit the offending call path — it violates the enclave's interface "
+             "ordering model";
     case Recommendation::kMakePrivate: return "declare the ecall private in the EDL";
     case Recommendation::kRestrictAllowedEcalls: return "shrink the ocall's allow() list";
     case Recommendation::kCheckPointerHandling:
@@ -93,6 +102,7 @@ AnalysisReport Analyzer::analyze() const {
   detect_merge_batch(report, indirect);
   detect_sync(report);
   detect_paging(report);
+  detect_orderliness(report);
   analyze_security(report);
   if (config_.predict_speedups) annotate_predictions(report);
 
@@ -562,6 +572,40 @@ void Analyzer::detect_paging(AnalysisReport& report) const {
     f.detail = support::format(
         "%zu EPC paging events — each one costs a transition plus page re-encryption", count);
     f.severity = static_cast<double>(count) * 4.0;  // paging is the costliest pattern
+    report.findings.push_back(std::move(f));
+  }
+}
+
+// --- interface orderliness (v6 model embedded in the trace) -------------------------
+void Analyzer::detect_orderliness(AnalysisReport& report) const {
+  const OrderModel model = model_from_rules(db_.order_rules());
+  if (model.empty()) return;
+
+  const auto finding_kind = [](tracedb::AlertKind k) {
+    switch (k) {
+      case tracedb::AlertKind::kReentrantEcall: return FindingKind::kReentrantEcall;
+      case tracedb::AlertKind::kUseBeforeInit: return FindingKind::kUseBeforeInit;
+      case tracedb::AlertKind::kUseAfterDestroy: return FindingKind::kUseAfterDestroy;
+      case tracedb::AlertKind::kPhaseViolation: return FindingKind::kPhaseViolation;
+      default: return FindingKind::kOutOfOrderEcall;
+    }
+  };
+
+  for (const auto& a : check_trace(db_, model)) {
+    const std::uint64_t count = a.detail & 0xffffffffull;
+    const auto thread = static_cast<std::uint32_t>(a.detail >> 32);
+    Finding f;
+    f.kind = finding_kind(a.kind);
+    f.subject = CallKey{a.enclave_id, a.type, a.call_id};
+    f.subject_name = db_.name_of(a.enclave_id, a.type, a.call_id);
+    f.recommendations = {Recommendation::kAuditCallSequence};
+    f.detail = support::format(
+        "%llu violation%s, first on thread %u at %.3fms (virtual)",
+        static_cast<unsigned long long>(count), count == 1 ? "" : "s", thread,
+        static_cast<double>(a.onset_ns) / 1e6);
+    // Orderliness violations outrank every perf pattern: a wrong call
+    // sequence is a correctness/security alarm, not a tuning opportunity.
+    f.severity = static_cast<double>(count) * 1e6;
     report.findings.push_back(std::move(f));
   }
 }

@@ -87,6 +87,11 @@ enum class FindingKind {
   kSyncContention,      // SSC: short sync ocalls
   kPaging,              // paging events observed
   kTailLatency,         // p99 ≫ p50: a tail the mean-based stats hide
+  kOutOfOrderEcall,     // orderliness: illegal consecutive top-level pair
+  kReentrantEcall,      // orderliness: unexpected nested re-entry
+  kUseBeforeInit,       // orderliness: ecall before the init phase completed
+  kUseAfterDestroy,     // orderliness: ecall after enclave destruction
+  kPhaseViolation,      // orderliness: init phase re-entered
   kPrivateEcallCandidate,
   kExcessAllowedEcalls,
   kMinimalAllowSet,  // no EDL given: the smallest allow() set observed
@@ -112,6 +117,7 @@ enum class Recommendation {
   kPreloadPages,
   kAlternativeMemoryManagement,
   kInvestigateTail,
+  kAuditCallSequence,
   kMakePrivate,
   kRestrictAllowedEcalls,
   kCheckPointerHandling,
@@ -213,6 +219,11 @@ class Analyzer {
                           const std::vector<tracedb::CallIndex>& indirect) const;  // Eq. 3
   void detect_sync(AnalysisReport& report) const;                  // SSC
   void detect_paging(AnalysisReport& report) const;
+  /// Validates the trace against the orderliness model embedded in its v6
+  /// order-rules table (no-op when the trace carries none), turning each
+  /// folded alert into a finding.  Runs check_trace(), so the findings agree
+  /// with the online checker's end-of-run alert set.
+  void detect_orderliness(AnalysisReport& report) const;
   /// Flags call sites whose p99/p50 ratio betrays a tail (needs the
   /// percentiles compute_stats() filled in, so runs after it).
   void detect_tail_latency(AnalysisReport& report) const;

@@ -63,6 +63,10 @@ std::size_t LiveMonitor::drain() {
         case StreamEvent::Kind::kPaging:
           total_paging_ += 1;
           break;
+        case StreamEvent::Kind::kEnclaveCreated:
+        case StreamEvent::Kind::kEnclaveDestroyed:
+          // Lifecycle markers feed the orderliness checker, not the table.
+          break;
       }
     }
   }

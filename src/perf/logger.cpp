@@ -314,10 +314,26 @@ void Logger::on_enclave_created(const sgxsim::Enclave& enclave) {
   rec.size_bytes = enclave.size_bytes();
   db_.add_enclave(rec);
   register_names(enclave);
+  if (stream_.has_subscribers()) {
+    StreamEvent ev;
+    ev.kind = StreamEvent::Kind::kEnclaveCreated;
+    ev.enclave_id = enclave.id();
+    ev.start_ns = rec.created_ns;
+    ev.end_ns = rec.created_ns;
+    stream_.publish(ev);
+  }
 }
 
 void Logger::on_enclave_destroyed(EnclaveId eid, Nanoseconds now) {
   db_.set_enclave_destroyed(eid, now);
+  if (stream_.has_subscribers()) {
+    StreamEvent ev;
+    ev.kind = StreamEvent::Kind::kEnclaveDestroyed;
+    ev.enclave_id = eid;
+    ev.start_ns = now;
+    ev.end_ns = now;
+    stream_.publish(ev);
+  }
 }
 
 void Logger::ensure_enclave_registered(PerThread& pt, EnclaveId eid) {

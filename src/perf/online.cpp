@@ -32,11 +32,21 @@ const char* to_string(AlertKind k) noexcept {
     case AlertKind::kPaging: return "paging";
     case AlertKind::kTailLatency: return "tail_latency";
     case AlertKind::kLatencyShift: return "latency_shift";
+    case AlertKind::kOutOfOrderEcall: return "out_of_order_ecall";
+    case AlertKind::kReentrantEcall: return "reentrant_ecall";
+    case AlertKind::kUseBeforeInit: return "use_before_init";
+    case AlertKind::kUseAfterDestroy: return "use_after_destroy";
+    case AlertKind::kPhaseViolation: return "phase_violation";
   }
   return "?";
 }
 
-OnlineAnalyzer::OnlineAnalyzer(OnlineConfig config) : config_(std::move(config)) {}
+OnlineAnalyzer::OnlineAnalyzer(OnlineConfig config) : config_(std::move(config)) {
+  if (!config_.order.empty()) {
+    order_checker_.emplace(config_.order,
+                           [this](const OrderViolation& v) { on_order_violation(v); });
+  }
+}
 
 Nanoseconds OnlineAnalyzer::adjusted(const StreamEvent& ev) const noexcept {
   const Nanoseconds raw = ev.end_ns - ev.start_ns;
@@ -50,10 +60,19 @@ Nanoseconds OnlineAnalyzer::adjusted(const StreamEvent& ev) const noexcept {
 void OnlineAnalyzer::feed(const StreamEvent& ev) {
   ++events_seen_;
   roll_windows(ev.end_ns);
-  if (ev.kind == StreamEvent::Kind::kCall) {
-    on_call(ev);
-  } else {
-    on_instant(ev);
+  switch (ev.kind) {
+    case StreamEvent::Kind::kCall:
+      on_call(ev);
+      break;
+    case StreamEvent::Kind::kEnclaveCreated:
+      if (order_checker_) order_checker_->on_enclave_created(ev.enclave_id, ev.start_ns);
+      break;
+    case StreamEvent::Kind::kEnclaveDestroyed:
+      if (order_checker_) order_checker_->on_enclave_destroyed(ev.enclave_id, ev.start_ns);
+      break;
+    default:
+      on_instant(ev);
+      break;
   }
 }
 
@@ -75,6 +94,12 @@ void OnlineAnalyzer::roll_windows(std::uint64_t ts) {
 }
 
 void OnlineAnalyzer::on_call(const StreamEvent& ev) {
+  if (order_checker_) {
+    const bool nested = ev.parent_valid && ev.parent_type == CallType::kOcall;
+    order_checker_->on_call(ev.call_type, ev.enclave_id, ev.call_id, ev.thread_id, ev.start_ns,
+                            ev.end_ns, nested);
+  }
+
   const CallKey key{ev.enclave_id, ev.call_type, ev.call_id};
   auto [it, inserted] = sites_.try_emplace(key, config_.change);
   SiteState& st = it->second;
@@ -294,6 +319,21 @@ void OnlineAnalyzer::reconcile_paging(tracedb::EnclaveId eid, std::uint64_t now)
   // The event count only grows — a paging alert never resolves.
 }
 
+void OnlineAnalyzer::on_order_violation(const OrderViolation& v) {
+  // Same fold as OrderAlertFolder: the first violation per (kind, site)
+  // raises the alert with detail = thread<<32 | 1; repeats bump the count
+  // word in place.  Orderliness alerts never resolve (see reconcile_site's
+  // kind lists), so active_ always holds the live index.
+  const CallKey site{v.enclave_id, CallType::kEcall, v.call_id};
+  const auto it = active_.find({v.kind, site});
+  if (it != active_.end()) {
+    ++alerts_[it->second].detail;
+    return;
+  }
+  raise_alert(v.kind, site, v.at_ns,
+              (static_cast<std::uint64_t>(v.thread_id) << 32) | 1u);
+}
+
 void OnlineAnalyzer::raise_alert(AlertKind kind, const CallKey& site, std::uint64_t now,
                                  std::uint64_t detail) {
   AlertRecord rec;
@@ -397,6 +437,10 @@ void OnlineAnalyzer::finish(Nanoseconds end_ns) {
   if (finished_) return;
   finished_ = true;
 
+  // Flush use-before-init candidates for enclaves whose init never landed
+  // before sealing the last window, so the alerts make it into the tables.
+  if (order_checker_) order_checker_->finish();
+
   if (window_open_) {
     const std::uint64_t window_end =
         end_ns > window_start_ ? static_cast<std::uint64_t>(end_ns) : window_start_;
@@ -424,6 +468,9 @@ void OnlineAnalyzer::persist(tracedb::TraceDatabase& db) const {
   for (const auto& w : windows_) db.add_window(w);
   for (const auto& s : window_sites_) db.add_window_site(s);
   for (const auto& a : alerts_) db.add_alert(a);
+  // Embed the model so the persisted trace is self-checking: `sgxperf order
+  // check` re-validates against the same rules without a side-channel file.
+  if (!config_.order.empty()) db.set_order_rules(rules_from_model(config_.order));
 }
 
 std::vector<AlertRecord> OnlineAnalyzer::active_alerts() const {

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "perf/analyzer.hpp"
+#include "perf/orderliness.hpp"
 #include "perf/stream.hpp"
 #include "telemetry/timeseries.hpp"
 #include "tracedb/database.hpp"
@@ -56,6 +57,10 @@ struct OnlineConfig {
   /// completion event (Eq. 2 end-side correlation).  Overflow evicts the
   /// oldest parent — bounded memory even if parent completions are dropped.
   std::size_t max_pending_parents = 4096;
+  /// Interface-orderliness model (learned or declared).  Empty disables the
+  /// checker; otherwise every call/lifecycle event is validated and the five
+  /// v6 orderliness AlertKinds are raised with virtual-time onsets.
+  OrderModel order;
 };
 
 /// External cumulative counters folded into each window snapshot.  The
@@ -192,6 +197,10 @@ class OnlineAnalyzer {
 
   void on_call(const StreamEvent& ev);
   void on_instant(const StreamEvent& ev);
+  /// Folds one orderliness violation into the alert tables: first occurrence
+  /// per (kind, site) raises, repeats bump the count in the detail word —
+  /// the same fold OrderAlertFolder applies on the batch path.
+  void on_order_violation(const OrderViolation& v);
   /// Closes windows until `ts` falls inside the open one.
   void roll_windows(std::uint64_t ts);
   void close_window(std::uint64_t window_end);
@@ -217,6 +226,9 @@ class OnlineAnalyzer {
   std::map<tracedb::CallKey, SiteState> sites_;
   std::map<tracedb::EnclaveId, PagingState> paging_;
   std::map<std::uint32_t, ThreadState> threads_;
+
+  /// Present iff config_.order is non-empty.
+  std::optional<OrderChecker> order_checker_;
 
   /// (kind, site) -> index into alerts_ of the active record.
   std::map<std::pair<tracedb::AlertKind, tracedb::CallKey>, std::size_t> active_;

@@ -1,0 +1,419 @@
+#include "perf/orderliness.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "support/strutil.hpp"
+
+namespace perf {
+
+using tracedb::AlertKind;
+using tracedb::AlertRecord;
+using tracedb::CallId;
+using tracedb::CallIndex;
+using tracedb::CallType;
+using tracedb::EnclaveId;
+using tracedb::Nanoseconds;
+using tracedb::OrderRuleRecord;
+using tracedb::ThreadId;
+
+// --- model learning ---------------------------------------------------------
+
+OrderModel learn_model(const tracedb::TraceDatabase& db) {
+  OrderModel model;
+  const auto& calls = db.calls();
+
+  // Per-enclave, per-thread top-level ecall sequences in completion order.
+  // calls() is merged in start-time order; re-sort by end so "consecutive"
+  // means consecutive completions, matching the checker's processing order.
+  std::vector<std::size_t> order;
+  order.reserve(calls.size());
+  for (std::size_t i = 0; i < calls.size(); ++i) order.push_back(i);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return calls[a].end_ns < calls[b].end_ns;
+  });
+
+  struct FirstTop {
+    bool seen = false;
+    CallId call_id = 0;
+    Nanoseconds end_ns = 0;
+    std::size_t occurrences = 0;       // completions of that first id
+    Nanoseconds min_other_start = 0;   // earliest start among other top-level ecalls
+    bool any_other = false;
+  };
+  std::map<EnclaveId, FirstTop> firsts;
+  std::map<std::pair<EnclaveId, ThreadId>, CallId> last_top;
+
+  for (const std::size_t i : order) {
+    const auto& c = calls[i];
+    if (c.type != CallType::kEcall) continue;
+    const bool nested =
+        c.parent != tracedb::kNoParent &&
+        calls[static_cast<std::size_t>(c.parent)].type == CallType::kOcall;
+    auto& em = model.enclaves[c.enclave_id];
+    if (nested) {
+      em.reentrant_ok.insert(c.call_id);
+      continue;
+    }
+    em.known.insert(c.call_id);
+    auto& first = firsts[c.enclave_id];
+    if (!first.seen) {
+      first.seen = true;
+      first.call_id = c.call_id;
+      first.end_ns = c.end_ns;
+      first.occurrences = 1;
+    } else if (c.call_id == first.call_id) {
+      ++first.occurrences;
+    } else {
+      if (!first.any_other || c.start_ns < first.min_other_start) {
+        first.min_other_start = c.start_ns;
+      }
+      first.any_other = true;
+    }
+    const auto key = std::make_pair(c.enclave_id, c.thread_id);
+    const auto it = last_top.find(key);
+    if (it == last_top.end()) {
+      em.entries.insert(c.call_id);
+      last_top.emplace(key, c.call_id);
+    } else {
+      em.edges.emplace(it->second, c.call_id);
+      it->second = c.call_id;
+    }
+  }
+
+  // Infer the init phase only when the baseline itself respects it: the
+  // candidate ran exactly once and finished before any other top-level ecall
+  // started.  A workload whose "first" ecall is just the steady-state call
+  // (the demo's 120 identical ecalls) gets no init phase.
+  for (auto& [eid, em] : model.enclaves) {
+    const auto it = firsts.find(eid);
+    if (it == firsts.end() || !it->second.seen) continue;
+    const auto& first = it->second;
+    if (first.occurrences == 1 &&
+        (!first.any_other || first.min_other_start >= first.end_ns)) {
+      em.has_init = true;
+      em.init_call_id = first.call_id;
+    }
+  }
+  return model;
+}
+
+// --- rule-record flattening -------------------------------------------------
+
+std::vector<OrderRuleRecord> rules_from_model(const OrderModel& model) {
+  std::vector<OrderRuleRecord> rules;
+  for (const auto& [eid, em] : model.enclaves) {
+    if (em.has_init) {
+      rules.push_back({eid, OrderRuleRecord::Rule::kInit, em.init_call_id, 0});
+    }
+    for (const auto id : em.entries) {
+      rules.push_back({eid, OrderRuleRecord::Rule::kEntry, id, 0});
+    }
+    for (const auto id : em.known) {
+      rules.push_back({eid, OrderRuleRecord::Rule::kKnownEcall, id, 0});
+    }
+    for (const auto& [a, b] : em.edges) {
+      rules.push_back({eid, OrderRuleRecord::Rule::kEdge, a, b});
+    }
+    for (const auto id : em.reentrant_ok) {
+      rules.push_back({eid, OrderRuleRecord::Rule::kReentrantOk, id, 0});
+    }
+  }
+  return rules;
+}
+
+OrderModel model_from_rules(const std::vector<OrderRuleRecord>& rules) {
+  OrderModel model;
+  for (const auto& rule : rules) {
+    auto& em = model.enclaves[rule.enclave_id];
+    switch (rule.rule) {
+      case OrderRuleRecord::Rule::kInit:
+        em.has_init = true;
+        em.init_call_id = rule.a;
+        em.known.insert(rule.a);
+        break;
+      case OrderRuleRecord::Rule::kEntry:
+        em.entries.insert(rule.a);
+        em.known.insert(rule.a);
+        break;
+      case OrderRuleRecord::Rule::kKnownEcall:
+        em.known.insert(rule.a);
+        break;
+      case OrderRuleRecord::Rule::kEdge:
+        em.edges.emplace(rule.a, rule.b);
+        em.known.insert(rule.a);
+        em.known.insert(rule.b);
+        break;
+      case OrderRuleRecord::Rule::kReentrantOk:
+        em.reentrant_ok.insert(rule.a);
+        break;
+    }
+  }
+  return model;
+}
+
+// --- spec files -------------------------------------------------------------
+
+OrderModel parse_model_spec(const std::string& text) {
+  OrderModel model;
+  EnclaveOrderModel* current = nullptr;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t line_no = 0;
+  const auto fail = [&](const std::string& why) {
+    throw std::runtime_error(
+        support::format("order spec: line %zu: %s", line_no, why.c_str()));
+  };
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream fields(line);
+    std::string directive;
+    if (!(fields >> directive)) continue;  // blank / comment-only line
+    const auto id_field = [&]() -> CallId {
+      std::uint64_t v = 0;
+      if (!(fields >> v) || v > 0xffffffffull) fail("expected a call id");
+      return static_cast<CallId>(v);
+    };
+    if (directive == "enclave") {
+      std::uint64_t eid = 0;
+      if (!(fields >> eid)) fail("expected an enclave id");
+      current = &model.enclaves[eid];
+    } else if (current == nullptr) {
+      fail("directive before any 'enclave <id>' line");
+    } else if (directive == "init") {
+      current->has_init = true;
+      current->init_call_id = id_field();
+      current->known.insert(current->init_call_id);
+    } else if (directive == "entry") {
+      const CallId id = id_field();
+      current->entries.insert(id);
+      current->known.insert(id);
+    } else if (directive == "ecall") {
+      current->known.insert(id_field());
+    } else if (directive == "edge") {
+      const CallId a = id_field();
+      const CallId b = id_field();
+      current->edges.emplace(a, b);
+      current->known.insert(a);
+      current->known.insert(b);
+    } else if (directive == "reentrant") {
+      current->reentrant_ok.insert(id_field());
+    } else {
+      fail("unknown directive '" + directive + "'");
+    }
+    std::string extra;
+    if (fields >> extra) fail("trailing token '" + extra + "'");
+  }
+  return model;
+}
+
+OrderModel load_model_spec(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("order spec: cannot read " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse_model_spec(ss.str());
+}
+
+std::string render_model_spec(const OrderModel& model) {
+  std::string out = "# sgxperf interface-orderliness model\n";
+  for (const auto& [eid, em] : model.enclaves) {
+    out += support::format("enclave %llu\n", static_cast<unsigned long long>(eid));
+    if (em.has_init) out += support::format("init %u\n", em.init_call_id);
+    for (const auto id : em.entries) out += support::format("entry %u\n", id);
+    for (const auto id : em.known) out += support::format("ecall %u\n", id);
+    for (const auto& [a, b] : em.edges) out += support::format("edge %u %u\n", a, b);
+    for (const auto id : em.reentrant_ok) out += support::format("reentrant %u\n", id);
+  }
+  return out;
+}
+
+// --- streaming checker ------------------------------------------------------
+
+OrderChecker::OrderChecker(const OrderModel& model, Sink sink)
+    : model_(model), sink_(std::move(sink)) {}
+
+void OrderChecker::emit(AlertKind kind, EnclaveId enclave, const Pending& p) {
+  OrderViolation v;
+  v.kind = kind;
+  v.enclave_id = enclave;
+  v.call_id = p.call_id;
+  v.thread_id = p.thread_id;
+  v.at_ns = p.end_ns;
+  sink_(v);
+}
+
+void OrderChecker::on_enclave_created(EnclaveId id, Nanoseconds) {
+  if (model_.enclaves.find(id) == model_.enclaves.end()) return;
+  states_[id];  // default-constructed alive state
+}
+
+void OrderChecker::on_enclave_destroyed(EnclaveId id, Nanoseconds now) {
+  if (model_.enclaves.find(id) == model_.enclaves.end()) return;
+  states_[id].destroyed_ns = now;
+}
+
+void OrderChecker::on_call(CallType type, EnclaveId enclave, CallId call_id, ThreadId thread,
+                           Nanoseconds start_ns, Nanoseconds end_ns, bool nested) {
+  if (type != CallType::kEcall) return;  // ocalls never violate ordering
+  const auto mit = model_.enclaves.find(enclave);
+  if (mit == model_.enclaves.end()) return;  // unmodelled enclave: unchecked
+  const EnclaveOrderModel& em = mit->second;
+  EnclaveState& st = states_[enclave];
+  const Pending here{call_id, thread, start_ns, end_ns};
+
+  // Lifecycle: a call that *started* at or after destruction is dead-enclave
+  // use; everything else about it is moot.
+  if (st.destroyed_ns != 0 && start_ns >= st.destroyed_ns) {
+    emit(AlertKind::kUseAfterDestroy, enclave, here);
+    return;
+  }
+
+  // Re-entrancy: a nested ecall (parented by an ocall) needs a whitelist
+  // entry.  Nested calls do not advance the top-level sequence.
+  if (nested) {
+    if (em.reentrant_ok.find(call_id) == em.reentrant_ok.end()) {
+      emit(AlertKind::kReentrantEcall, enclave, here);
+    }
+    return;
+  }
+
+  // Top-level transition check against the per-thread sequence.
+  const bool known = em.known.find(call_id) != em.known.end();
+  const auto last = st.last_top.find(thread);
+  const bool in_sequence =
+      known && (last == st.last_top.end()
+                    ? em.entries.find(call_id) != em.entries.end()
+                    : em.edges.find({last->second, call_id}) != em.edges.end());
+  if (!in_sequence) emit(AlertKind::kOutOfOrderEcall, enclave, here);
+  // Track the *observed* id even when it violated: the model may carry
+  // recovery edges, and lying about state would cascade false positives.
+  st.last_top[thread] = call_id;
+
+  if (!em.has_init) return;
+  if (call_id == em.init_call_id) {
+    if (st.init_done) {
+      emit(AlertKind::kPhaseViolation, enclave, here);
+      return;
+    }
+    st.init_done = true;
+    st.init_end_ns = end_ns;
+    // Everything buffered completed before the init did, hence started
+    // before it finished — flush as use-before-init.
+    for (const auto& p : st.pending_before_init) {
+      if (p.start_ns < st.init_end_ns) emit(AlertKind::kUseBeforeInit, enclave, p);
+    }
+    st.pending_before_init.clear();
+    return;
+  }
+  if (st.init_done) {
+    if (start_ns < st.init_end_ns) emit(AlertKind::kUseBeforeInit, enclave, here);
+  } else if (st.pending_before_init.size() < kMaxPending) {
+    st.pending_before_init.push_back(here);
+  } else {
+    emit(AlertKind::kUseBeforeInit, enclave, here);
+  }
+}
+
+void OrderChecker::finish() {
+  for (auto& [eid, st] : states_) {
+    if (st.init_done) continue;
+    // The init ecall never completed: every buffered steady-state call ran
+    // in an uninitialised enclave.
+    for (const auto& p : st.pending_before_init) {
+      emit(AlertKind::kUseBeforeInit, eid, p);
+    }
+    st.pending_before_init.clear();
+  }
+}
+
+// --- folding + batch path ---------------------------------------------------
+
+AlertRecord& OrderAlertFolder::fold(const OrderViolation& v, bool* created) {
+  const Key key{v.kind, v.enclave_id, v.call_id};
+  auto it = alerts_.find(key);
+  if (it == alerts_.end()) {
+    AlertRecord alert;
+    alert.kind = v.kind;
+    alert.enclave_id = v.enclave_id;
+    alert.type = CallType::kEcall;
+    alert.call_id = v.call_id;
+    alert.onset_ns = v.at_ns;
+    alert.resolved_ns = 0;  // orderliness alerts never auto-resolve
+    alert.window_index = 0;
+    alert.detail = (static_cast<std::uint64_t>(v.thread_id) << 32) | 1u;
+    it = alerts_.emplace(key, alert).first;
+    if (created != nullptr) *created = true;
+  } else {
+    ++it->second.detail;  // low 32 bits: violation count
+    if (created != nullptr) *created = false;
+  }
+  return it->second;
+}
+
+std::vector<AlertRecord> OrderAlertFolder::sorted() const {
+  std::vector<AlertRecord> out;
+  out.reserve(alerts_.size());
+  for (const auto& [key, alert] : alerts_) out.push_back(alert);
+  std::stable_sort(out.begin(), out.end(), [](const AlertRecord& a, const AlertRecord& b) {
+    if (a.onset_ns != b.onset_ns) return a.onset_ns < b.onset_ns;
+    if (a.kind != b.kind) return a.kind < b.kind;
+    if (a.enclave_id != b.enclave_id) return a.enclave_id < b.enclave_id;
+    return a.call_id < b.call_id;
+  });
+  return out;
+}
+
+std::vector<AlertRecord> check_trace(const tracedb::TraceDatabase& db, const OrderModel& model) {
+  if (model.empty()) return {};
+  OrderAlertFolder folder;
+  OrderChecker checker(model, [&](const OrderViolation& v) { folder.fold(v, nullptr); });
+
+  // Canonical replay order: lifecycle events and call completions merged on
+  // the virtual clock; at equal timestamps creates come first, destroys
+  // before the calls that post-date them.
+  struct Event {
+    Nanoseconds at_ns = 0;
+    std::uint8_t priority = 2;  // 0 = create, 1 = destroy, 2 = call
+    std::size_t index = 0;      // call index; enclave row index for lifecycle
+  };
+  std::vector<Event> events;
+  const auto& calls = db.calls();
+  events.reserve(calls.size() + 2 * db.enclaves().size());
+  for (std::size_t i = 0; i < db.enclaves().size(); ++i) {
+    const auto& e = db.enclaves()[i];
+    events.push_back({e.created_ns, 0, i});
+    if (e.destroyed_ns != 0) events.push_back({e.destroyed_ns, 1, i});
+  }
+  for (std::size_t i = 0; i < calls.size(); ++i) {
+    events.push_back({calls[i].end_ns, 2, i});
+  }
+  std::stable_sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    if (a.at_ns != b.at_ns) return a.at_ns < b.at_ns;
+    return a.priority < b.priority;
+  });
+
+  for (const auto& ev : events) {
+    if (ev.priority == 0) {
+      checker.on_enclave_created(db.enclaves()[ev.index].enclave_id, ev.at_ns);
+    } else if (ev.priority == 1) {
+      checker.on_enclave_destroyed(db.enclaves()[ev.index].enclave_id, ev.at_ns);
+    } else {
+      const auto& c = calls[ev.index];
+      const bool nested =
+          c.parent != tracedb::kNoParent &&
+          calls[static_cast<std::size_t>(c.parent)].type == CallType::kOcall;
+      checker.on_call(c.type, c.enclave_id, c.call_id, c.thread_id, c.start_ns, c.end_ns,
+                      nested);
+    }
+  }
+  checker.finish();
+  return folder.sorted();
+}
+
+}  // namespace perf

@@ -1,0 +1,174 @@
+// Interface-orderliness checking: per-enclave ecall ordering state machines.
+//
+// The paper's §5 interface analysis is static (pointer/size annotations);
+// this module extends it dynamically in the spirit of Guardian's orderliness
+// validation: a per-enclave model describes which ecall may start a thread's
+// top-level sequence, which consecutive top-level pairs are legal, which
+// ecalls may re-enter the enclave nested under an ocall, and where the
+// lifecycle phases sit (create → init-ecall → steady state → destroy).  The
+// model is either *learned* from a trusted baseline trace or *declared* in a
+// small line-based spec file, and any event stream — live (OnlineAnalyzer)
+// or recorded (Analyzer / check_trace) — can be validated against it.
+//
+// Violations map onto the five v6 AlertKinds: out-of-order ecall, unexpected
+// re-entrancy, use-before-init, use-after-destroy, phase violation.  All
+// predicates are timestamp-based on the virtual clock, so the online and
+// post-mortem checkers produce identical alert sets (parity-tested).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tracedb/database.hpp"
+#include "tracedb/schema.hpp"
+
+namespace perf {
+
+/// Ordering model for one enclave.  All sets are over top-level ecall ids
+/// except `reentrant_ok`, which whitelists nested (ocall-parented) ecalls.
+struct EnclaveOrderModel {
+  bool has_init = false;                 // lifecycle init phase modelled?
+  tracedb::CallId init_call_id = 0;      // the init ecall (when has_init)
+  std::set<tracedb::CallId> entries;     // legal first top-level ecall per thread
+  std::set<tracedb::CallId> known;       // every modelled top-level ecall id
+  std::set<std::pair<tracedb::CallId, tracedb::CallId>> edges;  // legal consecutive pairs
+  std::set<tracedb::CallId> reentrant_ok;  // ecalls allowed nested under an ocall
+};
+
+/// The full model: one state machine per enclave id.  Enclaves absent from
+/// the model are not checked — an empty model disables checking entirely.
+struct OrderModel {
+  std::map<tracedb::EnclaveId, EnclaveOrderModel> enclaves;
+
+  [[nodiscard]] bool empty() const noexcept { return enclaves.empty(); }
+};
+
+/// Learns a model from a trusted baseline trace: per-thread first calls
+/// become entries, consecutive top-level pairs become edges, nested ecalls
+/// become reentrant_ok.  The init phase is inferred only when the first
+/// top-level ecall (by completion time) ran exactly once and finished before
+/// any other top-level ecall started — otherwise the baseline itself would
+/// violate the learned lifecycle.
+[[nodiscard]] OrderModel learn_model(const tracedb::TraceDatabase& db);
+
+/// Flattens a model into OrderRuleRecord rows (deterministic order) for
+/// embedding into a v6 trace, and back.
+[[nodiscard]] std::vector<tracedb::OrderRuleRecord> rules_from_model(const OrderModel& model);
+[[nodiscard]] OrderModel model_from_rules(const std::vector<tracedb::OrderRuleRecord>& rules);
+
+/// Line-based declared-model spec:
+///
+///   # comment
+///   enclave 1          # subsequent directives apply to enclave 1
+///   init 0             # lifecycle init ecall
+///   entry 0            # allowed as a thread's first top-level ecall
+///   entry 1
+///   ecall 3            # known id with no other role
+///   edge 0 1           # allowed consecutive top-level pair
+///   reentrant 4        # allowed nested under an ocall
+///
+/// Ids named by init/entry/edge/reentrant directives are implicitly known.
+/// parse throws std::runtime_error on malformed input; render produces a
+/// spec that parses back to the same model.
+[[nodiscard]] OrderModel parse_model_spec(const std::string& text);
+[[nodiscard]] OrderModel load_model_spec(const std::string& path);
+[[nodiscard]] std::string render_model_spec(const OrderModel& model);
+
+/// One orderliness violation, before folding into per-site AlertRecords.
+struct OrderViolation {
+  tracedb::AlertKind kind = tracedb::AlertKind::kOutOfOrderEcall;
+  tracedb::EnclaveId enclave_id = 0;
+  tracedb::CallId call_id = 0;      // offending ecall id
+  tracedb::ThreadId thread_id = 0;  // offending thread
+  tracedb::Nanoseconds at_ns = 0;   // completion time of the offending call
+};
+
+/// Streaming orderliness checker — the shared core of the online and batch
+/// paths.  Feed it lifecycle events and completed calls in completion order;
+/// it emits violations through the sink as they are decided.  Calls into
+/// enclaves absent from the model are ignored.
+///
+/// Use-before-init needs future knowledge (has the init ecall finished
+/// yet?), so candidate calls seen before the init completion are buffered
+/// (bounded) and flushed when the init lands or at finish() if it never
+/// does.  Everything else is decided immediately from virtual timestamps,
+/// which makes the verdicts independent of cross-thread arrival order.
+class OrderChecker {
+ public:
+  using Sink = std::function<void(const OrderViolation&)>;
+
+  OrderChecker(const OrderModel& model, Sink sink);
+
+  void on_enclave_created(tracedb::EnclaveId id, tracedb::Nanoseconds now);
+  void on_enclave_destroyed(tracedb::EnclaveId id, tracedb::Nanoseconds now);
+
+  /// One completed call.  `nested` marks an ecall whose direct parent is an
+  /// ocall (re-entry into the enclave).  Ocalls never violate and are
+  /// accepted for symmetry.
+  void on_call(tracedb::CallType type, tracedb::EnclaveId enclave, tracedb::CallId call_id,
+               tracedb::ThreadId thread, tracedb::Nanoseconds start_ns,
+               tracedb::Nanoseconds end_ns, bool nested);
+
+  /// Seals the run: flushes use-before-init candidates for enclaves whose
+  /// init ecall never completed.
+  void finish();
+
+ private:
+  struct Pending {
+    tracedb::CallId call_id = 0;
+    tracedb::ThreadId thread_id = 0;
+    tracedb::Nanoseconds start_ns = 0;
+    tracedb::Nanoseconds end_ns = 0;
+  };
+  struct EnclaveState {
+    tracedb::Nanoseconds destroyed_ns = 0;  // 0 while alive
+    bool init_done = false;
+    tracedb::Nanoseconds init_end_ns = 0;
+    std::map<tracedb::ThreadId, tracedb::CallId> last_top;  // last top-level ecall per thread
+    std::vector<Pending> pending_before_init;
+  };
+
+  /// Cap on buffered use-before-init candidates per enclave; an overflowing
+  /// candidate is flagged immediately (it would be flushed as a violation in
+  /// every plausible outcome anyway).
+  static constexpr std::size_t kMaxPending = 4096;
+
+  void emit(tracedb::AlertKind kind, tracedb::EnclaveId enclave, const Pending& p);
+
+  OrderModel model_;  // by value: the checker may outlive the caller's copy
+  Sink sink_;
+  std::map<tracedb::EnclaveId, EnclaveState> states_;
+};
+
+/// Batch path: replays the merged trace through an OrderChecker in the
+/// canonical order (creates, then calls by completion time, then destroys —
+/// ties broken create < destroy < call) and folds the violations into one
+/// AlertRecord per (kind, enclave, call_id): onset = first violation,
+/// resolved = 0 (orderliness alerts never auto-resolve), detail = first
+/// offending thread in the high 32 bits, violation count in the low 32.
+/// Output is sorted by (onset, kind, enclave, call_id).
+[[nodiscard]] std::vector<tracedb::AlertRecord> check_trace(const tracedb::TraceDatabase& db,
+                                                            const OrderModel& model);
+
+/// Folds raw violations the same way check_trace does — shared by the
+/// online analyser so both paths produce identical alert sets.
+class OrderAlertFolder {
+ public:
+  /// Returns the alert for this violation: newly created (count 1) or the
+  /// existing one with its count bumped.  `created` reports which.
+  tracedb::AlertRecord& fold(const OrderViolation& v, bool* created);
+
+  [[nodiscard]] std::vector<tracedb::AlertRecord> sorted() const;
+
+ private:
+  using Key = std::tuple<tracedb::AlertKind, tracedb::EnclaveId, tracedb::CallId>;
+  std::map<Key, tracedb::AlertRecord> alerts_;
+};
+
+}  // namespace perf

@@ -44,9 +44,17 @@ namespace perf {
 
 /// One event as seen by a live subscriber.  A fixed-size POD copied into
 /// the ring: calls are published on *completion* (so the duration is
-/// known); AEX and paging events are published as they happen.
+/// known); AEX, paging and enclave-lifecycle events are published as they
+/// happen.  Lifecycle events (format v6) carry only enclave_id/start_ns —
+/// they feed the online orderliness checker's create/destroy edges.
 struct StreamEvent {
-  enum class Kind : std::uint8_t { kCall = 0, kAex = 1, kPaging = 2 };
+  enum class Kind : std::uint8_t {
+    kCall = 0,
+    kAex = 1,
+    kPaging = 2,
+    kEnclaveCreated = 3,
+    kEnclaveDestroyed = 4,
+  };
 
   Kind kind = Kind::kCall;
   tracedb::CallType call_type = tracedb::CallType::kEcall;

@@ -19,8 +19,26 @@ SoakResult run_soak(Stressor& stressor, sgxsim::Urts& urts,
     throw std::runtime_error("stress: no free stream subscriber slot");
   }
 
+  // The stressor's orderliness model is keyed by enclave ids that only exist
+  // after prepare(), but prepare() must stay on the workload thread (thread
+  // registration order pins the merged trace).  Handshake: the workload
+  // thread prepares and parks; this thread reads the model, builds the
+  // online analyser, and releases the workers.
+  SoakResult out;
+  std::atomic<int> stage{0};  // 0 = preparing, 1 = prepared, 2 = released
+  std::atomic<bool> workload_done{false};
+  std::thread workload([&] {
+    stressor.prepare(urts, config.stress);
+    stage.store(1, std::memory_order_release);
+    while (stage.load(std::memory_order_acquire) < 2) std::this_thread::yield();
+    out.stress = run_stressor(stressor, urts, config.stress, /*already_prepared=*/true);
+    workload_done.store(true, std::memory_order_release);
+  });
+  while (stage.load(std::memory_order_acquire) < 1) std::this_thread::yield();
+
   perf::OnlineConfig online_config;
   online_config.analyzer = config.analyzer;
+  online_config.order = config.order ? *config.order : stressor.order_model();
   if (config.window_ns > 0) online_config.window_ns = config.window_ns;
   perf::OnlineAnalyzer online(online_config);
   online.set_externals([&logger] {
@@ -34,12 +52,7 @@ SoakResult run_soak(Stressor& stressor, sgxsim::Urts& urts,
     (was_resolved ? resolved : raised) += 1;
   });
 
-  SoakResult out;
-  std::atomic<bool> workload_done{false};
-  std::thread workload([&] {
-    out.stress = run_stressor(stressor, urts, config.stress);
-    workload_done.store(true, std::memory_order_release);
-  });
+  stage.store(2, std::memory_order_release);
 
   // Consumer loop (this thread): drain the subscription into the online
   // analyser while the workload runs, then once more after it finishes so

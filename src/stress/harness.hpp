@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <set>
 #include <vector>
 
@@ -25,6 +26,10 @@ struct SoakConfig {
   /// Online window length; 0 keeps the OnlineConfig default (1 ms).
   support::Nanoseconds window_ns = 0;
   perf::AnalyzerConfig analyzer;
+  /// Orderliness model for the online checker.  Unset = the stressor's own
+  /// order_model() (read after prepare()); an explicit empty model disables
+  /// checking.
+  std::optional<perf::OrderModel> order;
 };
 
 struct SoakResult {

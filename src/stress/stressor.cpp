@@ -100,6 +100,20 @@ std::set<AlertKind> all_but(const std::set<AlertKind>& excluded) {
   return out;
 }
 
+/// The five interface-orderliness kinds (v6).  Perf stressors run with no
+/// order model configured, so these can never fire for them — which makes
+/// them assertable must-nots across the whole corpus.
+std::set<AlertKind> order_kinds() {
+  return {AlertKind::kOutOfOrderEcall, AlertKind::kReentrantEcall,
+          AlertKind::kUseBeforeInit, AlertKind::kUseAfterDestroy,
+          AlertKind::kPhaseViolation};
+}
+
+std::set<AlertKind> with_order_kinds(std::set<AlertKind> kinds) {
+  for (const auto k : order_kinds()) kinds.insert(k);
+  return kinds;
+}
+
 // --- shared trusted bodies --------------------------------------------------
 
 /// The transition-storm ecall body (ocall table ids 0-3):
@@ -157,7 +171,7 @@ class CpuStressor final : public StressorBase {
   CpuStressor() {
     spec_.name = "cpu";
     spec_.description = "tight trusted compute, near-zero transitions (negative control)";
-    spec_.must_not = all_but({});
+    spec_.must_not = with_order_kinds(all_but({}));
   }
 
   void prepare(sgxsim::Urts& urts, const StressConfig& config) override {
@@ -205,7 +219,7 @@ class VmStressor final : public StressorBase {
     spec_.name = "vm";
     spec_.description = "EPC-thrashing working set at 1.25x EPC (EWB/ELD load)";
     spec_.must_trigger = {AlertKind::kPaging};
-    spec_.must_not = all_but(spec_.must_trigger);
+    spec_.must_not = with_order_kinds(all_but(spec_.must_trigger));
   }
 
   void prepare(sgxsim::Urts& urts, const StressConfig& config) override {
@@ -268,7 +282,7 @@ class SyncStressor final : public StressorBase {
     spec_.name = "sync";
     spec_.description = "SDK sync-ocall traffic (wake/wait pairs, SSC pattern)";
     spec_.must_trigger = {AlertKind::kSyncContention, AlertKind::kShortCalls};
-    spec_.must_not = all_but(spec_.must_trigger);
+    spec_.must_not = with_order_kinds(all_but(spec_.must_trigger));
   }
 
   void prepare(sgxsim::Urts& urts, const StressConfig& config) override {
@@ -322,7 +336,7 @@ class OcallStormStressor final : public StressorBase {
     spec_.must_trigger = {AlertKind::kShortCalls, AlertKind::kReorderStart,
                           AlertKind::kReorderEnd, AlertKind::kBatchable,
                           AlertKind::kMergeable};
-    spec_.must_not = all_but(spec_.must_trigger);
+    spec_.must_not = with_order_kinds(all_but(spec_.must_trigger));
   }
 
   void prepare(sgxsim::Urts& urts, const StressConfig& config) override {
@@ -386,6 +400,7 @@ class MixedStressor final : public StressorBase {
     spec_.name = "mixed";
     spec_.description = "all axes combined: storm + sync + tail + EPC sweep";
     spec_.must_trigger = all_pattern_kinds();
+    spec_.must_not = order_kinds();
   }
 
   void prepare(sgxsim::Urts& urts, const StressConfig& config) override {
@@ -470,6 +485,183 @@ class MixedStressor final : public StressorBase {
   std::uint64_t chunks_ = 1;
 };
 
+// --- order / order-clean ----------------------------------------------------
+
+constexpr char kOrderEdl[] = R"(
+enclave {
+  trusted {
+    public int ecall_init(void);
+    public int ecall_step_a(void);
+    public int ecall_step_b(void);
+    int ecall_cb(void);
+    public int ecall_rogue(void);
+    public int ecall_ping(void);
+  };
+  untrusted {
+    void ocall_ping(void) allow (ecall_cb);
+  };
+};
+)";
+
+constexpr char kOrderLifeEdl[] = R"(
+enclave {
+  trusted {
+    public int ecall_tick(void);
+  };
+};
+)";
+
+/// Marshalling struct for ocall_ping: the handler re-enters the enclave with
+/// the nested callback ecall, so it needs the runtime, enclave and table.
+struct PingMs {
+  sgxsim::Urts* urts = nullptr;
+  EnclaveId eid = 0;
+  const OcallTable* table = nullptr;
+};
+
+/// Untrusted ocall_ping body: 25 us of work on either side of the nested
+/// ecall_cb (id 3) keeps the re-entry outside Eq. 2's 20 us edge horizon.
+SgxStatus ping_ocall(void* ms) {
+  auto* p = static_cast<PingMs*>(ms);
+  p->urts->clock().advance(25'000);
+  p->urts->sgx_ecall(p->eid, 3, p->table, nullptr);
+  p->urts->clock().advance(25'000);
+  return SgxStatus::kSuccess;
+}
+
+/// Interface-orderliness corpus: a protocol enclave whose declared lifecycle
+/// is init (0) -> worker cycle step_a (1) -> step_b (2) -> ping (5), where
+/// ping re-enters via the nested ecall_cb (3) under ocall_ping, plus a
+/// short-lived lifecycle enclave (ecall_tick, destroyed mid-run).
+///
+/// The clean variant follows that protocol exactly (init from prepare(), the
+/// callback whitelisted, the lifecycle enclave never touched after destroy)
+/// and must stay silent on all 13 labeled kinds.  The violating variant
+/// scripts worker 0 through all five orderliness anti-patterns: entering the
+/// steady state before init lands (use-before-init), running init twice
+/// (phase violation), calling the unmodelled ecall_rogue (out-of-order),
+/// re-entering without a whitelist (the model drops reentrant_ok, so every
+/// ping violates), and one ecall into the destroyed lifecycle enclave
+/// (use-after-destroy).
+///
+/// Every trusted body carries >=25 us of work, ops are separated by think
+/// pads, and the scripted sites stay below Eq. 1's min_calls floor (8), so
+/// no perf detector crosses a threshold — the 8 perf kinds are must-nots in
+/// both variants.
+class OrderStressor final : public StressorBase {
+ public:
+  explicit OrderStressor(bool clean) : clean_(clean) {
+    spec_.name = clean ? "order-clean" : "order";
+    spec_.description =
+        clean ? "protocol-conforming interface traffic (orderliness negative control)"
+              : "scripted interface violations (all five orderliness kinds)";
+    if (clean) {
+      spec_.must_not = with_order_kinds(all_but({}));
+    } else {
+      spec_.must_trigger = order_kinds();
+      spec_.must_not = all_but({});
+    }
+  }
+
+  void prepare(sgxsim::Urts& urts, const StressConfig& config) override {
+    init_workers(config);
+    EnclaveConfig cfg;
+    cfg.name = "stress_order";
+    cfg.tcs_count = config.threads + 2;
+    eid_ = urts.create_enclave(std::move(cfg), sgxsim::edl::parse(kOrderEdl));
+    EnclaveConfig life;
+    life.name = "stress_order_life";
+    life.tcs_count = config.threads + 2;
+    life_eid_ = urts.create_enclave(std::move(life), sgxsim::edl::parse(kOrderLifeEdl));
+    table_ = sgxsim::make_ocall_table({&ping_ocall});
+    ping_ms_.urts = &urts;
+    ping_ms_.eid = eid_;
+    ping_ms_.table = &table_;
+    const auto body = [](TrustedContext& ctx, void*) {
+      ctx.work(30'000);
+      return SgxStatus::kSuccess;
+    };
+    auto& enclave = urts.enclave(eid_);
+    enclave.register_ecall("ecall_init", body);
+    enclave.register_ecall("ecall_step_a", body);
+    enclave.register_ecall("ecall_step_b", body);
+    enclave.register_ecall("ecall_cb", body);
+    enclave.register_ecall("ecall_rogue", body);
+    enclave.register_ecall("ecall_ping", [](TrustedContext& ctx, void* ms) {
+      ctx.work(25'000);
+      ctx.ocall(0, ms);
+      ctx.work(25'000);
+      return SgxStatus::kSuccess;
+    });
+    urts.enclave(life_eid_).register_ecall("ecall_tick", body);
+    // The clean protocol initialises the enclave before any worker touches
+    // it; the violating variant leaves init to worker 0's mid-run script.
+    if (clean_) urts.sgx_ecall(eid_, 0, &table_, nullptr);
+  }
+
+  void step(sgxsim::Urts& urts, std::size_t worker, std::uint64_t op) override {
+    think(urts, worker);
+    if (worker == 0 && script_step(urts, op)) return;
+    switch (op % 3) {
+      case 0: urts.sgx_ecall(eid_, 1, &table_, nullptr); break;
+      case 1: urts.sgx_ecall(eid_, 2, &table_, nullptr); break;
+      default: urts.sgx_ecall(eid_, 5, &table_, &ping_ms_); break;
+    }
+  }
+
+  [[nodiscard]] perf::OrderModel order_model() const override {
+    perf::OrderModel model;
+    auto& protocol = model.enclaves[eid_];
+    protocol.has_init = true;
+    protocol.init_call_id = 0;
+    protocol.entries = {0, 1};
+    protocol.known = {0, 1, 2, 5};
+    // The worker cycle, plus 2 -> 1 so worker 0 may resume the cycle after
+    // its lifecycle-enclave detour.  ecall_rogue (4) is deliberately absent.
+    protocol.edges = {{1, 2}, {2, 5}, {5, 1}, {2, 1}};
+    if (clean_) protocol.reentrant_ok = {3};
+    auto& life = model.enclaves[life_eid_];
+    life.entries = {0};
+    life.known = {0};
+    life.edges = {{0, 0}};
+    return model;
+  }
+
+ private:
+  /// Worker 0's scripted ops; returns true when the op was consumed.  The
+  /// clean script exercises the lifecycle enclave legally; the violating one
+  /// walks through use-before-init (the op-0 entries are flushed when the
+  /// late init of op 1 lands), the repeated init, the unknown ecall and the
+  /// post-destroy call.
+  bool script_step(sgxsim::Urts& urts, std::uint64_t op) {
+    if (clean_) {
+      switch (op) {
+        case 5:
+        case 6:
+        case 7: urts.sgx_ecall(life_eid_, 0, &table_, nullptr); return true;
+        case 8: urts.destroy_enclave(life_eid_); return true;
+        default: return false;
+      }
+    }
+    switch (op) {
+      case 1:
+      case 2: urts.sgx_ecall(eid_, 0, &table_, nullptr); return true;  // 2nd = phase violation
+      case 3: urts.sgx_ecall(eid_, 4, &table_, nullptr); return true;  // unmodelled id
+      case 5:
+      case 6: urts.sgx_ecall(life_eid_, 0, &table_, nullptr); return true;
+      case 7: urts.destroy_enclave(life_eid_); return true;
+      case 8: urts.sgx_ecall(life_eid_, 0, &table_, nullptr); return true;  // dead enclave
+      default: return false;
+    }
+  }
+
+  bool clean_ = false;
+  EnclaveId eid_ = 0;
+  EnclaveId life_eid_ = 0;
+  OcallTable table_;
+  PingMs ping_ms_;
+};
+
 /// Round-robin token for the lockstep scheduler.
 struct Lockstep {
   std::mutex mu;
@@ -486,17 +678,24 @@ std::unique_ptr<Stressor> make_stressor(const std::string& name) {
   if (name == "sync") return std::make_unique<SyncStressor>();
   if (name == "ocall-storm") return std::make_unique<OcallStormStressor>();
   if (name == "mixed") return std::make_unique<MixedStressor>();
+  if (name == "order") return std::make_unique<OrderStressor>(false);
+  if (name == "order-clean") return std::make_unique<OrderStressor>(true);
   return nullptr;
 }
 
 std::vector<std::string> stressor_names() {
-  return {"cpu", "vm", "sync", "ocall-storm", "mixed"};
+  return {"cpu", "vm", "sync", "ocall-storm", "mixed", "order", "order-clean"};
 }
 
 StressResult run_stressor(Stressor& stressor, sgxsim::Urts& urts,
                           const StressConfig& config) {
+  return run_stressor(stressor, urts, config, /*already_prepared=*/false);
+}
+
+StressResult run_stressor(Stressor& stressor, sgxsim::Urts& urts,
+                          const StressConfig& config, bool already_prepared) {
   if (config.threads == 0) throw std::invalid_argument("stress: threads must be > 0");
-  stressor.prepare(urts, config);
+  if (!already_prepared) stressor.prepare(urts, config);
   const auto start = urts.clock().now();
   const auto deadline = start + config.duration_ns;
 

@@ -33,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "perf/orderliness.hpp"
 #include "sgxsim/runtime.hpp"
 #include "support/clock.hpp"
 #include "support/rng.hpp"
@@ -86,6 +87,11 @@ class Stressor {
   [[nodiscard]] virtual const StressorSpec& spec() const noexcept = 0;
   virtual void prepare(sgxsim::Urts& urts, const StressConfig& config) = 0;
   virtual void step(sgxsim::Urts& urts, std::size_t worker, std::uint64_t op) = 0;
+
+  /// Interface-orderliness model for the enclaves built by prepare() — keyed
+  /// by the actual enclave ids, so only valid *after* prepare() has run.  The
+  /// default (empty) model disables orderliness checking for this stressor.
+  [[nodiscard]] virtual perf::OrderModel order_model() const { return {}; }
 };
 
 /// Builds the stressor registered under `name`; nullptr for unknown names.
@@ -98,5 +104,11 @@ class Stressor {
 /// elapsed.  Calls prepare() first; spawns config.threads workers.
 StressResult run_stressor(Stressor& stressor, sgxsim::Urts& urts,
                           const StressConfig& config);
+
+/// Same, but with prepare() optionally done by the caller already — used when
+/// the caller needs prepare-time products (the orderliness model's enclave
+/// ids) before the workers start.
+StressResult run_stressor(Stressor& stressor, sgxsim::Urts& urts,
+                          const StressConfig& config, bool already_prepared);
 
 }  // namespace stress

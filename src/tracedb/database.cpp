@@ -47,6 +47,7 @@ TraceDatabase::TraceDatabase(TraceDatabase&& other) noexcept {
   windows_ = std::move(other.windows_);
   window_sites_ = std::move(other.window_sites_);
   alerts_ = std::move(other.alerts_);
+  order_rules_ = std::move(other.order_rules_);
   window_period_ = other.window_period_;
   dropped_events_ = other.dropped_events_;
   stream_dropped_ = other.stream_dropped_;
@@ -201,6 +202,16 @@ void TraceDatabase::add_window_site(const WindowSiteRecord& rec) {
 void TraceDatabase::add_alert(const AlertRecord& rec) {
   std::lock_guard lock(mu_);
   alerts_.push_back(rec);
+}
+
+void TraceDatabase::add_order_rule(const OrderRuleRecord& rec) {
+  std::lock_guard lock(mu_);
+  order_rules_.push_back(rec);
+}
+
+void TraceDatabase::set_order_rules(std::vector<OrderRuleRecord> rules) {
+  std::lock_guard lock(mu_);
+  order_rules_ = std::move(rules);
 }
 
 void TraceDatabase::set_merge_threads(std::size_t n) {
@@ -373,6 +384,7 @@ void TraceDatabase::clear() {
   windows_.clear();
   window_sites_.clear();
   alerts_.clear();
+  order_rules_.clear();
   window_period_ = 0;
   dropped_events_ = 0;
   stream_dropped_ = 0;

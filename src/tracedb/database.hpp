@@ -95,6 +95,13 @@ class TraceDatabase {
   void add_window_site(const WindowSiteRecord& rec);
   void add_alert(const AlertRecord& rec);
 
+  // --- orderliness model table (format v6) -----------------------------------
+
+  /// Appends one flattened interface-orderliness rule (see OrderRuleRecord).
+  void add_order_rule(const OrderRuleRecord& rec);
+  /// Replaces the whole rule table (perf::OrderModel embedding).
+  void set_order_rules(std::vector<OrderRuleRecord> rules);
+
   // --- sharded writer API (see shard.hpp for the lifecycle) ----------------
 
   /// Creates a new per-thread shard and returns a stable reference (shards
@@ -159,6 +166,9 @@ class TraceDatabase {
     return window_sites_;
   }
   [[nodiscard]] const std::vector<AlertRecord>& alerts() const noexcept { return alerts_; }
+  [[nodiscard]] const std::vector<OrderRuleRecord>& order_rules() const noexcept {
+    return order_rules_;
+  }
 
   /// Total events rejected by sealed shards over the database's lifetime
   /// (accumulated at merge time, persisted in format v3).  Nonzero means the
@@ -200,6 +210,7 @@ class TraceDatabase {
   std::vector<WindowRecord> windows_;
   std::vector<WindowSiteRecord> window_sites_;
   std::vector<AlertRecord> alerts_;
+  std::vector<OrderRuleRecord> order_rules_;
   Nanoseconds window_period_ = 0;
   std::uint64_t dropped_events_ = 0;
   std::uint64_t stream_dropped_ = 0;

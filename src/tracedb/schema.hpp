@@ -161,8 +161,19 @@ enum class AlertKind : std::uint8_t {
   kPaging = 6,          // EPC paging pressure
   kTailLatency = 7,     // p99 ≫ p50 at a call site
   kLatencyShift = 8,    // EWMA/CUSUM change-point: site latency regime moved
+  // Interface-orderliness violations (format v6) — raised by the
+  // perf::OrderChecker against a learned or declared per-enclave model.
+  kOutOfOrderEcall = 9,   // top-level ecall outside the allowed edge set
+  kReentrantEcall = 10,   // nested ecall (under an ocall) not whitelisted
+  kUseBeforeInit = 11,    // steady-state ecall before the init ecall finished
+  kUseAfterDestroy = 12,  // ecall issued after enclave destruction
+  kPhaseViolation = 13,   // lifecycle phase re-entered (e.g. double init)
 };
-inline constexpr std::uint8_t kAlertKindCount = 9;
+inline constexpr std::uint8_t kAlertKindCount = 14;
+/// Highest kind byte + 1 accepted when loading pre-v6 traces: the
+/// orderliness kinds did not exist yet, so a v5 file containing one is
+/// corrupt, not forward-compatible.
+inline constexpr std::uint8_t kAlertKindCountV5 = 9;
 
 /// One fixed-interval snapshot of workload-wide activity (format v5).
 /// Windows are cut on the *virtual* clock, so a replayed trace produces a
@@ -209,6 +220,25 @@ struct AlertRecord {
   /// tail p99/p50 ratio ×1000, CUSUM deviation ×1000.
   std::uint64_t detail = 0;
 };
+
+/// One rule of a per-enclave interface-orderliness model (format v6).  The
+/// perf::OrderModel is flattened into these rows for persistence so a trace
+/// can carry the model it was (or should be) validated against.  `rule` is
+/// pinned — it is persisted as a byte in the trace file.
+struct OrderRuleRecord {
+  enum class Rule : std::uint8_t {
+    kInit = 0,         // a: the enclave's init ecall id
+    kEntry = 1,        // a: ecall id allowed as a thread's first top-level call
+    kKnownEcall = 2,   // a: ecall id that exists in the model at all
+    kEdge = 3,         // a -> b: allowed consecutive top-level ecall pair
+    kReentrantOk = 4,  // a: ecall id allowed nested under an ocall
+  };
+  EnclaveId enclave_id = 0;
+  Rule rule = Rule::kKnownEcall;
+  CallId a = 0;
+  CallId b = 0;  // meaningful for kEdge only
+};
+inline constexpr std::uint8_t kOrderRuleKindCount = 5;
 
 /// Sparse HDR latency histogram for one (enclave, type, call_id) call site
 /// (format v4).  Buckets follow the fixed telemetry::hdr geometry — the

@@ -1,21 +1,24 @@
-// Binary persistence (formats v2/v3/v4/v5) and CSV export for TraceDatabase.
+// Binary persistence (formats v2–v6) and CSV export for TraceDatabase.
 //
-// Layout: magic "SGXPTRC5", then per table a u64 row count followed by rows.
+// Layout: magic "SGXPTRC6", then per table a u64 row count followed by rows.
 // v2 added the AEX cause byte; v3 appends the dropped-event count and the
 // telemetry tables (metric series, metric samples) after the v2 payload;
 // v4 appends the streaming-drop count and the sparse HDR latency table
 // after the v3 payload; v5 appends the online-analysis time-series tables
 // (window period, window snapshots, per-site window rows, alerts) after the
-// v4 payload.  Each older format is exactly a newer file that ends early —
-// load() accepts all four magics and leaves the newer fields at their
+// v4 payload; v6 appends the interface-orderliness rule table after the v5
+// payload.  Each older format is exactly a newer file that ends early —
+// load() accepts all five magics and leaves the newer fields at their
 // defaults for older input.  v1 files are rejected by the magic check.
 // Integers are little-endian fixed-width; strings are u32-length-prefixed;
 // metric values are IEEE-754 doubles stored as their u64 bit pattern.  The
 // latency table header records the compiled HDR bucket geometry (sub_bits,
 // max_exponent); load() rejects mismatches rather than misinterpret bucket
-// indices.  The v5 tables are validated structurally: alert kind bytes must
-// be in range, window intervals must be well-formed, and per-table row
-// counts are bounded against the implausible.
+// indices.  The v5/v6 tables are validated structurally: alert and rule
+// kind bytes must be in range (alert kinds are version-gated — the
+// orderliness kinds are only legal in v6 files), window intervals must be
+// well-formed, and per-table row counts are bounded against the
+// implausible.
 #include <bit>
 #include <cstdint>
 #include <cstdio>
@@ -34,8 +37,9 @@ constexpr char kMagicV2[8] = {'S', 'G', 'X', 'P', 'T', 'R', 'C', '2'};
 constexpr char kMagicV3[8] = {'S', 'G', 'X', 'P', 'T', 'R', 'C', '3'};
 constexpr char kMagicV4[8] = {'S', 'G', 'X', 'P', 'T', 'R', 'C', '4'};
 constexpr char kMagicV5[8] = {'S', 'G', 'X', 'P', 'T', 'R', 'C', '5'};
+constexpr char kMagicV6[8] = {'S', 'G', 'X', 'P', 'T', 'R', 'C', '6'};
 
-/// Ceiling on v5 table row counts: far above any real trace, small enough
+/// Ceiling on v5/v6 table row counts: far above any real trace, small enough
 /// that a corrupt count fails fast instead of reserving petabytes.
 constexpr std::uint64_t kMaxV5Rows = 1ull << 32;
 
@@ -130,7 +134,7 @@ void TraceDatabase::save(const std::string& path) const {
     }
   }
   Writer w(path);
-  w.bytes(kMagicV5, sizeof(kMagicV5));
+  w.bytes(kMagicV6, sizeof(kMagicV6));
 
   w.u64(calls_.size());
   for (const auto& c : calls_) {
@@ -268,13 +272,23 @@ void TraceDatabase::save(const std::string& path) const {
     w.u32(alert.window_index);
     w.u64(alert.detail);
   }
+
+  // --- v6 additions ---------------------------------------------------------
+  w.u64(order_rules_.size());
+  for (const auto& rule : order_rules_) {
+    w.u64(rule.enclave_id);
+    w.u8(static_cast<std::uint8_t>(rule.rule));
+    w.u32(rule.a);
+    w.u32(rule.b);
+  }
 }
 
 TraceDatabase TraceDatabase::load(const std::string& path) {
   Reader r(path);
   char magic[8];
   r.bytes(magic, sizeof(magic));
-  const bool v5 = magic_is(magic, kMagicV5);
+  const bool v6 = magic_is(magic, kMagicV6);
+  const bool v5 = v6 || magic_is(magic, kMagicV5);
   const bool v4 = v5 || magic_is(magic, kMagicV4);
   const bool v3 = v4 || magic_is(magic, kMagicV3);
   if (!v3 && !magic_is(magic, kMagicV2)) {
@@ -467,10 +481,13 @@ TraceDatabase TraceDatabase::load(const std::string& path) {
       throw std::runtime_error("tracedb: implausible alert count in " + path);
     }
     db.alerts_.reserve(n_alerts);
+    // Orderliness alert kinds only exist from v6 on — a pre-v6 file carrying
+    // one is corrupt, not forward-compatible.
+    const std::uint8_t max_alert_kind = v6 ? kAlertKindCount : kAlertKindCountV5;
     for (std::uint64_t i = 0; i < n_alerts; ++i) {
       AlertRecord alert;
       const std::uint8_t kind = r.u8();
-      if (kind >= kAlertKindCount) {
+      if (kind >= max_alert_kind) {
         throw std::runtime_error("tracedb: unknown alert kind in " + path);
       }
       alert.kind = static_cast<AlertKind>(kind);
@@ -485,6 +502,26 @@ TraceDatabase TraceDatabase::load(const std::string& path) {
         throw std::runtime_error("tracedb: alert resolved before onset in " + path);
       }
       db.alerts_.push_back(alert);
+    }
+  }
+
+  if (v6) {
+    const std::uint64_t n_rules = r.u64();
+    if (n_rules > kMaxV5Rows) {
+      throw std::runtime_error("tracedb: implausible order-rule count in " + path);
+    }
+    db.order_rules_.reserve(n_rules);
+    for (std::uint64_t i = 0; i < n_rules; ++i) {
+      OrderRuleRecord rule;
+      rule.enclave_id = r.u64();
+      const std::uint8_t kind = r.u8();
+      if (kind >= kOrderRuleKindCount) {
+        throw std::runtime_error("tracedb: unknown order-rule kind in " + path);
+      }
+      rule.rule = static_cast<OrderRuleRecord::Rule>(kind);
+      rule.a = r.u32();
+      rule.b = r.u32();
+      db.order_rules_.push_back(rule);
     }
   }
 
@@ -651,6 +688,17 @@ void TraceDatabase::export_csv(const std::string& directory) const {
                    static_cast<unsigned long long>(a.onset_ns),
                    static_cast<unsigned long long>(a.resolved_ns), a.window_index,
                    static_cast<unsigned long long>(a.detail));
+    }
+  }
+  {
+    FilePtr f = open("order_rules.csv");
+    std::fprintf(f.get(), "enclave_id,rule,a,b\n");
+    for (const auto& rule : order_rules_) {
+      static constexpr const char* kRuleNames[] = {"init", "entry", "known", "edge",
+                                                   "reentrant_ok"};
+      std::fprintf(f.get(), "%llu,%s,%u,%u\n",
+                   static_cast<unsigned long long>(rule.enclave_id),
+                   kRuleNames[static_cast<std::size_t>(rule.rule)], rule.a, rule.b);
     }
   }
 }

@@ -44,6 +44,11 @@ std::optional<AlertKind> alert_kind_of(perf::FindingKind k) {
     case perf::FindingKind::kSyncContention: return AlertKind::kSyncContention;
     case perf::FindingKind::kPaging: return AlertKind::kPaging;
     case perf::FindingKind::kTailLatency: return AlertKind::kTailLatency;
+    case perf::FindingKind::kOutOfOrderEcall: return AlertKind::kOutOfOrderEcall;
+    case perf::FindingKind::kReentrantEcall: return AlertKind::kReentrantEcall;
+    case perf::FindingKind::kUseBeforeInit: return AlertKind::kUseBeforeInit;
+    case perf::FindingKind::kUseAfterDestroy: return AlertKind::kUseAfterDestroy;
+    case perf::FindingKind::kPhaseViolation: return AlertKind::kPhaseViolation;
     default: return std::nullopt;
   }
 }
@@ -109,6 +114,10 @@ std::vector<CorpusRun> record_all() {
   runs.push_back(record_corpus("ocall-storm", 20'000'000, sgxsim::Driver::kDefaultEpcPages));
   runs.push_back(record_corpus("vm", 10'000'000, 1024));
   runs.push_back(record_corpus("mixed", 80'000'000, 1024));
+  // The orderliness pair: the violating script needs ~12 worker-0 ops, well
+  // inside 20 ms of virtual time at two workers.
+  runs.push_back(record_corpus("order", 20'000'000, sgxsim::Driver::kDefaultEpcPages));
+  runs.push_back(record_corpus("order-clean", 20'000'000, sgxsim::Driver::kDefaultEpcPages));
   return runs;
 }
 

@@ -180,7 +180,7 @@ TEST(FormatV4, V3SaveIsAPrefixOfV4Save) {
   const std::string bytes_b((std::istreambuf_iterator<char>(b)),
                             std::istreambuf_iterator<char>());
   EXPECT_EQ(bytes_a, bytes_b);
-  EXPECT_EQ(bytes_a.substr(0, 8), "SGXPTRC5");
+  EXPECT_EQ(bytes_a.substr(0, 8), "SGXPTRC6");
   std::filesystem::remove(path);
   std::filesystem::remove(path2);
 }

@@ -134,7 +134,7 @@ TEST(FormatV3, RoundTripsByteIdentically) {
   const std::string bytes_b = slurp(path_b);
   ASSERT_FALSE(bytes_a.empty());
   EXPECT_EQ(bytes_a, bytes_b);
-  EXPECT_EQ(bytes_a.substr(0, 8), "SGXPTRC5");
+  EXPECT_EQ(bytes_a.substr(0, 8), "SGXPTRC6");
   std::filesystem::remove(path_a);
   std::filesystem::remove(path_b);
 }

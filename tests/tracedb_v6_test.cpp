@@ -1,0 +1,297 @@
+// Binary format v6: the order-rules table and the five orderliness alert
+// kinds round-trip byte-identically, every older format (v2..v5) still loads
+// with the v6 table absent-but-valid, and corrupt v6 payloads (bad rule kind,
+// orderliness alert kinds smuggled into a pre-v6 file, implausible row
+// counts, truncation) are rejected instead of being half-loaded.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "telemetry/hdr_histogram.hpp"
+#include "tracedb/database.hpp"
+
+namespace {
+
+using tracedb::AlertKind;
+using tracedb::AlertRecord;
+using tracedb::CallRecord;
+using tracedb::CallType;
+using tracedb::OrderRuleRecord;
+using tracedb::TraceDatabase;
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+}
+
+void spill(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Little-endian byte assembler mirroring the serializer's Writer, but into
+/// memory — so fixtures can be truncated or corrupted at exact offsets.
+struct Buf {
+  std::string bytes;
+
+  void raw(const void* p, std::size_t n) {
+    bytes.append(static_cast<const char*>(p), n);
+  }
+  void u8(std::uint8_t v) { raw(&v, 1); }
+  void u32(std::uint32_t v) { raw(&v, 4); }
+  void u64(std::uint64_t v) { raw(&v, 8); }
+};
+
+/// Appends the six empty v2 tables (calls..call_names).
+void empty_v2_tables(Buf& b) {
+  for (int t = 0; t < 6; ++t) b.u64(0);
+}
+
+/// Appends the empty v3 appendix (dropped count + metric tables).
+void empty_v3_tables(Buf& b) {
+  b.u64(0);  // dropped_events
+  b.u64(0);  // metric_series
+  b.u64(0);  // metric_samples
+}
+
+/// Appends the empty v4 appendix (stream drops + HDR geometry + latencies).
+void empty_v4_tables(Buf& b) {
+  b.u64(0);  // stream_dropped
+  b.u8(static_cast<std::uint8_t>(telemetry::hdr::kSubBits));
+  b.u8(static_cast<std::uint8_t>(telemetry::hdr::kMaxExponent));
+  b.u64(0);  // latencies
+}
+
+/// Appends the empty v5 time-series tables plus one alert of `alert_kind`.
+/// Alert row = kind(1) + enclave(8) + type(1) + call_id(4) + onset(8) +
+/// resolved(8) + window(4) + detail(8) = 42 bytes, last row of the table.
+void v5_tables_with_alert(Buf& b, std::uint8_t alert_kind) {
+  b.u64(0);           // window_period
+  b.u64(0);           // windows
+  b.u64(0);           // window_sites
+  b.u64(1);           // alerts
+  b.u8(alert_kind);   //   kind
+  b.u64(1);           //   enclave_id
+  b.u8(0);            //   type = ecall
+  b.u32(2);           //   call_id
+  b.u64(123'456);     //   onset_ns
+  b.u64(0);           //   resolved_ns (orderliness alerts never auto-resolve)
+  b.u32(0);           //   window_index
+  b.u64((1ull << 32) | 3);  // detail: first thread 1, count 3
+}
+
+/// One rule row: enclave(8) + kind(1) + a(4) + b(4) = 17 bytes.
+void rule_row(Buf& b, std::uint64_t enclave, std::uint8_t kind, std::uint32_t a,
+              std::uint32_t b_id) {
+  b.u64(enclave);
+  b.u8(kind);
+  b.u32(a);
+  b.u32(b_id);
+}
+
+/// A well-formed v6 fixture: one orderliness alert plus a two-rule model.
+std::string v6_fixture_bytes() {
+  Buf b;
+  b.raw("SGXPTRC6", 8);
+  empty_v2_tables(b);
+  empty_v3_tables(b);
+  empty_v4_tables(b);
+  v5_tables_with_alert(b, 10);  // kReentrantEcall: legal in a v6 file
+  b.u64(2);                     // order_rules
+  rule_row(b, 1, 0, 0, 0);      //   init 0
+  rule_row(b, 1, 3, 0, 1);      //   edge 0 -> 1
+  return b.bytes;
+}
+
+TEST(FormatV6, RoundTripsByteIdentically) {
+  TraceDatabase original;
+  CallRecord c;
+  c.type = CallType::kEcall;
+  c.thread_id = 1;
+  c.enclave_id = 1;
+  c.call_id = 0;
+  c.start_ns = 10;
+  c.end_ns = 4215;
+  original.add_call(c);
+
+  // One rule of every kind, spanning two enclaves.
+  using Rule = OrderRuleRecord::Rule;
+  std::vector<OrderRuleRecord> rules;
+  rules.push_back({1, Rule::kInit, 0, 0});
+  rules.push_back({1, Rule::kEntry, 0, 0});
+  rules.push_back({1, Rule::kKnownEcall, 2, 0});
+  rules.push_back({1, Rule::kEdge, 0, 2});
+  rules.push_back({1, Rule::kReentrantOk, 3, 0});
+  rules.push_back({2, Rule::kEntry, 0, 0});
+  original.set_order_rules(rules);
+
+  // One alert per v6 kind: every new kind byte must survive the round trip.
+  for (const auto kind :
+       {AlertKind::kOutOfOrderEcall, AlertKind::kReentrantEcall, AlertKind::kUseBeforeInit,
+        AlertKind::kUseAfterDestroy, AlertKind::kPhaseViolation}) {
+    AlertRecord a;
+    a.kind = kind;
+    a.enclave_id = 1;
+    a.type = CallType::kEcall;
+    a.call_id = static_cast<tracedb::CallId>(kind);
+    a.onset_ns = 1'000 + static_cast<std::uint64_t>(kind);
+    a.detail = (7ull << 32) | 2;
+    original.add_alert(a);
+  }
+
+  const std::string path_a = temp_path("tracedb_v6_a.bin");
+  const std::string path_b = temp_path("tracedb_v6_b.bin");
+  original.save(path_a);
+
+  const TraceDatabase reloaded = TraceDatabase::load(path_a);
+  ASSERT_EQ(reloaded.order_rules().size(), 6u);
+  EXPECT_EQ(reloaded.order_rules()[0].rule, Rule::kInit);
+  EXPECT_EQ(reloaded.order_rules()[3].rule, Rule::kEdge);
+  EXPECT_EQ(reloaded.order_rules()[3].a, 0u);
+  EXPECT_EQ(reloaded.order_rules()[3].b, 2u);
+  EXPECT_EQ(reloaded.order_rules()[5].enclave_id, 2u);
+  ASSERT_EQ(reloaded.alerts().size(), 5u);
+  EXPECT_EQ(reloaded.alerts()[0].kind, AlertKind::kOutOfOrderEcall);
+  EXPECT_EQ(reloaded.alerts()[4].kind, AlertKind::kPhaseViolation);
+  EXPECT_EQ(reloaded.alerts()[1].detail, (7ull << 32) | 2);
+  EXPECT_EQ(reloaded.alerts()[2].resolved_ns, 0u);
+
+  reloaded.save(path_b);
+  const std::string bytes_a = slurp(path_a);
+  const std::string bytes_b = slurp(path_b);
+  ASSERT_FALSE(bytes_a.empty());
+  EXPECT_EQ(bytes_a, bytes_b);
+  EXPECT_EQ(bytes_a.substr(0, 8), "SGXPTRC6");
+  std::filesystem::remove(path_a);
+  std::filesystem::remove(path_b);
+}
+
+// --- older formats stay loadable -------------------------------------------
+
+TEST(FormatV6, LoadsOlderFixturesWithEmptyOrderRules) {
+  for (const char* magic : {"SGXPTRC2", "SGXPTRC3", "SGXPTRC4", "SGXPTRC5"}) {
+    Buf b;
+    b.raw(magic, 8);
+    empty_v2_tables(b);
+    if (magic[7] >= '3') empty_v3_tables(b);
+    if (magic[7] >= '4') empty_v4_tables(b);
+    if (magic[7] >= '5') v5_tables_with_alert(b, 0);  // kShortCalls: v5-legal
+    const std::string path = temp_path("tracedb_v6_from_older.bin");
+    spill(path, b.bytes);
+    const TraceDatabase db = TraceDatabase::load(path);
+    EXPECT_TRUE(db.order_rules().empty()) << magic;
+    EXPECT_EQ(db.alerts().size(), magic[7] >= '5' ? 1u : 0u) << magic;
+    std::filesystem::remove(path);
+  }
+}
+
+// --- rejection paths --------------------------------------------------------
+
+TEST(FormatV6, WellFormedFixtureLoads) {
+  const std::string path = temp_path("tracedb_v6_fixture.bin");
+  spill(path, v6_fixture_bytes());
+  const TraceDatabase db = TraceDatabase::load(path);
+  ASSERT_EQ(db.order_rules().size(), 2u);
+  EXPECT_EQ(db.order_rules()[1].rule, OrderRuleRecord::Rule::kEdge);
+  ASSERT_EQ(db.alerts().size(), 1u);
+  EXPECT_EQ(db.alerts()[0].kind, AlertKind::kReentrantEcall);
+  std::filesystem::remove(path);
+}
+
+TEST(FormatV6, RejectsUnknownRuleKindByte) {
+  std::string bytes = v6_fixture_bytes();
+  // The rules table is last; each row is 17 bytes with the kind byte at
+  // offset 8 within the row, so the second row's kind byte sits 9 bytes
+  // before EOF.  Overwrite it with kOrderRuleKindCount.
+  bytes[bytes.size() - 9] = static_cast<char>(5);
+  const std::string path = temp_path("tracedb_v6_bad_rule_kind.bin");
+  spill(path, bytes);
+  EXPECT_THROW((void)TraceDatabase::load(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(FormatV6, RejectsOrderlinessAlertKindsInPreV6Files) {
+  // The orderliness kinds (9..13) postdate v5: a v5-magic file containing
+  // one is corrupt, not forward-compatible.
+  for (const std::uint8_t kind : {std::uint8_t{9}, std::uint8_t{13}}) {
+    Buf b;
+    b.raw("SGXPTRC5", 8);
+    empty_v2_tables(b);
+    empty_v3_tables(b);
+    empty_v4_tables(b);
+    v5_tables_with_alert(b, kind);
+    const std::string path = temp_path("tracedb_v6_smuggled_kind.bin");
+    spill(path, b.bytes);
+    EXPECT_THROW((void)TraceDatabase::load(path), std::runtime_error)
+        << "alert kind " << int(kind) << " must be rejected under a v5 magic";
+    std::filesystem::remove(path);
+  }
+}
+
+TEST(FormatV6, AcceptsHighestAlertKindUnderV6Magic) {
+  Buf b;
+  b.raw("SGXPTRC6", 8);
+  empty_v2_tables(b);
+  empty_v3_tables(b);
+  empty_v4_tables(b);
+  v5_tables_with_alert(b, 13);  // kPhaseViolation, the current ceiling
+  b.u64(0);                     // order_rules
+  const std::string path = temp_path("tracedb_v6_top_kind.bin");
+  spill(path, b.bytes);
+  const TraceDatabase db = TraceDatabase::load(path);
+  ASSERT_EQ(db.alerts().size(), 1u);
+  EXPECT_EQ(db.alerts()[0].kind, AlertKind::kPhaseViolation);
+  std::filesystem::remove(path);
+
+  // ...and one past the ceiling still throws, even under the v6 magic.
+  Buf bad;
+  bad.raw("SGXPTRC6", 8);
+  empty_v2_tables(bad);
+  empty_v3_tables(bad);
+  empty_v4_tables(bad);
+  v5_tables_with_alert(bad, 14);  // kAlertKindCount
+  bad.u64(0);
+  const std::string bad_path = temp_path("tracedb_v6_past_kind.bin");
+  spill(bad_path, bad.bytes);
+  EXPECT_THROW((void)TraceDatabase::load(bad_path), std::runtime_error);
+  std::filesystem::remove(bad_path);
+}
+
+TEST(FormatV6, RejectsImplausibleRuleCounts) {
+  Buf b;
+  b.raw("SGXPTRC6", 8);
+  empty_v2_tables(b);
+  empty_v3_tables(b);
+  empty_v4_tables(b);
+  v5_tables_with_alert(b, 0);
+  b.u64(1ull << 33);  // rule count > kMaxV5Rows: must fail fast, before any
+                      // allocation is attempted
+  const std::string path = temp_path("tracedb_v6_huge_count.bin");
+  spill(path, b.bytes);
+  EXPECT_THROW((void)TraceDatabase::load(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(FormatV6, RejectsTruncatedFiles) {
+  const std::string full = v6_fixture_bytes();
+  // Cut at several depths: mid-rule-row, right before the rules table, and
+  // mid-count — every prefix must throw, never half-load.
+  for (const std::size_t keep :
+       {full.size() - 4, full.size() - 17, full.size() - 38, full.size() - 40}) {
+    const std::string path = temp_path("tracedb_v6_truncated.bin");
+    spill(path, full.substr(0, keep));
+    EXPECT_THROW((void)TraceDatabase::load(path), std::runtime_error)
+        << "prefix of " << keep << " bytes should be rejected";
+    std::filesystem::remove(path);
+  }
+}
+
+}  // namespace

@@ -1,12 +1,17 @@
 // bench_diff — compare fresh BENCH_*.json results against committed
 // baselines.
 //
-//   bench_diff --fresh DIR --baseline DIR [--threshold 0.25] [file...]
+//   bench_diff --fresh DIR --baseline DIR [--threshold 0.25] [--strict] [file...]
 //
-// For every BENCH_<name>.json present in both directories (or for the
-// explicitly listed file names), metrics are matched by name and the
+// For each listed BENCH_<name>.json, metrics are matched by name and the
 // relative change |fresh - base| / base is computed.  Changes beyond the
 // threshold are flagged and make the exit status nonzero.
+//
+// A listed file with no baseline counterpart is *reported* as skipped, never
+// silently dropped: a brand-new bench that nobody ever diffs is exactly how
+// regressions in new subsystems go unnoticed.  Skips are listed in the
+// summary and, with --strict, make the exit status nonzero on their own —
+// the mode for CI setups that require every bench to carry a baseline.
 //
 // Metric direction (higher- vs lower-is-better) is not encoded in the
 // files, so bench_diff flags drift in *either* direction: a 2x "speedup"
@@ -77,6 +82,7 @@ int main(int argc, char** argv) {
   std::string fresh_dir;
   std::string baseline_dir;
   double threshold = 0.25;
+  bool strict = false;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -86,26 +92,37 @@ int main(int argc, char** argv) {
       baseline_dir = argv[++i];
     } else if (arg == "--threshold" && i + 1 < argc) {
       threshold = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--strict") {
+      strict = true;
     } else if (!arg.empty() && arg[0] != '-') {
       files.push_back(arg);
     } else {
       std::fprintf(stderr,
                    "usage: bench_diff --fresh DIR --baseline DIR [--threshold F] "
-                   "[BENCH_name.json...]\n");
+                   "[--strict] [BENCH_name.json...]\n");
       return 2;
     }
   }
   if (fresh_dir.empty() || baseline_dir.empty() || files.empty()) {
     std::fprintf(stderr,
                  "usage: bench_diff --fresh DIR --baseline DIR [--threshold F] "
-                 "[BENCH_name.json...]\n");
+                 "[--strict] [BENCH_name.json...]\n");
     return 2;
   }
 
   int flagged = 0;
   int compared = 0;
+  std::vector<std::string> skipped;
   std::printf("%-16s %-28s %14s %14s %9s\n", "bench", "metric", "baseline", "fresh", "change");
   for (const auto& file : files) {
+    // A missing baseline is a skip (reported, and fatal only under --strict);
+    // an unreadable or malformed file on either side stays a hard flag.
+    if (std::string probe; !read_file(baseline_dir + "/" + file, probe)) {
+      std::printf("%-16s %-28s %14s %14s %9s  SKIPPED (no baseline)\n", file.c_str(), "-",
+                  "-", "-", "-");
+      skipped.push_back(file);
+      continue;
+    }
     std::map<std::string, double> base;
     std::map<std::string, double> fresh;
     if (!load_metrics(baseline_dir + "/" + file, base) ||
@@ -139,5 +156,15 @@ int main(int argc, char** argv) {
   }
   std::printf("\nbench_diff: %d metric(s) compared, %d flagged (threshold %.0f%%)\n", compared,
               flagged, threshold * 100.0);
-  return flagged == 0 ? 0 : 1;
+  if (!skipped.empty()) {
+    std::string names;
+    for (const auto& file : skipped) {
+      if (!names.empty()) names += ' ';
+      names += file;
+    }
+    std::printf("bench_diff: %zu bench(es) skipped, no baseline%s: %s\n", skipped.size(),
+                strict ? " (fatal under --strict)" : "", names.c_str());
+  }
+  if (flagged != 0) return 1;
+  return (strict && !skipped.empty()) ? 1 : 0;
 }

@@ -98,6 +98,37 @@ fleet_corpus() {
   echo "fleet corpus snapshot matches golden"
 }
 
+# Orderliness golden gate: the violating `order` stressor is deterministic
+# (lockstep + fixed seed), so `sgxperf order check --json` over its trace —
+# validated against the model the soak embedded — must reproduce the exact
+# violation sites, counts and onsets, and must exit 1 (violations found).
+# The learned-spec emitter is exercised and json_checked alongside.
+order_corpus() {
+  build_dir="$1"
+  order_dir="$build_dir/order-corpus"
+  rm -rf "$order_dir"
+  mkdir -p "$order_dir"
+  "$build_dir/tools/sgxperf" stress --stressor order --threads 2 \
+    --duration 20000000 --seed 7 --out "$order_dir/order.bin" >/dev/null
+  rc=0
+  (cd "$order_dir" && "$build_dir/tools/sgxperf" order check order.bin --json \
+    > "$order_dir/check.json") || rc=$?
+  if [ "$rc" -ne 1 ]; then
+    echo "error: order check exited $rc, expected 1 (violations present)" >&2
+    exit 1
+  fi
+  if ! cmp -s "$order_dir/check.json" "$root/tests/golden/order_check_corpus.json"; then
+    echo "error: order check report diverged from the golden:" >&2
+    diff -u "$root/tests/golden/order_check_corpus.json" "$order_dir/check.json" >&2 || true
+    exit 1
+  fi
+  (cd "$order_dir" && "$build_dir/tools/sgxperf" order learn order.bin --json \
+    > "$order_dir/learn.json")
+  "$build_dir/tools/json_check" "$order_dir/check.json"
+  "$build_dir/tools/json_check" "$order_dir/learn.json"
+  echo "order check report matches golden"
+}
+
 run_suite() {
   build_dir="$1"
   shift
@@ -107,6 +138,7 @@ run_suite() {
   monitor_soak "$build_dir"
   stress_corpus "$build_dir"
   fleet_corpus "$build_dir"
+  order_corpus "$build_dir"
 }
 
 echo "=== plain build ==="
@@ -141,20 +173,18 @@ for bench in $benches; do
   fi
   "$root/build/tools/json_check" "$artefact"
   count=$((count + 1))
-  [ -f "$baseline_dir/$(basename "$artefact")" ] && \
-    diff_files="$diff_files $(basename "$artefact")"
+  diff_files="$diff_files $(basename "$artefact")"
 done
 echo "$count bench artefacts valid (refreshed in $root)"
 
 echo "=== bench regression diff (advisory) ==="
-if [ -n "$diff_files" ]; then
-  # shellcheck disable=SC2086 — diff_files is a word list by construction.
-  "$root/build/tools/bench_diff" --fresh "$root" --baseline "$baseline_dir" \
-    --threshold 0.25 $diff_files \
-    || echo "bench_diff: drift flagged (advisory — not failing the build)"
-else
-  echo "no committed baselines to diff against"
-fi
+# Every artefact goes to bench_diff: benches without a committed baseline are
+# *reported* as skipped in its summary instead of being silently dropped from
+# the comparison (--strict would turn those skips into failures).
+# shellcheck disable=SC2086 — diff_files is a word list by construction.
+"$root/build/tools/bench_diff" --fresh "$root" --baseline "$baseline_dir" \
+  --threshold 0.25 $diff_files \
+  || echo "bench_diff: drift or missing baselines flagged (advisory — not failing the build)"
 
 echo "=== flamegraph golden check ==="
 # Single-threaded demo recording: virtual time makes it fully deterministic,

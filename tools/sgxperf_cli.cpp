@@ -142,6 +142,10 @@ struct Options {
   bool corpus = false;                     // fleet: run the built-in corpus in-process
   std::string fleet_subcommand;            // fleet: snapshot | top | alerts | series
   std::vector<std::string> fleet_args;     // fleet series: <host> <enclave> <site>
+  // order flags
+  std::string order_subcommand;            // order: learn | check
+  std::string model_path;                  // order check / monitor: declared spec file
+  std::string embed_path;                  // order learn: write a rules-embedded v6 copy
   perf::AnalyzerConfig config;
 };
 
@@ -179,6 +183,11 @@ void usage() {
       "           fleet [snapshot|top|alerts|series] (--query-socket PATH | --corpus)\n"
       "           [--by p99|transitions|paging] [--n N] [--out trace.bin]\n"
       "           fleet series <host> <enclave> <site> ...   (always JSON on stdout)\n"
+      "  order    interface-orderliness models (learn from a baseline, check a trace):\n"
+      "           order learn <trace.bin> [--out spec.txt] [--embed out.bin] [--json]\n"
+      "           order check <trace.bin> [--model spec.txt] [--json]\n"
+      "           check uses --model, or the rules embedded in a v6 trace; exits 1\n"
+      "           when violations are found\n"
       "  whatif   predict speedups by replaying the trace under a scenario:\n"
       "           whatif <trace.bin> [--switchless SITE [--workers N|A..B]]\n"
       "           [--eliminate SITE] [--merge SITE] [--cost-profile P] [--epc-mb N]\n"
@@ -214,8 +223,15 @@ void usage() {
       "  --by M            (fleet top) ranking metric: p99, transitions, paging\n"
       "  --n N             (fleet top) rows to return (default 10)\n"
       "  --corpus          (fleet) aggregate the built-in 3-producer stress corpus\n"
-      "  --out FILE        (monitor, stress) save the v5 trace (windows + alerts) to FILE\n"
-      "  --stressor NAME   (stress) stressor to run: cpu, vm, sync, ocall-storm, mixed\n"
+      "  --out FILE        (monitor, stress) save the trace (windows + alerts) to FILE;\n"
+      "                    (order learn) write the model spec to FILE\n"
+      "  --model FILE      (order check) declared model spec to validate against\n"
+      "  --embed FILE      (order learn) save a copy of the trace with the learned\n"
+      "                    rules embedded (self-checking v6 trace)\n"
+      "  --order-model F   (monitor, stress) validate the live stream against the\n"
+      "                    declared model spec in F (orderliness alerts)\n"
+      "  --stressor NAME   (stress) stressor to run: cpu, vm, sync, ocall-storm,\n"
+      "                    mixed, order, order-clean\n"
       "  --duration NS     (stress) virtual-time budget per run (default 200000000)\n"
       "  --intensity N     (stress) per-op payload scale (default 1)\n"
       "  --seed N          (stress) rng seed; fixed seed => deterministic bogo-ops\n"
@@ -243,6 +259,12 @@ bool parse_args(int argc, char** argv, Options& opts) {
       opts.fleet_subcommand = argv[2];
       i = 3;
     }
+  } else if (opts.command == "order") {
+    // order <learn|check> <trace.bin> [options]
+    if (argc < 4) return false;
+    opts.order_subcommand = argv[2];
+    opts.trace_path = argv[3];
+    i = 4;
   } else {
     if (argc < 3) return false;
     opts.trace_path = argv[2];
@@ -364,6 +386,10 @@ bool parse_args(int argc, char** argv, Options& opts) {
       opts.top_n = std::strtoul(next(), nullptr, 10);
     } else if (arg == "--corpus") {
       opts.corpus = true;
+    } else if (arg == "--model" || arg == "--order-model") {
+      opts.model_path = next();
+    } else if (arg == "--embed") {
+      opts.embed_path = next();
     } else if (!arg.empty() && arg[0] != '-' && opts.command == "fleet") {
       opts.fleet_args.push_back(arg);  // fleet series <host> <enclave> <site>
     } else {
@@ -590,6 +616,14 @@ int run_monitor(const Options& opts) {
   scfg.subscription_name = "monitor";
   scfg.online.analyzer = opts.config;
   if (opts.window_ns > 0) scfg.online.window_ns = opts.window_ns;
+  if (!opts.model_path.empty()) {
+    try {
+      scfg.online.order = perf::load_model_spec(opts.model_path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
+  }
   perf::MonitorSession session(logger, urts, scfg);
   if (!session.ok()) {
     std::fputs("error: no free streaming subscriber slot\n", stderr);
@@ -893,6 +927,14 @@ int run_stress(const Options& opts) {
   scfg.stress.seed = opts.seed;
   scfg.analyzer = opts.config;
   if (opts.window_ns > 0) scfg.window_ns = opts.window_ns;
+  if (!opts.model_path.empty()) {
+    try {
+      scfg.order = perf::load_model_spec(opts.model_path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
+  }
 
   stress::SoakResult result;
   try {
@@ -978,6 +1020,154 @@ int run_stress(const Options& opts) {
     if (!opts.out_path.empty()) std::printf("trace written to %s\n", opts.out_path.c_str());
   }
   return result.labels_ok() ? 0 : 1;
+}
+
+/// `sgxperf order learn|check`: the interface-orderliness workflow.  learn
+/// distils a per-enclave protocol model (entries, edges, re-entrancy
+/// whitelist, init phase) from a trusted baseline trace; check replays a
+/// trace against a model — declared via --model or embedded in a v6 trace —
+/// and reports every violation, exiting 1 when any were found so CI can gate
+/// on protocol conformance.
+int run_order(const Options& opts, const tracedb::TraceDatabase& db) {
+  if (opts.order_subcommand == "learn") {
+    const auto model = perf::learn_model(db);
+    const auto spec = perf::render_model_spec(model);
+    const auto rules = perf::rules_from_model(model);
+    if (!opts.out_path.empty()) {
+      std::FILE* f = std::fopen(opts.out_path.c_str(), "wb");
+      if (f == nullptr) {
+        std::fprintf(stderr, "error: cannot write %s\n", opts.out_path.c_str());
+        return 1;
+      }
+      std::fwrite(spec.data(), 1, spec.size(), f);
+      std::fclose(f);
+    }
+    if (!opts.embed_path.empty()) {
+      try {
+        tracedb::TraceDatabase copy = tracedb::TraceDatabase::load(opts.trace_path);
+        copy.set_order_rules(rules);
+        copy.save(opts.embed_path);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+      }
+    }
+    if (opts.json) {
+      support::json::Writer w;
+      w.begin_object();
+      w.kv("schema_version", support::json::kSchemaVersion);
+      w.kv("trace", opts.trace_path);
+      w.kv("rules", static_cast<std::uint64_t>(rules.size()));
+      w.key("enclaves");
+      w.begin_array();
+      for (const auto& [eid, em] : model.enclaves) {
+        w.begin_object();
+        w.kv("enclave_id", eid);
+        if (em.has_init) w.kv("init", static_cast<std::uint64_t>(em.init_call_id));
+        const auto ids = [&w](const char* key, const std::set<tracedb::CallId>& set) {
+          w.key(key);
+          w.begin_array();
+          for (const auto id : set) w.value(static_cast<std::uint64_t>(id));
+          w.end_array();
+        };
+        ids("entries", em.entries);
+        ids("ecalls", em.known);
+        ids("reentrant", em.reentrant_ok);
+        w.key("edges");
+        w.begin_array();
+        for (const auto& [a, b] : em.edges) {
+          w.begin_array();
+          w.value(static_cast<std::uint64_t>(a));
+          w.value(static_cast<std::uint64_t>(b));
+          w.end_array();
+        }
+        w.end_array();
+        w.end_object();
+      }
+      w.end_array();
+      if (!opts.out_path.empty()) w.kv("spec", opts.out_path);
+      if (!opts.embed_path.empty()) w.kv("embedded", opts.embed_path);
+      w.end_object();
+      std::printf("%s\n", w.take().c_str());
+    } else if (opts.out_path.empty()) {
+      std::fputs(spec.c_str(), stdout);
+    } else {
+      std::printf("learned %zu rules over %zu enclave(s); spec written to %s\n", rules.size(),
+                  model.enclaves.size(), opts.out_path.c_str());
+    }
+    return 0;
+  }
+
+  if (opts.order_subcommand != "check") {
+    std::fprintf(stderr, "error: unknown order subcommand '%s' (learn | check)\n",
+                 opts.order_subcommand.c_str());
+    return 2;
+  }
+
+  perf::OrderModel model;
+  const char* source = "embedded";
+  if (!opts.model_path.empty()) {
+    try {
+      model = perf::load_model_spec(opts.model_path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
+    source = opts.model_path.c_str();
+  } else {
+    model = perf::model_from_rules(db.order_rules());
+  }
+  if (model.empty()) {
+    std::fputs("error: no order model: pass --model FILE or a trace with embedded rules\n",
+               stderr);
+    return 2;
+  }
+
+  const auto alerts = perf::check_trace(db, model);
+  std::uint64_t total = 0;
+  for (const auto& a : alerts) total += a.detail & 0xffffffffull;
+  if (opts.json) {
+    support::json::Writer w;
+    w.begin_object();
+    w.kv("schema_version", support::json::kSchemaVersion);
+    w.kv("trace", opts.trace_path);
+    w.kv("model", source);
+    w.kv("enclaves_modelled", static_cast<std::uint64_t>(model.enclaves.size()));
+    w.key("violations");
+    w.begin_array();
+    for (const auto& a : alerts) {
+      w.begin_object();
+      w.kv("kind", perf::to_string(a.kind));
+      w.kv("enclave_id", a.enclave_id);
+      w.kv("site", db.name_of(a.enclave_id, a.type, a.call_id));
+      w.kv("call_id", static_cast<std::uint64_t>(a.call_id));
+      w.kv("onset_ns", a.onset_ns);
+      w.kv("first_thread", a.detail >> 32);
+      w.kv("count", static_cast<std::uint64_t>(a.detail & 0xffffffffull));
+      w.end_object();
+    }
+    w.end_array();
+    w.kv("violation_sites", static_cast<std::uint64_t>(alerts.size()));
+    w.kv("total_violations", total);
+    w.end_object();
+    std::printf("%s\n", w.take().c_str());
+  } else if (alerts.empty()) {
+    std::printf("order check: clean — no violations against %s model (%zu enclave(s))\n",
+                source, model.enclaves.size());
+  } else {
+    std::printf("order check: %llu violation(s) at %zu site(s):\n",
+                static_cast<unsigned long long>(total), alerts.size());
+    for (const auto& a : alerts) {
+      std::printf("  %-20s %s (enclave %llu, ecall %u): %llu violation(s), first on thread %llu "
+                  "at %llu ns\n",
+                  perf::to_string(a.kind), db.name_of(a.enclave_id, a.type, a.call_id).c_str(),
+                  static_cast<unsigned long long>(a.enclave_id), a.call_id,
+                  static_cast<unsigned long long>(a.detail & 0xffffffffull),
+                  static_cast<unsigned long long>(a.detail >> 32),
+                  static_cast<unsigned long long>(a.onset_ns));
+    }
+  }
+  return alerts.empty() ? 0 : 1;
 }
 
 /// `sgxperf stats --json`: general statistics as a JSON document, one object
@@ -1364,6 +1554,8 @@ int main(int argc, char** argv) {
       std::exit(1);
     }
   }();
+
+  if (opts.command == "order") return run_order(opts, db);
 
   if (opts.command == "csv") {
     db.export_csv(opts.csv_dir);
