@@ -1,0 +1,199 @@
+// E17: SGXSTORE conversion throughput and the lazy-open read ratio.
+//
+// The store's reason to exist is that summary consumers should not pay for
+// the event log.  This bench builds a synthetic events-dominated trace of
+// the shape a fleet checkpoint has (most bytes in calls/AEXs, a small
+// per-site summary), then measures: flat->store pack throughput,
+// store->flat unpack throughput, and the fraction of the store's bytes a
+// summary open (the `sgxperf stats` path) actually reads.  Real time is
+// measured — the conversions are pure I/O+encode cost, invisible to the
+// virtual clock — and the round trip is asserted byte-identical before any
+// number is reported.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "tracedb/database.hpp"
+#include "tracedb/open.hpp"
+#include "tracedb/store/store.hpp"
+
+namespace {
+
+std::uint64_t rng_state = 0x9e3779b97f4a7c15ULL;
+std::uint64_t next_rand() {
+  rng_state ^= rng_state << 13;
+  rng_state ^= rng_state >> 7;
+  rng_state ^= rng_state << 17;
+  return rng_state;
+}
+
+/// An events-dominated trace: `n_calls` ecall/ocall rows with AEX and sync
+/// noise, plus the compact summary a real run persists alongside them.
+tracedb::TraceDatabase make_db(std::size_t n_calls) {
+  tracedb::TraceDatabase db;
+  db.add_enclave({1, "bench", 0, 0, 8, 1 << 24});
+  for (std::uint32_t id = 0; id < 8; ++id) {
+    db.add_call_name({1, tracedb::CallType::kEcall, id, "ecall_" + std::to_string(id)});
+  }
+  tracedb::Nanoseconds t = 1'000;
+  for (std::size_t i = 0; i < n_calls; ++i) {
+    t += 200 + next_rand() % 800;
+    tracedb::CallRecord call;
+    call.type = (i % 4 == 3) ? tracedb::CallType::kOcall : tracedb::CallType::kEcall;
+    call.thread_id = static_cast<tracedb::ThreadId>(next_rand() % 8);
+    call.enclave_id = 1;
+    call.call_id = static_cast<tracedb::CallId>(next_rand() % 8);
+    if (call.type == tracedb::CallType::kOcall) {
+      call.parent = static_cast<tracedb::CallIndex>(i - 1);
+    }
+    call.start_ns = t;
+    call.end_ns = t + 100 + next_rand() % 500;
+    const auto idx = db.add_call(call);
+    if (i % 16 == 0) {
+      db.add_aex({call.thread_id, 1, call.start_ns + 10, idx, tracedb::AexCause::kInterrupt});
+    }
+    if (i % 64 == 0) {
+      db.add_sync({tracedb::SyncKind::kSleep, call.thread_id, 0, 1, call.start_ns + 20});
+    }
+  }
+  // Summary tables at realistic (small, per-site) cardinality.
+  for (std::uint32_t id = 0; id < 8; ++id) {
+    tracedb::LatencyRecord lat;
+    lat.enclave_id = 1;
+    lat.type = tracedb::CallType::kEcall;
+    lat.call_id = id;
+    lat.count = n_calls / 8;
+    lat.sum_ns = 350 * lat.count;
+    for (std::uint32_t b = 0; b < 24; ++b) lat.buckets.push_back({40 + b, 1 + b});
+    db.set_latency(lat);
+  }
+  db.set_window_period(5'000'000);
+  const std::uint32_t n_windows = static_cast<std::uint32_t>(t / 5'000'000) + 1;
+  for (std::uint32_t w = 0; w < n_windows; ++w) {
+    tracedb::WindowRecord win;
+    win.window_index = w;
+    win.start_ns = w * 5'000'000ull;
+    win.end_ns = (w + 1) * 5'000'000ull;
+    win.calls = n_calls / n_windows;
+    db.add_window(win);
+    for (std::uint32_t id = 0; id < 8; ++id) {
+      tracedb::WindowSiteRecord site;
+      site.window_index = w;
+      site.enclave_id = 1;
+      site.type = tracedb::CallType::kEcall;
+      site.call_id = id;
+      site.calls = win.calls / 8;
+      site.p50_ns = 350;
+      site.p99_ns = 590;
+      db.add_window_site(site);
+    }
+  }
+  return db;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::uint64_t dir_bytes(const std::string& dir) {
+  std::uint64_t total = 0;
+  for (const auto& e : std::filesystem::directory_iterator(dir)) {
+    if (e.is_regular_file()) total += e.file_size();
+  }
+  return total;
+}
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = bench::strip_smoke_flag(argc, argv);
+  const std::string out_dir = bench::strip_out_dir_flag(argc, argv);
+  bench::JsonReport json("store", smoke, out_dir);
+
+  const std::size_t kCalls = smoke ? 50'000 : 500'000;
+  const std::string scratch =
+      (std::filesystem::temp_directory_path() / "bench_store_scratch").string();
+  std::filesystem::remove_all(scratch);
+  std::filesystem::create_directories(scratch);
+  const std::string flat_path = scratch + "/trace.bin";
+  const std::string store_path = scratch + "/trace.store";
+
+  const tracedb::TraceDatabase db = make_db(kCalls);
+  db.save(flat_path);
+  const std::string flat = slurp(flat_path);
+  const double flat_mb = static_cast<double>(flat.size()) / (1024.0 * 1024.0);
+  std::printf("=== SGXSTORE conversion: %zu calls, %.1f MB flat ===\n\n", kCalls, flat_mb);
+
+  // Correctness gate: the round trip must be byte-identical before any
+  // throughput number means anything.
+  tracedb::store::pack(db, store_path);
+  {
+    const tracedb::TraceDatabase back = tracedb::store::unpack(store_path);
+    back.save(flat_path + ".rt");
+    if (slurp(flat_path + ".rt") != flat) {
+      std::fprintf(stderr, "FAIL: pack -> unpack is not byte-identical\n");
+      return 1;
+    }
+  }
+  std::printf("losslessness: pack -> unpack byte-identical (%.1f MB)\n\n", flat_mb);
+
+  const int kReps = smoke ? 3 : 5;
+  double best_pack = 1e300;
+  double best_unpack = 1e300;
+  for (int r = 0; r < kReps; ++r) {
+    std::filesystem::remove_all(store_path);
+    auto t0 = std::chrono::steady_clock::now();
+    tracedb::store::pack(db, store_path);
+    best_pack = std::min(best_pack, ms_since(t0));
+
+    t0 = std::chrono::steady_clock::now();
+    const tracedb::TraceDatabase back = tracedb::store::unpack(store_path);
+    best_unpack = std::min(best_unpack, ms_since(t0));
+    if (back.calls().size() != db.calls().size()) return 1;  // keep `back` live
+  }
+
+  const double store_mb = static_cast<double>(dir_bytes(store_path)) / (1024.0 * 1024.0);
+
+  // The lazy-open claim, measured on the real stats open path.
+  tracedb::OpenStats stats;
+  const auto t0 = std::chrono::steady_clock::now();
+  const tracedb::TraceDatabase summary =
+      tracedb::open_trace(store_path, tracedb::store::kSummarySections, &stats);
+  const double summary_ms = ms_since(t0);
+  const double ratio =
+      static_cast<double>(stats.bytes_read) / static_cast<double>(stats.total_bytes);
+  if (summary.latencies().size() != db.latencies().size()) return 1;
+
+  std::printf("pack   (flat -> store):  %8.2f ms  %8.1f MB/s\n", best_pack,
+              flat_mb / (best_pack / 1000.0));
+  std::printf("unpack (store -> flat):  %8.2f ms  %8.1f MB/s\n", best_unpack,
+              flat_mb / (best_unpack / 1000.0));
+  std::printf("store size:              %8.2f MB (flat %.2f MB)\n", store_mb, flat_mb);
+  std::printf("summary open:            %8.2f ms, %llu of %llu bytes (%.1f%%)\n", summary_ms,
+              static_cast<unsigned long long>(stats.bytes_read),
+              static_cast<unsigned long long>(stats.total_bytes), 100.0 * ratio);
+
+  json.metric("calls", static_cast<double>(kCalls), "calls");
+  json.metric("flat_mb", flat_mb, "MB");
+  json.metric("store_mb", store_mb, "MB");
+  json.metric("pack_mb_per_s", flat_mb / (best_pack / 1000.0), "MB/s");
+  json.metric("unpack_mb_per_s", flat_mb / (best_unpack / 1000.0), "MB/s");
+  json.metric("summary_open_ms", summary_ms, "ms");
+  json.metric("summary_read_ratio", ratio, "ratio");
+  std::filesystem::remove_all(scratch);
+  return json.write() ? 0 : 1;
+}

@@ -1,5 +1,7 @@
 #include "fleet/server.hpp"
 
+#include "tracedb/open.hpp"
+
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
@@ -157,7 +159,10 @@ void Server::maybe_checkpoint(bool force) {
   tracedb::TraceDatabase db;
   agg_.checkpoint(db);
   try {
-    db.save(config_.checkpoint_path);
+    // Atomic commit (temp + rename for flat files, the store writer's own
+    // protocol for ".store" paths): a dashboard opening the checkpoint — or
+    // a restart after a crash mid-write — never sees a half-written trace.
+    tracedb::save_trace_atomic(db, config_.checkpoint_path);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "fleet: checkpoint failed: %s\n", e.what());
   }

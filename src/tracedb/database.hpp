@@ -12,6 +12,10 @@
 
 namespace tracedb {
 
+namespace store {
+struct RawTables;  // the SGXSTORE subsystem's raw table access (store/format.hpp)
+}
+
 /// Append-oriented store for one profiling session.
 ///
 /// Two writer paths exist:
@@ -197,6 +201,8 @@ class TraceDatabase {
   void export_csv(const std::string& directory) const;
 
  private:
+  friend struct store::RawTables;
+
   mutable std::mutex mu_;
   std::vector<CallRecord> calls_;
   std::vector<AexRecord> aexs_;

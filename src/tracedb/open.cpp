@@ -1,0 +1,70 @@
+#include "tracedb/open.hpp"
+
+#include <sys/stat.h>
+
+#include "support/atomic_file.hpp"
+
+namespace tracedb {
+namespace {
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::uint64_t file_size(const std::string& path) {
+  struct stat st{};
+  if (::stat(path.c_str(), &st) != 0) return 0;
+  return static_cast<std::uint64_t>(st.st_size);
+}
+
+}  // namespace
+
+bool is_store_path(const std::string& path) {
+  if (store::is_store(path)) return true;
+  struct stat st{};
+  if (::stat(path.c_str(), &st) == 0) return S_ISDIR(st.st_mode);
+  return ends_with(path, ".store");
+}
+
+TraceDatabase open_trace(const std::string& path, unsigned sections, OpenStats* stats) {
+  if (store::is_store(path)) {
+    store::StoreReader reader(path);
+    TraceDatabase db = reader.load(sections);
+    if (stats != nullptr) {
+      stats->store = true;
+      stats->total_bytes = reader.io().total_bytes;
+      stats->bytes_read = reader.io().bytes_read;
+      stats->sections_loaded = reader.io().sections_loaded;
+    }
+    return db;
+  }
+  TraceDatabase db = TraceDatabase::load(path);
+  if (stats != nullptr) {
+    stats->store = false;
+    stats->total_bytes = file_size(path);
+    stats->bytes_read = stats->total_bytes;
+    stats->sections_loaded = {"flat"};
+  }
+  return db;
+}
+
+void save_trace(const TraceDatabase& db, const std::string& path) {
+  if (is_store_path(path)) {
+    store::pack(db, path);
+    return;
+  }
+  db.save(path);
+}
+
+void save_trace_atomic(const TraceDatabase& db, const std::string& path) {
+  if (is_store_path(path)) {
+    store::pack(db, path);  // the store writer's commit protocol is atomic
+    return;
+  }
+  const std::string tmp = support::atomic_temp_path(path);
+  db.save(tmp);
+  support::commit_file(tmp, path);
+}
+
+}  // namespace tracedb

@@ -1,0 +1,47 @@
+// Format-dispatching trace open/save: flat SGXPTRC files or SGXSTORE dirs.
+//
+// Everything above tracedb (the CLI, the fleet daemon, tests) goes through
+// these helpers instead of TraceDatabase::load/save directly, so any trace
+// argument — `sgxperf stats x.store` as readily as `sgxperf stats x.bin` —
+// accepts either representation, and summary-only consumers can declare the
+// section subset they need and skip the event log entirely when the input
+// is a store.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tracedb/database.hpp"
+#include "tracedb/store/store.hpp"
+
+namespace tracedb {
+
+/// What one open_trace() actually read.  Flat files are all-or-nothing;
+/// stores report per-section byte counts (store::OpenIo semantics).
+struct OpenStats {
+  bool store = false;
+  std::uint64_t total_bytes = 0;
+  std::uint64_t bytes_read = 0;
+  std::vector<std::string> sections_loaded;
+};
+
+/// True if `path` names a store: an existing directory carrying a store
+/// index, or (for not-yet-written outputs) a path with the ".store" suffix.
+[[nodiscard]] bool is_store_path(const std::string& path);
+
+/// Opens a trace in either representation.  `sections` (store::kSection*
+/// masks) limits what is read from a store; flat files always load whole.
+[[nodiscard]] TraceDatabase open_trace(const std::string& path,
+                                       unsigned sections = store::kAllSections,
+                                       OpenStats* stats = nullptr);
+
+/// Saves in the representation `path` names (see is_store_path).
+void save_trace(const TraceDatabase& db, const std::string& path);
+
+/// Like save_trace, but a reader (or crash-restart) never observes a
+/// half-written trace: flat files go through temp+rename, stores are
+/// already committed atomically by the store writer.
+void save_trace_atomic(const TraceDatabase& db, const std::string& path);
+
+}  // namespace tracedb

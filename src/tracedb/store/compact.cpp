@@ -1,0 +1,186 @@
+// Store compaction: fold several inputs (stores or flat traces) into one.
+//
+// The fleet serve daemon checkpoints each monitored process into its own
+// store; compact() folds those checkpoints into a single queryable store
+// without rewriting event bytes.  Summary tables genuinely merge:
+//
+//   latencies       summed bucket-wise per (enclave, type, call_id), output
+//                   in sorted key order (deterministic regardless of input
+//                   order within a key-disjoint fleet)
+//   metric series   unioned by (kind, name, unit); sample ids remapped
+//   windows         concatenated; window_index — and every window_index
+//                   reference in window_sites and alerts — shifted by the
+//                   windows already merged
+//   enclaves        keyed by id: first row wins, destroyed_ns fills in,
+//                   tcs/size take the max
+//   call names      first row per (enclave, type, call_id) wins
+//   order rules     exact-tuple dedup, first-seen order
+//   counters        dropped/stream_dropped sum; window_period: first nonzero
+//
+// Event chunks from store inputs are copied verbatim — only the directory
+// entry's call_rebase is shifted by the calls already written, which is the
+// whole point of keeping call references chunk-directory-relative.  Flat
+// inputs are framed into chunks on the way through.
+#include <algorithm>
+#include <map>
+#include <set>
+#include <stdexcept>
+#include <tuple>
+
+#include "tracedb/store/store.hpp"
+
+namespace tracedb::store {
+namespace {
+
+using LatKey = std::tuple<EnclaveId, std::uint8_t, CallId>;
+using SeriesKey = std::tuple<std::uint8_t, std::string, std::string>;
+using NameKey = std::tuple<EnclaveId, std::uint8_t, CallId>;
+using RuleKey = std::tuple<EnclaveId, std::uint8_t, CallId, CallId>;
+
+class SummaryMerger {
+ public:
+  void merge(const TraceDatabase& in) {
+    auto& out = db_;
+    if (RawTables::window_period(out) == 0) {
+      RawTables::window_period(out) = in.window_period();
+    }
+    RawTables::dropped_events(out) += in.dropped_events();
+    RawTables::stream_dropped(out) += in.stream_dropped();
+
+    auto& enclaves = RawTables::enclaves(out);
+    for (const auto& e : in.enclaves()) {
+      const auto it = enclave_index_.find(e.enclave_id);
+      if (it == enclave_index_.end()) {
+        enclave_index_[e.enclave_id] = enclaves.size();
+        enclaves.push_back(e);
+      } else {
+        EnclaveRecord& have = enclaves[it->second];
+        if (have.destroyed_ns == 0) have.destroyed_ns = e.destroyed_ns;
+        have.tcs_count = std::max(have.tcs_count, e.tcs_count);
+        have.size_bytes = std::max(have.size_bytes, e.size_bytes);
+      }
+    }
+
+    auto& names = RawTables::call_names(out);
+    for (const auto& n : in.call_names()) {
+      const NameKey key{n.enclave_id, static_cast<std::uint8_t>(n.type), n.call_id};
+      if (seen_names_.insert(key).second) names.push_back(n);
+    }
+
+    auto& rules = RawTables::order_rules(out);
+    for (const auto& rule : in.order_rules()) {
+      const RuleKey key{rule.enclave_id, static_cast<std::uint8_t>(rule.rule), rule.a, rule.b};
+      if (seen_rules_.insert(key).second) rules.push_back(rule);
+    }
+
+    for (const auto& l : in.latencies()) {
+      const LatKey key{l.enclave_id, static_cast<std::uint8_t>(l.type), l.call_id};
+      const auto it = latencies_.find(key);
+      if (it == latencies_.end()) {
+        latencies_[key] = l;
+        continue;
+      }
+      LatencyRecord& have = it->second;
+      have.count += l.count;
+      have.sum_ns += l.sum_ns;
+      std::map<std::uint32_t, std::uint64_t> buckets(have.buckets.begin(),
+                                                     have.buckets.end());
+      for (const auto& [idx, n] : l.buckets) buckets[idx] += n;
+      have.buckets.assign(buckets.begin(), buckets.end());
+    }
+
+    auto& series = RawTables::metric_series(out);
+    std::map<MetricSeriesId, MetricSeriesId> id_remap;
+    for (const auto& s : in.metric_series()) {
+      const SeriesKey key{static_cast<std::uint8_t>(s.kind), s.name, s.unit};
+      const auto it = series_ids_.find(key);
+      if (it == series_ids_.end()) {
+        const auto id = static_cast<MetricSeriesId>(series.size());
+        series_ids_[key] = id;
+        id_remap[s.series_id] = id;
+        MetricSeriesRecord merged = s;
+        merged.series_id = id;
+        series.push_back(std::move(merged));
+      } else {
+        id_remap[s.series_id] = it->second;
+      }
+    }
+    auto& samples = RawTables::metric_samples(out);
+    for (const auto& s : in.metric_samples()) {
+      const auto it = id_remap.find(s.series_id);
+      if (it == id_remap.end()) {
+        throw std::runtime_error("store: metric sample references unknown series");
+      }
+      MetricSampleRecord merged = s;
+      merged.series_id = it->second;
+      samples.push_back(merged);
+    }
+
+    auto& windows = RawTables::windows(out);
+    const auto window_base = static_cast<std::uint32_t>(windows.size());
+    for (const auto& win : in.windows()) {
+      WindowRecord merged = win;
+      merged.window_index += window_base;
+      windows.push_back(merged);
+    }
+    auto& sites = RawTables::window_sites(out);
+    for (const auto& site : in.window_sites()) {
+      WindowSiteRecord merged = site;
+      merged.window_index += window_base;
+      sites.push_back(merged);
+    }
+    auto& alerts = RawTables::alerts(out);
+    for (const auto& alert : in.alerts()) {
+      AlertRecord merged = alert;
+      merged.window_index += window_base;
+      alerts.push_back(merged);
+    }
+  }
+
+  /// Finalises the merged summary (latency table in sorted key order).
+  TraceDatabase take() {
+    auto& latencies = RawTables::latencies(db_);
+    latencies.reserve(latencies_.size());
+    for (auto& [key, rec] : latencies_) latencies.push_back(std::move(rec));
+    return std::move(db_);
+  }
+
+ private:
+  TraceDatabase db_;
+  std::map<EnclaveId, std::size_t> enclave_index_;
+  std::set<NameKey> seen_names_;
+  std::set<RuleKey> seen_rules_;
+  std::map<LatKey, LatencyRecord> latencies_;
+  std::map<SeriesKey, MetricSeriesId> series_ids_;
+};
+
+}  // namespace
+
+void compact(const std::vector<std::string>& inputs, const std::string& out_dir,
+             WriterOptions options) {
+  if (inputs.empty()) {
+    throw std::runtime_error("store: compact needs at least one input");
+  }
+  StoreWriter writer(out_dir, options);
+  SummaryMerger merger;
+  for (const auto& input : inputs) {
+    if (is_store(input)) {
+      StoreReader reader(input);
+      const TraceDatabase summary = reader.load(kSummarySections);
+      merger.merge(summary);
+      const std::uint64_t call_base = writer.calls_written();
+      for (ChunkDirEntry entry : reader.chunk_directory()) {
+        const std::string_view bytes = reader.chunk_bytes(entry);
+        entry.call_rebase += call_base;
+        writer.add_raw_chunk(bytes, entry);
+      }
+    } else {
+      const TraceDatabase flat = TraceDatabase::load(input);
+      merger.merge(flat);
+      writer.add_events(flat.calls(), flat.aexs(), flat.paging(), flat.syncs());
+    }
+  }
+  writer.commit(merger.take());
+}
+
+}  // namespace tracedb::store

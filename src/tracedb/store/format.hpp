@@ -1,0 +1,252 @@
+// On-disk format of the SGXSTORE multi-file trace database (internal).
+//
+// A store is a *directory* in the spirit of an HPCToolkit database
+// (meta.db / profile.db / trace.db):
+//
+//   X.store/
+//   |-- store.idx    index header: section table with per-section file name,
+//   |                payload offset, length, CRC32 and row counts, plus a
+//   |                commit generation and a trailing self-CRC
+//   |-- meta.db      enclaves, call names, order rules, scalar counters
+//   |-- profile.db   per-site HDR latency table, metric series/samples,
+//   |                window snapshots and per-site window rows
+//   |-- alerts.db    the alert history
+//   `-- events.db    framed chunks of the four event tables (calls, AEXs,
+//                    paging, syncs) + a footer directory keyed by virtual-
+//                    time range and thread range, so readers can load only
+//                    the chunks a query touches
+//
+// All integers are little-endian fixed-width; strings are u32-length-
+// prefixed — exactly the flat v2–v6 encoding (serialize.cpp), so a store is
+// a re-sectioning of the flat payload, not a new dialect.  Sections are
+// independently checksummed and independently loadable; the event section is
+// additionally chunked, each chunk carrying its own CRC32 so a partial load
+// never trusts unverified bytes.
+//
+// Rewrites are crash-safe by construction: section files are committed under
+// generation-suffixed names via temp+rename, and the index — which names the
+// files — is renamed into place last.  A crash leaves either the old index
+// (its files untouched) or the new one (its files fully committed).
+//
+// Unknown section ids are skipped on read (forward compatibility); every
+// recognised structural defect is rejected with a distinct error and no
+// partially-populated database escapes.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "support/crc32.hpp"
+#include "tracedb/database.hpp"
+
+namespace tracedb::store {
+
+inline constexpr char kIndexMagic[8] = {'S', 'G', 'X', 'S', 'T', 'O', 'R', 'E'};
+inline constexpr std::uint32_t kStoreVersion = 1;
+/// Flat-format version whose payload semantics the sections carry.
+inline constexpr std::uint8_t kPayloadVersion = 6;
+inline constexpr const char* kIndexFileName = "store.idx";
+
+inline constexpr std::uint32_t kChunkMagic = 0x43455853;   // "SXEC"
+inline constexpr std::uint32_t kFooterMagic = 0x44455853;  // "SXED"
+
+/// Section ids are pinned (persisted as a byte).  Readers skip unknown ids.
+enum SectionId : std::uint8_t {
+  kMetaSection = 0,
+  kProfileSection = 1,
+  kAlertsSection = 2,
+  kEventsSection = 3,
+};
+
+[[nodiscard]] const char* section_name(std::uint8_t id);
+[[nodiscard]] const char* section_file_stem(std::uint8_t id);
+
+/// One row of the index's section table.  `counts` is a per-section list of
+/// table row counts (self-describing, so unknown sections stay parseable):
+///   meta:    {enclaves, call_names, order_rules}
+///   profile: {latencies, metric_series, metric_samples, windows, window_sites}
+///   alerts:  {alerts}
+///   events:  {chunks, calls, aexs, paging, syncs}
+struct IndexSection {
+  std::uint8_t id = 0;
+  std::string file;               // name relative to the store directory
+  std::uint64_t offset = 0;       // payload offset inside the file (currently 0)
+  std::uint64_t length = 0;       // payload bytes
+  std::uint32_t crc = 0;          // CRC32 of the payload (events: of the footer)
+  std::vector<std::uint64_t> counts;
+};
+
+struct StoreIndex {
+  std::uint32_t version = kStoreVersion;
+  std::uint8_t payload_version = kPayloadVersion;
+  std::uint64_t generation = 0;   // bumped on every in-place rewrite
+  std::vector<IndexSection> sections;
+
+  [[nodiscard]] const IndexSection* find(std::uint8_t id) const noexcept;
+};
+
+[[nodiscard]] std::string encode_index(const StoreIndex& index);
+/// Parses and validates `bytes` (magic, version, bounds, trailing self-CRC).
+[[nodiscard]] StoreIndex parse_index(const std::string& bytes);
+
+/// One entry of the event-section footer directory.  `call_rebase` is added
+/// to every non-negative CallIndex reference (CallRecord::parent,
+/// AexRecord::during_call) when the chunk is loaded — compaction shifts it
+/// instead of rewriting chunk payloads.
+struct ChunkDirEntry {
+  std::uint64_t offset = 0;       // chunk start inside events.db
+  std::uint64_t length = 0;       // chunk bytes (magic..crc inclusive)
+  std::uint32_t crc = 0;          // CRC32 of the chunk bytes before the crc field
+  std::uint64_t call_rebase = 0;
+  std::uint64_t n_calls = 0;
+  std::uint64_t n_aexs = 0;
+  std::uint64_t n_paging = 0;
+  std::uint64_t n_syncs = 0;
+  Nanoseconds min_ns = 0;         // over every row in the chunk
+  Nanoseconds max_ns = 0;
+  ThreadId thread_min = 0;        // over rows that carry a thread id
+  ThreadId thread_max = 0;
+};
+
+[[nodiscard]] std::string encode_footer(const std::vector<ChunkDirEntry>& chunks);
+/// Parses the footer span of an events file; `file_size` bounds the chunk
+/// extents ("truncated event chunk" is rejected here).
+[[nodiscard]] std::vector<ChunkDirEntry> parse_footer(const char* data, std::size_t size,
+                                                      std::uint64_t file_size);
+
+// --- serialisation plumbing -------------------------------------------------
+
+/// Append-only little-endian byte assembler (the in-memory Writer).
+class BufWriter {
+ public:
+  void bytes(const void* p, std::size_t n) {
+    out_.append(static_cast<const char*>(p), n);
+  }
+  void u8(std::uint8_t v) { bytes(&v, 1); }
+  void u32(std::uint32_t v) { bytes(&v, 4); }
+  void u64(std::uint64_t v) { bytes(&v, 8); }
+  void i64(std::int64_t v) { bytes(&v, 8); }
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    bytes(s.data(), s.size());
+  }
+  [[nodiscard]] const std::string& str_ref() const noexcept { return out_; }
+  [[nodiscard]] std::string take() noexcept { return std::move(out_); }
+  [[nodiscard]] std::size_t size() const noexcept { return out_.size(); }
+
+ private:
+  std::string out_;
+};
+
+/// Bounds-checked reader over a byte span; every overrun throws with the
+/// caller-supplied context so "truncated X" errors name the section.
+class SpanReader {
+ public:
+  SpanReader(const char* data, std::size_t size, std::string context)
+      : p_(data), end_(data + size), context_(std::move(context)) {}
+
+  void bytes(void* out, std::size_t n) {
+    if (static_cast<std::size_t>(end_ - p_) < n) {
+      throw std::runtime_error("store: truncated " + context_);
+    }
+    std::memcpy(out, p_, n);
+    p_ += n;
+  }
+  std::uint8_t u8() { std::uint8_t v; bytes(&v, 1); return v; }
+  std::uint32_t u32() { std::uint32_t v; bytes(&v, 4); return v; }
+  std::uint64_t u64() { std::uint64_t v; bytes(&v, 8); return v; }
+  std::int64_t i64() { std::int64_t v; bytes(&v, 8); return v; }
+  std::string str() {
+    const std::uint32_t n = u32();
+    if (n > (1u << 24)) {
+      throw std::runtime_error("store: implausible string length in " + context_);
+    }
+    std::string s(n, '\0');
+    if (n > 0) bytes(s.data(), n);
+    return s;
+  }
+  /// Guards a reserve(): `n` rows of at least `min_row_bytes` each must fit
+  /// in the remaining span, so a corrupt count fails fast, not in malloc.
+  void check_rows(std::uint64_t n, std::size_t min_row_bytes) {
+    if (n * min_row_bytes > remaining()) {
+      throw std::runtime_error("store: implausible row count in " + context_);
+    }
+  }
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return static_cast<std::size_t>(end_ - p_);
+  }
+  [[nodiscard]] const std::string& context() const noexcept { return context_; }
+
+ private:
+  const char* p_;
+  const char* end_;
+  std::string context_;
+};
+
+// --- raw table access -------------------------------------------------------
+
+/// The store subsystem's keyhole into TraceDatabase's private tables: pack
+/// reads through the public accessors, but unpack must restore rows (and the
+/// scalar counters) exactly, without the id-reassignment or locking of the
+/// public mutators.
+struct RawTables {
+  static std::vector<CallRecord>& calls(TraceDatabase& db) { return db.calls_; }
+  static std::vector<AexRecord>& aexs(TraceDatabase& db) { return db.aexs_; }
+  static std::vector<PagingRecord>& paging(TraceDatabase& db) { return db.paging_; }
+  static std::vector<SyncRecord>& syncs(TraceDatabase& db) { return db.syncs_; }
+  static std::vector<EnclaveRecord>& enclaves(TraceDatabase& db) { return db.enclaves_; }
+  static std::vector<CallNameRecord>& call_names(TraceDatabase& db) { return db.call_names_; }
+  static std::vector<MetricSeriesRecord>& metric_series(TraceDatabase& db) {
+    return db.metric_series_;
+  }
+  static std::vector<MetricSampleRecord>& metric_samples(TraceDatabase& db) {
+    return db.metric_samples_;
+  }
+  static std::vector<LatencyRecord>& latencies(TraceDatabase& db) { return db.latencies_; }
+  static std::vector<WindowRecord>& windows(TraceDatabase& db) { return db.windows_; }
+  static std::vector<WindowSiteRecord>& window_sites(TraceDatabase& db) {
+    return db.window_sites_;
+  }
+  static std::vector<AlertRecord>& alerts(TraceDatabase& db) { return db.alerts_; }
+  static std::vector<OrderRuleRecord>& order_rules(TraceDatabase& db) {
+    return db.order_rules_;
+  }
+  static Nanoseconds& window_period(TraceDatabase& db) { return db.window_period_; }
+  static std::uint64_t& dropped_events(TraceDatabase& db) { return db.dropped_events_; }
+  static std::uint64_t& stream_dropped(TraceDatabase& db) { return db.stream_dropped_; }
+};
+
+// --- section payload codecs -------------------------------------------------
+
+[[nodiscard]] std::string encode_meta(const TraceDatabase& db);
+[[nodiscard]] std::string encode_profile(const TraceDatabase& db);
+[[nodiscard]] std::string encode_alerts(const TraceDatabase& db);
+
+void decode_meta(SpanReader& r, TraceDatabase& db);
+void decode_profile(SpanReader& r, TraceDatabase& db);
+void decode_alerts(SpanReader& r, TraceDatabase& db);
+
+/// Row counts for the index section table (see IndexSection::counts).
+[[nodiscard]] std::vector<std::uint64_t> meta_counts(const TraceDatabase& db);
+[[nodiscard]] std::vector<std::uint64_t> profile_counts(const TraceDatabase& db);
+[[nodiscard]] std::vector<std::uint64_t> alert_counts(const TraceDatabase& db);
+
+/// Encodes one event chunk (magic, row counts, rows, trailing CRC32) and
+/// fills `entry` (offset is left for the writer to assign).
+[[nodiscard]] std::string encode_chunk(const CallRecord* calls, std::size_t n_calls,
+                                       const AexRecord* aexs, std::size_t n_aexs,
+                                       const PagingRecord* paging, std::size_t n_paging,
+                                       const SyncRecord* syncs, std::size_t n_syncs,
+                                       ChunkDirEntry& entry);
+
+/// Verifies `entry.crc` over the chunk bytes and appends the rows to `db`,
+/// shifting CallIndex references by `entry.call_rebase` plus the number of
+/// calls already present in `db` from earlier stores is NOT applied here —
+/// the rebase recorded in the directory is the complete shift.
+void decode_chunk(const char* data, std::size_t size, const ChunkDirEntry& entry,
+                  TraceDatabase& db);
+
+}  // namespace tracedb::store

@@ -1,0 +1,529 @@
+// SGXSTORE round-trip, laziness, corruption and compaction tests.
+//
+// The store is a re-sectioning of the flat v6 payload, so losslessness is
+// asserted the same way tracedb_v6_test.cpp asserts save/load stability:
+// byte-compare the flat serialisations on either side of a pack -> unpack
+// trip.  Corruption coverage mirrors that file's style too — damage one
+// exact spot on disk, expect one distinct error, and verify no partially
+// populated database escapes.  The soak-corpus tests additionally pin the
+// headline lazy-loading claim: a summary open of an events-dominated store
+// reads less than 10% of its bytes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sgxsim/runtime.hpp"
+#include "stress/harness.hpp"
+#include "tracedb/database.hpp"
+#include "tracedb/open.hpp"
+#include "tracedb/store/format.hpp"
+#include "tracedb/store/store.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using tracedb::AexRecord;
+using tracedb::AlertKind;
+using tracedb::AlertRecord;
+using tracedb::CallRecord;
+using tracedb::CallType;
+using tracedb::EnclaveRecord;
+using tracedb::LatencyRecord;
+using tracedb::OrderRuleRecord;
+using tracedb::PagingRecord;
+using tracedb::SyncRecord;
+using tracedb::TraceDatabase;
+using tracedb::WindowRecord;
+using tracedb::WindowSiteRecord;
+
+std::string temp_path(const std::string& name) {
+  return (fs::temp_directory_path() / name).string();
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+void spill(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+/// Flat serialisation of `db` — the byte-identity yardstick for round trips.
+std::string flat_bytes(const TraceDatabase& db, const std::string& name) {
+  const std::string path = temp_path(name);
+  db.save(path);
+  std::string bytes = slurp(path);
+  fs::remove(path);
+  return bytes;
+}
+
+/// A database exercising every table the store persists: nested calls whose
+/// parent references cross chunk boundaries, aux events interleaved with the
+/// calls, and a full summary (latencies, windows, alerts, order rules).
+TraceDatabase make_fixture_db() {
+  TraceDatabase db;
+  db.add_enclave({1, "worker", 5, 0, 4, 1 << 20});
+  db.add_call_name({1, CallType::kEcall, 7, "process"});
+  db.add_call_name({1, CallType::kOcall, 3, "write_log"});
+
+  // Ten top-level ecalls, each hosting one ocall: with chunk_calls = 3 the
+  // pack splits these 20 rows across many chunks, and every ocall's parent
+  // points at an earlier row — the rebase arithmetic gets real work.
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    const tracedb::Nanoseconds base = 1'000 * (i + 1);
+    CallRecord ecall;
+    ecall.type = CallType::kEcall;
+    ecall.thread_id = static_cast<tracedb::ThreadId>(i % 3);
+    ecall.enclave_id = 1;
+    ecall.call_id = 7;
+    ecall.start_ns = base;
+    ecall.end_ns = base + 900;
+    ecall.aex_count = i % 2;
+    const tracedb::CallIndex parent = db.add_call(ecall);
+    CallRecord ocall;
+    ocall.type = CallType::kOcall;
+    ocall.thread_id = ecall.thread_id;
+    ocall.enclave_id = 1;
+    ocall.call_id = 3;
+    ocall.parent = parent;
+    ocall.start_ns = base + 100;
+    ocall.end_ns = base + 200;
+    db.add_call(ocall);
+    db.add_aex({ecall.thread_id, 1, base + 50, parent, tracedb::AexCause::kInterrupt});
+    db.add_paging({1, i, tracedb::PageDirection::kPageOut, base + 60});
+    db.add_sync({tracedb::SyncKind::kSleep, ecall.thread_id, 0, 1, base + 70});
+  }
+
+  const auto series = db.add_metric_series(tracedb::MetricKind::kGauge, "epc_used", "pages");
+  db.add_metric_sample({series, 1'500, 12.5});
+  db.add_metric_sample({series, 2'500, 14.0});
+
+  LatencyRecord lat;
+  lat.enclave_id = 1;
+  lat.type = CallType::kEcall;
+  lat.call_id = 7;
+  lat.count = 10;
+  lat.sum_ns = 9'000;
+  lat.buckets = {{40, 4}, {41, 6}};
+  db.set_latency(lat);
+
+  db.set_window_period(1'000'000);
+  for (std::uint32_t w = 0; w < 2; ++w) {
+    WindowRecord win;
+    win.window_index = w;
+    win.start_ns = w * 1'000'000;
+    win.end_ns = (w + 1) * 1'000'000;
+    win.calls = 10;
+    win.aexs = 5;
+    win.active_alerts = w;
+    db.add_window(win);
+    WindowSiteRecord site;
+    site.window_index = w;
+    site.enclave_id = 1;
+    site.type = CallType::kEcall;
+    site.call_id = 7;
+    site.calls = 10;
+    site.p50_ns = 900;
+    site.p99_ns = 950;
+    db.add_window_site(site);
+  }
+  AlertRecord alert;
+  alert.kind = AlertKind::kShortCalls;
+  alert.enclave_id = 1;
+  alert.type = CallType::kEcall;
+  alert.call_id = 7;
+  alert.onset_ns = 1'200;
+  alert.resolved_ns = 2'400;
+  alert.window_index = 1;
+  alert.detail = 1'500;
+  db.add_alert(alert);
+
+  db.add_order_rule({1, OrderRuleRecord::Rule::kInit, 7, 0});
+  db.add_order_rule({1, OrderRuleRecord::Rule::kEdge, 7, 7});
+  db.set_stream_dropped(3);
+  return db;
+}
+
+/// RAII-ish store directory path: removed on construction and destruction.
+struct StoreDir {
+  explicit StoreDir(const std::string& name) : path(temp_path(name)) { fs::remove_all(path); }
+  ~StoreDir() { fs::remove_all(path); }
+  const std::string path;
+};
+
+std::string expect_store_error(const std::string& dir, unsigned mask) {
+  try {
+    tracedb::store::StoreReader reader(dir);
+    (void)reader.load(mask);
+  } catch (const std::runtime_error& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected a store error from " << dir;
+  return {};
+}
+
+// --- round trips -------------------------------------------------------------
+
+TEST(TraceStore, PackUnpackRoundTripsByteIdentically) {
+  const TraceDatabase db = make_fixture_db();
+  const std::string before = flat_bytes(db, "store_rt_before.bin");
+
+  StoreDir store("store_rt.store");
+  tracedb::store::pack(db, store.path, {.chunk_calls = 3});  // force 7 chunks
+  const TraceDatabase back = tracedb::store::unpack(store.path);
+  EXPECT_EQ(flat_bytes(back, "store_rt_after.bin"), before);
+
+  // The directory really is multi-file with every section present.
+  for (const char* f : {"store.idx", "meta.db", "profile.db", "alerts.db", "events.db"}) {
+    EXPECT_TRUE(fs::exists(fs::path(store.path) / f)) << f;
+  }
+}
+
+TEST(TraceStore, EmptyDatabaseRoundTrips) {
+  const TraceDatabase db;
+  const std::string before = flat_bytes(db, "store_empty_before.bin");
+  StoreDir store("store_empty.store");
+  tracedb::store::pack(db, store.path);
+  const TraceDatabase back = tracedb::store::unpack(store.path);
+  EXPECT_EQ(flat_bytes(back, "store_empty_after.bin"), before);
+}
+
+// --- lazy loading ------------------------------------------------------------
+
+/// A deterministic stress corpus at fleet-realistic shape: 5 ms windows keep
+/// the profile section small while the event log dominates the store.
+TraceDatabase make_soak_corpus() {
+  const auto stressor = stress::make_stressor("ocall-storm");
+  EXPECT_NE(stressor, nullptr);
+  sgxsim::Urts urts(sgxsim::CostModel::preset(sgxsim::PatchLevel::kUnpatched),
+                    sgxsim::Driver::kDefaultEpcPages);
+  TraceDatabase db;
+  stress::SoakConfig config;
+  config.stress.threads = 2;
+  config.stress.duration_ns = 20'000'000;
+  config.stress.seed = 7;
+  config.window_ns = 5'000'000;
+  (void)stress::run_soak(*stressor, urts, db, config);
+  EXPECT_GT(db.calls().size(), 500u);
+  return db;
+}
+
+TEST(TraceStore, SoakCorpusRoundTripsAndSummaryReadsUnderTenPercent) {
+  const TraceDatabase db = make_soak_corpus();
+  const std::string before = flat_bytes(db, "store_soak_before.bin");
+
+  StoreDir store("store_soak.store");
+  tracedb::store::pack(db, store.path);
+  const TraceDatabase back = tracedb::store::unpack(store.path);
+  EXPECT_EQ(flat_bytes(back, "store_soak_after.bin"), before);
+
+  // The headline acceptance pin: `sgxperf stats` on a packed store must read
+  // less than 10% of the store's bytes.  This is the stats open path itself
+  // (open_trace with the summary mask), not a reader micro-benchmark.
+  tracedb::OpenStats stats;
+  const TraceDatabase summary =
+      tracedb::open_trace(store.path, tracedb::store::kSummarySections, &stats);
+  EXPECT_TRUE(stats.store);
+  EXPECT_GT(stats.total_bytes, 0u);
+  EXPECT_LT(stats.bytes_read * 10, stats.total_bytes)
+      << stats.bytes_read << " of " << stats.total_bytes << " bytes";
+  // The event tables stayed on disk; the summary tables arrived whole.
+  EXPECT_TRUE(summary.calls().empty());
+  EXPECT_EQ(summary.latencies().size(), db.latencies().size());
+  EXPECT_EQ(summary.windows().size(), db.windows().size());
+  EXPECT_EQ(std::count(stats.sections_loaded.begin(), stats.sections_loaded.end(),
+                       std::string("events")),
+            0);
+}
+
+TEST(TraceStore, LoadEventsOverlappingSelectsOnlyMatchingChunks) {
+  const TraceDatabase db = make_fixture_db();
+  StoreDir store("store_range.store");
+  tracedb::store::pack(db, store.path, {.chunk_calls = 2});  // 10 chunks
+
+  tracedb::store::StoreReader reader(store.path);
+  TraceDatabase window = reader.load(tracedb::store::kSectionMeta);
+  // Calls start at 1000*(i+1); with chunk_calls = 2 each (ecall, ocall)
+  // pair is its own chunk spanning [base, base+900].  Selection is
+  // chunk-granular: [3000, 5000] touches exactly the chunks for bases
+  // 3000/4000/5000 — six calls of the twenty.
+  reader.load_events_overlapping(window, 3'000, 5'000);
+  ASSERT_EQ(window.calls().size(), 6u);
+  EXPECT_EQ(window.calls().front().start_ns, 3'000u);
+  EXPECT_EQ(window.calls().back().start_ns, 5'100u);  // the ocall of base 5000
+  // Every call that truly intersects the range is present.
+  for (const auto& call : db.calls()) {
+    if (call.end_ns < 3'000 || call.start_ns > 5'000) continue;
+    const auto& loaded = window.calls();
+    EXPECT_NE(std::find_if(loaded.begin(), loaded.end(),
+                           [&](const CallRecord& c) {
+                             return c.start_ns == call.start_ns && c.call_id == call.call_id;
+                           }),
+              loaded.end());
+  }
+  // Partial event reads are cheaper than the whole store.
+  EXPECT_LT(reader.io().bytes_read, reader.io().total_bytes);
+}
+
+// --- corruption --------------------------------------------------------------
+
+TEST(TraceStore, SectionCrcMismatchIsRejected) {
+  const TraceDatabase db = make_fixture_db();
+  StoreDir store("store_crc.store");
+  tracedb::store::pack(db, store.path);
+
+  const std::string profile_path = store.path + "/profile.db";
+  std::string bytes = slurp(profile_path);
+  ASSERT_GT(bytes.size(), 10u);
+  bytes[10] ^= 0x01;  // damage the payload, leave the index intact
+  spill(profile_path, bytes);
+
+  const std::string what = expect_store_error(store.path, tracedb::store::kSummarySections);
+  EXPECT_NE(what.find("section checksum mismatch"), std::string::npos) << what;
+  // The undamaged sections still load on their own — per-section checksums
+  // isolate the blast radius.
+  tracedb::store::StoreReader reader(store.path);
+  const TraceDatabase meta_only = reader.load(tracedb::store::kSectionMeta);
+  EXPECT_EQ(meta_only.enclaves().size(), 1u);
+}
+
+TEST(TraceStore, TruncatedIndexHeaderIsRejected) {
+  const TraceDatabase db = make_fixture_db();
+  StoreDir store("store_idx.store");
+  tracedb::store::pack(db, store.path);
+
+  const std::string idx_path = store.path + "/" + tracedb::store::kIndexFileName;
+  std::string bytes = slurp(idx_path);
+  bytes.resize(16);  // past the magic, short of the fixed header
+  spill(idx_path, bytes);
+
+  const std::string what = expect_store_error(store.path, tracedb::store::kAllSections);
+  EXPECT_NE(what.find("truncated index header"), std::string::npos) << what;
+}
+
+TEST(TraceStore, IndexChecksumMismatchIsRejected) {
+  const TraceDatabase db = make_fixture_db();
+  StoreDir store("store_idxcrc.store");
+  tracedb::store::pack(db, store.path);
+
+  const std::string idx_path = store.path + "/" + tracedb::store::kIndexFileName;
+  std::string bytes = slurp(idx_path);
+  bytes[bytes.size() / 2] ^= 0x40;
+  spill(idx_path, bytes);
+
+  const std::string what = expect_store_error(store.path, tracedb::store::kAllSections);
+  EXPECT_NE(what.find("index checksum mismatch"), std::string::npos) << what;
+}
+
+TEST(TraceStore, TruncatedEventChunkIsRejected) {
+  const TraceDatabase db = make_fixture_db();
+  StoreDir store("store_chunk.store");
+  tracedb::store::pack(db, store.path, {.chunk_calls = 3});
+
+  // Cut bytes out of the chunk area while keeping the footer (and its CRC)
+  // intact, then shrink the section length to match: the footer now
+  // describes chunk extents that overrun the chunk area.
+  const std::string events_path = store.path + "/events.db";
+  const std::string bytes = slurp(events_path);
+  constexpr std::size_t kCut = 16;
+  ASSERT_GT(bytes.size(), kCut + 12);
+  spill(events_path, bytes.substr(kCut));
+
+  const std::string idx_path = store.path + "/" + tracedb::store::kIndexFileName;
+  tracedb::store::StoreIndex index = tracedb::store::parse_index(slurp(idx_path));
+  for (auto& section : index.sections) {
+    if (section.id == tracedb::store::kEventsSection) section.length -= kCut;
+  }
+  spill(idx_path, tracedb::store::encode_index(index));
+
+  const std::string what = expect_store_error(store.path, tracedb::store::kAllSections);
+  EXPECT_NE(what.find("truncated event chunk"), std::string::npos) << what;
+}
+
+TEST(TraceStore, TruncatedEventSectionIsRejected) {
+  const TraceDatabase db = make_fixture_db();
+  StoreDir store("store_evtail.store");
+  tracedb::store::pack(db, store.path);
+
+  // Chopping the file tail destroys the footer-length trailer; the mapped
+  // section is then shorter than the index says.
+  const std::string events_path = store.path + "/events.db";
+  const std::string bytes = slurp(events_path);
+  spill(events_path, bytes.substr(0, bytes.size() - 8));
+
+  const std::string what = expect_store_error(store.path, tracedb::store::kAllSections);
+  EXPECT_NE(what.find("truncated section file"), std::string::npos) << what;
+}
+
+TEST(TraceStore, UnknownSectionIsSkippedForwardCompatibly) {
+  const TraceDatabase db = make_fixture_db();
+  const std::string before = flat_bytes(db, "store_fwd_before.bin");
+  StoreDir store("store_fwd.store");
+  tracedb::store::pack(db, store.path);
+
+  // A future writer adds a section this reader has never heard of.  The id
+  // is unknown, the payload is opaque — loads must succeed and ignore it.
+  const std::string extra = "bytes from the future";
+  spill(store.path + "/extra.db", extra);
+  const std::string idx_path = store.path + "/" + tracedb::store::kIndexFileName;
+  tracedb::store::StoreIndex index = tracedb::store::parse_index(slurp(idx_path));
+  tracedb::store::IndexSection future;
+  future.id = 200;
+  future.file = "extra.db";
+  future.length = extra.size();
+  future.crc = support::crc32(extra.data(), extra.size());
+  future.counts = {42};
+  index.sections.push_back(future);
+  spill(idx_path, tracedb::store::encode_index(index));
+
+  tracedb::store::StoreReader reader(store.path);
+  const TraceDatabase back = reader.load(tracedb::store::kAllSections);
+  EXPECT_EQ(flat_bytes(back, "store_fwd_after.bin"), before);
+  const auto info = reader.info();
+  ASSERT_EQ(info.sections.size(), 5u);
+  EXPECT_EQ(info.sections.back().name, "unknown");
+  EXPECT_EQ(info.sections.back().file, "extra.db");
+}
+
+TEST(TraceStore, MissingSectionFileIsRejected) {
+  const TraceDatabase db = make_fixture_db();
+  StoreDir store("store_missing.store");
+  tracedb::store::pack(db, store.path);
+  fs::remove(store.path + "/alerts.db");
+  const std::string what = expect_store_error(store.path, tracedb::store::kSummarySections);
+  EXPECT_NE(what.find("cannot open"), std::string::npos) << what;
+}
+
+// --- compaction --------------------------------------------------------------
+
+TEST(TraceStore, CompactMergesSummariesAndRebasesEventChunks) {
+  const TraceDatabase db1 = make_fixture_db();
+  const TraceDatabase db2 = make_fixture_db();
+  StoreDir in1("store_c_in1.store");
+  StoreDir in2("store_c_in2.store");
+  tracedb::store::pack(db1, in1.path, {.chunk_calls = 3});
+  tracedb::store::pack(db2, in2.path, {.chunk_calls = 3});
+
+  StoreDir out("store_c_out.store");
+  tracedb::store::compact({in1.path, in2.path}, out.path);
+  const TraceDatabase merged = tracedb::store::unpack(out.path);
+
+  // Events: concatenated in input order with parent references rebased —
+  // the second copy's rows resolve to its own ecalls, not the first's.
+  ASSERT_EQ(merged.calls().size(), db1.calls().size() + db2.calls().size());
+  const std::size_t shift = db1.calls().size();
+  for (std::size_t i = 0; i < db2.calls().size(); ++i) {
+    const auto& expected = db2.calls()[i];
+    const auto& actual = merged.calls()[shift + i];
+    EXPECT_EQ(actual.start_ns, expected.start_ns);
+    if (expected.parent >= 0) {
+      EXPECT_EQ(actual.parent, expected.parent + static_cast<tracedb::CallIndex>(shift));
+    } else {
+      EXPECT_EQ(actual.parent, tracedb::kNoParent);
+    }
+  }
+  ASSERT_EQ(merged.aexs().size(), db1.aexs().size() + db2.aexs().size());
+  EXPECT_EQ(merged.aexs().back().during_call,
+            db2.aexs().back().during_call + static_cast<tracedb::CallIndex>(shift));
+
+  // Summary: histograms summed, windows and alerts re-indexed past the first
+  // input's window table, scalar counters added, duplicate metadata deduped.
+  const auto* lat = merged.find_latency(1, CallType::kEcall, 7);
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->count, 20u);
+  EXPECT_EQ(lat->sum_ns, 18'000u);
+  ASSERT_EQ(lat->buckets.size(), 2u);
+  EXPECT_EQ(lat->buckets[0].second, 8u);
+  ASSERT_EQ(merged.windows().size(), 4u);
+  EXPECT_EQ(merged.windows()[2].window_index, 2u);
+  ASSERT_EQ(merged.alerts().size(), 2u);
+  EXPECT_EQ(merged.alerts()[1].window_index, 1u + 2u);
+  EXPECT_EQ(merged.enclaves().size(), 1u);
+  EXPECT_EQ(merged.order_rules().size(), 2u);
+  EXPECT_EQ(merged.stream_dropped(), 6u);
+  EXPECT_EQ(merged.window_period(), 1'000'000u);
+}
+
+TEST(TraceStore, CompactAcceptsFlatInputsAndNeedsAtLeastOne) {
+  const TraceDatabase db = make_fixture_db();
+  const std::string flat = temp_path("store_c_flat.bin");
+  db.save(flat);
+  StoreDir out("store_c_flatout.store");
+  tracedb::store::compact({flat}, out.path);
+  const TraceDatabase back = tracedb::store::unpack(out.path);
+  EXPECT_EQ(back.calls().size(), db.calls().size());
+  EXPECT_EQ(back.windows().size(), db.windows().size());
+  fs::remove(flat);
+
+  EXPECT_THROW(tracedb::store::compact({}, out.path), std::runtime_error);
+}
+
+// --- rewrite / generations ---------------------------------------------------
+
+TEST(TraceStore, RepackBumpsGenerationAndRemovesStaleFiles) {
+  const TraceDatabase db = make_fixture_db();
+  StoreDir store("store_gen.store");
+  tracedb::store::pack(db, store.path);
+  {
+    tracedb::store::StoreReader reader(store.path);
+    EXPECT_EQ(reader.generation(), 0u);
+  }
+  ASSERT_TRUE(fs::exists(store.path + "/meta.db"));
+
+  tracedb::store::pack(db, store.path);
+  tracedb::store::StoreReader reader(store.path);
+  EXPECT_EQ(reader.generation(), 1u);
+  // Generation-1 files replace the gen-0 names; the old ones are gone.
+  EXPECT_TRUE(fs::exists(store.path + "/meta.1.db"));
+  EXPECT_FALSE(fs::exists(store.path + "/meta.db"));
+  const std::string before = flat_bytes(db, "store_gen_before.bin");
+  EXPECT_EQ(flat_bytes(reader.load(tracedb::store::kAllSections), "store_gen_after.bin"),
+            before);
+}
+
+TEST(TraceStore, WriterCommitTwiceThrows) {
+  StoreDir store("store_twice.store");
+  tracedb::store::StoreWriter writer(store.path);
+  const TraceDatabase empty;
+  writer.commit(empty);
+  EXPECT_THROW(writer.commit(empty), std::logic_error);
+}
+
+// --- open/save dispatch (the serve checkpoint path) --------------------------
+
+TEST(TraceStore, SaveTraceAtomicWritesFlatAndStoreCheckpoints) {
+  const TraceDatabase db = make_fixture_db();
+  const std::string before = flat_bytes(db, "store_atomic_ref.bin");
+
+  // Flat checkpoint: temp + rename, no droppings next to the target.
+  const std::string flat = temp_path("store_atomic.bin");
+  tracedb::save_trace_atomic(db, flat);
+  EXPECT_EQ(slurp(flat), before);
+  EXPECT_FALSE(fs::exists(flat + ".tmp"));
+  fs::remove(flat);
+
+  // ".store" checkpoint path: the same call writes a store directory, and a
+  // second checkpoint atomically supersedes the first (the serve daemon's
+  // repeated-checkpoint shape).
+  StoreDir store("store_atomic.store");
+  tracedb::save_trace_atomic(db, store.path);
+  tracedb::save_trace_atomic(db, store.path);
+  EXPECT_TRUE(tracedb::store::is_store(store.path));
+  const TraceDatabase back = tracedb::store::unpack(store.path);
+  EXPECT_EQ(flat_bytes(back, "store_atomic_after.bin"), before);
+}
+
+}  // namespace

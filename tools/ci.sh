@@ -129,6 +129,38 @@ order_corpus() {
   echo "order check report matches golden"
 }
 
+# Store golden gate: pack the deterministic stress corpus into an SGXSTORE
+# directory.  `store info --json` must match the committed golden — section
+# lengths, row counts and CRC32s are all deterministic, so any drift is a
+# format change — the unpacked flat trace must be byte-identical to the
+# input, and `stats` on the store (which loads only the summary sections)
+# must produce valid JSON end to end.
+store_corpus() {
+  build_dir="$1"
+  store_dir="$build_dir/store-corpus"
+  rm -rf "$store_dir"
+  mkdir -p "$store_dir"
+  "$build_dir/tools/sgxperf" stress --stressor ocall-storm --threads 2 \
+    --duration 20000000 --seed 7 --out "$store_dir/corpus.bin" >/dev/null
+  "$build_dir/tools/sgxperf" store pack "$store_dir/corpus.bin" "$store_dir/corpus.store" \
+    --json > "$store_dir/info.json"
+  if ! cmp -s "$store_dir/info.json" "$root/tests/golden/store_info_corpus.json"; then
+    echo "error: store info diverged from the golden:" >&2
+    diff -u "$root/tests/golden/store_info_corpus.json" "$store_dir/info.json" >&2 || true
+    exit 1
+  fi
+  "$build_dir/tools/sgxperf" store unpack "$store_dir/corpus.store" \
+    "$store_dir/roundtrip.bin" >/dev/null
+  if ! cmp -s "$store_dir/corpus.bin" "$store_dir/roundtrip.bin"; then
+    echo "error: store pack -> unpack round trip is not byte-identical" >&2
+    exit 1
+  fi
+  "$build_dir/tools/sgxperf" stats "$store_dir/corpus.store" --json > "$store_dir/stats.json"
+  "$build_dir/tools/json_check" "$store_dir/info.json"
+  "$build_dir/tools/json_check" "$store_dir/stats.json"
+  echo "store corpus info matches golden; round trip byte-identical"
+}
+
 run_suite() {
   build_dir="$1"
   shift
@@ -139,6 +171,7 @@ run_suite() {
   stress_corpus "$build_dir"
   fleet_corpus "$build_dir"
   order_corpus "$build_dir"
+  store_corpus "$build_dir"
 }
 
 echo "=== plain build ==="
@@ -151,7 +184,7 @@ mkdir -p "$smoke_dir"
 benches="bench_transitions bench_logger_overhead bench_paging bench_switchless \
          bench_sync bench_merge bench_replay bench_analyzer bench_glamdring \
          bench_securekeeper bench_sqlite bench_talos bench_online bench_stress \
-         bench_fleet"
+         bench_fleet bench_store"
 # Snapshot the committed baselines before the smoke run refreshes them in
 # place — bench_diff compares against what was in the tree.
 baseline_dir="$smoke_dir/baseline"

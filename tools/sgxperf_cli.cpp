@@ -88,7 +88,9 @@
 #include "support/json.hpp"
 #include "support/strutil.hpp"
 #include "telemetry/chrome_trace.hpp"
+#include "tracedb/open.hpp"
 #include "tracedb/query.hpp"
+#include "tracedb/store/store.hpp"
 
 namespace {
 
@@ -146,6 +148,9 @@ struct Options {
   std::string order_subcommand;            // order: learn | check
   std::string model_path;                  // order check / monitor: declared spec file
   std::string embed_path;                  // order learn: write a rules-embedded v6 copy
+  // store flags
+  std::string store_subcommand;            // store: pack | unpack | info | compact
+  std::vector<std::string> store_args;     // store: positional paths
   perf::AnalyzerConfig config;
 };
 
@@ -183,6 +188,13 @@ void usage() {
       "           fleet [snapshot|top|alerts|series] (--query-socket PATH | --corpus)\n"
       "           [--by p99|transitions|paging] [--n N] [--out trace.bin]\n"
       "           fleet series <host> <enclave> <site> ...   (always JSON on stdout)\n"
+      "  store    multi-file SGXSTORE trace databases (lazy section loading):\n"
+      "           store pack <trace.bin> <dir.store>      split a flat trace\n"
+      "           store unpack <dir.store> <out.bin>      back to a flat v6 file\n"
+      "           store info <dir.store> [--json]         section table + row counts\n"
+      "           store compact <in...> --out <dir.store> fold stores/traces into one\n"
+      "           any command reading a trace also accepts a store directory, and\n"
+      "           summary commands (stats, metrics) then skip the event section\n"
       "  order    interface-orderliness models (learn from a baseline, check a trace):\n"
       "           order learn <trace.bin> [--out spec.txt] [--embed out.bin] [--json]\n"
       "           order check <trace.bin> [--model spec.txt] [--json]\n"
@@ -265,6 +277,11 @@ bool parse_args(int argc, char** argv, Options& opts) {
     opts.order_subcommand = argv[2];
     opts.trace_path = argv[3];
     i = 4;
+  } else if (opts.command == "store") {
+    // store <pack|unpack|info|compact> <paths...> [options]
+    if (argc < 3) return false;
+    opts.store_subcommand = argv[2];
+    i = 3;
   } else {
     if (argc < 3) return false;
     opts.trace_path = argv[2];
@@ -392,6 +409,8 @@ bool parse_args(int argc, char** argv, Options& opts) {
       opts.embed_path = next();
     } else if (!arg.empty() && arg[0] != '-' && opts.command == "fleet") {
       opts.fleet_args.push_back(arg);  // fleet series <host> <enclave> <site>
+    } else if (!arg.empty() && arg[0] != '-' && opts.command == "store") {
+      opts.store_args.push_back(arg);  // store <sub> <paths...>
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       return false;
@@ -463,7 +482,7 @@ int run_record(const Options& opts) {
 
   const auto stats = db.merge_stats();
   try {
-    db.save(opts.trace_path);
+    tracedb::save_trace(db, opts.trace_path);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
@@ -709,7 +728,7 @@ int run_monitor(const Options& opts) {
 
   if (!opts.out_path.empty()) {
     try {
-      db.save(opts.out_path);
+      tracedb::save_trace(db, opts.out_path);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "error: %s\n", e.what());
       return 1;
@@ -854,7 +873,7 @@ int run_fleet(const Options& opts) {
       tracedb::TraceDatabase db;
       agg.checkpoint(db);
       try {
-        db.save(opts.out_path);
+        tracedb::save_trace(db, opts.out_path);
       } catch (const std::exception& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;
@@ -946,7 +965,7 @@ int run_stress(const Options& opts) {
 
   if (!opts.out_path.empty()) {
     try {
-      db.save(opts.out_path);
+      tracedb::save_trace(db, opts.out_path);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "error: %s\n", e.what());
       return 1;
@@ -1044,9 +1063,9 @@ int run_order(const Options& opts, const tracedb::TraceDatabase& db) {
     }
     if (!opts.embed_path.empty()) {
       try {
-        tracedb::TraceDatabase copy = tracedb::TraceDatabase::load(opts.trace_path);
+        tracedb::TraceDatabase copy = tracedb::open_trace(opts.trace_path);
         copy.set_order_rules(rules);
-        copy.save(opts.embed_path);
+        tracedb::save_trace(copy, opts.embed_path);
       } catch (const std::exception& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;
@@ -1172,7 +1191,8 @@ int run_order(const Options& opts, const tracedb::TraceDatabase& db) {
 
 /// `sgxperf stats --json`: general statistics as a JSON document, one object
 /// per call site, so CI can assert on counts without scraping the text table.
-std::string stats_json(const perf::AnalysisReport& report, const tracedb::TraceDatabase& db) {
+std::string stats_json(const perf::AnalysisReport& report, const tracedb::TraceDatabase& db,
+                       const tracedb::OpenStats& io) {
   support::json::Writer w;
   w.begin_object();
   w.kv("schema_version", support::json::kSchemaVersion);
@@ -1301,6 +1321,19 @@ std::string stats_json(const perf::AnalysisReport& report, const tracedb::TraceD
     w.end_object();
   }
   w.end_array();
+  // I/O accounting for this open: flat files read whole; SGXSTORE inputs
+  // report how few bytes the summary sections actually cost, which is what
+  // makes the store's lazy-loading claim checkable from CI.
+  w.key("io");
+  w.begin_object();
+  w.kv("store", io.store);
+  w.kv("total_bytes", io.total_bytes);
+  w.kv("bytes_read", io.bytes_read);
+  w.key("sections_loaded");
+  w.begin_array();
+  for (const auto& s : io.sections_loaded) w.value(s);
+  w.end_array();
+  w.end_object();
   w.end_object();
   return w.take();
 }
@@ -1532,6 +1565,121 @@ int run_whatif(const Options& opts, tracedb::TraceDatabase& db) {
 
 }  // namespace
 
+/// Emits a store's section table as JSON (`store info --json` and friends).
+/// Deliberately path-free so the output is byte-stable for golden gates.
+std::string store_info_json(tracedb::store::StoreReader& reader) {
+  const auto info = reader.info();
+  support::json::Writer w;
+  w.begin_object();
+  w.kv("schema_version", support::json::kSchemaVersion);
+  w.kv("generation", info.generation);
+  w.kv("payload_version", static_cast<std::uint64_t>(info.payload_version));
+  w.kv("total_bytes", info.total_bytes);
+  w.kv("event_chunks", info.event_chunks);
+  w.key("sections");
+  w.begin_array();
+  for (const auto& s : info.sections) {
+    w.begin_object();
+    w.kv("name", s.name);
+    w.kv("file", s.file);
+    w.kv("length", s.length);
+    w.kv("crc32", static_cast<std::uint64_t>(s.crc));
+    w.key("row_counts");
+    w.begin_array();
+    for (const std::uint64_t c : s.counts) w.value(c);
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+void print_store_info(const char* dir, tracedb::store::StoreReader& reader) {
+  const auto info = reader.info();
+  std::printf("store %s: generation %llu, payload v%u, %llu bytes, %llu event chunks\n", dir,
+              static_cast<unsigned long long>(info.generation),
+              static_cast<unsigned>(info.payload_version),
+              static_cast<unsigned long long>(info.total_bytes),
+              static_cast<unsigned long long>(info.event_chunks));
+  for (const auto& s : info.sections) {
+    std::string counts;
+    for (const std::uint64_t c : s.counts) {
+      if (!counts.empty()) counts += ", ";
+      counts += std::to_string(c);
+    }
+    std::printf("  %-8s %-16s %10llu bytes  crc32 %08x  rows [%s]\n", s.name.c_str(),
+                s.file.c_str(), static_cast<unsigned long long>(s.length), s.crc,
+                counts.c_str());
+  }
+}
+
+/// `sgxperf store pack|unpack|info|compact`: convert between the flat
+/// SGXPTRC format and SGXSTORE directories, inspect section tables, and
+/// fold several stores/traces into one.
+int run_store(const Options& opts) {
+  const auto& args = opts.store_args;
+  const auto arity_error = [](const char* want) {
+    std::fprintf(stderr, "error: usage: sgxperf store %s\n", want);
+    return 2;
+  };
+  try {
+    if (opts.store_subcommand == "pack") {
+      if (args.size() != 2) return arity_error("pack <trace.bin> <dir.store>");
+      const tracedb::TraceDatabase db = tracedb::open_trace(args[0]);
+      tracedb::store::pack(db, args[1]);
+      tracedb::store::StoreReader reader(args[1]);
+      if (opts.json) {
+        std::printf("%s\n", store_info_json(reader).c_str());
+      } else {
+        std::printf("packed %s -> %s\n", args[0].c_str(), args[1].c_str());
+        print_store_info(args[1].c_str(), reader);
+      }
+      return 0;
+    }
+    if (opts.store_subcommand == "unpack") {
+      if (args.size() != 2) return arity_error("unpack <dir.store> <out.bin>");
+      const tracedb::TraceDatabase db = tracedb::store::unpack(args[0]);
+      db.save(args[1]);
+      std::printf("unpacked %s -> %s (%zu calls, %zu latency rows, %zu alerts)\n",
+                  args[0].c_str(), args[1].c_str(), db.calls().size(), db.latencies().size(),
+                  db.alerts().size());
+      return 0;
+    }
+    if (opts.store_subcommand == "info") {
+      if (args.size() != 1) return arity_error("info <dir.store> [--json]");
+      tracedb::store::StoreReader reader(args[0]);
+      if (opts.json) {
+        std::printf("%s\n", store_info_json(reader).c_str());
+      } else {
+        print_store_info(args[0].c_str(), reader);
+      }
+      return 0;
+    }
+    if (opts.store_subcommand == "compact") {
+      if (args.empty() || opts.out_path.empty()) {
+        return arity_error("compact <in...> --out <dir.store>");
+      }
+      tracedb::store::compact(args, opts.out_path);
+      tracedb::store::StoreReader reader(opts.out_path);
+      if (opts.json) {
+        std::printf("%s\n", store_info_json(reader).c_str());
+      } else {
+        std::printf("compacted %zu input%s into %s\n", args.size(),
+                    args.size() == 1 ? "" : "s", opts.out_path.c_str());
+        print_store_info(opts.out_path.c_str(), reader);
+      }
+      return 0;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  std::fprintf(stderr, "error: unknown store subcommand '%s' (pack, unpack, info, compact)\n",
+               opts.store_subcommand.c_str());
+  return 2;
+}
+
 int main(int argc, char** argv) {
   Options opts;
   if (!parse_args(argc, argv, opts)) {
@@ -1545,10 +1693,30 @@ int main(int argc, char** argv) {
   if (opts.command == "stress") return run_stress(opts);
   if (opts.command == "serve") return run_serve(opts);
   if (opts.command == "fleet") return run_fleet(opts);
+  if (opts.command == "store") return run_store(opts);
 
+  // Summary consumers declare the sections they need, so an SGXSTORE input
+  // maps only meta+profile(+alerts) and never faults in the event log; the
+  // event-reading visualisers skip the profile tables instead.  Flat files
+  // always load whole — the flat format has no addressable sections.
+  unsigned sections = tracedb::store::kAllSections;
+  if (opts.command == "stats") {
+    sections = tracedb::store::kSummarySections;
+  } else if (opts.command == "metrics") {
+    sections = tracedb::store::kSectionMeta | tracedb::store::kSectionProfile;
+  } else if (opts.command == "timeline" || opts.command == "graph" ||
+             opts.command == "flamegraph" || opts.command == "hist" ||
+             opts.command == "scatter" ||
+             (opts.command == "order" && opts.order_subcommand == "check")) {
+    // `order check` reads the embedded rule table (meta) and replays the
+    // call sequence (events); it has no use for histograms or windows.
+    sections = tracedb::store::kSectionMeta | tracedb::store::kSectionEvents;
+  }
+
+  tracedb::OpenStats open_stats;
   tracedb::TraceDatabase db = [&] {
     try {
-      return tracedb::TraceDatabase::load(opts.trace_path);
+      return tracedb::open_trace(opts.trace_path, sections, &open_stats);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "error: %s\n", e.what());
       std::exit(1);
@@ -1593,7 +1761,7 @@ int main(int argc, char** argv) {
       return 2;
     }
     try {
-      const auto after = tracedb::TraceDatabase::load(opts.csv_dir);
+      const auto after = tracedb::open_trace(opts.csv_dir);
       std::fputs(perf::render_comparison(perf::compare_traces(db, after)).c_str(), stdout);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "error: %s\n", e.what());
@@ -1675,7 +1843,7 @@ int main(int argc, char** argv) {
     // text stats table drops them — that is what `report` is for.
     if (opts.command == "stats" && !opts.json) report.findings.clear();
     if (opts.json) {
-      std::printf("%s\n", stats_json(report, db).c_str());
+      std::printf("%s\n", stats_json(report, db, open_stats).c_str());
     } else {
       std::fputs(perf::render_text(report).c_str(), stdout);
     }
