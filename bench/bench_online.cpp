@@ -7,6 +7,7 @@
 // shape that exercises every detector's hot path: Eq. 1 counting, Eq. 2
 // start/end correlation, Eq. 3 same-key gaps, windowed HDR recording) and
 // reports ns/event, events/s and what the detectors concluded.
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <vector>
@@ -93,6 +94,22 @@ int main(int argc, char** argv) {
     if (a.kind >= tracedb::AlertKind::kOutOfOrderEcall) ++order_alerts;
   }
 
+  // Third leg (E18): the conservation-ledger instrumentation cost.  The
+  // ledger adds exactly one per-event touch to the hot pipeline — the
+  // subscription's relaxed `published` increment (the record stage's
+  // produced side is derived from the existing merge accounting at zero
+  // per-event cost).  Re-running feed() and subtracting would bury a couple
+  // of ns under tens of ns of run-to-run noise, so the increment is timed
+  // directly and reported relative to the feed baseline.
+  std::atomic<std::uint64_t> published{0};
+  const auto t2 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    published.fetch_add(1, std::memory_order_relaxed);
+  }
+  const double ledger_sec =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t2).count();
+  if (published.load() != events.size()) return 1;  // keep the loop alive
+
   const double ns_per_event = sec * 1e9 / static_cast<double>(events.size());
   const double events_per_s = static_cast<double>(events.size()) / sec;
   const double checked_ns_per_event = checked_sec * 1e9 / static_cast<double>(events.size());
@@ -110,11 +127,19 @@ int main(int argc, char** argv) {
   std::printf("with order check: %.0f ns/event (%+.1f%%), %zu orderliness alerts\n",
               checked_ns_per_event, checker_overhead * 100.0, order_alerts);
 
+  const double ledger_ns_per_event = ledger_sec * 1e9 / static_cast<double>(events.size());
+  const double ledger_overhead =
+      ns_per_event == 0.0 ? 0.0 : ledger_ns_per_event / ns_per_event;
+  std::printf("ledger tax:       %.2f ns/event (+%.2f%% of feed — budget <2%%)\n",
+              ledger_ns_per_event, ledger_overhead * 100.0);
+
   json.metric("feed_ns_per_event", ns_per_event, "ns");
   json.metric("feed_events_per_s", events_per_s, "events/s");
   json.metric("windows", static_cast<double>(online.windows().size()), "windows");
   json.metric("alerts", static_cast<double>(online.alerts().size()), "alerts");
   json.metric("feed_checked_ns_per_event", checked_ns_per_event, "ns");
   json.metric("order_alerts", static_cast<double>(order_alerts), "alerts");
+  json.metric("ledger_ns_per_event", ledger_ns_per_event, "ns");
+  json.metric("ledger_overhead_pct", ledger_overhead * 100.0, "%");
   return json.write() ? 0 : 1;
 }

@@ -55,8 +55,12 @@ void Aggregator::ingest(ProducerId id, const char* data, std::size_t size) {
   p.parser.push(data, size);
   while (auto frame = p.parser.next()) {
     p.state.frames += 1;
+    frames_seen_ += 1;
     apply(p, *frame);
-    if (!p.state.error.empty()) return;
+    if (!p.state.error.empty()) {
+      frames_rejected_ += 1;  // the frame that tripped the quarantine
+      return;
+    }
   }
   if (p.parser.error()) p.state.error = p.parser.error_message();
 }
@@ -300,6 +304,10 @@ std::string Aggregator::snapshot_json_locked() const {
     w.kv("ended", p->ended);
     w.kv("clean", p->clean);
     w.kv("lossy", p->lossy());
+    w.key("drop_reasons");
+    w.begin_array();
+    for (const auto& reason : p->drop_reasons()) w.value(reason);
+    w.end_array();
     if (!p->error.empty()) w.kv("error", p->error);
     w.kv("frames", p->frames);
     w.kv("windows", p->windows);
@@ -484,11 +492,123 @@ std::string Aggregator::series_json(const std::string& host, const std::string& 
   return w.take();
 }
 
+void Aggregator::fill_ledger_locked(telemetry::Ledger& led) const {
+  auto& ingest = led.stage("fleet_ingest", "frames");
+  ingest.produced += frames_seen_;
+  ingest.delivered += frames_seen_ - frames_rejected_;
+  ingest.add_drop("quarantined", frames_rejected_);
+  for (const auto& [id, p] : producers_) {
+    // Quarantined streams have unparsed bytes behind the poisoned frame;
+    // mid-stream deaths lost an unknowable tail.  Neither loss has a size,
+    // so both are indeterminate — a conservation failure by definition.
+    if (!p.state.error.empty() || (p.state.ended && !p.state.clean)) {
+      ingest.indeterminate += 1;
+    }
+  }
+}
+
+void Aggregator::fill_ledger(telemetry::Ledger& led) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  fill_ledger_locked(led);
+}
+
+std::string Aggregator::status_json(const ServeSelfStats* self) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  support::json::Writer w;
+  w.begin_object();
+  w.kv("schema_version", support::json::kSchemaVersion);
+  w.kv("window_ns", window_ns_);
+
+  std::uint64_t ended = 0;
+  std::uint64_t clean = 0;
+  std::uint64_t lossy = 0;
+  std::uint64_t quarantined = 0;
+  std::uint64_t deaths = 0;
+  std::uint64_t fleet_high_water = 0;
+  for (const auto& [id, p] : producers_) {
+    ended += p.state.ended ? 1 : 0;
+    clean += p.state.clean ? 1 : 0;
+    lossy += p.state.lossy() ? 1 : 0;
+    quarantined += p.state.error.empty() ? 0 : 1;
+    deaths += (p.state.ended && !p.state.clean) ? 1 : 0;
+    fleet_high_water = std::max(fleet_high_water, p.last_window_end);
+  }
+  w.key("producers");
+  w.begin_object();
+  w.kv("total", static_cast<std::uint64_t>(producers_.size()));
+  w.kv("streaming", static_cast<std::uint64_t>(producers_.size()) - ended);
+  w.kv("ended", ended);
+  w.kv("clean", clean);
+  w.kv("lossy", lossy);
+  w.kv("quarantined", quarantined);
+  w.kv("mid_stream_death", deaths);
+  w.end_object();
+
+  // Ingest lag: how far each producer's last merged window trails the
+  // fleet's virtual-time high-water mark (in windows when the period is
+  // known).  Sorted by identity + content like the snapshot, so the block
+  // is a pure function of the ingested frame set.
+  struct LagRow {
+    const ProducerState* state;
+    std::uint64_t last_end;
+  };
+  std::vector<LagRow> lag_rows;
+  for (const auto& [id, p] : producers_) lag_rows.push_back({&p.state, p.last_window_end});
+  std::stable_sort(lag_rows.begin(), lag_rows.end(), [](const LagRow& a, const LagRow& b) {
+    const auto key = [](const LagRow& r) {
+      return std::tie(r.state->host, r.state->enclave, r.last_end, r.state->frames,
+                      r.state->windows, r.state->events, r.state->end_ns);
+    };
+    return key(a) < key(b);
+  });
+  w.key("lag");
+  w.begin_array();
+  for (const auto& row : lag_rows) {
+    const std::uint64_t lag_ns = fleet_high_water - row.last_end;
+    w.begin_object();
+    w.kv("host", row.state->host);
+    w.kv("enclave", row.state->enclave);
+    w.kv("last_window_end_ns", row.last_end);
+    w.kv("lag_ns", lag_ns);
+    w.kv("backlog_windows", window_ns_ > 0 ? lag_ns / window_ns_ : 0);
+    w.kv("windows", row.state->windows);
+    w.end_object();
+  }
+  w.end_array();
+
+  telemetry::Ledger led;
+  fill_ledger_locked(led);
+  w.key("ledger");
+  led.write_json(w);
+  w.kv("conservation_ok", led.audit().ok);
+
+  if (self != nullptr) {
+    w.key("daemon");
+    w.begin_object();
+    w.kv("uptime_ms", self->uptime_ms);
+    w.kv("bytes_ingested", self->bytes_ingested);
+    w.kv("producers_connected", self->producers_connected);
+    w.kv("producers_served", self->producers_served);
+    w.kv("ingest_frames_per_sec", self->ingest_frames_per_sec);
+    w.kv("queries_answered", self->queries_answered);
+    w.kv("query_p50_us", self->query_p50_us);
+    w.kv("query_p99_us", self->query_p99_us);
+    w.kv("query_max_us", self->query_max_us);
+    w.kv("checkpoints", self->checkpoints);
+    w.kv("checkpoint_last_ms", self->checkpoint_last_ms);
+    w.kv("checkpoint_total_ms", self->checkpoint_total_ms);
+    w.end_object();
+  }
+  w.end_object();
+  return w.take();
+}
+
 std::string Aggregator::query(const std::string& line) const {
   const auto tokens = tokenize(line);
   if (tokens.empty()) return error_json("empty query");
   if (tokens[0] == "snapshot") return snapshot_json();
   if (tokens[0] == "alerts") return alerts_json();
+  if (tokens[0] == "status") return status_json();
   if (tokens[0] == "top") {
     const std::string by = tokens.size() > 1 ? tokens[1] : "p99";
     std::size_t n = 10;

@@ -40,6 +40,7 @@
 
 #include "fleet/wire.hpp"
 #include "telemetry/hdr_histogram.hpp"
+#include "telemetry/ledger.hpp"
 #include "tracedb/database.hpp"
 
 namespace fleet {
@@ -143,6 +144,39 @@ struct ProducerState {
   [[nodiscard]] bool lossy() const noexcept {
     return stream_dropped > 0 || sealed_dropped > 0 || !error.empty() || (ended && !clean);
   }
+
+  /// The reasons behind lossy(), individually: "ring_overflow" (subscriber
+  /// ring drops), "sealed_shard" (post-seal record drops), "quarantined"
+  /// (framing/geometry violation) and "mid_stream_death" (stream ended
+  /// without a bye frame).  Deterministic order; empty when healthy.
+  [[nodiscard]] std::vector<std::string> drop_reasons() const {
+    std::vector<std::string> out;
+    if (stream_dropped > 0) out.push_back("ring_overflow");
+    if (sealed_dropped > 0) out.push_back("sealed_shard");
+    if (!error.empty()) out.push_back("quarantined");
+    if (ended && !clean) out.push_back("mid_stream_death");
+    return out;
+  }
+};
+
+/// Daemon self-telemetry sampled by fleet::Server and embedded in the
+/// `status` query response.  Every field is wall-clock derived and therefore
+/// non-deterministic; callers that need byte-stable output (the corpus mode,
+/// Aggregator::query) pass nullptr and get a status document without the
+/// "daemon" block.
+struct ServeSelfStats {
+  std::uint64_t uptime_ms = 0;
+  std::uint64_t bytes_ingested = 0;
+  std::uint64_t producers_connected = 0;  // open ingest connections right now
+  std::uint64_t producers_served = 0;     // lifetime accepts
+  std::uint64_t queries_answered = 0;
+  double ingest_frames_per_sec = 0.0;  // lifetime average over uptime
+  std::uint64_t query_p50_us = 0;      // query-latency HDR percentiles
+  std::uint64_t query_p99_us = 0;
+  std::uint64_t query_max_us = 0;
+  std::uint64_t checkpoints = 0;
+  std::uint64_t checkpoint_last_ms = 0;
+  std::uint64_t checkpoint_total_ms = 0;
 };
 
 using ProducerId = std::uint64_t;
@@ -185,8 +219,22 @@ class Aggregator {
                                         const std::string& site) const;
 
   /// Answers one query-protocol line ("snapshot", "top <by> <n>", "alerts",
-  /// "series <host> <enclave> <site>"); unknown queries get a JSON error.
+  /// "series <host> <enclave> <site>", "status"); unknown queries get a
+  /// JSON error.  ("status" here carries no daemon block — fleet::Server
+  /// intercepts the query to supply its ServeSelfStats.)
   [[nodiscard]] std::string query(const std::string& line) const;
+
+  /// Health + conservation view: producer summary (with per-reason loss
+  /// counts), per-producer ingest lag against the fleet's window high-water
+  /// mark, the fleet ledger, and — when `self` is non-null — the daemon's
+  /// self-telemetry.  Deterministic whenever `self` is null.
+  [[nodiscard]] std::string status_json(const ServeSelfStats* self = nullptr) const;
+
+  /// Appends the "fleet_ingest" stage (unit: frames; drop reason
+  /// "quarantined"; producers dead mid-stream or quarantined count as
+  /// indeterminate — their event loss has no knowable size, which is
+  /// precisely what must fail a conservation audit).
+  void fill_ledger(telemetry::Ledger& led) const;
 
   /// Cumulative p99 of one site key (tests compare against single-process
   /// WindowedHdr values).  nullopt if the key is unknown.
@@ -217,6 +265,7 @@ class Aggregator {
 
   [[nodiscard]] std::vector<TopRow> top_locked(const std::string& by, std::size_t n) const;
   [[nodiscard]] std::string snapshot_json_locked() const;
+  void fill_ledger_locked(telemetry::Ledger& led) const;
 
   AggregatorConfig config_;
   mutable std::mutex mu_;
@@ -229,6 +278,8 @@ class Aggregator {
   std::map<SiteKey, SiteSeries> sites_;
   std::map<std::pair<SiteKey, tracedb::AlertKind>, AlertState> alerts_;
 
+  std::uint64_t frames_seen_ = 0;      // frames parsed across all producers
+  std::uint64_t frames_rejected_ = 0;  // parsed but rejected (quarantine)
   std::uint64_t windows_merged_ = 0;
   std::uint64_t alerts_raised_ = 0;
   std::uint64_t alerts_resolved_ = 0;

@@ -1,5 +1,6 @@
 #include "fleet/server.hpp"
 
+#include "telemetry/prometheus.hpp"
 #include "tracedb/open.hpp"
 
 #include <algorithm>
@@ -149,23 +150,139 @@ bool Server::drain_response(Connection& conn) {
 }
 
 void Server::maybe_checkpoint(bool force) {
-  if (config_.checkpoint_path.empty()) return;
+  if (config_.checkpoint_path.empty() && config_.prom_out_path.empty()) return;
   const std::uint64_t merged = agg_.windows_merged();
   if (!force) {
     if (config_.checkpoint_every_windows == 0) return;
     if (merged - last_checkpoint_windows_ < config_.checkpoint_every_windows) return;
   }
   last_checkpoint_windows_ = merged;
-  tracedb::TraceDatabase db;
-  agg_.checkpoint(db);
-  try {
-    // Atomic commit (temp + rename for flat files, the store writer's own
-    // protocol for ".store" paths): a dashboard opening the checkpoint — or
-    // a restart after a crash mid-write — never sees a half-written trace.
-    tracedb::save_trace_atomic(db, config_.checkpoint_path);
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "fleet: checkpoint failed: %s\n", e.what());
+  if (!config_.checkpoint_path.empty()) {
+    const auto t0 = std::chrono::steady_clock::now();
+    tracedb::TraceDatabase db;
+    agg_.checkpoint(db);
+    try {
+      // Atomic commit (temp + rename for flat files, the store writer's own
+      // protocol for ".store" paths): a dashboard opening the checkpoint — or
+      // a restart after a crash mid-write — never sees a half-written trace.
+      tracedb::save_trace_atomic(db, config_.checkpoint_path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "fleet: checkpoint failed: %s\n", e.what());
+    }
+    const auto ms = static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::milliseconds>(
+                                                   std::chrono::steady_clock::now() - t0)
+                                                   .count());
+    checkpoints_.fetch_add(1, std::memory_order_relaxed);
+    checkpoint_last_ms_.store(ms, std::memory_order_relaxed);
+    checkpoint_total_ms_.fetch_add(ms, std::memory_order_relaxed);
   }
+  write_prom_out();
+}
+
+ServeSelfStats Server::self_stats() const {
+  ServeSelfStats s;
+  const auto now = std::chrono::steady_clock::now();
+  s.uptime_ms = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(now - started_).count());
+  s.bytes_ingested = bytes_ingested_.load(std::memory_order_relaxed);
+  for (const auto& conn : conns_) {
+    if (conn.fd >= 0 && !conn.is_query) s.producers_connected += 1;
+  }
+  s.producers_served = producers_served_;
+  s.queries_answered = queries_answered_.load(std::memory_order_relaxed);
+  const auto lat = query_latency_us_.snapshot();
+  s.query_p50_us = lat.value_at_percentile(50.0);
+  s.query_p99_us = lat.value_at_percentile(99.0);
+  s.query_max_us = lat.max_value();
+  s.checkpoints = checkpoints_.load(std::memory_order_relaxed);
+  s.checkpoint_last_ms = checkpoint_last_ms_.load(std::memory_order_relaxed);
+  s.checkpoint_total_ms = checkpoint_total_ms_.load(std::memory_order_relaxed);
+  // Lifetime average; the fleet ledger carries the exact frame totals.
+  telemetry::Ledger led;
+  agg_.fill_ledger(led);
+  const telemetry::LedgerStage* ingest = led.find("fleet_ingest");
+  if (ingest != nullptr && s.uptime_ms > 0) {
+    s.ingest_frames_per_sec =
+        static_cast<double>(ingest->produced) * 1000.0 / static_cast<double>(s.uptime_ms);
+  }
+  return s;
+}
+
+std::string Server::answer_query(const std::string& request) {
+  const auto t0 = std::chrono::steady_clock::now();
+  std::string response;
+  // "status" (with optional trailing whitespace) is the daemon's own query:
+  // the aggregator supplies producers/lag/ledger, the server the self block.
+  std::string verb = request;
+  while (!verb.empty() && (verb.back() == ' ' || verb.back() == '\t' || verb.back() == '\r')) {
+    verb.pop_back();
+  }
+  if (verb == "status") {
+    const ServeSelfStats self = self_stats();
+    response = agg_.status_json(&self);
+  } else {
+    response = agg_.query(request);
+  }
+  queries_answered_.fetch_add(1, std::memory_order_relaxed);
+  query_latency_us_.record(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(std::chrono::steady_clock::now() - t0)
+          .count()));
+  return response;
+}
+
+void Server::write_prom_out() {
+  if (config_.prom_out_path.empty()) return;
+  telemetry::Ledger led;
+  agg_.fill_ledger(led);
+  std::vector<telemetry::MetricSnapshotRow> rows;
+  telemetry::append_ledger_rows(led, rows);
+  const ServeSelfStats self = self_stats();
+  const auto counter = [&rows](const char* name, double v) {
+    rows.push_back({name, "", telemetry::MetricKind::kCounter, v});
+  };
+  const auto gauge = [&rows](const char* name, double v) {
+    rows.push_back({name, "", telemetry::MetricKind::kGauge, v});
+  };
+  gauge("serve.uptime_ms", static_cast<double>(self.uptime_ms));
+  counter("serve.bytes_ingested", static_cast<double>(self.bytes_ingested));
+  gauge("serve.producers_connected", static_cast<double>(self.producers_connected));
+  counter("serve.producers_served", static_cast<double>(self.producers_served));
+  counter("serve.queries_answered", static_cast<double>(self.queries_answered));
+  gauge("serve.ingest_frames_per_sec", self.ingest_frames_per_sec);
+  gauge("serve.query_p50_us", static_cast<double>(self.query_p50_us));
+  gauge("serve.query_p99_us", static_cast<double>(self.query_p99_us));
+  gauge("serve.query_max_us", static_cast<double>(self.query_max_us));
+  counter("serve.checkpoints", static_cast<double>(self.checkpoints));
+  gauge("serve.checkpoint_last_ms", static_cast<double>(self.checkpoint_last_ms));
+  counter("serve.checkpoint_total_ms", static_cast<double>(self.checkpoint_total_ms));
+  const std::string text = telemetry::render_prometheus(rows);
+
+  // Temp + rename: a scraper reading the path never sees a torn snapshot.
+  const std::string tmp = config_.prom_out_path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "fleet: cannot write %s: %s\n", tmp.c_str(), std::strerror(errno));
+    return;
+  }
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  std::fclose(f);
+  if (!ok || std::rename(tmp.c_str(), config_.prom_out_path.c_str()) != 0) {
+    std::fprintf(stderr, "fleet: prom-out write failed: %s\n", std::strerror(errno));
+    std::remove(tmp.c_str());
+  }
+}
+
+void Server::maybe_self_stat() {
+  if (config_.self_stat_interval_ms == 0) return;
+  const auto now = std::chrono::steady_clock::now();
+  if (next_self_stat_.time_since_epoch().count() == 0) {
+    next_self_stat_ = now + std::chrono::milliseconds(config_.self_stat_interval_ms);
+    return;
+  }
+  if (now < next_self_stat_) return;
+  next_self_stat_ = now + std::chrono::milliseconds(config_.self_stat_interval_ms);
+  const ServeSelfStats self = self_stats();
+  std::fprintf(stderr, "%s\n", agg_.status_json(&self).c_str());
 }
 
 std::uint64_t Server::run() {
@@ -238,7 +355,7 @@ std::uint64_t Server::run() {
         if (conn.is_query && !conn.request.empty()) {
           // Client half-closed without a newline: treat the buffer as the
           // full request; the response drains via POLLOUT.
-          conn.response = agg_.query(conn.request) + "\n";
+          conn.response = answer_query(conn.request) + "\n";
           conn.last_progress = Clock::now();
           if (drain_response(conn)) close_connection(conn);
           continue;
@@ -251,11 +368,12 @@ std::uint64_t Server::run() {
         const auto eol = conn.request.find('\n');
         if (eol != std::string::npos) {
           conn.request.resize(eol);
-          conn.response = agg_.query(conn.request) + "\n";
+          conn.response = answer_query(conn.request) + "\n";
           conn.last_progress = Clock::now();
           if (drain_response(conn)) close_connection(conn);
         }
       } else {
+        bytes_ingested_.fetch_add(static_cast<std::uint64_t>(n), std::memory_order_relaxed);
         agg_.ingest(conn.producer, buf, static_cast<std::size_t>(n));
         maybe_checkpoint(/*force=*/false);
       }
@@ -271,6 +389,7 @@ std::uint64_t Server::run() {
                                 [](const Connection& c) { return c.fd < 0; }),
                  conns_.end());
 
+    maybe_self_stat();
     if (config_.idle_exit_ms > 0 && conns_.empty()) {
       const auto idle =
           std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() - last_activity);

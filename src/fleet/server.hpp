@@ -7,8 +7,12 @@
 //             one connection == one producer stream.  EOF without a bye
 //             frame marks the producer lossy, its partial data stays merged.
 //   query   — request/response: the client sends one text line ("snapshot",
-//             "top <by> <n>", "alerts", "series <host> <enclave> <site>"),
-//             the server replies with one JSON document and closes.
+//             "top <by> <n>", "alerts", "series <host> <enclave> <site>",
+//             "status"), the server replies with one JSON document and
+//             closes.  "status" is answered by the server itself so the
+//             response carries daemon self-telemetry (uptime, ingest rate,
+//             query-latency HDR, checkpoint durations) on top of the
+//             aggregator's producer-lag and conservation-ledger view.
 //
 // Single-threaded poll(2) loop — the aggregator's mutex makes concurrent
 // checkpoint/query access from other threads safe, but the socket plumbing
@@ -41,6 +45,14 @@ struct ServerConfig {
   /// Exit run() after this long with no connected producer and no pending
   /// byte (0 = run until stop()).  Tests and one-shot pipelines use this.
   std::uint64_t idle_exit_ms = 0;
+  /// Write a Prometheus text snapshot (fleet ledger + daemon self-metrics)
+  /// to this path at checkpoint cadence and shutdown (empty = off).  Written
+  /// atomically (temp + rename) so a scraper never sees a torn file.
+  std::string prom_out_path;
+  /// Emit a one-line self-stat JSON document (the `status` payload) to
+  /// stderr every this many milliseconds (0 = off).  Diagnostics only —
+  /// wall-clock derived, never golden-tested.
+  std::uint64_t self_stat_interval_ms = 0;
 };
 
 class Server {
@@ -64,6 +76,11 @@ class Server {
 
   [[nodiscard]] Aggregator& aggregator() noexcept { return agg_; }
 
+  /// Point-in-time self-telemetry (uptime, ingest totals, query-latency
+  /// HDR, checkpoint durations) — what the `status` query's "daemon" block
+  /// carries.  Callable from any thread.
+  [[nodiscard]] ServeSelfStats self_stats() const;
+
  private:
   struct Connection {
     int fd = -1;
@@ -80,6 +97,11 @@ class Server {
   void close_connection(Connection& conn);
   bool drain_response(Connection& conn);
   void maybe_checkpoint(bool force);
+  /// Computes one query response, timing it into the latency HDR and
+  /// intercepting "status" to attach the daemon block.
+  [[nodiscard]] std::string answer_query(const std::string& request);
+  void write_prom_out();
+  void maybe_self_stat();
 
   ServerConfig config_;
   Aggregator agg_;
@@ -90,6 +112,16 @@ class Server {
   std::vector<Connection> conns_;
   std::uint64_t producers_served_ = 0;
   std::uint64_t last_checkpoint_windows_ = 0;
+
+  // --- self-telemetry (DESIGN.md §13) ---------------------------------------
+  std::chrono::steady_clock::time_point started_ = std::chrono::steady_clock::now();
+  std::chrono::steady_clock::time_point next_self_stat_{};
+  std::atomic<std::uint64_t> bytes_ingested_{0};
+  std::atomic<std::uint64_t> queries_answered_{0};
+  std::atomic<std::uint64_t> checkpoints_{0};
+  std::atomic<std::uint64_t> checkpoint_last_ms_{0};
+  std::atomic<std::uint64_t> checkpoint_total_ms_{0};
+  telemetry::HdrHistogram query_latency_us_;
 };
 
 /// Connects to a serve query socket, sends one request line and returns the

@@ -276,12 +276,26 @@ void encode(std::string& out, const ByeFrame& f) {
 // --- FrameSink --------------------------------------------------------------
 
 std::shared_ptr<FrameSink> FrameSink::to_string(std::string& out) {
-  return std::make_shared<FrameSink>(
-      [&out](const char* data, std::size_t size) { out.append(data, size); });
+  return std::make_shared<FrameSink>([&out](const char* data, std::size_t size) {
+    out.append(data, size);
+    return true;
+  });
 }
 
 void FrameSink::emit(const std::string& bytes) {
-  if (write_) write_(bytes.data(), bytes.size());
+  frames_produced_ += 1;
+  if (write_ && write_(bytes.data(), bytes.size())) {
+    frames_delivered_ += 1;
+  } else {
+    frames_dropped_ += 1;
+  }
+}
+
+void FrameSink::fill_ledger(telemetry::Ledger& led) const {
+  auto& wire = led.stage("fleet_wire", "frames");
+  wire.produced += frames_produced_;
+  wire.delivered += frames_delivered_;
+  wire.add_drop("consumer_gone", frames_dropped_);
 }
 
 void FrameSink::on_session_start(const perf::SessionInfo& info) {

@@ -126,7 +126,10 @@ void encode(std::string& out, const ByeFrame& f);
 /// on_session_start, then window/alert/stats frames, then bye on finish.
 class FrameSink : public perf::MonitorSink {
  public:
-  using WriteFn = std::function<void(const char* data, std::size_t size)>;
+  /// Returns true when the bytes were handed to the transport; false when
+  /// the consumer is gone (daemon died, pipe closed).  The sink counts the
+  /// outcome per frame — the ledger's fleet_wire stage.
+  using WriteFn = std::function<bool(const char* data, std::size_t size)>;
 
   explicit FrameSink(WriteFn write) : write_(std::move(write)) {}
 
@@ -141,10 +144,21 @@ class FrameSink : public perf::MonitorSink {
   void on_stats(const perf::SessionStats& stats) override;
   void on_finish(std::uint64_t end_ns) override;
 
+  [[nodiscard]] std::uint64_t frames_produced() const noexcept { return frames_produced_; }
+  [[nodiscard]] std::uint64_t frames_delivered() const noexcept { return frames_delivered_; }
+  [[nodiscard]] std::uint64_t frames_dropped() const noexcept { return frames_dropped_; }
+
+  /// Appends the "fleet_wire" stage (unit: frames, drop reason
+  /// "consumer_gone") to `led`.  Monitoring-thread-only, like the sink.
+  void fill_ledger(telemetry::Ledger& led) const;
+
  private:
   void emit(const std::string& bytes);
 
   WriteFn write_;
+  std::uint64_t frames_produced_ = 0;
+  std::uint64_t frames_delivered_ = 0;
+  std::uint64_t frames_dropped_ = 0;
 };
 
 // --- decoding ---------------------------------------------------------------

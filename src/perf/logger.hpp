@@ -97,6 +97,17 @@ class Logger {
   /// Events dropped across all streaming subscriptions so far.
   [[nodiscard]] std::uint64_t stream_dropped() const { return stream_.total_dropped(); }
 
+  /// Events this logger's shards accepted or rejected (call starts, traced
+  /// AEXs, paging, syncs), derived from the merge accounting — valid once
+  /// detach() has merged the shards, at zero per-event cost.  This is the
+  /// "produced" side of the ledger's record stage: with a fresh database it
+  /// must equal db events + merge_stats().dropped, so the audit genuinely
+  /// cross-checks the merge bookkeeping against the stitched tables.
+  [[nodiscard]] std::uint64_t events_produced() const noexcept {
+    const auto& m = db_.merge_stats();
+    return m.calls + m.aexs + m.paging + m.syncs + m.dropped;
+  }
+
   /// Cumulative latency snapshot for one call site (empty if none
   /// recorded).  Safe while recording is in flight — snapshots are
   /// racy-by-design point-in-time views.

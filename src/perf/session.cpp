@@ -108,6 +108,7 @@ std::size_t MonitorSession::poll() {
     batch_.clear();
     if (sub_->poll(batch_) == 0) break;
     total += batch_.size();
+    polled_ += batch_.size();
     if (!batch_.empty()) {
       last_event_ns_ = std::max(last_event_ns_, batch_.back().end_ns);
     }
@@ -154,6 +155,36 @@ void MonitorSession::finish() {
 }
 
 void MonitorSession::persist() { online_.persist(logger_.database()); }
+
+void MonitorSession::fill_ledger(telemetry::Ledger& led) const {
+  const auto& db = logger_.database();
+  const std::uint64_t db_events =
+      db.calls().size() + db.aexs().size() + db.paging().size() + db.syncs().size();
+
+  auto& record = led.stage("record");
+  record.produced += logger_.events_produced();
+  record.delivered += db_events;
+  record.add_drop("sealed_shard", db.merge_stats().dropped);
+
+  auto& stream = led.stage("stream");
+  if (sub_ != nullptr) {
+    stream.produced += sub_->published();
+    stream.delivered += sub_->delivered();
+    stream.add_drop("ring_overflow", sub_->dropped());
+  } else {
+    stream.add_drop("ring_overflow", 0);
+  }
+
+  auto& session = led.stage("session");
+  session.produced += polled_;
+  session.delivered += online_.events_seen();
+}
+
+telemetry::Ledger MonitorSession::ledger() const {
+  telemetry::Ledger led;
+  fill_ledger(led);
+  return led;
+}
 
 SessionStats MonitorSession::stats() const {
   SessionStats s;

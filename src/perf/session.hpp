@@ -38,6 +38,7 @@
 
 #include "perf/logger.hpp"
 #include "perf/online.hpp"
+#include "telemetry/ledger.hpp"
 
 namespace sgxsim {
 class Urts;
@@ -198,6 +199,17 @@ class MonitorSession {
   void persist();
 
   [[nodiscard]] SessionStats stats() const;
+
+  /// Appends this session's conservation stages (record, stream, session)
+  /// to `led` — see telemetry/ledger.hpp and DESIGN.md §13.  Exact once the
+  /// logger has been detached (shards merged) and finish() has drained the
+  /// ring; before that the record stage lags the unmerged shards.  Adjacent
+  /// stages intentionally count different populations (lifecycle events
+  /// enter the stream but not the event tables; calls publish on
+  /// completion), so conservation is checked per stage, not across stages.
+  void fill_ledger(telemetry::Ledger& led) const;
+  [[nodiscard]] telemetry::Ledger ledger() const;
+
   [[nodiscard]] const SessionIdentity& identity() const noexcept { return config_.identity; }
   [[nodiscard]] const OnlineAnalyzer& analyzer() const noexcept { return online_; }
   [[nodiscard]] std::uint64_t end_ns() const noexcept { return end_ns_; }
@@ -214,6 +226,7 @@ class MonitorSession {
   std::shared_ptr<StreamSubscription> sub_;
   std::vector<std::shared_ptr<MonitorSink>> sinks_;
   std::vector<StreamEvent> batch_;
+  std::uint64_t polled_ = 0;  // events drained from the ring (monitoring thread)
   std::uint64_t last_event_ns_ = 0;
   std::uint64_t end_ns_ = 0;
   std::uint64_t raised_ = 0;

@@ -59,6 +59,7 @@ bool StreamSubscription::try_pop(StreamEvent& ev) noexcept {
 }
 
 void StreamSubscription::publish(const StreamEvent& ev) noexcept {
+  published_.fetch_add(1, std::memory_order_relaxed);
   if (try_push(ev)) return;
   dropped_.fetch_add(1, std::memory_order_relaxed);
   drop_metric_->add();

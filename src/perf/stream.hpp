@@ -113,6 +113,12 @@ class StreamSubscription {
   [[nodiscard]] std::uint64_t delivered() const noexcept {
     return delivered_.load(std::memory_order_relaxed);
   }
+  /// Events offered to this subscription (enqueued + dropped) — the
+  /// "produced" side of the ledger's stream stage.  Once the ring is
+  /// drained, published() == delivered() + dropped().
+  [[nodiscard]] std::uint64_t published() const noexcept {
+    return published_.load(std::memory_order_relaxed);
+  }
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
   [[nodiscard]] std::size_t capacity() const noexcept { return mask_ + 1; }
 
@@ -135,6 +141,7 @@ class StreamSubscription {
   alignas(64) std::atomic<bool> active_{true};
   std::atomic<std::uint64_t> dropped_{0};
   std::atomic<std::uint64_t> delivered_{0};
+  std::atomic<std::uint64_t> published_{0};
   /// Registry counter "logger.stream.<name>.dropped" — resolved once at
   /// construction so drops are a relaxed add, like every other hot-path
   /// metric.  Never null.

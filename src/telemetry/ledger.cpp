@@ -1,0 +1,263 @@
+#include "telemetry/ledger.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <stdexcept>
+
+#include "tracedb/database.hpp"
+#include "tracedb/store/store.hpp"
+
+namespace telemetry {
+
+void LedgerStage::add_drop(std::string_view reason, std::uint64_t count) {
+  for (auto& d : drops) {
+    if (d.reason == reason) {
+      d.count += count;
+      return;
+    }
+  }
+  drops.push_back({std::string(reason), count});
+}
+
+std::uint64_t LedgerStage::dropped_total() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& d : drops) total += d.count;
+  return total;
+}
+
+std::int64_t LedgerStage::leak() const noexcept {
+  return static_cast<std::int64_t>(produced) - static_cast<std::int64_t>(delivered) -
+         static_cast<std::int64_t>(dropped_total());
+}
+
+LedgerStage& Ledger::stage(std::string_view name, std::string_view unit) {
+  for (auto& s : stages_) {
+    if (s.name == name) return s;
+  }
+  LedgerStage s;
+  s.name = std::string(name);
+  s.unit = std::string(unit);
+  stages_.push_back(std::move(s));
+  return stages_.back();
+}
+
+const LedgerStage* Ledger::find(std::string_view name) const noexcept {
+  for (const auto& s : stages_) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+LedgerAudit Ledger::audit() const {
+  LedgerAudit out;
+  for (const auto& s : stages_) {
+    out.total_dropped += s.dropped_total();
+    const std::int64_t leak = s.leak();
+    if (leak == 0 && s.indeterminate == 0) continue;
+    out.stages_failed += 1;
+    if (out.ok) {
+      out.ok = false;
+      out.first_leak_stage = s.name;
+      out.first_leak = leak;
+      out.first_indeterminate = s.indeterminate;
+    }
+  }
+  return out;
+}
+
+void Ledger::write_json(support::json::Writer& w) const {
+  const LedgerAudit a = audit();
+  w.begin_object();
+  w.key("stages").begin_array();
+  for (const auto& s : stages_) {
+    w.begin_object();
+    w.kv("stage", s.name);
+    w.kv("unit", s.unit);
+    w.kv("produced", s.produced);
+    w.kv("delivered", s.delivered);
+    w.key("drops").begin_array();
+    for (const auto& d : s.drops) {
+      w.begin_object();
+      w.kv("reason", d.reason);
+      w.kv("count", d.count);
+      w.end_object();
+    }
+    w.end_array();
+    w.kv("dropped", s.dropped_total());
+    w.kv("indeterminate", s.indeterminate);
+    w.kv("leak", s.leak());
+    w.end_object();
+  }
+  w.end_array();
+  w.kv("conservation_ok", a.ok);
+  w.kv("first_leak_stage", a.first_leak_stage);
+  w.kv("first_leak", a.first_leak);
+  w.kv("stages_failed", a.stages_failed);
+  w.kv("total_dropped", a.total_dropped);
+  w.end_object();
+}
+
+std::string Ledger::render_table() const {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-14s %-7s %12s %12s %10s %6s %5s  %s\n", "stage", "unit",
+                "produced", "delivered", "dropped", "indet", "leak", "drop reasons");
+  out += line;
+  for (const auto& s : stages_) {
+    std::string reasons;
+    for (const auto& d : s.drops) {
+      if (d.count == 0) continue;
+      if (!reasons.empty()) reasons += ", ";
+      reasons += d.reason;
+      char n[32];
+      std::snprintf(n, sizeof(n), "=%" PRIu64, d.count);
+      reasons += n;
+    }
+    if (reasons.empty()) reasons = "-";
+    std::snprintf(line, sizeof(line), "%-14s %-7s %12" PRIu64 " %12" PRIu64 " %10" PRIu64
+                  " %6" PRIu64 " %5" PRId64 "  %s\n",
+                  s.name.c_str(), s.unit.c_str(), s.produced, s.delivered, s.dropped_total(),
+                  s.indeterminate, s.leak(), reasons.c_str());
+    out += line;
+  }
+  const LedgerAudit a = audit();
+  if (a.ok) {
+    out += "conservation: ok";
+  } else {
+    std::snprintf(line, sizeof(line), "conservation: FAILED at stage %s (leak=%" PRId64
+                  ", indeterminate=%" PRIu64 ", %" PRIu64 " stage(s) failing)",
+                  a.first_leak_stage.c_str(), a.first_leak, a.first_indeterminate,
+                  a.stages_failed);
+    out += line;
+  }
+  char tail[64];
+  std::snprintf(tail, sizeof(tail), ", attributed drops=%" PRIu64 "\n", a.total_dropped);
+  out += tail;
+  return out;
+}
+
+namespace {
+
+std::uint64_t db_event_count(const tracedb::TraceDatabase& db) {
+  return db.calls().size() + db.aexs().size() + db.paging().size() + db.syncs().size();
+}
+
+/// Record + stream stages from persisted loss counters around a known event
+/// total.  Shared by the flat-trace and store builders.
+void fill_persisted_stages(Ledger& led, std::uint64_t events, std::uint64_t sealed_dropped,
+                           std::uint64_t stream_dropped) {
+  auto& record = led.stage("record");
+  record.produced = events + sealed_dropped;
+  record.delivered = events;
+  record.add_drop("sealed_shard", sealed_dropped);
+
+  auto& stream = led.stage("stream");
+  stream.produced = events;
+  if (stream_dropped > events) {
+    // A stream that claims to have dropped more than the trace holds is
+    // itself inconsistent; surface that as unattributable.
+    stream.delivered = 0;
+    stream.add_drop("ring_overflow", stream_dropped);
+    stream.indeterminate = stream_dropped - events;
+    stream.produced = stream_dropped;
+  } else {
+    stream.delivered = events - stream_dropped;
+    stream.add_drop("ring_overflow", stream_dropped);
+  }
+}
+
+}  // namespace
+
+Ledger ledger_from_database(const tracedb::TraceDatabase& db) {
+  Ledger led;
+  fill_persisted_stages(led, db_event_count(db), db.dropped_events(), db.stream_dropped());
+  return led;
+}
+
+Ledger ledger_from_store(const std::string& dir) {
+  tracedb::store::StoreReader reader(dir);
+  const tracedb::store::StoreInfo info = reader.info();
+
+  // Index events-section counts: [chunks, calls, aexs, paging, syncs].
+  std::uint64_t index_chunks = 0;
+  std::uint64_t index_events = 0;
+  bool have_events = false;
+  for (const auto& s : info.sections) {
+    if (s.name != "events" || s.counts.size() < 5) continue;
+    have_events = true;
+    index_chunks = s.counts[0];
+    index_events = s.counts[1] + s.counts[2] + s.counts[3] + s.counts[4];
+  }
+
+  const tracedb::TraceDatabase summary = reader.load(tracedb::store::kSummarySections);
+
+  Ledger led;
+  fill_persisted_stages(led, index_events, summary.dropped_events(), summary.stream_dropped());
+
+  // The genuine on-disk cross-check: what the index claims the events
+  // section holds versus what the chunk directory rows actually sum to.
+  auto& store = led.stage("store");
+  store.produced = index_events;
+  if (have_events) {
+    std::uint64_t chunk_events = 0;
+    const auto& chunks = reader.chunk_directory();
+    for (const auto& c : chunks) {
+      chunk_events += static_cast<std::uint64_t>(c.n_calls) + c.n_aexs + c.n_paging + c.n_syncs;
+    }
+    store.delivered = chunk_events;
+    if (index_chunks != chunks.size()) {
+      store.indeterminate +=
+          index_chunks > chunks.size() ? index_chunks - chunks.size() : chunks.size() - index_chunks;
+    }
+  }
+  return led;
+}
+
+namespace {
+
+std::uint64_t num_field(const support::json::Value& obj, std::string_view key) {
+  const support::json::Value* v = obj.find(key);
+  if (v == nullptr || !v->is_number()) {
+    throw std::runtime_error("ledger json: missing numeric field '" + std::string(key) + "'");
+  }
+  if (v->number < 0) return 0;
+  return static_cast<std::uint64_t>(v->number);
+}
+
+}  // namespace
+
+Ledger ledger_from_json(const support::json::Value& v) {
+  if (!v.is_object()) throw std::runtime_error("ledger json: not an object");
+  const support::json::Value* stages = v.find("stages");
+  if (stages == nullptr || !stages->is_array()) {
+    throw std::runtime_error("ledger json: missing 'stages' array");
+  }
+  Ledger led;
+  for (const auto& sv : stages->array) {
+    if (!sv.is_object()) throw std::runtime_error("ledger json: stage is not an object");
+    const support::json::Value* name = sv.find("stage");
+    const support::json::Value* unit = sv.find("unit");
+    if (name == nullptr || !name->is_string()) {
+      throw std::runtime_error("ledger json: stage without a name");
+    }
+    LedgerStage& s =
+        led.stage(name->string, unit != nullptr && unit->is_string() ? unit->string : "events");
+    s.produced = num_field(sv, "produced");
+    s.delivered = num_field(sv, "delivered");
+    s.indeterminate = num_field(sv, "indeterminate");
+    const support::json::Value* drops = sv.find("drops");
+    if (drops != nullptr && drops->is_array()) {
+      for (const auto& dv : drops->array) {
+        const support::json::Value* reason = dv.find("reason");
+        if (reason == nullptr || !reason->is_string()) {
+          throw std::runtime_error("ledger json: drop without a reason");
+        }
+        s.add_drop(reason->string, num_field(dv, "count"));
+      }
+    }
+  }
+  return led;
+}
+
+}  // namespace telemetry

@@ -1,0 +1,124 @@
+// Event-conservation ledger: the self-observability spine of the pipeline.
+//
+// Every stage an event crosses on its way from the logger to a dashboard —
+// shard → merge → subscriber ring → MonitorSession → fleet wire → Aggregator
+// → checkpoint/store — can drop work, and before this layer those losses
+// lived in five unrelated counters with no cross-check.  The ledger gives
+// each stage a row of produced / delivered / dropped{reason} counters and an
+// audit() that verifies the conservation invariant
+//
+//     produced == delivered + Σ drops        (per stage)
+//
+// reporting the first stage that leaks.  A stage may also record
+// `indeterminate` incidents — losses whose *size* cannot be known (a fleet
+// producer that died mid-stream, a quarantined byte stream) — which fail the
+// audit outright: unattributable loss is exactly what the ledger exists to
+// reject.
+//
+// Stage rows are built three ways: live (Logger / StreamSubscription /
+// MonitorSession / fleet::FrameSink / fleet::Aggregator expose fill_ledger or
+// raw counters), from persisted artifacts (ledger_from_database,
+// ledger_from_store), and over the wire (ledger_from_json round-trips the
+// serve daemon's `status` query so `sgxperf doctor` can audit a remote
+// daemon client-side).  See DESIGN.md §13.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/json.hpp"
+
+namespace tracedb {
+class TraceDatabase;
+}
+
+namespace telemetry {
+
+/// One attributed drop bucket within a stage.
+struct LedgerDrop {
+  std::string reason;
+  std::uint64_t count = 0;
+};
+
+/// One pipeline stage's conservation row.
+struct LedgerStage {
+  std::string name;
+  std::string unit = "events";  // what this stage counts: "events" or "frames"
+  std::uint64_t produced = 0;
+  std::uint64_t delivered = 0;
+  std::vector<LedgerDrop> drops;
+  /// Incidents of unquantifiable loss (producer death mid-stream, poisoned
+  /// parse).  Any non-zero value fails the audit: the whole point is that
+  /// loss must be *attributed*, and these by construction cannot be.
+  std::uint64_t indeterminate = 0;
+
+  /// Adds `count` to the bucket for `reason`, creating it if absent.  Zero
+  /// counts are recorded too so emitted schemas stay shape-stable.
+  void add_drop(std::string_view reason, std::uint64_t count);
+
+  [[nodiscard]] std::uint64_t dropped_total() const noexcept;
+  /// produced - delivered - Σdrops; non-zero means this stage leaks.
+  [[nodiscard]] std::int64_t leak() const noexcept;
+};
+
+/// Result of auditing a ledger stage-by-stage.
+struct LedgerAudit {
+  bool ok = true;
+  std::string first_leak_stage;  // empty when ok
+  std::int64_t first_leak = 0;   // signed leak at that stage (0 if indeterminate)
+  std::uint64_t first_indeterminate = 0;
+  std::uint64_t stages_failed = 0;
+  std::uint64_t total_dropped = 0;  // attributed drops across all stages
+};
+
+/// Ordered collection of stages.  Stage order is insertion order and is
+/// pipeline order by convention; emitters preserve it so JSON output is
+/// deterministic and golden-testable.
+class Ledger {
+ public:
+  /// Returns the stage named `name`, creating it (with `unit`) on first use.
+  LedgerStage& stage(std::string_view name, std::string_view unit = "events");
+
+  [[nodiscard]] const std::vector<LedgerStage>& stages() const noexcept { return stages_; }
+  [[nodiscard]] const LedgerStage* find(std::string_view name) const noexcept;
+  [[nodiscard]] bool empty() const noexcept { return stages_.empty(); }
+
+  /// Walks stages in order; fails on the first stage with leak() != 0 or
+  /// indeterminate > 0.  Counts every failing stage and all attributed drops.
+  [[nodiscard]] LedgerAudit audit() const;
+
+  /// Writes `{"stages":[...],"conservation_ok":...,"first_leak_stage":...,
+  /// "total_dropped":...}` as an object value (caller supplies surrounding
+  /// document and schema_version).  Byte-deterministic.
+  void write_json(support::json::Writer& w) const;
+
+  /// Human-readable per-stage loss table (fixed-width columns, one trailing
+  /// newline).  Deterministic.
+  [[nodiscard]] std::string render_table() const;
+
+ private:
+  std::vector<LedgerStage> stages_;
+};
+
+/// Reconstructs record/stream stages from a flat trace's persisted loss
+/// counters (dropped_events, stream_dropped).  Rows derived this way are
+/// conserved by construction — the value is the attributed-loss table and
+/// threshold gating, not leak detection; genuine cross-checks come from the
+/// live, store and fleet builders.
+[[nodiscard]] Ledger ledger_from_database(const tracedb::TraceDatabase& db);
+
+/// Audits a .store directory: record/stream stages from the summary
+/// sections' counters plus a genuine "store" stage checking the index
+/// events-section totals against the chunk-directory row sums (and the
+/// chunk count itself).  Throws on structural defects (bad CRC, missing
+/// sections) like StoreReader does.
+[[nodiscard]] Ledger ledger_from_store(const std::string& dir);
+
+/// Inverse of write_json: rebuilds a ledger from the object it emitted (or
+/// any object embedding a compatible "stages" array).  Throws
+/// std::runtime_error on shape violations.
+[[nodiscard]] Ledger ledger_from_json(const support::json::Value& v);
+
+}  // namespace telemetry

@@ -1,0 +1,122 @@
+#include "telemetry/prometheus.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <unordered_map>
+
+#include "telemetry/ledger.hpp"
+#include "tracedb/database.hpp"
+
+namespace telemetry {
+namespace {
+
+bool prom_char(char c, bool first) {
+  const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' || c == ':';
+  if (first) return alpha;
+  return alpha || (c >= '0' && c <= '9');
+}
+
+/// Deterministic sample-value formatting: integers exactly, everything else
+/// with 12 significant digits (matching support::json::Writer).
+std::string format_value(double v) {
+  char buf[64];
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 9.0e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.12g", v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string prom_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    if (prom_char(c, out.empty())) {
+      out.push_back(c);
+    } else if (!out.empty() && c >= '0' && c <= '9') {
+      out.push_back(c);
+    } else if (out.empty() && c >= '0' && c <= '9') {
+      out.push_back('_');
+      out.push_back(c);
+    } else {
+      out.push_back('_');
+    }
+  }
+  if (out.empty()) out = "_";
+  return out;
+}
+
+void append_ledger_rows(const Ledger& ledger, std::vector<MetricSnapshotRow>& rows) {
+  for (const auto& s : ledger.stages()) {
+    const std::string base = "ledger." + s.name;
+    rows.push_back({base + ".produced", s.unit, MetricKind::kCounter,
+                    static_cast<double>(s.produced)});
+    rows.push_back({base + ".delivered", s.unit, MetricKind::kCounter,
+                    static_cast<double>(s.delivered)});
+    rows.push_back({base + ".dropped", s.unit, MetricKind::kCounter,
+                    static_cast<double>(s.dropped_total())});
+    for (const auto& d : s.drops) {
+      rows.push_back({base + ".dropped." + d.reason, s.unit, MetricKind::kCounter,
+                      static_cast<double>(d.count)});
+    }
+    rows.push_back({base + ".indeterminate", s.unit, MetricKind::kCounter,
+                    static_cast<double>(s.indeterminate)});
+  }
+  rows.push_back({"ledger.conservation_ok", "", MetricKind::kGauge,
+                  ledger.audit().ok ? 1.0 : 0.0});
+}
+
+std::string render_prometheus(const std::vector<MetricSnapshotRow>& rows,
+                              std::string_view prefix) {
+  std::string out;
+  for (const auto& r : rows) {
+    const std::string name = std::string(prefix) + prom_name(r.name);
+    out += "# TYPE ";
+    out += name;
+    out += r.kind == MetricKind::kGauge ? " gauge\n" : " counter\n";
+    out += name;
+    out += ' ';
+    out += format_value(r.value);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string render_prometheus(const tracedb::TraceDatabase& db) {
+  std::vector<MetricSnapshotRow> rows;
+  const auto counter = [&rows](std::string name, double v) {
+    rows.push_back({std::move(name), "", MetricKind::kCounter, v});
+  };
+  counter("trace.calls", static_cast<double>(db.calls().size()));
+  counter("trace.aexs", static_cast<double>(db.aexs().size()));
+  counter("trace.paging", static_cast<double>(db.paging().size()));
+  counter("trace.syncs", static_cast<double>(db.syncs().size()));
+  counter("trace.enclaves", static_cast<double>(db.enclaves().size()));
+  counter("trace.windows", static_cast<double>(db.windows().size()));
+  counter("trace.alerts", static_cast<double>(db.alerts().size()));
+  counter("trace.dropped_events", static_cast<double>(db.dropped_events()));
+  counter("trace.stream_dropped", static_cast<double>(db.stream_dropped()));
+
+  // Last sample per persisted metric series, in series-table order.
+  std::unordered_map<std::uint64_t, double> last;
+  for (const auto& sample : db.metric_samples()) {
+    last[sample.series_id] = sample.value;
+  }
+  for (const auto& series : db.metric_series()) {
+    const auto it = last.find(series.series_id);
+    if (it == last.end()) continue;
+    rows.push_back({series.name, series.unit,
+                    series.kind == tracedb::MetricKind::kGauge ? MetricKind::kGauge
+                                                               : MetricKind::kCounter,
+                    it->second});
+  }
+
+  append_ledger_rows(ledger_from_database(db), rows);
+  return render_prometheus(rows);
+}
+
+}  // namespace telemetry

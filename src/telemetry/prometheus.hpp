@@ -1,0 +1,49 @@
+// Prometheus text-format exporter (exposition format 0.0.4).
+//
+// Fleet deployments already scrape Prometheus; this renders both the
+// enclave-side metrics (registry snapshots, persisted trace metric series)
+// and the tool's own self-metrics (ledger conservation rows, serve-daemon
+// ingest/query counters) as `# TYPE` + sample lines so one scrape covers
+// the workload and the profiler watching it.  Surfaced as
+// `sgxperf metrics --prom <trace>` and `sgxperf serve --prom-out <file>`.
+//
+// Output is byte-deterministic for a given input: names are emitted in the
+// order supplied, values with the same integer/12-significant-digit rule the
+// JSON writer uses.  Histogram snapshot rows (`.count`/`.sum`/`.le_*`) are
+// exported as individual counters, not native prom histograms — consumers
+// get exact bucket counts without this exporter guessing at label schemes.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+
+namespace tracedb {
+class TraceDatabase;
+}
+
+namespace telemetry {
+
+class Ledger;
+
+/// Maps an internal metric name ("logger.stream.monitor.dropped") onto the
+/// Prometheus name charset ([a-zA-Z_:][a-zA-Z0-9_:]*): every other byte
+/// becomes '_', and a leading digit gets a '_' prefix.
+[[nodiscard]] std::string prom_name(std::string_view name);
+
+/// Appends one row per ledger-stage counter (produced / delivered / dropped
+/// total and per-reason / indeterminate) plus a `conservation_ok` gauge.
+void append_ledger_rows(const Ledger& ledger, std::vector<MetricSnapshotRow>& rows);
+
+/// Renders rows as Prometheus text.  Each row becomes a `# TYPE` line and a
+/// sample line named `<prefix><sanitized name>`.
+[[nodiscard]] std::string render_prometheus(const std::vector<MetricSnapshotRow>& rows,
+                                            std::string_view prefix = "sgxperf_");
+
+/// Trace/store exporter: event-table totals, loss counters, the last sample
+/// of every persisted metric series, and the trace's reconstructed ledger.
+[[nodiscard]] std::string render_prometheus(const tracedb::TraceDatabase& db);
+
+}  // namespace telemetry

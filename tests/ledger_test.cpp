@@ -1,0 +1,315 @@
+// telemetry::Ledger — the event-conservation audit (DESIGN.md §13).
+//
+// Pins the observability contract end-to-end: stage accounting and the
+// audit's leak/indeterminate semantics, JSON round-trip through the same
+// document shape the `status` query emits, conservation across a live
+// embedded MonitorSession (including a forced overload that must attribute
+// every lost event to the subscriber-ring stage and nothing else), the
+// on-disk store cross-check, and the fleet ingest stage's treatment of
+// truncated producer streams (unquantifiable loss must FAIL the audit).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "fleet/aggregator.hpp"
+#include "fleet/corpus.hpp"
+#include "perf/logger.hpp"
+#include "perf/session.hpp"
+#include "sgxsim/runtime.hpp"
+#include "stress/stressor.hpp"
+#include "support/json.hpp"
+#include "telemetry/ledger.hpp"
+#include "telemetry/prometheus.hpp"
+#include "tracedb/database.hpp"
+#include "tracedb/store/store.hpp"
+
+namespace {
+
+using telemetry::Ledger;
+using telemetry::LedgerStage;
+
+TEST(LedgerStageTest, DropBucketsMergeByReason) {
+  LedgerStage stage;
+  stage.add_drop("ring_overflow", 3);
+  stage.add_drop("sealed_shard", 0);  // zero counts keep the schema shape-stable
+  stage.add_drop("ring_overflow", 2);
+  ASSERT_EQ(stage.drops.size(), 2u);
+  EXPECT_EQ(stage.drops[0].reason, "ring_overflow");
+  EXPECT_EQ(stage.drops[0].count, 5u);
+  EXPECT_EQ(stage.drops[1].count, 0u);
+  EXPECT_EQ(stage.dropped_total(), 5u);
+}
+
+TEST(LedgerStageTest, LeakIsSignedProducedMinusDeliveredMinusDrops) {
+  LedgerStage stage;
+  stage.produced = 10;
+  stage.delivered = 7;
+  stage.add_drop("x", 2);
+  EXPECT_EQ(stage.leak(), 1);  // one event unaccounted for
+  stage.delivered = 9;
+  EXPECT_EQ(stage.leak(), -1);  // delivered more than produced: also a leak
+}
+
+TEST(LedgerAuditTest, ConservedStagesPass) {
+  Ledger led;
+  auto& a = led.stage("record");
+  a.produced = 100;
+  a.delivered = 98;
+  a.add_drop("sealed_shard", 2);
+  auto& b = led.stage("stream");
+  b.produced = 98;
+  b.delivered = 98;
+  const auto audit = led.audit();
+  EXPECT_TRUE(audit.ok);
+  EXPECT_TRUE(audit.first_leak_stage.empty());
+  EXPECT_EQ(audit.stages_failed, 0u);
+  EXPECT_EQ(audit.total_dropped, 2u);
+}
+
+TEST(LedgerAuditTest, FirstLeakingStageIsNamed) {
+  Ledger led;
+  led.stage("record").produced = 5;
+  led.stage("record").delivered = 5;
+  auto& leaky = led.stage("stream");
+  leaky.produced = 5;
+  leaky.delivered = 3;  // two events vanish with no drop bucket
+  auto& also = led.stage("session");
+  also.produced = 3;
+  also.delivered = 1;
+  const auto audit = led.audit();
+  EXPECT_FALSE(audit.ok);
+  EXPECT_EQ(audit.first_leak_stage, "stream");
+  EXPECT_EQ(audit.first_leak, 2);
+  EXPECT_EQ(audit.stages_failed, 2u);
+}
+
+TEST(LedgerAuditTest, IndeterminateLossFailsEvenWhenCountersBalance) {
+  Ledger led;
+  auto& stage = led.stage("fleet_ingest", "frames");
+  stage.produced = 10;
+  stage.delivered = 10;
+  stage.indeterminate = 1;  // a producer died mid-stream: loss of unknown size
+  const auto audit = led.audit();
+  EXPECT_FALSE(audit.ok);
+  EXPECT_EQ(audit.first_leak_stage, "fleet_ingest");
+  EXPECT_EQ(audit.first_leak, 0);
+  EXPECT_EQ(audit.first_indeterminate, 1u);
+}
+
+TEST(LedgerJsonTest, RoundTripsThroughStatusDocumentShape) {
+  Ledger led;
+  auto& record = led.stage("record");
+  record.produced = 42;
+  record.delivered = 40;
+  record.add_drop("sealed_shard", 2);
+  auto& wire = led.stage("fleet_wire", "frames");
+  wire.produced = 7;
+  wire.delivered = 6;
+  wire.add_drop("consumer_gone", 1);
+  wire.indeterminate = 3;
+
+  support::json::Writer w;
+  w.begin_object();
+  w.key("ledger");
+  led.write_json(w);
+  w.end_object();
+  const auto doc = support::json::parse(w.take());
+  const auto* embedded = doc.find("ledger");
+  ASSERT_NE(embedded, nullptr);
+
+  const Ledger back = telemetry::ledger_from_json(*embedded);
+  ASSERT_EQ(back.stages().size(), 2u);
+  EXPECT_EQ(back.stages()[0].name, "record");
+  EXPECT_EQ(back.stages()[0].produced, 42u);
+  EXPECT_EQ(back.stages()[0].dropped_total(), 2u);
+  EXPECT_EQ(back.stages()[1].unit, "frames");
+  EXPECT_EQ(back.stages()[1].indeterminate, 3u);
+  // The audits agree in full.
+  EXPECT_EQ(back.audit().ok, led.audit().ok);
+  EXPECT_EQ(back.audit().total_dropped, led.audit().total_dropped);
+}
+
+TEST(LedgerJsonTest, MalformedStagesThrow) {
+  const auto doc = support::json::parse(R"({"stages":[{"stage":"x"}]})");
+  EXPECT_THROW((void)telemetry::ledger_from_json(doc), std::runtime_error);
+}
+
+TEST(LedgerPrometheusTest, ExportsStageCountersAndConservationGauge) {
+  Ledger led;
+  auto& stage = led.stage("stream");
+  stage.produced = 9;
+  stage.delivered = 8;
+  stage.add_drop("ring_overflow", 1);
+  std::vector<telemetry::MetricSnapshotRow> rows;
+  telemetry::append_ledger_rows(led, rows);
+  const std::string text = telemetry::render_prometheus(rows);
+  EXPECT_NE(text.find("sgxperf_ledger_stream_produced 9\n"), std::string::npos);
+  EXPECT_NE(text.find("sgxperf_ledger_stream_dropped_ring_overflow 1\n"), std::string::npos);
+  EXPECT_NE(text.find("sgxperf_ledger_conservation_ok 1\n"), std::string::npos);
+}
+
+// --- live session conservation ----------------------------------------------
+
+struct EmbeddedRun {
+  tracedb::TraceDatabase db;
+  Ledger ledger;
+  perf::SessionStats stats;
+};
+
+/// One lockstep stressor under an embedded MonitorSession, polled only after
+/// the workload finishes — with a tiny ring that alone forces overload.
+EmbeddedRun run_embedded(const std::string& stressor_name, std::size_t capacity,
+                         std::uint64_t duration_ns) {
+  EmbeddedRun out;
+  const auto stressor = stress::make_stressor(stressor_name);
+  if (stressor == nullptr) throw std::runtime_error("unknown stressor");
+
+  sgxsim::Urts urts;
+  perf::Logger logger(out.db);
+  logger.attach(urts);
+
+  perf::MonitorSessionConfig config;
+  config.identity = {"ledger-test", stressor_name};
+  config.subscription_capacity = capacity;
+  config.online.window_ns = 1'000'000;
+  perf::MonitorSession session(logger, urts, config);
+  if (!session.ok()) throw std::runtime_error("no subscriber slot");
+
+  stress::StressConfig scfg;
+  scfg.threads = 2;
+  scfg.duration_ns = duration_ns;
+  scfg.seed = 7;
+  scfg.lockstep = true;
+  stress::run_stressor(*stressor, urts, scfg);
+
+  session.poll();
+  logger.detach();
+  session.finish();
+  out.ledger = session.ledger();
+  out.stats = session.stats();
+  return out;
+}
+
+TEST(LedgerSessionTest, QuiescedRunConservesEveryStage) {
+  const auto run = run_embedded("ocall-storm", 1 << 18, 20'000'000);
+  const auto audit = run.ledger.audit();
+  EXPECT_TRUE(audit.ok) << run.ledger.render_table();
+  EXPECT_EQ(audit.total_dropped, 0u);
+  const auto* record = run.ledger.find("record");
+  ASSERT_NE(record, nullptr);
+  EXPECT_GT(record->produced, 0u);
+  EXPECT_EQ(record->produced, record->delivered);
+}
+
+// The forced-overload satellite: with an 8-slot ring and no polling during
+// an ocall storm, nearly every event must drop — and every single loss must
+// be attributed to exactly the subscriber-ring stage.  The audit still
+// passes: overload is *accounted* loss, not a leak.
+TEST(LedgerSessionTest, ForcedOverloadAttributesAllLossToTheRingStage) {
+  const auto run = run_embedded("ocall-storm", 8, 20'000'000);
+
+  const auto* stream = run.ledger.find("stream");
+  ASSERT_NE(stream, nullptr);
+  EXPECT_GT(stream->dropped_total(), 0u) << "an 8-slot ring cannot hold an ocall storm";
+  ASSERT_EQ(stream->drops.size(), 1u);
+  EXPECT_EQ(stream->drops[0].reason, "ring_overflow");
+  EXPECT_EQ(stream->drops[0].count, run.stats.stream_dropped);
+  EXPECT_EQ(stream->leak(), 0);
+
+  // Every other stage is drop-free and leak-free: no unattributed loss.
+  for (const auto& stage : run.ledger.stages()) {
+    if (stage.name == "stream") continue;
+    EXPECT_EQ(stage.dropped_total(), 0u) << stage.name;
+    EXPECT_EQ(stage.leak(), 0) << stage.name;
+    EXPECT_EQ(stage.indeterminate, 0u) << stage.name;
+  }
+  EXPECT_TRUE(run.ledger.audit().ok) << run.ledger.render_table();
+}
+
+// --- persisted builders -----------------------------------------------------
+
+TEST(LedgerBuilderTest, DatabaseBuilderMatchesPersistedCounters) {
+  const auto run = run_embedded("cpu", 1 << 18, 10'000'000);
+  const Ledger led = telemetry::ledger_from_database(run.db);
+  EXPECT_TRUE(led.audit().ok);
+  const auto* record = led.find("record");
+  ASSERT_NE(record, nullptr);
+  const std::uint64_t db_events = run.db.calls().size() + run.db.aexs().size() +
+                                  run.db.paging().size() + run.db.syncs().size();
+  EXPECT_EQ(record->delivered, db_events);
+}
+
+TEST(LedgerBuilderTest, StoreBuilderCrossChecksTheChunkDirectory) {
+  const auto run = run_embedded("cpu", 1 << 18, 10'000'000);
+  const std::string dir = testing::TempDir() + "/ledger_test.store";
+  tracedb::store::pack(run.db, dir);
+  const Ledger led = telemetry::ledger_from_store(dir);
+  EXPECT_TRUE(led.audit().ok) << led.render_table();
+  const auto* store = led.find("store");
+  ASSERT_NE(store, nullptr);
+  EXPECT_GT(store->produced, 0u);
+  EXPECT_EQ(store->produced, store->delivered);
+}
+
+// --- fleet ingest stage -----------------------------------------------------
+
+/// The corpus's storm producer, rendered once to a wire byte stream.
+const std::string& storm_stream() {
+  static const std::string bytes = [] {
+    fleet::CorpusConfig config;
+    config.producers.push_back({"host-t", "storm", "ocall-storm", 2, 20'000'000, 7, 0});
+    return fleet::run_corpus_producer(config.producers[0], config);
+  }();
+  return bytes;
+}
+
+TEST(LedgerFleetTest, CleanStreamPassesTheIngestAudit) {
+  fleet::Aggregator agg;
+  const auto id = agg.connect();
+  agg.ingest(id, storm_stream());
+  agg.disconnect(id);
+  Ledger led;
+  agg.fill_ledger(led);
+  const auto* ingest = led.find("fleet_ingest");
+  ASSERT_NE(ingest, nullptr);
+  EXPECT_GT(ingest->produced, 0u);
+  EXPECT_TRUE(led.audit().ok) << led.render_table();
+}
+
+TEST(LedgerFleetTest, TruncatedStreamFailsTheAuditAtFleetIngest) {
+  fleet::Aggregator agg;
+  const auto id = agg.connect();
+  // Cut the stream mid-way: the bye frame never arrives, so the producer's
+  // remaining loss has no knowable size — exactly what must fail the audit.
+  agg.ingest(id, storm_stream().substr(0, storm_stream().size() / 2));
+  agg.disconnect(id);
+  Ledger led;
+  agg.fill_ledger(led);
+  const auto audit = led.audit();
+  EXPECT_FALSE(audit.ok);
+  EXPECT_EQ(audit.first_leak_stage, "fleet_ingest");
+  const auto* ingest = led.find("fleet_ingest");
+  ASSERT_NE(ingest, nullptr);
+  EXPECT_GT(ingest->indeterminate, 0u);
+}
+
+TEST(LedgerFleetTest, StatusJsonCarriesAParsableLedger) {
+  fleet::Aggregator agg;
+  const auto id = agg.connect();
+  agg.ingest(id, storm_stream());
+  agg.disconnect(id);
+  const auto doc = support::json::parse(agg.status_json());
+  const auto* producers = doc.find("producers");
+  ASSERT_NE(producers, nullptr);
+  const auto* ledger = doc.find("ledger");
+  ASSERT_NE(ledger, nullptr);
+  const Ledger led = telemetry::ledger_from_json(*ledger);
+  EXPECT_TRUE(led.audit().ok);
+  ASSERT_FALSE(led.stages().empty());
+  EXPECT_EQ(led.stages()[0].name, "fleet_ingest");
+  EXPECT_EQ(led.stages()[0].unit, "frames");
+}
+
+}  // namespace

@@ -33,6 +33,11 @@
 # sanitizer legs too, so the whole producer->merge->query path is proven
 # race-free and exact.
 #
+# Every build also runs the doctor golden gate: the event-conservation audit
+# over the stress corpus (trace + packed-store modes) and a live demo run
+# must pass byte-stably, and the status / Prometheus emitters must validate
+# (json_check, json_check --prom).
+#
 # After the bench smoke run, bench_diff compares the refreshed BENCH_*.json
 # against the committed baselines (advisory: wall-clock metrics vary with
 # machine load, so drift is reported but does not fail the build).
@@ -161,6 +166,40 @@ store_corpus() {
   echo "store corpus info matches golden; round trip byte-identical"
 }
 
+# Doctor golden gate: the event-conservation audit (`sgxperf doctor`) over
+# the deterministic stress corpus must be byte-stable and pass (exit 0) in
+# trace mode, pass on the packed store (whose audit genuinely cross-checks
+# the chunk directory against the index), and pass over a live demo run.
+# The status and Prometheus emitters are validated alongside: `fleet status
+# --corpus` must be valid schema_version'd JSON, `metrics --prom` must be
+# valid Prometheus text exposition (json_check --prom).
+doctor_corpus() {
+  build_dir="$1"
+  doc_dir="$build_dir/doctor-corpus"
+  rm -rf "$doc_dir"
+  mkdir -p "$doc_dir"
+  "$build_dir/tools/sgxperf" stress --stressor ocall-storm --threads 2 \
+    --duration 20000000 --seed 7 --out "$doc_dir/corpus.bin" >/dev/null
+  "$build_dir/tools/sgxperf" doctor "$doc_dir/corpus.bin" --json > "$doc_dir/doctor.json"
+  if ! cmp -s "$doc_dir/doctor.json" "$root/tests/golden/doctor_stress_corpus.json"; then
+    echo "error: doctor report diverged from the golden:" >&2
+    diff -u "$root/tests/golden/doctor_stress_corpus.json" "$doc_dir/doctor.json" >&2 || true
+    exit 1
+  fi
+  "$build_dir/tools/json_check" "$doc_dir/doctor.json"
+  "$build_dir/tools/sgxperf" store pack "$doc_dir/corpus.bin" "$doc_dir/corpus.store" >/dev/null
+  "$build_dir/tools/sgxperf" doctor "$doc_dir/corpus.store" --json > "$doc_dir/doctor_store.json"
+  "$build_dir/tools/json_check" "$doc_dir/doctor_store.json"
+  "$build_dir/tools/sgxperf" doctor --workload demo --threads 1 --calls 60 --json \
+    > "$doc_dir/doctor_live.json"
+  "$build_dir/tools/json_check" "$doc_dir/doctor_live.json"
+  "$build_dir/tools/sgxperf" fleet status --corpus > "$doc_dir/status.json"
+  "$build_dir/tools/json_check" "$doc_dir/status.json"
+  "$build_dir/tools/sgxperf" metrics "$doc_dir/corpus.bin" --prom > "$doc_dir/metrics.prom"
+  "$build_dir/tools/json_check" --prom "$doc_dir/metrics.prom"
+  echo "doctor report matches golden; status/prom emitters valid"
+}
+
 run_suite() {
   build_dir="$1"
   shift
@@ -172,6 +211,7 @@ run_suite() {
   fleet_corpus "$build_dir"
   order_corpus "$build_dir"
   store_corpus "$build_dir"
+  doctor_corpus "$build_dir"
 }
 
 echo "=== plain build ==="

@@ -9,12 +9,20 @@
 // consumers dispatch on it, so an emitter that forgets the stamp fails CI
 // here rather than surprising a parser later.
 //
-//   json_check FILE...     validate each file; first failure wins
-//   json_check -           validate stdin
+//   json_check FILE...        validate each file; first failure wins
+//   json_check -              validate stdin
+//   json_check --prom FILE... validate Prometheus text-exposition files
+//                             instead: every line is a '#' comment or
+//                             `name value` with a legal metric name and a
+//                             parseable number, and at least one sample is
+//                             present (`sgxperf metrics --prom`, serve
+//                             --prom-out)
 //
 // Exit status: 0 = all valid, 1 = parse/schema error (reported with byte
 // offset for parse errors), 2 = usage / IO error.
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
 #include <string>
 
@@ -54,25 +62,90 @@ int check(const char* name, std::FILE* f) {
   return 0;
 }
 
+/// Prometheus text-exposition grammar (the subset our emitters produce):
+/// lines are `# ...` comments (including TYPE/HELP) or `name value` samples
+/// with name matching [a-zA-Z_:][a-zA-Z0-9_:]* and a strtod-parseable value.
+bool prom_name_ok(const std::string& name) {
+  if (name.empty()) return false;
+  const auto head_ok = [](char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_' || c == ':';
+  };
+  if (!head_ok(name[0])) return false;
+  for (const char c : name) {
+    if (!head_ok(c) && std::isdigit(static_cast<unsigned char>(c)) == 0) return false;
+  }
+  return true;
+}
+
+int check_prom(const char* name, std::FILE* f) {
+  std::string text;
+  if (!read_all(f, text)) {
+    std::fprintf(stderr, "json_check: %s: read error\n", name);
+    return 2;
+  }
+  std::size_t samples = 0;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) {
+      std::fprintf(stderr, "json_check: %s: missing final newline\n", name);
+      return 1;
+    }
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    line_no += 1;
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t space = line.find(' ');
+    if (space == std::string::npos || space == 0 || space + 1 >= line.size()) {
+      std::fprintf(stderr, "json_check: %s:%zu: expected 'name value'\n", name, line_no);
+      return 1;
+    }
+    if (!prom_name_ok(line.substr(0, space))) {
+      std::fprintf(stderr, "json_check: %s:%zu: illegal metric name\n", name, line_no);
+      return 1;
+    }
+    const std::string value = line.substr(space + 1);
+    char* end = nullptr;
+    (void)std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0') {
+      std::fprintf(stderr, "json_check: %s:%zu: unparseable sample value\n", name, line_no);
+      return 1;
+    }
+    samples += 1;
+  }
+  if (samples == 0) {
+    std::fprintf(stderr, "json_check: %s: no samples\n", name);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fputs("usage: json_check FILE...  (or '-' for stdin)\n", stderr);
+  bool prom = false;
+  int first = 1;
+  if (argc > 1 && std::string(argv[1]) == "--prom") {
+    prom = true;
+    first = 2;
+  }
+  if (first >= argc) {
+    std::fputs("usage: json_check [--prom] FILE...  (or '-' for stdin)\n", stderr);
     return 2;
   }
-  for (int i = 1; i < argc; ++i) {
+  for (int i = first; i < argc; ++i) {
     const std::string arg = argv[i];
     int rc = 0;
     if (arg == "-") {
-      rc = check("<stdin>", stdin);
+      rc = prom ? check_prom("<stdin>", stdin) : check("<stdin>", stdin);
     } else {
       std::FILE* f = std::fopen(arg.c_str(), "rb");
       if (f == nullptr) {
         std::fprintf(stderr, "json_check: %s: cannot open\n", arg.c_str());
         return 2;
       }
-      rc = check(arg.c_str(), f);
+      rc = prom ? check_prom(arg.c_str(), f) : check(arg.c_str(), f);
       std::fclose(f);
     }
     if (rc != 0) return rc;

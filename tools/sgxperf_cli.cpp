@@ -20,7 +20,8 @@
 //   sgxperf monitor [--workload demo|kv|db] [--window NS]     online detection daemon
 //   sgxperf stress  --stressor cpu|vm|sync|ocall-storm|mixed  labeled stress run
 //   sgxperf serve   --socket PATH [--query-socket PATH]       fleet aggregation daemon
-//   sgxperf fleet   [snapshot|top|alerts|series] ...          query the fleet daemon
+//   sgxperf fleet   [snapshot|top|alerts|series|status] ...   query the fleet daemon
+//   sgxperf doctor  [<trace.bin>|<dir.store>] [--json]        event-conservation audit
 //
 // `record` exercises the first half on a built-in multi-threaded workload:
 // it attaches the logger (sharded per-thread buffers), runs N threads of
@@ -48,6 +49,7 @@
 //
 // Weights of the Eq. 1-3 detectors are tunable: --eq1-alpha 0.5 etc.
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -88,6 +90,8 @@
 #include "support/json.hpp"
 #include "support/strutil.hpp"
 #include "telemetry/chrome_trace.hpp"
+#include "telemetry/ledger.hpp"
+#include "telemetry/prometheus.hpp"
 #include "tracedb/open.hpp"
 #include "tracedb/query.hpp"
 #include "tracedb/store/store.hpp"
@@ -151,6 +155,11 @@ struct Options {
   // store flags
   std::string store_subcommand;            // store: pack | unpack | info | compact
   std::vector<std::string> store_args;     // store: positional paths
+  // observability flags (DESIGN.md §13)
+  bool prom = false;                       // metrics: Prometheus text format
+  std::uint64_t max_loss = 0;              // doctor: attributed-drop budget
+  std::string prom_out_path;               // serve: atomic Prometheus snapshot file
+  std::uint64_t self_stat_ms = 0;          // serve: self-stat JSON line cadence
   perf::AnalyzerConfig config;
 };
 
@@ -185,9 +194,18 @@ void usage() {
       "           serve --socket PATH [--query-socket PATH] [--retention N]\n"
       "           [--checkpoint FILE [--checkpoint-every N]] [--idle-exit-ms N] [--json]\n"
       "  fleet    query a serve daemon (or the built-in deterministic corpus):\n"
-      "           fleet [snapshot|top|alerts|series] (--query-socket PATH | --corpus)\n"
+      "           fleet [snapshot|top|alerts|series|status] (--query-socket PATH | --corpus)\n"
       "           [--by p99|transitions|paging] [--n N] [--out trace.bin]\n"
       "           fleet series <host> <enclave> <site> ...   (always JSON on stdout)\n"
+      "           fleet status: producer lag + conservation ledger (+ daemon\n"
+      "           self-telemetry when asked over --query-socket)\n"
+      "  doctor   audit event conservation (produced == delivered + drops per\n"
+      "           pipeline stage) and report the first leaking stage:\n"
+      "           doctor <trace.bin|dir.store>               post-mortem audit\n"
+      "           doctor --workload demo|kv|db [--threads N] [--calls N]  live run\n"
+      "           doctor --query-socket PATH                 audit a serve daemon\n"
+      "           [--json] [--max-loss N]   exits 0 ok / 1 conservation violated /\n"
+      "           2 usage or IO error / 3 attributed loss exceeds --max-loss\n"
       "  store    multi-file SGXSTORE trace databases (lazy section loading):\n"
       "           store pack <trace.bin> <dir.store>      split a flat trace\n"
       "           store unpack <dir.store> <out.bin>      back to a flat v6 file\n"
@@ -232,6 +250,10 @@ void usage() {
       "  --checkpoint FILE (serve) persist the fleet series as a v5 trace\n"
       "  --checkpoint-every N  (serve) checkpoint every N merged windows (0 = at exit)\n"
       "  --idle-exit-ms N  (serve) exit after N ms with no connection (0 = run forever)\n"
+      "  --prom            (metrics) Prometheus text exposition format on stdout\n"
+      "  --prom-out FILE   (serve) atomic Prometheus snapshot at checkpoint cadence\n"
+      "  --self-stat-ms N  (serve) emit a status JSON line to stderr every N ms\n"
+      "  --max-loss N      (doctor) attributed-drop budget before exit 3 (default 0)\n"
       "  --by M            (fleet top) ranking metric: p99, transitions, paging\n"
       "  --n N             (fleet top) rows to return (default 10)\n"
       "  --corpus          (fleet) aggregate the built-in 3-producer stress corpus\n"
@@ -265,10 +287,16 @@ bool parse_args(int argc, char** argv, Options& opts) {
   opts.command = argv[1];
   int i;
   if (opts.command == "top" || opts.command == "monitor" || opts.command == "stress" ||
-      opts.command == "serve" || opts.command == "fleet") {
+      opts.command == "serve" || opts.command == "fleet" || opts.command == "doctor") {
     i = 2;  // these drive their own workload / daemon — no trace path argument
     if (opts.command == "fleet" && argc > 2 && argv[2][0] != '-') {
       opts.fleet_subcommand = argv[2];
+      i = 3;
+    }
+    // doctor's target (flat trace or .store dir) is optional: without one it
+    // audits a live --workload run or a serve daemon via --query-socket.
+    if (opts.command == "doctor" && argc > 2 && argv[2][0] != '-') {
+      opts.trace_path = argv[2];
       i = 3;
     }
   } else if (opts.command == "order") {
@@ -403,6 +431,14 @@ bool parse_args(int argc, char** argv, Options& opts) {
       opts.top_n = std::strtoul(next(), nullptr, 10);
     } else if (arg == "--corpus") {
       opts.corpus = true;
+    } else if (arg == "--prom") {
+      opts.prom = true;
+    } else if (arg == "--max-loss") {
+      opts.max_loss = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--prom-out") {
+      opts.prom_out_path = next();
+    } else if (arg == "--self-stat-ms") {
+      opts.self_stat_ms = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--model" || arg == "--order-model") {
       opts.model_path = next();
     } else if (arg == "--embed") {
@@ -660,6 +696,7 @@ int run_monitor(const Options& opts) {
     session.add_sink(std::make_shared<perf::JsonLinesSink>(alert_log));
   }
   int fleet_fd = -1;
+  std::shared_ptr<fleet::FrameSink> fleet_sink;
   if (!opts.fleet_socket.empty()) {
     fleet_fd = fleet::connect_ingest(opts.fleet_socket);
     if (fleet_fd < 0) {
@@ -672,9 +709,9 @@ int run_monitor(const Options& opts) {
     // MSG_NOSIGNAL turns the SIGPIPE a dead daemon would raise into EPIPE,
     // and `daemon_gone` stops further frame writes after the first failure.
     auto daemon_gone = std::make_shared<bool>(false);
-    session.add_sink(std::make_shared<fleet::FrameSink>(
+    fleet_sink = std::make_shared<fleet::FrameSink>(
         [fleet_fd, daemon_gone](const char* data, std::size_t size) {
-          if (*daemon_gone) return;
+          if (*daemon_gone) return false;
           while (size > 0) {
             const ssize_t n = ::send(fleet_fd, data, size, MSG_NOSIGNAL);
             if (n < 0 && errno == EINTR) continue;
@@ -682,12 +719,14 @@ int run_monitor(const Options& opts) {
               *daemon_gone = true;
               std::fprintf(stderr, "monitor: fleet daemon unreachable (%s), frames dropped\n",
                            n < 0 ? std::strerror(errno) : "closed");
-              return;
+              return false;
             }
             data += n;
             size -= static_cast<std::size_t>(n);
           }
-        }));
+          return true;
+        });
+    session.add_sink(fleet_sink);
   }
 
   std::atomic<bool> done{false};
@@ -752,6 +791,13 @@ int run_monitor(const Options& opts) {
     w.kv("stream_dropped", stats.stream_dropped);
     w.kv("sealed_dropped", stats.sealed_dropped);
     w.kv("pending_evicted", stats.pending_evicted);
+    // The session's event-conservation ledger (DESIGN.md §13): machine-
+    // readable loss accounting, per pipeline stage, in the final summary.
+    telemetry::Ledger led = session.ledger();
+    if (fleet_sink != nullptr) fleet_sink->fill_ledger(led);
+    w.key("ledger");
+    led.write_json(w);
+    w.kv("conservation_ok", led.audit().ok);
     if (!opts.out_path.empty()) w.kv("trace", opts.out_path);
     w.end_object();
     std::printf("%s\n", w.take().c_str());
@@ -778,6 +824,9 @@ int run_monitor(const Options& opts) {
                   static_cast<unsigned long long>(stats.sealed_dropped),
                   static_cast<unsigned long long>(stats.pending_evicted));
     }
+    telemetry::Ledger led = session.ledger();
+    if (fleet_sink != nullptr) fleet_sink->fill_ledger(led);
+    std::fputs(led.render_table().c_str(), stdout);
     if (!opts.out_path.empty()) std::printf("trace written to %s\n", opts.out_path.c_str());
   }
   return 0;
@@ -807,6 +856,8 @@ int run_serve(const Options& opts) {
   cfg.checkpoint_path = opts.checkpoint_path;
   cfg.checkpoint_every_windows = opts.checkpoint_every;
   cfg.idle_exit_ms = opts.idle_exit_ms;
+  cfg.prom_out_path = opts.prom_out_path;
+  cfg.self_stat_interval_ms = opts.self_stat_ms;
   fleet::Server server(cfg);
   if (!server.start()) return 1;
 
@@ -844,6 +895,10 @@ int run_fleet(const Options& opts) {
     request = "snapshot";
   } else if (sub == "alerts") {
     request = "alerts";
+  } else if (sub == "status") {
+    // Over --query-socket the server intercepts this and attaches its daemon
+    // self-telemetry block; in --corpus mode it is the aggregator-only view.
+    request = "status";
   } else if (sub == "top") {
     request = support::format("top %s %zu", opts.rank_by.c_str(), opts.top_n);
   } else if (sub == "series") {
@@ -854,7 +909,8 @@ int run_fleet(const Options& opts) {
     request = "series " + opts.fleet_args[0] + " " + opts.fleet_args[1] + " " +
               opts.fleet_args[2];
   } else {
-    std::fprintf(stderr, "error: unknown fleet subcommand '%s' (snapshot, top, alerts, series)\n",
+    std::fprintf(stderr,
+                 "error: unknown fleet subcommand '%s' (snapshot, top, alerts, series, status)\n",
                  sub.c_str());
     return 2;
   }
@@ -1680,6 +1736,131 @@ int run_store(const Options& opts) {
   return 2;
 }
 
+/// `sgxperf doctor`: the event-conservation audit (DESIGN.md §13) as a CLI
+/// verb.  Builds a ledger from one of four sources and verifies
+/// produced == delivered + Σdrops stage-by-stage:
+///
+///   doctor <trace.bin>          stages rebuilt from persisted loss counters
+///   doctor <dir.store>          index totals cross-checked against the chunk
+///                               directory — a genuine on-disk audit
+///   doctor --workload W ...     live run through logger + MonitorSession
+///   doctor --query-socket PATH  fetch `status` from a serve daemon and
+///                               re-audit its ledger client-side
+///
+/// Exit codes: 0 = conserved and attributed loss <= --max-loss; 1 =
+/// conservation violated (a stage leaks or reports indeterminate loss);
+/// 2 = usage/IO error; 3 = conserved but attributed loss exceeds --max-loss.
+int run_doctor(const Options& opts) {
+  telemetry::Ledger led;
+  std::string mode;
+  try {
+    if (!opts.query_socket_path.empty()) {
+      mode = "daemon";
+      const std::string response = fleet::query_server(opts.query_socket_path, "status");
+      const support::json::Value doc = support::json::parse(response);
+      const support::json::Value* ledger = doc.find("ledger");
+      if (ledger == nullptr) {
+        std::fputs("error: status response carries no ledger\n", stderr);
+        return 2;
+      }
+      led = telemetry::ledger_from_json(*ledger);
+    } else if (!opts.trace_path.empty()) {
+      struct stat st{};
+      if (::stat(opts.trace_path.c_str(), &st) != 0) {
+        std::fprintf(stderr, "error: cannot stat %s: %s\n", opts.trace_path.c_str(),
+                     std::strerror(errno));
+        return 2;
+      }
+      if (S_ISDIR(st.st_mode)) {
+        mode = "store";
+        led = telemetry::ledger_from_store(opts.trace_path);
+      } else {
+        mode = "trace";
+        const tracedb::TraceDatabase db = tracedb::open_trace(opts.trace_path);
+        led = telemetry::ledger_from_database(db);
+      }
+    } else {
+      mode = "live";
+      if (opts.threads == 0 || opts.calls == 0) {
+        std::fputs("error: --threads and --calls must be > 0\n", stderr);
+        return 2;
+      }
+      if (!check_workload(opts)) return 2;
+      sgxsim::Urts urts;
+      tracedb::TraceDatabase db;
+      perf::Logger logger(db);
+      logger.attach(urts);
+      perf::MonitorSessionConfig scfg;
+      scfg.identity = {opts.fleet_host, opts.workload};
+      scfg.subscription_name = "doctor";
+      scfg.online.analyzer = opts.config;
+      if (opts.window_ns > 0) scfg.online.window_ns = opts.window_ns;
+      perf::MonitorSession session(logger, urts, scfg);
+      if (!session.ok()) {
+        std::fputs("error: no free streaming subscriber slot\n", stderr);
+        return 2;
+      }
+      std::atomic<bool> done{false};
+      std::thread worker([&] {
+        run_named_workload(urts, opts);
+        done.store(true, std::memory_order_release);
+      });
+      for (;;) {
+        if (session.poll() > 0) continue;
+        if (done.load(std::memory_order_acquire)) break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(opts.interval_ms));
+      }
+      worker.join();
+      session.poll();   // drain everything published before `done` flipped
+      logger.detach();  // seal + merge so the record stage is final
+      session.finish();
+      led = session.ledger();
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+
+  const telemetry::LedgerAudit audit = led.audit();
+  int rc = 0;
+  if (!audit.ok) {
+    rc = 1;
+  } else if (audit.total_dropped > opts.max_loss) {
+    rc = 3;
+  }
+  if (opts.json) {
+    support::json::Writer w;
+    w.begin_object();
+    w.kv("schema_version", support::json::kSchemaVersion);
+    w.kv("mode", mode);
+    w.kv("max_loss", opts.max_loss);
+    w.key("ledger");
+    led.write_json(w);
+    w.kv("conservation_ok", audit.ok);
+    w.kv("attributed_dropped", audit.total_dropped);
+    w.kv("verdict",
+         rc == 0 ? "ok" : (rc == 1 ? "conservation_failed" : "loss_over_budget"));
+    w.kv("exit_code", static_cast<std::uint64_t>(rc));
+    w.end_object();
+    std::printf("%s\n", w.take().c_str());
+  } else {
+    std::fputs(led.render_table().c_str(), stdout);
+    if (rc == 1) {
+      std::printf("doctor: FAIL — conservation violated at stage %s\n",
+                  audit.first_leak_stage.c_str());
+    } else if (rc == 3) {
+      std::printf("doctor: FAIL — %llu attributed drop(s) exceed --max-loss %llu\n",
+                  static_cast<unsigned long long>(audit.total_dropped),
+                  static_cast<unsigned long long>(opts.max_loss));
+    } else {
+      std::printf("doctor: ok — %llu attributed drop(s) within budget %llu\n",
+                  static_cast<unsigned long long>(audit.total_dropped),
+                  static_cast<unsigned long long>(opts.max_loss));
+    }
+  }
+  return rc;
+}
+
 int main(int argc, char** argv) {
   Options opts;
   if (!parse_args(argc, argv, opts)) {
@@ -1693,6 +1874,7 @@ int main(int argc, char** argv) {
   if (opts.command == "stress") return run_stress(opts);
   if (opts.command == "serve") return run_serve(opts);
   if (opts.command == "fleet") return run_fleet(opts);
+  if (opts.command == "doctor") return run_doctor(opts);
   if (opts.command == "store") return run_store(opts);
 
   // Summary consumers declare the sections they need, so an SGXSTORE input
@@ -1703,7 +1885,9 @@ int main(int argc, char** argv) {
   if (opts.command == "stats") {
     sections = tracedb::store::kSummarySections;
   } else if (opts.command == "metrics") {
-    sections = tracedb::store::kSectionMeta | tracedb::store::kSectionProfile;
+    // --prom also exports the event-count ledger, which needs the event log.
+    sections = opts.prom ? tracedb::store::kAllSections
+                         : (tracedb::store::kSectionMeta | tracedb::store::kSectionProfile);
   } else if (opts.command == "timeline" || opts.command == "graph" ||
              opts.command == "flamegraph" || opts.command == "hist" ||
              opts.command == "scatter" ||
@@ -1777,7 +1961,11 @@ int main(int argc, char** argv) {
     return 0;
   }
   if (opts.command == "metrics") {
-    std::fputs(telemetry::render_metrics_summary(db).c_str(), stdout);
+    if (opts.prom) {
+      std::fputs(telemetry::render_prometheus(db).c_str(), stdout);
+    } else {
+      std::fputs(telemetry::render_metrics_summary(db).c_str(), stdout);
+    }
     return 0;
   }
   if (opts.command == "export") {
